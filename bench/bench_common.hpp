@@ -1,0 +1,90 @@
+// Shared helpers of the figure-reproduction benchmarks: standard platform
+// deployments matching the paper's testbed, invocation timing loops, and
+// table output. Every bench prints a human-readable table (paper layout)
+// followed by a CSV block for plotting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "rfaas/platform.hpp"
+#include "workloads/faas_functions.hpp"
+
+namespace rfs::bench {
+
+/// The paper's testbed: nodes with two 18-core Xeon Gold 6154 and a
+/// 100 Gb/s RoCEv2 NIC.
+inline rfaas::PlatformOptions paper_testbed(unsigned executors = 2) {
+  rfaas::PlatformOptions opts;
+  opts.spot_executors = executors;
+  opts.cores_per_executor = 36;
+  opts.memory_per_executor = 64ull << 30;
+  opts.client_hosts = 1;
+  return opts;
+}
+
+/// Statistics of a batch of timed invocations, in nanoseconds.
+struct LatencyStats {
+  double median = 0;
+  double p99 = 0;
+  double mean = 0;
+  std::size_t failures = 0;
+
+  static LatencyStats from(const std::vector<double>& samples, std::size_t failures = 0) {
+    LatencyStats s;
+    if (!samples.empty()) {
+      Summary summary(samples);
+      s.median = summary.median();
+      s.p99 = summary.percentile(99);
+      s.mean = summary.mean();
+    }
+    s.failures = failures;
+    return s;
+  }
+};
+
+/// Repeatedly invokes `fn_index` with the given payload size and collects
+/// round-trip latencies (client-observed, busy-polling client).
+inline sim::Task<LatencyStats> measure_invocations(rfaas::Invoker& invoker,
+                                                   std::uint16_t fn_index,
+                                                   rdmalib::Buffer<std::uint8_t>& in,
+                                                   std::size_t payload,
+                                                   rdmalib::Buffer<std::uint8_t>& out,
+                                                   unsigned repetitions,
+                                                   unsigned warmup = 2) {
+  std::vector<double> samples;
+  std::size_t failures = 0;
+  for (unsigned i = 0; i < warmup; ++i) {
+    (void)co_await invoker.invoke(fn_index, in, payload, out);
+  }
+  for (unsigned i = 0; i < repetitions; ++i) {
+    auto result = co_await invoker.invoke(fn_index, in, payload, out);
+    if (result.ok) {
+      samples.push_back(static_cast<double>(result.latency()));
+    } else {
+      ++failures;
+    }
+  }
+  co_return LatencyStats::from(samples, failures);
+}
+
+/// Prints the standard header of a bench binary.
+inline void banner(const char* figure, const char* description) {
+  std::printf("============================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("(deterministic virtual-time simulation; see DESIGN.md)\n");
+  std::printf("============================================================\n\n");
+}
+
+/// Prints a table followed by its CSV form.
+inline void emit(Table& table, const char* csv_tag) {
+  table.print();
+  std::printf("\n--- CSV (%s) ---\n", csv_tag);
+  table.print_csv();
+  std::printf("\n");
+}
+
+}  // namespace rfs::bench

@@ -1,0 +1,154 @@
+// Figure 1: round-trip latency of invoking a no-op function across
+// serverless platforms — rFaaS (hot/warm) vs AWS Lambda, OpenWhisk and
+// Nightcore — for payloads from 1 kB to 5 MB. Reports median and p99 and
+// the end-to-end speedups the paper quotes (695-3692x vs AWS, 23-39x vs
+// Nightcore, 5904-22406x vs OpenWhisk).
+#include "baselines/baselines.hpp"
+#include "bench_common.hpp"
+
+namespace rfs {
+namespace {
+
+using namespace rfs::bench;
+
+constexpr unsigned kReps = 15;
+
+struct Series {
+  std::string name;
+  std::vector<LatencyStats> points;
+};
+
+sim::Task<LatencyStats> measure_baseline(baselines::FaasBaseline& platform, const Bytes& payload,
+                                         unsigned reps) {
+  std::vector<double> samples;
+  std::size_t failures = 0;
+  (void)co_await platform.invoke("echo", payload);  // warm up containers
+  for (unsigned i = 0; i < reps; ++i) {
+    const Time start = sim::Engine::current()->now();
+    auto result = co_await platform.invoke("echo", payload);
+    if (result.ok()) {
+      samples.push_back(static_cast<double>(sim::Engine::current()->now() - start));
+    } else {
+      ++failures;
+    }
+  }
+  co_return LatencyStats::from(samples, failures);
+}
+
+void run() {
+  const std::vector<std::size_t> sizes_kb = {1, 2, 4, 8, 16, 32, 64, 128,
+                                             256, 512, 1024, 2048, 5120};
+
+  // --- rFaaS hot and warm -------------------------------------------------
+  auto opts = paper_testbed();
+  opts.config.worker_buffer_bytes = 8_MiB;
+  rfaas::Platform p(opts);
+  p.registry().add_echo();
+  p.start();
+
+  Series rfaas_hot{"rfaas-hot", {}};
+  Series rfaas_warm{"rfaas-warm", {}};
+  auto invoker_hot = p.make_invoker(0, 1);
+  auto invoker_warm = p.make_invoker(0, 2);
+
+  auto client = [&]() -> sim::Task<void> {
+    rfaas::AllocationSpec spec;
+    spec.function_name = "echo";
+    spec.policy = rfaas::InvocationPolicy::HotAlways;
+    (void)co_await invoker_hot->allocate(spec);
+    spec.policy = rfaas::InvocationPolicy::WarmAlways;
+    (void)co_await invoker_warm->allocate(spec);
+    auto in = invoker_hot->input_buffer<std::uint8_t>(6_MiB);
+    auto out = invoker_hot->output_buffer<std::uint8_t>(6_MiB);
+    auto in_w = invoker_warm->input_buffer<std::uint8_t>(6_MiB);
+    auto out_w = invoker_warm->output_buffer<std::uint8_t>(6_MiB);
+    for (std::size_t kb : sizes_kb) {
+      const std::size_t bytes = kb * 1000;
+      fill_pattern({in.data(), bytes}, kb);
+      fill_pattern({in_w.data(), bytes}, kb);
+      rfaas_hot.points.push_back(
+          co_await measure_invocations(*invoker_hot, 0, in, bytes, out, kReps));
+      rfaas_warm.points.push_back(
+          co_await measure_invocations(*invoker_warm, 0, in_w, bytes, out_w, kReps));
+    }
+    co_await invoker_hot->deallocate();
+    co_await invoker_warm->deallocate();
+  };
+  sim::spawn(p.engine(), client());
+  p.run(p.engine().now() + 3600_s);
+
+  // --- Baselines (independent engine; same registry semantics) ------------
+  sim::Engine eng;
+  eng.make_current();
+  rfaas::FunctionRegistry registry;
+  registry.add_echo();
+  baselines::AwsLambdaSim aws(eng, registry, baselines::AwsConfig{});
+  baselines::OpenWhiskSim ow(eng, registry, baselines::OpenWhiskConfig{});
+  baselines::NightcoreSim nc(eng, registry, baselines::NightcoreConfig{});
+
+  Series aws_s{"aws-lambda", {}};
+  Series ow_s{"openwhisk", {}};
+  Series nc_s{"nightcore", {}};
+  auto baseline_client = [&]() -> sim::Task<void> {
+    for (std::size_t kb : sizes_kb) {
+      Bytes payload(kb * 1000);
+      fill_pattern(payload, kb);
+      aws_s.points.push_back(co_await measure_baseline(aws, payload, kReps));
+      ow_s.points.push_back(co_await measure_baseline(ow, payload, kReps));
+      nc_s.points.push_back(co_await measure_baseline(nc, payload, kReps));
+    }
+  };
+  sim::spawn(eng, baseline_client());
+  eng.run();
+
+  // --- Report --------------------------------------------------------------
+  banner("Figure 1", "no-op invocation RTT across serverless platforms (median / p99)");
+  Table table({"size", "rfaas-hot", "rfaas-warm", "nightcore", "aws-lambda", "openwhisk",
+               "hot-p99"});
+  for (std::size_t i = 0; i < sizes_kb.size(); ++i) {
+    table.row({std::to_string(sizes_kb[i]) + " kB",
+               Table::us(rfaas_hot.points[i].median),
+               Table::us(rfaas_warm.points[i].median),
+               Table::us(nc_s.points[i].median),
+               Table::ms(aws_s.points[i].median),
+               Table::ms(ow_s.points[i].median),
+               Table::us(rfaas_hot.points[i].p99)});
+  }
+  emit(table, "fig01");
+
+  // Headline numbers (paper: 695-3692x vs AWS, 23-39x vs Nightcore,
+  // 5904-22406x vs OpenWhisk; rFaaS reaches ~12 GB/s, AWS 17.21 MB/s).
+  double min_aws = 1e18, max_aws = 0, min_nc = 1e18, max_nc = 0, min_ow = 1e18, max_ow = 0;
+  for (std::size_t i = 0; i < sizes_kb.size(); ++i) {
+    const double hot = rfaas_hot.points[i].median;
+    auto upd = [&](double v, double& lo, double& hi) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    };
+    upd(aws_s.points[i].median / hot, min_aws, max_aws);
+    upd(nc_s.points[i].median / hot, min_nc, max_nc);
+    upd(ow_s.points[i].median / hot, min_ow, max_ow);
+  }
+  const std::size_t last = sizes_kb.size() - 1;
+  const double bytes_last = static_cast<double>(sizes_kb[last] * 1000);
+  std::printf("Speedup of rFaaS hot vs AWS Lambda: %.0fx - %.0fx  (paper: 695x - 3692x)\n",
+              min_aws, max_aws);
+  std::printf("Speedup of rFaaS hot vs Nightcore:  %.0fx - %.0fx  (paper: 23x - 39x)\n",
+              min_nc, max_nc);
+  std::printf("Speedup of rFaaS hot vs OpenWhisk:  %.0fx - %.0fx  (paper: 5904x - 22406x)\n",
+              min_ow, max_ow);
+  std::printf("Goodput at 5 MB: rFaaS %.2f GB/s (paper ~12 GB/s), AWS %.2f MB/s, "
+              "nightcore %.2f MB/s, openwhisk %.2f MB/s\n",
+              2 * bytes_last / rfaas_hot.points[last].median,  // both directions
+              2 * bytes_last / aws_s.points[last].median * 1e3,
+              2 * bytes_last / nc_s.points[last].median * 1e3,
+              2 * bytes_last / ow_s.points[last].median * 1e3);
+}
+
+}  // namespace
+}  // namespace rfs
+
+int main() {
+  rfs::run();
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Figure 8: RTT of a no-op rFaaS function vs the raw network transports
+// for 1 B - 4 kB messages: RDMA ping-pong (ib_write_lat), TCP round trip
+// (netperf), rFaaS hot and rFaaS warm. Shows the inlining effect at 128 B
+// (the 12-byte rFaaS header forces one direction out of the inline path)
+// and the Sec. V-A overheads: hot ~326 ns, warm ~4.67 us over raw RDMA.
+#include "bench_common.hpp"
+#include "net/tcp.hpp"
+
+namespace rfs {
+namespace {
+
+using namespace rfs::bench;
+
+constexpr unsigned kReps = 51;
+
+/// Raw RDMA ping-pong latency (both directions inlined when they fit).
+sim::Task<double> rdma_pingpong(fabric::Fabric& fab, fabric::Device& a, fabric::Device& b,
+                                std::size_t bytes) {
+  auto* pda = a.alloc_pd();
+  auto* pdb = b.alloc_pd();
+  fabric::CompletionQueue sa(fab.model()), ra(fab.model()), sb(fab.model()), rb(fab.model());
+  auto* qa = a.create_qp(pda, &sa, &ra);
+  auto* qb = b.create_qp(pdb, &sb, &rb);
+  fabric::QueuePair::connect_pair(*qa, *qb);
+
+  Bytes ba(std::max<std::size_t>(bytes, 8)), bb(std::max<std::size_t>(bytes, 8));
+  auto* mra = pda->register_memory(ba.data(), ba.size(), fabric::LocalWrite | fabric::RemoteWrite);
+  auto* mrb = pdb->register_memory(bb.data(), bb.size(), fabric::LocalWrite | fabric::RemoteWrite);
+
+  const bool inl = bytes <= fab.model().max_inline;
+  auto post = [&](fabric::QueuePair* qp, Bytes& src, std::uint32_t lkey, Bytes& dst,
+                  std::uint32_t rkey) {
+    fabric::SendWr wr;
+    wr.opcode = fabric::Opcode::WriteImm;
+    wr.sge = {{reinterpret_cast<std::uint64_t>(src.data()), static_cast<std::uint32_t>(bytes),
+               lkey}};
+    wr.remote_addr = reinterpret_cast<std::uint64_t>(dst.data());
+    wr.rkey = rkey;
+    wr.inline_data = inl;
+    wr.signaled = false;
+    (void)qp->post_send(wr);
+  };
+
+  const Time start = sim::Engine::current()->now();
+  // One full ping-pong (responder echoes as soon as the ping lands).
+  (void)qb->post_recv({1, {}});
+  (void)qa->post_recv({2, {}});
+  post(qa, ba, mra->lkey(), bb, mrb->rkey());
+  (void)co_await rb.wait_polling();
+  post(qb, bb, mrb->lkey(), ba, mra->rkey());
+  (void)co_await ra.wait_polling();
+  co_return static_cast<double>(sim::Engine::current()->now() - start);
+}
+
+void run() {
+  const std::vector<std::size_t> sizes = {1, 2, 4, 8, 16, 32, 64, 128,
+                                          256, 512, 1024, 2048, 4096};
+  banner("Figure 8", "no-op RTT: RDMA vs TCP vs rFaaS hot/warm, 1 B - 4 kB");
+
+  // RDMA + TCP raw transports.
+  std::vector<double> rdma_rtt, tcp_rtt;
+  {
+    sim::Engine eng;
+    eng.make_current();
+    fabric::Fabric fab(eng);
+    auto& devA = fab.create_device("a");
+    auto& devB = fab.create_device("b");
+    net::TcpNetwork tcp(eng, fab.net());
+    auto& listener = tcp.listen(devB.id(), 80);
+
+    auto body = [&]() -> sim::Task<void> {
+      for (std::size_t n : sizes) {
+        rdma_rtt.push_back(co_await rdma_pingpong(fab, devA, devB, n));
+      }
+      // TCP echo round trip (persistent connection, netperf TCP_RR style).
+      auto conn = co_await tcp.connect(devA.id(), devB.id(), 80);
+      auto echo_server = [](net::TcpListener* l) -> sim::Task<void> {
+        auto stream = co_await l->accept();
+        while (true) {
+          auto msg = co_await stream->recv();
+          if (!msg) break;
+          stream->send(std::move(*msg));
+        }
+      };
+      sim::spawn(*sim::Engine::current(), echo_server(&listener));
+      for (std::size_t n : sizes) {
+        const Time start = sim::Engine::current()->now();
+        conn.value()->send(Bytes(n));
+        (void)co_await conn.value()->recv();
+        tcp_rtt.push_back(static_cast<double>(sim::Engine::current()->now() - start));
+      }
+    };
+    sim::spawn(eng, body());
+    eng.run();
+  }
+
+  // rFaaS hot and warm (bare-metal and Docker, paper Sec. V-A).
+  std::vector<LatencyStats> hot, warm, hot_docker;
+  {
+    auto opts = paper_testbed();
+    rfaas::Platform p(opts);
+    p.registry().add_echo();
+    p.start();
+    auto inv_hot = p.make_invoker(0, 1);
+    auto inv_warm = p.make_invoker(0, 2);
+    auto inv_docker = p.make_invoker(0, 3);
+    auto client = [&]() -> sim::Task<void> {
+      rfaas::AllocationSpec spec;
+      spec.function_name = "echo";
+      spec.policy = rfaas::InvocationPolicy::HotAlways;
+      (void)co_await inv_hot->allocate(spec);
+      spec.policy = rfaas::InvocationPolicy::WarmAlways;
+      (void)co_await inv_warm->allocate(spec);
+      spec.policy = rfaas::InvocationPolicy::HotAlways;
+      spec.sandbox = rfaas::SandboxType::Docker;
+      (void)co_await inv_docker->allocate(spec);
+      auto in1 = inv_hot->input_buffer<std::uint8_t>(8192);
+      auto out1 = inv_hot->output_buffer<std::uint8_t>(8192);
+      auto in2 = inv_warm->input_buffer<std::uint8_t>(8192);
+      auto out2 = inv_warm->output_buffer<std::uint8_t>(8192);
+      auto in3 = inv_docker->input_buffer<std::uint8_t>(8192);
+      auto out3 = inv_docker->output_buffer<std::uint8_t>(8192);
+      for (std::size_t n : sizes) {
+        hot.push_back(co_await measure_invocations(*inv_hot, 0, in1, n, out1, kReps));
+        warm.push_back(co_await measure_invocations(*inv_warm, 0, in2, n, out2, kReps));
+        hot_docker.push_back(co_await measure_invocations(*inv_docker, 0, in3, n, out3, kReps));
+      }
+    };
+    sim::spawn(p.engine(), client());
+    p.run(p.engine().now() + 600_s);
+  }
+
+  Table table({"size", "rdma", "tcp", "rfaas-hot", "rfaas-warm", "hot-docker", "hot-overhead"});
+  double sum_hot_overhead = 0, sum_warm_overhead = 0;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const double overhead = hot[i].median - rdma_rtt[i];
+    sum_hot_overhead += overhead;
+    sum_warm_overhead += warm[i].median - rdma_rtt[i];
+    table.row({std::to_string(sizes[i]) + " B", Table::us(rdma_rtt[i]), Table::us(tcp_rtt[i]),
+               Table::us(hot[i].median), Table::us(warm[i].median),
+               Table::us(hot_docker[i].median),
+               Table::num(overhead, 0) + " ns"});
+  }
+  emit(table, "fig08");
+
+  std::printf("Mean hot overhead over raw RDMA:  %.0f ns   (paper: 326 ns, 630 ns at 128 B)\n",
+              sum_hot_overhead / static_cast<double>(sizes.size()));
+  std::printf("Mean warm overhead over raw RDMA: %.2f us  (paper: 4.67 us)\n",
+              sum_warm_overhead / static_cast<double>(sizes.size()) / 1e3);
+  std::printf("rFaaS hot at minimum size: %.2f us (paper: 3.96 us); warm: %.2f us "
+              "(paper: 8.2 us)\n",
+              hot[0].median / 1e3, warm[0].median / 1e3);
+}
+
+}  // namespace
+}  // namespace rfs
+
+int main() {
+  rfs::run();
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Figure 11: real-world serverless functions from SeBS on rFaaS vs AWS
+// Lambda — (a) thumbnail generation with a 97 kB and a 3.6 MB image,
+// (b) ResNet-style image recognition with 53 kB and 230 kB inputs.
+// rFaaS runs bare-metal and Docker sandboxes (warm and hot); AWS Lambda
+// runs across its memory configurations (CPU share scales with memory).
+#include "baselines/baselines.hpp"
+#include "bench_common.hpp"
+#include "workloads/image.hpp"
+
+namespace rfs {
+namespace {
+
+using namespace rfs::bench;
+using workloads::encode_ppm;
+using workloads::synthetic_image;
+
+constexpr unsigned kReps = 9;
+
+struct Row {
+  std::string input;
+  double bare_warm = 0, bare_hot = 0, docker_warm = 0, docker_hot = 0;
+  std::vector<double> aws;  // per memory config
+};
+
+Row measure_function(const std::string& fn, const Bytes& input, const char* label,
+                     const std::vector<std::uint32_t>& aws_memories) {
+  Row row;
+  row.input = label;
+
+  // rFaaS: bare/docker x warm/hot.
+  auto opts = paper_testbed();
+  rfaas::Platform p(opts);
+  workloads::register_all(p.registry());
+  p.start();
+
+  auto body = [&]() -> sim::Task<void> {
+    std::uint32_t client = 1;
+    for (auto sandbox : {rfaas::SandboxType::BareMetal, rfaas::SandboxType::Docker}) {
+      for (auto policy :
+           {rfaas::InvocationPolicy::WarmAlways, rfaas::InvocationPolicy::HotAlways}) {
+        auto invoker = p.make_invoker(0, client++);
+        rfaas::AllocationSpec spec;
+        spec.function_name = fn;
+        spec.sandbox = sandbox;
+        spec.policy = policy;
+        auto st = co_await invoker->allocate(spec);
+        if (!st.ok()) co_return;
+        auto in = invoker->input_buffer<std::uint8_t>(input.size());
+        auto out = invoker->output_buffer<std::uint8_t>(4_MiB);
+        std::memcpy(in.data(), input.data(), input.size());
+        auto stats = co_await measure_invocations(*invoker, 0, in, input.size(), out, kReps, 1);
+        const bool docker = sandbox == rfaas::SandboxType::Docker;
+        const bool hot = policy == rfaas::InvocationPolicy::HotAlways;
+        (docker ? (hot ? row.docker_hot : row.docker_warm)
+                : (hot ? row.bare_hot : row.bare_warm)) = stats.median;
+        co_await invoker->deallocate();
+      }
+    }
+  };
+  sim::spawn(p.engine(), body());
+  p.run(p.engine().now() + 3600_s);
+
+  // AWS Lambda across memory sizes.
+  for (auto mem : aws_memories) {
+    sim::Engine eng;
+    eng.make_current();
+    rfaas::FunctionRegistry registry;
+    workloads::register_all(registry);
+    baselines::AwsConfig cfg;
+    cfg.memory_mb = mem;
+    baselines::AwsLambdaSim aws(eng, registry, cfg);
+    std::vector<double> samples;
+    auto aws_body = [&]() -> sim::Task<void> {
+      (void)co_await aws.invoke(fn, input);  // cold
+      for (unsigned i = 0; i < kReps; ++i) {
+        const Time t0 = eng.now();
+        (void)co_await aws.invoke(fn, input);
+        samples.push_back(static_cast<double>(eng.now() - t0));
+      }
+    };
+    sim::spawn(eng, aws_body());
+    eng.run();
+    row.aws.push_back(Summary(samples).median());
+  }
+  return row;
+}
+
+void print_rows(const char* title, const std::vector<Row>& rows,
+                const std::vector<std::uint32_t>& aws_memories) {
+  std::printf("--- %s ---\n", title);
+  std::vector<std::string> header = {"input", "bare-warm", "bare-hot", "docker-warm",
+                                     "docker-hot"};
+  for (auto mem : aws_memories) header.push_back("aws-" + std::to_string(mem) + "MB");
+  Table table(header);
+  for (const auto& r : rows) {
+    std::vector<std::string> cells = {r.input, Table::ms(r.bare_warm), Table::ms(r.bare_hot),
+                                      Table::ms(r.docker_warm), Table::ms(r.docker_hot)};
+    for (double v : r.aws) cells.push_back(Table::ms(v));
+    table.row(cells);
+  }
+  emit(table, title);
+}
+
+void run() {
+  banner("Figure 11", "SeBS serverless functions: thumbnailer and image recognition");
+
+  const std::vector<std::uint32_t> thumb_memories = {128, 512, 1024, 1536, 2048, 3072};
+  const Bytes thumb_small = encode_ppm(synthetic_image(97'000, 1));
+  const Bytes thumb_large = encode_ppm(synthetic_image(3'600'000, 2));
+  std::vector<Row> thumb_rows;
+  thumb_rows.push_back(
+      measure_function("thumbnail", thumb_small, "97kB", thumb_memories));
+  thumb_rows.push_back(
+      measure_function("thumbnail", thumb_large, "3.6MB", thumb_memories));
+  print_rows("fig11a-thumbnailer", thumb_rows, thumb_memories);
+  std::printf("Paper (11a): bare-metal 4.4 ms / 115.4 ms, Docker 7.6 ms / 195.9 ms;\n"
+              "AWS dominated by base64 + HTTP transport and CPU share.\n\n");
+
+  const std::vector<std::uint32_t> infer_memories = {512, 1024, 1536, 2048, 3072};
+  const Bytes infer_small = encode_ppm(synthetic_image(53'000, 3));
+  const Bytes infer_large = encode_ppm(synthetic_image(230'000, 4));
+  std::vector<Row> infer_rows;
+  infer_rows.push_back(
+      measure_function("inference", infer_small, "53kB", infer_memories));
+  infer_rows.push_back(
+      measure_function("inference", infer_large, "230kB", infer_memories));
+  print_rows("fig11b-inference", infer_rows, infer_memories);
+  std::printf("Paper (11b): bare-metal ~112 ms, Docker ~118-122 ms (model-dominated);\n"
+              "input size barely matters, network advantage shrinks accordingly.\n");
+}
+
+}  // namespace
+}  // namespace rfs
+
+int main() {
+  rfs::run();
+  return 0;
+}

@@ -1,0 +1,169 @@
+#include "baselines/baselines.hpp"
+
+#include <algorithm>
+
+#include "common/base64.hpp"
+#include "net/http.hpp"
+
+namespace rfs::baselines {
+
+namespace {
+
+/// Executes a registry function on decoded bytes, charging its cost model
+/// scaled by `cpu_share` (Lambda CPU allocation is proportional to the
+/// memory size).
+sim::Task<Result<Bytes>> run_function(const rfaas::FunctionRegistry& registry,
+                                      const std::string& fn, const Bytes& input,
+                                      double cpu_share) {
+  auto pkg = registry.find(fn);
+  if (!pkg) co_return pkg.error();
+  Bytes output(std::max<std::size_t>(input.size() + 4096, 1 << 16));
+  const std::uint32_t out_len = pkg.value()->entry(
+      input.data(), static_cast<std::uint32_t>(input.size()), output.data());
+  output.resize(out_len);
+  const auto cost = pkg.value()->compute_time(static_cast<std::uint32_t>(input.size()));
+  if (cost > 0) {
+    co_await sim::delay(static_cast<Duration>(static_cast<double>(cost) / cpu_share));
+  }
+  co_return output;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// AWS Lambda
+// ---------------------------------------------------------------------------
+
+sim::Task<Result<Bytes>> AwsLambdaSim::invoke(const std::string& fn, const Bytes& payload) {
+  if (payload.size() > config_.payload_limit) {
+    // The gateway rejects the request after receiving the headers.
+    co_await sim::delay(2 * config_.wan_one_way + config_.gateway_overhead);
+    co_return Error::make(413, "payload too large: use S3 staging");
+  }
+
+  // Client: build the real HTTP request with a base64 body.
+  net::HttpRequest request;
+  request.method = "POST";
+  request.path = "/2015-03-31/functions/" + fn + "/invocations";
+  request.headers["Host"] = "lambda.us-east-1.amazonaws.com";
+  request.headers["X-Amz-Invocation-Type"] = "RequestResponse";
+  request.body = base64::encode(payload);
+  const Bytes wire_request = request.serialize();
+
+  // Uplink: WAN latency + HTTPS goodput.
+  co_await sim::delay(config_.wan_one_way +
+                      transfer_time(wire_request.size(), config_.bandwidth_Bps));
+  co_await sim::delay(config_.gateway_overhead);
+
+  // The gateway parses the request for real.
+  auto parsed = net::HttpRequest::parse(wire_request);
+  if (!parsed) co_return parsed.error();
+
+  // Placement service routes to a warm container or spins up a new one.
+  co_await sim::delay(config_.placement);
+  auto& containers = pool_[fn];
+  Container* chosen = nullptr;
+  for (auto& c : containers) {
+    if (!c.busy && c.warm_until >= engine_.now()) {
+      chosen = &c;
+      break;
+    }
+  }
+  if (chosen == nullptr) {
+    containers.push_back(Container{});
+    chosen = &containers.back();
+    ++cold_starts_;
+    co_await sim::delay(config_.cold_start);
+  }
+  chosen->busy = true;
+
+  // Runtime: decode the body (real), run the user code (real).
+  co_await sim::delay(config_.runtime_overhead);
+  auto decoded = base64::decode(parsed.value().body);
+  if (!decoded) {
+    chosen->busy = false;
+    co_return decoded.error();
+  }
+  const double cpu_share = std::min(1.0, config_.memory_mb / 1769.0);
+  auto output = co_await run_function(registry_, fn, decoded.value(), cpu_share);
+  chosen->busy = false;
+  chosen->warm_until = engine_.now() + config_.keep_alive;
+  if (!output) co_return output.error();
+
+  // Response: base64 again, back through the gateway and the WAN.
+  net::HttpResponse response;
+  response.status = 200;
+  response.body = base64::encode(std::span<const std::uint8_t>(output.value()));
+  const Bytes wire_response = response.serialize();
+  co_await sim::delay(config_.gateway_overhead + config_.wan_one_way +
+                      transfer_time(wire_response.size(), config_.bandwidth_Bps));
+
+  auto parsed_response = net::HttpResponse::parse(wire_response);
+  if (!parsed_response) co_return parsed_response.error();
+  auto final_output = base64::decode(parsed_response.value().body);
+  if (!final_output) co_return final_output.error();
+  co_return final_output.value();
+}
+
+// ---------------------------------------------------------------------------
+// OpenWhisk
+// ---------------------------------------------------------------------------
+
+sim::Task<Result<Bytes>> OpenWhiskSim::invoke(const std::string& fn, const Bytes& payload) {
+  // Client -> API gateway (HTTP, base64 parameters).
+  net::HttpRequest request;
+  request.method = "POST";
+  request.path = "/api/v1/namespaces/_/actions/" + fn + "?blocking=true";
+  request.body = base64::encode(payload);
+  const Bytes wire_request = request.serialize();
+  co_await sim::delay(config_.gateway +
+                      transfer_time(wire_request.size(), config_.bandwidth_Bps));
+
+  // Controller + load balancer decision, then the Kafka hop.
+  co_await sim::delay(config_.controller);
+  co_await sim::delay(config_.kafka);
+
+  // Invoker starts the action. Inputs above the argv limit are staged
+  // through a file instead of argv (extra copy).
+  co_await sim::delay(config_.invoker);
+  if (payload.size() > config_.argv_limit) {
+    co_await sim::delay(config_.file_staging);
+  }
+  co_await sim::delay(config_.action_init);
+
+  auto parsed = net::HttpRequest::parse(wire_request);
+  if (!parsed) co_return parsed.error();
+  auto decoded = base64::decode(parsed.value().body);
+  if (!decoded) co_return decoded.error();
+  auto output = co_await run_function(registry_, fn, decoded.value(), 1.0);
+  if (!output) co_return output.error();
+
+  // Activation record write + response through the gateway.
+  const std::string encoded = base64::encode(std::span<const std::uint8_t>(output.value()));
+  co_await sim::delay(config_.response_path +
+                      transfer_time(encoded.size(), config_.bandwidth_Bps));
+  auto final_output = base64::decode(encoded);
+  if (!final_output) co_return final_output.error();
+  co_return final_output.value();
+}
+
+// ---------------------------------------------------------------------------
+// Nightcore
+// ---------------------------------------------------------------------------
+
+sim::Task<Result<Bytes>> NightcoreSim::invoke(const std::string& fn, const Bytes& payload) {
+  // Binary RPC: no base64, one gateway and a shared-memory hop each way.
+  co_await sim::delay(config_.tcp_rtt / 2 +
+                      transfer_time(payload.size(), config_.bandwidth_Bps));
+  co_await sim::delay(config_.gateway + config_.ipc);
+  co_await sim::delay(config_.runtime);
+
+  auto output = co_await run_function(registry_, fn, payload, 1.0);
+  if (!output) co_return output.error();
+
+  co_await sim::delay(config_.ipc + config_.tcp_rtt / 2 +
+                      transfer_time(output.value().size(), config_.bandwidth_Bps));
+  co_return std::move(output).take();
+}
+
+}  // namespace rfs::baselines

@@ -1,0 +1,135 @@
+// Baseline FaaS platforms for the Fig. 1 / Fig. 11 comparisons.
+//
+// Each baseline reproduces the invocation pipeline of the system the
+// paper measures against, calibrated to the constants reported in Fig. 1:
+//   AWS Lambda:  19.64 ms base RTT, 17.21 MB/s effective bandwidth
+//   OpenWhisk:  119.18 ms base RTT,  1.79 MB/s
+//   Nightcore:  209.45 us base RTT, 453.72 MB/s
+// Data transformations are real (base64 encode/decode, HTTP message
+// serialization/parsing, genuine function execution on the payload);
+// the pipeline stage latencies are modelled.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "rfaas/functions.hpp"
+#include "sim/task.hpp"
+
+namespace rfs::baselines {
+
+/// Common interface of the comparison platforms.
+class FaasBaseline {
+ public:
+  virtual ~FaasBaseline() = default;
+
+  /// Invokes `fn` with `payload`; returns the output bytes. The virtual
+  /// time consumed is the platform's end-to-end latency.
+  virtual sim::Task<Result<Bytes>> invoke(const std::string& fn, const Bytes& payload) = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+// ---------------------------------------------------------------------------
+
+struct AwsConfig {
+  double bandwidth_Bps = 17.21e6;      // HTTPS goodput observed by the client
+  Duration wan_one_way = 550_us;       // same-region EC2 -> endpoint
+  Duration gateway_overhead = 2250_us; // per direction: TLS + API gateway
+  Duration placement = 9500_us;        // "each invocation is processed by a
+                                       //  dedicated management service" [30]
+  Duration runtime_overhead = 2600_us; // Lambda runtime dispatch + marshalling
+  Duration cold_start = 180_ms;        // Firecracker microVM + runtime init
+  Duration keep_alive = 600_s;         // warm container retention
+  std::size_t payload_limit = 6_MiB;   // request body limit (returns 413)
+  std::uint32_t memory_mb = 1769;      // CPU share scales with memory size
+};
+
+/// AWS Lambda: HTTP POST with base64 body through a gateway and a
+/// placement service into a warm (or cold) microVM.
+class AwsLambdaSim final : public FaasBaseline {
+ public:
+  AwsLambdaSim(sim::Engine& engine, const rfaas::FunctionRegistry& registry, AwsConfig config)
+      : engine_(engine), registry_(registry), config_(config) {}
+
+  sim::Task<Result<Bytes>> invoke(const std::string& fn, const Bytes& payload) override;
+  [[nodiscard]] const char* name() const override { return "aws-lambda"; }
+
+  [[nodiscard]] std::uint64_t cold_starts() const { return cold_starts_; }
+  [[nodiscard]] const AwsConfig& config() const { return config_; }
+
+ private:
+  struct Container {
+    bool busy = false;
+    Time warm_until = 0;
+  };
+
+  sim::Engine& engine_;
+  const rfaas::FunctionRegistry& registry_;
+  AwsConfig config_;
+  std::map<std::string, std::vector<Container>> pool_;
+  std::uint64_t cold_starts_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+
+struct OpenWhiskConfig {
+  double bandwidth_Bps = 1.79e6;
+  Duration gateway = 11_ms;       // nginx + API gateway
+  Duration controller = 21_ms;    // load balancer decision
+  Duration kafka = 34_ms;         // publish + consume on the message bus
+  Duration invoker = 17_ms;       // invoker picks up the activation
+  Duration action_init = 24_ms;   // container /run dispatch (argv exec)
+  Duration response_path = 7_ms;  // activation record + response
+  std::size_t argv_limit = 125 * 1024;  // inputs beyond this use file staging
+  Duration file_staging = 18_ms;        // extra cost above the argv limit
+};
+
+/// OpenWhisk: "the critical path includes a controller, database, load
+/// balancer, and a message bus" (Sec. II-B).
+class OpenWhiskSim final : public FaasBaseline {
+ public:
+  OpenWhiskSim(sim::Engine& engine, const rfaas::FunctionRegistry& registry,
+               OpenWhiskConfig config)
+      : engine_(engine), registry_(registry), config_(config) {}
+
+  sim::Task<Result<Bytes>> invoke(const std::string& fn, const Bytes& payload) override;
+  [[nodiscard]] const char* name() const override { return "openwhisk"; }
+
+ private:
+  sim::Engine& engine_;
+  const rfaas::FunctionRegistry& registry_;
+  OpenWhiskConfig config_;
+};
+
+// ---------------------------------------------------------------------------
+
+struct NightcoreConfig {
+  double bandwidth_Bps = 453.72e6;
+  Duration tcp_rtt = 19_us;        // cluster-internal socket round trip
+  Duration gateway = 86_us;        // nightcore gateway dispatch
+  Duration ipc = 40_us;            // per direction: shared-memory queue hop
+  Duration runtime = 24_us;        // worker launch of the function
+};
+
+/// Nightcore: a low-latency FaaS runtime using binary RPC, no base64.
+class NightcoreSim final : public FaasBaseline {
+ public:
+  NightcoreSim(sim::Engine& engine, const rfaas::FunctionRegistry& registry,
+               NightcoreConfig config)
+      : engine_(engine), registry_(registry), config_(config) {}
+
+  sim::Task<Result<Bytes>> invoke(const std::string& fn, const Bytes& payload) override;
+  [[nodiscard]] const char* name() const override { return "nightcore"; }
+
+ private:
+  sim::Engine& engine_;
+  const rfaas::FunctionRegistry& registry_;
+  NightcoreConfig config_;
+};
+
+}  // namespace rfs::baselines

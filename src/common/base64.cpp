@@ -1,0 +1,92 @@
+#include "common/base64.hpp"
+
+#include <array>
+
+namespace rfs::base64 {
+
+namespace {
+constexpr char kAlphabet[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<std::int8_t, 256> make_reverse() {
+  std::array<std::int8_t, 256> rev{};
+  rev.fill(-1);
+  for (int i = 0; i < 64; ++i) rev[static_cast<unsigned char>(kAlphabet[i])] = static_cast<std::int8_t>(i);
+  return rev;
+}
+const std::array<std::int8_t, 256> kReverse = make_reverse();
+}  // namespace
+
+std::string encode(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve(encoded_size(data.size()));
+  std::size_t i = 0;
+  while (i + 3 <= data.size()) {
+    std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                      (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+                      static_cast<std::uint32_t>(data[i + 2]);
+    out.push_back(kAlphabet[(v >> 18) & 0x3f]);
+    out.push_back(kAlphabet[(v >> 12) & 0x3f]);
+    out.push_back(kAlphabet[(v >> 6) & 0x3f]);
+    out.push_back(kAlphabet[v & 0x3f]);
+    i += 3;
+  }
+  std::size_t rest = data.size() - i;
+  if (rest == 1) {
+    std::uint32_t v = static_cast<std::uint32_t>(data[i]) << 16;
+    out.push_back(kAlphabet[(v >> 18) & 0x3f]);
+    out.push_back(kAlphabet[(v >> 12) & 0x3f]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rest == 2) {
+    std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                      (static_cast<std::uint32_t>(data[i + 1]) << 8);
+    out.push_back(kAlphabet[(v >> 18) & 0x3f]);
+    out.push_back(kAlphabet[(v >> 12) & 0x3f]);
+    out.push_back(kAlphabet[(v >> 6) & 0x3f]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::string encode(const std::string& data) {
+  return encode(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+Result<std::vector<std::uint8_t>> decode(const std::string& text) {
+  if (text.size() % 4 != 0) {
+    return Error::make(1, "base64: length not a multiple of 4");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    int vals[4];
+    int pad = 0;
+    for (int j = 0; j < 4; ++j) {
+      char c = text[i + j];
+      if (c == '=') {
+        // Padding may only appear in the last two positions of the last group.
+        if (i + 4 != text.size() || j < 2) {
+          return Error::make(2, "base64: misplaced padding");
+        }
+        vals[j] = 0;
+        ++pad;
+      } else {
+        if (pad > 0) return Error::make(2, "base64: data after padding");
+        std::int8_t v = kReverse[static_cast<unsigned char>(c)];
+        if (v < 0) return Error::make(3, "base64: invalid character");
+        vals[j] = v;
+      }
+    }
+    std::uint32_t v = (static_cast<std::uint32_t>(vals[0]) << 18) |
+                      (static_cast<std::uint32_t>(vals[1]) << 12) |
+                      (static_cast<std::uint32_t>(vals[2]) << 6) |
+                      static_cast<std::uint32_t>(vals[3]);
+    out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+    if (pad < 2) out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+    if (pad < 1) out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  }
+  return out;
+}
+
+}  // namespace rfs::base64

@@ -1,0 +1,40 @@
+#include "common/bytes.hpp"
+
+#include <array>
+
+namespace rfs {
+
+namespace {
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+const std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  std::uint32_t c = 0xffffffffu;
+  for (std::uint8_t b : data) {
+    c = kCrcTable[(c ^ b) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+void fill_pattern(std::span<std::uint8_t> out, std::uint64_t seed) {
+  std::uint64_t x = seed * 0x9e3779b97f4a7c15ull + 0xb5297a4d3a2646c5ull;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    out[i] = static_cast<std::uint8_t>(x >> 56);
+  }
+}
+
+}  // namespace rfs

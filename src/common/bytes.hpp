@@ -1,0 +1,106 @@
+// Byte-order-safe serialization used by the wire protocols (rFaaS lease
+// messages, HTTP bodies, code submission). Little-endian on the wire.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace rfs {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Append-only byte writer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { raw(&v, 2); }
+  void u32(std::uint32_t v) { raw(&v, 4); }
+  void u64(std::uint64_t v) { raw(&v, 8); }
+  void f64(double v) { raw(&v, 8); }
+
+  /// Length-prefixed string (u32 length + raw bytes).
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+
+  /// Length-prefixed blob.
+  void blob(std::span<const std::uint8_t> b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    raw(b.data(), b.size());
+  }
+
+  /// Raw bytes, no length prefix.
+  void raw(const void* data, std::size_t n) {
+    auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  [[nodiscard]] const Bytes& bytes() const { return buf_; }
+  [[nodiscard]] Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Sequential byte reader with bounds checking.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  Result<std::uint8_t> u8() { return get<std::uint8_t>(); }
+  Result<std::uint16_t> u16() { return get<std::uint16_t>(); }
+  Result<std::uint32_t> u32() { return get<std::uint32_t>(); }
+  Result<std::uint64_t> u64() { return get<std::uint64_t>(); }
+  Result<double> f64() { return get<double>(); }
+
+  Result<std::string> str() {
+    auto len = u32();
+    if (!len) return len.error();
+    if (pos_ + len.value() > data_.size()) return Error::make(1, "ByteReader: string overrun");
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len.value());
+    pos_ += len.value();
+    return s;
+  }
+
+  Result<Bytes> blob() {
+    auto len = u32();
+    if (!len) return len.error();
+    if (pos_ + len.value() > data_.size()) return Error::make(1, "ByteReader: blob overrun");
+    Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len.value()));
+    pos_ += len.value();
+    return b;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const { return remaining() == 0; }
+
+ private:
+  template <typename T>
+  Result<T> get() {
+    if (pos_ + sizeof(T) > data_.size()) return Error::make(1, "ByteReader: overrun");
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// CRC32 (IEEE 802.3 polynomial) for payload integrity checks in tests.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+inline std::uint32_t crc32(const Bytes& b) { return crc32(std::span<const std::uint8_t>(b)); }
+
+/// Deterministic pattern fill used by tests and benches to validate
+/// that bytes were actually moved end to end (zero-copy check).
+void fill_pattern(std::span<std::uint8_t> out, std::uint64_t seed);
+
+}  // namespace rfs

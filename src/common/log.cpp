@@ -1,0 +1,31 @@
+#include "common/log.hpp"
+
+#include <atomic>
+
+namespace rfs::log {
+
+namespace {
+std::atomic<Level> g_level{Level::Warn};
+
+const char* name(Level l) {
+  switch (l) {
+    case Level::Trace: return "TRACE";
+    case Level::Debug: return "DEBUG";
+    case Level::Info: return "INFO ";
+    case Level::Warn: return "WARN ";
+    case Level::Err: return "ERROR";
+    case Level::Off: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void write(Level level, const char* component, const std::string& message) {
+  std::fprintf(stderr, "[%s] %s: %s\n", name(level), component, message.c_str());
+}
+
+}  // namespace rfs::log

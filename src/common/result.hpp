@@ -1,0 +1,82 @@
+// A small expected/Result type used for error propagation without
+// exceptions on hot simulation paths (C++ Core Guidelines E.x: prefer
+// explicit error values where exceptions are not appropriate).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace rfs {
+
+/// Error payload carried by `Result`. Keeps a machine-readable code and a
+/// human-readable message.
+struct Error {
+  int code = 0;
+  std::string message;
+
+  static Error make(int code, std::string msg) { return Error{code, std::move(msg)}; }
+};
+
+/// Minimal `expected`-style result: either a value of `T` or an `Error`.
+///
+/// Usage:
+///   Result<int> r = parse(s);
+///   if (!r) return r.error();
+///   use(r.value());
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT implicit
+  Result(Error err) : data_(std::move(err)) {}          // NOLINT implicit
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& take() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+  /// Returns the contained value or `fallback` when this holds an error.
+  [[nodiscard]] T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Specialization-free void result.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error err) : err_(std::move(err)), failed_(true) {}  // NOLINT implicit
+
+  [[nodiscard]] bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] const Error& error() const {
+    assert(failed_);
+    return err_;
+  }
+
+  static Status success() { return Status{}; }
+
+ private:
+  Error err_;
+  bool failed_ = false;
+};
+
+}  // namespace rfs

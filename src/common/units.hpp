@@ -1,0 +1,58 @@
+// Time, size and rate units used across the simulator.
+//
+// All simulated time is expressed in nanoseconds as unsigned 64-bit
+// integers (wraps after ~584 years of virtual time, which is plenty).
+// Helper literals keep call sites readable: `5_us`, `2_ms`, `1_MiB`.
+#pragma once
+
+#include <cstdint>
+
+namespace rfs {
+
+/// Virtual time in nanoseconds since simulation start.
+using Time = std::uint64_t;
+/// A span of virtual time, in nanoseconds.
+using Duration = std::uint64_t;
+
+namespace units {
+
+constexpr Duration nanoseconds(std::uint64_t v) { return v; }
+constexpr Duration microseconds(std::uint64_t v) { return v * 1'000ull; }
+constexpr Duration milliseconds(std::uint64_t v) { return v * 1'000'000ull; }
+constexpr Duration seconds(std::uint64_t v) { return v * 1'000'000'000ull; }
+
+constexpr std::uint64_t KiB(std::uint64_t v) { return v * 1024ull; }
+constexpr std::uint64_t MiB(std::uint64_t v) { return v * 1024ull * 1024ull; }
+constexpr std::uint64_t GiB(std::uint64_t v) { return v * 1024ull * 1024ull * 1024ull; }
+
+}  // namespace units
+
+inline namespace literals {
+
+constexpr Duration operator""_ns(unsigned long long v) { return v; }
+constexpr Duration operator""_us(unsigned long long v) { return v * 1'000ull; }
+constexpr Duration operator""_ms(unsigned long long v) { return v * 1'000'000ull; }
+constexpr Duration operator""_s(unsigned long long v) { return v * 1'000'000'000ull; }
+
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v * 1024ull; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v * 1024ull * 1024ull; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v << 30; }
+
+}  // namespace literals
+
+/// Converts a duration in nanoseconds to floating-point microseconds.
+constexpr double to_us(Duration d) { return static_cast<double>(d) / 1e3; }
+/// Converts a duration in nanoseconds to floating-point milliseconds.
+constexpr double to_ms(Duration d) { return static_cast<double>(d) / 1e6; }
+/// Converts a duration in nanoseconds to floating-point seconds.
+constexpr double to_s(Duration d) { return static_cast<double>(d) / 1e9; }
+
+/// Transfer time of `bytes` at `bytes_per_second`, rounded up to 1 ns.
+constexpr Duration transfer_time(std::uint64_t bytes, double bytes_per_second) {
+  if (bytes == 0 || bytes_per_second <= 0.0) return 0;
+  double ns = static_cast<double>(bytes) / bytes_per_second * 1e9;
+  auto t = static_cast<Duration>(ns);
+  return t == 0 ? 1 : t;
+}
+
+}  // namespace rfs

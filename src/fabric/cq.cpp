@@ -1,0 +1,64 @@
+#include "fabric/cq.hpp"
+
+namespace rfs::fabric {
+
+std::size_t CompletionQueue::poll(std::span<Wc> out) {
+  std::size_t n = 0;
+  while (n < out.size() && !ready_.empty()) {
+    out[n++] = ready_.front();
+    ready_.pop_front();
+  }
+  return n;
+}
+
+sim::Task<Wc> CompletionQueue::wait_polling() {
+  while (ready_.empty()) {
+    co_await arrival_.wait();
+  }
+  Wc wc = ready_.front();
+  ready_.pop_front();
+  co_return wc;
+}
+
+sim::Task<Wc> CompletionQueue::wait_blocking() {
+  while (ready_.empty()) {
+    co_await arrival_.wait();
+  }
+  // The completion channel raised an event; the sleeping thread pays the
+  // interrupt + wake-up cost before it can drain the CQ.
+  co_await sim::delay(model_.blocking_wake_latency);
+  // More completions may have arrived during the wake-up; FIFO order is
+  // preserved because we pop from the front.
+  Wc wc = ready_.front();
+  ready_.pop_front();
+  co_return wc;
+}
+
+sim::Task<std::optional<Wc>> CompletionQueue::wait_polling_until(Time deadline) {
+  // A helper timer pulses the arrival event at the deadline so the waiter
+  // re-checks; the `expired` flag distinguishes timeout from arrival. The
+  // timer checks the CQ liveness token before touching it.
+  auto expired = std::make_shared<bool>(false);
+  auto timer = [](sim::Event* ev, Time when, std::shared_ptr<bool> flag,
+                  std::weak_ptr<int> alive) -> sim::Task<void> {
+    co_await sim::delay_until(when);
+    *flag = true;
+    if (alive.lock()) ev->pulse();
+  };
+  sim::spawn(*sim::Engine::current(), timer(&arrival_, deadline, expired, alive_));
+  while (ready_.empty()) {
+    if (*expired) co_return std::nullopt;
+    co_await arrival_.wait();
+  }
+  Wc wc = ready_.front();
+  ready_.pop_front();
+  co_return wc;
+}
+
+void CompletionQueue::push(const Wc& wc) {
+  ready_.push_back(wc);
+  ++delivered_;
+  arrival_.pulse();
+}
+
+}  // namespace rfs::fabric

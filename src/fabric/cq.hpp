@@ -1,0 +1,61 @@
+// Completion queue with the two consumption modes the paper contrasts:
+//
+//   - wait_polling(): busy-poll semantics. The waiter is resumed at the
+//     exact virtual time the CQE is generated (the cost is that the
+//     calling worker occupies a CPU core while "spinning" — accounted by
+//     the caller). This is the hot-invocation path.
+//   - wait_blocking(): completion-channel semantics. The waiter is resumed
+//     `blocking_wake_latency` after CQE generation, modelling the
+//     interrupt + futex wake of ibv_get_cq_event. This is the warm path.
+#pragma once
+
+#include <deque>
+#include <span>
+
+#include "fabric/model.hpp"
+#include "fabric/verbs.hpp"
+#include "sim/sync.hpp"
+
+namespace rfs::fabric {
+
+class CompletionQueue {
+ public:
+  explicit CompletionQueue(const NetworkModel& model) : model_(model) {}
+
+  /// Non-blocking poll: copies up to out.size() completions, returns count.
+  std::size_t poll(std::span<Wc> out);
+
+  /// Busy-poll wait: resumes immediately when a CQE is (or becomes)
+  /// available. Returns the completion.
+  sim::Task<Wc> wait_polling();
+
+  /// Blocking wait: like wait_polling but adds the wake-up latency of the
+  /// completion channel before returning.
+  sim::Task<Wc> wait_blocking();
+
+  /// Busy-poll wait with a deadline: returns nullopt when no completion
+  /// arrives by `deadline`. Used for the hot->warm rollback of executor
+  /// workers ("executors can roll back to warm executions after a
+  /// configurable time without a new invocation").
+  sim::Task<std::optional<Wc>> wait_polling_until(Time deadline);
+
+  /// Pushes a completion (fabric internal).
+  void push(const Wc& wc);
+
+  [[nodiscard]] std::size_t depth() const { return ready_.size(); }
+  [[nodiscard]] bool empty() const { return ready_.empty(); }
+
+  /// Completions delivered over the CQ's lifetime.
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+
+ private:
+  const NetworkModel& model_;
+  std::deque<Wc> ready_;
+  sim::Event arrival_;
+  std::uint64_t delivered_ = 0;
+  // Liveness token: deadline timers of wait_polling_until() hold a weak
+  // reference and become no-ops once the CQ is destroyed.
+  std::shared_ptr<int> alive_ = std::make_shared<int>(0);
+};
+
+}  // namespace rfs::fabric

@@ -1,0 +1,121 @@
+// Device, protection domain and memory region objects.
+//
+// A Device models one RDMA NIC attached to a simulated host. Protection
+// domains scope memory registrations; every remote operation validates the
+// rkey, bounds and access flags of the target region exactly as a real
+// HCA would, so protection bugs in layers above surface as error CQEs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.hpp"
+#include "fabric/model.hpp"
+#include "fabric/verbs.hpp"
+#include "sim/task.hpp"
+
+namespace rfs::sim {
+class Host;
+}
+
+namespace rfs::fabric {
+
+class Fabric;
+class ProtectionDomain;
+class QueuePair;
+
+/// A registered memory region. Does not own the memory.
+class MemoryRegion {
+ public:
+  MemoryRegion(std::uint64_t addr, std::uint64_t length, std::uint32_t lkey, std::uint32_t rkey,
+               std::uint32_t access)
+      : addr_(addr), length_(length), lkey_(lkey), rkey_(rkey), access_(access) {}
+
+  [[nodiscard]] std::uint64_t addr() const { return addr_; }
+  [[nodiscard]] std::uint64_t length() const { return length_; }
+  [[nodiscard]] std::uint32_t lkey() const { return lkey_; }
+  [[nodiscard]] std::uint32_t rkey() const { return rkey_; }
+  [[nodiscard]] std::uint32_t access() const { return access_; }
+
+  /// True when [a, a+len) lies inside the region.
+  [[nodiscard]] bool contains(std::uint64_t a, std::uint64_t len) const {
+    return a >= addr_ && len <= length_ && a - addr_ <= length_ - len;
+  }
+
+ private:
+  std::uint64_t addr_;
+  std::uint64_t length_;
+  std::uint32_t lkey_;
+  std::uint32_t rkey_;
+  std::uint32_t access_;
+};
+
+/// Protection domain: a namespace of memory registrations.
+class ProtectionDomain {
+ public:
+  explicit ProtectionDomain(Fabric& fabric) : fabric_(fabric) {}
+
+  /// Registers `[base, base+length)` with the given access flags.
+  /// Zero-cost variant used by unit tests and setup code.
+  MemoryRegion* register_memory(void* base, std::uint64_t length, std::uint32_t access);
+
+  /// Registration with the pinning cost applied in virtual time; used on
+  /// the executor cold path where registration latency matters.
+  sim::Task<MemoryRegion*> register_memory_timed(void* base, std::uint64_t length,
+                                                 std::uint32_t access);
+
+  /// Invalidates a registration; later remote ops on its rkey fail.
+  void deregister(MemoryRegion* mr);
+
+  /// rkey lookup used by remote operations.
+  [[nodiscard]] MemoryRegion* find_rkey(std::uint32_t rkey) const;
+  /// lkey lookup used to validate local SGEs.
+  [[nodiscard]] MemoryRegion* find_lkey(std::uint32_t lkey) const;
+
+  [[nodiscard]] Fabric& fabric() { return fabric_; }
+
+ private:
+  Fabric& fabric_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<MemoryRegion>> by_rkey_;
+  std::unordered_map<std::uint32_t, MemoryRegion*> by_lkey_;
+};
+
+/// One NIC. Owns its protection domains and queue pairs.
+class Device {
+ public:
+  // Constructor and destructor are out of line: QueuePair is incomplete
+  // here and both ODR-use the member containers' destructors.
+  Device(Fabric& fabric, DeviceId id, std::string name, sim::Host* host);
+  ~Device();
+
+  [[nodiscard]] DeviceId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Fabric& fabric() { return fabric_; }
+  /// Host the NIC is attached to (may be null in pure-fabric tests).
+  [[nodiscard]] sim::Host* host() const { return host_; }
+
+  ProtectionDomain* alloc_pd();
+
+  /// Creates an unconnected RC queue pair.
+  QueuePair* create_qp(ProtectionDomain* pd, class CompletionQueue* send_cq,
+                       class CompletionQueue* recv_cq);
+
+  /// Destroys a QP: flushes its receive queue and fails future peers' ops.
+  void destroy_qp(QueuePair* qp);
+
+  [[nodiscard]] QueuePair* find_qp(std::uint32_t qp_num) const;
+
+ private:
+  Fabric& fabric_;
+  DeviceId id_;
+  std::string name_;
+  sim::Host* host_;
+  std::vector<std::unique_ptr<ProtectionDomain>> pds_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<QueuePair>> qps_;
+};
+
+}  // namespace rfs::fabric

@@ -1,0 +1,316 @@
+#include "fabric/qp.hpp"
+
+#include <cstring>
+
+#include "fabric/fabric.hpp"
+
+namespace rfs::fabric {
+
+void QueuePair::connect_pair(QueuePair& a, QueuePair& b) {
+  a.peer_ = &b;
+  b.peer_ = &a;
+  a.state_ = QpState::Rts;
+  b.state_ = QpState::Rts;
+}
+
+Status QueuePair::post_recv(RecvWr wr) {
+  if (state_ == QpState::Error) return Error::make(1, "post_recv on error QP");
+  if (auto st = validate_sges(wr.sge); !st) return st;
+  if (!parked_.empty()) {
+    // A delivery has been waiting for this receive (RnrPolicy::Wait).
+    Parked p = std::move(parked_.front());
+    parked_.pop_front();
+    recv_queue_.push_back(std::move(wr));
+    deliver_with_recv(p.wr, p.payload, p.arrival);
+    return Status::success();
+  }
+  recv_queue_.push_back(std::move(wr));
+  return Status::success();
+}
+
+Status QueuePair::post_send(SendWr wr) {
+  if (state_ != QpState::Rts) return Error::make(1, "post_send: QP not in RTS");
+  const auto& model = dev_.fabric().model();
+
+  std::uint64_t total = 0;
+  for (const auto& s : wr.sge) total += s.length;
+
+  switch (wr.opcode) {
+    case Opcode::Send:
+    case Opcode::SendImm:
+    case Opcode::Write:
+    case Opcode::WriteImm: {
+      if (auto st = validate_sges(wr.sge); !st) return st;
+      if (wr.inline_data && total > model.max_inline) {
+        return Error::make(2, "post_send: inline payload exceeds max_inline");
+      }
+      break;
+    }
+    case Opcode::Read: {
+      // SGEs are the local destination; they must be writable locally.
+      if (auto st = validate_sges(wr.sge); !st) return st;
+      if (wr.inline_data) return Error::make(2, "post_send: READ cannot be inlined");
+      break;
+    }
+    case Opcode::FetchAdd:
+    case Opcode::CmpSwap: {
+      if (wr.sge.size() != 1 || wr.sge[0].length != 8) {
+        return Error::make(2, "post_send: atomics need one 8-byte response SGE");
+      }
+      if (auto st = validate_sges(wr.sge); !st) return st;
+      if (wr.remote_addr % 8 != 0) {
+        return Error::make(2, "post_send: atomic target must be 8-byte aligned");
+      }
+      break;
+    }
+    default:
+      return Error::make(2, "post_send: invalid opcode");
+  }
+
+  Bytes inline_copy;
+  if (wr.inline_data) {
+    auto gathered = gather(wr.sge);
+    if (!gathered) return gathered.error();
+    inline_copy = std::move(gathered).take();
+  }
+
+  sim::spawn(dev_.fabric().engine(), run_send(std::move(wr), std::move(inline_copy)));
+  return Status::success();
+}
+
+sim::Task<void> QueuePair::run_send(SendWr wr, Bytes inline_copy) {
+  const auto& model = dev_.fabric().model();
+  auto& net = dev_.fabric().net();
+
+  // Doorbell + WQE fetch; non-inlined payloads add a PCIe DMA read.
+  Duration launch = model.post_overhead;
+  const bool is_payload_op = wr.opcode == Opcode::Send || wr.opcode == Opcode::SendImm ||
+                             wr.opcode == Opcode::Write || wr.opcode == Opcode::WriteImm;
+  if (is_payload_op && !wr.inline_data) launch += model.dma_read_latency;
+  co_await sim::delay(launch);
+
+  if (peer_ == nullptr || peer_->state_ == QpState::Error) {
+    complete_local(wr, WcStatus::RetryExceeded, 0);
+    co_return;
+  }
+  QueuePair& peer = *peer_;
+  const DeviceId src = dev_.id();
+  const DeviceId dst = peer.dev_.id();
+
+  if (wr.opcode == Opcode::FetchAdd || wr.opcode == Opcode::CmpSwap) {
+    Time delivered = net.reserve_rdma(src, dst, 8);
+    co_await sim::delay_until(delivered);
+    if (peer.state_ == QpState::Error) {
+      complete_local(wr, WcStatus::RetryExceeded, 0);
+      co_return;
+    }
+    MemoryRegion* mr = peer.pd_->find_rkey(wr.rkey);
+    if (mr == nullptr || !mr->contains(wr.remote_addr, 8) || !(mr->access() & RemoteAtomic)) {
+      complete_local(wr, WcStatus::RemoteAccessError, 0);
+      co_return;
+    }
+    co_await sim::delay(model.atomic_latency);
+    auto* target = reinterpret_cast<std::uint64_t*>(wr.remote_addr);
+    std::uint64_t original = *target;
+    if (wr.opcode == Opcode::FetchAdd) {
+      *target = original + wr.swap_or_add;
+    } else if (original == wr.compare) {
+      *target = wr.swap_or_add;
+    }
+    Time response = net.reserve_rdma(dst, src, 8);
+    co_await sim::delay_until(response);
+    std::memcpy(reinterpret_cast<void*>(wr.sge[0].addr), &original, 8);
+    co_await sim::delay(model.cqe_overhead);
+    complete_local(wr, WcStatus::Success, 8);
+    co_return;
+  }
+
+  if (wr.opcode == Opcode::Read) {
+    std::uint64_t total = 0;
+    for (const auto& s : wr.sge) total += s.length;
+    Time request_at = net.reserve_rdma(src, dst, 16);
+    co_await sim::delay_until(request_at);
+    if (peer.state_ == QpState::Error) {
+      complete_local(wr, WcStatus::RetryExceeded, 0);
+      co_return;
+    }
+    MemoryRegion* mr = peer.pd_->find_rkey(wr.rkey);
+    if (mr == nullptr || !mr->contains(wr.remote_addr, total) || !(mr->access() & RemoteRead)) {
+      complete_local(wr, WcStatus::RemoteAccessError, 0);
+      co_return;
+    }
+    Time response = net.reserve_rdma(dst, src, total);
+    co_await sim::delay_until(response);
+    // Scatter the remote bytes into the local SGE list.
+    const auto* cursor = reinterpret_cast<const std::uint8_t*>(wr.remote_addr);
+    for (const auto& s : wr.sge) {
+      std::memcpy(reinterpret_cast<void*>(s.addr), cursor, s.length);
+      cursor += s.length;
+    }
+    co_await sim::delay(model.cqe_overhead);
+    complete_local(wr, WcStatus::Success, static_cast<std::uint32_t>(total));
+    co_return;
+  }
+
+  // Payload-carrying operations: gather at DMA time (non-inlined reads the
+  // application buffer now — true zero-copy semantics).
+  Bytes payload;
+  if (wr.inline_data) {
+    payload = std::move(inline_copy);
+  } else {
+    auto gathered = gather(wr.sge);
+    if (!gathered) {
+      complete_local(wr, WcStatus::LocalProtectionError, 0);
+      co_return;
+    }
+    payload = std::move(gathered).take();
+  }
+
+  Time delivered = net.reserve_rdma(src, dst, payload.size());
+  co_await sim::delay_until(delivered);
+  if (peer.state_ == QpState::Error) {
+    complete_local(wr, WcStatus::RetryExceeded, 0);
+    co_return;
+  }
+
+  if (wr.opcode == Opcode::Write || wr.opcode == Opcode::WriteImm) {
+    MemoryRegion* mr = peer.pd_->find_rkey(wr.rkey);
+    if (mr == nullptr || !mr->contains(wr.remote_addr, payload.size()) ||
+        !(mr->access() & RemoteWrite)) {
+      complete_local(wr, WcStatus::RemoteAccessError, 0);
+      co_return;
+    }
+    std::memcpy(reinterpret_cast<void*>(wr.remote_addr), payload.data(), payload.size());
+    if (wr.opcode == Opcode::Write) {
+      co_await sim::delay(model.cqe_overhead);
+      complete_local(wr, WcStatus::Success, static_cast<std::uint32_t>(payload.size()));
+      co_return;
+    }
+  }
+
+  // Send/SendImm/WriteImm consume a receive at the target.
+  if (peer.recv_queue_.empty()) {
+    if (peer.rnr_policy_ == RnrPolicy::Wait) {
+      peer.parked_.push_back(Parked{wr, std::move(payload), dev_.fabric().engine().now()});
+      co_return;  // local completion generated on eventual delivery
+    }
+    complete_local(wr, WcStatus::RnrRetryExceeded, 0);
+    co_return;
+  }
+  peer.deliver_with_recv(wr, payload, dev_.fabric().engine().now());
+}
+
+void QueuePair::deliver_with_recv(const SendWr& wr, std::span<const std::uint8_t> payload,
+                                  Time arrival) {
+  // Runs on the *receiving* QP ("this" is the target).
+  RecvWr recv = std::move(recv_queue_.front());
+  recv_queue_.pop_front();
+  const auto& model = dev_.fabric().model();
+  (void)arrival;
+
+  Wc remote{};
+  remote.wr_id = recv.wr_id;
+  remote.qp_num = qp_num_;
+  remote.byte_len = static_cast<std::uint32_t>(payload.size());
+
+  Wc local{};
+  local.wr_id = wr.wr_id;
+  local.qp_num = peer_ != nullptr ? peer_->qp_num() : 0;
+  local.opcode = wr.opcode;
+  local.byte_len = static_cast<std::uint32_t>(payload.size());
+
+  if (wr.opcode == Opcode::Send || wr.opcode == Opcode::SendImm) {
+    std::uint64_t capacity = 0;
+    for (const auto& s : recv.sge) capacity += s.length;
+    if (payload.size() > capacity) {
+      remote.status = WcStatus::LocalProtectionError;
+      remote.opcode = Opcode::Recv;
+      local.status = WcStatus::RemoteAccessError;
+    } else {
+      const std::uint8_t* cursor = payload.data();
+      std::size_t remaining = payload.size();
+      for (const auto& s : recv.sge) {
+        std::size_t n = std::min<std::size_t>(remaining, s.length);
+        if (n == 0) break;
+        std::memcpy(reinterpret_cast<void*>(s.addr), cursor, n);
+        cursor += n;
+        remaining -= n;
+      }
+      remote.status = WcStatus::Success;
+      remote.opcode = wr.opcode == Opcode::SendImm ? Opcode::RecvImm : Opcode::Recv;
+      local.status = WcStatus::Success;
+    }
+  } else {  // WriteImm: payload already placed via rkey, receive only signals
+    remote.status = WcStatus::Success;
+    remote.opcode = Opcode::RecvImm;
+    local.status = WcStatus::Success;
+  }
+
+  if (wr.opcode == Opcode::SendImm || wr.opcode == Opcode::WriteImm) {
+    remote.imm = wr.imm;
+    remote.has_imm = true;
+  }
+
+  // CQE generation cost, then both completions become visible.
+  QueuePair* origin = peer_;
+  auto finish = [](QueuePair* target, QueuePair* origin_qp, Wc remote_wc, Wc local_wc,
+                   const SendWr wr_copy, Duration cqe) -> sim::Task<void> {
+    co_await sim::delay(cqe);
+    target->recv_cq_->push(remote_wc);
+    if (origin_qp != nullptr) {
+      if (wr_copy.signaled || local_wc.status != WcStatus::Success) {
+        origin_qp->send_cq_->push(local_wc);
+      }
+    }
+  };
+  sim::spawn(dev_.fabric().engine(), finish(this, origin, remote, local, wr, model.cqe_overhead));
+}
+
+void QueuePair::complete_local(const SendWr& wr, WcStatus status, std::uint32_t byte_len) {
+  if (!wr.signaled && status == WcStatus::Success) return;
+  Wc wc{};
+  wc.wr_id = wr.wr_id;
+  wc.status = status;
+  wc.opcode = wr.opcode;
+  wc.byte_len = byte_len;
+  wc.qp_num = qp_num_;
+  send_cq_->push(wc);
+}
+
+Result<Bytes> QueuePair::gather(const std::vector<Sge>& sge) const {
+  Bytes out;
+  std::uint64_t total = 0;
+  for (const auto& s : sge) total += s.length;
+  out.reserve(total);
+  for (const auto& s : sge) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(s.addr);
+    out.insert(out.end(), p, p + s.length);
+  }
+  return out;
+}
+
+Status QueuePair::validate_sges(const std::vector<Sge>& sge) const {
+  for (const auto& s : sge) {
+    MemoryRegion* mr = pd_->find_lkey(s.lkey);
+    if (mr == nullptr) return Error::make(3, "invalid lkey");
+    if (!mr->contains(s.addr, s.length)) return Error::make(3, "SGE outside memory region");
+  }
+  return Status::success();
+}
+
+void QueuePair::set_error() {
+  if (state_ == QpState::Error) return;
+  state_ = QpState::Error;
+  while (!recv_queue_.empty()) {
+    Wc wc{};
+    wc.wr_id = recv_queue_.front().wr_id;
+    wc.status = WcStatus::FlushError;
+    wc.opcode = Opcode::Recv;
+    wc.qp_num = qp_num_;
+    recv_cq_->push(wc);
+    recv_queue_.pop_front();
+  }
+  parked_.clear();
+}
+
+}  // namespace rfs::fabric

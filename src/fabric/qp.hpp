@@ -1,0 +1,90 @@
+// Reliable-connected queue pair.
+//
+// post_send validates the request and schedules a detached fabric task
+// that moves real bytes at the modelled time: payload serialization on the
+// switch links, DMA-read cost for non-inlined data, CQE generation delay.
+// Remote operations check rkey/bounds/access and fail with error CQEs on
+// violation, so the protection model is enforced, not assumed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "fabric/cq.hpp"
+#include "fabric/device.hpp"
+#include "fabric/verbs.hpp"
+
+namespace rfs::fabric {
+
+enum class QpState : std::uint8_t { Reset, Rts, Error };
+
+/// Behaviour when a Send/WriteImm arrives and no receive is posted.
+enum class RnrPolicy : std::uint8_t {
+  Error,  // sender gets RnrRetryExceeded (rnr_retry exhausted)
+  Wait,   // delivery parks until a receive is posted (infinite rnr_retry)
+};
+
+class QueuePair {
+ public:
+  QueuePair(Device& dev, std::uint32_t qp_num, ProtectionDomain* pd, CompletionQueue* send_cq,
+            CompletionQueue* recv_cq)
+      : dev_(dev), qp_num_(qp_num), pd_(pd), send_cq_(send_cq), recv_cq_(recv_cq) {}
+
+  [[nodiscard]] std::uint32_t qp_num() const { return qp_num_; }
+  [[nodiscard]] QpState state() const { return state_; }
+  [[nodiscard]] Device& device() { return dev_; }
+  [[nodiscard]] ProtectionDomain* pd() { return pd_; }
+  [[nodiscard]] CompletionQueue* send_cq() { return send_cq_; }
+  [[nodiscard]] CompletionQueue* recv_cq() { return recv_cq_; }
+  [[nodiscard]] QueuePair* peer() { return peer_; }
+
+  void set_rnr_policy(RnrPolicy p) { rnr_policy_ = p; }
+
+  /// Connects this QP to `remote` (both transition to RTS). The
+  /// ConnectionManager performs the out-of-band exchange; tests may call
+  /// this directly.
+  static void connect_pair(QueuePair& a, QueuePair& b);
+
+  /// Posts a receive work request.
+  Status post_recv(RecvWr wr);
+
+  /// Posts a send-side work request. Validation errors (bad state, bad
+  /// lkey, oversized inline) are returned synchronously; transport and
+  /// remote-protection errors arrive as error CQEs.
+  Status post_send(SendWr wr);
+
+  /// Transitions to the error state, flushing posted receives.
+  void set_error();
+
+  [[nodiscard]] std::size_t recv_queue_depth() const { return recv_queue_.size(); }
+
+ private:
+  struct Parked {
+    SendWr wr;
+    Bytes payload;   // gathered at delivery time
+    Time arrival;
+  };
+
+  sim::Task<void> run_send(SendWr wr, Bytes inline_copy);
+  void deliver_with_recv(const SendWr& wr, std::span<const std::uint8_t> payload, Time arrival);
+  void complete_local(const SendWr& wr, WcStatus status, std::uint32_t byte_len);
+  [[nodiscard]] Result<Bytes> gather(const std::vector<Sge>& sge) const;
+  [[nodiscard]] Status validate_sges(const std::vector<Sge>& sge) const;
+
+  Device& dev_;
+  std::uint32_t qp_num_;
+  ProtectionDomain* pd_;
+  CompletionQueue* send_cq_;
+  CompletionQueue* recv_cq_;
+  QueuePair* peer_ = nullptr;
+  QpState state_ = QpState::Reset;
+  RnrPolicy rnr_policy_ = RnrPolicy::Error;
+  std::deque<RecvWr> recv_queue_;
+  std::deque<Parked> parked_;  // deliveries waiting for a receive (RnrPolicy::Wait)
+
+  friend class Device;
+};
+
+}  // namespace rfs::fabric

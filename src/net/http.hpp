@@ -1,0 +1,46 @@
+// Minimal HTTP/1.1 message model with real text serialization/parsing.
+// The cloud baselines (AWS Lambda gateway, OpenWhisk API gateway) exchange
+// genuine HTTP messages over the TCP transport, so header overheads and
+// base64 body inflation are measured, not assumed.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "net/tcp.hpp"
+
+namespace rfs::net {
+
+struct HttpRequest {
+  std::string method = "POST";
+  std::string path = "/";
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  [[nodiscard]] Bytes serialize() const;
+  static Result<HttpRequest> parse(const Bytes& raw);
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  [[nodiscard]] Bytes serialize() const;
+  static Result<HttpResponse> parse(const Bytes& raw);
+
+  [[nodiscard]] bool ok() const { return status >= 200 && status < 300; }
+};
+
+/// Sends the request on `stream` and awaits the response.
+sim::Task<Result<HttpResponse>> http_roundtrip(TcpStream& stream, const HttpRequest& request);
+
+/// Reads one request from `stream`; nullopt when the peer closed.
+sim::Task<std::optional<HttpRequest>> http_read_request(TcpStream& stream);
+
+/// Writes a response to `stream`.
+void http_write_response(TcpStream& stream, const HttpResponse& response);
+
+}  // namespace rfs::net

@@ -1,0 +1,66 @@
+#include "net/tcp.hpp"
+
+namespace rfs::net {
+
+void TcpStream::send(Bytes message) {
+  if (closed_ || !peer_) return;
+  sim::spawn(net_.engine(), deliver(peer_, std::move(message)));
+}
+
+sim::Task<void> TcpStream::deliver(std::shared_ptr<TcpStream> peer, Bytes message) {
+  const auto& model = net_.model();
+  // Sender-side stack traversal (syscall, segmentation, checksum).
+  co_await sim::delay(model.tcp_stack_latency);
+  Time arrival = net_.link().reserve_tcp(local_, remote_, message.size());
+  co_await sim::delay_until(arrival);
+  // Receiver-side stack traversal (interrupt, reassembly, socket wake-up).
+  co_await sim::delay(model.tcp_stack_latency);
+  if (!peer->closed_) peer->inbox_.send(std::move(message));
+}
+
+sim::Task<std::optional<Bytes>> TcpStream::recv() {
+  auto item = co_await inbox_.recv();
+  co_return item;
+}
+
+void TcpStream::close() {
+  if (closed_) return;
+  closed_ = true;
+  inbox_.close();
+  if (peer_ && !peer_->closed_) {
+    peer_->inbox_.close();
+    peer_->closed_ = true;
+  }
+}
+
+sim::Task<std::shared_ptr<TcpStream>> TcpListener::accept() {
+  auto item = co_await pending_.recv();
+  co_return item ? *item : nullptr;
+}
+
+TcpListener& TcpNetwork::listen(fabric::DeviceId dev, std::uint16_t port) {
+  auto key = std::make_pair(dev, port);
+  auto [it, inserted] = listeners_.try_emplace(key, std::make_unique<TcpListener>());
+  if (!inserted && it->second->pending_.closed()) {
+    it->second = std::make_unique<TcpListener>();
+  }
+  return *it->second;
+}
+
+sim::Task<Result<std::shared_ptr<TcpStream>>> TcpNetwork::connect(fabric::DeviceId from,
+                                                                  fabric::DeviceId to,
+                                                                  std::uint16_t port) {
+  co_await sim::delay(model().tcp_connect_latency);
+  auto it = listeners_.find(std::make_pair(to, port));
+  if (it == listeners_.end() || it->second->pending_.closed()) {
+    co_return Error::make(11, "tcp: connection refused");
+  }
+  auto client = std::shared_ptr<TcpStream>(new TcpStream(*this, from, to));
+  auto server = std::shared_ptr<TcpStream>(new TcpStream(*this, to, from));
+  client->peer_ = server;
+  server->peer_ = client;
+  it->second->pending_.send(server);
+  co_return client;
+}
+
+}  // namespace rfs::net

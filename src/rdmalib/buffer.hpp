@@ -1,0 +1,136 @@
+// Typed, page-aligned, registrable memory buffers — the `rfaas::buffer`
+// of the paper's programming model (Listing 2). Buffers are page-aligned
+// "to achieve the highest bandwidth on RDMA" and can reserve a header
+// region in front of the payload: the rFaaS input buffer carries a
+// twelve-byte header with the client's result-buffer address and rkey.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <span>
+
+#include "common/result.hpp"
+#include "fabric/device.hpp"
+#include "fabric/verbs.hpp"
+
+namespace rfs::rdmalib {
+
+/// Remote-buffer descriptor exchanged out of band or inside headers.
+struct RemoteBuffer {
+  std::uint64_t addr = 0;
+  std::uint32_t rkey = 0;
+  std::uint32_t length = 0;
+};
+
+template <typename T>
+class Buffer {
+ public:
+  static constexpr std::size_t kPageSize = 4096;
+
+  /// Allocates a page-aligned buffer for `count` elements of T preceded
+  /// by `header_bytes` of header space.
+  explicit Buffer(std::size_t count, std::size_t header_bytes = 0)
+      : count_(count), header_bytes_(header_bytes) {
+    std::size_t raw = header_bytes_ + count_ * sizeof(T);
+    std::size_t rounded = (raw + kPageSize - 1) / kPageSize * kPageSize;
+    if (rounded == 0) rounded = kPageSize;
+    mem_.reset(static_cast<std::uint8_t*>(std::aligned_alloc(kPageSize, rounded)));
+    raw_size_ = raw;
+    std::memset(mem_.get(), 0, rounded);
+  }
+
+  Buffer(Buffer&&) noexcept = default;
+  Buffer& operator=(Buffer&&) noexcept = default;
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  /// Payload pointer (past the header).
+  [[nodiscard]] T* data() { return reinterpret_cast<T*>(mem_.get() + header_bytes_); }
+  [[nodiscard]] const T* data() const {
+    return reinterpret_cast<const T*>(mem_.get() + header_bytes_);
+  }
+  [[nodiscard]] T& operator[](std::size_t i) { return data()[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data()[i]; }
+
+  /// Element count of the payload.
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] std::size_t payload_bytes() const { return count_ * sizeof(T); }
+
+  /// Header region (may be empty).
+  [[nodiscard]] std::uint8_t* header() { return mem_.get(); }
+  [[nodiscard]] std::size_t header_bytes() const { return header_bytes_; }
+
+  /// Raw region: header followed by payload.
+  [[nodiscard]] std::uint8_t* raw() { return mem_.get(); }
+  [[nodiscard]] const std::uint8_t* raw() const { return mem_.get(); }
+  [[nodiscard]] std::size_t raw_bytes() const { return raw_size_; }
+
+  [[nodiscard]] std::span<T> span() { return {data(), count_}; }
+  [[nodiscard]] std::span<const T> span() const { return {data(), count_}; }
+
+  /// Registers the raw region (header + payload) with `pd`.
+  Status register_memory(fabric::ProtectionDomain& pd, std::uint32_t access) {
+    mr_ = pd.register_memory(mem_.get(), raw_size_, access);
+    pd_ = &pd;
+    return Status::success();
+  }
+
+  /// Registration with virtual-time pinning cost (cold paths).
+  sim::Task<Status> register_memory_timed(fabric::ProtectionDomain& pd, std::uint32_t access) {
+    mr_ = co_await pd.register_memory_timed(mem_.get(), raw_size_, access);
+    pd_ = &pd;
+    co_return Status::success();
+  }
+
+  void deregister() {
+    if (pd_ != nullptr && mr_ != nullptr) pd_->deregister(mr_);
+    mr_ = nullptr;
+  }
+
+  [[nodiscard]] fabric::MemoryRegion* mr() const { return mr_; }
+  [[nodiscard]] bool registered() const { return mr_ != nullptr; }
+
+  /// SGE covering header + the first `bytes` of payload (default all).
+  [[nodiscard]] fabric::Sge sge_with_header(std::size_t payload_len_bytes) const {
+    return fabric::Sge{reinterpret_cast<std::uint64_t>(mem_.get()),
+                       static_cast<std::uint32_t>(header_bytes_ + payload_len_bytes),
+                       mr_ != nullptr ? mr_->lkey() : 0};
+  }
+
+  /// SGE covering the first `bytes` of payload only.
+  [[nodiscard]] fabric::Sge sge_data(std::size_t payload_len_bytes) const {
+    return fabric::Sge{reinterpret_cast<std::uint64_t>(mem_.get() + header_bytes_),
+                       static_cast<std::uint32_t>(payload_len_bytes),
+                       mr_ != nullptr ? mr_->lkey() : 0};
+  }
+
+  [[nodiscard]] fabric::Sge sge() const { return sge_with_header(payload_bytes()); }
+
+  /// Descriptor of the raw region for remote writes into this buffer.
+  [[nodiscard]] RemoteBuffer remote() const {
+    return RemoteBuffer{reinterpret_cast<std::uint64_t>(mem_.get()),
+                        mr_ != nullptr ? mr_->rkey() : 0,
+                        static_cast<std::uint32_t>(raw_size_)};
+  }
+
+  /// Descriptor of the payload region only.
+  [[nodiscard]] RemoteBuffer remote_data() const {
+    return RemoteBuffer{reinterpret_cast<std::uint64_t>(mem_.get() + header_bytes_),
+                        mr_ != nullptr ? mr_->rkey() : 0,
+                        static_cast<std::uint32_t>(payload_bytes())};
+  }
+
+ private:
+  struct FreeDeleter {
+    void operator()(std::uint8_t* p) const { std::free(p); }
+  };
+  std::unique_ptr<std::uint8_t, FreeDeleter> mem_;
+  std::size_t count_;
+  std::size_t header_bytes_;
+  std::size_t raw_size_ = 0;
+  fabric::MemoryRegion* mr_ = nullptr;
+  fabric::ProtectionDomain* pd_ = nullptr;
+};
+
+}  // namespace rfs::rdmalib

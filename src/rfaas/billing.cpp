@@ -1,0 +1,33 @@
+#include "rfaas/billing.hpp"
+
+namespace rfs::rfaas {
+
+BillingDatabase::BillingDatabase(fabric::ProtectionDomain& pd)
+    : counters_(kMaxTenants * kCountersPerTenant) {
+  (void)counters_.register_memory(pd, fabric::RemoteAtomic | fabric::LocalWrite);
+}
+
+rdmalib::RemoteBuffer BillingDatabase::tenant_slot(std::uint32_t client_id) const {
+  std::uint32_t tenant = client_id % kMaxTenants;
+  const auto* base = counters_.data() + tenant * kCountersPerTenant;
+  return rdmalib::RemoteBuffer{reinterpret_cast<std::uint64_t>(base),
+                               counters_.mr() != nullptr ? counters_.mr()->rkey() : 0,
+                               kCountersPerTenant * 8};
+}
+
+TenantUsage BillingDatabase::usage(std::uint32_t client_id) const {
+  std::uint32_t tenant = client_id % kMaxTenants;
+  const auto* base = counters_.data() + tenant * kCountersPerTenant;
+  return TenantUsage{base[0], base[1], base[2]};
+}
+
+double BillingDatabase::cost(std::uint32_t client_id, const BillingRates& rates) const {
+  TenantUsage u = usage(client_id);
+  double gb_s = static_cast<double>(u.allocation_mib_ms) / 1024.0 / 1e3;
+  double compute_s = static_cast<double>(u.compute_ns) / 1e9;
+  double hot_s = static_cast<double>(u.hot_poll_ns) / 1e9;
+  return rates.allocation_per_gb_s * gb_s + rates.compute_per_s * compute_s +
+         rates.hot_poll_per_s * hot_s;
+}
+
+}  // namespace rfs::rfaas

@@ -1,0 +1,51 @@
+// Billing database (Sec. IV-C).
+//
+// "The billing procedure is implemented in a global database associated
+// with the resource manager using RDMA atomic fetch-and-add operations,
+// providing lightweight allocators with an RDMA-native way of
+// accumulating cost results."
+//
+// The database is an RDMA-registered array of per-tenant counters; each
+// executor manager receives the remote address + rkey of the tenant slots
+// and flushes accumulated deltas with FetchAdd work requests. The total
+// cost is C = Ca*ta + Cc*tc + Ch*th.
+#pragma once
+
+#include <cstdint>
+
+#include "rdmalib/buffer.hpp"
+#include "rfaas/config.hpp"
+
+namespace rfs::rfaas {
+
+/// Per-tenant accumulators. Units chosen to fit u64 comfortably:
+///   allocation: MiB * milliseconds, compute/hot-poll: nanoseconds.
+struct TenantUsage {
+  std::uint64_t allocation_mib_ms = 0;
+  std::uint64_t compute_ns = 0;
+  std::uint64_t hot_poll_ns = 0;
+};
+
+class BillingDatabase {
+ public:
+  static constexpr std::uint32_t kMaxTenants = 256;
+  static constexpr std::uint32_t kCountersPerTenant = 3;
+
+  explicit BillingDatabase(fabric::ProtectionDomain& pd);
+
+  /// Remote descriptor of tenant `client_id`'s three counters; handed to
+  /// executor managers so they can FetchAdd into them.
+  [[nodiscard]] rdmalib::RemoteBuffer tenant_slot(std::uint32_t client_id) const;
+
+  /// Local read of a tenant's accumulated usage.
+  [[nodiscard]] TenantUsage usage(std::uint32_t client_id) const;
+
+  /// Total cost in currency units under the given rates:
+  /// C = Ca*ta + Cc*tc + Ch*th.
+  [[nodiscard]] double cost(std::uint32_t client_id, const BillingRates& rates) const;
+
+ private:
+  rdmalib::Buffer<std::uint64_t> counters_;
+};
+
+}  // namespace rfs::rfaas

@@ -1,0 +1,116 @@
+// rFaaS platform configuration: calibration constants for invocation
+// overheads, sandbox models and billing rates. Defaults reproduce the
+// paper's measured values (Sec. V-A, Fig. 9, Sec. IV-C); see DESIGN.md §5.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "fabric/model.hpp"
+
+namespace rfs::rfaas {
+
+/// Sandbox/isolation technology of a user-code executor.
+enum class SandboxType : std::uint8_t {
+  BareMetal,  // plain Linux process
+  Docker,     // container with SR-IOV virtual function passthrough
+};
+
+const char* to_string(SandboxType t);
+
+/// Cost model of one sandbox technology.
+struct SandboxModel {
+  /// Creating the sandbox + starting the executor process. The paper
+  /// measures ~25 ms bare-metal and ~2.7 s for Docker with SR-IOV.
+  Duration spawn_latency = 25_ms;
+
+  /// Extra per-invocation latency on the critical path caused by the
+  /// virtualized NIC (measured: +50 ns hot, +650 ns warm for Docker).
+  Duration hot_invocation_overhead = 0;
+  Duration warm_invocation_overhead = 0;
+
+  /// Relative slowdown of user code inside the sandbox (cgroups, seccomp,
+  /// virtual memory overheads); Fig. 11 shows ~1.7x for the Docker
+  /// thumbnailer and ~1.05x for inference.
+  double compute_multiplier = 1.0;
+};
+
+/// Billing rates of the three cost components (Sec. IV-C):
+/// C = Ca * ta + Cc * tc + Ch * th.
+struct BillingRates {
+  double allocation_per_gb_s = 0.15e-4;  // Ca: memory reservation, per GB-second
+  double compute_per_s = 0.45e-4;        // Cc: busy execution, per core-second
+  double hot_poll_per_s = 0.30e-4;       // Ch: hot polling occupancy, per core-second
+};
+
+struct Config {
+  fabric::NetworkModel network{};
+
+  /// Executor-side dispatch: parse the 12 B header, look up the function
+  /// index, call through the trampoline. Calibrated so that a hot no-op
+  /// invocation costs ~326 ns over the raw RDMA round trip.
+  Duration executor_dispatch = 170;
+
+  /// Client-side completion handling: match the immediate value to the
+  /// pending invocation and flip the future.
+  Duration client_completion = 150;
+
+  /// Warm path only: re-arming the completion channel and transitioning
+  /// the worker thread in/out of the blocked state.
+  Duration warm_rearm = 1200;
+
+  /// Warm path only: the single local RDMA communication between the user
+  /// code executor and its allocator that verifies resource status.
+  Duration warm_resource_check = 900;
+
+  /// Time a hot worker keeps busy-polling before rolling back to warm.
+  Duration hot_polling_timeout = 500_ms;
+
+  /// Worker thread creation + core pinning during cold start.
+  Duration worker_spawn = 180_us;
+
+  /// Code package instantiation after transfer (dlopen + relocations).
+  Duration code_install_base = 800_us;
+  Duration code_install_per_kb = 4_us;
+
+  /// Executor manager processing of an allocation request.
+  Duration allocation_processing = 350_us;
+
+  /// Resource manager lease decision processing.
+  Duration lease_processing = 120_us;
+
+  /// Receive buffer size of each worker (bounds the max payload).
+  std::uint64_t worker_buffer_bytes = 8_MiB;
+
+  /// Output buffer size of each worker; 0 means "same as the receive
+  /// buffer". Benches with asymmetric payloads (large in, small out) use
+  /// this to keep the simulation's real memory footprint bounded.
+  std::uint64_t worker_out_buffer_bytes = 0;
+
+  /// Heartbeat period of the resource manager.
+  Duration heartbeat_period = 1_s;
+
+  /// Lease oversubscription: the resource manager hands out up to
+  /// cores * factor worker leases per executor. "Large amounts of free
+  /// memory can be used to retain more warm sandboxes than available CPU
+  /// cores" (Sec. III-D); warm invocations are rejected when the cores
+  /// are actually busy.
+  double lease_oversubscription = 1.0;
+
+  /// Idle executor reaping threshold of the lightweight allocator.
+  Duration executor_idle_timeout = 60_s;
+
+  /// How often executor managers flush accounting to the billing DB.
+  Duration billing_flush_period = 2_s;
+
+  SandboxModel bare_metal{};
+  SandboxModel docker{2700_ms, 50, 650, 1.7};
+
+  BillingRates billing{};
+
+  [[nodiscard]] const SandboxModel& sandbox(SandboxType t) const {
+    return t == SandboxType::Docker ? docker : bare_metal;
+  }
+};
+
+}  // namespace rfs::rfaas

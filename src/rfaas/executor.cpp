@@ -1,0 +1,544 @@
+#include "rfaas/executor.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace rfs::rfaas {
+
+// ---------------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------------
+
+Worker::Worker(ExecutorManager& mgr, Sandbox& sandbox, std::uint32_t index)
+    : mgr_(mgr), sandbox_(sandbox), index_(index) {}
+
+sim::Task<void> Worker::init() {
+  // The executor process "accesses the selected RDMA device, registers
+  // memory buffers, and creates worker threads pinned to assigned cores"
+  // (Sec. III-C, cold invocations).
+  pd_ = mgr_.device_.alloc_pd();
+  const std::uint64_t out_bytes = mgr_.config_.worker_out_buffer_bytes > 0
+                                      ? mgr_.config_.worker_out_buffer_bytes
+                                      : mgr_.config_.worker_buffer_bytes;
+  recv_buf_ = std::make_unique<rdmalib::Buffer<std::uint8_t>>(mgr_.config_.worker_buffer_bytes);
+  out_buf_ = std::make_unique<rdmalib::Buffer<std::uint8_t>>(out_bytes);
+  co_await recv_buf_->register_memory_timed(*pd_, fabric::RemoteWrite | fabric::LocalWrite);
+  co_await out_buf_->register_memory_timed(*pd_, fabric::LocalWrite);
+  co_await sim::delay(mgr_.config_.worker_spawn);
+  sim::spawn(mgr_.engine_, run());
+}
+
+void Worker::attach_connection(std::unique_ptr<rdmalib::Connection> conn) {
+  conn_ = std::move(conn);
+  // Client writes may arrive marginally before the first receive is
+  // posted; infinite RNR retry parks them instead of erroring.
+  conn_->qp()->set_rnr_policy(fabric::RnrPolicy::Wait);
+  connected_.set();
+}
+
+void Worker::stop() {
+  running_ = false;
+  connected_.set();
+  if (conn_) conn_->close();
+}
+
+void Worker::post_receive() {
+  // WRITE_WITH_IMM places the data via the rkey; the receive work request
+  // only carries the completion event, so it needs no scatter list.
+  (void)conn_->post_recv_empty(served_ + 1);
+}
+
+void Worker::release_core_if_held() {
+  if (holds_core_) {
+    mgr_.host_.release_core();
+    holds_core_ = false;
+  }
+}
+
+sim::Task<void> Worker::run() {
+  co_await connected_.wait();
+  if (running_ && conn_ != nullptr) {
+    post_receive();
+    if (sandbox_.policy == InvocationPolicy::HotAlways) {
+      co_await mgr_.host_.acquire_core();
+      holds_core_ = true;
+      hot_ = true;
+    }
+    const Duration hot_timeout =
+        sandbox_.hot_timeout > 0 ? sandbox_.hot_timeout : mgr_.config_.hot_polling_timeout;
+
+    while (running_) {
+      if (hot_) {
+        // Hot: busy-poll the CQ; the core stays occupied and the polling
+        // time is billed as Ch.
+        const Time poll_start = mgr_.engine_.now();
+        auto wc = co_await conn_->recv_cq().wait_polling_until(poll_start + hot_timeout);
+        const Duration polled = mgr_.engine_.now() - poll_start;
+        mgr_.account_hot_poll(sandbox_.client_id, polled);
+        mgr_.host_.note_busy(polled);
+        if (!running_) break;
+        if (!wc.has_value()) {
+          // Roll back to warm after the configured silence (Sec. III-C).
+          if (sandbox_.policy == InvocationPolicy::Adaptive) {
+            release_core_if_held();
+            hot_ = false;
+          }
+          continue;
+        }
+        if (wc->status != fabric::WcStatus::Success) break;
+        co_await execute_and_reply(*wc, true);
+      } else {
+        // Warm: block on the completion channel; pay wake-up + re-arm and
+        // the local resource check with the allocator, then acquire the
+        // core (rejecting under oversubscription, Fig. 6).
+        auto wc = co_await conn_->wait_recv_blocking();
+        if (!running_) break;
+        if (wc.status != fabric::WcStatus::Success) break;
+        co_await sim::delay(mgr_.config_.warm_rearm + mgr_.config_.warm_resource_check);
+        holds_core_ = mgr_.host_.try_acquire_core();
+        co_await execute_and_reply(wc, false);
+        if (holds_core_) {
+          if (sandbox_.policy == InvocationPolicy::Adaptive) {
+            hot_ = true;  // enter hot polling on the held core
+          } else {
+            release_core_if_held();
+          }
+        }
+      }
+    }
+  }
+  release_core_if_held();
+  done_.set();
+}
+
+sim::Task<void> Worker::execute_and_reply(const fabric::Wc& wc, bool hot) {
+  sandbox_.last_invocation = mgr_.engine_.now();
+  const auto& sb_model = mgr_.config_.sandbox(sandbox_.type);
+  const std::uint32_t invocation_id = Imm::invocation_id(wc.imm);
+  const std::uint16_t fn_index = Imm::fn_index(wc.imm);
+  const CodePackage* code =
+      fn_index < sandbox_.codes.size() ? sandbox_.codes[fn_index] : nullptr;
+  const bool rejected = !hot && !holds_core_;
+
+  // Dispatch: header parse + function lookup (+ virtualized NIC cost).
+  const Duration dispatch =
+      mgr_.config_.executor_dispatch +
+      (hot ? sb_model.hot_invocation_overhead : sb_model.warm_invocation_overhead);
+  co_await sim::delay(dispatch);
+
+  const auto header = InvocationHeader::unpack(recv_buf_->raw());
+  const std::uint32_t input_size =
+      wc.byte_len >= InvocationHeader::kSize
+          ? wc.byte_len - static_cast<std::uint32_t>(InvocationHeader::kSize)
+          : 0;
+
+  std::uint32_t out_len = 0;
+  if (!rejected && code != nullptr) {
+    const CodePackage& pkg = *code;
+    // Run the real user code on the real bytes...
+    out_len = pkg.entry(recv_buf_->raw() + InvocationHeader::kSize, input_size, out_buf_->raw());
+    // ...and charge its modelled duration in virtual time.
+    double multiplier = 1.0;
+    if (sandbox_.type == SandboxType::Docker) {
+      multiplier = pkg.docker_compute_multiplier > 0.0 ? pkg.docker_compute_multiplier
+                                                       : sb_model.compute_multiplier;
+    }
+    const auto compute = static_cast<Duration>(
+        static_cast<double>(pkg.compute_time(input_size)) * multiplier);
+    if (compute > 0) co_await mgr_.host_.compute_on_held_core(compute);
+    mgr_.account_compute(sandbox_.client_id, compute + dispatch);
+    ++served_;
+  } else {
+    ++rejected_;
+  }
+
+  // Re-post the receive before replying so the next request finds it.
+  post_receive();
+
+  // Write the result (or the rejection notice) directly into the client's
+  // memory using the header's address and access key.
+  rdmalib::RemoteBuffer dst{header.result_addr, header.result_rkey, out_len};
+  const std::uint32_t imm = Imm::result(invocation_id, rejected || code == nullptr);
+  const bool inline_ok = out_len <= mgr_.fabric_.model().max_inline;
+  auto st = conn_->post_write_imm(out_buf_->sge_data(out_len), dst, imm, invocation_id,
+                                  inline_ok);
+  if (!st.ok()) {
+    log::warn("worker", "result write failed: ", st.error().message);
+    co_return;
+  }
+  auto send_wc = co_await conn_->wait_send_polling();
+  if (send_wc.status != fabric::WcStatus::Success) {
+    log::debug("worker", "result delivery failed: ", to_string(send_wc.status));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ExecutorManager
+// ---------------------------------------------------------------------------
+
+ExecutorManager::ExecutorManager(sim::Engine& engine, fabric::Fabric& fabric,
+                                 net::TcpNetwork& tcp, sim::Host& host, fabric::Device& device,
+                                 Config config, const FunctionRegistry& registry)
+    : engine_(engine),
+      fabric_(fabric),
+      tcp_(tcp),
+      host_(host),
+      device_(device),
+      config_(std::move(config)),
+      registry_(registry) {
+  pd_ = device_.alloc_pd();
+  billing_scratch_ = std::make_unique<rdmalib::Buffer<std::uint64_t>>(8);
+  (void)billing_scratch_->register_memory(*pd_, fabric::LocalWrite);
+}
+
+void ExecutorManager::start(fabric::DeviceId rm_device, std::uint16_t rm_port) {
+  alive_ = true;
+  sim::spawn(engine_, run_alloc_server());
+  sim::spawn(engine_, run_rdma_accept());
+  sim::spawn(engine_, register_with_rm(rm_device, rm_port));
+  sim::spawn(engine_, billing_flush_loop());
+  sim::spawn(engine_, reaper_loop());
+}
+
+void ExecutorManager::stop(bool crash) {
+  alive_ = false;
+  std::vector<std::uint64_t> ids;
+  for (auto& [id, sb] : sandboxes_) ids.push_back(id);
+  for (auto id : ids) {
+    auto it = sandboxes_.find(id);
+    if (it == sandboxes_.end()) continue;
+    Sandbox& sb = *it->second;
+    sb.dead = true;
+    for (auto& w : sb.workers) w->stop();
+    graveyard_.push_back(std::move(it->second));
+    sandboxes_.erase(it);
+  }
+  if (rm_stream_) rm_stream_->close();
+  (void)crash;  // a graceful stop and a crash differ only in notifications,
+                // which stop sending either way once alive_ is false
+}
+
+std::size_t ExecutorManager::live_sandboxes() const {
+  std::size_t n = 0;
+  for (const auto& [id, sb] : sandboxes_) {
+    if (!sb->dead) ++n;
+  }
+  return n;
+}
+
+Sandbox* ExecutorManager::find_sandbox(std::uint64_t id) {
+  auto it = sandboxes_.find(id);
+  return it == sandboxes_.end() ? nullptr : it->second.get();
+}
+
+void ExecutorManager::account_compute(std::uint32_t client_id, Duration d) {
+  pending_usage_[client_id].compute_ns += d;
+}
+
+void ExecutorManager::account_hot_poll(std::uint32_t client_id, Duration d) {
+  pending_usage_[client_id].hot_poll_ns += d;
+}
+
+void ExecutorManager::account_allocation(std::uint32_t client_id, std::uint64_t mib_ms) {
+  pending_usage_[client_id].allocation_mib_ms += mib_ms;
+}
+
+sim::Task<void> ExecutorManager::run_alloc_server() {
+  auto& listener = tcp_.listen(device_.id(), alloc_port_);
+  while (alive_) {
+    auto stream = co_await listener.accept();
+    if (stream == nullptr) break;
+    sim::spawn(engine_, handle_stream(std::move(stream)));
+  }
+}
+
+sim::Task<void> ExecutorManager::handle_stream(std::shared_ptr<net::TcpStream> stream) {
+  while (alive_) {
+    auto raw = co_await stream->recv();
+    if (!raw.has_value()) break;
+    auto type = peek_type(*raw);
+    if (!type) {
+      stream->send(encode_lease_error("malformed message"));
+      continue;
+    }
+    switch (type.value()) {
+      case MsgType::AllocationRequest: {
+        auto req = decode_allocation_request(*raw);
+        if (!req) {
+          stream->send(encode_lease_error(req.error().message));
+          break;
+        }
+        auto reply = co_await allocate_sandbox(req.value());
+        stream->send(encode(reply));
+        break;
+      }
+      case MsgType::SubmitCode: {
+        auto req = decode_submit_code(*raw);
+        if (!req) {
+          stream->send(encode_lease_error(req.error().message));
+          break;
+        }
+        Sandbox* sb = find_sandbox(req.value().sandbox_id);
+        if (sb == nullptr || sb->dead) {
+          stream->send(encode_lease_error("unknown sandbox"));
+          break;
+        }
+        auto pkg = registry_.find(req.value().function_name);
+        if (!pkg) {
+          stream->send(encode_lease_error(pkg.error().message));
+          break;
+        }
+        // Install the shipped library: dlopen + relocation cost scales
+        // with the code size (which already paid its wire cost).
+        co_await sim::delay(config_.code_install_base +
+                            config_.code_install_per_kb * (req.value().code_size / 1024));
+        sb->codes.push_back(pkg.value());
+        SubmitCodeOkMsg ok;
+        ok.fn_index = static_cast<std::uint16_t>(sb->codes.size() - 1);
+        stream->send(encode(ok));
+        break;
+      }
+      case MsgType::Deallocate: {
+        auto req = decode_deallocate(*raw);
+        if (!req) {
+          stream->send(encode_lease_error(req.error().message));
+          break;
+        }
+        Sandbox* sb = find_sandbox(req.value().sandbox_id);
+        if (sb != nullptr && !sb->dead) {
+          co_await teardown_sandbox(*sb, /*notify_rm=*/true);
+        }
+        stream->send(encode(MsgType::DeallocateOk));
+        break;
+      }
+      default:
+        stream->send(encode_lease_error("unexpected message type"));
+        break;
+    }
+  }
+}
+
+sim::Task<AllocationReplyMsg> ExecutorManager::allocate_sandbox(const AllocationRequestMsg& req) {
+  co_await sim::delay(config_.allocation_processing);
+  AllocationReplyMsg reply;
+  if (!alive_) {
+    reply.error = "allocator shutting down";
+    co_return reply;
+  }
+  const std::uint64_t total_memory = req.memory_bytes * req.workers;
+  if (auto st = host_.reserve_memory(total_memory); !st.ok()) {
+    reply.error = st.error().message;
+    co_return reply;
+  }
+
+  auto sandbox = std::make_unique<Sandbox>();
+  Sandbox& sb = *sandbox;
+  sb.id = next_sandbox_id_++;
+  sb.lease_id = req.lease_id;
+  sb.client_id = req.client_id;
+  sb.type = static_cast<SandboxType>(req.sandbox);
+  sb.policy = static_cast<InvocationPolicy>(req.policy);
+  sb.hot_timeout = req.hot_timeout;
+  sb.memory_bytes = total_memory;
+  sb.created_at = engine_.now();
+  sb.last_invocation = engine_.now();
+  sb.expires_at = req.expires_at;
+  sandboxes_[sb.id] = std::move(sandbox);
+  const Time spawn_start = engine_.now();
+
+  // Sandbox creation (process start or container boot with SR-IOV).
+  co_await sim::delay(config_.sandbox(sb.type).spawn_latency);
+
+  // Workers initialize concurrently: buffer registration + thread spawn.
+  sim::WaitGroup wg(req.workers);
+  for (std::uint32_t i = 0; i < req.workers; ++i) {
+    sb.workers.push_back(std::make_unique<Worker>(*this, sb, i));
+    auto init_one = [](Worker* w, sim::WaitGroup* group) -> sim::Task<void> {
+      co_await w->init();
+      group->done();
+    };
+    sim::spawn(engine_, init_one(sb.workers.back().get(), &wg));
+  }
+  co_await wg.wait();
+
+  allocated_workers_ += req.workers;
+  if (sb.expires_at > 0) sim::spawn(engine_, sandbox_expiry(sb.id, sb.expires_at));
+
+  reply.ok = true;
+  reply.sandbox_id = sb.id;
+  reply.rdma_port = rdma_port_;
+  reply.spawn_ns = engine_.now() - spawn_start;
+  co_return reply;
+}
+
+sim::Task<void> ExecutorManager::teardown_sandbox(Sandbox& sb, bool notify_rm) {
+  if (sb.dead) co_return;
+  sb.dead = true;
+  for (auto& w : sb.workers) w->stop();
+
+  host_.release_memory(sb.memory_bytes);
+  allocated_workers_ -= static_cast<std::uint32_t>(sb.workers.size());
+
+  // Bill the allocation component Ca: memory reservation x wall time.
+  const std::uint64_t mib = sb.memory_bytes >> 20;
+  const std::uint64_t ms = (engine_.now() - sb.created_at) / 1'000'000ull;
+  account_allocation(sb.client_id, mib * ms);
+  co_await flush_billing();
+
+  if (notify_rm && rm_stream_ != nullptr && !rm_stream_->closed()) {
+    // "When users terminate the allocation before the lease expires,
+    // executors notify the manager to include their resources in future
+    // allocations" (Sec. III-B).
+    ReleaseResourcesMsg msg;
+    msg.lease_id = sb.lease_id;
+    msg.workers = static_cast<std::uint32_t>(sb.workers.size());
+    msg.memory_bytes = sb.memory_bytes;
+    rm_stream_->send(encode(msg));
+  }
+
+  auto it = sandboxes_.find(sb.id);
+  if (it != sandboxes_.end()) {
+    graveyard_.push_back(std::move(it->second));
+    sandboxes_.erase(it);
+  }
+}
+
+sim::Task<void> ExecutorManager::sandbox_expiry(std::uint64_t sandbox_id, Time expires_at) {
+  co_await sim::delay_until(expires_at);
+  Sandbox* sb = find_sandbox(sandbox_id);
+  if (sb != nullptr && !sb->dead) {
+    log::debug("executor", "lease expired, reclaiming sandbox ", sandbox_id);
+    co_await teardown_sandbox(*sb, /*notify_rm=*/false);
+  }
+}
+
+sim::Task<void> ExecutorManager::run_rdma_accept() {
+  auto& listener = fabric_.listen(device_, rdma_port_);
+  while (alive_) {
+    auto req = co_await listener.accept();
+    if (req == nullptr) break;
+    ByteReader rd(req->private_data());
+    auto sandbox_id = rd.u64();
+    auto worker_idx = rd.u32();
+    if (!sandbox_id || !worker_idx) {
+      req->reject("malformed private data");
+      continue;
+    }
+    Sandbox* sb = find_sandbox(sandbox_id.value());
+    if (sb == nullptr || sb->dead || worker_idx.value() >= sb->workers.size()) {
+      req->reject("no such worker");
+      continue;
+    }
+    Worker& worker = *sb->workers[worker_idx.value()];
+    // Reply with the worker's receive-buffer descriptor so the client can
+    // write invocations into it.
+    auto remote = worker.recv_buf_->remote();
+    ByteWriter w;
+    w.u64(remote.addr);
+    w.u32(remote.rkey);
+    w.u32(remote.length);
+    worker.attach_connection(
+        rdmalib::Connection::accept(*req, device_, worker.pd_, w.take()));
+  }
+}
+
+sim::Task<void> ExecutorManager::register_with_rm(fabric::DeviceId rm_device,
+                                                  std::uint16_t rm_port) {
+  auto stream = co_await tcp_.connect(device_.id(), rm_device, rm_port);
+  if (!stream.ok()) {
+    log::warn("executor", "cannot reach resource manager: ", stream.error().message);
+    co_return;
+  }
+  rm_stream_ = stream.value();
+
+  RegisterExecutorMsg reg;
+  reg.device = device_.id();
+  reg.alloc_port = alloc_port_;
+  reg.rdma_port = rdma_port_;
+  reg.cores = host_.cores();
+  reg.memory_bytes = host_.memory_bytes();
+  rm_stream_->send(encode(reg));
+
+  auto reply = co_await rm_stream_->recv();
+  if (!reply.has_value()) co_return;
+  auto ok = decode_register_ok(*reply);
+  if (!ok) {
+    log::warn("executor", "registration failed: ", ok.error().message);
+    co_return;
+  }
+  billing_addr_ = ok.value().billing_addr;
+  billing_rkey_ = ok.value().billing_rkey;
+
+  // RDMA connection to the resource manager for billing atomics.
+  auto conn = co_await rdmalib::Connection::connect(fabric_, device_, pd_, rm_device,
+                                                    ok.value().rm_rdma_port);
+  if (conn.ok()) {
+    rm_conn_ = std::move(conn).take();
+  } else {
+    log::warn("executor", "billing connection failed: ", conn.error().message);
+  }
+
+  // Answer heartbeats for as long as we are alive.
+  while (true) {
+    auto msg = co_await rm_stream_->recv();
+    if (!msg.has_value()) break;
+    auto type = peek_type(*msg);
+    if (type.ok() && type.value() == MsgType::Heartbeat && alive_) {
+      rm_stream_->send(encode(MsgType::HeartbeatAck));
+    }
+  }
+}
+
+sim::Task<void> ExecutorManager::billing_flush_loop() {
+  while (alive_) {
+    co_await sim::delay(config_.billing_flush_period);
+    if (!alive_) break;
+    co_await flush_billing();
+  }
+}
+
+sim::Task<void> ExecutorManager::flush_billing() {
+  if (rm_conn_ == nullptr || billing_addr_ == 0 || !rm_conn_->alive()) co_return;
+  for (auto& [client, usage] : pending_usage_) {
+    const std::uint64_t deltas[3] = {usage.allocation_mib_ms, usage.compute_ns,
+                                     usage.hot_poll_ns};
+    const std::uint64_t tenant = client % BillingDatabase::kMaxTenants;
+    const std::uint64_t base =
+        billing_addr_ + tenant * BillingDatabase::kCountersPerTenant * 8;
+    for (int i = 0; i < 3; ++i) {
+      if (deltas[i] == 0) continue;
+      auto st = rm_conn_->post_fetch_add(billing_scratch_->data() + i,
+                                         billing_scratch_->mr()->lkey(), base + i * 8ull,
+                                         billing_rkey_, deltas[i], /*wr_id=*/i);
+      if (!st.ok()) co_return;
+      auto wc = co_await rm_conn_->wait_send_polling();
+      if (wc.status != fabric::WcStatus::Success) co_return;
+    }
+    usage = PendingUsage{};
+  }
+}
+
+sim::Task<void> ExecutorManager::reaper_loop() {
+  // "removing processes that are idle for a long time or exceed specified
+  // time limits" (Sec. III-A).
+  while (alive_) {
+    co_await sim::delay(std::max<Duration>(config_.executor_idle_timeout / 4, 1_ms));
+    if (!alive_) break;
+    std::vector<std::uint64_t> idle;
+    for (auto& [id, sb] : sandboxes_) {
+      if (sb->dead) continue;
+      const Time last = std::max(sb->last_invocation, sb->created_at);
+      if (engine_.now() - last > config_.executor_idle_timeout) idle.push_back(id);
+    }
+    for (auto id : idle) {
+      Sandbox* sb = find_sandbox(id);
+      if (sb != nullptr && !sb->dead) {
+        log::debug("executor", "reaping idle sandbox ", id);
+        co_await teardown_sandbox(*sb, /*notify_rm=*/true);
+      }
+    }
+  }
+}
+
+}  // namespace rfs::rfaas

@@ -1,0 +1,183 @@
+// Spot executor: the lightweight allocator and the user-code executors.
+//
+// Each spot host runs one ExecutorManager ("lightweight allocator",
+// Sec. III-A): it accepts allocation requests from leased clients, spawns
+// isolated sandboxes with RDMA-capable executor processes, accounts for
+// resource consumption, reaps idle executors, and flushes billing data to
+// the resource manager with RDMA fetch-and-add.
+//
+// Each Worker is one function instance: a thread pinned to a core that
+// serves invocations either hot (busy-polling the CQ) or warm (blocking
+// on the completion channel, with a resource check and possible rejection
+// under oversubscription, Fig. 6).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/tcp.hpp"
+#include "rdmalib/buffer.hpp"
+#include "rdmalib/connection.hpp"
+#include "rfaas/billing.hpp"
+#include "rfaas/config.hpp"
+#include "rfaas/functions.hpp"
+#include "rfaas/protocol.hpp"
+#include "sim/host.hpp"
+
+namespace rfs::rfaas {
+
+class ExecutorManager;
+struct Sandbox;
+
+/// One function instance inside a sandbox.
+class Worker {
+ public:
+  Worker(ExecutorManager& mgr, Sandbox& sandbox, std::uint32_t index);
+
+  /// Cold-start initialization: allocate + register RDMA buffers (timed),
+  /// spawn and pin the worker thread, then start the serving loop.
+  sim::Task<void> init();
+
+  /// Accepts the client's RDMA connection for this worker.
+  void attach_connection(std::unique_ptr<rdmalib::Connection> conn);
+
+  /// Requests shutdown and wakes the loop.
+  void stop();
+
+  /// Completion event of the serving loop (awaited during teardown).
+  sim::Event& done() { return done_; }
+
+  [[nodiscard]] bool connected() const { return conn_ != nullptr; }
+  [[nodiscard]] std::uint32_t index() const { return index_; }
+  [[nodiscard]] std::uint64_t served() const { return served_; }
+  [[nodiscard]] std::uint64_t rejections() const { return rejected_; }
+  [[nodiscard]] bool hot() const { return hot_; }
+
+ private:
+  friend class ExecutorManager;
+
+  sim::Task<void> run();
+  sim::Task<void> execute_and_reply(const fabric::Wc& wc, bool hot);
+  void post_receive();
+  void release_core_if_held();
+
+  ExecutorManager& mgr_;
+  Sandbox& sandbox_;
+  std::uint32_t index_;
+  std::unique_ptr<rdmalib::Connection> conn_;
+  sim::Event connected_;
+  sim::Event done_;
+  fabric::ProtectionDomain* pd_ = nullptr;
+  std::unique_ptr<rdmalib::Buffer<std::uint8_t>> recv_buf_;
+  std::unique_ptr<rdmalib::Buffer<std::uint8_t>> out_buf_;
+  bool running_ = true;
+  bool hot_ = false;
+  bool holds_core_ = false;
+  std::uint64_t served_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+/// An isolated execution context hosting one executor process with N
+/// worker threads serving functions of one client allocation.
+struct Sandbox {
+  std::uint64_t id = 0;
+  std::uint64_t lease_id = 0;
+  std::uint32_t client_id = 0;
+  SandboxType type = SandboxType::BareMetal;
+  InvocationPolicy policy = InvocationPolicy::Adaptive;
+  Duration hot_timeout = 0;
+  std::uint64_t memory_bytes = 0;  // total reservation across workers
+  /// Function table: the immediate value's function index selects the
+  /// entry ("we enable the execution of different functions in the same
+  /// worker process", Sec. IV-A).
+  std::vector<const CodePackage*> codes;
+  std::vector<std::unique_ptr<Worker>> workers;
+  Time created_at = 0;
+  Time last_invocation = 0;
+  Time expires_at = 0;
+  bool dead = false;
+};
+
+class ExecutorManager {
+ public:
+  ExecutorManager(sim::Engine& engine, fabric::Fabric& fabric, net::TcpNetwork& tcp,
+                  sim::Host& host, fabric::Device& device, Config config,
+                  const FunctionRegistry& registry);
+
+  /// Starts the allocator actors and registers with the resource manager.
+  void start(fabric::DeviceId rm_device, std::uint16_t rm_port);
+
+  /// Stops serving. `crash = true` simulates failure: sandboxes die and
+  /// heartbeats stop without notifying anyone.
+  void stop(bool crash = false);
+
+  [[nodiscard]] sim::Host& host() { return host_; }
+  [[nodiscard]] fabric::Device& device() { return device_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] std::uint16_t alloc_port() const { return alloc_port_; }
+  [[nodiscard]] std::uint16_t rdma_port() const { return rdma_port_; }
+  [[nodiscard]] bool alive() const { return alive_; }
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] fabric::Fabric& fabric() { return fabric_; }
+
+  /// Resource accounting hooks used by workers and sandboxes.
+  void account_compute(std::uint32_t client_id, Duration d);
+  void account_hot_poll(std::uint32_t client_id, Duration d);
+  void account_allocation(std::uint32_t client_id, std::uint64_t mib_ms);
+
+  [[nodiscard]] std::size_t live_sandboxes() const;
+  [[nodiscard]] Sandbox* find_sandbox(std::uint64_t id);
+
+ private:
+  friend class Worker;
+
+  sim::Task<void> run_alloc_server();
+  sim::Task<void> handle_stream(std::shared_ptr<net::TcpStream> stream);
+  sim::Task<void> run_rdma_accept();
+  sim::Task<void> register_with_rm(fabric::DeviceId rm_device, std::uint16_t rm_port);
+  sim::Task<void> billing_flush_loop();
+  sim::Task<void> flush_billing();
+  sim::Task<void> reaper_loop();
+  sim::Task<void> sandbox_expiry(std::uint64_t sandbox_id, Time expires_at);
+
+  sim::Task<AllocationReplyMsg> allocate_sandbox(const AllocationRequestMsg& req);
+  sim::Task<void> teardown_sandbox(Sandbox& sb, bool notify_rm);
+
+  sim::Engine& engine_;
+  fabric::Fabric& fabric_;
+  net::TcpNetwork& tcp_;
+  sim::Host& host_;
+  fabric::Device& device_;
+  Config config_;
+  const FunctionRegistry& registry_;
+  fabric::ProtectionDomain* pd_ = nullptr;
+
+  std::uint16_t alloc_port_ = 7000;
+  std::uint16_t rdma_port_ = 7001;
+  bool alive_ = false;
+  std::uint32_t allocated_workers_ = 0;
+
+  std::map<std::uint64_t, std::unique_ptr<Sandbox>> sandboxes_;
+  // Torn-down sandboxes are parked here (not freed) until the simulation
+  // ends: their worker coroutines may still be draining error completions
+  // and must find the objects alive.
+  std::vector<std::unique_ptr<Sandbox>> graveyard_;
+  std::uint64_t next_sandbox_id_ = 1;
+
+  struct PendingUsage {
+    std::uint64_t allocation_mib_ms = 0;
+    std::uint64_t compute_ns = 0;
+    std::uint64_t hot_poll_ns = 0;
+  };
+  std::map<std::uint32_t, PendingUsage> pending_usage_;
+  std::unique_ptr<rdmalib::Connection> rm_conn_;
+  std::uint64_t billing_addr_ = 0;
+  std::uint32_t billing_rkey_ = 0;
+  std::unique_ptr<rdmalib::Buffer<std::uint64_t>> billing_scratch_;
+  std::shared_ptr<net::TcpStream> rm_stream_;
+};
+
+}  // namespace rfs::rfaas

@@ -1,0 +1,35 @@
+#include "rfaas/functions.hpp"
+
+#include <cstring>
+
+namespace rfs::rfaas {
+
+void FunctionRegistry::add(CodePackage package) {
+  packages_[package.name] = std::move(package);
+}
+
+Result<const CodePackage*> FunctionRegistry::find(const std::string& name) const {
+  auto it = packages_.find(name);
+  if (it == packages_.end()) {
+    return Error::make(30, "function not found in registry: " + name);
+  }
+  return &it->second;
+}
+
+bool FunctionRegistry::contains(const std::string& name) const {
+  return packages_.count(name) != 0;
+}
+
+void FunctionRegistry::add_echo(const std::string& name) {
+  CodePackage pkg;
+  pkg.name = name;
+  pkg.code_size = 7880;
+  pkg.entry = [](const void* in, std::uint32_t size, void* out) -> std::uint32_t {
+    std::memcpy(out, in, size);
+    return size;
+  };
+  pkg.cost = [](std::uint32_t) -> Duration { return 0; };
+  add(std::move(pkg));
+}
+
+}  // namespace rfs::rfaas

@@ -1,0 +1,69 @@
+// Function registry and code packages.
+//
+// rFaaS functions follow the paper's interface (Listing 1):
+//
+//   uint32_t f(void* in, uint32_t size, void* out);
+//
+// The return value is the number of output bytes written back to the
+// client. A CodePackage bundles the callable with the size of its shared
+// library (which is what travels over the wire during code submission)
+// and a compute-cost model that charges virtual time for the execution,
+// so 32-way-parallel experiments are reproducible on a single host core.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.hpp"
+#include "common/units.hpp"
+
+namespace rfs::rfaas {
+
+/// Signature of an rFaaS function (paper Listing 1).
+using FunctionEntry = std::function<std::uint32_t(const void* in, std::uint32_t size, void* out)>;
+
+/// Virtual compute time of one execution given the input size.
+using CostModel = std::function<Duration(std::uint32_t input_size)>;
+
+struct CodePackage {
+  std::string name;
+  std::uint64_t code_size = 7880;  // the paper's no-op library is 7.88 kB
+  std::uint32_t max_output = 0;    // declared output bound (bytes)
+  FunctionEntry entry;
+  CostModel cost;                  // defaults to zero cost when empty
+
+  /// Containerization slowdown of this function's compute (0 = use the
+  /// sandbox default). The penalty is workload-dependent: the paper's
+  /// thumbnailer runs ~1.7x slower under Docker while inference is
+  /// nearly unaffected (Fig. 11).
+  double docker_compute_multiplier = 0.0;
+
+  [[nodiscard]] Duration compute_time(std::uint32_t input_size) const {
+    return cost ? cost(input_size) : 0;
+  }
+};
+
+/// The registry stands in for the Docker registry + cloud storage that
+/// hold function images: executors "download" a package by name after the
+/// client submits code (the transfer cost is paid on the wire by the
+/// submitting protocol; the registry provides the content).
+class FunctionRegistry {
+ public:
+  void add(CodePackage package);
+
+  [[nodiscard]] Result<const CodePackage*> find(const std::string& name) const;
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] std::size_t size() const { return packages_.size(); }
+
+  /// Convenience: registers the no-op echo function used throughout the
+  /// paper's microbenchmarks (returns its input).
+  void add_echo(const std::string& name = "echo");
+
+ private:
+  std::map<std::string, CodePackage> packages_;
+};
+
+}  // namespace rfs::rfaas

@@ -1,0 +1,294 @@
+#include "rfaas/invoker.hpp"
+
+#include "common/log.hpp"
+
+namespace rfs::rfaas {
+
+Invoker::Invoker(sim::Engine& engine, fabric::Fabric& fabric, net::TcpNetwork& tcp,
+                 const Config& config, fabric::Device& device, fabric::DeviceId rm_device,
+                 std::uint16_t rm_port, std::uint32_t client_id)
+    : engine_(engine),
+      fabric_(fabric),
+      tcp_(tcp),
+      config_(config),
+      device_(device),
+      rm_device_(rm_device),
+      rm_port_(rm_port),
+      client_id_(client_id),
+      pd_(device.alloc_pd()),
+      slots_(std::make_unique<sim::Semaphore>(0)) {}
+
+Invoker::~Invoker() = default;
+
+sim::Task<Status> Invoker::allocate(const AllocationSpec& spec) {
+  polling_client_ = spec.polling_client;
+
+  // Stage 1: connect to the resource manager (once; cached afterwards).
+  Time t0 = engine_.now();
+  if (rm_stream_ == nullptr || rm_stream_->closed()) {
+    auto stream = co_await tcp_.connect(device_.id(), rm_device_, rm_port_);
+    if (!stream.ok()) co_return stream.error();
+    rm_stream_ = stream.value();
+  }
+  cold_start_.connect_manager = engine_.now() - t0;
+
+  std::uint32_t remaining = spec.workers;
+  while (remaining > 0) {
+    // Stage 2: lease acquisition (A1). Grants may be partial; the client
+    // aggregates leases until the desired parallelism is reached.
+    t0 = engine_.now();
+    LeaseRequestMsg req;
+    req.client_id = client_id_;
+    req.workers = remaining;
+    req.memory_bytes = spec.memory_per_worker;
+    req.timeout = spec.lease_timeout;
+    rm_stream_->send(encode(req));
+    auto reply = co_await rm_stream_->recv();
+    if (!reply.has_value()) co_return Error::make(40, "resource manager disconnected");
+    auto type = peek_type(*reply);
+    if (!type.ok() || type.value() != MsgType::LeaseGrant) {
+      auto err = decode_lease_error(*reply);
+      co_return Error::make(41, "lease denied: " + (err.ok() ? err.value() : "unknown"));
+    }
+    auto grant_msg = decode_lease_grant(*reply);
+    if (!grant_msg) co_return grant_msg.error();
+    const LeaseGrantMsg grant = grant_msg.value();
+    cold_start_.lease += engine_.now() - t0;
+
+    // Stage 3: allocation on the spot executor (A2).
+    t0 = engine_.now();
+    auto mgr = co_await tcp_.connect(device_.id(), grant.device, grant.alloc_port);
+    if (!mgr.ok()) co_return mgr.error();
+    auto mgr_stream = mgr.value();
+
+    AllocationRequestMsg alloc;
+    alloc.lease_id = grant.lease_id;
+    alloc.client_id = client_id_;
+    alloc.workers = grant.workers;
+    alloc.memory_bytes = spec.memory_per_worker;
+    alloc.sandbox = static_cast<std::uint8_t>(spec.sandbox);
+    alloc.policy = static_cast<std::uint8_t>(spec.policy);
+    alloc.hot_timeout = spec.hot_timeout;
+    alloc.expires_at = grant.expires_at;
+    mgr_stream->send(encode(alloc));
+    auto alloc_raw = co_await mgr_stream->recv();
+    if (!alloc_raw.has_value()) co_return Error::make(42, "allocator disconnected");
+    auto alloc_reply = decode_allocation_reply(*alloc_raw);
+    if (!alloc_reply) co_return alloc_reply.error();
+    if (!alloc_reply.value().ok) {
+      co_return Error::make(43, "allocation failed: " + alloc_reply.value().error);
+    }
+    const Duration round = engine_.now() - t0;
+    cold_start_.spawn_workers += alloc_reply.value().spawn_ns;
+    cold_start_.submit_allocation +=
+        round > alloc_reply.value().spawn_ns ? round - alloc_reply.value().spawn_ns : 0;
+
+    // Stage 4: direct RDMA connections to every worker (D2).
+    t0 = engine_.now();
+    sim::WaitGroup wg(grant.workers);
+    bool connect_failed = false;
+    for (std::uint32_t i = 0; i < grant.workers; ++i) {
+      auto one = [](Invoker* self, LeaseGrantMsg g, std::uint64_t sandbox, std::uint32_t idx,
+                    sim::WaitGroup* group, bool* failed) -> sim::Task<void> {
+        auto st = co_await self->connect_worker(g, sandbox, idx);
+        if (!st.ok()) *failed = true;
+        group->done();
+      };
+      sim::spawn(engine_, one(this, grant, alloc_reply.value().sandbox_id, i, &wg,
+                              &connect_failed));
+    }
+    co_await wg.wait();
+    if (connect_failed) co_return Error::make(44, "worker connection failed");
+    cold_start_.connect_workers += engine_.now() - t0;
+
+    // Stage 5: submit the function code. The message is padded to the
+    // library size so the transfer cost is real.
+    t0 = engine_.now();
+    SubmitCodeMsg code;
+    code.sandbox_id = alloc_reply.value().sandbox_id;
+    code.function_name = spec.function_name;
+    auto payload = encode(code);
+    std::uint64_t code_size = spec.code_size;
+    code.code_size = code_size;
+    payload = encode(code);  // re-encode with the final size
+    if (code_size > payload.size()) payload.resize(code_size);
+    mgr_stream->send(std::move(payload));
+    auto code_raw = co_await mgr_stream->recv();
+    if (!code_raw.has_value()) co_return Error::make(45, "allocator disconnected");
+    auto code_type = peek_type(*code_raw);
+    if (!code_type.ok() || code_type.value() != MsgType::SubmitCodeOk) {
+      auto err = decode_lease_error(*code_raw);
+      co_return Error::make(46, "code submission failed: " +
+                                    (err.ok() ? err.value() : "unknown"));
+    }
+    cold_start_.submit_code += engine_.now() - t0;
+
+    allocations_.push_back(
+        Allocation{grant.lease_id, alloc_reply.value().sandbox_id, mgr_stream});
+    remaining -= grant.workers;
+  }
+  co_return Status::success();
+}
+
+sim::Task<Status> Invoker::connect_worker(const LeaseGrantMsg& grant, std::uint64_t sandbox_id,
+                                          std::uint32_t index) {
+  ByteWriter pdata;
+  pdata.u64(sandbox_id);
+  pdata.u32(index);
+  Bytes pdata_bytes = pdata.take();
+  auto conn = co_await rdmalib::Connection::connect(fabric_, device_, pd_, grant.device,
+                                                    grant.rdma_port, std::move(pdata_bytes));
+  if (!conn.ok()) co_return conn.error();
+
+  ByteReader rd(conn.value()->accept_data());
+  auto addr = rd.u64();
+  auto rkey = rd.u32();
+  auto len = rd.u32();
+  if (!addr || !rkey || !len) co_return Error::make(47, "bad worker descriptor");
+
+  WorkerRef ref;
+  ref.conn = std::move(conn).take();
+  ref.remote_buf = rdmalib::RemoteBuffer{addr.value(), rkey.value(), len.value()};
+  ref.max_payload = len.value() - InvocationHeader::kSize;
+  workers_.push_back(std::move(ref));
+  free_workers_.push_back(workers_.size() - 1);
+  slots_->release();
+  co_return Status::success();
+}
+
+sim::Task<Result<std::uint16_t>> Invoker::add_function(const std::string& name) {
+  std::uint16_t index = 0;
+  for (auto& alloc : allocations_) {
+    SubmitCodeMsg code;
+    code.sandbox_id = alloc.sandbox_id;
+    code.function_name = name;
+    code.code_size = 0;
+    alloc.mgr_stream->send(encode(code));
+    auto raw = co_await alloc.mgr_stream->recv();
+    if (!raw.has_value()) co_return Error::make(45, "allocator disconnected");
+    auto ok = decode_submit_code_ok(*raw);
+    if (!ok) co_return Error::make(46, "code submission failed for " + name);
+    index = ok.value().fn_index;
+  }
+  co_return index;
+}
+
+sim::Future<InvocationResult> Invoker::submit_raw(std::uint16_t fn_index,
+                                                  std::uint8_t* header_ptr, fabric::Sge sge,
+                                                  std::uint32_t in_lkey,
+                                                  rdmalib::RemoteBuffer out) {
+  (void)in_lkey;
+  sim::Promise<InvocationResult> promise;
+  auto future = promise.get_future();
+  sim::spawn(engine_, run_submission(fn_index, header_ptr, sge, out, std::move(promise)));
+  return future;
+}
+
+sim::Task<void> Invoker::run_submission(std::uint16_t fn_index, std::uint8_t* header_ptr,
+                                        fabric::Sge sge, rdmalib::RemoteBuffer out,
+                                        sim::Promise<InvocationResult> promise) {
+  const Time submitted = engine_.now();
+  InvocationResult result;
+
+  // Redirect loop: a rejected warm invocation is re-sent to another
+  // executor; RDMA-speed rejections make this cheap (Sec. III-D).
+  const std::size_t max_attempts = workers_.empty() ? 1 : 2 * workers_.size();
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    co_await slots_->acquire();
+    std::size_t idx = free_workers_.front();
+    free_workers_.pop_front();
+
+    result = co_await invoke_on(idx, fn_index, header_ptr, sge, out);
+
+    free_workers_.push_back(idx);
+    slots_->release();
+
+    if (!result.rejected) break;
+    ++rejections_;
+    // Brief backoff before retrying on the (FIFO) next worker.
+    co_await sim::delay(2_us);
+  }
+  // Client-observed latency includes queueing for a free worker and any
+  // redirects, so the submission timestamp is the original one.
+  result.submitted_at = submitted;
+  promise.set_value(result);
+}
+
+sim::Task<InvocationResult> Invoker::invoke_on(std::size_t worker, std::uint16_t fn_index,
+                                               std::uint8_t* header_ptr, fabric::Sge sge,
+                                               rdmalib::RemoteBuffer out) {
+  InvocationResult result;
+  result.submitted_at = engine_.now();
+  WorkerRef& w = workers_[worker];
+  if (w.conn == nullptr || !w.conn->alive()) {
+    result.completed_at = engine_.now();
+    co_return result;  // ok=false: executor is gone (lease terminated?)
+  }
+
+  const std::uint32_t invocation_id = next_invocation_++ & 0x7FFFFu;
+
+  // Fill the 12-byte header: where the executor writes the result.
+  InvocationHeader header;
+  header.result_addr = out.addr;
+  header.result_rkey = out.rkey;
+  header.pack(header_ptr);
+
+  // Post the receive for the result notification first.
+  (void)w.conn->post_recv_empty(invocation_id);
+
+  // Write header + payload into the worker's buffer. Inlining is possible
+  // only when header+payload fit the ceiling — the 12 extra bytes are why
+  // rFaaS loses inlining earlier than raw RDMA (Fig. 8).
+  rdmalib::RemoteBuffer dst = w.remote_buf;
+  const bool inline_ok = sge.length <= fabric_.model().max_inline;
+  auto st = w.conn->post_write_imm(sge, dst, Imm::invocation(fn_index, invocation_id),
+                                   invocation_id, inline_ok);
+  if (!st.ok()) {
+    result.completed_at = engine_.now();
+    co_return result;
+  }
+
+  // Drain our own send completion (error => connection died).
+  auto send_wc = polling_client_ ? co_await w.conn->wait_send_polling()
+                                 : co_await w.conn->wait_send_blocking();
+  if (send_wc.status != fabric::WcStatus::Success) {
+    result.completed_at = engine_.now();
+    co_return result;
+  }
+
+  // Await the result write into our memory.
+  auto wc = polling_client_ ? co_await w.conn->wait_recv_polling()
+                            : co_await w.conn->wait_recv_blocking();
+  co_await sim::delay(config_.client_completion);
+  result.completed_at = engine_.now();
+  if (wc.status != fabric::WcStatus::Success || !wc.has_imm) co_return result;
+  if (Imm::result_id(wc.imm) != invocation_id) {
+    log::warn("invoker", "immediate mismatch: got ", wc.imm, " expected ", invocation_id);
+    co_return result;
+  }
+  result.rejected = Imm::rejected(wc.imm);
+  result.ok = !result.rejected;
+  result.output_bytes = wc.byte_len;
+  co_return result;
+}
+
+sim::Task<void> Invoker::deallocate() {
+  for (auto& alloc : allocations_) {
+    if (alloc.mgr_stream == nullptr || alloc.mgr_stream->closed()) continue;
+    DeallocateMsg msg;
+    msg.sandbox_id = alloc.sandbox_id;
+    msg.lease_id = alloc.lease_id;
+    alloc.mgr_stream->send(encode(msg));
+    (void)co_await alloc.mgr_stream->recv();  // DeallocateOk
+    alloc.mgr_stream->close();
+  }
+  allocations_.clear();
+  for (auto& w : workers_) {
+    if (w.conn != nullptr) w.conn->close();
+  }
+  workers_.clear();
+  free_workers_.clear();
+  slots_ = std::make_unique<sim::Semaphore>(0);
+}
+
+}  // namespace rfs::rfaas

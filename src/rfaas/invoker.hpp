@@ -1,0 +1,172 @@
+// Client library: the paper's `rfaas::invoker` programming model
+// (Sec. IV-B, Listing 2). The invoker acquires leases from the resource
+// manager, allocates sandboxes on spot executors, connects directly to
+// every worker over RDMA, and submits invocations that return futures.
+// Rejected warm invocations are transparently redirected to another
+// worker (Sec. III-D).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/tcp.hpp"
+#include "rdmalib/buffer.hpp"
+#include "rdmalib/connection.hpp"
+#include "rfaas/config.hpp"
+#include "rfaas/protocol.hpp"
+#include "sim/host.hpp"
+
+namespace rfs::rfaas {
+
+/// Parameters of an allocation ("clients acquire leases by requesting the
+/// desired core count, memory, and timeout", Sec. III-C).
+struct AllocationSpec {
+  std::string function_name;
+  std::uint32_t workers = 1;
+  std::uint64_t memory_per_worker = 64 * 1024 * 1024;
+  Duration lease_timeout = 300_s;
+  SandboxType sandbox = SandboxType::BareMetal;
+  InvocationPolicy policy = InvocationPolicy::Adaptive;
+  Duration hot_timeout = 0;       // 0 = platform default
+  std::uint64_t code_size = 0;    // 0 = the package's declared size
+  bool polling_client = true;     // busy-poll for results vs blocking wait
+};
+
+/// Client-observed stages of a cold start (Fig. 9).
+struct ColdStartBreakdown {
+  Duration connect_manager = 0;    // TCP connect to the resource manager
+  Duration lease = 0;              // lease request -> grant
+  Duration submit_allocation = 0;  // allocator round trip minus spawn
+  Duration spawn_workers = 0;      // sandbox + worker creation (executor-measured)
+  Duration connect_workers = 0;    // RDMA connections to every worker
+  Duration submit_code = 0;        // code shipping + installation
+  [[nodiscard]] Duration total() const {
+    return connect_manager + lease + submit_allocation + spawn_workers + connect_workers +
+           submit_code;
+  }
+};
+
+/// Outcome of one invocation.
+struct InvocationResult {
+  bool ok = false;
+  bool rejected = false;        // all redirect attempts were rejected
+  std::uint32_t output_bytes = 0;
+  Time submitted_at = 0;
+  Time completed_at = 0;
+  [[nodiscard]] Duration latency() const { return completed_at - submitted_at; }
+};
+
+class Invoker {
+ public:
+  /// `device` is the NIC of the client host; the resource manager address
+  /// comes from the platform deployment.
+  Invoker(sim::Engine& engine, fabric::Fabric& fabric, net::TcpNetwork& tcp, const Config& config,
+          fabric::Device& device, fabric::DeviceId rm_device, std::uint16_t rm_port,
+          std::uint32_t client_id);
+  ~Invoker();
+
+  /// Acquires leases and allocates sandboxes until `spec.workers` function
+  /// instances are connected. Records the cold-start breakdown.
+  sim::Task<Status> allocate(const AllocationSpec& spec);
+
+  /// Registers an additional function with every allocated sandbox;
+  /// returns its function-table index.
+  sim::Task<Result<std::uint16_t>> add_function(const std::string& name);
+
+  /// Creates a page-aligned input buffer with the 12-byte rFaaS header.
+  template <typename T>
+  rdmalib::Buffer<T> input_buffer(std::size_t count) {
+    rdmalib::Buffer<T> buf(count, InvocationHeader::kSize);
+    (void)buf.register_memory(*pd_, fabric::LocalWrite);
+    return buf;
+  }
+
+  /// Creates an output buffer the executor writes results into.
+  template <typename T>
+  rdmalib::Buffer<T> output_buffer(std::size_t count) {
+    rdmalib::Buffer<T> buf(count, 0);
+    (void)buf.register_memory(*pd_, fabric::RemoteWrite | fabric::LocalWrite);
+    return buf;
+  }
+
+  /// Submits an invocation of function `fn_index` with `payload_bytes`
+  /// from `in` (past the header); the output lands in `out`. Returns a
+  /// future fulfilled when the result write arrives.
+  template <typename TIn, typename TOut>
+  sim::Future<InvocationResult> submit(std::uint16_t fn_index, rdmalib::Buffer<TIn>& in,
+                                       std::size_t payload_bytes, rdmalib::Buffer<TOut>& out) {
+    return submit_raw(fn_index, in.raw(), in.sge_with_header(payload_bytes),
+                      in.mr() != nullptr ? in.mr()->lkey() : 0, out.remote_data());
+  }
+
+  /// Convenience: submit and await completion.
+  template <typename TIn, typename TOut>
+  sim::Task<InvocationResult> invoke(std::uint16_t fn_index, rdmalib::Buffer<TIn>& in,
+                                     std::size_t payload_bytes, rdmalib::Buffer<TOut>& out) {
+    auto fut = submit(fn_index, in, payload_bytes, out);
+    co_return co_await fut.get();
+  }
+
+  /// Releases all sandboxes and leases ("Remote resources are allocated
+  /// and deallocated as needed").
+  sim::Task<void> deallocate();
+
+  [[nodiscard]] std::uint32_t connected_workers() const {
+    return static_cast<std::uint32_t>(workers_.size());
+  }
+  [[nodiscard]] const ColdStartBreakdown& cold_start() const { return cold_start_; }
+  [[nodiscard]] std::uint32_t client_id() const { return client_id_; }
+  [[nodiscard]] std::uint64_t total_rejections() const { return rejections_; }
+  [[nodiscard]] fabric::ProtectionDomain* pd() { return pd_; }
+
+ private:
+  struct WorkerRef {
+    std::unique_ptr<rdmalib::Connection> conn;
+    rdmalib::RemoteBuffer remote_buf;
+    std::uint64_t max_payload = 0;
+  };
+
+  struct Allocation {
+    std::uint64_t lease_id = 0;
+    std::uint64_t sandbox_id = 0;
+    std::shared_ptr<net::TcpStream> mgr_stream;
+  };
+
+  sim::Future<InvocationResult> submit_raw(std::uint16_t fn_index, std::uint8_t* header_ptr,
+                                           fabric::Sge sge, std::uint32_t in_lkey,
+                                           rdmalib::RemoteBuffer out);
+  sim::Task<void> run_submission(std::uint16_t fn_index, std::uint8_t* header_ptr,
+                                 fabric::Sge sge, rdmalib::RemoteBuffer out,
+                                 sim::Promise<InvocationResult> promise);
+  sim::Task<InvocationResult> invoke_on(std::size_t worker, std::uint16_t fn_index,
+                                        std::uint8_t* header_ptr, fabric::Sge sge,
+                                        rdmalib::RemoteBuffer out);
+  sim::Task<Status> connect_worker(const LeaseGrantMsg& grant, std::uint64_t sandbox_id,
+                                   std::uint32_t index);
+
+  sim::Engine& engine_;
+  fabric::Fabric& fabric_;
+  net::TcpNetwork& tcp_;
+  const Config& config_;
+  fabric::Device& device_;
+  fabric::DeviceId rm_device_;
+  std::uint16_t rm_port_;
+  std::uint32_t client_id_;
+
+  fabric::ProtectionDomain* pd_ = nullptr;
+  std::shared_ptr<net::TcpStream> rm_stream_;
+  std::vector<Allocation> allocations_;
+  std::vector<WorkerRef> workers_;
+  std::deque<std::size_t> free_workers_;
+  std::unique_ptr<sim::Semaphore> slots_;
+  bool polling_client_ = true;
+  std::uint32_t next_invocation_ = 1;
+  std::uint64_t rejections_ = 0;
+  ColdStartBreakdown cold_start_;
+};
+
+}  // namespace rfs::rfaas

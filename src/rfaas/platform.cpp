@@ -1,0 +1,59 @@
+#include "rfaas/platform.hpp"
+
+namespace rfs::rfaas {
+
+Platform::Platform(PlatformOptions options) : options_(std::move(options)) {
+  engine_.make_current();
+  fabric_ = std::make_unique<fabric::Fabric>(engine_, options_.config.network);
+  tcp_ = std::make_unique<net::TcpNetwork>(engine_, fabric_->net());
+
+  rm_host_ = std::make_unique<sim::Host>("rm", 4, 16ull << 30);
+  rm_device_ = &fabric_->create_device("rm-nic", rm_host_.get());
+  rm_ = std::make_unique<ResourceManager>(engine_, *fabric_, *tcp_, *rm_host_, *rm_device_,
+                                          options_.config);
+
+  for (unsigned i = 0; i < options_.spot_executors; ++i) {
+    executor_hosts_.push_back(std::make_unique<sim::Host>(
+        "spot" + std::to_string(i), options_.cores_per_executor, options_.memory_per_executor));
+    executor_devices_.push_back(
+        &fabric_->create_device("spot-nic" + std::to_string(i), executor_hosts_.back().get()));
+    executors_.push_back(std::make_unique<ExecutorManager>(
+        engine_, *fabric_, *tcp_, *executor_hosts_.back(), *executor_devices_.back(),
+        options_.config, registry_));
+  }
+
+  for (unsigned i = 0; i < options_.client_hosts; ++i) {
+    client_hosts_.push_back(std::make_unique<sim::Host>(
+        "client" + std::to_string(i), options_.cores_per_client, 64ull << 30));
+    client_devices_.push_back(
+        &fabric_->create_device("client-nic" + std::to_string(i), client_hosts_.back().get()));
+  }
+}
+
+Platform::~Platform() = default;
+
+void Platform::start() {
+  rm_->start();
+  for (auto& e : executors_) {
+    e->start(rm_device_->id(), rm_->port());
+  }
+  // Let registration and billing connections settle before clients move.
+  engine_.run_until(engine_.now() + 5_ms);
+}
+
+std::unique_ptr<Invoker> Platform::make_invoker(std::size_t client_host,
+                                                std::uint32_t client_id) {
+  return std::make_unique<Invoker>(engine_, *fabric_, *tcp_, options_.config,
+                                   *client_devices_.at(client_host), rm_device_->id(),
+                                   rm_->port(), client_id);
+}
+
+void Platform::run(Time until) {
+  if (until == 0) {
+    engine_.run();
+  } else {
+    engine_.run_until(until);
+  }
+}
+
+}  // namespace rfs::rfaas

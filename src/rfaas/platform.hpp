@@ -1,0 +1,73 @@
+// Deployment helper: assembles a complete rFaaS installation — engine,
+// fabric, TCP overlay, resource manager, N spot executors with their
+// lightweight allocators, and client hosts — mirroring the paper's
+// 4-node, 2x 18-core Xeon, 100 Gb/s RoCEv2 evaluation platform.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "rfaas/executor.hpp"
+#include "rfaas/invoker.hpp"
+#include "rfaas/resource_manager.hpp"
+
+namespace rfs::rfaas {
+
+struct PlatformOptions {
+  unsigned spot_executors = 2;
+  unsigned cores_per_executor = 36;   // two 18-core Xeon Gold 6154
+  std::uint64_t memory_per_executor = 64ull << 30;
+  unsigned client_hosts = 1;
+  unsigned cores_per_client = 36;
+  Config config{};
+};
+
+class Platform {
+ public:
+  explicit Platform(PlatformOptions options = {});
+  ~Platform();
+
+  /// Spawns the resource manager and executor managers, then runs the
+  /// engine briefly so registration completes.
+  void start();
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] fabric::Fabric& fabric() { return *fabric_; }
+  [[nodiscard]] net::TcpNetwork& tcp() { return *tcp_; }
+  [[nodiscard]] FunctionRegistry& registry() { return registry_; }
+  [[nodiscard]] const Config& config() const { return options_.config; }
+  [[nodiscard]] ResourceManager& rm() { return *rm_; }
+
+  [[nodiscard]] std::size_t executor_count() const { return executors_.size(); }
+  [[nodiscard]] ExecutorManager& executor(std::size_t i) { return *executors_.at(i); }
+  [[nodiscard]] sim::Host& executor_host(std::size_t i) { return *executor_hosts_.at(i); }
+
+  [[nodiscard]] sim::Host& client_host(std::size_t i) { return *client_hosts_.at(i); }
+  [[nodiscard]] fabric::Device& client_device(std::size_t i) { return *client_devices_.at(i); }
+
+  /// Builds an invoker bound to client host `i`.
+  std::unique_ptr<Invoker> make_invoker(std::size_t client_host = 0, std::uint32_t client_id = 1);
+
+  /// Runs the engine until no events remain (or `until` when nonzero).
+  void run(Time until = 0);
+
+ private:
+  PlatformOptions options_;
+  sim::Engine engine_;
+  std::unique_ptr<fabric::Fabric> fabric_;
+  std::unique_ptr<net::TcpNetwork> tcp_;
+  FunctionRegistry registry_;
+
+  std::unique_ptr<sim::Host> rm_host_;
+  fabric::Device* rm_device_ = nullptr;
+  std::unique_ptr<ResourceManager> rm_;
+
+  std::vector<std::unique_ptr<sim::Host>> executor_hosts_;
+  std::vector<fabric::Device*> executor_devices_;
+  std::vector<std::unique_ptr<ExecutorManager>> executors_;
+
+  std::vector<std::unique_ptr<sim::Host>> client_hosts_;
+  std::vector<fabric::Device*> client_devices_;
+};
+
+}  // namespace rfs::rfaas

@@ -1,0 +1,334 @@
+#include "rfaas/protocol.hpp"
+
+#include <cstring>
+
+namespace rfs::rfaas {
+
+void InvocationHeader::pack(std::uint8_t* out) const {
+  std::memcpy(out, &result_addr, 8);
+  std::memcpy(out + 8, &result_rkey, 4);
+}
+
+InvocationHeader InvocationHeader::unpack(const std::uint8_t* in) {
+  InvocationHeader h;
+  std::memcpy(&h.result_addr, in, 8);
+  std::memcpy(&h.result_rkey, in + 8, 4);
+  return h;
+}
+
+namespace {
+ByteWriter header(MsgType type) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  return w;
+}
+
+Result<ByteReader> open(const Bytes& raw, MsgType expected) {
+  ByteReader r(raw);
+  auto t = r.u8();
+  if (!t) return t.error();
+  if (t.value() != static_cast<std::uint8_t>(expected)) {
+    return Error::make(20, "protocol: unexpected message type");
+  }
+  return r;
+}
+}  // namespace
+
+Bytes encode(MsgType type) { return header(type).take(); }
+
+Bytes encode(const RegisterExecutorMsg& m) {
+  auto w = header(MsgType::RegisterExecutor);
+  w.u32(m.device);
+  w.u16(m.alloc_port);
+  w.u16(m.rdma_port);
+  w.u32(m.cores);
+  w.u64(m.memory_bytes);
+  return w.take();
+}
+
+Bytes encode(const RegisterOkMsg& m) {
+  auto w = header(MsgType::RegisterOk);
+  w.u16(m.rm_rdma_port);
+  w.u64(m.billing_addr);
+  w.u32(m.billing_rkey);
+  return w.take();
+}
+
+Bytes encode(const LeaseRequestMsg& m) {
+  auto w = header(MsgType::LeaseRequest);
+  w.u32(m.client_id);
+  w.u32(m.workers);
+  w.u64(m.memory_bytes);
+  w.u64(m.timeout);
+  return w.take();
+}
+
+Bytes encode(const LeaseGrantMsg& m) {
+  auto w = header(MsgType::LeaseGrant);
+  w.u64(m.lease_id);
+  w.u32(m.device);
+  w.u16(m.alloc_port);
+  w.u16(m.rdma_port);
+  w.u32(m.workers);
+  w.u64(m.expires_at);
+  return w.take();
+}
+
+Bytes encode_lease_error(const std::string& reason) {
+  auto w = header(MsgType::LeaseError);
+  w.str(reason);
+  return w.take();
+}
+
+Bytes encode(const AllocationRequestMsg& m) {
+  auto w = header(MsgType::AllocationRequest);
+  w.u64(m.lease_id);
+  w.u32(m.client_id);
+  w.u32(m.workers);
+  w.u64(m.memory_bytes);
+  w.u8(m.sandbox);
+  w.u8(m.policy);
+  w.u64(m.hot_timeout);
+  w.u64(m.expires_at);
+  return w.take();
+}
+
+Bytes encode(const ReleaseResourcesMsg& m) {
+  auto w = header(MsgType::ReleaseResources);
+  w.u64(m.lease_id);
+  w.u32(m.workers);
+  w.u64(m.memory_bytes);
+  return w.take();
+}
+
+Bytes encode(const AllocationReplyMsg& m) {
+  auto w = header(MsgType::AllocationReply);
+  w.u8(m.ok ? 1 : 0);
+  w.u64(m.sandbox_id);
+  w.u16(m.rdma_port);
+  w.u64(m.spawn_ns);
+  w.str(m.error);
+  return w.take();
+}
+
+Bytes encode(const SubmitCodeOkMsg& m) {
+  auto w = header(MsgType::SubmitCodeOk);
+  w.u16(m.fn_index);
+  return w.take();
+}
+
+Bytes encode(const SubmitCodeMsg& m) {
+  auto w = header(MsgType::SubmitCode);
+  w.u64(m.sandbox_id);
+  w.str(m.function_name);
+  w.u64(m.code_size);
+  // The code bytes themselves are represented by size on the wire; the
+  // transfer cost is paid by the transport, the content by the registry.
+  return w.take();
+}
+
+Bytes encode(const DeallocateMsg& m) {
+  auto w = header(MsgType::Deallocate);
+  w.u64(m.sandbox_id);
+  w.u64(m.lease_id);
+  return w.take();
+}
+
+Result<MsgType> peek_type(const Bytes& raw) {
+  if (raw.empty()) return Error::make(21, "protocol: empty message");
+  auto v = raw[0];
+  if (v >= static_cast<std::uint8_t>(MsgType::Count)) {
+    return Error::make(21, "protocol: unknown message type");
+  }
+  return static_cast<MsgType>(v);
+}
+
+Result<RegisterExecutorMsg> decode_register(const Bytes& raw) {
+  auto r = open(raw, MsgType::RegisterExecutor);
+  if (!r) return r.error();
+  auto& rd = r.value();
+  RegisterExecutorMsg m;
+  auto device = rd.u32();
+  auto alloc_port = rd.u16();
+  auto rdma_port = rd.u16();
+  auto cores = rd.u32();
+  auto memory = rd.u64();
+  if (!device || !alloc_port || !rdma_port || !cores || !memory) {
+    return Error::make(22, "protocol: truncated RegisterExecutor");
+  }
+  m.device = device.value();
+  m.alloc_port = alloc_port.value();
+  m.rdma_port = rdma_port.value();
+  m.cores = cores.value();
+  m.memory_bytes = memory.value();
+  return m;
+}
+
+Result<LeaseRequestMsg> decode_lease_request(const Bytes& raw) {
+  auto r = open(raw, MsgType::LeaseRequest);
+  if (!r) return r.error();
+  auto& rd = r.value();
+  LeaseRequestMsg m;
+  auto client = rd.u32();
+  auto workers = rd.u32();
+  auto memory = rd.u64();
+  auto timeout = rd.u64();
+  if (!client || !workers || !memory || !timeout) {
+    return Error::make(22, "protocol: truncated LeaseRequest");
+  }
+  m.client_id = client.value();
+  m.workers = workers.value();
+  m.memory_bytes = memory.value();
+  m.timeout = timeout.value();
+  return m;
+}
+
+Result<LeaseGrantMsg> decode_lease_grant(const Bytes& raw) {
+  auto r = open(raw, MsgType::LeaseGrant);
+  if (!r) return r.error();
+  auto& rd = r.value();
+  LeaseGrantMsg m;
+  auto lease = rd.u64();
+  auto device = rd.u32();
+  auto alloc_port = rd.u16();
+  auto rdma_port = rd.u16();
+  auto workers = rd.u32();
+  auto expires = rd.u64();
+  if (!lease || !device || !alloc_port || !rdma_port || !workers || !expires) {
+    return Error::make(22, "protocol: truncated LeaseGrant");
+  }
+  m.lease_id = lease.value();
+  m.device = device.value();
+  m.alloc_port = alloc_port.value();
+  m.rdma_port = rdma_port.value();
+  m.workers = workers.value();
+  m.expires_at = expires.value();
+  return m;
+}
+
+Result<std::string> decode_lease_error(const Bytes& raw) {
+  auto r = open(raw, MsgType::LeaseError);
+  if (!r) return r.error();
+  return r.value().str();
+}
+
+Result<AllocationRequestMsg> decode_allocation_request(const Bytes& raw) {
+  auto r = open(raw, MsgType::AllocationRequest);
+  if (!r) return r.error();
+  auto& rd = r.value();
+  AllocationRequestMsg m;
+  auto lease = rd.u64();
+  auto client = rd.u32();
+  auto workers = rd.u32();
+  auto memory = rd.u64();
+  auto sandbox = rd.u8();
+  auto policy = rd.u8();
+  auto hot_timeout = rd.u64();
+  auto expires = rd.u64();
+  if (!lease || !client || !workers || !memory || !sandbox.ok() || !policy.ok() ||
+      !hot_timeout.ok() || !expires.ok()) {
+    return Error::make(22, "protocol: truncated AllocationRequest");
+  }
+  m.lease_id = lease.value();
+  m.client_id = client.value();
+  m.workers = workers.value();
+  m.memory_bytes = memory.value();
+  m.sandbox = sandbox.value();
+  m.policy = policy.value();
+  m.hot_timeout = hot_timeout.value();
+  m.expires_at = expires.value();
+  return m;
+}
+
+Result<RegisterOkMsg> decode_register_ok(const Bytes& raw) {
+  auto r = open(raw, MsgType::RegisterOk);
+  if (!r) return r.error();
+  auto& rd = r.value();
+  RegisterOkMsg m;
+  auto port = rd.u16();
+  auto addr = rd.u64();
+  auto rkey = rd.u32();
+  if (!port || !addr || !rkey) return Error::make(22, "protocol: truncated RegisterOk");
+  m.rm_rdma_port = port.value();
+  m.billing_addr = addr.value();
+  m.billing_rkey = rkey.value();
+  return m;
+}
+
+Result<ReleaseResourcesMsg> decode_release(const Bytes& raw) {
+  auto r = open(raw, MsgType::ReleaseResources);
+  if (!r) return r.error();
+  auto& rd = r.value();
+  ReleaseResourcesMsg m;
+  auto lease = rd.u64();
+  auto workers = rd.u32();
+  auto memory = rd.u64();
+  if (!lease || !workers || !memory) return Error::make(22, "protocol: truncated Release");
+  m.lease_id = lease.value();
+  m.workers = workers.value();
+  m.memory_bytes = memory.value();
+  return m;
+}
+
+Result<AllocationReplyMsg> decode_allocation_reply(const Bytes& raw) {
+  auto r = open(raw, MsgType::AllocationReply);
+  if (!r) return r.error();
+  auto& rd = r.value();
+  AllocationReplyMsg m;
+  auto ok = rd.u8();
+  auto sandbox = rd.u64();
+  auto port = rd.u16();
+  auto spawn = rd.u64();
+  auto err = rd.str();
+  if (!ok || !sandbox || !port || !spawn || !err) {
+    return Error::make(22, "protocol: truncated AllocationReply");
+  }
+  m.ok = ok.value() != 0;
+  m.sandbox_id = sandbox.value();
+  m.rdma_port = port.value();
+  m.spawn_ns = spawn.value();
+  m.error = err.value();
+  return m;
+}
+
+Result<SubmitCodeOkMsg> decode_submit_code_ok(const Bytes& raw) {
+  auto r = open(raw, MsgType::SubmitCodeOk);
+  if (!r) return r.error();
+  auto idx = r.value().u16();
+  if (!idx) return Error::make(22, "protocol: truncated SubmitCodeOk");
+  return SubmitCodeOkMsg{idx.value()};
+}
+
+Result<SubmitCodeMsg> decode_submit_code(const Bytes& raw) {
+  auto r = open(raw, MsgType::SubmitCode);
+  if (!r) return r.error();
+  auto& rd = r.value();
+  SubmitCodeMsg m;
+  auto sandbox = rd.u64();
+  auto name = rd.str();
+  auto size = rd.u64();
+  if (!sandbox || !name || !size) return Error::make(22, "protocol: truncated SubmitCode");
+  m.sandbox_id = sandbox.value();
+  m.function_name = name.value();
+  m.code_size = size.value();
+  return m;
+}
+
+Result<DeallocateMsg> decode_deallocate(const Bytes& raw) {
+  auto r = open(raw, MsgType::Deallocate);
+  if (!r) return r.error();
+  auto& rd = r.value();
+  DeallocateMsg m;
+  auto sandbox = rd.u64();
+  auto lease = rd.u64();
+  if (!sandbox || !lease) return Error::make(22, "protocol: truncated Deallocate");
+  m.sandbox_id = sandbox.value();
+  m.lease_id = lease.value();
+  return m;
+}
+
+const char* to_string(SandboxType t) {
+  return t == SandboxType::Docker ? "docker" : "bare-metal";
+}
+
+}  // namespace rfs::rfaas

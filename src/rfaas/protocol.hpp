@@ -1,0 +1,176 @@
+// Wire protocol of rFaaS.
+//
+// Control plane (TCP): executor registration, lease requests/grants,
+// allocation requests, code submission. Data plane (RDMA): the invocation
+// format of Sec. IV-A — a 12-byte header carrying the client's
+// result-buffer address and rkey, followed by the payload, written via
+// RDMA WRITE_WITH_IMM whose immediate value packs the function index and
+// the invocation identifier.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/units.hpp"
+#include "fabric/verbs.hpp"
+#include "rfaas/config.hpp"
+
+namespace rfs::rfaas {
+
+/// The 12-byte invocation header preceding every input payload: the
+/// executor writes the output directly into this client buffer.
+struct InvocationHeader {
+  std::uint64_t result_addr = 0;
+  std::uint32_t result_rkey = 0;
+
+  static constexpr std::size_t kSize = 12;
+
+  void pack(std::uint8_t* out) const;
+  static InvocationHeader unpack(const std::uint8_t* in);
+};
+
+/// Immediate-value encoding: high 12 bits function index, low 20 bits
+/// invocation id. Result immediates set the reject bit on rejection.
+struct Imm {
+  static constexpr std::uint32_t kRejectBit = 1u << 19;
+
+  static std::uint32_t invocation(std::uint16_t fn_index, std::uint32_t invocation_id) {
+    return (static_cast<std::uint32_t>(fn_index) << 20) | (invocation_id & 0xFFFFFu);
+  }
+  static std::uint32_t result(std::uint32_t invocation_id, bool rejected) {
+    return (invocation_id & 0x7FFFFu) | (rejected ? kRejectBit : 0u);
+  }
+  static std::uint16_t fn_index(std::uint32_t imm) { return static_cast<std::uint16_t>(imm >> 20); }
+  static std::uint32_t invocation_id(std::uint32_t imm) { return imm & 0xFFFFFu; }
+  static std::uint32_t result_id(std::uint32_t imm) { return imm & 0x7FFFFu; }
+  static bool rejected(std::uint32_t imm) { return (imm & kRejectBit) != 0; }
+};
+
+/// Message kinds on the TCP control plane.
+enum class MsgType : std::uint8_t {
+  RegisterExecutor,     // executor manager -> resource manager
+  RegisterOk,
+  LeaseRequest,         // client -> resource manager
+  LeaseGrant,
+  LeaseError,
+  AllocationRequest,    // client -> executor manager
+  AllocationReply,
+  SubmitCode,           // client -> executor manager
+  SubmitCodeOk,
+  Deallocate,           // client -> executor manager
+  DeallocateOk,
+  Heartbeat,            // resource manager -> executor manager
+  HeartbeatAck,
+  LeaseTerminated,      // resource manager -> client (fast reclamation)
+  ReleaseResources,     // executor manager -> resource manager (early return)
+  Count,                // sentinel, keep last
+};
+
+/// Worker polling policy of an allocation.
+enum class InvocationPolicy : std::uint8_t {
+  WarmAlways,  // workers always block on the completion channel
+  HotAlways,   // workers busy-poll for the lease lifetime
+  Adaptive,    // hot after each execution, roll back to warm on timeout
+};
+
+struct RegisterExecutorMsg {
+  std::uint32_t device = 0;       // fabric device id of the spot host
+  std::uint16_t alloc_port = 0;   // TCP port of the lightweight allocator
+  std::uint16_t rdma_port = 0;    // fabric CM port for worker connections
+  std::uint32_t cores = 0;
+  std::uint64_t memory_bytes = 0;
+};
+
+struct RegisterOkMsg {
+  std::uint16_t rm_rdma_port = 0;     // where executors connect for billing atomics
+  std::uint64_t billing_addr = 0;     // base of the billing counter array
+  std::uint32_t billing_rkey = 0;
+};
+
+struct LeaseRequestMsg {
+  std::uint32_t client_id = 0;
+  std::uint32_t workers = 0;       // requested function instances
+  std::uint64_t memory_bytes = 0;  // per-worker memory
+  Duration timeout = 0;            // lease validity
+};
+
+struct LeaseGrantMsg {
+  std::uint64_t lease_id = 0;
+  std::uint32_t device = 0;
+  std::uint16_t alloc_port = 0;
+  std::uint16_t rdma_port = 0;
+  std::uint32_t workers = 0;  // workers granted on this executor
+  Time expires_at = 0;
+};
+
+struct AllocationRequestMsg {
+  std::uint64_t lease_id = 0;
+  std::uint32_t client_id = 0;
+  std::uint32_t workers = 0;
+  std::uint64_t memory_bytes = 0;
+  std::uint8_t sandbox = 0;  // SandboxType
+  std::uint8_t policy = 0;   // InvocationPolicy
+  Duration hot_timeout = 0;  // Adaptive rollback timeout (0 = default)
+  Time expires_at = 0;       // lease expiry (sandbox self-destructs)
+};
+
+struct ReleaseResourcesMsg {
+  std::uint64_t lease_id = 0;
+  std::uint32_t workers = 0;
+  std::uint64_t memory_bytes = 0;
+};
+
+struct AllocationReplyMsg {
+  bool ok = false;
+  std::uint64_t sandbox_id = 0;
+  std::uint16_t rdma_port = 0;   // port workers accept on
+  std::uint64_t spawn_ns = 0;    // measured sandbox+worker spawn time
+  std::string error;
+};
+
+struct SubmitCodeOkMsg {
+  std::uint16_t fn_index = 0;  // index in the sandbox's function table
+};
+
+struct SubmitCodeMsg {
+  std::uint64_t sandbox_id = 0;
+  std::string function_name;
+  std::uint64_t code_size = 0;  // shipped library size (bytes on the wire)
+};
+
+struct DeallocateMsg {
+  std::uint64_t sandbox_id = 0;
+  std::uint64_t lease_id = 0;
+};
+
+/// Envelope: [u8 type][payload...]. Each payload codec is explicit; this
+/// is a real wire format, not in-memory object passing.
+Bytes encode(MsgType type);
+Bytes encode(const RegisterExecutorMsg& m);
+Bytes encode(const RegisterOkMsg& m);
+Bytes encode(const LeaseRequestMsg& m);
+Bytes encode(const LeaseGrantMsg& m);
+Bytes encode_lease_error(const std::string& reason);
+Bytes encode(const AllocationRequestMsg& m);
+Bytes encode(const AllocationReplyMsg& m);
+Bytes encode(const SubmitCodeMsg& m);
+Bytes encode(const SubmitCodeOkMsg& m);
+Bytes encode(const DeallocateMsg& m);
+Bytes encode(const ReleaseResourcesMsg& m);
+
+Result<MsgType> peek_type(const Bytes& raw);
+Result<RegisterExecutorMsg> decode_register(const Bytes& raw);
+Result<RegisterOkMsg> decode_register_ok(const Bytes& raw);
+Result<LeaseRequestMsg> decode_lease_request(const Bytes& raw);
+Result<LeaseGrantMsg> decode_lease_grant(const Bytes& raw);
+Result<std::string> decode_lease_error(const Bytes& raw);
+Result<AllocationRequestMsg> decode_allocation_request(const Bytes& raw);
+Result<AllocationReplyMsg> decode_allocation_reply(const Bytes& raw);
+Result<SubmitCodeMsg> decode_submit_code(const Bytes& raw);
+Result<SubmitCodeOkMsg> decode_submit_code_ok(const Bytes& raw);
+Result<DeallocateMsg> decode_deallocate(const Bytes& raw);
+Result<ReleaseResourcesMsg> decode_release(const Bytes& raw);
+
+}  // namespace rfs::rfaas

@@ -1,0 +1,228 @@
+#include "rfaas/resource_manager.hpp"
+
+#include "common/log.hpp"
+#include "rdmalib/connection.hpp"
+
+namespace rfs::rfaas {
+
+ResourceManager::ResourceManager(sim::Engine& engine, fabric::Fabric& fabric,
+                                 net::TcpNetwork& tcp, sim::Host& host, fabric::Device& device,
+                                 Config config)
+    : engine_(engine),
+      fabric_(fabric),
+      tcp_(tcp),
+      host_(host),
+      device_(device),
+      config_(std::move(config)),
+      pd_(device.alloc_pd()),
+      billing_(*pd_) {}
+
+void ResourceManager::start() {
+  alive_ = true;
+  sim::spawn(engine_, run_server());
+  sim::spawn(engine_, run_billing_accept());
+  sim::spawn(engine_, heartbeat_loop());
+}
+
+void ResourceManager::stop() {
+  alive_ = false;
+  tcp_.listen(device_.id(), port_).shutdown();
+  fabric_.stop_listening(device_, rdma_port_);
+}
+
+std::size_t ResourceManager::alive_executors() const {
+  std::size_t n = 0;
+  for (const auto& e : executors_) {
+    if (e.alive) ++n;
+  }
+  return n;
+}
+
+std::uint32_t ResourceManager::free_workers_total() const {
+  std::uint32_t n = 0;
+  for (const auto& e : executors_) {
+    if (e.alive) n += e.free_workers;
+  }
+  return n;
+}
+
+sim::Task<void> ResourceManager::run_server() {
+  auto& listener = tcp_.listen(device_.id(), port_);
+  while (alive_) {
+    auto stream = co_await listener.accept();
+    if (stream == nullptr) break;
+    sim::spawn(engine_, handle_stream(std::move(stream)));
+  }
+}
+
+sim::Task<void> ResourceManager::run_billing_accept() {
+  auto& listener = fabric_.listen(device_, rdma_port_);
+  while (alive_) {
+    auto req = co_await listener.accept();
+    if (req == nullptr) break;
+    // Billing updates are one-sided atomics: the manager only needs to
+    // keep the connection open; no polling is required.
+    billing_conns_.push_back(rdmalib::Connection::accept(*req, device_, pd_));
+  }
+}
+
+sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> stream) {
+  std::size_t executor_index = SIZE_MAX;  // set once this stream registers
+  while (alive_) {
+    auto raw = co_await stream->recv();
+    if (!raw.has_value()) {
+      // Stream closed. A registered executor disconnecting means it died
+      // (or was stopped); reclaim immediately — faster than waiting for
+      // missed heartbeats.
+      if (executor_index != SIZE_MAX && executors_[executor_index].alive) {
+        mark_executor_dead(executor_index);
+      }
+      break;
+    }
+    auto type = peek_type(*raw);
+    if (!type) continue;
+    switch (type.value()) {
+      case MsgType::RegisterExecutor: {
+        auto msg = decode_register(*raw);
+        if (!msg) break;
+        ExecutorEntry entry;
+        entry.info = msg.value();
+        entry.free_workers = static_cast<std::uint32_t>(
+            msg.value().cores * std::max(1.0, config_.lease_oversubscription));
+        entry.free_memory = msg.value().memory_bytes;
+        entry.alive = true;
+        entry.last_ack = engine_.now();
+        entry.stream = stream;
+        executor_index = executors_.size();
+        executors_.push_back(std::move(entry));
+        RegisterOkMsg ok;
+        ok.rm_rdma_port = rdma_port_;
+        auto slot0 = billing_.tenant_slot(0);
+        ok.billing_addr = slot0.addr;
+        ok.billing_rkey = slot0.rkey;
+        stream->send(encode(ok));
+        log::info("rm", "registered executor on device ", msg.value().device, " with ",
+                  msg.value().cores, " cores");
+        break;
+      }
+      case MsgType::LeaseRequest: {
+        auto msg = decode_lease_request(*raw);
+        if (!msg) {
+          stream->send(encode_lease_error(msg.error().message));
+          break;
+        }
+        co_await sim::delay(config_.lease_processing);
+        stream->send(grant_lease(msg.value()));
+        break;
+      }
+      case MsgType::ReleaseResources: {
+        auto msg = decode_release(*raw);
+        if (msg) reclaim_lease(msg.value().lease_id);
+        break;
+      }
+      case MsgType::HeartbeatAck: {
+        if (executor_index != SIZE_MAX) executors_[executor_index].last_ack = engine_.now();
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+Bytes ResourceManager::grant_lease(const LeaseRequestMsg& req) {
+  if (executors_.empty()) return encode_lease_error("no executors registered");
+  // Round-robin scan for an executor with spare capacity; partial grants
+  // are allowed — the client library aggregates leases until it reaches
+  // the requested parallelism (Sec. III-D).
+  const std::size_t n = executors_.size();
+  for (std::size_t probe = 0; probe < n; ++probe) {
+    std::size_t idx = (rr_next_ + probe) % n;
+    auto& e = executors_[idx];
+    if (!e.alive || e.free_workers == 0) continue;
+    const std::uint32_t workers = std::min(e.free_workers, req.workers);
+    const std::uint64_t memory = req.memory_bytes * workers;
+    if (memory > e.free_memory) continue;
+
+    e.free_workers -= workers;
+    e.free_memory -= memory;
+    rr_next_ = (idx + 1) % n;
+
+    Lease lease;
+    lease.id = next_lease_id_++;
+    lease.client_id = req.client_id;
+    lease.executor_index = idx;
+    lease.workers = workers;
+    lease.memory_bytes = memory;
+    lease.expires_at = engine_.now() + req.timeout;
+    leases_[lease.id] = lease;
+    sim::spawn(engine_, lease_expiry(lease.id, lease.expires_at));
+
+    LeaseGrantMsg grant;
+    grant.lease_id = lease.id;
+    grant.device = e.info.device;
+    grant.alloc_port = e.info.alloc_port;
+    grant.rdma_port = e.info.rdma_port;
+    grant.workers = workers;
+    grant.expires_at = lease.expires_at;
+    return encode(grant);
+  }
+  return encode_lease_error("no executor with free capacity");
+}
+
+void ResourceManager::reclaim_lease(std::uint64_t lease_id) {
+  auto it = leases_.find(lease_id);
+  if (it == leases_.end()) return;
+  const Lease& lease = it->second;
+  if (lease.executor_index < executors_.size()) {
+    auto& e = executors_[lease.executor_index];
+    e.free_workers += lease.workers;
+    e.free_memory += lease.memory_bytes;
+  }
+  leases_.erase(it);
+}
+
+sim::Task<void> ResourceManager::lease_expiry(std::uint64_t lease_id, Time expires_at) {
+  co_await sim::delay_until(expires_at);
+  // "Leases are time-limited"; if still present, reclaim the capacity.
+  // The executor manager enforces the expiry on its side as well.
+  reclaim_lease(lease_id);
+}
+
+void ResourceManager::mark_executor_dead(std::size_t index) {
+  auto& e = executors_[index];
+  if (!e.alive) return;
+  e.alive = false;
+  log::warn("rm", "executor on device ", e.info.device, " is dead, reclaiming leases");
+  // Fast resource reclamation: drop all its leases.
+  std::vector<std::uint64_t> to_drop;
+  for (const auto& [id, lease] : leases_) {
+    if (lease.executor_index == index) to_drop.push_back(id);
+  }
+  for (auto id : to_drop) leases_.erase(id);
+  e.free_workers = 0;
+  e.free_memory = 0;
+}
+
+sim::Task<void> ResourceManager::heartbeat_loop() {
+  // "Managers use heartbeats to verify the status of spot executors"
+  // (Sec. III-A).
+  while (alive_) {
+    co_await sim::delay(config_.heartbeat_period);
+    if (!alive_) break;
+    const Time now = engine_.now();
+    for (std::size_t i = 0; i < executors_.size(); ++i) {
+      auto& e = executors_[i];
+      if (!e.alive) continue;
+      if (now - e.last_ack > 5 * config_.heartbeat_period / 2) {
+        mark_executor_dead(i);
+        continue;
+      }
+      if (e.stream != nullptr && !e.stream->closed()) {
+        e.stream->send(encode(MsgType::Heartbeat));
+      }
+    }
+  }
+}
+
+}  // namespace rfs::rfaas

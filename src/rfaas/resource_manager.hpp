@@ -1,0 +1,98 @@
+// Resource manager (Sec. III-A/III-B).
+//
+// The manager optimizes the FaaS control plane by splitting allocation
+// from invocation: clients involve it exactly once per allocation to
+// acquire a *lease* on a spot executor; all warm and hot invocations
+// bypass it entirely. It tracks spot executors (registration, heartbeats,
+// fast reclamation), grants leases round-robin over executors with free
+// capacity, and hosts the billing database updated by executor managers
+// with RDMA atomics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/tcp.hpp"
+#include "rdmalib/connection.hpp"
+#include "rfaas/billing.hpp"
+#include "rfaas/config.hpp"
+#include "rfaas/protocol.hpp"
+#include "sim/host.hpp"
+
+namespace rfs::rfaas {
+
+class ResourceManager {
+ public:
+  ResourceManager(sim::Engine& engine, fabric::Fabric& fabric, net::TcpNetwork& tcp,
+                  sim::Host& host, fabric::Device& device, Config config);
+
+  /// Starts the TCP control server, the RDMA billing listener and the
+  /// heartbeat loop.
+  void start();
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] std::uint16_t rdma_port() const { return rdma_port_; }
+  [[nodiscard]] fabric::Device& device() { return device_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] BillingDatabase& billing() { return billing_; }
+
+  /// Introspection for tests and benches.
+  [[nodiscard]] std::size_t registered_executors() const { return executors_.size(); }
+  [[nodiscard]] std::size_t alive_executors() const;
+  [[nodiscard]] std::size_t active_leases() const { return leases_.size(); }
+  [[nodiscard]] std::uint32_t free_workers_total() const;
+
+ private:
+  struct ExecutorEntry {
+    RegisterExecutorMsg info;
+    std::uint32_t free_workers = 0;
+    std::uint64_t free_memory = 0;
+    bool alive = true;
+    Time last_ack = 0;
+    std::shared_ptr<net::TcpStream> stream;
+  };
+
+  struct Lease {
+    std::uint64_t id = 0;
+    std::uint32_t client_id = 0;
+    std::size_t executor_index = 0;
+    std::uint32_t workers = 0;
+    std::uint64_t memory_bytes = 0;  // total
+    Time expires_at = 0;
+  };
+
+  sim::Task<void> run_server();
+  sim::Task<void> handle_stream(std::shared_ptr<net::TcpStream> stream);
+  sim::Task<void> run_billing_accept();
+  sim::Task<void> heartbeat_loop();
+  sim::Task<void> lease_expiry(std::uint64_t lease_id, Time expires_at);
+
+  Bytes grant_lease(const LeaseRequestMsg& req);
+  void reclaim_lease(std::uint64_t lease_id);
+  void mark_executor_dead(std::size_t index);
+
+  sim::Engine& engine_;
+  fabric::Fabric& fabric_;
+  net::TcpNetwork& tcp_;
+  sim::Host& host_;
+  fabric::Device& device_;
+  Config config_;
+
+  std::uint16_t port_ = 6000;
+  std::uint16_t rdma_port_ = 6001;
+  bool alive_ = false;
+
+  fabric::ProtectionDomain* pd_ = nullptr;
+  BillingDatabase billing_;
+  std::vector<std::unique_ptr<rdmalib::Connection>> billing_conns_;
+
+  std::vector<ExecutorEntry> executors_;
+  std::size_t rr_next_ = 0;  // round-robin scan start
+  std::map<std::uint64_t, Lease> leases_;
+  std::uint64_t next_lease_id_ = 1;
+};
+
+}  // namespace rfs::rfaas

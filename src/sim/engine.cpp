@@ -1,0 +1,61 @@
+#include "sim/engine.hpp"
+
+namespace rfs::sim {
+
+namespace {
+thread_local Engine* t_current = nullptr;
+}  // namespace
+
+Engine::Engine() {
+  if (t_current == nullptr) t_current = this;
+}
+
+Engine::~Engine() {
+  // Destroy still-suspended coroutines? They are owned by their Task
+  // objects or are detached self-destroying tasks; destroying handles that
+  // may already be dangling is unsafe, so we simply drop the queue. Tests
+  // drain their engines; leaked detached tasks at teardown are a test bug
+  // surfaced by sanitizers rather than hidden here.
+  if (t_current == this) t_current = nullptr;
+}
+
+void Engine::schedule_at(Time t, std::coroutine_handle<> h) {
+  if (t < now_) t = now_;
+  queue_.push(Item{t, seq_++, h});
+}
+
+Time Engine::run() {
+  CurrentEngineScope scope(*this);
+  while (step()) {
+  }
+  return now_;
+}
+
+Time Engine::run_until(Time deadline) {
+  CurrentEngineScope scope(*this);
+  while (!queue_.empty() && queue_.top().t <= deadline) {
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  Item item = queue_.top();
+  queue_.pop();
+  now_ = item.t;
+  CurrentEngineScope scope(*this);
+  item.h.resume();
+  return true;
+}
+
+Engine* Engine::current() { return t_current; }
+
+void Engine::make_current() { t_current = this; }
+
+CurrentEngineScope::CurrentEngineScope(Engine& e) : prev_(t_current) { t_current = &e; }
+
+CurrentEngineScope::~CurrentEngineScope() { t_current = prev_; }
+
+}  // namespace rfs::sim

@@ -1,0 +1,88 @@
+// Discrete-event simulation engine.
+//
+// The engine owns a time-ordered queue of coroutine resumptions. All
+// simulated components (clients, resource manager, executors, NICs) are
+// C++20 coroutines that suspend on awaitables (delays, events, channels)
+// and are resumed by the engine at the right virtual time. The simulation
+// is single-threaded and fully deterministic: ties in time are broken by
+// insertion order.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace rfs::sim {
+
+class Engine {
+ public:
+  Engine();
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedules `h` to resume at absolute time `t` (clamped to now()).
+  void schedule_at(Time t, std::coroutine_handle<> h);
+
+  /// Schedules `h` to resume after `d` nanoseconds.
+  void schedule_after(Duration d, std::coroutine_handle<> h) { schedule_at(now_ + d, h); }
+
+  /// Schedules `h` to resume at the current time, after already-queued
+  /// same-time events.
+  void schedule_now(std::coroutine_handle<> h) { schedule_at(now_, h); }
+
+  /// Runs until the event queue drains. Returns the final time.
+  Time run();
+
+  /// Runs until the queue drains or virtual time would exceed `deadline`.
+  /// Events scheduled past the deadline remain queued.
+  Time run_until(Time deadline);
+
+  /// Executes a single event if one is pending. Returns false when idle.
+  bool step();
+
+  /// Number of pending events.
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  /// The engine currently inside run()/step() on this thread. Awaitables
+  /// use this to find their engine without threading it through every call.
+  static Engine* current();
+
+  /// Makes this engine current even outside run() — used by tests and by
+  /// code that creates simulation objects before starting the loop.
+  void make_current();
+
+ private:
+  struct Item {
+    Time t;
+    std::uint64_t seq;
+    std::coroutine_handle<> h;
+    bool operator>(const Item& o) const {
+      if (t != o.t) return t > o.t;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue_;
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+/// RAII helper: makes an engine current for the enclosing scope.
+class CurrentEngineScope {
+ public:
+  explicit CurrentEngineScope(Engine& e);
+  ~CurrentEngineScope();
+
+ private:
+  Engine* prev_;
+};
+
+}  // namespace rfs::sim

@@ -1,0 +1,34 @@
+#include "sim/host.hpp"
+
+namespace rfs::sim {
+
+Host::Host(std::string name, unsigned cores, std::uint64_t memory_bytes)
+    : name_(std::move(name)), cores_(cores), memory_(memory_bytes), core_sem_(cores) {}
+
+Task<void> Host::compute(Duration d) {
+  co_await core_sem_.acquire();
+  co_await delay(d);
+  busy_ns_ += d;
+  core_sem_.release();
+}
+
+Task<void> Host::compute_on_held_core(Duration d) {
+  co_await delay(d);
+  busy_ns_ += d;
+}
+
+bool Host::try_acquire_core() { return core_sem_.try_acquire(); }
+
+Status Host::reserve_memory(std::uint64_t bytes) {
+  if (memory_used_ + bytes > memory_) {
+    return Error::make(1, "host " + name_ + ": out of memory");
+  }
+  memory_used_ += bytes;
+  return Status::success();
+}
+
+void Host::release_memory(std::uint64_t bytes) {
+  memory_used_ = bytes > memory_used_ ? 0 : memory_used_ - bytes;
+}
+
+}  // namespace rfs::sim

@@ -1,0 +1,56 @@
+#include "workloads/blackscholes.hpp"
+
+#include <cmath>
+
+namespace rfs::workloads {
+
+double cndf(double x) {
+  // Abramowitz & Stegun 26.2.17, the approximation PARSEC uses.
+  const bool negative = x < 0.0;
+  if (negative) x = -x;
+  const double k = 1.0 / (1.0 + 0.2316419 * x);
+  const double poly =
+      k * (0.319381530 +
+           k * (-0.356563782 + k * (1.781477937 + k * (-1.821255978 + k * 1.330274429))));
+  const double pdf = std::exp(-0.5 * x * x) / std::sqrt(2.0 * M_PI);
+  double cnd = 1.0 - pdf * poly;
+  return negative ? 1.0 - cnd : cnd;
+}
+
+double price_option(const OptionData& opt) {
+  const double s = opt.spot;
+  const double k = opt.strike;
+  const double r = opt.rate;
+  const double v = opt.volatility;
+  const double t = opt.time;
+  const double sqrt_t = std::sqrt(t);
+  const double d1 = (std::log(s / k) + (r + 0.5 * v * v) * t) / (v * sqrt_t);
+  const double d2 = d1 - v * sqrt_t;
+  const double discounted_k = k * std::exp(-r * t);
+  if (opt.type == 0) {  // call
+    return s * cndf(d1) - discounted_k * cndf(d2);
+  }
+  return discounted_k * cndf(-d2) - s * cndf(-d1);  // put
+}
+
+void price_all(std::span<const OptionData> options, std::span<float> prices) {
+  for (std::size_t i = 0; i < options.size() && i < prices.size(); ++i) {
+    prices[i] = static_cast<float>(price_option(options[i]));
+  }
+}
+
+std::vector<OptionData> generate_options(std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<OptionData> options(count);
+  for (auto& o : options) {
+    o.spot = static_cast<float>(rng.uniform(50.0, 150.0));
+    o.strike = static_cast<float>(rng.uniform(50.0, 150.0));
+    o.rate = static_cast<float>(rng.uniform(0.01, 0.08));
+    o.volatility = static_cast<float>(rng.uniform(0.1, 0.6));
+    o.time = static_cast<float>(rng.uniform(0.1, 2.0));
+    o.type = rng.bernoulli(0.5) ? 1 : 0;
+  }
+  return options;
+}
+
+}  // namespace rfs::workloads

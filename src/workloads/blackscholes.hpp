@@ -1,0 +1,48 @@
+// Black-Scholes option pricing (PARSEC-style), the Fig. 12 workload:
+// "Black-Scholes solves the same partial differential equation for
+// different parameters, and we dispatch independent equations to
+// bare-metal parallel executors."
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace rfs::workloads {
+
+/// One European option, PARSEC layout (36 bytes packed as floats+flag).
+struct OptionData {
+  float spot = 0;       // underlying price
+  float strike = 0;
+  float rate = 0;       // risk-free rate
+  float volatility = 0;
+  float time = 0;       // years to maturity
+  std::uint32_t type = 0;  // 0 = call, 1 = put
+  float divq = 0;       // unused (PARSEC keeps it)
+  float divs = 0;
+  float padding = 0;
+};
+static_assert(sizeof(OptionData) == 36);
+
+/// Cumulative normal distribution (PARSEC's polynomial approximation).
+double cndf(double x);
+
+/// Closed-form Black-Scholes price of one option.
+double price_option(const OptionData& opt);
+
+/// Prices `options` into `prices` (sequential kernel).
+void price_all(std::span<const OptionData> options, std::span<float> prices);
+
+/// Generates a reproducible portfolio.
+std::vector<OptionData> generate_options(std::size_t count, std::uint64_t seed);
+
+/// Calibrated single-core cost of pricing one option (~70 ns: matches the
+/// paper's ~450 ms serial runtime on its 229 MB / 6.7 M-option input).
+constexpr Duration kCostPerOption = 70;
+
+inline Duration blackscholes_time(std::size_t options) { return options * kCostPerOption; }
+
+}  // namespace rfs::workloads

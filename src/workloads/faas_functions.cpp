@@ -1,0 +1,172 @@
+#include "workloads/faas_functions.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <memory>
+
+#include "workloads/blackscholes.hpp"
+#include "workloads/image.hpp"
+#include "workloads/linalg.hpp"
+#include "workloads/nn.hpp"
+
+namespace rfs::workloads {
+
+void register_thumbnail(rfaas::FunctionRegistry& registry, std::uint32_t max_dim) {
+  rfaas::CodePackage pkg;
+  pkg.name = "thumbnail";
+  pkg.code_size = 412 * 1024;  // statically linked codec + resizer
+  pkg.entry = [max_dim](const void* in, std::uint32_t size, void* out) -> std::uint32_t {
+    auto result = thumbnail({static_cast<const std::uint8_t*>(in), size}, max_dim);
+    if (!result) return 0;
+    std::memcpy(out, result.value().data(), result.value().size());
+    return static_cast<std::uint32_t>(result.value().size());
+  };
+  pkg.cost = [](std::uint32_t input) -> Duration { return thumbnail_time(input); };
+  registry.add(std::move(pkg));
+}
+
+void register_inference(rfaas::FunctionRegistry& registry, std::size_t classes) {
+  // The model is loaded once and "stored in the function memory after the
+  // first invocation" — shared across invocations like the TorchScript
+  // model in the paper.
+  auto model = std::make_shared<nn::Classifier>(classes, /*seed=*/42);
+  rfaas::CodePackage pkg;
+  pkg.name = "inference";
+  pkg.code_size = 3800 * 1024;  // libtorch-style fat library
+  pkg.entry = [model](const void* in, std::uint32_t size, void* out) -> std::uint32_t {
+    auto probs = model->classify_ppm({static_cast<const std::uint8_t*>(in), size});
+    if (!probs) return 0;
+    const auto bytes = static_cast<std::uint32_t>(probs.value().size() * sizeof(float));
+    std::memcpy(out, probs.value().data(), bytes);
+    return bytes;
+  };
+  pkg.cost = [](std::uint32_t input) -> Duration { return nn::inference_time(input); };
+  // Compute-bound inference barely slows inside a container (Fig. 11b:
+  // 112 ms bare vs ~118 ms Docker).
+  pkg.docker_compute_multiplier = 1.05;
+  registry.add(std::move(pkg));
+}
+
+void register_blackscholes(rfaas::FunctionRegistry& registry) {
+  rfaas::CodePackage pkg;
+  pkg.name = "blackscholes";
+  pkg.code_size = 64 * 1024;
+  pkg.entry = [](const void* in, std::uint32_t size, void* out) -> std::uint32_t {
+    const std::size_t count = size / sizeof(OptionData);
+    const auto* options = static_cast<const OptionData*>(in);
+    auto* prices = static_cast<float*>(out);
+    price_all({options, count}, {prices, count});
+    return static_cast<std::uint32_t>(count * sizeof(float));
+  };
+  pkg.cost = [](std::uint32_t input) -> Duration {
+    return blackscholes_time(input / sizeof(OptionData));
+  };
+  registry.add(std::move(pkg));
+}
+
+void register_matmul_half(rfaas::FunctionRegistry& registry, unsigned sample_shift) {
+  rfaas::CodePackage pkg;
+  pkg.name = "matmul-half";
+  pkg.code_size = 96 * 1024;
+  pkg.entry = [sample_shift](const void* in, std::uint32_t size, void* out) -> std::uint32_t {
+    std::uint32_t n = 0;
+    std::memcpy(&n, in, 4);
+    const std::size_t matrix_doubles = static_cast<std::size_t>(n) * n;
+    if (size < 4 + 2 * matrix_doubles * sizeof(double)) return 0;
+    const auto* a = reinterpret_cast<const double*>(static_cast<const std::uint8_t*>(in) + 4);
+    const double* b = a + matrix_doubles;
+    auto* c = static_cast<double*>(out);
+    const std::size_t half = n / 2;
+    const std::size_t step = sample_shift == 0 ? 1 : (1ull << sample_shift);
+    for (std::size_t i = 0; i < half; i += step) {
+      for (std::size_t j = 0; j < n; ++j) {
+        double sum = 0.0;
+        for (std::size_t k = 0; k < n; ++k) sum += a[i * n + k] * b[k * n + j];
+        c[i * n + j] = sum;
+      }
+    }
+    return static_cast<std::uint32_t>(half * n * sizeof(double));
+  };
+  pkg.cost = [](std::uint32_t input) -> Duration {
+    const auto n = static_cast<std::size_t>(
+        std::sqrt(static_cast<double>((input - 4) / sizeof(double)) / 2.0));
+    return matmul_time(n / 2, n, n);
+  };
+  registry.add(std::move(pkg));
+}
+
+void register_jacobi_half(rfaas::FunctionRegistry& registry, unsigned sample_shift) {
+  struct Session {
+    Matrix a;
+    std::vector<double> b;
+  };
+  auto sessions = std::make_shared<std::map<std::uint64_t, Session>>();
+
+  rfaas::CodePackage pkg;
+  pkg.name = "jacobi-half";
+  pkg.code_size = 80 * 1024;
+  pkg.entry = [sessions, sample_shift](const void* in, std::uint32_t size,
+                                       void* out) -> std::uint32_t {
+    const auto* bytes = static_cast<const std::uint8_t*>(in);
+    std::uint32_t n = 0;
+    std::uint64_t session_id = 0;
+    std::memcpy(&n, bytes, 4);
+    std::memcpy(&session_id, bytes + 4, 8);
+    const std::size_t header = 12;
+    const std::size_t x_bytes = n * sizeof(double);
+
+    auto it = sessions->find(session_id);
+    if (size >= header + static_cast<std::size_t>(n) * n * sizeof(double) + 2 * x_bytes) {
+      // Full payload: cache A and b in the warm sandbox.
+      Session s;
+      s.a = Matrix(n, n);
+      std::memcpy(s.a.data(), bytes + header, static_cast<std::size_t>(n) * n * sizeof(double));
+      s.b.resize(n);
+      std::memcpy(s.b.data(), bytes + header + static_cast<std::size_t>(n) * n * sizeof(double),
+                  x_bytes);
+      it = sessions->insert_or_assign(session_id, std::move(s)).first;
+    }
+    if (it == sessions->end() || size < header + x_bytes) return 0;
+
+    // The solution vector is always the trailing x_bytes of the payload.
+    std::vector<double> x(n);
+    std::memcpy(x.data(), bytes + (size - x_bytes), x_bytes);
+
+    const std::size_t half = n / 2;
+    std::vector<double> x_new(n, 0.0);
+    const std::size_t step = sample_shift == 0 ? 1 : (1ull << sample_shift);
+    for (std::size_t row = 0; row < half; row += step) {
+      jacobi_sweep(it->second.a, it->second.b, x, x_new, row, row + 1);
+    }
+    std::memcpy(out, x_new.data(), half * sizeof(double));
+    return static_cast<std::uint32_t>(half * sizeof(double));
+  };
+  pkg.cost = [](std::uint32_t input) -> Duration {
+    // Recover n from the payload size. Cached calls carry 12 + 8n bytes;
+    // first calls carry 12 + 8n^2 + 16n bytes and additionally pay the
+    // deserialization of A (memcpy at ~8 GB/s).
+    const std::uint64_t body = input > 12 ? input - 12 : 0;
+    const std::uint64_t n_cached = body / 8;
+    const double n_full = (-16.0 + std::sqrt(256.0 + 32.0 * static_cast<double>(body))) / 16.0;
+    const auto n_first = static_cast<std::uint64_t>(n_full + 0.5);
+    if (8 * n_first * n_first + 16 * n_first == body) {
+      const Duration deserialize =
+          static_cast<Duration>(static_cast<double>(8 * n_first * n_first) / 8e9 * 1e9);
+      return jacobi_time(n_first / 2, n_first) + deserialize;
+    }
+    return jacobi_time(n_cached / 2, n_cached);
+  };
+  registry.add(std::move(pkg));
+}
+
+void register_all(rfaas::FunctionRegistry& registry) {
+  registry.add_echo();
+  register_thumbnail(registry);
+  register_inference(registry);
+  register_blackscholes(registry);
+  register_matmul_half(registry);
+  register_jacobi_half(registry);
+}
+
+}  // namespace rfs::workloads

@@ -1,0 +1,39 @@
+// rFaaS code packages wrapping the workload kernels: the serverless
+// functions of Fig. 11 (thumbnailer, image recognition) and the offload
+// kernels of Figs. 12/13 (Black-Scholes, matmul stripes, Jacobi sweeps).
+// Every entry performs real computation on the transferred bytes and the
+// cost models charge the paper-calibrated virtual durations.
+#pragma once
+
+#include <cstdint>
+
+#include "rfaas/functions.hpp"
+
+namespace rfs::workloads {
+
+/// Registers "thumbnail": PPM in -> PPM thumbnail out (SeBS thumbnailer).
+void register_thumbnail(rfaas::FunctionRegistry& registry, std::uint32_t max_dim = 128);
+
+/// Registers "inference": PPM in -> class probabilities out (ResNet-style).
+void register_inference(rfaas::FunctionRegistry& registry, std::size_t classes = 1000);
+
+/// Registers "blackscholes": OptionData[] in -> float prices out.
+void register_blackscholes(rfaas::FunctionRegistry& registry);
+
+/// Registers "matmul-half": [u32 n | A | B] in -> top half of C out.
+/// `sample_shift` > 0 computes only every 2^shift-th row for real (the
+/// cost model still charges the full stripe) — used by the Fig. 13 bench
+/// where running 64 ranks' worth of full DGEMMs on the simulation host
+/// would be prohibitive. Tests use sample_shift = 0 (fully real).
+void register_matmul_half(rfaas::FunctionRegistry& registry, unsigned sample_shift = 0);
+
+/// Registers "jacobi-half": stateful warm-cache kernel. First call per
+/// session ships [u32 n | u64 session | A | b | x]; subsequent calls ship
+/// [u32 n | u64 session | x] only, exactly the caching optimization of
+/// Sec. V-G(b). Computes the top half of the next iterate.
+void register_jacobi_half(rfaas::FunctionRegistry& registry, unsigned sample_shift = 0);
+
+/// Registers everything above with default parameters.
+void register_all(rfaas::FunctionRegistry& registry);
+
+}  // namespace rfs::workloads

@@ -1,0 +1,128 @@
+#include "workloads/image.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "common/rng.hpp"
+
+namespace rfs::workloads {
+
+Bytes encode_ppm(const Image& img) {
+  char header[64];
+  int len = std::snprintf(header, sizeof(header), "P6\n%u %u\n255\n", img.width, img.height);
+  Bytes out;
+  out.reserve(static_cast<std::size_t>(len) + img.pixels.size());
+  out.insert(out.end(), header, header + len);
+  out.insert(out.end(), img.pixels.begin(), img.pixels.end());
+  return out;
+}
+
+Result<Image> decode_ppm(std::span<const std::uint8_t> data) {
+  // Parse "P6\n<width> <height>\n<maxval>\n".
+  if (data.size() < 11 || data[0] != 'P' || data[1] != '6') {
+    return Error::make(60, "ppm: bad magic");
+  }
+  std::size_t pos = 2;
+  auto skip_ws = [&] {
+    while (pos < data.size() && (data[pos] == ' ' || data[pos] == '\n' || data[pos] == '\t' ||
+                                 data[pos] == '\r')) {
+      ++pos;
+    }
+  };
+  auto read_int = [&]() -> Result<std::uint32_t> {
+    skip_ws();
+    if (pos >= data.size() || data[pos] < '0' || data[pos] > '9') {
+      return Error::make(61, "ppm: expected integer");
+    }
+    std::uint64_t v = 0;
+    while (pos < data.size() && data[pos] >= '0' && data[pos] <= '9') {
+      v = v * 10 + (data[pos] - '0');
+      if (v > 1u << 30) return Error::make(62, "ppm: dimension overflow");
+      ++pos;
+    }
+    return static_cast<std::uint32_t>(v);
+  };
+  auto width = read_int();
+  if (!width) return width.error();
+  auto height = read_int();
+  if (!height) return height.error();
+  auto maxval = read_int();
+  if (!maxval) return maxval.error();
+  if (maxval.value() != 255) return Error::make(63, "ppm: only maxval 255 supported");
+  ++pos;  // single whitespace after maxval
+
+  const std::size_t expected = 3ull * width.value() * height.value();
+  if (data.size() - pos < expected) return Error::make(64, "ppm: truncated pixel data");
+  Image img;
+  img.width = width.value();
+  img.height = height.value();
+  img.pixels.assign(data.begin() + static_cast<std::ptrdiff_t>(pos),
+                    data.begin() + static_cast<std::ptrdiff_t>(pos + expected));
+  return img;
+}
+
+Image resize_bilinear(const Image& src, std::uint32_t width, std::uint32_t height) {
+  Image dst;
+  dst.width = width;
+  dst.height = height;
+  dst.pixels.resize(3ull * width * height);
+  const double sx = static_cast<double>(src.width) / width;
+  const double sy = static_cast<double>(src.height) / height;
+  for (std::uint32_t y = 0; y < height; ++y) {
+    const double fy = (y + 0.5) * sy - 0.5;
+    const std::uint32_t y0 = static_cast<std::uint32_t>(std::max(0.0, std::floor(fy)));
+    const std::uint32_t y1 = std::min(y0 + 1, src.height - 1);
+    const double wy = fy - y0;
+    for (std::uint32_t x = 0; x < width; ++x) {
+      const double fx = (x + 0.5) * sx - 0.5;
+      const std::uint32_t x0 = static_cast<std::uint32_t>(std::max(0.0, std::floor(fx)));
+      const std::uint32_t x1 = std::min(x0 + 1, src.width - 1);
+      const double wx = fx - x0;
+      for (int c = 0; c < 3; ++c) {
+        const double top = src.at(x0, y0)[c] * (1 - wx) + src.at(x1, y0)[c] * wx;
+        const double bottom = src.at(x0, y1)[c] * (1 - wx) + src.at(x1, y1)[c] * wx;
+        dst.at(x, y)[c] = static_cast<std::uint8_t>(std::lround(top * (1 - wy) + bottom * wy));
+      }
+    }
+  }
+  return dst;
+}
+
+Result<Bytes> thumbnail(std::span<const std::uint8_t> ppm, std::uint32_t max_dim) {
+  auto img = decode_ppm(ppm);
+  if (!img) return img.error();
+  const Image& src = img.value();
+  const std::uint32_t longest = std::max(src.width, src.height);
+  std::uint32_t tw = src.width;
+  std::uint32_t th = src.height;
+  if (longest > max_dim) {
+    const double scale = static_cast<double>(max_dim) / longest;
+    tw = std::max(1u, static_cast<std::uint32_t>(std::lround(src.width * scale)));
+    th = std::max(1u, static_cast<std::uint32_t>(std::lround(src.height * scale)));
+  }
+  Image thumb = resize_bilinear(src, tw, th);
+  return encode_ppm(thumb);
+}
+
+Image synthetic_image(std::size_t target_bytes, std::uint64_t seed) {
+  // Square RGB image: 3*w*h + ~15 header bytes = target.
+  const auto side = static_cast<std::uint32_t>(std::sqrt(static_cast<double>(target_bytes) / 3.0));
+  Image img;
+  img.width = std::max(8u, side);
+  img.height = std::max(8u, side);
+  img.pixels.resize(3ull * img.width * img.height);
+  Rng rng(seed);
+  const double phase = rng.uniform(0.0, 6.28);
+  for (std::uint32_t y = 0; y < img.height; ++y) {
+    for (std::uint32_t x = 0; x < img.width; ++x) {
+      auto* px = img.at(x, y);
+      px[0] = static_cast<std::uint8_t>(127 + 120 * std::sin(0.01 * x + phase));
+      px[1] = static_cast<std::uint8_t>(127 + 120 * std::sin(0.013 * y + phase));
+      px[2] = static_cast<std::uint8_t>((x ^ y) & 0xff);
+    }
+  }
+  return img;
+}
+
+}  // namespace rfs::workloads

@@ -1,0 +1,102 @@
+#include "workloads/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rfs::workloads {
+
+Matrix Matrix::random(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Matrix m(rows, cols);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < rows * cols; ++i) {
+    m.data_[i] = rng.uniform(-1.0, 1.0);
+  }
+  return m;
+}
+
+void matmul_stripe(const Matrix& a, const Matrix& b, Matrix& c, std::size_t row_begin,
+                   std::size_t row_end) {
+  constexpr std::size_t kBlock = 64;
+  const std::size_t n = a.cols();
+  const std::size_t m = b.cols();
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    for (std::size_t j = 0; j < m; ++j) c.at(i, j) = 0.0;
+  }
+  for (std::size_t kk = 0; kk < n; kk += kBlock) {
+    const std::size_t k_end = std::min(kk + kBlock, n);
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      for (std::size_t k = kk; k < k_end; ++k) {
+        const double aik = a.at(i, k);
+        const double* brow = b.data() + k * m;
+        double* crow = c.data() + i * m;
+        for (std::size_t j = 0; j < m; ++j) {
+          crow[j] += aik * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void matmul(const Matrix& a, const Matrix& b, Matrix& c) {
+  matmul_stripe(a, b, c, 0, a.rows());
+}
+
+void matmul_naive(const Matrix& a, const Matrix& b, Matrix& c) {
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) sum += a.at(i, k) * b.at(k, j);
+      c.at(i, j) = sum;
+    }
+  }
+}
+
+void jacobi_sweep(const Matrix& a, std::span<const double> b, std::span<const double> x,
+                  std::span<double> x_new, std::size_t row_begin, std::size_t row_end) {
+  const std::size_t n = a.cols();
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    double sum = 0.0;
+    const double* row = a.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) sum += row[j] * x[j];
+    }
+    x_new[i] = (b[i] - sum) / row[i];
+  }
+}
+
+double jacobi_solve(const Matrix& a, std::span<const double> b, std::span<double> x,
+                    unsigned iterations) {
+  const std::size_t n = a.rows();
+  std::vector<double> next(n, 0.0);
+  for (unsigned it = 0; it < iterations; ++it) {
+    jacobi_sweep(a, b, x, next, 0, n);
+    std::copy(next.begin(), next.end(), x.begin());
+  }
+  return residual_norm(a, b, x);
+}
+
+Matrix diagonally_dominant(std::size_t n, std::uint64_t seed) {
+  Matrix a = Matrix::random(n, n, seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    double off = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) off += std::abs(a.at(i, j));
+    }
+    a.at(i, i) = off + 1.0;  // strict dominance
+  }
+  return a;
+}
+
+double residual_norm(const Matrix& a, std::span<const double> b, std::span<const double> x) {
+  const std::size_t n = a.rows();
+  double norm = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double ax = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) ax += a.at(i, j) * x[j];
+    const double r = ax - b[i];
+    norm += r * r;
+  }
+  return std::sqrt(norm);
+}
+
+}  // namespace rfs::workloads

@@ -1,0 +1,203 @@
+// Unit tests for the common utilities: statistics, base64, byte
+// serialization, CRC, PRNG determinism, units.
+#include <gtest/gtest.h>
+
+#include "common/base64.hpp"
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace rfs {
+namespace {
+
+TEST(Units, Literals) {
+  EXPECT_EQ(1_us, 1000u);
+  EXPECT_EQ(2_ms, 2'000'000u);
+  EXPECT_EQ(1_s, 1'000'000'000u);
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(3_MiB, 3u * 1024 * 1024);
+}
+
+TEST(Units, TransferTime) {
+  // 1 GB at 1 GB/s = 1 s.
+  EXPECT_EQ(transfer_time(1'000'000'000, 1e9), 1_s);
+  EXPECT_EQ(transfer_time(0, 1e9), 0u);
+  // Sub-nanosecond transfers round up to 1 ns.
+  EXPECT_EQ(transfer_time(1, 1e12), 1u);
+}
+
+TEST(Stats, MedianOddEven) {
+  Summary odd({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(odd.median(), 2.0);
+  Summary even({4.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(even.median(), 2.5);
+}
+
+TEST(Stats, Percentiles) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  Summary s(v);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(99), 99.01, 0.1);
+}
+
+TEST(Stats, MeanStd) {
+  Summary s({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+}
+
+TEST(Stats, MedianCiContainsMedian) {
+  std::vector<double> v;
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) v.push_back(rng.normal(10.0, 2.0));
+  Summary s(v);
+  auto ci = s.median_ci(0.95);
+  EXPECT_LE(ci.low, ci.median);
+  EXPECT_GE(ci.high, ci.median);
+  // For 1000 samples of N(10, 2) the CI of the median must be tight.
+  EXPECT_NEAR(ci.median, 10.0, 0.3);
+  EXPECT_LT(ci.high - ci.low, 1.0);
+}
+
+TEST(Stats, TinySampleCiFallsBackToRange) {
+  Summary s({1.0, 2.0, 3.0});
+  auto ci = s.median_ci(0.95);
+  EXPECT_DOUBLE_EQ(ci.low, 1.0);
+  EXPECT_DOUBLE_EQ(ci.high, 3.0);
+}
+
+TEST(Stats, Online) {
+  OnlineStats os;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) os.add(x);
+  EXPECT_DOUBLE_EQ(os.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(os.min(), 1.0);
+  EXPECT_DOUBLE_EQ(os.max(), 4.0);
+  EXPECT_NEAR(os.stddev(), 1.2909944, 1e-6);
+}
+
+TEST(Base64, KnownVectors) {
+  // RFC 4648 test vectors.
+  EXPECT_EQ(base64::encode(std::string("")), "");
+  EXPECT_EQ(base64::encode(std::string("f")), "Zg==");
+  EXPECT_EQ(base64::encode(std::string("fo")), "Zm8=");
+  EXPECT_EQ(base64::encode(std::string("foo")), "Zm9v");
+  EXPECT_EQ(base64::encode(std::string("foob")), "Zm9vYg==");
+  EXPECT_EQ(base64::encode(std::string("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(base64::encode(std::string("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64, RejectsMalformed) {
+  EXPECT_FALSE(base64::decode("abc").ok());      // not multiple of 4
+  EXPECT_FALSE(base64::decode("a=bc").ok());     // misplaced padding
+  EXPECT_FALSE(base64::decode("ab!c").ok());     // invalid character
+  EXPECT_FALSE(base64::decode("=abc").ok());     // padding first
+}
+
+class Base64RoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Base64RoundTrip, EncodeDecodeIdentity) {
+  Bytes data(GetParam());
+  fill_pattern(data, GetParam() + 1);
+  auto encoded = base64::encode(std::span<const std::uint8_t>(data));
+  EXPECT_EQ(encoded.size(), base64::encoded_size(data.size()));
+  auto decoded = base64::decode(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Base64RoundTrip,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 63, 64, 65, 1000, 4096, 100001));
+
+TEST(Bytes, WriterReaderRoundTrip) {
+  ByteWriter w;
+  w.u8(7);
+  w.u16(300);
+  w.u32(70000);
+  w.u64(1ull << 40);
+  w.f64(3.25);
+  w.str("hello");
+  w.blob(Bytes{1, 2, 3});
+  Bytes buf = w.take();
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8().value(), 7);
+  EXPECT_EQ(r.u16().value(), 300);
+  EXPECT_EQ(r.u32().value(), 70000u);
+  EXPECT_EQ(r.u64().value(), 1ull << 40);
+  EXPECT_DOUBLE_EQ(r.f64().value(), 3.25);
+  EXPECT_EQ(r.str().value(), "hello");
+  EXPECT_EQ(r.blob().value(), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, ReaderRejectsOverrun) {
+  Bytes buf{1, 2};
+  ByteReader r(buf);
+  EXPECT_TRUE(r.u16().ok());
+  EXPECT_FALSE(r.u32().ok());
+}
+
+TEST(Bytes, ReaderRejectsTruncatedString) {
+  ByteWriter w;
+  w.u32(100);  // claims 100 bytes follow
+  w.raw("ab", 2);
+  Bytes buf = w.take();
+  ByteReader r(buf);
+  EXPECT_FALSE(r.str().ok());
+}
+
+TEST(Bytes, Crc32KnownValue) {
+  // CRC32("123456789") = 0xCBF43926 (classic check value).
+  const char* s = "123456789";
+  std::uint32_t crc = crc32(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(s), 9));
+  EXPECT_EQ(crc, 0xCBF43926u);
+}
+
+TEST(Bytes, PatternIsDeterministicAndSeedSensitive) {
+  Bytes a(256), b(256), c(256);
+  fill_pattern(a, 1);
+  fill_pattern(b, 1);
+  fill_pattern(c, 2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Rng, DeterministicStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    auto v = rng.uniform_int(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  OnlineStats os;
+  for (int i = 0; i < 20000; ++i) os.add(rng.normal(4.0, 3.0));
+  EXPECT_NEAR(os.mean(), 4.0, 0.1);
+  EXPECT_NEAR(os.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  OnlineStats os;
+  for (int i = 0; i < 20000; ++i) os.add(rng.exponential(0.5));
+  EXPECT_NEAR(os.mean(), 2.0, 0.1);
+}
+
+}  // namespace
+}  // namespace rfs

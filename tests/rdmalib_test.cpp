@@ -1,0 +1,241 @@
+// Tests for the rdmalib abstraction layer: typed buffers (alignment,
+// header regions, registration) and connections (handshake data, post
+// helpers, teardown semantics, timed CQ waits).
+#include <gtest/gtest.h>
+
+#include "rdmalib/buffer.hpp"
+#include "rdmalib/connection.hpp"
+
+namespace rfs::rdmalib {
+namespace {
+
+class RdmalibTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    eng.make_current();
+    devA = &fab.create_device("A");
+    devB = &fab.create_device("B");
+    pdA = devA->alloc_pd();
+    pdB = devB->alloc_pd();
+  }
+
+  sim::Engine eng;
+  fabric::Fabric fab{eng};
+  fabric::Device* devA = nullptr;
+  fabric::Device* devB = nullptr;
+  fabric::ProtectionDomain* pdA = nullptr;
+  fabric::ProtectionDomain* pdB = nullptr;
+};
+
+TEST_F(RdmalibTest, BufferIsPageAligned) {
+  for (std::size_t count : {1ul, 7ul, 4096ul, 100000ul}) {
+    Buffer<double> buf(count);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.raw()) % 4096, 0u) << count;
+    EXPECT_EQ(buf.size(), count);
+    EXPECT_EQ(buf.payload_bytes(), count * sizeof(double));
+  }
+}
+
+TEST_F(RdmalibTest, HeaderRegionPrecedesPayload) {
+  Buffer<std::uint32_t> buf(16, 12);
+  EXPECT_EQ(buf.header_bytes(), 12u);
+  EXPECT_EQ(reinterpret_cast<std::uint8_t*>(buf.data()) - buf.header(), 12);
+  EXPECT_EQ(buf.raw_bytes(), 12 + 16 * sizeof(std::uint32_t));
+  // Header writes must not clobber the payload.
+  buf[0] = 0xAABBCCDD;
+  std::memset(buf.header(), 0xFF, 12);
+  EXPECT_EQ(buf[0], 0xAABBCCDDu);
+}
+
+TEST_F(RdmalibTest, SgeVariantsCoverExpectedRanges) {
+  Buffer<std::uint8_t> buf(100, 12);
+  ASSERT_TRUE(buf.register_memory(*pdA, fabric::LocalWrite).ok());
+  auto with_header = buf.sge_with_header(40);
+  EXPECT_EQ(with_header.addr, reinterpret_cast<std::uint64_t>(buf.raw()));
+  EXPECT_EQ(with_header.length, 52u);
+  auto data_only = buf.sge_data(40);
+  EXPECT_EQ(data_only.addr, reinterpret_cast<std::uint64_t>(buf.data()));
+  EXPECT_EQ(data_only.length, 40u);
+  EXPECT_EQ(buf.sge().length, 112u);
+}
+
+TEST_F(RdmalibTest, RemoteDescriptorsMatchRegistration) {
+  Buffer<std::uint8_t> buf(256, 12);
+  ASSERT_TRUE(buf.register_memory(*pdA, fabric::RemoteWrite).ok());
+  ASSERT_TRUE(buf.registered());
+  auto whole = buf.remote();
+  auto data = buf.remote_data();
+  EXPECT_EQ(whole.rkey, buf.mr()->rkey());
+  EXPECT_EQ(data.addr, whole.addr + 12);
+  EXPECT_EQ(data.length, 256u);
+  buf.deregister();
+  EXPECT_FALSE(buf.registered());
+  EXPECT_EQ(pdA->find_rkey(whole.rkey), nullptr);
+}
+
+TEST_F(RdmalibTest, TimedRegistrationChargesPinningCost) {
+  Buffer<std::uint8_t> buf(1_MiB);
+  Time done = 0;
+  auto body = [&]() -> sim::Task<void> {
+    (void)co_await buf.register_memory_timed(*pdA, fabric::LocalWrite);
+    done = eng.now();
+  };
+  sim::spawn(eng, body());
+  eng.run();
+  EXPECT_EQ(done, fab.model().mr_register_time(buf.raw_bytes()));
+}
+
+TEST_F(RdmalibTest, ConnectCarriesPrivateDataBothWays) {
+  auto& listener = fab.listen(*devB, 100);
+  std::unique_ptr<Connection> client, server;
+  Bytes seen_request;
+
+  auto server_task = [&]() -> sim::Task<void> {
+    auto req = co_await listener.accept();
+    seen_request = req->private_data();
+    Bytes reply;
+    reply.push_back(7);
+    reply.push_back(8);
+    server = Connection::accept(*req, *devB, pdB, std::move(reply));
+  };
+  auto client_task = [&]() -> sim::Task<void> {
+    Bytes pd_bytes;
+    pd_bytes.push_back(1);
+    pd_bytes.push_back(2);
+    pd_bytes.push_back(3);
+    auto res = co_await Connection::connect(fab, *devA, pdA, devB->id(), 100,
+                                            std::move(pd_bytes));
+    EXPECT_TRUE(res.ok());
+    client = std::move(res).take();
+  };
+  sim::spawn(eng, server_task());
+  sim::spawn(eng, client_task());
+  eng.run();
+
+  ASSERT_NE(client, nullptr);
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(seen_request, (Bytes{1, 2, 3}));
+  EXPECT_EQ(client->accept_data(), (Bytes{7, 8}));
+  EXPECT_TRUE(client->alive());
+  EXPECT_TRUE(server->alive());
+}
+
+TEST_F(RdmalibTest, PostWriteImmEndToEnd) {
+  auto& listener = fab.listen(*devB, 101);
+  std::unique_ptr<Connection> client, server;
+  Buffer<std::uint8_t> src(1024), dst(1024);
+  ASSERT_TRUE(src.register_memory(*pdA, fabric::LocalWrite).ok());
+  ASSERT_TRUE(dst.register_memory(*pdB, fabric::RemoteWrite).ok());
+  fill_pattern({src.data(), 1024}, 5);
+
+  bool delivered = false;
+  auto server_task = [&]() -> sim::Task<void> {
+    auto req = co_await listener.accept();
+    server = Connection::accept(*req, *devB, pdB);
+    (void)server->post_recv_empty(1);
+    auto wc = co_await server->wait_recv_polling();
+    delivered = wc.status == fabric::WcStatus::Success && wc.has_imm && wc.imm == 0x42;
+  };
+  auto client_task = [&]() -> sim::Task<void> {
+    auto res = co_await Connection::connect(fab, *devA, pdA, devB->id(), 101);
+    EXPECT_TRUE(res.ok());
+    client = std::move(res).take();
+    (void)client->post_write_imm(client ? src.sge() : fabric::Sge{}, dst.remote(), 0x42, 9);
+    (void)co_await client->wait_send_polling();
+  };
+  sim::spawn(eng, server_task());
+  sim::spawn(eng, client_task());
+  eng.run();
+
+  EXPECT_TRUE(delivered);
+  EXPECT_TRUE(std::equal(src.data(), src.data() + 1024, dst.data()));
+}
+
+TEST_F(RdmalibTest, CloseBreaksPeer) {
+  auto& listener = fab.listen(*devB, 102);
+  std::unique_ptr<Connection> client, server;
+  auto server_task = [&]() -> sim::Task<void> {
+    auto req = co_await listener.accept();
+    server = Connection::accept(*req, *devB, pdB);
+  };
+  auto client_task = [&]() -> sim::Task<void> {
+    auto res = co_await Connection::connect(fab, *devA, pdA, devB->id(), 102);
+    client = std::move(res).take();
+  };
+  sim::spawn(eng, server_task());
+  sim::spawn(eng, client_task());
+  eng.run();
+  ASSERT_TRUE(client && server);
+  EXPECT_TRUE(client->alive());
+  server->close();
+  EXPECT_FALSE(client->alive());
+
+  // Posting on a connection whose peer is gone fails with an error CQE.
+  Buffer<std::uint8_t> src(8);
+  ASSERT_TRUE(src.register_memory(*pdA, fabric::LocalWrite).ok());
+  (void)client->post_write(src.sge(), RemoteBuffer{1, 2, 8}, 1);
+  bool failed = false;
+  auto check = [&]() -> sim::Task<void> {
+    auto wc = co_await client->wait_send_polling();
+    failed = wc.status != fabric::WcStatus::Success;
+  };
+  sim::spawn(eng, check());
+  eng.run();
+  EXPECT_TRUE(failed);
+}
+
+TEST_F(RdmalibTest, FetchAddHelperAccumulates) {
+  auto& listener = fab.listen(*devB, 103);
+  std::unique_ptr<Connection> client, server;
+  Buffer<std::uint64_t> counter(1);
+  ASSERT_TRUE(counter.register_memory(*pdB, fabric::RemoteAtomic).ok());
+  Buffer<std::uint64_t> result(1);
+  ASSERT_TRUE(result.register_memory(*pdA, fabric::LocalWrite).ok());
+
+  auto server_task = [&]() -> sim::Task<void> {
+    auto req = co_await listener.accept();
+    server = Connection::accept(*req, *devB, pdB);
+  };
+  auto client_task = [&]() -> sim::Task<void> {
+    auto res = co_await Connection::connect(fab, *devA, pdA, devB->id(), 103);
+    client = std::move(res).take();
+    for (int i = 0; i < 5; ++i) {
+      (void)client->post_fetch_add(result.data(), result.mr()->lkey(),
+                                   counter.remote_data().addr, counter.mr()->rkey(), 10, i);
+      (void)co_await client->wait_send_polling();
+    }
+  };
+  sim::spawn(eng, server_task());
+  sim::spawn(eng, client_task());
+  eng.run();
+  EXPECT_EQ(counter[0], 50u);
+  EXPECT_EQ(result[0], 40u);  // original value before the last add
+}
+
+TEST_F(RdmalibTest, TimedCqWaitTimesOutAndRecovers) {
+  fabric::CompletionQueue cq(fab.model());
+  std::optional<fabric::Wc> first, second;
+  Time second_at = 0;
+  auto waiter = [&]() -> sim::Task<void> {
+    first = co_await cq.wait_polling_until(eng.now() + 1_ms);   // nothing arrives
+    second = co_await cq.wait_polling_until(eng.now() + 10_ms); // something does
+    second_at = eng.now();
+  };
+  auto pusher = [&]() -> sim::Task<void> {
+    co_await sim::delay(3_ms);
+    fabric::Wc wc{};
+    wc.wr_id = 55;
+    cq.push(wc);
+  };
+  sim::spawn(eng, waiter());
+  sim::spawn(eng, pusher());
+  eng.run();
+  EXPECT_FALSE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->wr_id, 55u);
+  // The wait completed the moment the CQE arrived (not at the deadline).
+  EXPECT_EQ(second_at, 3_ms);
+}
+
+}  // namespace
+}  // namespace rfs::rdmalib

@@ -1,0 +1,370 @@
+// Unit tests for the discrete-event simulation kernel: event ordering,
+// delays, synchronization primitives, futures, and the host/core model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/host.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace rfs::sim {
+namespace {
+
+TEST(Engine, StartsAtZeroAndAdvances) {
+  Engine eng;
+  EXPECT_EQ(eng.now(), 0u);
+  Time end = 0;
+  auto body = [&]() -> Task<void> {
+    co_await delay(250);
+    end = Engine::current()->now();
+  };
+  spawn(eng, body());
+  eng.run();
+  EXPECT_EQ(end, 250u);
+  EXPECT_EQ(eng.now(), 250u);
+}
+
+TEST(Engine, FifoTieBreakAtSameTime) {
+  Engine eng;
+  std::vector<int> order;
+  auto mk = [&](int id) -> Task<void> {
+    co_await delay(10);
+    order.push_back(id);
+  };
+  spawn(eng, mk(1));
+  spawn(eng, mk(2));
+  spawn(eng, mk(3));
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, EventsExecuteInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  auto mk = [&](int id, Duration d) -> Task<void> {
+    co_await delay(d);
+    order.push_back(id);
+  };
+  spawn(eng, mk(3, 30));
+  spawn(eng, mk(1, 10));
+  spawn(eng, mk(2, 20));
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine eng;
+  int fired = 0;
+  auto mk = [&](Duration d) -> Task<void> {
+    co_await delay(d);
+    ++fired;
+  };
+  spawn(eng, mk(100));
+  spawn(eng, mk(200));
+  eng.run_until(150);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.now(), 150u);
+  eng.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, DelayUntilPastIsImmediate) {
+  Engine eng;
+  Time observed = 123;
+  auto body = [&]() -> Task<void> {
+    co_await delay(50);
+    co_await delay_until(10);  // already past
+    observed = Engine::current()->now();
+  };
+  spawn(eng, body());
+  eng.run();
+  EXPECT_EQ(observed, 50u);
+}
+
+TEST(Task, NestedAwaitPropagatesValue) {
+  Engine eng;
+  int result = 0;
+  auto inner = []() -> Task<int> {
+    co_await delay(5);
+    co_return 21;
+  };
+  auto outer = [&]() -> Task<void> {
+    int a = co_await inner();
+    int b = co_await inner();
+    result = a + b;
+  };
+  spawn(eng, outer());
+  eng.run();
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(eng.now(), 10u);
+}
+
+TEST(Task, ExceptionPropagatesToAwaiter) {
+  Engine eng;
+  bool caught = false;
+  auto thrower = []() -> Task<void> {
+    co_await delay(1);
+    throw std::runtime_error("boom");
+  };
+  auto body = [&]() -> Task<void> {
+    try {
+      co_await thrower();
+    } catch (const std::runtime_error&) {
+      caught = true;
+    }
+  };
+  spawn(eng, body());
+  eng.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Event, BroadcastWakesAllWaiters) {
+  Engine eng;
+  Event ev;
+  int woken = 0;
+  auto waiter = [&]() -> Task<void> {
+    co_await ev.wait();
+    ++woken;
+  };
+  auto setter = [&]() -> Task<void> {
+    co_await delay(100);
+    ev.set();
+  };
+  spawn(eng, waiter());
+  spawn(eng, waiter());
+  spawn(eng, setter());
+  eng.run();
+  EXPECT_EQ(woken, 2);
+  EXPECT_EQ(eng.now(), 100u);
+}
+
+TEST(Event, SetBeforeWaitDoesNotBlock) {
+  Engine eng;
+  Event ev;
+  ev.set();
+  Time when = 1;
+  auto waiter = [&]() -> Task<void> {
+    co_await ev.wait();
+    when = Engine::current()->now();
+  };
+  spawn(eng, waiter());
+  eng.run();
+  EXPECT_EQ(when, 0u);
+}
+
+TEST(Channel, FifoDelivery) {
+  Engine eng;
+  Channel<int> ch;
+  std::vector<int> got;
+  auto consumer = [&]() -> Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      auto v = co_await ch.recv();
+      EXPECT_TRUE(v.has_value());
+      got.push_back(*v);
+    }
+  };
+  auto producer = [&]() -> Task<void> {
+    ch.send(1);
+    co_await delay(10);
+    ch.send(2);
+    ch.send(3);
+  };
+  spawn(eng, consumer());
+  spawn(eng, producer());
+  eng.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Channel, CloseWakesReceiverWithNullopt) {
+  Engine eng;
+  Channel<int> ch;
+  bool saw_end = false;
+  auto consumer = [&]() -> Task<void> {
+    auto v = co_await ch.recv();
+    saw_end = !v.has_value();
+  };
+  auto closer = [&]() -> Task<void> {
+    co_await delay(5);
+    ch.close();
+  };
+  spawn(eng, consumer());
+  spawn(eng, closer());
+  eng.run();
+  EXPECT_TRUE(saw_end);
+}
+
+TEST(Channel, DrainsQueuedItemsAfterClose) {
+  Engine eng;
+  Channel<int> ch;
+  ch.send(7);
+  ch.close();
+  std::vector<int> got;
+  bool end = false;
+  auto consumer = [&]() -> Task<void> {
+    while (true) {
+      auto v = co_await ch.recv();
+      if (!v) {
+        end = true;
+        break;
+      }
+      got.push_back(*v);
+    }
+  };
+  spawn(eng, consumer());
+  eng.run();
+  EXPECT_EQ(got, (std::vector<int>{7}));
+  EXPECT_TRUE(end);
+}
+
+TEST(Semaphore, LimitsConcurrency) {
+  Engine eng;
+  Semaphore sem(2);
+  int active = 0;
+  int peak = 0;
+  auto worker = [&]() -> Task<void> {
+    co_await sem.acquire();
+    ++active;
+    peak = std::max(peak, active);
+    co_await delay(100);
+    --active;
+    sem.release();
+  };
+  for (int i = 0; i < 5; ++i) spawn(eng, worker());
+  eng.run();
+  EXPECT_EQ(peak, 2);
+  // 5 workers, 2 at a time, 100 ns each -> ceil(5/2)*100 = 300.
+  EXPECT_EQ(eng.now(), 300u);
+}
+
+TEST(Semaphore, TryAcquire) {
+  Engine eng;
+  eng.make_current();
+  Semaphore sem(1);
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_FALSE(sem.try_acquire());
+  sem.release();
+  EXPECT_TRUE(sem.try_acquire());
+}
+
+TEST(Mutex, MutualExclusion) {
+  Engine eng;
+  Mutex mu;
+  bool inside = false;
+  bool violated = false;
+  auto worker = [&]() -> Task<void> {
+    co_await mu.lock();
+    if (inside) violated = true;
+    inside = true;
+    co_await delay(50);
+    inside = false;
+    mu.unlock();
+  };
+  for (int i = 0; i < 4; ++i) spawn(eng, worker());
+  eng.run();
+  EXPECT_FALSE(violated);
+  EXPECT_EQ(eng.now(), 200u);
+}
+
+TEST(Future, AwaitCompletesOnSet) {
+  Engine eng;
+  Promise<int> p;
+  Future<int> f = p.get_future();
+  int got = 0;
+  auto consumer = [&]() -> Task<void> { got = co_await f.get(); };
+  auto producer = [&]() -> Task<void> {
+    co_await delay(30);
+    p.set_value(99);
+  };
+  spawn(eng, consumer());
+  spawn(eng, producer());
+  eng.run();
+  EXPECT_EQ(got, 99);
+  EXPECT_TRUE(f.ready());
+  EXPECT_EQ(f.peek(), 99);
+}
+
+TEST(Future, ReadyBeforeAwait) {
+  Engine eng;
+  Promise<int> p;
+  p.set_value(5);
+  auto f = p.get_future();
+  int got = 0;
+  auto consumer = [&]() -> Task<void> { got = co_await f.get(); };
+  spawn(eng, consumer());
+  eng.run();
+  EXPECT_EQ(got, 5);
+}
+
+TEST(WaitGroup, WaitsForAll) {
+  Engine eng;
+  WaitGroup wg(3);
+  Time done_at = 0;
+  auto worker = [&](Duration d) -> Task<void> {
+    co_await delay(d);
+    wg.done();
+  };
+  auto waiter = [&]() -> Task<void> {
+    co_await wg.wait();
+    done_at = Engine::current()->now();
+  };
+  spawn(eng, waiter());
+  spawn(eng, worker(10));
+  spawn(eng, worker(50));
+  spawn(eng, worker(30));
+  eng.run();
+  EXPECT_EQ(done_at, 50u);
+}
+
+TEST(Host, ComputeOccupiesCore) {
+  Engine eng;
+  Host host("n0", 2, 1024);
+  auto worker = [&]() -> Task<void> { co_await host.compute(100); };
+  for (int i = 0; i < 4; ++i) spawn(eng, worker());
+  eng.run();
+  // 4 kernels, 2 cores: finishes at 200.
+  EXPECT_EQ(eng.now(), 200u);
+  EXPECT_EQ(host.busy_ns(), 400u);
+}
+
+TEST(Host, TryAcquireReflectsBusyCores) {
+  Engine eng;
+  eng.make_current();
+  Host host("n0", 1, 1024);
+  EXPECT_TRUE(host.try_acquire_core());
+  EXPECT_FALSE(host.try_acquire_core());
+  EXPECT_EQ(host.free_cores(), 0u);
+  host.release_core();
+  EXPECT_EQ(host.free_cores(), 1u);
+}
+
+TEST(Host, MemoryAccounting) {
+  Engine eng;
+  Host host("n0", 1, 1000);
+  EXPECT_TRUE(host.reserve_memory(600).ok());
+  EXPECT_FALSE(host.reserve_memory(600).ok());
+  EXPECT_EQ(host.free_memory(), 400u);
+  host.release_memory(600);
+  EXPECT_EQ(host.free_memory(), 1000u);
+}
+
+TEST(Determinism, TwoRunsIdenticalSchedule) {
+  auto run_once = [] {
+    Engine eng;
+    std::vector<std::pair<int, Time>> log;
+    Semaphore sem(1);
+    auto worker = [&](int id, Duration d) -> Task<void> {
+      co_await sem.acquire();
+      co_await delay(d);
+      log.emplace_back(id, Engine::current()->now());
+      sem.release();
+    };
+    for (int i = 0; i < 10; ++i) spawn(eng, worker(i, 7 * (i % 3) + 1));
+    eng.run();
+    return log;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace rfs::sim

@@ -1,0 +1,453 @@
+// Tests for the workload kernels: Black-Scholes, linear algebra, image
+// processing, NN inference, the cluster-utilization simulator, and the
+// rFaaS function packages wrapping them.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+#include "workloads/blackscholes.hpp"
+#include "workloads/cluster.hpp"
+#include "workloads/faas_functions.hpp"
+#include "workloads/image.hpp"
+#include "workloads/linalg.hpp"
+#include "workloads/nn.hpp"
+
+namespace rfs::workloads {
+namespace {
+
+// --------------------------------------------------------------------------
+// Black-Scholes
+// --------------------------------------------------------------------------
+
+TEST(BlackScholes, CndfProperties) {
+  EXPECT_NEAR(cndf(0.0), 0.5, 1e-6);
+  EXPECT_NEAR(cndf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(cndf(-1.96), 0.025, 1e-3);
+  EXPECT_NEAR(cndf(6.0), 1.0, 1e-6);
+  EXPECT_NEAR(cndf(-6.0), 0.0, 1e-6);
+  // Symmetry: N(x) + N(-x) = 1.
+  for (double x : {0.3, 0.7, 1.1, 2.5}) {
+    EXPECT_NEAR(cndf(x) + cndf(-x), 1.0, 1e-9);
+  }
+}
+
+TEST(BlackScholes, KnownPrice) {
+  // Classic textbook case: S=100, K=100, r=5%, sigma=20%, T=1y.
+  OptionData opt;
+  opt.spot = 100;
+  opt.strike = 100;
+  opt.rate = 0.05f;
+  opt.volatility = 0.2f;
+  opt.time = 1.0f;
+  opt.type = 0;
+  EXPECT_NEAR(price_option(opt), 10.45, 0.05);
+  opt.type = 1;
+  EXPECT_NEAR(price_option(opt), 5.57, 0.05);
+}
+
+TEST(BlackScholes, PutCallParity) {
+  // C - P = S - K*exp(-rT) must hold for every generated option.
+  auto options = generate_options(200, 31);
+  for (auto opt : options) {
+    opt.type = 0;
+    const double call = price_option(opt);
+    opt.type = 1;
+    const double put = price_option(opt);
+    const double forward = opt.spot - opt.strike * std::exp(-opt.rate * opt.time);
+    EXPECT_NEAR(call - put, forward, 0.02 * opt.spot + 0.05);
+  }
+}
+
+TEST(BlackScholes, PricesAreNonNegative) {
+  auto options = generate_options(1000, 77);
+  std::vector<float> prices(options.size());
+  price_all(options, prices);
+  for (float p : prices) EXPECT_GE(p, -1e-4f);
+}
+
+TEST(BlackScholes, GeneratorIsDeterministic) {
+  auto a = generate_options(50, 5);
+  auto b = generate_options(50, 5);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].spot, b[i].spot);
+    EXPECT_EQ(a[i].type, b[i].type);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Linear algebra
+// --------------------------------------------------------------------------
+
+TEST(Linalg, BlockedMatchesNaive) {
+  const std::size_t n = 65;  // non-multiple of the block size
+  Matrix a = Matrix::random(n, n, 1);
+  Matrix b = Matrix::random(n, n, 2);
+  Matrix c1(n, n), c2(n, n);
+  matmul(a, b, c1);
+  matmul_naive(a, b, c2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(c1.at(i, j), c2.at(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(Linalg, StripesComposeToFullProduct) {
+  const std::size_t n = 40;
+  Matrix a = Matrix::random(n, n, 3);
+  Matrix b = Matrix::random(n, n, 4);
+  Matrix full(n, n), halves(n, n);
+  matmul(a, b, full);
+  matmul_stripe(a, b, halves, 0, n / 2);
+  matmul_stripe(a, b, halves, n / 2, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_DOUBLE_EQ(full.at(i, j), halves.at(i, j));
+    }
+  }
+}
+
+TEST(Linalg, JacobiConvergesOnDominantSystem) {
+  const std::size_t n = 60;
+  Matrix a = diagonally_dominant(n, 9);
+  std::vector<double> x_true(n);
+  Rng rng(10);
+  for (auto& v : x_true) v = rng.uniform(-5.0, 5.0);
+  std::vector<double> b(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b[i] += a.at(i, j) * x_true[j];
+  }
+  std::vector<double> x(n, 0.0);
+  const double initial = residual_norm(a, b, x);
+  const double final = jacobi_solve(a, b, x, 200);
+  EXPECT_LT(final, 1e-6 * initial);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-5);
+}
+
+TEST(Linalg, JacobiResidualDecreasesMonotonically) {
+  const std::size_t n = 30;
+  Matrix a = diagonally_dominant(n, 11);
+  std::vector<double> b(n, 1.0);
+  std::vector<double> x(n, 0.0);
+  double prev = residual_norm(a, b, x);
+  for (int round = 0; round < 5; ++round) {
+    jacobi_solve(a, b, x, 10);
+    const double now = residual_norm(a, b, x);
+    if (now < 1e-12) break;  // converged to machine precision
+    EXPECT_LT(now, prev);
+    prev = now;
+  }
+  EXPECT_LT(residual_norm(a, b, x), 1e-6);
+}
+
+TEST(Linalg, CostModelsScaleCorrectly) {
+  // Matmul cost is cubic, Jacobi quadratic.
+  EXPECT_NEAR(static_cast<double>(matmul_time(200, 200, 200)) /
+                  static_cast<double>(matmul_time(100, 200, 200)),
+              2.0, 0.01);
+  EXPECT_NEAR(static_cast<double>(jacobi_time(400, 400)) /
+                  static_cast<double>(jacobi_time(200, 400)),
+              2.0, 0.01);
+}
+
+// --------------------------------------------------------------------------
+// Image processing
+// --------------------------------------------------------------------------
+
+TEST(Image, PpmRoundTrip) {
+  Image img = synthetic_image(30'000, 3);
+  auto encoded = encode_ppm(img);
+  auto decoded = decode_ppm(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().width, img.width);
+  EXPECT_EQ(decoded.value().height, img.height);
+  EXPECT_EQ(decoded.value().pixels, img.pixels);
+}
+
+TEST(Image, DecodeRejectsCorruptHeaders) {
+  EXPECT_FALSE(decode_ppm(Bytes{'P', '5', '\n'}).ok());
+  EXPECT_FALSE(decode_ppm(Bytes{'P', '6', '\n', 'x'}).ok());
+  Image img = synthetic_image(5000, 1);
+  auto encoded = encode_ppm(img);
+  encoded.resize(encoded.size() / 2);  // truncate pixels
+  EXPECT_FALSE(decode_ppm(encoded).ok());
+}
+
+TEST(Image, SyntheticImageHitsTargetSize) {
+  for (std::size_t target : {97'000ull, 3'600'000ull}) {
+    Image img = synthetic_image(target, 7);
+    const double actual = static_cast<double>(encode_ppm(img).size());
+    EXPECT_NEAR(actual / static_cast<double>(target), 1.0, 0.1);
+  }
+}
+
+TEST(Image, ThumbnailShrinksAndPreservesAspect) {
+  Image img = synthetic_image(300'000, 5);
+  auto thumb_bytes = thumbnail(encode_ppm(img), 128);
+  ASSERT_TRUE(thumb_bytes.ok());
+  auto thumb = decode_ppm(thumb_bytes.value());
+  ASSERT_TRUE(thumb.ok());
+  EXPECT_LE(std::max(thumb.value().width, thumb.value().height), 128u);
+  const double src_aspect = static_cast<double>(img.width) / img.height;
+  const double dst_aspect =
+      static_cast<double>(thumb.value().width) / thumb.value().height;
+  EXPECT_NEAR(src_aspect, dst_aspect, 0.05);
+}
+
+TEST(Image, SmallImagePassesThroughUnscaled) {
+  Image img = synthetic_image(3000, 6);  // ~32x32
+  auto out = thumbnail(encode_ppm(img), 128);
+  ASSERT_TRUE(out.ok());
+  auto decoded = decode_ppm(out.value());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().width, img.width);
+}
+
+TEST(Image, ResizeExtremesStayInRange) {
+  Image img = synthetic_image(50'000, 8);
+  Image up = resize_bilinear(img, img.width * 2, img.height * 2);
+  Image down = resize_bilinear(img, 4, 4);
+  EXPECT_EQ(up.width, img.width * 2);
+  EXPECT_EQ(down.pixels.size(), 48u);
+}
+
+// --------------------------------------------------------------------------
+// NN inference
+// --------------------------------------------------------------------------
+
+TEST(Nn, SoftmaxIsDistribution) {
+  auto p = nn::softmax({1.0f, 2.0f, 3.0f, -1.0f});
+  float sum = 0;
+  for (float v : p) {
+    EXPECT_GT(v, 0.0f);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  EXPECT_GT(p[2], p[0]);  // larger logit -> larger probability
+}
+
+TEST(Nn, ConvolutionShapes) {
+  nn::Conv2d conv(3, 8, 3, 2, 1);
+  nn::Tensor x(3, 16, 16);
+  auto y = conv.forward(x);
+  EXPECT_EQ(y.channels(), 8u);
+  EXPECT_EQ(y.height(), 8u);
+  EXPECT_EQ(y.width(), 8u);
+}
+
+TEST(Nn, ClassifierIsDeterministic) {
+  nn::Classifier model(10, 42);
+  Image img = synthetic_image(20'000, 9);
+  auto ppm = encode_ppm(img);
+  auto p1 = model.classify_ppm(ppm);
+  auto p2 = model.classify_ppm(ppm);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p1.value(), p2.value());
+  float sum = 0;
+  for (float v : p1.value()) sum += v;
+  EXPECT_NEAR(sum, 1.0f, 1e-4f);
+  EXPECT_EQ(p1.value().size(), 10u);
+}
+
+TEST(Nn, DifferentInputsGiveDifferentOutputs) {
+  nn::Classifier model(10, 42);
+  auto p1 = model.classify_ppm(encode_ppm(synthetic_image(20'000, 1)));
+  auto p2 = model.classify_ppm(encode_ppm(synthetic_image(20'000, 2)));
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_NE(p1.value(), p2.value());
+}
+
+TEST(Nn, RejectsGarbageInput) {
+  nn::Classifier model(10, 42);
+  EXPECT_FALSE(model.classify_ppm(Bytes{1, 2, 3}).ok());
+}
+
+// --------------------------------------------------------------------------
+// Cluster utilization (Fig. 2 substrate)
+// --------------------------------------------------------------------------
+
+TEST(Cluster, TraceMatchesPizDaintCharacteristics) {
+  ClusterConfig cfg;
+  cfg.nodes = 400;
+  cfg.horizon = 2ull * 24 * 3600 * 1'000'000'000ull;  // 2 days for test speed
+  auto trace = simulate_cluster(cfg, 2021);
+  ASSERT_GT(trace.samples.size(), 1000u);
+  // The paper observes bursty idleness (0-50%) and 80-95% free memory.
+  EXPECT_GT(trace.mean_idle_cpu(), 2.0);
+  EXPECT_LT(trace.mean_idle_cpu(), 40.0);
+  EXPECT_GT(trace.max_idle_cpu(), 15.0);
+  EXPECT_GT(trace.mean_free_memory(), 70.0);
+  EXPECT_LT(trace.mean_free_memory(), 99.0);
+}
+
+TEST(Cluster, DeterministicAcrossRuns) {
+  ClusterConfig cfg;
+  cfg.nodes = 100;
+  cfg.horizon = 12ull * 3600 * 1'000'000'000ull;
+  auto a = simulate_cluster(cfg, 7);
+  auto b = simulate_cluster(cfg, 7);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i].idle_cpu_pct, b.samples[i].idle_cpu_pct);
+  }
+}
+
+TEST(Cluster, IdlenessIsBursty) {
+  // Short availability windows (Fig. 2a): the idle fraction must vary.
+  ClusterConfig cfg;
+  cfg.nodes = 400;
+  cfg.horizon = 2ull * 24 * 3600 * 1'000'000'000ull;
+  auto trace = simulate_cluster(cfg, 3);
+  rfs::OnlineStats idle;
+  for (const auto& s : trace.samples) idle.add(s.idle_cpu_pct);
+  EXPECT_GT(idle.stddev(), 2.0);
+}
+
+// --------------------------------------------------------------------------
+// FaaS function packages
+// --------------------------------------------------------------------------
+
+TEST(FaasFunctions, ThumbnailPackage) {
+  rfaas::FunctionRegistry registry;
+  register_thumbnail(registry);
+  auto pkg = registry.find("thumbnail");
+  ASSERT_TRUE(pkg.ok());
+
+  Image img = synthetic_image(97'000, 12);
+  auto input = encode_ppm(img);
+  Bytes output(1_MiB);
+  auto n = pkg.value()->entry(input.data(), static_cast<std::uint32_t>(input.size()),
+                              output.data());
+  ASSERT_GT(n, 0u);
+  output.resize(n);
+  auto thumb = decode_ppm(output);
+  ASSERT_TRUE(thumb.ok());
+  EXPECT_LE(thumb.value().width, 128u);
+  // Cost model: ~4.4 ms for the 97 kB input (paper Fig. 11a).
+  const double ms = to_ms(pkg.value()->compute_time(static_cast<std::uint32_t>(input.size())));
+  EXPECT_NEAR(ms, 4.1, 1.0);
+}
+
+TEST(FaasFunctions, InferencePackage) {
+  rfaas::FunctionRegistry registry;
+  register_inference(registry, 100);
+  auto pkg = registry.find("inference");
+  ASSERT_TRUE(pkg.ok());
+
+  auto input = encode_ppm(synthetic_image(53'000, 13));
+  Bytes output(1_MiB);
+  auto n = pkg.value()->entry(input.data(), static_cast<std::uint32_t>(input.size()),
+                              output.data());
+  EXPECT_EQ(n, 100 * sizeof(float));
+  EXPECT_EQ(pkg.value()->compute_time(1), 112_ms);
+}
+
+TEST(FaasFunctions, BlackScholesPackage) {
+  rfaas::FunctionRegistry registry;
+  register_blackscholes(registry);
+  auto pkg = registry.find("blackscholes");
+  ASSERT_TRUE(pkg.ok());
+
+  auto options = generate_options(1000, 17);
+  Bytes output(1000 * sizeof(float));
+  auto n = pkg.value()->entry(options.data(),
+                              static_cast<std::uint32_t>(options.size() * sizeof(OptionData)),
+                              output.data());
+  EXPECT_EQ(n, 1000 * sizeof(float));
+  const auto* prices = reinterpret_cast<const float*>(output.data());
+  EXPECT_NEAR(prices[0], static_cast<float>(price_option(options[0])), 1e-4f);
+}
+
+TEST(FaasFunctions, MatmulHalfPackageComputesTopStripe) {
+  rfaas::FunctionRegistry registry;
+  register_matmul_half(registry, /*sample_shift=*/0);
+  auto pkg = registry.find("matmul-half");
+  ASSERT_TRUE(pkg.ok());
+
+  const std::uint32_t n = 32;
+  Matrix a = Matrix::random(n, n, 1);
+  Matrix b = Matrix::random(n, n, 2);
+  Bytes input(4 + 2 * n * n * sizeof(double));
+  std::memcpy(input.data(), &n, 4);
+  std::memcpy(input.data() + 4, a.data(), n * n * sizeof(double));
+  std::memcpy(input.data() + 4 + n * n * sizeof(double), b.data(), n * n * sizeof(double));
+  Bytes output(n * n * sizeof(double) / 2);
+  auto len = pkg.value()->entry(input.data(), static_cast<std::uint32_t>(input.size()),
+                                output.data());
+  EXPECT_EQ(len, n / 2 * n * sizeof(double));
+
+  Matrix expected(n, n);
+  matmul_naive(a, b, expected);
+  const auto* c = reinterpret_cast<const double*>(output.data());
+  for (std::uint32_t i = 0; i < n / 2; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(c[i * n + j], expected.at(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(FaasFunctions, JacobiHalfPackageCachesMatrix) {
+  rfaas::FunctionRegistry registry;
+  register_jacobi_half(registry, /*sample_shift=*/0);
+  auto pkg = registry.find("jacobi-half");
+  ASSERT_TRUE(pkg.ok());
+
+  const std::uint32_t n = 16;
+  const std::uint64_t session = 0xABCD;
+  Matrix a = diagonally_dominant(n, 21);
+  std::vector<double> b(n, 1.0);
+  std::vector<double> x(n, 0.0);
+
+  // First call: full payload [n | session | A | b | x].
+  Bytes full(12 + n * n * sizeof(double) + 2 * n * sizeof(double));
+  std::memcpy(full.data(), &n, 4);
+  std::memcpy(full.data() + 4, &session, 8);
+  std::memcpy(full.data() + 12, a.data(), n * n * sizeof(double));
+  std::memcpy(full.data() + 12 + n * n * sizeof(double), b.data(), n * sizeof(double));
+  std::memcpy(full.data() + 12 + n * n * sizeof(double) + n * sizeof(double), x.data(),
+              n * sizeof(double));
+  Bytes output(n * sizeof(double));
+  auto len = pkg.value()->entry(full.data(), static_cast<std::uint32_t>(full.size()),
+                                output.data());
+  EXPECT_EQ(len, n / 2 * sizeof(double));
+
+  // Verify against a direct half-sweep.
+  std::vector<double> reference(n, 0.0);
+  jacobi_sweep(a, b, x, reference, 0, n / 2);
+  const auto* got = reinterpret_cast<const double*>(output.data());
+  for (std::uint32_t i = 0; i < n / 2; ++i) EXPECT_NEAR(got[i], reference[i], 1e-12);
+
+  // Second call: cached payload [n | session | x] only.
+  std::vector<double> x2(n, 0.5);
+  Bytes cached(12 + n * sizeof(double));
+  std::memcpy(cached.data(), &n, 4);
+  std::memcpy(cached.data() + 4, &session, 8);
+  std::memcpy(cached.data() + 12, x2.data(), n * sizeof(double));
+  len = pkg.value()->entry(cached.data(), static_cast<std::uint32_t>(cached.size()),
+                           output.data());
+  EXPECT_EQ(len, n / 2 * sizeof(double));
+  std::vector<double> reference2(n, 0.0);
+  jacobi_sweep(a, b, x2, reference2, 0, n / 2);
+  for (std::uint32_t i = 0; i < n / 2; ++i) EXPECT_NEAR(got[i], reference2[i], 1e-12);
+
+  // The cached-call cost model must be far cheaper than the first call.
+  const auto first_cost = pkg.value()->compute_time(static_cast<std::uint32_t>(full.size()));
+  const auto cached_cost = pkg.value()->compute_time(static_cast<std::uint32_t>(cached.size()));
+  EXPECT_LT(cached_cost * 2, first_cost);
+}
+
+TEST(FaasFunctions, RegisterAllProvidesEverything) {
+  rfaas::FunctionRegistry registry;
+  register_all(registry);
+  for (const char* name :
+       {"echo", "thumbnail", "inference", "blackscholes", "matmul-half", "jacobi-half"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace rfs::workloads
