@@ -13,7 +13,7 @@ using namespace rfs::bench;
 
 constexpr unsigned kReps = 31;
 
-sim::Task<LatencyStats> measure(rfaas::Platform& p, rfaas::Invoker& invoker,
+sim::Task<LatencyStats> measure(cluster::Harness& p, rfaas::Invoker& invoker,
                                 rfaas::InvocationPolicy policy, bool polling_client,
                                 std::size_t payload) {
   rfaas::AllocationSpec spec;
@@ -36,8 +36,7 @@ void run() {
   //        routing (every request detours through a control-plane service
   //        on the resource manager's host over TCP).
   {
-    auto opts = paper_testbed();
-    rfaas::Platform p(opts);
+    cluster::Harness p(paper_testbed());
     p.registry().add_echo();
     p.start();
     // A control-plane stand-in: TCP echo endpoint on the RM's device.
@@ -59,7 +58,7 @@ void run() {
         sim::spawn(*sim::Engine::current(), serve(stream, processing));
       }
     };
-    sim::spawn(p.engine(), control_plane(&listener, p.config().lease_processing));
+    p.spawn(control_plane(&listener, p.config().lease_processing));
 
     LatencyStats direct;
     std::vector<double> routed;
@@ -86,7 +85,7 @@ void run() {
       }
       co_await invoker2->deallocate();
     };
-    sim::spawn(p.engine(), body());
+    p.spawn(body());
     p.run(p.engine().now() + 600_s);
 
     Table table({"scheme", "median RTT", "slowdown"});
@@ -103,8 +102,7 @@ void run() {
     for (auto policy : {rfaas::InvocationPolicy::HotAlways,
                         rfaas::InvocationPolicy::WarmAlways}) {
       for (bool polling : {true, false}) {
-        auto opts = paper_testbed();
-        rfaas::Platform p(opts);
+        cluster::Harness p(paper_testbed());
         p.registry().add_echo();
         p.start();
         LatencyStats stats;
@@ -112,7 +110,7 @@ void run() {
           auto invoker = p.make_invoker(0, 1);
           stats = co_await measure(p, *invoker, policy, polling, 64);
         };
-        sim::spawn(p.engine(), body());
+        p.spawn(body());
         p.run(p.engine().now() + 600_s);
         table.row({policy == rfaas::InvocationPolicy::HotAlways ? "hot (busy poll)"
                                                                 : "warm (blocking)",
@@ -126,9 +124,9 @@ void run() {
   {
     Table table({"max_inline", "hot median (64 B payload)"});
     for (std::uint32_t ceiling : {0u, 64u, 128u, 256u}) {
-      auto opts = paper_testbed();
-      opts.config.network.max_inline = ceiling;
-      rfaas::Platform p(opts);
+      auto spec = paper_testbed();
+      spec.config.network.max_inline = ceiling;
+      cluster::Harness p(spec);
       p.registry().add_echo();
       p.start();
       LatencyStats stats;
@@ -136,7 +134,7 @@ void run() {
         auto invoker = p.make_invoker(0, 1);
         stats = co_await measure(p, *invoker, rfaas::InvocationPolicy::HotAlways, true, 64);
       };
-      sim::spawn(p.engine(), body());
+      p.spawn(body());
       p.run(p.engine().now() + 600_s);
       table.row({std::to_string(ceiling) + " B", Table::us(stats.median)});
     }

@@ -1,29 +1,28 @@
-// Shared helpers of the figure-reproduction benchmarks: standard platform
-// deployments matching the paper's testbed, invocation timing loops, and
-// table output. Every bench prints a human-readable table (paper layout)
-// followed by a CSV block for plotting.
+// Shared helpers of the figure-reproduction benchmarks: standard cluster
+// scenarios matching the paper's testbed (built through the rfs::cluster
+// harness), invocation timing loops, and table output. Every bench prints
+// a human-readable table (paper layout) followed by a CSV block for
+// plotting, and writes a machine-readable BENCH_<tag>.json next to the
+// working directory so the perf trajectory can be tracked across PRs.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "cluster/harness.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "rfaas/platform.hpp"
 #include "workloads/faas_functions.hpp"
 
 namespace rfs::bench {
 
 /// The paper's testbed: nodes with two 18-core Xeon Gold 6154 and a
 /// 100 Gb/s RoCEv2 NIC.
-inline rfaas::PlatformOptions paper_testbed(unsigned executors = 2) {
-  rfaas::PlatformOptions opts;
-  opts.spot_executors = executors;
-  opts.cores_per_executor = 36;
-  opts.memory_per_executor = 64ull << 30;
-  opts.client_hosts = 1;
-  return opts;
+inline cluster::ScenarioSpec paper_testbed(unsigned executors = 2) {
+  return cluster::ScenarioSpec::uniform(executors, /*cores=*/36,
+                                        /*memory_bytes=*/64ull << 30, /*clients=*/1);
 }
 
 /// Statistics of a batch of timed invocations, in nanoseconds.
@@ -79,12 +78,30 @@ inline void banner(const char* figure, const char* description) {
   std::printf("============================================================\n\n");
 }
 
-/// Prints a table followed by its CSV form.
+/// Directory the BENCH_<tag>.json files land in; override with the
+/// RFS_BENCH_JSON_DIR environment variable, disable with an empty value.
+inline std::string bench_json_path(const char* tag) {
+  const char* dir = std::getenv("RFS_BENCH_JSON_DIR");
+  if (dir != nullptr && dir[0] == '\0') return {};
+  std::string path = dir != nullptr ? std::string(dir) + "/" : std::string{};
+  return path + "BENCH_" + tag + ".json";
+}
+
+/// Prints a table followed by its CSV form and writes BENCH_<tag>.json.
 inline void emit(Table& table, const char* csv_tag) {
   table.print();
   std::printf("\n--- CSV (%s) ---\n", csv_tag);
   table.print_csv();
   std::printf("\n");
+
+  const std::string path = bench_json_path(csv_tag);
+  if (path.empty()) return;
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    table.print_json(f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+  }
 }
 
 }  // namespace rfs::bench

@@ -19,9 +19,9 @@ struct Scenario {
 void run() {
   banner("Billing", "cost components of hot vs warm execution (Sec. IV-C)");
 
-  auto opts = paper_testbed();
-  opts.config.billing_flush_period = 100_ms;
-  rfaas::Platform p(opts);
+  auto spec = paper_testbed();
+  spec.config.billing_flush_period = 100_ms;
+  cluster::Harness p(spec);
   p.registry().add_echo();
   rfaas::CodePackage busy;
   busy.name = "busy";
@@ -57,7 +57,7 @@ void run() {
     }
     co_await sim::delay(500_ms);  // final billing flushes
   };
-  sim::spawn(p.engine(), body());
+  p.spawn(body());
   p.run(p.engine().now() + 3600_s);
 
   Table table({"policy", "ta (GiB*s)", "tc (ms)", "th (ms)", "cost (unit)"});

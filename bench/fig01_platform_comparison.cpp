@@ -40,9 +40,9 @@ void run() {
                                              256, 512, 1024, 2048, 5120};
 
   // --- rFaaS hot and warm -------------------------------------------------
-  auto opts = paper_testbed();
-  opts.config.worker_buffer_bytes = 8_MiB;
-  rfaas::Platform p(opts);
+  auto spec = paper_testbed();
+  spec.config.worker_buffer_bytes = 8_MiB;
+  cluster::Harness p(spec);
   p.registry().add_echo();
   p.start();
 
@@ -74,7 +74,7 @@ void run() {
     co_await invoker_hot->deallocate();
     co_await invoker_warm->deallocate();
   };
-  sim::spawn(p.engine(), client());
+  p.spawn(client());
   p.run(p.engine().now() + 3600_s);
 
   // --- Baselines (independent engine; same registry semantics) ------------

@@ -97,8 +97,7 @@ void run() {
   // rFaaS hot and warm (bare-metal and Docker, paper Sec. V-A).
   std::vector<LatencyStats> hot, warm, hot_docker;
   {
-    auto opts = paper_testbed();
-    rfaas::Platform p(opts);
+    cluster::Harness p(paper_testbed());
     p.registry().add_echo();
     p.start();
     auto inv_hot = p.make_invoker(0, 1);
@@ -126,7 +125,7 @@ void run() {
         hot_docker.push_back(co_await measure_invocations(*inv_docker, 0, in3, n, out3, kReps));
       }
     };
-    sim::spawn(p.engine(), client());
+    p.spawn(client());
     p.run(p.engine().now() + 600_s);
   }
 

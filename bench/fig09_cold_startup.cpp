@@ -15,7 +15,7 @@ struct ColdResult {
   Duration invoke = 0;
 };
 
-sim::Task<ColdResult> cold_start(rfaas::Platform& p, std::uint32_t client_id,
+sim::Task<ColdResult> cold_start(cluster::Harness& p, std::uint32_t client_id,
                                  rfaas::SandboxType sandbox, std::uint32_t workers,
                                  std::size_t payload) {
   auto invoker = p.make_invoker(0, client_id);
@@ -65,15 +65,14 @@ void run() {
   Table table({"config", "connect-mgr", "lease", "submit-alloc", "spawn-workers",
                "connect-workers", "submit-code", "invoke", "total"});
   for (const auto& cfg : configs) {
-    auto opts = paper_testbed();
-    rfaas::Platform p(opts);
+    cluster::Harness p(paper_testbed());
     p.registry().add_echo();
     p.start();
     ColdResult r;
     auto body = [&]() -> sim::Task<void> {
       r = co_await cold_start(p, 1, cfg.sandbox, cfg.workers, cfg.payload);
     };
-    sim::spawn(p.engine(), body());
+    p.spawn(body());
     p.run(p.engine().now() + 120_s);
 
     const auto& b = r.breakdown;

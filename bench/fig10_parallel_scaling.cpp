@@ -42,10 +42,10 @@ void run() {
   Table table({"payload", "workers", "hot-median", "warm-median", "rdma-bandwidth-bound"});
   for (std::size_t payload : payloads) {
     for (std::uint32_t workers : worker_counts) {
-      auto opts = paper_testbed(/*executors=*/1);
-      opts.cores_per_executor = 36;
-      opts.config.worker_buffer_bytes = 2_MiB;
-      rfaas::Platform p(opts);
+      auto spec = paper_testbed(/*executors=*/1);
+      spec.executors[0].cores = 36;
+      spec.config.worker_buffer_bytes = 2_MiB;
+      cluster::Harness p(spec);
       p.registry().add_echo();
       p.start();
 
@@ -78,7 +78,7 @@ void run() {
           co_await invoker->deallocate();
         }
       };
-      sim::spawn(p.engine(), body());
+      p.spawn(body());
       p.run(p.engine().now() + 600_s);
 
       // Bandwidth bound: all workers' requests + responses share the
@@ -86,7 +86,7 @@ void run() {
       // n * wire_time(payload) after the first posting.
       const double bound =
           static_cast<double>(workers) *
-              static_cast<double>(opts.config.network.wire_time(payload)) +
+              static_cast<double>(spec.config.network.wire_time(payload)) +
           3690.0;
       table.row({payload >= 1_MiB ? "1 MiB" : "1 kB", std::to_string(workers),
                  payload >= 1_MiB ? Table::ms(hot.median) : Table::us(hot.median),

@@ -28,8 +28,7 @@ Row measure_function(const std::string& fn, const Bytes& input, const char* labe
   row.input = label;
 
   // rFaaS: bare/docker x warm/hot.
-  auto opts = paper_testbed();
-  rfaas::Platform p(opts);
+  cluster::Harness p(paper_testbed());
   workloads::register_all(p.registry());
   p.start();
 
@@ -57,7 +56,7 @@ Row measure_function(const std::string& fn, const Bytes& input, const char* labe
       }
     }
   };
-  sim::spawn(p.engine(), body());
+  p.spawn(body());
   p.run(p.engine().now() + 3600_s);
 
   // AWS Lambda across memory sizes.

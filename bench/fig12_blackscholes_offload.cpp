@@ -30,7 +30,7 @@ struct Point {
   double hybrid_ms;
 };
 
-sim::Task<double> offload(rfaas::Platform& p, rfaas::Invoker& invoker,
+sim::Task<double> offload(cluster::Harness& p, rfaas::Invoker& invoker,
                           const std::vector<OptionData>& options, unsigned workers,
                           std::size_t count) {
   // Split `count` options across `workers` functions, dispatch all at
@@ -61,10 +61,10 @@ void run() {
 
   std::vector<Point> points;
   for (unsigned p_count : parallelism) {
-    auto opts = paper_testbed();
+    auto spec = paper_testbed();
     const std::size_t chunk = (kOptions + p_count - 1) / p_count * sizeof(OptionData);
-    opts.config.worker_buffer_bytes = chunk + 1_MiB;
-    rfaas::Platform plat(opts);
+    spec.config.worker_buffer_bytes = chunk + 1_MiB;
+    cluster::Harness plat(spec);
     register_blackscholes(plat.registry());
     plat.start();
 

@@ -18,16 +18,16 @@ using namespace rfs::bench;
 using namespace rfs::workloads;
 
 /// Builds a platform with two executor nodes and two rank (client) nodes.
-rfaas::PlatformOptions fig13_testbed(std::uint64_t worker_buf, std::uint64_t worker_out) {
-  auto opts = paper_testbed(/*executors=*/2);
-  opts.client_hosts = 2;
-  opts.cores_per_client = 36;
-  opts.config.worker_buffer_bytes = worker_buf;
-  opts.config.worker_out_buffer_bytes = worker_out;
-  return opts;
+cluster::ScenarioSpec fig13_testbed(std::uint64_t worker_buf, std::uint64_t worker_out) {
+  auto spec = paper_testbed(/*executors=*/2);
+  spec.client_hosts = 2;
+  spec.cores_per_client = 36;
+  spec.config.worker_buffer_bytes = worker_buf;
+  spec.config.worker_out_buffer_bytes = worker_out;
+  return spec;
 }
 
-rmpi::World make_world(rfaas::Platform& p, int nranks) {
+rmpi::World make_world(cluster::Harness& p, int nranks) {
   return rmpi::World(p.engine(), p.fabric().net(),
                      {&p.client_host(0), &p.client_host(1)},
                      {p.client_device(0).id(), p.client_device(1).id()}, nranks);
@@ -39,7 +39,7 @@ rmpi::World make_world(rfaas::Platform& p, int nranks) {
 
 double matmul_mpi_only(std::size_t n, int ranks) {
   auto opts = fig13_testbed(1_MiB, 1_MiB);
-  rfaas::Platform p(opts);
+  cluster::Harness p(opts);
   p.start();
   auto world = make_world(p, ranks);
   double elapsed_ms = 0;
@@ -59,7 +59,7 @@ double matmul_mpi_only(std::size_t n, int ranks) {
 double matmul_with_rfaas(std::size_t n, int ranks, const Matrix& a, const Matrix& b) {
   const std::uint64_t input_bytes = 4 + 2ull * n * n * sizeof(double);
   auto opts = fig13_testbed(input_bytes + 64_KiB, n * n * sizeof(double) / 2 + 64_KiB);
-  rfaas::Platform p(opts);
+  cluster::Harness p(opts);
   register_matmul_half(p.registry(), /*sample_shift=*/5);
   p.start();
   auto world = make_world(p, ranks);
@@ -109,7 +109,7 @@ double matmul_with_rfaas(std::size_t n, int ranks, const Matrix& a, const Matrix
 
 double jacobi_mpi_only(std::size_t n, int ranks, unsigned iterations) {
   auto opts = fig13_testbed(1_MiB, 1_MiB);
-  rfaas::Platform p(opts);
+  cluster::Harness p(opts);
   p.start();
   auto world = make_world(p, ranks);
   double elapsed_ms = 0;
@@ -132,7 +132,7 @@ double jacobi_with_rfaas(std::size_t n, int ranks, unsigned iterations, const Ma
                          const std::vector<double>& b) {
   const std::uint64_t first_bytes = 12 + n * n * sizeof(double) + 2 * n * sizeof(double);
   auto opts = fig13_testbed(first_bytes + 64_KiB, n * sizeof(double) + 64_KiB);
-  rfaas::Platform p(opts);
+  cluster::Harness p(opts);
   register_jacobi_half(p.registry(), /*sample_shift=*/5);
   p.start();
   auto world = make_world(p, ranks);

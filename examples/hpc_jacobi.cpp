@@ -7,7 +7,7 @@
 #include <cstdio>
 #include <cstring>
 
-#include "rfaas/platform.hpp"
+#include "cluster/harness.hpp"
 #include "rmpi/rmpi.hpp"
 #include "workloads/faas_functions.hpp"
 #include "workloads/linalg.hpp"
@@ -21,7 +21,7 @@ constexpr std::size_t kN = 256;
 constexpr unsigned kIterations = 30;
 constexpr int kRanks = 4;
 
-sim::Task<void> run_ranks(rfaas::Platform& p) {
+sim::Task<void> run_ranks(cluster::Harness& p) {
   rmpi::World world(p.engine(), p.fabric().net(), {&p.client_host(0)},
                     {p.client_device(0).id()}, kRanks);
 
@@ -90,14 +90,13 @@ sim::Task<void> run_ranks(rfaas::Platform& p) {
 }  // namespace
 
 int main() {
-  rfaas::PlatformOptions options;
-  options.spot_executors = 2;
-  options.client_hosts = 1;
-  options.config.worker_buffer_bytes = 2_MiB;
-  rfaas::Platform platform(options);
+  auto scenario = cluster::ScenarioSpec::uniform(/*executors=*/2);
+  scenario.client_hosts = 1;
+  scenario.config.worker_buffer_bytes = 2_MiB;
+  cluster::Harness platform(scenario);
   register_jacobi_half(platform.registry(), /*sample_shift=*/0);  // fully real compute
   platform.start();
-  sim::spawn(platform.engine(), run_ranks(platform));
+  platform.spawn(run_ranks(platform));
   platform.run(platform.engine().now() + 600_s);
   return 0;
 }

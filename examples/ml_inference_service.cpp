@@ -7,7 +7,7 @@
 #include <cstdio>
 #include <cstring>
 
-#include "rfaas/platform.hpp"
+#include "cluster/harness.hpp"
 #include "workloads/faas_functions.hpp"
 #include "workloads/image.hpp"
 
@@ -16,7 +16,7 @@ using namespace rfs::workloads;
 
 namespace {
 
-sim::Task<void> service(rfaas::Platform& p) {
+sim::Task<void> service(cluster::Harness& p) {
   auto invoker = p.make_invoker(0, 1);
 
   rfaas::AllocationSpec spec;
@@ -67,12 +67,10 @@ sim::Task<void> service(rfaas::Platform& p) {
 }  // namespace
 
 int main() {
-  rfaas::PlatformOptions options;
-  options.spot_executors = 1;
-  rfaas::Platform platform(options);
+  cluster::Harness platform(cluster::ScenarioSpec::uniform(/*executors=*/1));
   register_all(platform.registry());
   platform.start();
-  sim::spawn(platform.engine(), service(platform));
+  platform.spawn(service(platform));
   platform.run(platform.engine().now() + 600_s);
   return 0;
 }

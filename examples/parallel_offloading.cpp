@@ -7,7 +7,7 @@
 #include <cstdio>
 #include <cstring>
 
-#include "rfaas/platform.hpp"
+#include "cluster/harness.hpp"
 #include "workloads/blackscholes.hpp"
 #include "workloads/faas_functions.hpp"
 
@@ -19,7 +19,7 @@ namespace {
 constexpr std::size_t kOptions = 2'000'000;  // ~69 MB portfolio
 constexpr unsigned kParallelism = 8;
 
-sim::Task<double> offload_all(rfaas::Platform& p, rfaas::Invoker& invoker,
+sim::Task<double> offload_all(cluster::Harness& p, rfaas::Invoker& invoker,
                               const std::vector<OptionData>& options, std::size_t count) {
   const std::size_t per_worker = (count + kParallelism - 1) / kParallelism;
   std::vector<rdmalib::Buffer<std::uint8_t>> ins;
@@ -46,7 +46,7 @@ sim::Task<double> offload_all(rfaas::Platform& p, rfaas::Invoker& invoker,
   co_return to_ms(p.engine().now() - t0);
 }
 
-sim::Task<void> run(rfaas::Platform& p) {
+sim::Task<void> run(cluster::Harness& p) {
   auto options = generate_options(kOptions, 11);
   const Duration local_serial = blackscholes_time(kOptions);
 
@@ -89,13 +89,12 @@ sim::Task<void> run(rfaas::Platform& p) {
 }  // namespace
 
 int main() {
-  rfaas::PlatformOptions options;
-  options.spot_executors = 2;
-  options.config.worker_buffer_bytes = 16_MiB;
-  rfaas::Platform platform(options);
+  auto scenario = cluster::ScenarioSpec::uniform(/*executors=*/2);
+  scenario.config.worker_buffer_bytes = 16_MiB;
+  cluster::Harness platform(scenario);
   register_blackscholes(platform.registry());
   platform.start();
-  sim::spawn(platform.engine(), run(platform));
+  platform.spawn(run(platform));
   platform.run(platform.engine().now() + 600_s);
   return 0;
 }

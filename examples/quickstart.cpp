@@ -5,13 +5,13 @@
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
-#include "rfaas/platform.hpp"
+#include "cluster/harness.hpp"
 
 using namespace rfs;
 
 namespace {
 
-sim::Task<void> client(rfaas::Platform& platform) {
+sim::Task<void> client(cluster::Harness& platform) {
   // 1. Create the invoker bound to this client's RDMA NIC.
   auto invoker = platform.make_invoker(/*client_host=*/0, /*client_id=*/1);
 
@@ -53,13 +53,11 @@ sim::Task<void> client(rfaas::Platform& platform) {
 }  // namespace
 
 int main() {
-  rfaas::PlatformOptions options;
-  options.spot_executors = 1;
-  rfaas::Platform platform(options);
+  cluster::Harness platform(cluster::ScenarioSpec::uniform(/*executors=*/1));
   platform.registry().add_echo();
   platform.start();
 
-  sim::spawn(platform.engine(), client(platform));
+  platform.spawn(client(platform));
   platform.run(platform.engine().now() + 60_s);
 
   auto usage = platform.rm().billing().usage(1);

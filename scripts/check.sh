@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build (warnings-as-errors for src/),
+# and run the full test suite. This is the gate every PR must keep green.
+#
+#   ./scripts/check.sh [build-dir]
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build="${1:-$repo/build}"
+
+cmake -B "$build" -S "$repo" -DRFS_WERROR=ON
+cmake --build "$build" -j "$(nproc)"
+ctest --test-dir "$build" --output-on-failure -j "$(nproc)"

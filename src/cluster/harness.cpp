@@ -1,0 +1,159 @@
+#include "cluster/harness.hpp"
+
+#include "common/log.hpp"
+
+namespace rfs::cluster {
+
+double UtilizationTrace::mean_utilization() const {
+  if (samples.empty()) return 0;
+  double sum = 0;
+  for (const auto& s : samples) sum += s.utilization_pct;
+  return sum / static_cast<double>(samples.size());
+}
+
+double UtilizationTrace::peak_utilization() const {
+  double peak = 0;
+  for (const auto& s : samples) peak = std::max(peak, s.utilization_pct);
+  return peak;
+}
+
+Harness::Harness(ScenarioSpec spec) : spec_(std::move(spec)) {
+  engine_.make_current();
+  fabric_ = std::make_unique<fabric::Fabric>(engine_, spec_.config.network);
+  tcp_ = std::make_unique<net::TcpNetwork>(engine_, fabric_->net());
+
+  const unsigned racks = std::max(1u, spec_.racks);
+  unsigned host_counter = 0;  // round-robin rack assignment across all hosts
+
+  rm_host_ = std::make_unique<sim::Host>("rm", 4, 16ull << 30);
+  rm_device_ = &fabric_->create_device("rm-nic", rm_host_.get());
+  rm_device_->set_locality(host_counter++ % racks);
+  rm_ = std::make_unique<rfaas::ResourceManager>(engine_, *fabric_, *tcp_, *rm_host_,
+                                                 *rm_device_, spec_.config);
+
+  unsigned executor_index = 0;
+  for (const auto& group : spec_.executors) {
+    for (unsigned i = 0; i < group.count; ++i, ++executor_index) {
+      executor_hosts_.push_back(std::make_unique<sim::Host>(
+          "spot" + std::to_string(executor_index), group.cores, group.memory_bytes));
+      auto& dev = fabric_->create_device("spot-nic" + std::to_string(executor_index),
+                                         executor_hosts_.back().get());
+      dev.set_locality(host_counter++ % racks);
+      executor_devices_.push_back(&dev);
+      executors_.push_back(std::make_unique<rfaas::ExecutorManager>(
+          engine_, *fabric_, *tcp_, *executor_hosts_.back(), dev, spec_.config, registry_));
+    }
+  }
+
+  for (unsigned i = 0; i < spec_.client_hosts; ++i) {
+    client_hosts_.push_back(std::make_unique<sim::Host>(
+        "client" + std::to_string(i), spec_.cores_per_client, spec_.memory_per_client));
+    auto& dev = fabric_->create_device("client-nic" + std::to_string(i),
+                                       client_hosts_.back().get());
+    dev.set_locality(host_counter++ % racks);
+    client_devices_.push_back(&dev);
+  }
+}
+
+Harness::~Harness() = default;
+
+void Harness::start() {
+  rm_->start();
+  for (auto& e : executors_) {
+    e->start(rm_device_->id(), rm_->port());
+  }
+  // Let registration and billing connections settle before clients move.
+  engine_.run_until(engine_.now() + 5_ms);
+}
+
+std::unique_ptr<rfaas::Invoker> Harness::make_invoker(std::size_t client_host,
+                                                      std::uint32_t client_id) {
+  return std::make_unique<rfaas::Invoker>(engine_, *fabric_, *tcp_, spec_.config,
+                                          *client_devices_.at(client_host), rm_device_->id(),
+                                          rm_->port(), client_id);
+}
+
+void Harness::run(Time until) {
+  if (until == 0) {
+    engine_.run();
+  } else {
+    engine_.run_until(until);
+  }
+}
+
+sim::Task<void> Harness::lease_client_loop(std::size_t client, LeaseWorkload workload,
+                                           std::uint64_t seed, Time deadline,
+                                           std::shared_ptr<WorkloadCounters> out) {
+  Rng rng(seed);
+  auto uniform = [&rng](std::uint64_t lo, std::uint64_t hi) { return rng.uniform_int(lo, hi); };
+
+  auto conn = co_await tcp_->connect(client_devices_.at(client)->id(), rm_device_->id(),
+                                     rm_->port());
+  if (!conn.ok()) co_return;
+  auto stream = conn.value();
+
+  while (engine_.now() < deadline) {
+    rfaas::LeaseRequestMsg req;
+    req.client_id = static_cast<std::uint32_t>(client + 1);
+    req.workers =
+        static_cast<std::uint32_t>(uniform(workload.workers_min, workload.workers_max));
+    req.memory_bytes = workload.memory_per_worker;
+    req.timeout = workload.lease_timeout;
+    stream->send(rfaas::encode(req));
+    auto raw = co_await stream->recv();
+    if (!raw.has_value()) break;
+
+    auto grant = rfaas::decode_lease_grant(*raw);
+    if (grant.ok()) {
+      ++out->granted;
+      co_await sim::delay(uniform(workload.hold_min, workload.hold_max));
+      rfaas::ReleaseResourcesMsg rel;
+      rel.lease_id = grant.value().lease_id;
+      rel.workers = grant.value().workers;
+      rel.memory_bytes = req.memory_bytes * grant.value().workers;
+      stream->send(rfaas::encode(rel));
+    } else {
+      ++out->denied;
+    }
+    co_await sim::delay(uniform(workload.think_min, workload.think_max));
+  }
+  stream->close();
+}
+
+UtilizationTrace Harness::run_lease_workload(const LeaseWorkload& workload, Duration horizon,
+                                             Duration sample_every) {
+  const Time deadline = engine_.now() + horizon;
+  auto counters = std::make_shared<WorkloadCounters>();
+  auto samples = std::make_shared<std::vector<UtilizationTrace::Sample>>();
+
+  for (std::size_t c = 0; c < client_hosts_.size(); ++c) {
+    // Decorrelate client streams while keeping the run reproducible.
+    const std::uint64_t seed = workload.seed * 0x9e3779b97f4a7c15ull + c;
+    spawn(lease_client_loop(c, workload, seed, deadline, counters));
+  }
+
+  auto sampler = [](Harness* self, std::shared_ptr<std::vector<UtilizationTrace::Sample>> out,
+                    Time end, Duration every) -> sim::Task<void> {
+    while (self->engine_.now() < end) {
+      co_await sim::delay(every);
+      const auto total = self->rm_->registry().total_workers();
+      const auto free = self->rm_->registry().free_workers_total();
+      UtilizationTrace::Sample s;
+      s.at = self->engine_.now();
+      s.utilization_pct =
+          total == 0 ? 0 : 100.0 * static_cast<double>(total - free) / total;
+      out->push_back(s);
+    }
+  };
+  spawn(sampler(this, samples, deadline, sample_every));
+
+  engine_.run_until(deadline);
+
+  UtilizationTrace trace;
+  trace.samples = *samples;
+  trace.granted = counters->granted;
+  trace.denied = counters->denied;
+  return trace;
+}
+
+}  // namespace rfs::cluster

@@ -1,0 +1,162 @@
+// Cluster scenario harness: one declarative description of a complete
+// rFaaS deployment — engine, fabric, TCP overlay, topology, resource
+// manager, N spot executors (possibly heterogeneous) and M client hosts —
+// shared by every bench, example and end-to-end test. Mirrors how SeBS
+// separates the FaaS `System` abstraction from its experiment drivers:
+// scenarios say *what* to deploy, the harness owns *how*.
+//
+// Beyond construction, the harness drives lease-level workloads for
+// cluster-utilization experiments (Fig. 2 style): M clients allocating,
+// holding and releasing leases against the resource manager, sampled into
+// a utilization trace. Invocation-level experiments build invokers via
+// make_invoker() exactly as before.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "rfaas/executor.hpp"
+#include "rfaas/invoker.hpp"
+#include "rfaas/resource_manager.hpp"
+
+namespace rfs::cluster {
+
+/// One group of identical spot executors.
+struct ExecutorGroup {
+  unsigned count = 1;
+  unsigned cores = 36;  // two 18-core Xeon Gold 6154
+  std::uint64_t memory_bytes = 64ull << 30;
+};
+
+/// Declarative description of a deployment.
+struct ScenarioSpec {
+  std::vector<ExecutorGroup> executors{{2, 36, 64ull << 30}};
+  unsigned client_hosts = 1;
+  unsigned cores_per_client = 36;
+  std::uint64_t memory_per_client = 64ull << 30;
+  /// Topology groups (racks); hosts are assigned round-robin. 1 = flat.
+  unsigned racks = 1;
+  rfaas::Config config{};
+
+  /// Homogeneous fleet shorthand.
+  static ScenarioSpec uniform(unsigned executors, unsigned cores = 36,
+                              std::uint64_t memory_bytes = 64ull << 30, unsigned clients = 1) {
+    ScenarioSpec spec;
+    spec.executors = {{executors, cores, memory_bytes}};
+    spec.client_hosts = clients;
+    return spec;
+  }
+
+  [[nodiscard]] unsigned total_executors() const {
+    unsigned n = 0;
+    for (const auto& g : executors) n += g.count;
+    return n;
+  }
+};
+
+/// Parameters of the lease-level open-loop workload each client runs
+/// during run_lease_workload(): allocate a lease of a random size, hold
+/// it, release it, think, repeat.
+struct LeaseWorkload {
+  std::uint32_t workers_min = 1;
+  std::uint32_t workers_max = 8;
+  std::uint64_t memory_per_worker = 256ull << 20;
+  Duration hold_min = 2_s;
+  Duration hold_max = 20_s;
+  Duration think_min = 100_ms;
+  Duration think_max = 2_s;
+  Duration lease_timeout = 300_s;
+  std::uint64_t seed = 7;
+};
+
+/// Result of a lease workload run: the sampled worker-utilization trace
+/// plus grant/denial counters.
+struct UtilizationTrace {
+  struct Sample {
+    Time at = 0;
+    double utilization_pct = 0;  // busy workers / total workers
+  };
+  std::vector<Sample> samples;
+  std::uint64_t granted = 0;
+  std::uint64_t denied = 0;
+
+  [[nodiscard]] double mean_utilization() const;
+  [[nodiscard]] double peak_utilization() const;
+};
+
+class Harness {
+ public:
+  explicit Harness(ScenarioSpec spec);
+  ~Harness();
+
+  /// Spawns the resource manager and executor managers, then runs the
+  /// engine briefly so registration completes.
+  void start();
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] fabric::Fabric& fabric() { return *fabric_; }
+  [[nodiscard]] net::TcpNetwork& tcp() { return *tcp_; }
+  [[nodiscard]] rfaas::FunctionRegistry& registry() { return registry_; }
+  [[nodiscard]] const rfaas::Config& config() const { return spec_.config; }
+  [[nodiscard]] const ScenarioSpec& spec() const { return spec_; }
+  [[nodiscard]] rfaas::ResourceManager& rm() { return *rm_; }
+
+  [[nodiscard]] std::size_t executor_count() const { return executors_.size(); }
+  [[nodiscard]] rfaas::ExecutorManager& executor(std::size_t i) { return *executors_.at(i); }
+  [[nodiscard]] sim::Host& executor_host(std::size_t i) { return *executor_hosts_.at(i); }
+
+  [[nodiscard]] std::size_t client_count() const { return client_hosts_.size(); }
+  [[nodiscard]] sim::Host& client_host(std::size_t i) { return *client_hosts_.at(i); }
+  [[nodiscard]] fabric::Device& client_device(std::size_t i) { return *client_devices_.at(i); }
+
+  /// Builds an invoker bound to client host `i`.
+  std::unique_ptr<rfaas::Invoker> make_invoker(std::size_t client_host = 0,
+                                               std::uint32_t client_id = 1);
+
+  /// Spawns a scenario coroutine on the engine.
+  void spawn(sim::Task<void> task) { sim::spawn(engine_, std::move(task)); }
+
+  /// Runs the engine until no events remain (or `until` when nonzero).
+  void run(Time until = 0);
+
+  /// Runs the engine for `d` more virtual nanoseconds.
+  void run_for(Duration d) { engine_.run_until(engine_.now() + d); }
+
+  /// Drives every client host through `workload` for `horizon` virtual
+  /// time while sampling cluster worker utilization every `sample_every`.
+  /// The scenario must be start()ed first.
+  UtilizationTrace run_lease_workload(const LeaseWorkload& workload, Duration horizon,
+                                      Duration sample_every = 1_s);
+
+ private:
+  // Heap-shared so client coroutines still parked on a hold/think delay
+  // when the horizon ends can outlive run_lease_workload() safely.
+  struct WorkloadCounters {
+    std::uint64_t granted = 0;
+    std::uint64_t denied = 0;
+  };
+
+  sim::Task<void> lease_client_loop(std::size_t client, LeaseWorkload workload,
+                                    std::uint64_t seed, Time deadline,
+                                    std::shared_ptr<WorkloadCounters> out);
+
+  ScenarioSpec spec_;
+  sim::Engine engine_;
+  std::unique_ptr<fabric::Fabric> fabric_;
+  std::unique_ptr<net::TcpNetwork> tcp_;
+  rfaas::FunctionRegistry registry_;
+
+  std::unique_ptr<sim::Host> rm_host_;
+  fabric::Device* rm_device_ = nullptr;
+  std::unique_ptr<rfaas::ResourceManager> rm_;
+
+  std::vector<std::unique_ptr<sim::Host>> executor_hosts_;
+  std::vector<fabric::Device*> executor_devices_;
+  std::vector<std::unique_ptr<rfaas::ExecutorManager>> executors_;
+
+  std::vector<std::unique_ptr<sim::Host>> client_hosts_;
+  std::vector<fabric::Device*> client_devices_;
+};
+
+}  // namespace rfs::cluster

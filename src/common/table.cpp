@@ -64,4 +64,41 @@ void Table::print_csv(std::FILE* out) const {
   for (const auto& r : rows_) print_row(r);
 }
 
+void Table::print_json(std::FILE* out) const {
+  auto print_string = [&](const std::string& s) {
+    std::fputc('"', out);
+    for (char ch : s) {
+      switch (ch) {
+        case '"': std::fputs("\\\"", out); break;
+        case '\\': std::fputs("\\\\", out); break;
+        case '\n': std::fputs("\\n", out); break;
+        case '\t': std::fputs("\\t", out); break;
+        default:
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            std::fprintf(out, "\\u%04x", ch);
+          } else {
+            std::fputc(ch, out);
+          }
+      }
+    }
+    std::fputc('"', out);
+  };
+  auto print_array = [&](const std::vector<std::string>& cells) {
+    std::fputc('[', out);
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) std::fputs(", ", out);
+      print_string(cells[c]);
+    }
+    std::fputc(']', out);
+  };
+  std::fputs("{\"columns\": ", out);
+  print_array(header_);
+  std::fputs(", \"rows\": [", out);
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r) std::fputs(", ", out);
+    print_array(rows_[r]);
+  }
+  std::fputs("]}\n", out);
+}
+
 }  // namespace rfs

@@ -27,6 +27,10 @@ class Table {
   /// Renders comma-separated values (header + rows) to `out`.
   void print_csv(std::FILE* out = stdout) const;
 
+  /// Renders {"columns": [...], "rows": [[...], ...]} to `out`; cells are
+  /// emitted as JSON strings (they carry formatted units).
+  void print_json(std::FILE* out = stdout) const;
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

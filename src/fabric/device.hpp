@@ -98,6 +98,12 @@ class Device {
   /// Host the NIC is attached to (may be null in pure-fabric tests).
   [[nodiscard]] sim::Host* host() const { return host_; }
 
+  /// Topology group (rack / leaf switch) of the NIC. Deployment helpers
+  /// assign groups; locality-aware schedulers read them. Group 0 is the
+  /// default "unplaced" group.
+  [[nodiscard]] std::uint32_t locality() const { return locality_; }
+  void set_locality(std::uint32_t group) { locality_ = group; }
+
   ProtectionDomain* alloc_pd();
 
   /// Creates an unconnected RC queue pair.
@@ -114,6 +120,7 @@ class Device {
   DeviceId id_;
   std::string name_;
   sim::Host* host_;
+  std::uint32_t locality_ = 0;
   std::vector<std::unique_ptr<ProtectionDomain>> pds_;
   std::unordered_map<std::uint32_t, std::unique_ptr<QueuePair>> qps_;
 };

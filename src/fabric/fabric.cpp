@@ -39,6 +39,11 @@ Device* Fabric::device(DeviceId id) const {
   return id < devices_.size() ? devices_[id].get() : nullptr;
 }
 
+std::uint32_t Fabric::locality(DeviceId id) const {
+  auto* dev = device(id);
+  return dev != nullptr ? dev->locality() : 0;
+}
+
 Listener& Fabric::listen(Device& dev, std::uint16_t port) {
   auto key = std::make_pair(dev.id(), port);
   auto [it, inserted] = listeners_.try_emplace(key, std::make_unique<Listener>());

@@ -85,6 +85,9 @@ class Fabric {
 
   [[nodiscard]] Device* device(DeviceId id) const;
 
+  /// Topology group of a device's NIC; 0 when the device is unknown.
+  [[nodiscard]] std::uint32_t locality(DeviceId id) const;
+
   /// Starts listening on (device, port). Port must be unused.
   Listener& listen(Device& dev, std::uint16_t port);
 

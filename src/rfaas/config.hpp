@@ -18,6 +18,17 @@ enum class SandboxType : std::uint8_t {
 
 const char* to_string(SandboxType t);
 
+/// Lease-placement policy of the resource manager's scheduling layer
+/// (src/rfaas/scheduler.hpp). The paper keeps the manager off the hot
+/// path, so the policy only affects allocation, never invocation.
+enum class SchedulingPolicy : std::uint8_t {
+  RoundRobin,         // seed-equivalent scan over executors with capacity
+  LeastLoaded,        // most free workers first; balances heterogeneous fleets
+  PowerOfTwoChoices,  // two random candidates, locality-preferring tie-break
+};
+
+const char* to_string(SchedulingPolicy p);
+
 /// Cost model of one sandbox technology.
 struct SandboxModel {
   /// Creating the sandbox + starting the executor process. The paper
@@ -87,7 +98,10 @@ struct Config {
   /// this to keep the simulation's real memory footprint bounded.
   std::uint64_t worker_out_buffer_bytes = 0;
 
-  /// Heartbeat period of the resource manager.
+  /// Heartbeat period of the resource manager. Also the granularity of
+  /// manager-side lease-expiry reclamation: the heartbeat loop sweeps
+  /// expired leases, so an expired lease can hold its capacity for up to
+  /// one extra period. (Executors enforce expiry on their side exactly.)
   Duration heartbeat_period = 1_s;
 
   /// Lease oversubscription: the resource manager hands out up to
@@ -102,6 +116,15 @@ struct Config {
 
   /// How often executor managers flush accounting to the billing DB.
   Duration billing_flush_period = 2_s;
+
+  /// Lease scheduling policy and its knobs.
+  SchedulingPolicy scheduling = SchedulingPolicy::RoundRobin;
+  /// Seed of the randomized policies (power-of-two-choices); placements
+  /// are fully deterministic for a fixed seed.
+  std::uint64_t scheduler_seed = 42;
+  /// Power-of-two-choices: prefer an executor in the client's topology
+  /// group (rack) when exactly one of the two sampled candidates is local.
+  bool scheduler_locality = true;
 
   SandboxModel bare_metal{};
   SandboxModel docker{2700_ms, 50, 650, 1.7};

@@ -1,15 +1,14 @@
-// Deployment helper: assembles a complete rFaaS installation — engine,
-// fabric, TCP overlay, resource manager, N spot executors with their
-// lightweight allocators, and client hosts — mirroring the paper's
-// 4-node, 2x 18-core Xeon, 100 Gb/s RoCEv2 evaluation platform.
+// Back-compat deployment facade over rfs::cluster::Harness: assembles a
+// complete rFaaS installation — engine, fabric, TCP overlay, resource
+// manager, N spot executors with their lightweight allocators, and client
+// hosts — mirroring the paper's 4-node, 2x 18-core Xeon, 100 Gb/s RoCEv2
+// evaluation platform. New scenario code should use the harness and its
+// declarative ScenarioSpec directly (src/cluster/harness.hpp).
 #pragma once
 
 #include <memory>
-#include <vector>
 
-#include "rfaas/executor.hpp"
-#include "rfaas/invoker.hpp"
-#include "rfaas/resource_manager.hpp"
+#include "cluster/harness.hpp"
 
 namespace rfs::rfaas {
 
@@ -20,54 +19,53 @@ struct PlatformOptions {
   unsigned client_hosts = 1;
   unsigned cores_per_client = 36;
   Config config{};
+
+  [[nodiscard]] cluster::ScenarioSpec to_scenario() const {
+    cluster::ScenarioSpec spec;
+    spec.executors = {{spot_executors, cores_per_executor, memory_per_executor}};
+    spec.client_hosts = client_hosts;
+    spec.cores_per_client = cores_per_client;
+    spec.config = config;
+    return spec;
+  }
 };
 
 class Platform {
  public:
-  explicit Platform(PlatformOptions options = {});
-  ~Platform();
+  explicit Platform(PlatformOptions options = {}) : harness_(options.to_scenario()) {}
 
   /// Spawns the resource manager and executor managers, then runs the
   /// engine briefly so registration completes.
-  void start();
+  void start() { harness_.start(); }
 
-  [[nodiscard]] sim::Engine& engine() { return engine_; }
-  [[nodiscard]] fabric::Fabric& fabric() { return *fabric_; }
-  [[nodiscard]] net::TcpNetwork& tcp() { return *tcp_; }
-  [[nodiscard]] FunctionRegistry& registry() { return registry_; }
-  [[nodiscard]] const Config& config() const { return options_.config; }
-  [[nodiscard]] ResourceManager& rm() { return *rm_; }
+  [[nodiscard]] cluster::Harness& harness() { return harness_; }
+  [[nodiscard]] sim::Engine& engine() { return harness_.engine(); }
+  [[nodiscard]] fabric::Fabric& fabric() { return harness_.fabric(); }
+  [[nodiscard]] net::TcpNetwork& tcp() { return harness_.tcp(); }
+  [[nodiscard]] FunctionRegistry& registry() { return harness_.registry(); }
+  [[nodiscard]] const Config& config() const { return harness_.config(); }
+  [[nodiscard]] ResourceManager& rm() { return harness_.rm(); }
 
-  [[nodiscard]] std::size_t executor_count() const { return executors_.size(); }
-  [[nodiscard]] ExecutorManager& executor(std::size_t i) { return *executors_.at(i); }
-  [[nodiscard]] sim::Host& executor_host(std::size_t i) { return *executor_hosts_.at(i); }
+  [[nodiscard]] std::size_t executor_count() const { return harness_.executor_count(); }
+  [[nodiscard]] ExecutorManager& executor(std::size_t i) { return harness_.executor(i); }
+  [[nodiscard]] sim::Host& executor_host(std::size_t i) { return harness_.executor_host(i); }
 
-  [[nodiscard]] sim::Host& client_host(std::size_t i) { return *client_hosts_.at(i); }
-  [[nodiscard]] fabric::Device& client_device(std::size_t i) { return *client_devices_.at(i); }
+  [[nodiscard]] sim::Host& client_host(std::size_t i) { return harness_.client_host(i); }
+  [[nodiscard]] fabric::Device& client_device(std::size_t i) {
+    return harness_.client_device(i);
+  }
 
   /// Builds an invoker bound to client host `i`.
-  std::unique_ptr<Invoker> make_invoker(std::size_t client_host = 0, std::uint32_t client_id = 1);
+  std::unique_ptr<Invoker> make_invoker(std::size_t client_host = 0,
+                                        std::uint32_t client_id = 1) {
+    return harness_.make_invoker(client_host, client_id);
+  }
 
   /// Runs the engine until no events remain (or `until` when nonzero).
-  void run(Time until = 0);
+  void run(Time until = 0) { harness_.run(until); }
 
  private:
-  PlatformOptions options_;
-  sim::Engine engine_;
-  std::unique_ptr<fabric::Fabric> fabric_;
-  std::unique_ptr<net::TcpNetwork> tcp_;
-  FunctionRegistry registry_;
-
-  std::unique_ptr<sim::Host> rm_host_;
-  fabric::Device* rm_device_ = nullptr;
-  std::unique_ptr<ResourceManager> rm_;
-
-  std::vector<std::unique_ptr<sim::Host>> executor_hosts_;
-  std::vector<fabric::Device*> executor_devices_;
-  std::vector<std::unique_ptr<ExecutorManager>> executors_;
-
-  std::vector<std::unique_ptr<sim::Host>> client_hosts_;
-  std::vector<fabric::Device*> client_devices_;
+  cluster::Harness harness_;
 };
 
 }  // namespace rfs::rfaas

@@ -15,7 +15,8 @@ ResourceManager::ResourceManager(sim::Engine& engine, fabric::Fabric& fabric,
       device_(device),
       config_(std::move(config)),
       pd_(device.alloc_pd()),
-      billing_(*pd_) {}
+      billing_(*pd_),
+      scheduler_(make_scheduler(config_)) {}
 
 void ResourceManager::start() {
   alive_ = true;
@@ -28,22 +29,6 @@ void ResourceManager::stop() {
   alive_ = false;
   tcp_.listen(device_.id(), port_).shutdown();
   fabric_.stop_listening(device_, rdma_port_);
-}
-
-std::size_t ResourceManager::alive_executors() const {
-  std::size_t n = 0;
-  for (const auto& e : executors_) {
-    if (e.alive) ++n;
-  }
-  return n;
-}
-
-std::uint32_t ResourceManager::free_workers_total() const {
-  std::uint32_t n = 0;
-  for (const auto& e : executors_) {
-    if (e.alive) n += e.free_workers;
-  }
-  return n;
 }
 
 sim::Task<void> ResourceManager::run_server() {
@@ -74,7 +59,7 @@ sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> s
       // Stream closed. A registered executor disconnecting means it died
       // (or was stopped); reclaim immediately — faster than waiting for
       // missed heartbeats.
-      if (executor_index != SIZE_MAX && executors_[executor_index].alive) {
+      if (executor_index != SIZE_MAX && registry_.at(executor_index).alive) {
         mark_executor_dead(executor_index);
       }
       break;
@@ -87,14 +72,15 @@ sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> s
         if (!msg) break;
         ExecutorEntry entry;
         entry.info = msg.value();
-        entry.free_workers = static_cast<std::uint32_t>(
+        entry.total_workers = static_cast<std::uint32_t>(
             msg.value().cores * std::max(1.0, config_.lease_oversubscription));
+        entry.free_workers = entry.total_workers;
         entry.free_memory = msg.value().memory_bytes;
         entry.alive = true;
         entry.last_ack = engine_.now();
+        entry.locality = fabric_.locality(msg.value().device);
         entry.stream = stream;
-        executor_index = executors_.size();
-        executors_.push_back(std::move(entry));
+        executor_index = registry_.add(std::move(entry));
         RegisterOkMsg ok;
         ok.rm_rdma_port = rdma_port_;
         auto slot0 = billing_.tenant_slot(0);
@@ -112,7 +98,7 @@ sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> s
           break;
         }
         co_await sim::delay(config_.lease_processing);
-        stream->send(grant_lease(msg.value()));
+        stream->send(grant_lease(msg.value(), fabric_.locality(stream->remote_device())));
         break;
       }
       case MsgType::ReleaseResources: {
@@ -121,7 +107,7 @@ sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> s
         break;
       }
       case MsgType::HeartbeatAck: {
-        if (executor_index != SIZE_MAX) executors_[executor_index].last_ack = engine_.now();
+        if (executor_index != SIZE_MAX) registry_.at(executor_index).last_ack = engine_.now();
         break;
       }
       default:
@@ -130,40 +116,45 @@ sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> s
   }
 }
 
-Bytes ResourceManager::grant_lease(const LeaseRequestMsg& req) {
-  if (executors_.empty()) return encode_lease_error("no executors registered");
-  // Round-robin scan for an executor with spare capacity; partial grants
-  // are allowed — the client library aggregates leases until it reaches
-  // the requested parallelism (Sec. III-D).
-  const std::size_t n = executors_.size();
-  for (std::size_t probe = 0; probe < n; ++probe) {
-    std::size_t idx = (rr_next_ + probe) % n;
-    auto& e = executors_[idx];
-    if (!e.alive || e.free_workers == 0) continue;
-    const std::uint32_t workers = std::min(e.free_workers, req.workers);
-    const std::uint64_t memory = req.memory_bytes * workers;
-    if (memory > e.free_memory) continue;
+Bytes ResourceManager::grant_lease(const LeaseRequestMsg& req, std::uint32_t client_locality) {
+  if (registry_.empty()) return encode_lease_error("no executors registered");
+  if (req.workers == 0) return encode_lease_error("zero workers requested");
 
-    e.free_workers -= workers;
-    e.free_memory -= memory;
-    rr_next_ = (idx + 1) % n;
+  ScheduleRequest request;
+  request.workers = req.workers;
+  request.memory_per_worker = req.memory_bytes;
+  request.client_locality = client_locality;
+
+  // Every placement decision flows through the scheduling policy; the
+  // registry commit revalidates, so an executor that died between the
+  // policy's scan and the grant is excluded and the decision retried
+  // instead of handing out a dangling lease.
+  std::vector<bool> excluded(registry_.size(), false);
+  while (auto placement = scheduler_->place(registry_, request, excluded)) {
+    if (!registry_.try_claim(placement->executor, placement->workers, placement->memory)) {
+      excluded[placement->executor] = true;
+      continue;
+    }
+    const auto& e = registry_.at(placement->executor);
 
     Lease lease;
     lease.id = next_lease_id_++;
     lease.client_id = req.client_id;
-    lease.executor_index = idx;
-    lease.workers = workers;
-    lease.memory_bytes = memory;
+    lease.executor_index = placement->executor;
+    lease.workers = placement->workers;
+    lease.memory_bytes = placement->memory;
     lease.expires_at = engine_.now() + req.timeout;
     leases_[lease.id] = lease;
-    sim::spawn(engine_, lease_expiry(lease.id, lease.expires_at));
+    // Introspection only; bounded so long-horizon simulations don't grow
+    // the manager's footprint linearly with grant count.
+    if (placement_log_.size() < kPlacementLogCap) placement_log_.push_back(*placement);
 
     LeaseGrantMsg grant;
     grant.lease_id = lease.id;
     grant.device = e.info.device;
     grant.alloc_port = e.info.alloc_port;
     grant.rdma_port = e.info.rdma_port;
-    grant.workers = workers;
+    grant.workers = placement->workers;
     grant.expires_at = lease.expires_at;
     return encode(grant);
   }
@@ -174,45 +165,45 @@ void ResourceManager::reclaim_lease(std::uint64_t lease_id) {
   auto it = leases_.find(lease_id);
   if (it == leases_.end()) return;
   const Lease& lease = it->second;
-  if (lease.executor_index < executors_.size()) {
-    auto& e = executors_[lease.executor_index];
-    e.free_workers += lease.workers;
-    e.free_memory += lease.memory_bytes;
-  }
+  registry_.release(lease.executor_index, lease.workers, lease.memory_bytes);
   leases_.erase(it);
 }
 
-sim::Task<void> ResourceManager::lease_expiry(std::uint64_t lease_id, Time expires_at) {
-  co_await sim::delay_until(expires_at);
-  // "Leases are time-limited"; if still present, reclaim the capacity.
-  // The executor manager enforces the expiry on its side as well.
-  reclaim_lease(lease_id);
+void ResourceManager::reclaim_expired(Time now) {
+  // "Leases are time-limited": return capacity of every lease past its
+  // deadline. The executor manager enforces the expiry on its side as
+  // well, so this sweep is the manager-side backstop.
+  std::vector<std::uint64_t> expired;
+  for (const auto& [id, lease] : leases_) {
+    if (lease.expires_at <= now) expired.push_back(id);
+  }
+  for (auto id : expired) reclaim_lease(id);
 }
 
 void ResourceManager::mark_executor_dead(std::size_t index) {
-  auto& e = executors_[index];
+  auto& e = registry_.at(index);
   if (!e.alive) return;
-  e.alive = false;
   log::warn("rm", "executor on device ", e.info.device, " is dead, reclaiming leases");
-  // Fast resource reclamation: drop all its leases.
+  // Fast resource reclamation: drop all its leases, zero its capacity.
   std::vector<std::uint64_t> to_drop;
   for (const auto& [id, lease] : leases_) {
     if (lease.executor_index == index) to_drop.push_back(id);
   }
   for (auto id : to_drop) leases_.erase(id);
-  e.free_workers = 0;
-  e.free_memory = 0;
+  registry_.mark_dead(index);
 }
 
 sim::Task<void> ResourceManager::heartbeat_loop() {
   // "Managers use heartbeats to verify the status of spot executors"
-  // (Sec. III-A).
+  // (Sec. III-A). The same loop sweeps expired leases back into the free
+  // pool — one periodic pass instead of one timer coroutine per lease.
   while (alive_) {
     co_await sim::delay(config_.heartbeat_period);
     if (!alive_) break;
     const Time now = engine_.now();
-    for (std::size_t i = 0; i < executors_.size(); ++i) {
-      auto& e = executors_[i];
+    reclaim_expired(now);
+    for (std::size_t i = 0; i < registry_.size(); ++i) {
+      auto& e = registry_.at(i);
       if (!e.alive) continue;
       if (now - e.last_ack > 5 * config_.heartbeat_period / 2) {
         mark_executor_dead(i);

@@ -3,9 +3,10 @@
 // The manager optimizes the FaaS control plane by splitting allocation
 // from invocation: clients involve it exactly once per allocation to
 // acquire a *lease* on a spot executor; all warm and hot invocations
-// bypass it entirely. It tracks spot executors (registration, heartbeats,
-// fast reclamation), grants leases round-robin over executors with free
-// capacity, and hosts the billing database updated by executor managers
+// bypass it entirely. Executor state (capacity, heartbeats, reclamation)
+// lives in ExecutorRegistry; every placement decision flows through the
+// pluggable Scheduler (src/rfaas/scheduler.hpp) selected by Config. The
+// manager also hosts the billing database updated by executor managers
 // with RDMA atomics.
 #pragma once
 
@@ -19,6 +20,7 @@
 #include "rfaas/billing.hpp"
 #include "rfaas/config.hpp"
 #include "rfaas/protocol.hpp"
+#include "rfaas/scheduler.hpp"
 #include "sim/host.hpp"
 
 namespace rfs::rfaas {
@@ -40,21 +42,22 @@ class ResourceManager {
   [[nodiscard]] BillingDatabase& billing() { return billing_; }
 
   /// Introspection for tests and benches.
-  [[nodiscard]] std::size_t registered_executors() const { return executors_.size(); }
-  [[nodiscard]] std::size_t alive_executors() const;
+  [[nodiscard]] const ExecutorRegistry& registry() const { return registry_; }
+  [[nodiscard]] std::size_t registered_executors() const { return registry_.size(); }
+  [[nodiscard]] std::size_t alive_executors() const { return registry_.alive_count(); }
   [[nodiscard]] std::size_t active_leases() const { return leases_.size(); }
-  [[nodiscard]] std::uint32_t free_workers_total() const;
+  [[nodiscard]] std::uint32_t free_workers_total() const {
+    return registry_.free_workers_total();
+  }
+  [[nodiscard]] const Scheduler& scheduler() const { return *scheduler_; }
+
+  /// Committed placements in grant order (first kPlacementLogCap only);
+  /// lets tests assert policy behavior (e.g. round-robin reproducing the
+  /// seed order) and benches compute placement balance.
+  static constexpr std::size_t kPlacementLogCap = 1 << 16;
+  [[nodiscard]] const std::vector<Placement>& placement_log() const { return placement_log_; }
 
  private:
-  struct ExecutorEntry {
-    RegisterExecutorMsg info;
-    std::uint32_t free_workers = 0;
-    std::uint64_t free_memory = 0;
-    bool alive = true;
-    Time last_ack = 0;
-    std::shared_ptr<net::TcpStream> stream;
-  };
-
   struct Lease {
     std::uint64_t id = 0;
     std::uint32_t client_id = 0;
@@ -68,10 +71,10 @@ class ResourceManager {
   sim::Task<void> handle_stream(std::shared_ptr<net::TcpStream> stream);
   sim::Task<void> run_billing_accept();
   sim::Task<void> heartbeat_loop();
-  sim::Task<void> lease_expiry(std::uint64_t lease_id, Time expires_at);
 
-  Bytes grant_lease(const LeaseRequestMsg& req);
+  Bytes grant_lease(const LeaseRequestMsg& req, std::uint32_t client_locality);
   void reclaim_lease(std::uint64_t lease_id);
+  void reclaim_expired(Time now);
   void mark_executor_dead(std::size_t index);
 
   sim::Engine& engine_;
@@ -89,10 +92,11 @@ class ResourceManager {
   BillingDatabase billing_;
   std::vector<std::unique_ptr<rdmalib::Connection>> billing_conns_;
 
-  std::vector<ExecutorEntry> executors_;
-  std::size_t rr_next_ = 0;  // round-robin scan start
+  ExecutorRegistry registry_;
+  std::unique_ptr<Scheduler> scheduler_;
   std::map<std::uint64_t, Lease> leases_;
   std::uint64_t next_lease_id_ = 1;
+  std::vector<Placement> placement_log_;
 };
 
 }  // namespace rfs::rfaas

@@ -1,0 +1,176 @@
+#include "rfaas/scheduler.hpp"
+
+namespace rfs::rfaas {
+
+const char* to_string(SchedulingPolicy p) {
+  switch (p) {
+    case SchedulingPolicy::RoundRobin: return "round-robin";
+    case SchedulingPolicy::LeastLoaded: return "least-loaded";
+    case SchedulingPolicy::PowerOfTwoChoices: return "power-of-two";
+  }
+  return "unknown";
+}
+
+// --------------------------------------------------------------------------
+// ExecutorRegistry
+// --------------------------------------------------------------------------
+
+std::size_t ExecutorRegistry::add(ExecutorEntry entry) {
+  entries_.push_back(std::move(entry));
+  return entries_.size() - 1;
+}
+
+std::size_t ExecutorRegistry::alive_count() const {
+  std::size_t n = 0;
+  for (const auto& e : entries_) {
+    if (e.alive) ++n;
+  }
+  return n;
+}
+
+std::uint32_t ExecutorRegistry::free_workers_total() const {
+  std::uint32_t n = 0;
+  for (const auto& e : entries_) {
+    if (e.alive) n += e.free_workers;
+  }
+  return n;
+}
+
+std::uint32_t ExecutorRegistry::total_workers() const {
+  std::uint32_t n = 0;
+  for (const auto& e : entries_) {
+    if (e.alive) n += e.total_workers;
+  }
+  return n;
+}
+
+bool ExecutorRegistry::try_claim(std::size_t i, std::uint32_t workers, std::uint64_t memory) {
+  if (i >= entries_.size()) return false;
+  auto& e = entries_[i];
+  if (!e.alive || workers == 0 || workers > e.free_workers || memory > e.free_memory) {
+    return false;
+  }
+  e.free_workers -= workers;
+  e.free_memory -= memory;
+  return true;
+}
+
+void ExecutorRegistry::release(std::size_t i, std::uint32_t workers, std::uint64_t memory) {
+  if (i >= entries_.size()) return;
+  auto& e = entries_[i];
+  if (!e.alive) return;  // capacity was zeroed at death
+  e.free_workers += workers;
+  e.free_memory += memory;
+}
+
+void ExecutorRegistry::mark_dead(std::size_t i) {
+  if (i >= entries_.size()) return;
+  auto& e = entries_[i];
+  e.alive = false;
+  e.free_workers = 0;
+  e.free_memory = 0;
+}
+
+// --------------------------------------------------------------------------
+// Policies
+// --------------------------------------------------------------------------
+
+namespace {
+
+/// Seed-equivalent fit rule shared by all policies: grant min(free,
+/// requested) workers; skip the executor if that many don't fit in its
+/// free memory (no shrinking to fit).
+std::optional<Placement> fit(const ExecutorRegistry& registry, std::size_t idx,
+                             const ScheduleRequest& request, const std::vector<bool>& excluded) {
+  if (idx < excluded.size() && excluded[idx]) return std::nullopt;
+  const auto& e = registry.at(idx);
+  if (!e.alive || e.free_workers == 0) return std::nullopt;
+  const std::uint32_t workers = std::min(e.free_workers, request.workers);
+  const std::uint64_t memory = request.memory_per_worker * workers;
+  if (memory > e.free_memory) return std::nullopt;
+  return Placement{idx, workers, memory};
+}
+
+}  // namespace
+
+std::optional<Placement> RoundRobinScheduler::place(const ExecutorRegistry& registry,
+                                                    const ScheduleRequest& request,
+                                                    const std::vector<bool>& excluded) {
+  const std::size_t n = registry.size();
+  if (n == 0) return std::nullopt;
+  for (std::size_t probe = 0; probe < n; ++probe) {
+    const std::size_t idx = (next_ + probe) % n;
+    if (auto p = fit(registry, idx, request, excluded)) {
+      next_ = (idx + 1) % n;
+      return p;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Placement> LeastLoadedScheduler::place(const ExecutorRegistry& registry,
+                                                     const ScheduleRequest& request,
+                                                     const std::vector<bool>& excluded) {
+  std::optional<Placement> best;
+  std::uint32_t best_free = 0;
+  for (std::size_t idx = 0; idx < registry.size(); ++idx) {
+    auto p = fit(registry, idx, request, excluded);
+    if (!p) continue;
+    const std::uint32_t free = registry.at(idx).free_workers;
+    if (!best || free > best_free) {
+      best = p;
+      best_free = free;
+    }
+  }
+  return best;
+}
+
+std::optional<Placement> PowerOfTwoScheduler::place(const ExecutorRegistry& registry,
+                                                    const ScheduleRequest& request,
+                                                    const std::vector<bool>& excluded) {
+  const std::size_t n = registry.size();
+  if (n == 0) return std::nullopt;
+
+  const std::size_t first = static_cast<std::size_t>(rng_.next() % n);
+  const std::size_t second =
+      n > 1 ? (first + 1 + static_cast<std::size_t>(rng_.next() % (n - 1))) % n : first;
+
+  auto a = fit(registry, first, request, excluded);
+  auto b = second != first ? fit(registry, second, request, excluded) : std::nullopt;
+
+  if (a && b) {
+    if (prefer_locality_) {
+      const bool a_local = registry.at(first).locality == request.client_locality;
+      const bool b_local = registry.at(second).locality == request.client_locality;
+      if (a_local != b_local) return a_local ? a : b;
+    }
+    if (registry.at(first).free_workers != registry.at(second).free_workers) {
+      return registry.at(first).free_workers > registry.at(second).free_workers ? a : b;
+    }
+    return first < second ? a : b;
+  }
+  if (a) return a;
+  if (b) return b;
+
+  // Both samples ineligible: deterministic fallback scan so small or
+  // nearly-full fleets still get placed.
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    if (auto p = fit(registry, idx, request, excluded)) return p;
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<Scheduler> make_scheduler(const Config& config) {
+  switch (config.scheduling) {
+    case SchedulingPolicy::LeastLoaded:
+      return std::make_unique<LeastLoadedScheduler>();
+    case SchedulingPolicy::PowerOfTwoChoices:
+      return std::make_unique<PowerOfTwoScheduler>(config.scheduler_seed,
+                                                   config.scheduler_locality);
+    case SchedulingPolicy::RoundRobin:
+    default:
+      return std::make_unique<RoundRobinScheduler>();
+  }
+}
+
+}  // namespace rfs::rfaas

@@ -1,0 +1,160 @@
+// Lease-scheduling layer of the resource manager (Sec. III-A/III-C).
+//
+// The paper's key control-plane split — allocation through the resource
+// manager, invocation bypassing it — means the placement policy only runs
+// once per lease and never on the hot path. This file separates the two
+// concerns the seed kept fused inside ResourceManager::grant_lease:
+//
+//  * ExecutorRegistry — the ground truth about spot executors: capacity,
+//    liveness, heartbeat bookkeeping and reclamation. A future sharded
+//    resource manager reuses it per shard.
+//  * Scheduler — a pluggable placement policy consulted for every lease
+//    decision. Policies see the registry read-only and return a Placement;
+//    the resource manager commits it through ExecutorRegistry::try_claim,
+//    which revalidates liveness and capacity (the executor may have died
+//    between scan and grant).
+//
+// Policies (selectable via Config::scheduling):
+//  * RoundRobin — the seed's behavior, bit-for-bit: scan from the cursor,
+//    grant min(free, requested) workers on the first fitting executor.
+//  * LeastLoaded — pick the executor with the most free workers; balances
+//    heterogeneous fleets and raises cluster utilization (Fig. 2).
+//  * PowerOfTwoChoices — sample two random candidates, prefer the one in
+//    the client's topology group, else the less loaded; O(1) per decision
+//    with near-optimal balance, the classic two-choices result.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/tcp.hpp"
+#include "rfaas/config.hpp"
+#include "rfaas/protocol.hpp"
+
+namespace rfs::rfaas {
+
+/// State of one registered spot executor.
+struct ExecutorEntry {
+  RegisterExecutorMsg info;
+  std::uint32_t total_workers = 0;  // cores * oversubscription
+  std::uint32_t free_workers = 0;
+  std::uint64_t free_memory = 0;
+  bool alive = true;
+  Time last_ack = 0;
+  std::uint32_t locality = 0;  // topology group of the executor NIC
+  std::shared_ptr<net::TcpStream> stream;
+};
+
+/// Registry of spot executors: capacity accounting, heartbeat bookkeeping
+/// and reclamation. Owned by the resource manager; read by schedulers.
+class ExecutorRegistry {
+ public:
+  /// Registers an executor; returns its stable index.
+  std::size_t add(ExecutorEntry entry);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] ExecutorEntry& at(std::size_t i) { return entries_.at(i); }
+  [[nodiscard]] const ExecutorEntry& at(std::size_t i) const { return entries_.at(i); }
+
+  [[nodiscard]] std::size_t alive_count() const;
+  [[nodiscard]] std::uint32_t free_workers_total() const;
+  [[nodiscard]] std::uint32_t total_workers() const;
+
+  /// Commits a placement: claims `workers` workers and `memory` bytes on
+  /// executor `i`. Fails (false) when the executor died between the
+  /// scheduling decision and the commit, or no longer has the capacity.
+  bool try_claim(std::size_t i, std::uint32_t workers, std::uint64_t memory);
+
+  /// Returns capacity reclaimed from a released or expired lease. No-op
+  /// on a dead executor: its counters were zeroed at death.
+  void release(std::size_t i, std::uint32_t workers, std::uint64_t memory);
+
+  /// Marks an executor dead and zeroes its capacity (fast reclamation).
+  void mark_dead(std::size_t i);
+
+ private:
+  std::vector<ExecutorEntry> entries_;
+};
+
+/// One placement decision: grant `workers` on executor `executor`,
+/// claiming `memory` bytes. Partial grants are allowed — the client
+/// library aggregates leases until it reaches the requested parallelism
+/// (Sec. III-D).
+struct Placement {
+  std::size_t executor = 0;
+  std::uint32_t workers = 0;
+  std::uint64_t memory = 0;  // total bytes claimed on that executor
+};
+
+/// The slice of a lease request a policy needs, plus the client's
+/// topology group (derived from its TCP stream, not the wire protocol).
+struct ScheduleRequest {
+  std::uint32_t workers = 1;
+  std::uint64_t memory_per_worker = 0;
+  std::uint32_t client_locality = 0;
+};
+
+/// Placement-policy interface. Implementations may keep internal state
+/// (cursor, RNG) but must be deterministic for a fixed seed.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Picks an executor for (part of) the request. `excluded[i]` marks
+  /// executors already tried and refused during this grant (e.g. found
+  /// dead at commit); policies must skip them. Returns nullopt when no
+  /// eligible executor has capacity.
+  [[nodiscard]] virtual std::optional<Placement> place(const ExecutorRegistry& registry,
+                                                       const ScheduleRequest& request,
+                                                       const std::vector<bool>& excluded) = 0;
+};
+
+/// Seed-equivalent round-robin scan.
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] const char* name() const override { return "round-robin"; }
+  [[nodiscard]] std::optional<Placement> place(const ExecutorRegistry& registry,
+                                               const ScheduleRequest& request,
+                                               const std::vector<bool>& excluded) override;
+
+ private:
+  std::size_t next_ = 0;  // scan start cursor
+};
+
+/// Most-free-workers-first; ties broken by lowest index.
+class LeastLoadedScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] const char* name() const override { return "least-loaded"; }
+  [[nodiscard]] std::optional<Placement> place(const ExecutorRegistry& registry,
+                                               const ScheduleRequest& request,
+                                               const std::vector<bool>& excluded) override;
+};
+
+/// Two random candidates; prefer the client's topology group, else the
+/// less loaded one. Falls back to a full scan when sampling finds no
+/// eligible executor (small or nearly-full fleets).
+class PowerOfTwoScheduler final : public Scheduler {
+ public:
+  explicit PowerOfTwoScheduler(std::uint64_t seed, bool prefer_locality)
+      : rng_(seed), prefer_locality_(prefer_locality) {}
+
+  [[nodiscard]] const char* name() const override { return "power-of-two"; }
+  [[nodiscard]] std::optional<Placement> place(const ExecutorRegistry& registry,
+                                               const ScheduleRequest& request,
+                                               const std::vector<bool>& excluded) override;
+
+ private:
+  Rng rng_;
+  bool prefer_locality_;
+};
+
+/// Builds the policy selected by `config.scheduling`.
+std::unique_ptr<Scheduler> make_scheduler(const Config& config);
+
+}  // namespace rfs::rfaas
