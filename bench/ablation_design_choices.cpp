@@ -11,7 +11,7 @@ namespace {
 
 using namespace rfs::bench;
 
-constexpr unsigned kReps = 31;
+const unsigned kReps = scaled_reps(31);
 
 sim::Task<LatencyStats> measure(cluster::Harness& p, rfaas::Invoker& invoker,
                                 rfaas::InvocationPolicy policy, bool polling_client,

@@ -6,6 +6,7 @@
 // working directory so the perf trajectory can be tracked across PRs.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -23,6 +24,28 @@ namespace rfs::bench {
 inline cluster::ScenarioSpec paper_testbed(unsigned executors = 2) {
   return cluster::ScenarioSpec::uniform(executors, /*cores=*/36,
                                         /*memory_bytes=*/64ull << 30, /*clients=*/1);
+}
+
+/// Smoke mode (RFS_SMOKE=1): CI's bench-smoke job shrinks iteration
+/// counts and horizons so every bench finishes in seconds while still
+/// exercising the full pipeline and emitting valid BENCH_*.json files.
+inline bool smoke_mode() {
+  const char* v = std::getenv("RFS_SMOKE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+/// Iteration count for the current mode: `full` normally, `full`
+/// divided by `shrink` (at least 2) under RFS_SMOKE=1.
+inline unsigned scaled_reps(unsigned full, unsigned shrink = 10) {
+  if (!smoke_mode()) return full;
+  return std::max(2u, full / std::max(1u, shrink));
+}
+
+/// Duration for the current mode: `full` normally, `full / shrink`
+/// under RFS_SMOKE=1 (never below one tenth of a second).
+inline Duration scaled_horizon(Duration full, unsigned shrink = 10) {
+  if (!smoke_mode()) return full;
+  return std::max<Duration>(100_ms, full / std::max(1u, shrink));
 }
 
 /// Statistics of a batch of timed invocations, in nanoseconds.

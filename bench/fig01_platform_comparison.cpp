@@ -11,7 +11,7 @@ namespace {
 
 using namespace rfs::bench;
 
-constexpr unsigned kReps = 15;
+const unsigned kReps = scaled_reps(15, 5);
 
 struct Series {
   std::string name;

@@ -11,7 +11,9 @@
 //     a heterogeneous fleet under the same open-loop lease workload.
 //     Least-loaded targets the freest executor, so partial grants are
 //     larger and fewer requests are denied — worker utilization must be
-//     at least round-robin's.
+//     at least round-robin's. A fourth row runs the power-of-two policy
+//     behind the 4-shard manager: at rack scale sharding must not cost
+//     utilization (the fleet-scale win is bench/fig02_large_fleet.cpp).
 #include "bench_common.hpp"
 #include "workloads/cluster.hpp"
 
@@ -21,7 +23,7 @@ namespace {
 using namespace rfs::bench;
 using namespace rfs::workloads;
 
-cluster::UtilizationTrace run_policy(rfaas::SchedulingPolicy policy) {
+cluster::UtilizationTrace run_policy(rfaas::SchedulingPolicy policy, unsigned shards = 1) {
   cluster::ScenarioSpec spec;
   // Heterogeneous spot fleet: a couple of big nodes plus many small ones
   // (the shape idle HPC capacity actually has), 16 client hosts.
@@ -29,6 +31,7 @@ cluster::UtilizationTrace run_policy(rfaas::SchedulingPolicy policy) {
   spec.client_hosts = 16;
   spec.racks = 4;
   spec.config.scheduling = policy;
+  spec.config.manager_shards = shards;
   cluster::Harness harness(spec);
   harness.start();
 
@@ -41,7 +44,7 @@ cluster::UtilizationTrace run_policy(rfaas::SchedulingPolicy policy) {
   workload.think_min = 100_ms;
   workload.think_max = 2_s;
   workload.seed = 2021;
-  return harness.run_lease_workload(workload, /*horizon=*/120_s, /*sample_every=*/1_s);
+  return harness.run_lease_workload(workload, scaled_horizon(120_s), /*sample_every=*/1_s);
 }
 
 void run() {
@@ -79,22 +82,26 @@ void run() {
 
   // --- (b) rFaaS spot fleet under each scheduling policy ------------------
   struct PolicyResult {
-    rfaas::SchedulingPolicy policy;
+    std::string name;
     cluster::UtilizationTrace trace;
   };
   std::vector<PolicyResult> results;
   for (auto policy : {rfaas::SchedulingPolicy::RoundRobin, rfaas::SchedulingPolicy::LeastLoaded,
                       rfaas::SchedulingPolicy::PowerOfTwoChoices}) {
-    results.push_back({policy, run_policy(policy)});
+    results.push_back({rfaas::to_string(policy), run_policy(policy)});
   }
+  results.push_back({"power-of-two/4-shards",
+                     run_policy(rfaas::SchedulingPolicy::PowerOfTwoChoices, /*shards=*/4)});
 
-  Table policies({"policy", "mean-util-%", "peak-util-%", "granted", "denied", "grant-rate-%"});
+  Table policies({"policy", "mean-util-%", "peak-util-%", "granted", "denied", "grant-rate-%",
+                  "p99-grant-ms"});
   for (const auto& r : results) {
     const double total = static_cast<double>(r.trace.granted + r.trace.denied);
-    policies.row({rfaas::to_string(r.policy), Table::num(r.trace.mean_utilization(), 1),
+    policies.row({r.name, Table::num(r.trace.mean_utilization(), 1),
                   Table::num(r.trace.peak_utilization(), 1), std::to_string(r.trace.granted),
                   std::to_string(r.trace.denied),
-                  Table::num(total == 0 ? 0 : 100.0 * r.trace.granted / total, 1)});
+                  Table::num(total == 0 ? 0 : 100.0 * r.trace.granted / total, 1),
+                  Table::num(r.trace.grant_latency_percentile(99) / 1e6, 3)});
   }
   emit(policies, "fig02_policies");
 

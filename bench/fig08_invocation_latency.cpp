@@ -11,7 +11,7 @@ namespace {
 
 using namespace rfs::bench;
 
-constexpr unsigned kReps = 51;
+const unsigned kReps = scaled_reps(51);
 
 /// Raw RDMA ping-pong latency (both directions inlined when they fit).
 sim::Task<double> rdma_pingpong(fabric::Fabric& fab, fabric::Device& a, fabric::Device& b,

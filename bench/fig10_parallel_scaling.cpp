@@ -11,7 +11,7 @@ namespace {
 
 using namespace rfs::bench;
 
-constexpr unsigned kRounds = 11;
+const unsigned kRounds = scaled_reps(11, 5);
 
 /// Dispatches `workers` concurrent invocations and reports the median
 /// per-invocation RTT across rounds.

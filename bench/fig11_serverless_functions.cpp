@@ -14,7 +14,7 @@ using namespace rfs::bench;
 using workloads::encode_ppm;
 using workloads::synthetic_image;
 
-constexpr unsigned kReps = 9;
+const unsigned kReps = scaled_reps(9, 4);
 
 struct Row {
   std::string input;

@@ -194,13 +194,19 @@ double jacobi_with_rfaas(std::size_t n, int ranks, unsigned iterations, const Ma
 void run() {
   banner("Figure 13", "MPI vs MPI+rFaaS: matmul and Jacobi (100 iterations)");
 
+  const std::vector<int> rank_counts = smoke_mode() ? std::vector<int>{16, 64}
+                                                    : std::vector<int>{16, 32, 64};
+
   // (a) Matrix multiplication, n = 400..800, 16/32/64 ranks.
   {
+    const std::vector<unsigned> sizes =
+        smoke_mode() ? std::vector<unsigned>{400u} : std::vector<unsigned>{400u, 500u, 600u,
+                                                                           700u, 800u};
     Table table({"n", "ranks", "mpi", "mpi+rfaas", "speedup"});
-    for (std::size_t n : {400u, 500u, 600u, 700u, 800u}) {
+    for (std::size_t n : sizes) {
       Matrix a = Matrix::random(n, n, 1);
       Matrix b = Matrix::random(n, n, 2);
-      for (int ranks : {16, 32, 64}) {
+      for (int ranks : rank_counts) {
         const double mpi = matmul_mpi_only(n, ranks);
         const double hybrid = matmul_with_rfaas(n, ranks, a, b);
         table.row({std::to_string(n), std::to_string(ranks), Table::ms(mpi * 1e6),
@@ -214,12 +220,15 @@ void run() {
 
   // (b) Jacobi, n = 500..2500, 100 iterations.
   {
-    constexpr unsigned kIterations = 100;
+    const unsigned kIterations = scaled_reps(100);
+    const std::vector<unsigned> sizes =
+        smoke_mode() ? std::vector<unsigned>{500u}
+                     : std::vector<unsigned>{500u, 1000u, 1500u, 2000u, 2500u};
     Table table({"n", "ranks", "mpi", "mpi+rfaas", "speedup"});
-    for (std::size_t n : {500u, 1000u, 1500u, 2000u, 2500u}) {
+    for (std::size_t n : sizes) {
       Matrix a = diagonally_dominant(n, 3);
       std::vector<double> b(n, 1.0);
-      for (int ranks : {16, 32, 64}) {
+      for (int ranks : rank_counts) {
         const double mpi = jacobi_mpi_only(n, ranks, kIterations);
         const double hybrid = jacobi_with_rfaas(n, ranks, kIterations, a, b);
         table.row({std::to_string(n), std::to_string(ranks), Table::ms(mpi * 1e6),

@@ -1,13 +1,40 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build (warnings-as-errors for src/),
-# and run the full test suite. This is the gate every PR must keep green.
+# and run the full test suite. This is the gate every PR must keep green,
+# locally and in CI (.github/workflows/ci.yml).
 #
-#   ./scripts/check.sh [build-dir]
+#   ./scripts/check.sh [--sanitize=address,undefined|thread] [build-dir]
+#
+# Extra cmake arguments (compiler launcher, generators) can be injected
+# through RFS_CMAKE_ARGS, e.g.
+#   RFS_CMAKE_ARGS="-DCMAKE_CXX_COMPILER_LAUNCHER=ccache" ./scripts/check.sh
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-build="${1:-$repo/build}"
+sanitize=""
+build=""
 
-cmake -B "$build" -S "$repo" -DRFS_WERROR=ON
+for arg in "$@"; do
+  case "$arg" in
+    --sanitize=*) sanitize="${arg#--sanitize=}" ;;
+    --help|-h)
+      sed -n '2,/^[^#]/p' "$0" | sed -n 's/^# \{0,1\}//p'
+      exit 0
+      ;;
+    *) build="$arg" ;;
+  esac
+done
+
+if [[ -z "$build" ]]; then
+  build="$repo/build"
+  [[ -n "$sanitize" ]] && build="$repo/build-${sanitize//,/-}"
+fi
+
+cmake_args=(-DRFS_WERROR=ON)
+[[ -n "$sanitize" ]] && cmake_args+=("-DRFS_SANITIZE=$sanitize")
+# shellcheck disable=SC2206 # intentional word splitting of extra args
+[[ -n "${RFS_CMAKE_ARGS:-}" ]] && cmake_args+=(${RFS_CMAKE_ARGS})
+
+cmake -B "$build" -S "$repo" "${cmake_args[@]}"
 cmake --build "$build" -j "$(nproc)"
 ctest --test-dir "$build" --output-on-failure -j "$(nproc)"

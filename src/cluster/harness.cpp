@@ -1,6 +1,7 @@
 #include "cluster/harness.hpp"
 
 #include "common/log.hpp"
+#include "common/stats.hpp"
 
 namespace rfs::cluster {
 
@@ -15,6 +16,38 @@ double UtilizationTrace::peak_utilization() const {
   double peak = 0;
   for (const auto& s : samples) peak = std::max(peak, s.utilization_pct);
   return peak;
+}
+
+double UtilizationTrace::grant_latency_percentile(double p) const {
+  if (grant_latency.empty()) return 0;
+  return Summary(grant_latency).percentile(p);
+}
+
+double UtilizationTrace::grant_throughput(Duration horizon) const {
+  if (horizon == 0) return 0;
+  return static_cast<double>(granted) / (static_cast<double>(horizon) * 1e-9);
+}
+
+ScenarioSpec ScenarioSpec::large_fleet(unsigned executors, unsigned clients, unsigned racks,
+                                       std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.executors.clear();
+  spec.client_hosts = std::max(1u, clients);
+  spec.racks = std::max(1u, racks);
+
+  Rng rng(seed);
+  const unsigned big = executors / 20;         // ~5%: two-socket 36-core nodes
+  const unsigned medium = executors * 3 / 20;  // ~15%: 16-core
+  const unsigned small = executors - big - medium;
+  const unsigned small8 = static_cast<unsigned>(static_cast<double>(small) *
+                                                rng.uniform(0.4, 0.6));
+  const unsigned small4 = small - small8;
+  if (big != 0) spec.executors.push_back({big, 36, 64ull << 30});
+  if (medium != 0) spec.executors.push_back({medium, 16, 32ull << 30});
+  if (small8 != 0) spec.executors.push_back({small8, 8, 16ull << 30});
+  if (small4 != 0) spec.executors.push_back({small4, 4, 8ull << 30});
+  if (spec.executors.empty()) spec.executors.push_back({executors, 8, 16ull << 30});
+  return spec;
 }
 
 Harness::Harness(ScenarioSpec spec) : spec_(std::move(spec)) {
@@ -55,7 +88,12 @@ Harness::Harness(ScenarioSpec spec) : spec_(std::move(spec)) {
   }
 }
 
-Harness::~Harness() = default;
+Harness::~Harness() {
+  // Reclaim every still-suspended actor (server loops, heartbeats,
+  // parked clients) while the fabric/TCP objects their frames reference
+  // are alive; member destructors then tear the world down actor-free.
+  engine_.drain_detached();
+}
 
 void Harness::start() {
   rm_->start();
@@ -81,6 +119,51 @@ void Harness::run(Time until) {
   }
 }
 
+namespace {
+
+rfaas::ReleaseResourcesMsg release_for(const rfaas::LeaseGrantMsg& grant,
+                                       const LeaseWorkload& workload) {
+  rfaas::ReleaseResourcesMsg rel;
+  rel.lease_id = grant.lease_id;
+  rel.workers = grant.workers;
+  rel.memory_bytes = workload.memory_per_worker * grant.workers;
+  return rel;
+}
+
+/// Holds a granted lease for `hold`, then releases it — detached from the
+/// tenant loop so hold times occupy the fleet without throttling the
+/// tenant's arrival process.
+sim::Task<void> hold_and_release(std::shared_ptr<net::TcpStream> stream,
+                                 rfaas::ReleaseResourcesMsg release, Duration hold) {
+  co_await sim::delay(hold);
+  if (!stream->closed()) stream->send(rfaas::encode(release));
+}
+
+}  // namespace
+
+sim::Task<std::pair<bool, std::optional<rfaas::LeaseGrantMsg>>> Harness::request_lease(
+    std::shared_ptr<net::TcpStream> stream, std::uint32_t client_id, std::uint32_t workers,
+    const LeaseWorkload& workload, WorkloadCounters& out) {
+  rfaas::LeaseRequestMsg req;
+  req.client_id = client_id;
+  req.workers = workers;
+  req.memory_bytes = workload.memory_per_worker;
+  req.timeout = workload.lease_timeout;
+  const Time sent_at = engine_.now();
+  stream->send(rfaas::encode(req));
+  auto raw = co_await stream->recv();
+  if (!raw.has_value()) co_return {false, std::nullopt};  // stream closed
+
+  auto grant = rfaas::decode_lease_grant(*raw);
+  if (!grant.ok()) {
+    ++out.denied;
+    co_return {true, std::nullopt};
+  }
+  ++out.granted;
+  out.grant_latency.push_back(static_cast<double>(engine_.now() - sent_at));
+  co_return {true, grant.value()};
+}
+
 sim::Task<void> Harness::lease_client_loop(std::size_t client, LeaseWorkload workload,
                                            std::uint64_t seed, Time deadline,
                                            std::shared_ptr<WorkloadCounters> out) {
@@ -93,31 +176,63 @@ sim::Task<void> Harness::lease_client_loop(std::size_t client, LeaseWorkload wor
   auto stream = conn.value();
 
   while (engine_.now() < deadline) {
-    rfaas::LeaseRequestMsg req;
-    req.client_id = static_cast<std::uint32_t>(client + 1);
-    req.workers =
+    const auto workers =
         static_cast<std::uint32_t>(uniform(workload.workers_min, workload.workers_max));
-    req.memory_bytes = workload.memory_per_worker;
-    req.timeout = workload.lease_timeout;
-    stream->send(rfaas::encode(req));
-    auto raw = co_await stream->recv();
-    if (!raw.has_value()) break;
-
-    auto grant = rfaas::decode_lease_grant(*raw);
-    if (grant.ok()) {
-      ++out->granted;
+    auto [open, grant] = co_await request_lease(stream, static_cast<std::uint32_t>(client + 1),
+                                                workers, workload, *out);
+    if (!open) break;
+    if (grant) {
+      // Closed loop: hold the lease, release, then think.
       co_await sim::delay(uniform(workload.hold_min, workload.hold_max));
-      rfaas::ReleaseResourcesMsg rel;
-      rel.lease_id = grant.value().lease_id;
-      rel.workers = grant.value().workers;
-      rel.memory_bytes = req.memory_bytes * grant.value().workers;
-      stream->send(rfaas::encode(rel));
-    } else {
-      ++out->denied;
+      stream->send(rfaas::encode(release_for(*grant, workload)));
     }
     co_await sim::delay(uniform(workload.think_min, workload.think_max));
   }
   stream->close();
+}
+
+sim::Task<void> Harness::tenant_client_loop(std::size_t client, TenantWorkload workload,
+                                            std::uint64_t seed, Time deadline,
+                                            std::shared_ptr<WorkloadCounters> out) {
+  Rng rng(seed);
+  auto conn = co_await tcp_->connect(client_devices_.at(client)->id(), rm_device_->id(),
+                                     rm_->port());
+  if (!conn.ok()) co_return;
+  auto stream = conn.value();
+
+  while (engine_.now() < deadline) {
+    const auto workers = static_cast<std::uint32_t>(
+        rng.uniform_int(workload.lease.workers_min, workload.lease.workers_max));
+    auto [open, grant] = co_await request_lease(stream, static_cast<std::uint32_t>(client + 1),
+                                                workers, workload.lease, *out);
+    if (!open) break;
+    if (grant) {
+      // The hold happens off-loop so it occupies the fleet without
+      // throttling this tenant's arrival process.
+      spawn(hold_and_release(
+          stream, release_for(*grant, workload.lease),
+          rng.uniform_int(workload.lease.hold_min, workload.lease.hold_max)));
+    }
+    const double think_s = rng.exponential(std::max(1e-9, workload.arrival_hz));
+    co_await sim::delay(static_cast<Duration>(think_s * 1e9));
+  }
+  stream->close();
+}
+
+sim::Task<void> Harness::sample_utilization(
+    std::shared_ptr<std::vector<UtilizationTrace::Sample>> out, Time deadline,
+    Duration every) {
+  // Aggregate counters work for any shard count (the registry accessor
+  // only sees shard 0 of a sharded manager).
+  while (engine_.now() < deadline) {
+    co_await sim::delay(every);
+    const auto total = rm_->total_workers();
+    const auto free = rm_->free_workers_total();
+    UtilizationTrace::Sample s;
+    s.at = engine_.now();
+    s.utilization_pct = total == 0 ? 0 : 100.0 * static_cast<double>(total - free) / total;
+    out->push_back(s);
+  }
 }
 
 UtilizationTrace Harness::run_lease_workload(const LeaseWorkload& workload, Duration horizon,
@@ -131,21 +246,7 @@ UtilizationTrace Harness::run_lease_workload(const LeaseWorkload& workload, Dura
     const std::uint64_t seed = workload.seed * 0x9e3779b97f4a7c15ull + c;
     spawn(lease_client_loop(c, workload, seed, deadline, counters));
   }
-
-  auto sampler = [](Harness* self, std::shared_ptr<std::vector<UtilizationTrace::Sample>> out,
-                    Time end, Duration every) -> sim::Task<void> {
-    while (self->engine_.now() < end) {
-      co_await sim::delay(every);
-      const auto total = self->rm_->registry().total_workers();
-      const auto free = self->rm_->registry().free_workers_total();
-      UtilizationTrace::Sample s;
-      s.at = self->engine_.now();
-      s.utilization_pct =
-          total == 0 ? 0 : 100.0 * static_cast<double>(total - free) / total;
-      out->push_back(s);
-    }
-  };
-  spawn(sampler(this, samples, deadline, sample_every));
+  spawn(sample_utilization(samples, deadline, sample_every));
 
   engine_.run_until(deadline);
 
@@ -153,6 +254,47 @@ UtilizationTrace Harness::run_lease_workload(const LeaseWorkload& workload, Dura
   trace.samples = *samples;
   trace.granted = counters->granted;
   trace.denied = counters->denied;
+  trace.grant_latency = counters->grant_latency;
+  return trace;
+}
+
+MultiTenantTrace Harness::run_multi_tenant_workload(const std::vector<TenantWorkload>& tenants,
+                                                    Duration horizon, Duration sample_every) {
+  const Time deadline = engine_.now() + horizon;
+  auto samples = std::make_shared<std::vector<UtilizationTrace::Sample>>();
+  std::vector<std::shared_ptr<WorkloadCounters>> sinks;
+
+  std::size_t next_client = 0;
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    const auto& tenant = tenants[t];
+    auto sink = std::make_shared<WorkloadCounters>();
+    sinks.push_back(sink);
+    for (unsigned c = 0; c < tenant.clients; ++c) {
+      const std::size_t client = next_client++ % client_hosts_.size();
+      const std::uint64_t seed =
+          tenant.lease.seed * 0x9e3779b97f4a7c15ull + (t << 20) + c;
+      spawn(tenant_client_loop(client, tenant, seed, deadline, sink));
+    }
+  }
+  spawn(sample_utilization(samples, deadline, sample_every));
+
+  engine_.run_until(deadline);
+
+  MultiTenantTrace trace;
+  trace.aggregate.samples = *samples;
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    TenantTrace tenant;
+    tenant.name = tenants[t].name;
+    tenant.granted = sinks[t]->granted;
+    tenant.denied = sinks[t]->denied;
+    tenant.grant_latency = sinks[t]->grant_latency;
+    trace.aggregate.granted += tenant.granted;
+    trace.aggregate.denied += tenant.denied;
+    trace.aggregate.grant_latency.insert(trace.aggregate.grant_latency.end(),
+                                         tenant.grant_latency.begin(),
+                                         tenant.grant_latency.end());
+    trace.tenants.push_back(std::move(tenant));
+  }
   return trace;
 }
 

@@ -8,11 +8,18 @@
 // Beyond construction, the harness drives lease-level workloads for
 // cluster-utilization experiments (Fig. 2 style): M clients allocating,
 // holding and releasing leases against the resource manager, sampled into
-// a utilization trace. Invocation-level experiments build invokers via
-// make_invoker() exactly as before.
+// a utilization trace. Multi-tenant runs (run_multi_tenant_workload)
+// drive several tenants with independent arrival rates and lease shapes
+// against the same fleet and record per-grant latencies, which is how the
+// large-fleet single-vs-sharded manager comparison measures tail grant
+// latency. Invocation-level experiments build invokers via make_invoker()
+// exactly as before.
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -48,6 +55,13 @@ struct ScenarioSpec {
     return spec;
   }
 
+  /// Thousands-of-executors fleet with the skew idle HPC capacity really
+  /// has: a few big nodes, a medium tier, and a long tail of small hosts
+  /// whose 8-core/4-core split is drawn deterministically from `seed`.
+  /// Always generates exactly `executors` executors.
+  static ScenarioSpec large_fleet(unsigned executors, unsigned clients, unsigned racks = 8,
+                                  std::uint64_t seed = 2023);
+
   [[nodiscard]] unsigned total_executors() const {
     unsigned n = 0;
     for (const auto& g : executors) n += g.count;
@@ -70,8 +84,9 @@ struct LeaseWorkload {
   std::uint64_t seed = 7;
 };
 
-/// Result of a lease workload run: the sampled worker-utilization trace
-/// plus grant/denial counters.
+/// Result of a lease workload run: the sampled worker-utilization trace,
+/// grant/denial counters, and the client-observed grant latencies
+/// (request sent -> grant received, virtual nanoseconds).
 struct UtilizationTrace {
   struct Sample {
     Time at = 0;
@@ -80,9 +95,40 @@ struct UtilizationTrace {
   std::vector<Sample> samples;
   std::uint64_t granted = 0;
   std::uint64_t denied = 0;
+  std::vector<double> grant_latency;  // ns per successful grant
 
   [[nodiscard]] double mean_utilization() const;
   [[nodiscard]] double peak_utilization() const;
+  /// Linear-interpolated grant-latency percentile, 0 when no grants.
+  [[nodiscard]] double grant_latency_percentile(double p) const;
+  /// Grants per virtual second over `horizon`.
+  [[nodiscard]] double grant_throughput(Duration horizon) const;
+};
+
+/// One tenant of a multi-tenant lease workload: a group of client hosts
+/// issuing requests at a per-client arrival rate (exponential think time;
+/// the loop is closed over the control round-trip, so manager queueing
+/// throttles a saturated tenant — exactly the effect under study). Leases
+/// are released from detached hold coroutines, so hold times occupy the
+/// fleet without limiting the tenant's request rate.
+struct TenantWorkload {
+  std::string name = "tenant";
+  unsigned clients = 4;     // client hosts dedicated to this tenant
+  double arrival_hz = 5.0;  // per-client lease-request rate
+  LeaseWorkload lease{};    // sizes, hold times, lease timeout, seed
+};
+
+/// Per-tenant slice of a multi-tenant run.
+struct TenantTrace {
+  std::string name;
+  std::uint64_t granted = 0;
+  std::uint64_t denied = 0;
+  std::vector<double> grant_latency;  // ns
+};
+
+struct MultiTenantTrace {
+  UtilizationTrace aggregate;  // fleet samples + summed counters/latencies
+  std::vector<TenantTrace> tenants;
 };
 
 class Harness {
@@ -129,17 +175,38 @@ class Harness {
   UtilizationTrace run_lease_workload(const LeaseWorkload& workload, Duration horizon,
                                       Duration sample_every = 1_s);
 
+  /// Drives the tenants concurrently for `horizon`: tenant i occupies the
+  /// next `tenants[i].clients` client hosts (wrapping modulo the host
+  /// count), each issuing lease requests at the tenant's arrival rate.
+  /// The scenario must be start()ed first.
+  MultiTenantTrace run_multi_tenant_workload(const std::vector<TenantWorkload>& tenants,
+                                             Duration horizon, Duration sample_every = 1_s);
+
  private:
   // Heap-shared so client coroutines still parked on a hold/think delay
   // when the horizon ends can outlive run_lease_workload() safely.
   struct WorkloadCounters {
     std::uint64_t granted = 0;
     std::uint64_t denied = 0;
+    std::vector<double> grant_latency;
   };
+
+  /// One lease round trip: request `workers` on `stream`, account the
+  /// outcome (granted/denied + grant latency) into `out`, and return the
+  /// grant (nullopt when denied, nullptr stream-closed signalled via the
+  /// bool). Shared by both client loops.
+  sim::Task<std::pair<bool, std::optional<rfaas::LeaseGrantMsg>>> request_lease(
+      std::shared_ptr<net::TcpStream> stream, std::uint32_t client_id, std::uint32_t workers,
+      const LeaseWorkload& workload, WorkloadCounters& out);
 
   sim::Task<void> lease_client_loop(std::size_t client, LeaseWorkload workload,
                                     std::uint64_t seed, Time deadline,
                                     std::shared_ptr<WorkloadCounters> out);
+  sim::Task<void> tenant_client_loop(std::size_t client, TenantWorkload workload,
+                                     std::uint64_t seed, Time deadline,
+                                     std::shared_ptr<WorkloadCounters> out);
+  sim::Task<void> sample_utilization(std::shared_ptr<std::vector<UtilizationTrace::Sample>> out,
+                                     Time deadline, Duration every);
 
   ScenarioSpec spec_;
   sim::Engine engine_;

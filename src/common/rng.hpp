@@ -9,19 +9,28 @@
 
 namespace rfs {
 
+/// The splitmix64 increment ("golden gamma") and output mix (Steele,
+/// Lea & Flood; public domain reference algorithm). splitmix64(state +=
+/// kSplitmix64Gamma) is one step of the sequence — used for Rng seeding
+/// and for lock-free deterministic streams driven by an atomic counter.
+inline constexpr std::uint64_t kSplitmix64Gamma = 0x9e3779b97f4a7c15ull;
+
+constexpr std::uint64_t splitmix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 /// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+  explicit Rng(std::uint64_t seed = kSplitmix64Gamma) { reseed(seed); }
 
   /// Re-initializes the state from a single 64-bit seed via splitmix64.
   void reseed(std::uint64_t seed) {
     for (auto& word : state_) {
-      seed += 0x9e3779b97f4a7c15ull;
-      std::uint64_t z = seed;
-      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-      word = z ^ (z >> 31);
+      seed += kSplitmix64Gamma;
+      word = splitmix64(seed);
     }
   }
 

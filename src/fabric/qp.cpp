@@ -180,7 +180,10 @@ sim::Task<void> QueuePair::run_send(SendWr wr, Bytes inline_copy) {
       complete_local(wr, WcStatus::RemoteAccessError, 0);
       co_return;
     }
-    std::memcpy(reinterpret_cast<void*>(wr.remote_addr), payload.data(), payload.size());
+    // Zero-length RDMA writes are legal; memcpy from a null data() is not.
+    if (!payload.empty()) {
+      std::memcpy(reinterpret_cast<void*>(wr.remote_addr), payload.data(), payload.size());
+    }
     if (wr.opcode == Opcode::Write) {
       co_await sim::delay(model.cqe_overhead);
       complete_local(wr, WcStatus::Success, static_cast<std::uint32_t>(payload.size()));

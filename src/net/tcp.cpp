@@ -27,9 +27,15 @@ void TcpStream::close() {
   if (closed_) return;
   closed_ = true;
   inbox_.close();
-  if (peer_ && !peer_->closed_) {
-    peer_->inbox_.close();
-    peer_->closed_ = true;
+  if (peer_) {
+    if (!peer_->closed_) {
+      peer_->inbox_.close();
+      peer_->closed_ = true;
+    }
+    // Break the endpoint pair's shared_ptr cycle: each side was keeping
+    // the other alive, so unreferenced closed pairs would never free.
+    peer_->peer_.reset();
+    peer_.reset();
   }
 }
 
@@ -59,8 +65,25 @@ sim::Task<Result<std::shared_ptr<TcpStream>>> TcpNetwork::connect(fabric::Device
   auto server = std::shared_ptr<TcpStream>(new TcpStream(*this, to, from));
   client->peer_ = server;
   server->peer_ = client;
+  track(client);
   it->second->pending_.send(server);
   co_return client;
+}
+
+void TcpNetwork::track(const std::shared_ptr<TcpStream>& stream) {
+  // Amortized pruning keeps the registry proportional to live streams.
+  if (streams_.size() >= 64 && streams_.size() == streams_.capacity()) {
+    std::erase_if(streams_, [](const std::weak_ptr<TcpStream>& w) { return w.expired(); });
+  }
+  streams_.push_back(stream);
+}
+
+TcpNetwork::~TcpNetwork() {
+  // Streams that were never close()d still hold their peer cycle; break
+  // it so endpoint pairs referenced by nobody else are freed.
+  for (auto& weak : streams_) {
+    if (auto stream = weak.lock()) stream->peer_.reset();
+  }
 }
 
 }  // namespace rfs::net

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/result.hpp"
@@ -72,6 +73,7 @@ class TcpListener {
 class TcpNetwork {
  public:
   TcpNetwork(sim::Engine& engine, fabric::Switch& net) : engine_(engine), switch_(net) {}
+  ~TcpNetwork();
 
   [[nodiscard]] sim::Engine& engine() { return engine_; }
   [[nodiscard]] fabric::Switch& link() { return switch_; }
@@ -85,9 +87,14 @@ class TcpNetwork {
                                                         fabric::DeviceId to, std::uint16_t port);
 
  private:
+  void track(const std::shared_ptr<TcpStream>& stream);
+
   sim::Engine& engine_;
   fabric::Switch& switch_;
   std::map<std::pair<fabric::DeviceId, std::uint16_t>, std::unique_ptr<TcpListener>> listeners_;
+  /// Every stream pair ever created (client side; the peer link reaches
+  /// the server side). Only used to break peer cycles at teardown.
+  std::vector<std::weak_ptr<TcpStream>> streams_;
 };
 
 }  // namespace rfs::net

@@ -117,6 +117,13 @@ struct Config {
   /// How often executor managers flush accounting to the billing DB.
   Duration billing_flush_period = 2_s;
 
+  /// Shards of the resource manager's allocation core. 1 reproduces the
+  /// single lock-protected manager exactly; N > 1 splits the executor
+  /// population over N registries with power-of-two-choices routing and
+  /// cross-shard work stealing (src/rfaas/sharded_manager.hpp), so lease
+  /// grant/renew/expiry only ever contends on one shard.
+  unsigned manager_shards = 1;
+
   /// Lease scheduling policy and its knobs.
   SchedulingPolicy scheduling = SchedulingPolicy::RoundRobin;
   /// Seed of the randomized policies (power-of-two-choices); placements

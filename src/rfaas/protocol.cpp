@@ -134,6 +134,20 @@ Bytes encode(const DeallocateMsg& m) {
   return w.take();
 }
 
+Bytes encode(const ExtendLeaseMsg& m) {
+  auto w = header(MsgType::ExtendLease);
+  w.u64(m.lease_id);
+  w.u64(m.extension);
+  return w.take();
+}
+
+Bytes encode(const ExtendOkMsg& m) {
+  auto w = header(MsgType::ExtendOk);
+  w.u64(m.lease_id);
+  w.u64(m.expires_at);
+  return w.take();
+}
+
 Result<MsgType> peek_type(const Bytes& raw) {
   if (raw.empty()) return Error::make(21, "protocol: empty message");
   auto v = raw[0];
@@ -324,6 +338,32 @@ Result<DeallocateMsg> decode_deallocate(const Bytes& raw) {
   if (!sandbox || !lease) return Error::make(22, "protocol: truncated Deallocate");
   m.sandbox_id = sandbox.value();
   m.lease_id = lease.value();
+  return m;
+}
+
+Result<ExtendLeaseMsg> decode_extend_lease(const Bytes& raw) {
+  auto r = open(raw, MsgType::ExtendLease);
+  if (!r) return r.error();
+  auto& rd = r.value();
+  ExtendLeaseMsg m;
+  auto lease = rd.u64();
+  auto extension = rd.u64();
+  if (!lease || !extension) return Error::make(22, "protocol: truncated ExtendLease");
+  m.lease_id = lease.value();
+  m.extension = extension.value();
+  return m;
+}
+
+Result<ExtendOkMsg> decode_extend_ok(const Bytes& raw) {
+  auto r = open(raw, MsgType::ExtendOk);
+  if (!r) return r.error();
+  auto& rd = r.value();
+  ExtendOkMsg m;
+  auto lease = rd.u64();
+  auto expires = rd.u64();
+  if (!lease || !expires) return Error::make(22, "protocol: truncated ExtendOk");
+  m.lease_id = lease.value();
+  m.expires_at = expires.value();
   return m;
 }
 

@@ -65,6 +65,8 @@ enum class MsgType : std::uint8_t {
   HeartbeatAck,
   LeaseTerminated,      // resource manager -> client (fast reclamation)
   ReleaseResources,     // executor manager -> resource manager (early return)
+  ExtendLease,          // client -> resource manager (renew before expiry)
+  ExtendOk,
   Count,                // sentinel, keep last
 };
 
@@ -122,6 +124,19 @@ struct ReleaseResourcesMsg {
   std::uint64_t memory_bytes = 0;
 };
 
+/// Lease renewal: extends a live lease by `extension` from now. Granted
+/// leases are time-limited; long-running clients renew instead of paying
+/// a fresh placement.
+struct ExtendLeaseMsg {
+  std::uint64_t lease_id = 0;
+  Duration extension = 0;
+};
+
+struct ExtendOkMsg {
+  std::uint64_t lease_id = 0;
+  Time expires_at = 0;  // the new deadline
+};
+
 struct AllocationReplyMsg {
   bool ok = false;
   std::uint64_t sandbox_id = 0;
@@ -159,6 +174,8 @@ Bytes encode(const SubmitCodeMsg& m);
 Bytes encode(const SubmitCodeOkMsg& m);
 Bytes encode(const DeallocateMsg& m);
 Bytes encode(const ReleaseResourcesMsg& m);
+Bytes encode(const ExtendLeaseMsg& m);
+Bytes encode(const ExtendOkMsg& m);
 
 Result<MsgType> peek_type(const Bytes& raw);
 Result<RegisterExecutorMsg> decode_register(const Bytes& raw);
@@ -172,5 +189,7 @@ Result<SubmitCodeMsg> decode_submit_code(const Bytes& raw);
 Result<SubmitCodeOkMsg> decode_submit_code_ok(const Bytes& raw);
 Result<DeallocateMsg> decode_deallocate(const Bytes& raw);
 Result<ReleaseResourcesMsg> decode_release(const Bytes& raw);
+Result<ExtendLeaseMsg> decode_extend_lease(const Bytes& raw);
+Result<ExtendOkMsg> decode_extend_ok(const Bytes& raw);
 
 }  // namespace rfs::rfaas

@@ -5,6 +5,10 @@
 
 namespace rfs::rfaas {
 
+namespace {
+constexpr std::uint64_t kNoExecutor = UINT64_MAX;
+}
+
 ResourceManager::ResourceManager(sim::Engine& engine, fabric::Fabric& fabric,
                                  net::TcpNetwork& tcp, sim::Host& host, fabric::Device& device,
                                  Config config)
@@ -16,7 +20,12 @@ ResourceManager::ResourceManager(sim::Engine& engine, fabric::Fabric& fabric,
       config_(std::move(config)),
       pd_(device.alloc_pd()),
       billing_(*pd_),
-      scheduler_(make_scheduler(config_)) {}
+      core_(config_) {
+  grant_gates_.reserve(core_.shard_count());
+  for (std::uint32_t s = 0; s < core_.shard_count(); ++s) {
+    grant_gates_.push_back(std::make_unique<sim::Mutex>());
+  }
+}
 
 void ResourceManager::start() {
   alive_ = true;
@@ -52,16 +61,14 @@ sim::Task<void> ResourceManager::run_billing_accept() {
 }
 
 sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> stream) {
-  std::size_t executor_index = SIZE_MAX;  // set once this stream registers
+  std::uint64_t executor_id = kNoExecutor;  // set once this stream registers
   while (alive_) {
     auto raw = co_await stream->recv();
     if (!raw.has_value()) {
       // Stream closed. A registered executor disconnecting means it died
       // (or was stopped); reclaim immediately — faster than waiting for
       // missed heartbeats.
-      if (executor_index != SIZE_MAX && registry_.at(executor_index).alive) {
-        mark_executor_dead(executor_index);
-      }
+      if (executor_id != kNoExecutor) mark_executor_dead(executor_id);
       break;
     }
     auto type = peek_type(*raw);
@@ -80,7 +87,7 @@ sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> s
         entry.last_ack = engine_.now();
         entry.locality = fabric_.locality(msg.value().device);
         entry.stream = stream;
-        executor_index = registry_.add(std::move(entry));
+        executor_id = core_.add_executor(std::move(entry));
         RegisterOkMsg ok;
         ok.rm_rdma_port = rdma_port_;
         auto slot0 = billing_.tenant_slot(0);
@@ -88,7 +95,8 @@ sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> s
         ok.billing_rkey = slot0.rkey;
         stream->send(encode(ok));
         log::info("rm", "registered executor on device ", msg.value().device, " with ",
-                  msg.value().cores, " cores");
+                  msg.value().cores, " cores on shard ",
+                  ShardedResourceManager::id_shard(executor_id));
         break;
       }
       case MsgType::LeaseRequest: {
@@ -97,17 +105,56 @@ sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> s
           stream->send(encode_lease_error(msg.error().message));
           break;
         }
+        // Route first (lock-free), then serialize on the routed shard's
+        // gate: a single-shard manager decides strictly one lease at a
+        // time, an N-shard manager N at a time. The decision delay is
+        // paid inside the critical section — that is the whole point. A
+        // stolen placement ran a second scan over other shards, so it
+        // bills a second decision delay (conservative: the victim
+        // shard's own gate queue is not consumed).
+        const std::uint32_t shard = core_.preferred_shard();
+        auto& gate = *grant_gates_[shard];
+        co_await gate.lock();
         co_await sim::delay(config_.lease_processing);
-        stream->send(grant_lease(msg.value(), fabric_.locality(stream->remote_device())));
+        bool stolen = false;
+        Bytes reply =
+            grant_lease(msg.value(), fabric_.locality(stream->remote_device()), shard, stolen);
+        if (stolen) co_await sim::delay(config_.lease_processing);
+        gate.unlock();
+        stream->send(std::move(reply));
+        break;
+      }
+      case MsgType::ExtendLease: {
+        auto msg = decode_extend_lease(*raw);
+        if (!msg) break;
+        const std::uint32_t shard = ShardedResourceManager::id_shard(msg.value().lease_id);
+        if (shard >= core_.shard_count()) {
+          stream->send(encode_lease_error("unknown lease"));
+          break;
+        }
+        auto& gate = *grant_gates_[shard];
+        co_await gate.lock();
+        co_await sim::delay(config_.lease_processing);
+        const Time expires_at = engine_.now() + msg.value().extension;
+        const bool renewed = core_.renew(msg.value().lease_id, expires_at);
+        gate.unlock();
+        if (renewed) {
+          ExtendOkMsg ok;
+          ok.lease_id = msg.value().lease_id;
+          ok.expires_at = expires_at;
+          stream->send(encode(ok));
+        } else {
+          stream->send(encode_lease_error("unknown lease"));
+        }
         break;
       }
       case MsgType::ReleaseResources: {
         auto msg = decode_release(*raw);
-        if (msg) reclaim_lease(msg.value().lease_id);
+        if (msg) core_.release(msg.value().lease_id);
         break;
       }
       case MsgType::HeartbeatAck: {
-        if (executor_index != SIZE_MAX) registry_.at(executor_index).last_ack = engine_.now();
+        if (executor_id != kNoExecutor) core_.touch(executor_id, engine_.now());
         break;
       }
       default:
@@ -116,8 +163,9 @@ sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> s
   }
 }
 
-Bytes ResourceManager::grant_lease(const LeaseRequestMsg& req, std::uint32_t client_locality) {
-  if (registry_.empty()) return encode_lease_error("no executors registered");
+Bytes ResourceManager::grant_lease(const LeaseRequestMsg& req, std::uint32_t client_locality,
+                                   std::uint32_t shard, bool& stolen) {
+  if (core_.size() == 0) return encode_lease_error("no executors registered");
   if (req.workers == 0) return encode_lease_error("zero workers requested");
 
   ScheduleRequest request;
@@ -125,92 +173,56 @@ Bytes ResourceManager::grant_lease(const LeaseRequestMsg& req, std::uint32_t cli
   request.memory_per_worker = req.memory_bytes;
   request.client_locality = client_locality;
 
-  // Every placement decision flows through the scheduling policy; the
-  // registry commit revalidates, so an executor that died between the
-  // policy's scan and the grant is excluded and the decision retried
-  // instead of handing out a dangling lease.
-  std::vector<bool> excluded(registry_.size(), false);
-  while (auto placement = scheduler_->place(registry_, request, excluded)) {
-    if (!registry_.try_claim(placement->executor, placement->workers, placement->memory)) {
-      excluded[placement->executor] = true;
-      continue;
-    }
-    const auto& e = registry_.at(placement->executor);
+  auto grant = core_.grant(request, req.client_id, req.timeout, engine_.now(), shard);
+  if (!grant) return encode_lease_error("no executor with free capacity");
+  stolen = grant->stolen;
 
-    Lease lease;
-    lease.id = next_lease_id_++;
-    lease.client_id = req.client_id;
-    lease.executor_index = placement->executor;
-    lease.workers = placement->workers;
-    lease.memory_bytes = placement->memory;
-    lease.expires_at = engine_.now() + req.timeout;
-    leases_[lease.id] = lease;
-    // Introspection only; bounded so long-horizon simulations don't grow
-    // the manager's footprint linearly with grant count.
-    if (placement_log_.size() < kPlacementLogCap) placement_log_.push_back(*placement);
-
-    LeaseGrantMsg grant;
-    grant.lease_id = lease.id;
-    grant.device = e.info.device;
-    grant.alloc_port = e.info.alloc_port;
-    grant.rdma_port = e.info.rdma_port;
-    grant.workers = placement->workers;
-    grant.expires_at = lease.expires_at;
-    return encode(grant);
-  }
-  return encode_lease_error("no executor with free capacity");
+  LeaseGrantMsg msg;
+  msg.lease_id = grant->lease_id;
+  msg.device = grant->executor_info.device;
+  msg.alloc_port = grant->executor_info.alloc_port;
+  msg.rdma_port = grant->executor_info.rdma_port;
+  msg.workers = grant->workers;
+  msg.expires_at = grant->expires_at;
+  return encode(msg);
 }
 
-void ResourceManager::reclaim_lease(std::uint64_t lease_id) {
-  auto it = leases_.find(lease_id);
-  if (it == leases_.end()) return;
-  const Lease& lease = it->second;
-  registry_.release(lease.executor_index, lease.workers, lease.memory_bytes);
-  leases_.erase(it);
-}
-
-void ResourceManager::reclaim_expired(Time now) {
-  // "Leases are time-limited": return capacity of every lease past its
-  // deadline. The executor manager enforces the expiry on its side as
-  // well, so this sweep is the manager-side backstop.
-  std::vector<std::uint64_t> expired;
-  for (const auto& [id, lease] : leases_) {
-    if (lease.expires_at <= now) expired.push_back(id);
+void ResourceManager::mark_executor_dead(std::uint64_t executor_id) {
+  if (auto info = core_.mark_dead(executor_id)) {
+    log::warn("rm", "executor on device ", info->device, " is dead, reclaiming leases");
   }
-  for (auto id : expired) reclaim_lease(id);
-}
-
-void ResourceManager::mark_executor_dead(std::size_t index) {
-  auto& e = registry_.at(index);
-  if (!e.alive) return;
-  log::warn("rm", "executor on device ", e.info.device, " is dead, reclaiming leases");
-  // Fast resource reclamation: drop all its leases, zero its capacity.
-  std::vector<std::uint64_t> to_drop;
-  for (const auto& [id, lease] : leases_) {
-    if (lease.executor_index == index) to_drop.push_back(id);
-  }
-  for (auto id : to_drop) leases_.erase(id);
-  registry_.mark_dead(index);
 }
 
 sim::Task<void> ResourceManager::heartbeat_loop() {
   // "Managers use heartbeats to verify the status of spot executors"
   // (Sec. III-A). The same loop sweeps expired leases back into the free
-  // pool — one periodic pass instead of one timer coroutine per lease.
+  // pool — one periodic per-shard pass instead of one timer coroutine per
+  // lease. Candidates are collected under the shard locks, then acted on
+  // outside them (mark_dead re-takes its shard's lock).
   while (alive_) {
     co_await sim::delay(config_.heartbeat_period);
     if (!alive_) break;
     const Time now = engine_.now();
-    reclaim_expired(now);
-    for (std::size_t i = 0; i < registry_.size(); ++i) {
-      auto& e = registry_.at(i);
-      if (!e.alive) continue;
+    core_.sweep_expired(now);
+
+    struct Action {
+      std::uint64_t id;
+      std::shared_ptr<net::TcpStream> stream;  // null => missed heartbeats
+    };
+    std::vector<Action> actions;
+    core_.visit_executors([&](std::uint64_t id, const ExecutorEntry& e) {
+      if (!e.alive) return;
       if (now - e.last_ack > 5 * config_.heartbeat_period / 2) {
-        mark_executor_dead(i);
-        continue;
+        actions.push_back({id, nullptr});
+      } else if (e.stream != nullptr && !e.stream->closed()) {
+        actions.push_back({id, e.stream});
       }
-      if (e.stream != nullptr && !e.stream->closed()) {
-        e.stream->send(encode(MsgType::Heartbeat));
+    });
+    for (auto& action : actions) {
+      if (action.stream == nullptr) {
+        mark_executor_dead(action.id);
+      } else {
+        action.stream->send(encode(MsgType::Heartbeat));
       }
     }
   }

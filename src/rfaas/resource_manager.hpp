@@ -3,15 +3,24 @@
 // The manager optimizes the FaaS control plane by splitting allocation
 // from invocation: clients involve it exactly once per allocation to
 // acquire a *lease* on a spot executor; all warm and hot invocations
-// bypass it entirely. Executor state (capacity, heartbeats, reclamation)
-// lives in ExecutorRegistry; every placement decision flows through the
-// pluggable Scheduler (src/rfaas/scheduler.hpp) selected by Config. The
-// manager also hosts the billing database updated by executor managers
-// with RDMA atomics.
+// bypass it entirely. All allocation state lives in the sharded core
+// (src/rfaas/sharded_manager.hpp): per-shard ExecutorRegistry + pluggable
+// Scheduler, power-of-two shard routing and cross-shard work stealing.
+// With Config::manager_shards == 1 (the default) the core degenerates to
+// the classic single lock-protected manager.
+//
+// The serialization a real manager pays — one critical section per lease
+// decision — is modeled by per-shard grant gates: every LeaseRequest
+// holds its routed shard's gate for `lease_processing`, so a single-shard
+// manager processes grants strictly one at a time while an N-shard
+// manager sustains N concurrent decisions. That contention difference is
+// exactly what fig02's large-fleet comparison measures.
+//
+// The manager also hosts the billing database updated by executor
+// managers with RDMA atomics.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -21,7 +30,9 @@
 #include "rfaas/config.hpp"
 #include "rfaas/protocol.hpp"
 #include "rfaas/scheduler.hpp"
+#include "rfaas/sharded_manager.hpp"
 #include "sim/host.hpp"
+#include "sim/sync.hpp"
 
 namespace rfs::rfaas {
 
@@ -41,41 +52,36 @@ class ResourceManager {
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] BillingDatabase& billing() { return billing_; }
 
-  /// Introspection for tests and benches.
-  [[nodiscard]] const ExecutorRegistry& registry() const { return registry_; }
-  [[nodiscard]] std::size_t registered_executors() const { return registry_.size(); }
-  [[nodiscard]] std::size_t alive_executors() const { return registry_.alive_count(); }
-  [[nodiscard]] std::size_t active_leases() const { return leases_.size(); }
-  [[nodiscard]] std::uint32_t free_workers_total() const {
-    return registry_.free_workers_total();
-  }
-  [[nodiscard]] const Scheduler& scheduler() const { return *scheduler_; }
+  /// Introspection for tests and benches. `registry()`/`scheduler()`
+  /// view shard 0 — the whole manager when manager_shards == 1; use
+  /// `core()` for per-shard state of a sharded manager.
+  [[nodiscard]] const ShardedResourceManager& core() const { return core_; }
+  [[nodiscard]] const ExecutorRegistry& registry() const { return core_.registry(0); }
+  [[nodiscard]] const Scheduler& scheduler() const { return core_.scheduler(0); }
+  [[nodiscard]] std::size_t registered_executors() const { return core_.size(); }
+  [[nodiscard]] std::size_t alive_executors() const { return core_.alive_count(); }
+  [[nodiscard]] std::size_t active_leases() const { return core_.active_leases(); }
+  [[nodiscard]] std::uint32_t free_workers_total() const { return core_.free_workers_total(); }
+  [[nodiscard]] std::uint32_t total_workers() const { return core_.total_workers(); }
 
-  /// Committed placements in grant order (first kPlacementLogCap only);
-  /// lets tests assert policy behavior (e.g. round-robin reproducing the
-  /// seed order) and benches compute placement balance.
-  static constexpr std::size_t kPlacementLogCap = 1 << 16;
-  [[nodiscard]] const std::vector<Placement>& placement_log() const { return placement_log_; }
+  /// Committed placements in per-shard grant order (first kPlacementLogCap
+  /// per shard only); lets tests assert policy behavior (e.g. round-robin
+  /// reproducing the seed order) and benches compute placement balance.
+  static constexpr std::size_t kPlacementLogCap = ShardedResourceManager::kPlacementLogCap;
+  [[nodiscard]] std::vector<Placement> placement_log() const { return core_.placement_log(); }
 
  private:
-  struct Lease {
-    std::uint64_t id = 0;
-    std::uint32_t client_id = 0;
-    std::size_t executor_index = 0;
-    std::uint32_t workers = 0;
-    std::uint64_t memory_bytes = 0;  // total
-    Time expires_at = 0;
-  };
-
   sim::Task<void> run_server();
   sim::Task<void> handle_stream(std::shared_ptr<net::TcpStream> stream);
   sim::Task<void> run_billing_accept();
   sim::Task<void> heartbeat_loop();
 
-  Bytes grant_lease(const LeaseRequestMsg& req, std::uint32_t client_locality);
-  void reclaim_lease(std::uint64_t lease_id);
-  void reclaim_expired(Time now);
-  void mark_executor_dead(std::size_t index);
+  /// Builds the reply for one lease request; sets `stolen` when the
+  /// placement was stolen from another shard (the caller bills the
+  /// second decision scan).
+  Bytes grant_lease(const LeaseRequestMsg& req, std::uint32_t client_locality,
+                    std::uint32_t shard, bool& stolen);
+  void mark_executor_dead(std::uint64_t executor_id);
 
   sim::Engine& engine_;
   fabric::Fabric& fabric_;
@@ -92,11 +98,10 @@ class ResourceManager {
   BillingDatabase billing_;
   std::vector<std::unique_ptr<rdmalib::Connection>> billing_conns_;
 
-  ExecutorRegistry registry_;
-  std::unique_ptr<Scheduler> scheduler_;
-  std::map<std::uint64_t, Lease> leases_;
-  std::uint64_t next_lease_id_ = 1;
-  std::vector<Placement> placement_log_;
+  ShardedResourceManager core_;
+  /// One FIFO gate per shard: the simulated critical section of a lease
+  /// decision (grant and renew both pass through it).
+  std::vector<std::unique_ptr<sim::Mutex>> grant_gates_;
 };
 
 }  // namespace rfs::rfaas

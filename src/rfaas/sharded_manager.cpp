@@ -1,0 +1,278 @@
+#include "rfaas/sharded_manager.hpp"
+
+#include <algorithm>
+
+namespace rfs::rfaas {
+
+ShardedResourceManager::ShardedResourceManager(const Config& config)
+    : rng_counter_(config.scheduler_seed) {
+  const std::uint32_t n = std::max(1u, config.manager_shards);
+  shards_.reserve(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    auto shard = std::make_unique<Shard>();
+    // Decorrelate the randomized policies across shards while keeping the
+    // whole manager reproducible; shard 0 keeps the configured seed so a
+    // single-shard manager is stream-identical to the unsharded one.
+    Config shard_config = config;
+    shard_config.scheduler_seed = config.scheduler_seed + s;
+    shard->scheduler = make_scheduler(shard_config);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedResourceManager::~ShardedResourceManager() = default;
+
+std::uint64_t ShardedResourceManager::add_executor(ExecutorEntry entry) {
+  const std::uint32_t s = static_cast<std::uint32_t>(
+      next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size());
+  auto& shard = *shards_[s];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const std::uint32_t workers = entry.total_workers;
+  const std::size_t local = shard.registry.add(std::move(entry));
+  shard.free_workers.fetch_add(workers, std::memory_order_relaxed);
+  shard.total_workers.fetch_add(workers, std::memory_order_relaxed);
+  executor_count_.fetch_add(1, std::memory_order_relaxed);
+  return make_id(s, local);
+}
+
+std::uint64_t ShardedResourceManager::next_random() {
+  // splitmix64: the atomic counter is the state, the mix is pure, so the
+  // stream is deterministic single-threaded and race-free multi-threaded.
+  return splitmix64(rng_counter_.fetch_add(kSplitmix64Gamma, std::memory_order_relaxed) +
+                    kSplitmix64Gamma);
+}
+
+std::uint32_t ShardedResourceManager::preferred_shard() {
+  const std::uint32_t n = shard_count();
+  if (n == 1) return 0;
+  const std::uint64_t r = next_random();
+  const std::uint32_t a = static_cast<std::uint32_t>(r % n);
+  const std::uint32_t b =
+      static_cast<std::uint32_t>((a + 1 + (r >> 32) % (n - 1)) % n);
+  const auto free_a = shards_[a]->free_workers.load(std::memory_order_relaxed);
+  const auto free_b = shards_[b]->free_workers.load(std::memory_order_relaxed);
+  return free_a >= free_b ? a : b;
+}
+
+std::optional<ShardedResourceManager::Grant> ShardedResourceManager::grant_on(
+    std::uint32_t shard_index, const ScheduleRequest& request, std::uint32_t client_id,
+    Duration timeout, Time now) {
+  auto& shard = *shards_[shard_index];
+  std::lock_guard<std::mutex> lock(shard.mu);
+
+  // Same place-and-commit cycle as the single manager: the policy
+  // proposes, try_claim revalidates (the executor may have died between
+  // scan and grant), refused executors are excluded and the policy asked
+  // again until it gives up.
+  std::vector<bool> excluded(shard.registry.size(), false);
+  while (auto placement = shard.scheduler->place(shard.registry, request, excluded)) {
+    if (!shard.registry.try_claim(placement->executor, placement->workers,
+                                  placement->memory)) {
+      excluded[placement->executor] = true;
+      continue;
+    }
+    shard.free_workers.fetch_sub(placement->workers, std::memory_order_relaxed);
+
+    LeaseRecord record;
+    record.client_id = client_id;
+    record.executor = placement->executor;
+    record.workers = placement->workers;
+    record.memory = placement->memory;
+    record.expires_at = now + timeout;
+    const std::uint64_t lease_id = make_id(shard_index, shard.next_lease++);
+    shard.leases.emplace(lease_id, record);
+    shard.lease_count.store(shard.leases.size(), std::memory_order_relaxed);
+    if (shard.log.size() < kPlacementLogCap) shard.log.push_back(*placement);
+
+    Grant grant;
+    grant.lease_id = lease_id;
+    grant.executor = make_id(shard_index, placement->executor);
+    grant.shard = shard_index;
+    grant.workers = placement->workers;
+    grant.memory = placement->memory;
+    grant.expires_at = record.expires_at;
+    grant.executor_info = shard.registry.at(placement->executor).info;
+    return grant;
+  }
+  return std::nullopt;
+}
+
+std::optional<ShardedResourceManager::Grant> ShardedResourceManager::grant(
+    const ScheduleRequest& request, std::uint32_t client_id, Duration timeout, Time now,
+    std::optional<std::uint32_t> routed) {
+  // Not value_or(): that would evaluate preferred_shard() — and consume a
+  // routing-RNG draw — even when the caller already routed.
+  const std::uint32_t first = routed ? *routed : preferred_shard();
+  if (auto g = grant_on(first, request, client_id, timeout, now)) {
+    grants_.fetch_add(1, std::memory_order_relaxed);
+    return g;
+  }
+
+  // Work stealing: the routed shard is full (or its survivors cannot fit
+  // the request); try every other shard, fullest-free-pool first so the
+  // stolen placement lands where capacity actually is.
+  std::vector<std::pair<std::int64_t, std::uint32_t>> others;
+  others.reserve(shards_.size());
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    if (s == first) continue;
+    others.emplace_back(shards_[s]->free_workers.load(std::memory_order_relaxed), s);
+  }
+  std::sort(others.begin(), others.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  for (const auto& [free, s] : others) {
+    if (free <= 0) continue;
+    if (auto g = grant_on(s, request, client_id, timeout, now)) {
+      g->stolen = true;
+      grants_.fetch_add(1, std::memory_order_relaxed);
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return g;
+    }
+  }
+  denials_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+bool ShardedResourceManager::renew(std::uint64_t lease_id, Time new_expires_at) {
+  const std::uint32_t s = id_shard(lease_id);
+  if (s >= shards_.size()) return false;
+  auto& shard = *shards_[s];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.leases.find(lease_id);
+  if (it == shard.leases.end()) return false;
+  it->second.expires_at = new_expires_at;
+  return true;
+}
+
+bool ShardedResourceManager::release(std::uint64_t lease_id) {
+  const std::uint32_t s = id_shard(lease_id);
+  if (s >= shards_.size()) return false;
+  auto& shard = *shards_[s];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.leases.find(lease_id);
+  if (it == shard.leases.end()) return false;
+  const LeaseRecord& record = it->second;
+  if (shard.registry.at(record.executor).alive) {
+    shard.registry.release(record.executor, record.workers, record.memory);
+    shard.free_workers.fetch_add(record.workers, std::memory_order_relaxed);
+  }
+  shard.leases.erase(it);
+  shard.lease_count.store(shard.leases.size(), std::memory_order_relaxed);
+  return true;
+}
+
+std::size_t ShardedResourceManager::sweep_expired(Time now) {
+  std::size_t reclaimed = 0;
+  for (auto& shard_ptr : shards_) {
+    auto& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.leases.begin(); it != shard.leases.end();) {
+      if (it->second.expires_at > now) {
+        ++it;
+        continue;
+      }
+      const LeaseRecord& record = it->second;
+      if (shard.registry.at(record.executor).alive) {
+        shard.registry.release(record.executor, record.workers, record.memory);
+        shard.free_workers.fetch_add(record.workers, std::memory_order_relaxed);
+      }
+      it = shard.leases.erase(it);
+      ++reclaimed;
+    }
+    shard.lease_count.store(shard.leases.size(), std::memory_order_relaxed);
+  }
+  return reclaimed;
+}
+
+std::optional<RegisterExecutorMsg> ShardedResourceManager::mark_dead(
+    std::uint64_t executor_id) {
+  const std::uint32_t s = id_shard(executor_id);
+  const std::size_t local = static_cast<std::size_t>(id_low(executor_id));
+  if (s >= shards_.size()) return std::nullopt;
+  auto& shard = *shards_[s];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (local >= shard.registry.size()) return std::nullopt;
+  auto& entry = shard.registry.at(local);
+  if (!entry.alive) return std::nullopt;
+  const RegisterExecutorMsg info = entry.info;
+
+  // Fast reclamation: drop the dead executor's leases without returning
+  // capacity (mark_dead zeroes the counters), mirror the aggregates.
+  for (auto it = shard.leases.begin(); it != shard.leases.end();) {
+    it = it->second.executor == local ? shard.leases.erase(it) : std::next(it);
+  }
+  shard.lease_count.store(shard.leases.size(), std::memory_order_relaxed);
+  shard.free_workers.fetch_sub(entry.free_workers, std::memory_order_relaxed);
+  shard.total_workers.fetch_sub(entry.total_workers, std::memory_order_relaxed);
+  shard.registry.mark_dead(local);
+  return info;
+}
+
+bool ShardedResourceManager::touch(std::uint64_t executor_id, Time now) {
+  const std::uint32_t s = id_shard(executor_id);
+  const std::size_t local = static_cast<std::size_t>(id_low(executor_id));
+  if (s >= shards_.size()) return false;
+  auto& shard = *shards_[s];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (local >= shard.registry.size()) return false;
+  shard.registry.at(local).last_ack = now;
+  return true;
+}
+
+std::size_t ShardedResourceManager::size() const {
+  // Lock-free: the empty-registry check sits on the grant hot path.
+  return executor_count_.load(std::memory_order_relaxed);
+}
+
+std::size_t ShardedResourceManager::alive_count() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->registry.alive_count();
+  }
+  return n;
+}
+
+std::uint32_t ShardedResourceManager::free_workers_total() const {
+  std::int64_t n = 0;
+  for (const auto& shard : shards_) {
+    n += shard->free_workers.load(std::memory_order_relaxed);
+  }
+  return clamp_free(n);
+}
+
+std::uint32_t ShardedResourceManager::total_workers() const {
+  std::int64_t n = 0;
+  for (const auto& shard : shards_) {
+    n += shard->total_workers.load(std::memory_order_relaxed);
+  }
+  return clamp_free(n);
+}
+
+std::size_t ShardedResourceManager::active_leases() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    n += shard->lease_count.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+std::size_t ShardedResourceManager::shard_lease_count(std::uint32_t shard) const {
+  return shards_.at(shard)->lease_count.load(std::memory_order_relaxed);
+}
+
+std::vector<Placement> ShardedResourceManager::placement_log() const {
+  std::vector<Placement> merged;
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    auto& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& p : shard.log) {
+      Placement global = p;
+      global.executor = static_cast<std::size_t>(make_id(s, p.executor));
+      merged.push_back(global);
+    }
+  }
+  return merged;
+}
+
+}  // namespace rfs::rfaas

@@ -1,0 +1,212 @@
+// Sharded lease-allocation core of the resource manager (Sec. III-A at
+// 1000-executor scale).
+//
+// A single lock-protected registry serializes every grant, renew and
+// expiry sweep — fine for a rack, fatal for a fleet. This core splits the
+// executor population over N shards, each owning its own ExecutorRegistry
+// and Scheduler (the same pluggable policy interface of scheduler.hpp),
+// so the grant path only ever takes one shard's lock:
+//
+//  * Routing (level 1): power-of-two-choices over shards on their
+//    aggregate free-worker counters — two relaxed atomic loads and a
+//    compare, no locks. Deterministic for a fixed seed (the routing RNG
+//    is a lock-free splitmix64 counter).
+//  * Placement (level 2): inside the routed shard, the shard's Scheduler
+//    picks the executor exactly as the single-manager path always did;
+//    the registry commit revalidates under the shard lock.
+//  * Work stealing: when the routed shard cannot place the request, the
+//    remaining shards are tried in descending free-capacity order. A
+//    fleet-wide denial therefore still means "no executor anywhere has
+//    capacity", not "my shard happened to be full".
+//
+// Lease ids and executor ids carry the owning shard in their high bits,
+// so release/renew/expiry route straight to one shard with no global
+// lookup structure. With shards == 1 the core degenerates to the exact
+// single-manager behavior (same scheduler stream, same lease-id
+// sequence), which is what the single-vs-sharded benchmarks compare.
+//
+// The core is deliberately independent of the simulation engine: it is a
+// plain thread-safe state machine (per-shard std::mutex, atomic
+// aggregates), usable from real threads in stress tests and from sim
+// coroutines in the control plane alike.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "rfaas/config.hpp"
+#include "rfaas/protocol.hpp"
+#include "rfaas/scheduler.hpp"
+
+namespace rfs::rfaas {
+
+class ShardedResourceManager {
+ public:
+  /// Shard index lives in the high bits of lease and executor ids; the
+  /// low bits are the per-shard counter / registry index. With one shard
+  /// every id equals its low part, matching the unsharded manager.
+  static constexpr unsigned kShardShift = 48;
+
+  /// One committed grant: everything the control plane needs to answer a
+  /// LeaseRequest, plus the shard bookkeeping for introspection.
+  struct Grant {
+    std::uint64_t lease_id = 0;
+    std::uint64_t executor = 0;  // global executor id (shard-tagged)
+    std::uint32_t shard = 0;
+    std::uint32_t workers = 0;
+    std::uint64_t memory = 0;  // total bytes claimed
+    Time expires_at = 0;
+    bool stolen = false;  // placed outside the routed shard
+    RegisterExecutorMsg executor_info;  // device + ports for the grant msg
+  };
+
+  explicit ShardedResourceManager(const Config& config);
+  ~ShardedResourceManager();
+
+  ShardedResourceManager(const ShardedResourceManager&) = delete;
+  ShardedResourceManager& operator=(const ShardedResourceManager&) = delete;
+
+  [[nodiscard]] std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+
+  /// Registers an executor on the next shard (round-robin assignment
+  /// keeps skewed fleets balanced across shards). Returns its global id.
+  std::uint64_t add_executor(ExecutorEntry entry);
+
+  /// Level-1 routing decision: power-of-two-choices over the shards'
+  /// aggregate free-worker counters. Lock-free; consumes one value of the
+  /// routing RNG (none with a single shard).
+  [[nodiscard]] std::uint32_t preferred_shard();
+
+  /// Grants a lease: places inside `routed` (defaults to a fresh
+  /// preferred_shard() decision), stealing from the other shards in
+  /// descending free-capacity order when the routed shard is full.
+  std::optional<Grant> grant(const ScheduleRequest& request, std::uint32_t client_id,
+                             Duration timeout, Time now,
+                             std::optional<std::uint32_t> routed = std::nullopt);
+
+  /// Extends a live lease to the given expiry; false when unknown.
+  bool renew(std::uint64_t lease_id, Time new_expires_at);
+
+  /// Returns the lease's capacity to its executor; false when unknown
+  /// (already released, expired, or dropped at executor death).
+  bool release(std::uint64_t lease_id);
+
+  /// Reclaims every lease past its deadline; per-shard sweep, no global
+  /// lock. Returns the number of leases reclaimed.
+  std::size_t sweep_expired(Time now);
+
+  /// Marks an executor dead, drops its leases and zeroes its capacity.
+  /// Returns the executor's registration info when this call was the one
+  /// that killed it (for logging), nullopt when it was already dead.
+  std::optional<RegisterExecutorMsg> mark_dead(std::uint64_t executor_id);
+
+  /// Records a heartbeat ack. False when the id is unknown.
+  bool touch(std::uint64_t executor_id, Time now);
+
+  /// Calls fn(global_executor_id, const ExecutorEntry&) for every
+  /// registered executor, shard by shard under the shard lock. The
+  /// callback must not reenter the manager (collect, then act).
+  template <typename Fn>
+  void visit_executors(Fn&& fn) const {
+    for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+      auto& shard = *shards_[s];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (std::size_t i = 0; i < shard.registry.size(); ++i) {
+        fn(make_id(s, i), shard.registry.at(i));
+      }
+    }
+  }
+
+  // ---- Aggregates (lock-free where counters exist, else per-shard) ----
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t alive_count() const;
+  [[nodiscard]] std::uint32_t free_workers_total() const;
+  [[nodiscard]] std::uint32_t total_workers() const;
+  [[nodiscard]] std::size_t active_leases() const;
+
+  [[nodiscard]] std::uint64_t grants() const { return grants_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t denials() const { return denials_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+
+  /// Per-shard introspection for tests and the single-shard compatibility
+  /// accessors of ResourceManager. Not synchronized: call only while no
+  /// other thread mutates the manager.
+  [[nodiscard]] const ExecutorRegistry& registry(std::uint32_t shard = 0) const {
+    return shards_.at(shard)->registry;
+  }
+  [[nodiscard]] const Scheduler& scheduler(std::uint32_t shard = 0) const {
+    return *shards_.at(shard)->scheduler;
+  }
+  [[nodiscard]] std::size_t shard_lease_count(std::uint32_t shard) const;
+  [[nodiscard]] std::uint32_t shard_free_workers(std::uint32_t shard) const {
+    return clamp_free(shards_.at(shard)->free_workers.load(std::memory_order_relaxed));
+  }
+
+  /// Committed placements, shard-major, executor indices rewritten to
+  /// global ids; capped at kPlacementLogCap entries per shard.
+  static constexpr std::size_t kPlacementLogCap = 1 << 16;
+  [[nodiscard]] std::vector<Placement> placement_log() const;
+
+  static constexpr std::uint64_t make_id(std::uint32_t shard, std::uint64_t low) {
+    return (static_cast<std::uint64_t>(shard) << kShardShift) | low;
+  }
+  static constexpr std::uint32_t id_shard(std::uint64_t id) {
+    return static_cast<std::uint32_t>(id >> kShardShift);
+  }
+  static constexpr std::uint64_t id_low(std::uint64_t id) {
+    return id & ((1ull << kShardShift) - 1);
+  }
+
+ private:
+  struct LeaseRecord {
+    std::uint32_t client_id = 0;
+    std::size_t executor = 0;  // shard-local registry index
+    std::uint32_t workers = 0;
+    std::uint64_t memory = 0;
+    Time expires_at = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    ExecutorRegistry registry;
+    std::unique_ptr<Scheduler> scheduler;
+    std::map<std::uint64_t, LeaseRecord> leases;  // keyed by full lease id
+    std::uint64_t next_lease = 1;
+    std::vector<Placement> log;
+    /// Relaxed aggregate mirrors of the registry, readable without the
+    /// shard lock for routing and stealing decisions. Only mutated under
+    /// the shard lock, so they never drift from the registry.
+    std::atomic<std::int64_t> free_workers{0};
+    std::atomic<std::int64_t> total_workers{0};
+    std::atomic<std::size_t> lease_count{0};
+  };
+
+  static std::uint32_t clamp_free(std::int64_t v) {
+    return v > 0 ? static_cast<std::uint32_t>(v) : 0;
+  }
+
+  /// Lock-free deterministic routing randomness: a splitmix64 stream
+  /// driven by an atomic counter. Single-threaded callers (the sim) see
+  /// the exact same sequence every run.
+  std::uint64_t next_random();
+
+  std::optional<Grant> grant_on(std::uint32_t shard_index, const ScheduleRequest& request,
+                                std::uint32_t client_id, Duration timeout, Time now);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> next_shard_{0};  // round-robin executor assignment
+  std::atomic<std::size_t> executor_count_{0};  // lock-free size() for the grant path
+  std::atomic<std::uint64_t> rng_counter_;
+  std::atomic<std::uint64_t> grants_{0};
+  std::atomic<std::uint64_t> denials_{0};
+  std::atomic<std::uint64_t> steals_{0};
+};
+
+}  // namespace rfs::rfaas

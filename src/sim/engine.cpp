@@ -11,12 +11,32 @@ Engine::Engine() {
 }
 
 Engine::~Engine() {
-  // Destroy still-suspended coroutines? They are owned by their Task
-  // objects or are detached self-destroying tasks; destroying handles that
-  // may already be dangling is unsafe, so we simply drop the queue. Tests
-  // drain their engines; leaked detached tasks at teardown are a test bug
-  // surfaced by sanitizers rather than hidden here.
+  // Backstop for owners that did not drain explicitly. Harnesses drain
+  // first thing in their own destructors, while the simulated objects the
+  // actors reference are still alive — prefer that.
+  drain_detached();
   if (t_current == this) t_current = nullptr;
+}
+
+std::uint64_t Engine::register_detached(std::coroutine_handle<> h) {
+  const std::uint64_t id = next_detached_id_++;
+  detached_.emplace(id, h);
+  return id;
+}
+
+void Engine::deregister_detached(std::uint64_t id) { detached_.erase(id); }
+
+void Engine::drain_detached() {
+  // Swap out first: destroying a frame destroys the child tasks it owns,
+  // but children are never registered (only spawn() registers), so the
+  // map cannot be mutated mid-iteration — the swap just makes that
+  // invariant unnecessary for safety.
+  std::unordered_map<std::uint64_t, std::coroutine_handle<>> victims;
+  victims.swap(detached_);
+  for (auto& [id, h] : victims) h.destroy();
+  // Queued resumptions may now dangle (their frames died above); nothing
+  // may run after a drain, so drop them wholesale.
+  queue_ = {};
 }
 
 void Engine::schedule_at(Time t, std::coroutine_handle<> h) {

@@ -11,6 +11,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "common/units.hpp"
@@ -51,6 +52,21 @@ class Engine {
   /// Number of pending events.
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 
+  /// Tracks a detached (spawned) coroutine so still-suspended actors can
+  /// be reclaimed at teardown. Returns the registration id the task's
+  /// final suspend passes back to deregister_detached().
+  std::uint64_t register_detached(std::coroutine_handle<> h);
+  void deregister_detached(std::uint64_t id);
+
+  /// Destroys every detached coroutine that has not completed and drops
+  /// all pending events. Call only when the engine will never run again,
+  /// and while the objects those coroutines reference are still alive
+  /// (e.g. first thing in a harness destructor); ~Engine calls it as a
+  /// backstop. Frame destruction runs the destructors of suspended
+  /// locals, so nothing the actors held (streams, buffers, connections)
+  /// outlives the simulation.
+  void drain_detached();
+
   /// The engine currently inside run()/step() on this thread. Awaitables
   /// use this to find their engine without threading it through every call.
   static Engine* current();
@@ -71,8 +87,10 @@ class Engine {
   };
 
   std::priority_queue<Item, std::vector<Item>, std::greater<>> queue_;
+  std::unordered_map<std::uint64_t, std::coroutine_handle<>> detached_;
   Time now_ = 0;
   std::uint64_t seq_ = 0;
+  std::uint64_t next_detached_id_ = 1;
 };
 
 /// RAII helper: makes an engine current for the enclosing scope.

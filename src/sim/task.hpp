@@ -24,6 +24,8 @@ namespace detail {
 struct PromiseBase {
   std::coroutine_handle<> continuation;
   bool detached = false;
+  Engine* owner = nullptr;        // set by spawn(): engine tracking this actor
+  std::uint64_t detached_id = 0;  // registration in the owner's live set
   std::exception_ptr exception;
 
   std::suspend_always initial_suspend() noexcept { return {}; }
@@ -36,6 +38,7 @@ struct PromiseBase {
       if (p.continuation) return p.continuation;
       if (p.detached) {
         if (p.exception) std::terminate();  // detached task failed: simulation bug
+        if (p.owner != nullptr) p.owner->deregister_detached(p.detached_id);
         h.destroy();
       }
       return std::noop_coroutine();
@@ -165,6 +168,8 @@ inline void spawn(Engine& engine, Task<void> t) {
   auto h = t.release();
   assert(h);
   h.promise().detached = true;
+  h.promise().owner = &engine;
+  h.promise().detached_id = engine.register_detached(h);
   engine.schedule_now(h);
 }
 

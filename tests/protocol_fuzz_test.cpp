@@ -43,6 +43,8 @@ std::vector<Bytes> sample_messages() {
   msgs.push_back(encode(SubmitCodeOkMsg{3}));
   msgs.push_back(encode(DeallocateMsg{1, 2}));
   msgs.push_back(encode(ReleaseResourcesMsg{1, 2, 3}));
+  msgs.push_back(encode(ExtendLeaseMsg{(7ull << 48) | 42, 30_s}));
+  msgs.push_back(encode(ExtendOkMsg{(7ull << 48) | 42, 90_s}));
   return msgs;
 }
 
@@ -60,6 +62,8 @@ int accepted_by_any(const Bytes& raw) {
   n += decode_submit_code_ok(raw).ok();
   n += decode_deallocate(raw).ok();
   n += decode_release(raw).ok();
+  n += decode_extend_lease(raw).ok();
+  n += decode_extend_ok(raw).ok();
   return n;
 }
 

@@ -1,0 +1,454 @@
+// Tests of the sharded resource-manager core: id encoding, round-robin
+// executor assignment, deterministic power-of-two shard routing,
+// cross-shard work stealing, per-shard lease expiry sweeping, renewals,
+// single-shard equivalence with the classic manager, a threaded
+// grant/release stress (run under TSan/ASan in CI), and the control-plane
+// integration (sharded harness runs, ExtendLease over the wire).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+
+#include "cluster/harness.hpp"
+#include "rfaas/sharded_manager.hpp"
+
+namespace rfs::rfaas {
+namespace {
+
+using SRM = ShardedResourceManager;
+
+ExecutorEntry entry(std::uint32_t workers, std::uint64_t memory = 64ull << 30) {
+  ExecutorEntry e;
+  e.total_workers = workers;
+  e.free_workers = workers;
+  e.free_memory = memory;
+  e.alive = true;
+  return e;
+}
+
+ScheduleRequest request(std::uint32_t workers, std::uint64_t memory_per_worker = 1 << 20) {
+  ScheduleRequest r;
+  r.workers = workers;
+  r.memory_per_worker = memory_per_worker;
+  return r;
+}
+
+Config sharded_config(unsigned shards, SchedulingPolicy policy = SchedulingPolicy::RoundRobin,
+                      std::uint64_t seed = 42) {
+  Config c;
+  c.manager_shards = shards;
+  c.scheduling = policy;
+  c.scheduler_seed = seed;
+  return c;
+}
+
+// --------------------------------------------------------------------------
+// Id encoding and executor assignment
+// --------------------------------------------------------------------------
+
+TEST(ShardedIds, RoundTripShardAndLow) {
+  const std::uint64_t id = SRM::make_id(5, 1234);
+  EXPECT_EQ(SRM::id_shard(id), 5u);
+  EXPECT_EQ(SRM::id_low(id), 1234u);
+  // Single-shard ids collapse to the raw low value (seed compatibility).
+  EXPECT_EQ(SRM::make_id(0, 7), 7u);
+}
+
+TEST(ShardedAssignment, RoundRobinBalancesSkewedFleets) {
+  SRM m(sharded_config(4));
+  std::set<std::uint32_t> shards_hit;
+  for (int i = 0; i < 8; ++i) {
+    const auto id = m.add_executor(entry(4));
+    EXPECT_EQ(SRM::id_shard(id), static_cast<std::uint32_t>(i % 4));
+    shards_hit.insert(SRM::id_shard(id));
+  }
+  EXPECT_EQ(shards_hit.size(), 4u);
+  EXPECT_EQ(m.size(), 8u);
+  EXPECT_EQ(m.free_workers_total(), 32u);
+  for (std::uint32_t s = 0; s < 4; ++s) EXPECT_EQ(m.shard_free_workers(s), 8u);
+}
+
+// --------------------------------------------------------------------------
+// Routing determinism
+// --------------------------------------------------------------------------
+
+TEST(ShardedRouting, DeterministicForFixedSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    SRM m(sharded_config(8, SchedulingPolicy::RoundRobin, seed));
+    for (int i = 0; i < 32; ++i) m.add_executor(entry(8));
+    std::vector<std::uint64_t> grants;
+    for (int i = 0; i < 128; ++i) {
+      auto g = m.grant(request(1), /*client=*/1, /*timeout=*/1000, /*now=*/0);
+      EXPECT_TRUE(g.has_value());
+      if (g) grants.push_back(g->executor);
+    }
+    return grants;
+  };
+  EXPECT_EQ(run_once(42), run_once(42));
+  EXPECT_NE(run_once(42), run_once(43));  // different stream, same mechanism
+}
+
+TEST(ShardedRouting, PreferredShardFollowsFreeCapacity) {
+  SRM m(sharded_config(2));
+  m.add_executor(entry(16));  // shard 0
+  m.add_executor(entry(2));   // shard 1
+  // Power-of-two over 2 shards always samples both; shard 0 has more
+  // free workers, so every routed grant must land there while it leads.
+  for (int i = 0; i < 8; ++i) {
+    auto g = m.grant(request(1), 1, 1000, 0);
+    ASSERT_TRUE(g.has_value());
+    EXPECT_EQ(g->shard, 0u);
+    EXPECT_FALSE(g->stolen);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Cross-shard work stealing
+// --------------------------------------------------------------------------
+
+TEST(ShardedStealing, GrantsFromAnotherShardWhenRoutedShardIsExhausted) {
+  SRM m(sharded_config(2));
+  m.add_executor(entry(2));  // shard 0
+  m.add_executor(entry(8));  // shard 1
+  // Explicitly route to shard 0 and drain it...
+  auto g1 = m.grant(request(2), 1, 1000, 0, /*routed=*/0u);
+  ASSERT_TRUE(g1.has_value());
+  EXPECT_EQ(g1->shard, 0u);
+  EXPECT_EQ(m.shard_free_workers(0), 0u);
+  // ...then route to it again: the grant must be stolen from shard 1.
+  auto g2 = m.grant(request(4), 1, 1000, 0, /*routed=*/0u);
+  ASSERT_TRUE(g2.has_value());
+  EXPECT_EQ(g2->shard, 1u);
+  EXPECT_TRUE(g2->stolen);
+  EXPECT_EQ(m.steals(), 1u);
+}
+
+TEST(ShardedStealing, StealsFromFreestShardFirst) {
+  SRM m(sharded_config(3));
+  m.add_executor(entry(1));  // shard 0
+  m.add_executor(entry(4));  // shard 1
+  m.add_executor(entry(8));  // shard 2
+  ASSERT_TRUE(m.grant(request(1), 1, 1000, 0, /*routed=*/0u).has_value());
+  auto g = m.grant(request(2), 1, 1000, 0, /*routed=*/0u);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->shard, 2u);  // 8 free > 4 free
+  EXPECT_TRUE(g->stolen);
+}
+
+TEST(ShardedStealing, FleetWideExhaustionDenies) {
+  SRM m(sharded_config(2));
+  m.add_executor(entry(1));
+  m.add_executor(entry(1));
+  ASSERT_TRUE(m.grant(request(1), 1, 1000, 0).has_value());
+  ASSERT_TRUE(m.grant(request(1), 1, 1000, 0).has_value());
+  EXPECT_FALSE(m.grant(request(1), 1, 1000, 0).has_value());
+  EXPECT_EQ(m.denials(), 1u);
+  EXPECT_EQ(m.grants(), 2u);
+}
+
+// --------------------------------------------------------------------------
+// Lease lifecycle: release, renew, per-shard expiry sweep
+// --------------------------------------------------------------------------
+
+TEST(ShardedLeases, ReleaseReturnsCapacityToTheOwningShard) {
+  SRM m(sharded_config(2));
+  m.add_executor(entry(4));  // shard 0
+  m.add_executor(entry(4));  // shard 1
+  auto g = m.grant(request(3), 1, 1000, 0, /*routed=*/1u);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(m.shard_free_workers(1), 1u);
+  EXPECT_EQ(m.active_leases(), 1u);
+  EXPECT_TRUE(m.release(g->lease_id));
+  EXPECT_EQ(m.shard_free_workers(1), 4u);
+  EXPECT_EQ(m.active_leases(), 0u);
+  EXPECT_FALSE(m.release(g->lease_id));  // double release is a no-op
+}
+
+TEST(ShardedLeases, SweepReclaimsExpiredPerShard) {
+  SRM m(sharded_config(3));
+  for (int i = 0; i < 3; ++i) m.add_executor(entry(4));
+  // One lease per shard with staggered deadlines.
+  auto g0 = m.grant(request(2), 1, /*timeout=*/100, /*now=*/0, 0u);
+  auto g1 = m.grant(request(2), 1, /*timeout=*/200, /*now=*/0, 1u);
+  auto g2 = m.grant(request(2), 1, /*timeout=*/300, /*now=*/0, 2u);
+  ASSERT_TRUE(g0 && g1 && g2);
+  EXPECT_EQ(m.active_leases(), 3u);
+
+  EXPECT_EQ(m.sweep_expired(/*now=*/150), 1u);
+  EXPECT_EQ(m.active_leases(), 2u);
+  EXPECT_EQ(m.shard_free_workers(0), 4u);  // shard 0's lease reclaimed
+  EXPECT_EQ(m.shard_free_workers(1), 2u);  // shard 1's still live
+
+  EXPECT_EQ(m.sweep_expired(/*now=*/500), 2u);
+  EXPECT_EQ(m.active_leases(), 0u);
+  EXPECT_EQ(m.free_workers_total(), 12u);
+}
+
+TEST(ShardedLeases, RenewPushesExpiryPastTheSweep) {
+  SRM m(sharded_config(2));
+  m.add_executor(entry(4));
+  auto g = m.grant(request(1), 1, /*timeout=*/100, /*now=*/0);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_TRUE(m.renew(g->lease_id, /*new_expires_at=*/1000));
+  EXPECT_EQ(m.sweep_expired(/*now=*/500), 0u);  // renewed: survives
+  EXPECT_EQ(m.active_leases(), 1u);
+  EXPECT_EQ(m.sweep_expired(/*now=*/1500), 1u);
+  EXPECT_FALSE(m.renew(g->lease_id, 2000));  // gone after the sweep
+  EXPECT_FALSE(m.renew(SRM::make_id(7, 1), 2000));  // bogus shard
+}
+
+TEST(ShardedDeath, DropsLeasesAndCapacityOfTheDeadExecutorOnly) {
+  SRM m(sharded_config(2));
+  const auto e0 = m.add_executor(entry(4));  // shard 0
+  m.add_executor(entry(4));                  // shard 1
+  auto g0 = m.grant(request(2), 1, 1000, 0, 0u);
+  auto g1 = m.grant(request(2), 1, 1000, 0, 1u);
+  ASSERT_TRUE(g0 && g1);
+
+  auto info = m.mark_dead(e0);
+  EXPECT_TRUE(info.has_value());
+  EXPECT_FALSE(m.mark_dead(e0).has_value());  // second kill is a no-op
+  EXPECT_EQ(m.alive_count(), 1u);
+  EXPECT_EQ(m.active_leases(), 1u);           // shard 0's lease dropped
+  EXPECT_EQ(m.free_workers_total(), 2u);      // only shard 1's survivors
+  EXPECT_EQ(m.total_workers(), 4u);
+  EXPECT_FALSE(m.release(g0->lease_id));      // dropped at death
+}
+
+// --------------------------------------------------------------------------
+// Single-shard equivalence: the classic manager, bit for bit
+// --------------------------------------------------------------------------
+
+TEST(SingleShard, ReproducesRoundRobinSeedOrder) {
+  SRM m(sharded_config(1));
+  for (int i = 0; i < 3; ++i) m.add_executor(entry(2));
+  std::vector<std::uint64_t> order;
+  std::vector<std::uint64_t> lease_ids;
+  for (int i = 0; i < 6; ++i) {
+    auto g = m.grant(request(1), 1, 1000, 0);
+    ASSERT_TRUE(g.has_value());
+    order.push_back(g->executor);
+    lease_ids.push_back(g->lease_id);
+  }
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{0, 1, 2, 0, 1, 2}));
+  EXPECT_EQ(lease_ids, (std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(m.steals(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Concurrency: threaded grant/release stress (TSan/ASan target)
+// --------------------------------------------------------------------------
+
+TEST(ShardedConcurrency, ParallelGrantReleaseConservesCapacity) {
+  constexpr unsigned kShards = 4;
+  constexpr unsigned kExecutors = 16;
+  constexpr unsigned kWorkersEach = 32;
+  constexpr unsigned kThreads = 8;
+  constexpr unsigned kIterations = 400;
+
+  SRM m(sharded_config(kShards, SchedulingPolicy::PowerOfTwoChoices));
+  for (unsigned i = 0; i < kExecutors; ++i) m.add_executor(entry(kWorkersEach));
+  const std::uint32_t total = m.free_workers_total();
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&m, t] {
+      std::vector<std::uint64_t> held;
+      for (unsigned i = 0; i < kIterations; ++i) {
+        auto g = m.grant(request(1 + (i + t) % 4), /*client=*/t, /*timeout=*/1'000'000,
+                         /*now=*/i);
+        if (g) held.push_back(g->lease_id);
+        // Release in FIFO order with a small backlog, so grants and
+        // releases from all threads interleave on every shard.
+        if (held.size() > 8) {
+          EXPECT_TRUE(m.release(held.front()));
+          held.erase(held.begin());
+        }
+      }
+      for (auto id : held) EXPECT_TRUE(m.release(id));
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Every grant was eventually released: no capacity lost or invented.
+  EXPECT_EQ(m.active_leases(), 0u);
+  EXPECT_EQ(m.free_workers_total(), total);
+  for (std::uint32_t s = 0; s < kShards; ++s) {
+    std::uint32_t registry_free = 0;
+    for (std::size_t i = 0; i < m.registry(s).size(); ++i) {
+      registry_free += m.registry(s).at(i).free_workers;
+    }
+    EXPECT_EQ(m.shard_free_workers(s), registry_free) << "shard " << s;
+  }
+  EXPECT_GT(m.grants(), 0u);
+}
+
+TEST(ShardedConcurrency, ParallelSweepAndRenewStayConsistent) {
+  constexpr unsigned kThreads = 4;
+  SRM m(sharded_config(4));
+  for (int i = 0; i < 8; ++i) m.add_executor(entry(64));
+
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&m, t] {
+      for (unsigned i = 0; i < 200; ++i) {
+        auto g = m.grant(request(1), t, /*timeout=*/10, /*now=*/i);
+        if (g && i % 3 == 0) m.renew(g->lease_id, i + 1000);
+        if (i % 5 == 0) m.sweep_expired(i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  m.sweep_expired(/*now=*/1'000'000);
+  EXPECT_EQ(m.active_leases(), 0u);
+  EXPECT_EQ(m.free_workers_total(), m.total_workers());
+}
+
+// --------------------------------------------------------------------------
+// Control-plane integration through the harness
+// --------------------------------------------------------------------------
+
+cluster::ScenarioSpec sharded_spec(unsigned shards, unsigned executors = 12,
+                                   unsigned clients = 8) {
+  auto spec = cluster::ScenarioSpec::uniform(executors, /*cores=*/8,
+                                             /*memory_bytes=*/32ull << 30, clients);
+  spec.racks = 4;
+  spec.config.manager_shards = shards;
+  spec.config.scheduling = SchedulingPolicy::PowerOfTwoChoices;
+  return spec;
+}
+
+cluster::LeaseWorkload quick_workload() {
+  cluster::LeaseWorkload w;
+  w.workers_min = 1;
+  w.workers_max = 4;
+  w.memory_per_worker = 64ull << 20;
+  w.hold_min = 500_ms;
+  w.hold_max = 4_s;
+  w.think_min = 50_ms;
+  w.think_max = 500_ms;
+  w.seed = 77;
+  return w;
+}
+
+TEST(ShardedHarness, ExecutorsSpreadAcrossShardsAndWorkloadRuns) {
+  cluster::Harness h(sharded_spec(/*shards=*/4));
+  h.start();
+  ASSERT_EQ(h.rm().core().shard_count(), 4u);
+  EXPECT_EQ(h.rm().registered_executors(), 12u);
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(h.rm().core().registry(s).size(), 3u) << "shard " << s;
+  }
+  auto trace = h.run_lease_workload(quick_workload(), /*horizon=*/20_s);
+  EXPECT_GT(trace.granted, 0u);
+  EXPECT_EQ(trace.grant_latency.size(), trace.granted);
+  EXPECT_EQ(h.rm().placement_log().size(), trace.granted);
+  // All leases drain back after the horizon: run past the last expiry.
+  h.run_for(400_s);
+  EXPECT_EQ(h.rm().active_leases(), 0u);
+  EXPECT_EQ(h.rm().free_workers_total(), h.rm().total_workers());
+}
+
+TEST(ShardedHarness, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    cluster::Harness h(sharded_spec(/*shards=*/4));
+    h.start();
+    (void)h.run_lease_workload(quick_workload(), /*horizon=*/15_s);
+    return h.rm().placement_log();
+  };
+  auto a = run_once();
+  auto b = run_once();
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].executor, b[i].executor) << "placement " << i;
+    EXPECT_EQ(a[i].workers, b[i].workers) << "placement " << i;
+  }
+}
+
+TEST(ShardedHarness, MultiTenantTraceSplitsPerTenant) {
+  cluster::Harness h(sharded_spec(/*shards=*/2, /*executors=*/8, /*clients=*/6));
+  h.start();
+  cluster::TenantWorkload alpha{"alpha", /*clients=*/4, /*arrival_hz=*/20.0, quick_workload()};
+  alpha.lease.hold_min = 10_ms;
+  alpha.lease.hold_max = 100_ms;
+  cluster::TenantWorkload beta{"beta", /*clients=*/2, /*arrival_hz=*/5.0, quick_workload()};
+  beta.lease.seed = 1234;
+  beta.lease.hold_min = 10_ms;
+  beta.lease.hold_max = 100_ms;
+
+  auto trace = h.run_multi_tenant_workload({alpha, beta}, /*horizon=*/10_s);
+  ASSERT_EQ(trace.tenants.size(), 2u);
+  EXPECT_EQ(trace.tenants[0].name, "alpha");
+  EXPECT_GT(trace.tenants[0].granted, 0u);
+  EXPECT_GT(trace.tenants[1].granted, 0u);
+  // Four clients at 4x the rate: alpha must out-request beta.
+  EXPECT_GT(trace.tenants[0].granted, trace.tenants[1].granted);
+  EXPECT_EQ(trace.aggregate.granted,
+            trace.tenants[0].granted + trace.tenants[1].granted);
+  EXPECT_EQ(trace.aggregate.grant_latency.size(), trace.aggregate.granted);
+  EXPECT_GT(trace.aggregate.grant_latency_percentile(99), 0.0);
+}
+
+TEST(ShardedHarness, ExtendLeaseOverTheWire) {
+  auto spec = cluster::ScenarioSpec::uniform(/*executors=*/2, /*cores=*/4);
+  spec.config.manager_shards = 2;
+  cluster::Harness h(spec);
+  h.start();
+
+  auto client = [](cluster::Harness* hp) -> sim::Task<void> {
+    auto conn = co_await hp->tcp().connect(hp->client_device(0).id(), hp->rm().device().id(),
+                                           hp->rm().port());
+    EXPECT_TRUE(conn.ok());
+    if (!conn.ok()) co_return;
+    auto stream = conn.value();
+
+    LeaseRequestMsg req;
+    req.client_id = 1;
+    req.workers = 2;
+    req.memory_bytes = 64ull << 20;
+    req.timeout = 2_s;
+    stream->send(encode(req));
+    auto raw = co_await stream->recv();
+    EXPECT_TRUE(raw.has_value());
+    if (!raw.has_value()) co_return;
+    auto grant = decode_lease_grant(*raw);
+    EXPECT_TRUE(grant.ok());
+    if (!grant.ok()) co_return;
+
+    // Renew for 30 s: the manager must answer ExtendOk with the pushed
+    // deadline and the heartbeat sweep must not reclaim at the old one.
+    ExtendLeaseMsg extend;
+    extend.lease_id = grant.value().lease_id;
+    extend.extension = 30_s;
+    stream->send(encode(extend));
+    auto raw2 = co_await stream->recv();
+    EXPECT_TRUE(raw2.has_value());
+    if (!raw2.has_value()) co_return;
+    auto ok = decode_extend_ok(*raw2);
+    EXPECT_TRUE(ok.ok());
+    if (!ok.ok()) co_return;
+    EXPECT_EQ(ok.value().lease_id, grant.value().lease_id);
+    EXPECT_GT(ok.value().expires_at, grant.value().expires_at);
+
+    // Renewing a bogus lease fails with a lease error.
+    ExtendLeaseMsg bogus;
+    bogus.lease_id = ShardedResourceManager::make_id(1, 999);
+    bogus.extension = 1_s;
+    stream->send(encode(bogus));
+    auto raw3 = co_await stream->recv();
+    EXPECT_TRUE(raw3.has_value());
+    if (!raw3.has_value()) co_return;
+    EXPECT_FALSE(decode_extend_ok(*raw3).ok());
+  };
+  h.spawn(client(&h));
+  h.run_for(5_s);  // past the original 2 s expiry plus a heartbeat
+  EXPECT_EQ(h.rm().active_leases(), 1u);  // renewed lease survived
+  h.run_for(40_s);
+  EXPECT_EQ(h.rm().active_leases(), 0u);  // renewed deadline enforced
+}
+
+}  // namespace
+}  // namespace rfs::rfaas
