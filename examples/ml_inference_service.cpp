@@ -24,6 +24,10 @@ sim::Task<void> service(cluster::Harness& p) {
   spec.workers = 2;
   spec.sandbox = rfaas::SandboxType::Docker;  // isolation for multi-tenant serving
   spec.policy = rfaas::InvocationPolicy::Adaptive;
+  // A serving process runs indefinitely: hold a short lease and let the
+  // LeaseSet renew it, instead of guessing a one-shot timeout up front.
+  spec.lease_timeout = 30_s;
+  spec.auto_renew = true;
   auto st = co_await invoker->allocate(spec);
   if (!st.ok()) {
     std::printf("allocation failed: %s\n", st.error().message.c_str());
@@ -60,7 +64,12 @@ sim::Task<void> service(cluster::Harness& p) {
                 "p=%.4f (%.2f ms)\n",
                 request, photo.width, photo.height, t.output_bytes, to_ms(t.latency()),
                 best, classes > 0 ? probs[best] : 0.0f, to_ms(c.latency()));
+    // Idle between uploads: the warm model cache survives because the
+    // renewed lease keeps the sandbox alive across the 40 s gaps.
+    co_await sim::delay(40_s);
   }
+  std::printf("lease renewals while serving: %llu\n",
+              static_cast<unsigned long long>(invoker->leases().renewals()));
   co_await invoker->deallocate();
 }
 

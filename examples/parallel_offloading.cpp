@@ -55,6 +55,9 @@ sim::Task<void> run(cluster::Harness& p) {
   spec.function_name = "blackscholes";
   spec.workers = kParallelism;
   spec.policy = rfaas::InvocationPolicy::HotAlways;
+  // A wide allocation: acquire all leases in one BatchAllocate round
+  // trip instead of one LeaseRequest per partial grant.
+  spec.batched_leases = true;
   auto st = co_await invoker->allocate(spec);
   if (!st.ok()) {
     std::printf("allocation failed: %s\n", st.error().message.c_str());

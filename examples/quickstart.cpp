@@ -1,6 +1,6 @@
 // Quickstart: deploy an rFaaS platform, register a function, acquire a
-// lease, invoke it hot over RDMA, and inspect the bill — the full
-// lifecycle of Listing 2 in ~80 lines.
+// self-renewing lease, invoke it hot over RDMA, and inspect the bill —
+// the full lifecycle of Listing 2 in ~80 lines.
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
@@ -16,11 +16,16 @@ sim::Task<void> client(cluster::Harness& platform) {
   auto invoker = platform.make_invoker(/*client_host=*/0, /*client_id=*/1);
 
   // 2. Acquire a lease and spawn a warmed-up executor: one worker,
-  //    bare-metal sandbox, hot (busy-polling) invocations.
+  //    bare-metal sandbox, hot (busy-polling) invocations. The lease is
+  //    deliberately short and auto-renewed: the invoker's LeaseSet sends
+  //    ExtendLease ahead of every expiry, so the session below outlives
+  //    the 10 s TTL without ever paying a second cold start.
   rfaas::AllocationSpec spec;
   spec.function_name = "echo";
   spec.workers = 1;
   spec.policy = rfaas::InvocationPolicy::HotAlways;
+  spec.lease_timeout = 10_s;
+  spec.auto_renew = true;
   auto status = co_await invoker->allocate(spec);
   if (!status.ok()) {
     std::printf("allocation failed: %s\n", status.error().message.c_str());
@@ -38,13 +43,21 @@ sim::Task<void> client(cluster::Harness& platform) {
   for (std::size_t i = 0; i < 1024; ++i) in[i] = static_cast<double>(i) * 0.5;
 
   // 4. Invoke: the payload is written directly into the executor's
-  //    memory; the result comes back the same way.
+  //    memory; the result comes back the same way. The 12 s of think
+  //    time between invocations outlives the lease TTL — only renewal
+  //    keeps the sandbox (and its warm state) alive.
   for (int i = 0; i < 3; ++i) {
     auto result = co_await invoker->invoke(0, in, 1024 * sizeof(double), out);
-    std::printf("invocation %d: %s, %u bytes back, RTT %.2f us\n", i,
-                result.ok ? "ok" : "FAILED", result.output_bytes, to_us(result.latency()));
+    std::printf("invocation %d at t=%.0f s: %s, %u bytes back, RTT %.2f us\n", i,
+                to_ms(platform.engine().now()) / 1e3, result.ok ? "ok" : "FAILED",
+                result.output_bytes, to_us(result.latency()));
+    co_await sim::delay(12_s);
   }
   std::printf("payload intact: %s\n", out[1023] == in[1023] ? "yes" : "NO");
+  std::printf("lease renewals: %llu (failures %llu, expiries %llu)\n",
+              static_cast<unsigned long long>(invoker->leases().renewals()),
+              static_cast<unsigned long long>(invoker->leases().renewal_failures()),
+              static_cast<unsigned long long>(invoker->leases().expiries()));
 
   // 5. Release the resources; the executor notifies the resource manager.
   co_await invoker->deallocate();

@@ -132,26 +132,50 @@ rfaas::ReleaseResourcesMsg release_for(const rfaas::LeaseGrantMsg& grant,
 
 /// Holds a granted lease for `hold`, then releases it — detached from the
 /// tenant loop so hold times occupy the fleet without throttling the
-/// tenant's arrival process.
+/// tenant's arrival process. A renewing client untracks the lease first
+/// so the release cannot race a concurrent renewal.
 sim::Task<void> hold_and_release(std::shared_ptr<net::TcpStream> stream,
+                                 std::shared_ptr<rfaas::LeaseSet> leases,
                                  rfaas::ReleaseResourcesMsg release, Duration hold) {
   co_await sim::delay(hold);
+  if (leases != nullptr) leases->untrack(release.lease_id);
   if (!stream->closed()) stream->send(rfaas::encode(release));
 }
 
 }  // namespace
 
+std::shared_ptr<rfaas::LeaseSet> Harness::make_lease_set(
+    std::shared_ptr<net::TcpStream> stream, std::shared_ptr<sim::Mutex> mutex,
+    const LeaseWorkload& workload, std::shared_ptr<WorkloadCounters> out) {
+  if (!workload.auto_renew) return nullptr;
+  rfaas::LeaseSetOptions opts;
+  opts.renew_margin =
+      workload.renew_margin != 0 ? workload.renew_margin : workload.lease_timeout / 4;
+  opts.extension = workload.lease_timeout;
+  auto leases = std::make_shared<rfaas::LeaseSet>(engine_, opts);
+  leases->bind(std::move(stream), std::move(mutex));
+  leases->on_renewed([out](std::uint64_t, Time) { ++out->renewals; });
+  leases->on_renewal_failed(
+      [out](std::uint64_t, const std::string&) { ++out->renewal_failures; });
+  leases->on_expired([out](std::uint64_t) { ++out->spurious_expiries; });
+  leases->start();
+  return leases;
+}
+
 sim::Task<std::pair<bool, std::optional<rfaas::LeaseGrantMsg>>> Harness::request_lease(
-    std::shared_ptr<net::TcpStream> stream, std::uint32_t client_id, std::uint32_t workers,
-    const LeaseWorkload& workload, WorkloadCounters& out) {
+    std::shared_ptr<net::TcpStream> stream, std::shared_ptr<sim::Mutex> mutex,
+    std::uint32_t client_id, std::uint32_t workers, const LeaseWorkload& workload,
+    WorkloadCounters& out) {
   rfaas::LeaseRequestMsg req;
   req.client_id = client_id;
   req.workers = workers;
   req.memory_bytes = workload.memory_per_worker;
   req.timeout = workload.lease_timeout;
   const Time sent_at = engine_.now();
+  co_await mutex->lock();
   stream->send(rfaas::encode(req));
   auto raw = co_await stream->recv();
+  mutex->unlock();
   if (!raw.has_value()) co_return {false, std::nullopt};  // stream closed
 
   auto grant = rfaas::decode_lease_grant(*raw);
@@ -174,20 +198,29 @@ sim::Task<void> Harness::lease_client_loop(std::size_t client, LeaseWorkload wor
                                      rm_->port());
   if (!conn.ok()) co_return;
   auto stream = conn.value();
+  auto mutex = std::make_shared<sim::Mutex>();
+  auto leases = make_lease_set(stream, mutex, workload, out);
 
   while (engine_.now() < deadline) {
     const auto workers =
         static_cast<std::uint32_t>(uniform(workload.workers_min, workload.workers_max));
-    auto [open, grant] = co_await request_lease(stream, static_cast<std::uint32_t>(client + 1),
+    auto [open, grant] = co_await request_lease(stream, mutex,
+                                                static_cast<std::uint32_t>(client + 1),
                                                 workers, workload, *out);
     if (!open) break;
     if (grant) {
-      // Closed loop: hold the lease, release, then think.
+      // Closed loop: hold the lease (auto-renewing if configured),
+      // release, then think.
+      if (leases != nullptr) {
+        leases->track(grant->lease_id, grant->expires_at, workload.lease_timeout);
+      }
       co_await sim::delay(uniform(workload.hold_min, workload.hold_max));
+      if (leases != nullptr) leases->untrack(grant->lease_id);
       stream->send(rfaas::encode(release_for(*grant, workload)));
     }
     co_await sim::delay(uniform(workload.think_min, workload.think_max));
   }
+  if (leases != nullptr) leases->stop();
   stream->close();
 }
 
@@ -199,23 +232,30 @@ sim::Task<void> Harness::tenant_client_loop(std::size_t client, TenantWorkload w
                                      rm_->port());
   if (!conn.ok()) co_return;
   auto stream = conn.value();
+  auto mutex = std::make_shared<sim::Mutex>();
+  auto leases = make_lease_set(stream, mutex, workload.lease, out);
 
   while (engine_.now() < deadline) {
     const auto workers = static_cast<std::uint32_t>(
         rng.uniform_int(workload.lease.workers_min, workload.lease.workers_max));
-    auto [open, grant] = co_await request_lease(stream, static_cast<std::uint32_t>(client + 1),
+    auto [open, grant] = co_await request_lease(stream, mutex,
+                                                static_cast<std::uint32_t>(client + 1),
                                                 workers, workload.lease, *out);
     if (!open) break;
     if (grant) {
       // The hold happens off-loop so it occupies the fleet without
       // throttling this tenant's arrival process.
+      if (leases != nullptr) {
+        leases->track(grant->lease_id, grant->expires_at, workload.lease.lease_timeout);
+      }
       spawn(hold_and_release(
-          stream, release_for(*grant, workload.lease),
+          stream, leases, release_for(*grant, workload.lease),
           rng.uniform_int(workload.lease.hold_min, workload.lease.hold_max)));
     }
     const double think_s = rng.exponential(std::max(1e-9, workload.arrival_hz));
     co_await sim::delay(static_cast<Duration>(think_s * 1e9));
   }
+  if (leases != nullptr) leases->stop();
   stream->close();
 }
 
@@ -254,6 +294,9 @@ UtilizationTrace Harness::run_lease_workload(const LeaseWorkload& workload, Dura
   trace.samples = *samples;
   trace.granted = counters->granted;
   trace.denied = counters->denied;
+  trace.renewals = counters->renewals;
+  trace.renewal_failures = counters->renewal_failures;
+  trace.spurious_expiries = counters->spurious_expiries;
   trace.grant_latency = counters->grant_latency;
   return trace;
 }
@@ -290,6 +333,9 @@ MultiTenantTrace Harness::run_multi_tenant_workload(const std::vector<TenantWork
     tenant.grant_latency = sinks[t]->grant_latency;
     trace.aggregate.granted += tenant.granted;
     trace.aggregate.denied += tenant.denied;
+    trace.aggregate.renewals += sinks[t]->renewals;
+    trace.aggregate.renewal_failures += sinks[t]->renewal_failures;
+    trace.aggregate.spurious_expiries += sinks[t]->spurious_expiries;
     trace.aggregate.grant_latency.insert(trace.aggregate.grant_latency.end(),
                                          tenant.grant_latency.begin(),
                                          tenant.grant_latency.end());

@@ -82,6 +82,27 @@ struct LeaseWorkload {
   Duration think_max = 2_s;
   Duration lease_timeout = 300_s;
   std::uint64_t seed = 7;
+  /// Keep held leases alive with ExtendLease through a client-side
+  /// rfaas::LeaseSet while the hold outlives the lease timeout.
+  bool auto_renew = false;
+  /// Renew when remaining validity drops below this; 0 = timeout / 4.
+  Duration renew_margin = 0;
+
+  /// Churn preset: leases deliberately outlive their TTL (holds of 3-6x
+  /// the timeout), kept alive purely by auto-renewal — the scenario that
+  /// flushes out renewal races against the manager's expiry sweep.
+  static LeaseWorkload churn(Duration lease_timeout = 5_s, std::uint64_t seed = 7) {
+    LeaseWorkload w;
+    w.lease_timeout = lease_timeout;
+    w.hold_min = 3 * lease_timeout;
+    w.hold_max = 6 * lease_timeout;
+    w.think_min = lease_timeout / 10;
+    w.think_max = lease_timeout / 2;
+    w.auto_renew = true;
+    w.renew_margin = lease_timeout / 4;
+    w.seed = seed;
+    return w;
+  }
 };
 
 /// Result of a lease workload run: the sampled worker-utilization trace,
@@ -95,6 +116,9 @@ struct UtilizationTrace {
   std::vector<Sample> samples;
   std::uint64_t granted = 0;
   std::uint64_t denied = 0;
+  std::uint64_t renewals = 0;           // successful ExtendLease round trips
+  std::uint64_t renewal_failures = 0;   // refused / failed renewals
+  std::uint64_t spurious_expiries = 0;  // held leases lost to expiry
   std::vector<double> grant_latency;  // ns per successful grant
 
   [[nodiscard]] double mean_utilization() const;
@@ -188,16 +212,27 @@ class Harness {
   struct WorkloadCounters {
     std::uint64_t granted = 0;
     std::uint64_t denied = 0;
+    std::uint64_t renewals = 0;
+    std::uint64_t renewal_failures = 0;
+    std::uint64_t spurious_expiries = 0;
     std::vector<double> grant_latency;
   };
+
+  /// Builds the renewal-side LeaseSet of one workload client (nullptr
+  /// when the workload does not auto-renew); its callbacks feed `out`.
+  std::shared_ptr<rfaas::LeaseSet> make_lease_set(
+      std::shared_ptr<net::TcpStream> stream, std::shared_ptr<sim::Mutex> mutex,
+      const LeaseWorkload& workload, std::shared_ptr<WorkloadCounters> out);
 
   /// One lease round trip: request `workers` on `stream`, account the
   /// outcome (granted/denied + grant latency) into `out`, and return the
   /// grant (nullopt when denied, nullptr stream-closed signalled via the
-  /// bool). Shared by both client loops.
+  /// bool). Shared by both client loops; `mutex` serializes the round
+  /// trip against the client's renewal actor.
   sim::Task<std::pair<bool, std::optional<rfaas::LeaseGrantMsg>>> request_lease(
-      std::shared_ptr<net::TcpStream> stream, std::uint32_t client_id, std::uint32_t workers,
-      const LeaseWorkload& workload, WorkloadCounters& out);
+      std::shared_ptr<net::TcpStream> stream, std::shared_ptr<sim::Mutex> mutex,
+      std::uint32_t client_id, std::uint32_t workers, const LeaseWorkload& workload,
+      WorkloadCounters& out);
 
   sim::Task<void> lease_client_loop(std::size_t client, LeaseWorkload workload,
                                     std::uint64_t seed, Time deadline,

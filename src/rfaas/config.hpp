@@ -25,6 +25,7 @@ enum class SchedulingPolicy : std::uint8_t {
   RoundRobin,         // seed-equivalent scan over executors with capacity
   LeastLoaded,        // most free workers first; balances heterogeneous fleets
   PowerOfTwoChoices,  // two random candidates, locality-preferring tie-break
+  LocalityFirst,      // client's rack (and its shard) first, else power-of-two
 };
 
 const char* to_string(SchedulingPolicy p);

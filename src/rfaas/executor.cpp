@@ -405,11 +405,21 @@ sim::Task<void> ExecutorManager::teardown_sandbox(Sandbox& sb, bool notify_rm) {
 }
 
 sim::Task<void> ExecutorManager::sandbox_expiry(std::uint64_t sandbox_id, Time expires_at) {
-  co_await sim::delay_until(expires_at);
-  Sandbox* sb = find_sandbox(sandbox_id);
-  if (sb != nullptr && !sb->dead) {
+  // The deadline can move: lease renewals (LeaseRenewed pushed by the
+  // resource manager) bump Sandbox::expires_at, so on every wake the
+  // timer re-reads it and sleeps again instead of reaping.
+  Time deadline = expires_at;
+  while (true) {
+    co_await sim::delay_until(deadline);
+    Sandbox* sb = find_sandbox(sandbox_id);
+    if (sb == nullptr || sb->dead) co_return;
+    if (sb->expires_at > engine_.now()) {
+      deadline = sb->expires_at;  // renewed while we slept
+      continue;
+    }
     log::debug("executor", "lease expired, reclaiming sandbox ", sandbox_id);
     co_await teardown_sandbox(*sb, /*notify_rm=*/false);
+    co_return;
   }
 }
 
@@ -479,13 +489,22 @@ sim::Task<void> ExecutorManager::register_with_rm(fabric::DeviceId rm_device,
     log::warn("executor", "billing connection failed: ", conn.error().message);
   }
 
-  // Answer heartbeats for as long as we are alive.
+  // Answer heartbeats and apply lease-renewal pushes for as long as we
+  // are alive.
   while (true) {
     auto msg = co_await rm_stream_->recv();
     if (!msg.has_value()) break;
     auto type = peek_type(*msg);
-    if (type.ok() && type.value() == MsgType::Heartbeat && alive_) {
+    if (!type.ok() || !alive_) continue;
+    if (type.value() == MsgType::Heartbeat) {
       rm_stream_->send(encode(MsgType::HeartbeatAck));
+    } else if (type.value() == MsgType::LeaseRenewed) {
+      auto renewed = decode_lease_renewed(*msg);
+      if (!renewed) continue;
+      for (auto& [id, sb] : sandboxes_) {
+        if (sb->dead || sb->lease_id != renewed.value().lease_id) continue;
+        sb->expires_at = std::max(sb->expires_at, renewed.value().expires_at);
+      }
     }
   }
 }

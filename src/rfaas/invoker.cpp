@@ -1,8 +1,200 @@
 #include "rfaas/invoker.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 
 namespace rfs::rfaas {
+
+// --------------------------------------------------------------------------
+// LeaseSet
+// --------------------------------------------------------------------------
+
+LeaseSet::LeaseSet(sim::Engine& engine, LeaseSetOptions options)
+    : state_(std::make_shared<State>()) {
+  state_->engine = &engine;
+  state_->options = options;
+}
+
+LeaseSet::~LeaseSet() {
+  // The renewal actor only holds the shared state; flag it down and let
+  // it exit at its next wake (or be drained with the engine).
+  state_->running = false;
+}
+
+void LeaseSet::bind(std::shared_ptr<net::TcpStream> rm_stream,
+                    std::shared_ptr<sim::Mutex> request_mutex) {
+  state_->stream = std::move(rm_stream);
+  state_->request_mutex = std::move(request_mutex);
+}
+
+void LeaseSet::configure(LeaseSetOptions options) { state_->options = options; }
+
+void LeaseSet::track(std::uint64_t lease_id, Time expires_at, Duration original_timeout) {
+  state_->leases[lease_id] = Tracked{expires_at, original_timeout};
+  state_->wake.set();  // un-park the renewal actor
+}
+
+bool LeaseSet::untrack(std::uint64_t lease_id) { return state_->leases.erase(lease_id) > 0; }
+
+void LeaseSet::start() {
+  if (state_->running) return;
+  if (state_->stream == nullptr || state_->request_mutex == nullptr) return;
+  state_->running = true;
+  // Bump the epoch so an actor surviving from before a stop() retires
+  // itself on its next wake instead of running alongside this one.
+  sim::spawn(*state_->engine, renew_loop(state_, ++state_->epoch));
+}
+
+void LeaseSet::stop() {
+  state_->running = false;
+  state_->wake.set();
+}
+
+void LeaseSet::on_renewed(RenewedFn fn) { state_->renewed_fn = std::move(fn); }
+void LeaseSet::on_renewal_failed(RenewalFailedFn fn) {
+  state_->renewal_failed_fn = std::move(fn);
+}
+void LeaseSet::on_expired(ExpiredFn fn) { state_->expired_fn = std::move(fn); }
+
+std::size_t LeaseSet::size() const { return state_->leases.size(); }
+
+Time LeaseSet::earliest_expiry() const {
+  Time earliest = 0;
+  for (const auto& [id, t] : state_->leases) {
+    if (earliest == 0 || t.expires_at < earliest) earliest = t.expires_at;
+  }
+  return earliest;
+}
+
+std::uint64_t LeaseSet::renewals() const { return state_->renewals; }
+std::uint64_t LeaseSet::renewal_failures() const { return state_->renewal_failures; }
+std::uint64_t LeaseSet::expiries() const { return state_->expiries; }
+
+namespace {
+
+/// Renewal margin of one tracked lease, clamped so a successful renewal
+/// always buys strictly more validity than the margin consumes (no
+/// zero-time renewal spin when margin >= extension).
+Duration effective_margin(const LeaseSetOptions& options, Duration original_timeout) {
+  Duration extension = options.extension != 0 ? options.extension : original_timeout;
+  if (extension == 0) extension = 1_s;
+  return std::min(options.renew_margin, extension / 2);
+}
+
+}  // namespace
+
+sim::Task<void> LeaseSet::wake_at(std::shared_ptr<State> state, Duration after) {
+  co_await sim::delay(after);
+  // A stale waker (the actor was woken early and re-slept) at worst
+  // causes one spurious recompute; setting the event is always safe.
+  state->wake.set();
+}
+
+sim::Task<void> LeaseSet::renew_loop(std::shared_ptr<State> state, std::uint64_t epoch) {
+  sim::Engine& engine = *state->engine;
+  auto active = [&state, epoch] { return state->running && state->epoch == epoch; };
+  auto expire = [&state](std::uint64_t id) {
+    state->leases.erase(id);
+    ++state->expiries;
+    if (state->expired_fn) state->expired_fn(id);
+  };
+  while (active()) {
+    if (state->leases.empty()) {
+      state->wake.reset();
+      co_await state->wake.wait();
+      continue;
+    }
+
+    // Earliest moment any lease needs attention.
+    Time due = 0;
+    for (const auto& [id, t] : state->leases) {
+      const Duration margin = effective_margin(state->options, t.original_timeout);
+      const Time at = t.expires_at > margin ? t.expires_at - margin : 0;
+      if (due == 0 || at < due) due = at;
+    }
+    if (due > engine.now()) {
+      // Sleep until the earliest renewal is due, interruptibly: track()
+      // may add a lease due sooner than this target and stop() must not
+      // leave the actor dozing — both set the wake event, and the waker
+      // sets it at the deadline. Either way the loop recomputes.
+      state->wake.reset();
+      sim::spawn(engine, wake_at(state, due - engine.now()));
+      co_await state->wake.wait();
+      continue;
+    }
+
+    // Renew everything inside its margin. Ids are snapshotted because
+    // renew_one suspends (and may untrack on expiry).
+    std::vector<std::uint64_t> due_ids;
+    for (const auto& [id, t] : state->leases) {
+      if (t.expires_at - effective_margin(state->options, t.original_timeout) <= engine.now()) {
+        due_ids.push_back(id);
+      }
+    }
+    bool failed = false;
+    for (std::uint64_t id : due_ids) {
+      if (!active()) break;
+      auto it = state->leases.find(id);
+      if (it == state->leases.end()) continue;
+      if (engine.now() >= it->second.expires_at) {
+        // Too late: the manager-side lease is gone (spurious expiry).
+        expire(id);
+        continue;
+      }
+      const Duration extension = state->options.extension != 0 ? state->options.extension
+                                                               : it->second.original_timeout;
+      if (state->stream == nullptr || state->stream->closed()) {
+        ++state->renewal_failures;
+        if (state->renewal_failed_fn) state->renewal_failed_fn(id, "manager stream closed");
+        failed = true;
+        continue;
+      }
+
+      co_await state->request_mutex->lock();
+      ExtendLeaseMsg msg;
+      msg.lease_id = id;
+      msg.extension = extension;
+      state->stream->send(encode(msg));
+      auto raw = co_await state->stream->recv();
+      state->request_mutex->unlock();
+      if (!active()) co_return;  // stopped mid-flight: shutdown, not a failure
+
+      it = state->leases.find(id);  // may have been untracked while waiting
+      if (it == state->leases.end()) continue;
+      if (!raw.has_value()) {
+        ++state->renewal_failures;
+        if (state->renewal_failed_fn) state->renewal_failed_fn(id, "manager disconnected");
+        failed = true;
+        continue;
+      }
+      auto ok = decode_extend_ok(*raw);
+      if (ok.ok()) {
+        it->second.expires_at = ok.value().expires_at;
+        ++state->renewals;
+        if (state->renewed_fn) state->renewed_fn(id, ok.value().expires_at);
+      } else {
+        // The manager refused (typically "unknown lease"): the lease is
+        // dead on the authoritative side — surface both signals.
+        auto reason = decode_lease_error(*raw);
+        ++state->renewal_failures;
+        if (state->renewal_failed_fn) {
+          state->renewal_failed_fn(id, reason.ok() ? reason.value() : "renewal refused");
+        }
+        expire(id);
+      }
+    }
+    if (failed && active()) {
+      // Transient failure: back off before retrying so a dead manager
+      // cannot spin the loop at a single virtual timestamp.
+      co_await sim::delay(std::max<Duration>(1_ms, state->options.renew_margin / 4));
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Invoker
+// --------------------------------------------------------------------------
 
 Invoker::Invoker(sim::Engine& engine, fabric::Fabric& fabric, net::TcpNetwork& tcp,
                  const Config& config, fabric::Device& device, fabric::DeviceId rm_device,
@@ -16,6 +208,8 @@ Invoker::Invoker(sim::Engine& engine, fabric::Fabric& fabric, net::TcpNetwork& t
       rm_port_(rm_port),
       client_id_(client_id),
       pd_(device.alloc_pd()),
+      rm_mutex_(std::make_shared<sim::Mutex>()),
+      lease_set_(std::make_unique<LeaseSet>(engine)),
       slots_(std::make_unique<sim::Semaphore>(0)) {}
 
 Invoker::~Invoker() = default;
@@ -32,11 +226,63 @@ sim::Task<Status> Invoker::allocate(const AllocationSpec& spec) {
   }
   cold_start_.connect_manager = engine_.now() - t0;
 
+  if (spec.auto_renew) {
+    LeaseSetOptions opts;
+    opts.renew_margin =
+        spec.renew_margin != 0 ? spec.renew_margin : spec.lease_timeout / 4;
+    opts.extension = spec.lease_timeout;
+    lease_set_->configure(opts);
+  }
+  lease_set_->bind(rm_stream_, rm_mutex_);
+
   std::uint32_t remaining = spec.workers;
   while (remaining > 0) {
     // Stage 2: lease acquisition (A1). Grants may be partial; the client
-    // aggregates leases until the desired parallelism is reached.
+    // aggregates leases until the desired parallelism is reached — one
+    // LeaseRequest per partial grant, or one BatchAllocate round trip
+    // for the whole remainder when spec.batched_leases is set.
     t0 = engine_.now();
+    auto grants = co_await acquire_leases(spec, remaining);
+    if (!grants.ok()) co_return grants.error();
+    cold_start_.lease += engine_.now() - t0;
+
+    for (const auto& grant : grants.value()) {
+      auto deployed = co_await deploy_grant(spec, grant);
+      if (!deployed.ok()) co_return deployed;
+      if (spec.auto_renew) {
+        lease_set_->track(grant.lease_id, grant.expires_at, spec.lease_timeout);
+      }
+      remaining -= std::min(remaining, grant.workers);
+    }
+  }
+  if (spec.auto_renew) lease_set_->start();
+  co_return Status::success();
+}
+
+sim::Task<Result<std::vector<LeaseGrantMsg>>> Invoker::acquire_leases(
+    const AllocationSpec& spec, std::uint32_t remaining) {
+  std::vector<LeaseGrantMsg> grants;
+  co_await rm_mutex_->lock();
+  if (spec.batched_leases) {
+    BatchAllocateMsg req;
+    req.client_id = client_id_;
+    req.workers = remaining;
+    req.memory_bytes = spec.memory_per_worker;
+    req.timeout = spec.lease_timeout;
+    req.mode = static_cast<std::uint8_t>(BatchMode::BestEffort);
+    rm_stream_->send(encode(req));
+    auto reply = co_await rm_stream_->recv();
+    rm_mutex_->unlock();
+    if (!reply.has_value()) co_return Error::make(40, "resource manager disconnected");
+    auto batch = decode_batch_granted(*reply);
+    if (!batch) co_return batch.error();
+    if (batch.value().grants.empty()) {
+      co_return Error::make(41, "lease denied: " + (batch.value().error.empty()
+                                                        ? std::string("unknown")
+                                                        : batch.value().error));
+    }
+    grants = std::move(batch.value().grants);
+  } else {
     LeaseRequestMsg req;
     req.client_id = client_id_;
     req.workers = remaining;
@@ -44,6 +290,7 @@ sim::Task<Status> Invoker::allocate(const AllocationSpec& spec) {
     req.timeout = spec.lease_timeout;
     rm_stream_->send(encode(req));
     auto reply = co_await rm_stream_->recv();
+    rm_mutex_->unlock();
     if (!reply.has_value()) co_return Error::make(40, "resource manager disconnected");
     auto type = peek_type(*reply);
     if (!type.ok() || type.value() != MsgType::LeaseGrant) {
@@ -52,81 +299,82 @@ sim::Task<Status> Invoker::allocate(const AllocationSpec& spec) {
     }
     auto grant_msg = decode_lease_grant(*reply);
     if (!grant_msg) co_return grant_msg.error();
-    const LeaseGrantMsg grant = grant_msg.value();
-    cold_start_.lease += engine_.now() - t0;
-
-    // Stage 3: allocation on the spot executor (A2).
-    t0 = engine_.now();
-    auto mgr = co_await tcp_.connect(device_.id(), grant.device, grant.alloc_port);
-    if (!mgr.ok()) co_return mgr.error();
-    auto mgr_stream = mgr.value();
-
-    AllocationRequestMsg alloc;
-    alloc.lease_id = grant.lease_id;
-    alloc.client_id = client_id_;
-    alloc.workers = grant.workers;
-    alloc.memory_bytes = spec.memory_per_worker;
-    alloc.sandbox = static_cast<std::uint8_t>(spec.sandbox);
-    alloc.policy = static_cast<std::uint8_t>(spec.policy);
-    alloc.hot_timeout = spec.hot_timeout;
-    alloc.expires_at = grant.expires_at;
-    mgr_stream->send(encode(alloc));
-    auto alloc_raw = co_await mgr_stream->recv();
-    if (!alloc_raw.has_value()) co_return Error::make(42, "allocator disconnected");
-    auto alloc_reply = decode_allocation_reply(*alloc_raw);
-    if (!alloc_reply) co_return alloc_reply.error();
-    if (!alloc_reply.value().ok) {
-      co_return Error::make(43, "allocation failed: " + alloc_reply.value().error);
-    }
-    const Duration round = engine_.now() - t0;
-    cold_start_.spawn_workers += alloc_reply.value().spawn_ns;
-    cold_start_.submit_allocation +=
-        round > alloc_reply.value().spawn_ns ? round - alloc_reply.value().spawn_ns : 0;
-
-    // Stage 4: direct RDMA connections to every worker (D2).
-    t0 = engine_.now();
-    sim::WaitGroup wg(grant.workers);
-    bool connect_failed = false;
-    for (std::uint32_t i = 0; i < grant.workers; ++i) {
-      auto one = [](Invoker* self, LeaseGrantMsg g, std::uint64_t sandbox, std::uint32_t idx,
-                    sim::WaitGroup* group, bool* failed) -> sim::Task<void> {
-        auto st = co_await self->connect_worker(g, sandbox, idx);
-        if (!st.ok()) *failed = true;
-        group->done();
-      };
-      sim::spawn(engine_, one(this, grant, alloc_reply.value().sandbox_id, i, &wg,
-                              &connect_failed));
-    }
-    co_await wg.wait();
-    if (connect_failed) co_return Error::make(44, "worker connection failed");
-    cold_start_.connect_workers += engine_.now() - t0;
-
-    // Stage 5: submit the function code. The message is padded to the
-    // library size so the transfer cost is real.
-    t0 = engine_.now();
-    SubmitCodeMsg code;
-    code.sandbox_id = alloc_reply.value().sandbox_id;
-    code.function_name = spec.function_name;
-    auto payload = encode(code);
-    std::uint64_t code_size = spec.code_size;
-    code.code_size = code_size;
-    payload = encode(code);  // re-encode with the final size
-    if (code_size > payload.size()) payload.resize(code_size);
-    mgr_stream->send(std::move(payload));
-    auto code_raw = co_await mgr_stream->recv();
-    if (!code_raw.has_value()) co_return Error::make(45, "allocator disconnected");
-    auto code_type = peek_type(*code_raw);
-    if (!code_type.ok() || code_type.value() != MsgType::SubmitCodeOk) {
-      auto err = decode_lease_error(*code_raw);
-      co_return Error::make(46, "code submission failed: " +
-                                    (err.ok() ? err.value() : "unknown"));
-    }
-    cold_start_.submit_code += engine_.now() - t0;
-
-    allocations_.push_back(
-        Allocation{grant.lease_id, alloc_reply.value().sandbox_id, mgr_stream});
-    remaining -= grant.workers;
+    grants.push_back(grant_msg.value());
   }
+  co_return grants;
+}
+
+sim::Task<Status> Invoker::deploy_grant(const AllocationSpec& spec, const LeaseGrantMsg& grant) {
+  // Stage 3: allocation on the spot executor (A2).
+  Time t0 = engine_.now();
+  auto mgr = co_await tcp_.connect(device_.id(), grant.device, grant.alloc_port);
+  if (!mgr.ok()) co_return mgr.error();
+  auto mgr_stream = mgr.value();
+
+  AllocationRequestMsg alloc;
+  alloc.lease_id = grant.lease_id;
+  alloc.client_id = client_id_;
+  alloc.workers = grant.workers;
+  alloc.memory_bytes = spec.memory_per_worker;
+  alloc.sandbox = static_cast<std::uint8_t>(spec.sandbox);
+  alloc.policy = static_cast<std::uint8_t>(spec.policy);
+  alloc.hot_timeout = spec.hot_timeout;
+  alloc.expires_at = grant.expires_at;
+  mgr_stream->send(encode(alloc));
+  auto alloc_raw = co_await mgr_stream->recv();
+  if (!alloc_raw.has_value()) co_return Error::make(42, "allocator disconnected");
+  auto alloc_reply = decode_allocation_reply(*alloc_raw);
+  if (!alloc_reply) co_return alloc_reply.error();
+  if (!alloc_reply.value().ok) {
+    co_return Error::make(43, "allocation failed: " + alloc_reply.value().error);
+  }
+  const Duration round = engine_.now() - t0;
+  cold_start_.spawn_workers += alloc_reply.value().spawn_ns;
+  cold_start_.submit_allocation +=
+      round > alloc_reply.value().spawn_ns ? round - alloc_reply.value().spawn_ns : 0;
+
+  // Stage 4: direct RDMA connections to every worker (D2).
+  t0 = engine_.now();
+  sim::WaitGroup wg(grant.workers);
+  bool connect_failed = false;
+  for (std::uint32_t i = 0; i < grant.workers; ++i) {
+    auto one = [](Invoker* self, LeaseGrantMsg g, std::uint64_t sandbox, std::uint32_t idx,
+                  sim::WaitGroup* group, bool* failed) -> sim::Task<void> {
+      auto st = co_await self->connect_worker(g, sandbox, idx);
+      if (!st.ok()) *failed = true;
+      group->done();
+    };
+    sim::spawn(engine_, one(this, grant, alloc_reply.value().sandbox_id, i, &wg,
+                            &connect_failed));
+  }
+  co_await wg.wait();
+  if (connect_failed) co_return Error::make(44, "worker connection failed");
+  cold_start_.connect_workers += engine_.now() - t0;
+
+  // Stage 5: submit the function code. The message is padded to the
+  // library size so the transfer cost is real.
+  t0 = engine_.now();
+  SubmitCodeMsg code;
+  code.sandbox_id = alloc_reply.value().sandbox_id;
+  code.function_name = spec.function_name;
+  auto payload = encode(code);
+  std::uint64_t code_size = spec.code_size;
+  code.code_size = code_size;
+  payload = encode(code);  // re-encode with the final size
+  if (code_size > payload.size()) payload.resize(code_size);
+  mgr_stream->send(std::move(payload));
+  auto code_raw = co_await mgr_stream->recv();
+  if (!code_raw.has_value()) co_return Error::make(45, "allocator disconnected");
+  auto code_type = peek_type(*code_raw);
+  if (!code_type.ok() || code_type.value() != MsgType::SubmitCodeOk) {
+    auto err = decode_lease_error(*code_raw);
+    co_return Error::make(46, "code submission failed: " +
+                                  (err.ok() ? err.value() : "unknown"));
+  }
+  cold_start_.submit_code += engine_.now() - t0;
+
+  allocations_.push_back(
+      Allocation{grant.lease_id, alloc_reply.value().sandbox_id, mgr_stream});
   co_return Status::success();
 }
 
@@ -274,6 +522,7 @@ sim::Task<InvocationResult> Invoker::invoke_on(std::size_t worker, std::uint16_t
 
 sim::Task<void> Invoker::deallocate() {
   for (auto& alloc : allocations_) {
+    lease_set_->untrack(alloc.lease_id);
     if (alloc.mgr_stream == nullptr || alloc.mgr_stream->closed()) continue;
     DeallocateMsg msg;
     msg.sandbox_id = alloc.sandbox_id;
@@ -289,6 +538,8 @@ sim::Task<void> Invoker::deallocate() {
   workers_.clear();
   free_workers_.clear();
   slots_ = std::make_unique<sim::Semaphore>(0);
+  // Park the renewal actor; a later allocate(auto_renew) restarts it.
+  lease_set_->stop();
 }
 
 }  // namespace rfs::rfaas

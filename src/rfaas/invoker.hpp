@@ -1,13 +1,20 @@
 // Client library: the paper's `rfaas::invoker` programming model
 // (Sec. IV-B, Listing 2). The invoker acquires leases from the resource
-// manager, allocates sandboxes on spot executors, connects directly to
-// every worker over RDMA, and submits invocations that return futures.
-// Rejected warm invocations are transparently redirected to another
-// worker (Sec. III-D).
+// manager — serially or batched (BatchAllocate, one round trip for a
+// whole multi-lease allocation) — allocates sandboxes on spot executors,
+// connects directly to every worker over RDMA, and submits invocations
+// that return futures. Rejected warm invocations are transparently
+// redirected to another worker (Sec. III-D).
+//
+// Held leases are tracked in a LeaseSet: an auto-renewal component that
+// sends ExtendLease ahead of every expiry (driven by the sim engine's
+// clock) so long-lived clients keep their placement instead of paying a
+// fresh cold start, and that surfaces renewal-failure/expiry callbacks.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -19,8 +26,115 @@
 #include "rfaas/config.hpp"
 #include "rfaas/protocol.hpp"
 #include "sim/host.hpp"
+#include "sim/sync.hpp"
 
 namespace rfs::rfaas {
+
+/// Tuning knobs of a LeaseSet.
+struct LeaseSetOptions {
+  /// A lease is renewed once its remaining validity drops below this.
+  Duration renew_margin = 30_s;
+  /// Extension requested per renewal; 0 = the lease's original timeout.
+  Duration extension = 0;
+};
+
+/// Client-side lease lifecycle tracker: holds the set of live leases,
+/// renews each via ExtendLease ahead of its expiry, and reports renewals,
+/// renewal failures and expiries through callbacks and counters.
+///
+/// The renewal actor shares the resource-manager stream with whoever
+/// acquired the leases; all request/response pairs on that stream must be
+/// serialized through the `request_mutex` passed to bind() (replies carry
+/// no correlation id — the stream is strictly request-response).
+///
+/// Lifetime: the renewal actor only references the internal shared state,
+/// so destroying the LeaseSet (or the engine draining detached actors)
+/// is always safe.
+class LeaseSet {
+ public:
+  using RenewedFn = std::function<void(std::uint64_t lease_id, Time new_expires_at)>;
+  using RenewalFailedFn = std::function<void(std::uint64_t lease_id, const std::string& reason)>;
+  using ExpiredFn = std::function<void(std::uint64_t lease_id)>;
+
+  explicit LeaseSet(sim::Engine& engine, LeaseSetOptions options = {});
+  ~LeaseSet();
+
+  LeaseSet(const LeaseSet&) = delete;
+  LeaseSet& operator=(const LeaseSet&) = delete;
+
+  /// Attaches the resource-manager stream the renewals go over and the
+  /// mutex serializing request/response pairs on it (shared so the
+  /// renewal actor can outlive the acquiring scope).
+  void bind(std::shared_ptr<net::TcpStream> rm_stream, std::shared_ptr<sim::Mutex> request_mutex);
+
+  /// Replaces the renewal options (margin, extension). Takes effect from
+  /// the next renewal decision.
+  void configure(LeaseSetOptions options);
+
+  /// Starts tracking a granted lease. `original_timeout` is the grant's
+  /// validity (the default renewal extension when options.extension == 0).
+  void track(std::uint64_t lease_id, Time expires_at, Duration original_timeout);
+
+  /// Stops tracking (released/deallocated lease). False when unknown.
+  bool untrack(std::uint64_t lease_id);
+
+  /// Spawns the renewal actor (idempotent). bind() must have been called.
+  void start();
+
+  /// Stops the renewal actor at its next wake; tracked leases remain.
+  void stop();
+
+  /// Expiry callbacks. Settable any time; invoked from the renewal actor.
+  void on_renewed(RenewedFn fn);
+  void on_renewal_failed(RenewalFailedFn fn);
+  void on_expired(ExpiredFn fn);
+
+  [[nodiscard]] std::size_t size() const;
+  /// Deadline of the earliest-expiring tracked lease (0 when empty).
+  [[nodiscard]] Time earliest_expiry() const;
+  /// Successful ExtendLease round trips.
+  [[nodiscard]] std::uint64_t renewals() const;
+  /// ExtendLease round trips answered with an error (lease unknown, ...).
+  [[nodiscard]] std::uint64_t renewal_failures() const;
+  /// Tracked leases that reached their deadline without a successful
+  /// renewal — each one is a spurious expiry from the holder's view.
+  [[nodiscard]] std::uint64_t expiries() const;
+
+ private:
+  struct Tracked {
+    Time expires_at = 0;
+    Duration original_timeout = 0;
+  };
+  /// Heap-shared with the renewal actor so the actor can outlive the
+  /// LeaseSet object (same pattern as the harness workload counters).
+  struct State {
+    sim::Engine* engine = nullptr;
+    LeaseSetOptions options;
+    std::shared_ptr<net::TcpStream> stream;
+    std::shared_ptr<sim::Mutex> request_mutex;
+    std::map<std::uint64_t, Tracked> leases;
+    /// Wakes the sleeping renewal actor early: set by track() (a new
+    /// lease may be due sooner than the current sleep target), stop(),
+    /// and the actor's own wake-at-deadline helper.
+    sim::Event wake;
+    bool running = false;
+    /// Actor generation: start() bumps it and spawns a loop bound to the
+    /// new value, so an actor from before a stop()/start() cycle retires
+    /// itself instead of running alongside its replacement.
+    std::uint64_t epoch = 0;
+    std::uint64_t renewals = 0;
+    std::uint64_t renewal_failures = 0;
+    std::uint64_t expiries = 0;
+    RenewedFn renewed_fn;
+    RenewalFailedFn renewal_failed_fn;
+    ExpiredFn expired_fn;
+  };
+
+  static sim::Task<void> renew_loop(std::shared_ptr<State> state, std::uint64_t epoch);
+  static sim::Task<void> wake_at(std::shared_ptr<State> state, Duration after);
+
+  std::shared_ptr<State> state_;
+};
 
 /// Parameters of an allocation ("clients acquire leases by requesting the
 /// desired core count, memory, and timeout", Sec. III-C).
@@ -31,9 +145,19 @@ struct AllocationSpec {
   Duration lease_timeout = 300_s;
   SandboxType sandbox = SandboxType::BareMetal;
   InvocationPolicy policy = InvocationPolicy::Adaptive;
-  Duration hot_timeout = 0;       // 0 = platform default
-  std::uint64_t code_size = 0;    // 0 = the package's declared size
-  bool polling_client = true;     // busy-poll for results vs blocking wait
+  Duration hot_timeout = 0;       ///< 0 = platform default
+  std::uint64_t code_size = 0;    ///< 0 = the package's declared size
+  bool polling_client = true;     ///< busy-poll for results vs blocking wait
+  /// Acquire all leases of this allocation in one BatchAllocate round
+  /// trip (best-effort; the invoker still aggregates until `workers` is
+  /// reached) instead of one LeaseRequest per partial grant.
+  bool batched_leases = false;
+  /// Keep the allocation's leases alive past `lease_timeout` by renewing
+  /// them through the invoker's LeaseSet.
+  bool auto_renew = false;
+  /// Renew when a lease's remaining validity drops below this; 0 picks
+  /// a quarter of `lease_timeout`.
+  Duration renew_margin = 0;
 };
 
 /// Client-observed stages of a cold start (Fig. 9).
@@ -122,6 +246,12 @@ class Invoker {
   [[nodiscard]] std::uint32_t client_id() const { return client_id_; }
   [[nodiscard]] std::uint64_t total_rejections() const { return rejections_; }
   [[nodiscard]] fabric::ProtectionDomain* pd() { return pd_; }
+  /// Leases this invoker currently holds. Mutable access so callers can
+  /// install renewal/expiry callbacks.
+  [[nodiscard]] LeaseSet& leases() { return *lease_set_; }
+  [[nodiscard]] const LeaseSet& leases() const { return *lease_set_; }
+  /// Leases acquired by the current allocation (one per sandbox).
+  [[nodiscard]] std::size_t lease_count() const { return allocations_.size(); }
 
  private:
   struct WorkerRef {
@@ -147,6 +277,13 @@ class Invoker {
                                         rdmalib::RemoteBuffer out);
   sim::Task<Status> connect_worker(const LeaseGrantMsg& grant, std::uint64_t sandbox_id,
                                    std::uint32_t index);
+  /// Acquires leases totalling up to `remaining` workers: one serial
+  /// LeaseRequest (single grant) or one BatchAllocate (many grants).
+  sim::Task<Result<std::vector<LeaseGrantMsg>>> acquire_leases(const AllocationSpec& spec,
+                                                               std::uint32_t remaining);
+  /// Stages 3-5 of a cold start for one granted lease: sandbox
+  /// allocation, worker connections, code submission.
+  sim::Task<Status> deploy_grant(const AllocationSpec& spec, const LeaseGrantMsg& grant);
 
   sim::Engine& engine_;
   fabric::Fabric& fabric_;
@@ -159,6 +296,10 @@ class Invoker {
 
   fabric::ProtectionDomain* pd_ = nullptr;
   std::shared_ptr<net::TcpStream> rm_stream_;
+  /// Serializes request/response pairs on rm_stream_ between allocate()
+  /// and the LeaseSet's renewal actor.
+  std::shared_ptr<sim::Mutex> rm_mutex_;
+  std::unique_ptr<LeaseSet> lease_set_;
   std::vector<Allocation> allocations_;
   std::vector<WorkerRef> workers_;
   std::deque<std::size_t> free_workers_;

@@ -63,14 +63,40 @@ Bytes encode(const LeaseRequestMsg& m) {
   return w.take();
 }
 
-Bytes encode(const LeaseGrantMsg& m) {
-  auto w = header(MsgType::LeaseGrant);
+namespace {
+void write_grant_body(ByteWriter& w, const LeaseGrantMsg& m) {
   w.u64(m.lease_id);
   w.u32(m.device);
   w.u16(m.alloc_port);
   w.u16(m.rdma_port);
   w.u32(m.workers);
   w.u64(m.expires_at);
+}
+
+Result<LeaseGrantMsg> read_grant_body(ByteReader& rd) {
+  LeaseGrantMsg m;
+  auto lease = rd.u64();
+  auto device = rd.u32();
+  auto alloc_port = rd.u16();
+  auto rdma_port = rd.u16();
+  auto workers = rd.u32();
+  auto expires = rd.u64();
+  if (!lease || !device || !alloc_port || !rdma_port || !workers || !expires) {
+    return Error::make(22, "protocol: truncated lease grant body");
+  }
+  m.lease_id = lease.value();
+  m.device = device.value();
+  m.alloc_port = alloc_port.value();
+  m.rdma_port = rdma_port.value();
+  m.workers = workers.value();
+  m.expires_at = expires.value();
+  return m;
+}
+}  // namespace
+
+Bytes encode(const LeaseGrantMsg& m) {
+  auto w = header(MsgType::LeaseGrant);
+  write_grant_body(w, m);
   return w.take();
 }
 
@@ -148,6 +174,32 @@ Bytes encode(const ExtendOkMsg& m) {
   return w.take();
 }
 
+Bytes encode(const BatchAllocateMsg& m) {
+  auto w = header(MsgType::BatchAllocate);
+  w.u32(m.client_id);
+  w.u32(m.workers);
+  w.u64(m.memory_bytes);
+  w.u64(m.timeout);
+  w.u8(m.mode);
+  return w.take();
+}
+
+Bytes encode(const BatchGrantedMsg& m) {
+  auto w = header(MsgType::BatchGranted);
+  w.u8(m.complete ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(m.grants.size()));
+  for (const auto& g : m.grants) write_grant_body(w, g);
+  w.str(m.error);
+  return w.take();
+}
+
+Bytes encode(const LeaseRenewedMsg& m) {
+  auto w = header(MsgType::LeaseRenewed);
+  w.u64(m.lease_id);
+  w.u64(m.expires_at);
+  return w.take();
+}
+
 Result<MsgType> peek_type(const Bytes& raw) {
   if (raw.empty()) return Error::make(21, "protocol: empty message");
   auto v = raw[0];
@@ -200,24 +252,7 @@ Result<LeaseRequestMsg> decode_lease_request(const Bytes& raw) {
 Result<LeaseGrantMsg> decode_lease_grant(const Bytes& raw) {
   auto r = open(raw, MsgType::LeaseGrant);
   if (!r) return r.error();
-  auto& rd = r.value();
-  LeaseGrantMsg m;
-  auto lease = rd.u64();
-  auto device = rd.u32();
-  auto alloc_port = rd.u16();
-  auto rdma_port = rd.u16();
-  auto workers = rd.u32();
-  auto expires = rd.u64();
-  if (!lease || !device || !alloc_port || !rdma_port || !workers || !expires) {
-    return Error::make(22, "protocol: truncated LeaseGrant");
-  }
-  m.lease_id = lease.value();
-  m.device = device.value();
-  m.alloc_port = alloc_port.value();
-  m.rdma_port = rdma_port.value();
-  m.workers = workers.value();
-  m.expires_at = expires.value();
-  return m;
+  return read_grant_body(r.value());
 }
 
 Result<std::string> decode_lease_error(const Bytes& raw) {
@@ -362,6 +397,62 @@ Result<ExtendOkMsg> decode_extend_ok(const Bytes& raw) {
   auto lease = rd.u64();
   auto expires = rd.u64();
   if (!lease || !expires) return Error::make(22, "protocol: truncated ExtendOk");
+  m.lease_id = lease.value();
+  m.expires_at = expires.value();
+  return m;
+}
+
+Result<BatchAllocateMsg> decode_batch_allocate(const Bytes& raw) {
+  auto r = open(raw, MsgType::BatchAllocate);
+  if (!r) return r.error();
+  auto& rd = r.value();
+  BatchAllocateMsg m;
+  auto client = rd.u32();
+  auto workers = rd.u32();
+  auto memory = rd.u64();
+  auto timeout = rd.u64();
+  auto mode = rd.u8();
+  if (!client || !workers || !memory || !timeout || !mode.ok()) {
+    return Error::make(22, "protocol: truncated BatchAllocate");
+  }
+  m.client_id = client.value();
+  m.workers = workers.value();
+  m.memory_bytes = memory.value();
+  m.timeout = timeout.value();
+  m.mode = mode.value();
+  return m;
+}
+
+Result<BatchGrantedMsg> decode_batch_granted(const Bytes& raw) {
+  auto r = open(raw, MsgType::BatchGranted);
+  if (!r) return r.error();
+  auto& rd = r.value();
+  BatchGrantedMsg m;
+  auto complete = rd.u8();
+  auto count = rd.u32();
+  if (!complete.ok() || !count) return Error::make(22, "protocol: truncated BatchGranted");
+  m.complete = complete.value() != 0;
+  // No reserve() from the wire-supplied count: a corrupted count must
+  // fail on the bounds-checked reads below, not allocate.
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto g = read_grant_body(rd);
+    if (!g) return g.error();
+    m.grants.push_back(g.value());
+  }
+  auto err = rd.str();
+  if (!err) return Error::make(22, "protocol: truncated BatchGranted");
+  m.error = err.value();
+  return m;
+}
+
+Result<LeaseRenewedMsg> decode_lease_renewed(const Bytes& raw) {
+  auto r = open(raw, MsgType::LeaseRenewed);
+  if (!r) return r.error();
+  auto& rd = r.value();
+  LeaseRenewedMsg m;
+  auto lease = rd.u64();
+  auto expires = rd.u64();
+  if (!lease || !expires) return Error::make(22, "protocol: truncated LeaseRenewed");
   m.lease_id = lease.value();
   m.expires_at = expires.value();
   return m;

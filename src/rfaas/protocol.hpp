@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/result.hpp"
@@ -67,6 +68,9 @@ enum class MsgType : std::uint8_t {
   ReleaseResources,     // executor manager -> resource manager (early return)
   ExtendLease,          // client -> resource manager (renew before expiry)
   ExtendOk,
+  BatchAllocate,        // client -> resource manager (multi-lease, one trip)
+  BatchGranted,
+  LeaseRenewed,         // resource manager -> executor manager (push)
   Count,                // sentinel, keep last
 };
 
@@ -77,51 +81,61 @@ enum class InvocationPolicy : std::uint8_t {
   Adaptive,    // hot after each execution, roll back to warm on timeout
 };
 
+/// Spot-executor registration with the resource manager (Sec. III-A).
 struct RegisterExecutorMsg {
-  std::uint32_t device = 0;       // fabric device id of the spot host
-  std::uint16_t alloc_port = 0;   // TCP port of the lightweight allocator
-  std::uint16_t rdma_port = 0;    // fabric CM port for worker connections
-  std::uint32_t cores = 0;
-  std::uint64_t memory_bytes = 0;
+  std::uint32_t device = 0;       ///< fabric device id of the spot host
+  std::uint16_t alloc_port = 0;   ///< TCP port of the lightweight allocator
+  std::uint16_t rdma_port = 0;    ///< fabric CM port for worker connections
+  std::uint32_t cores = 0;        ///< schedulable cores of the host
+  std::uint64_t memory_bytes = 0; ///< offerable memory of the host
 };
 
+/// Registration reply: where the executor's billing atomics land.
 struct RegisterOkMsg {
-  std::uint16_t rm_rdma_port = 0;     // where executors connect for billing atomics
-  std::uint64_t billing_addr = 0;     // base of the billing counter array
-  std::uint32_t billing_rkey = 0;
+  std::uint16_t rm_rdma_port = 0;     ///< where executors connect for billing atomics
+  std::uint64_t billing_addr = 0;     ///< base of the billing counter array
+  std::uint32_t billing_rkey = 0;     ///< rkey of the billing counter array
 };
 
+/// One lease acquisition (Sec. III-C): "clients acquire leases by
+/// requesting the desired core count, memory, and timeout". Grants may be
+/// partial; clients aggregate (or use BatchAllocateMsg).
 struct LeaseRequestMsg {
-  std::uint32_t client_id = 0;
-  std::uint32_t workers = 0;       // requested function instances
-  std::uint64_t memory_bytes = 0;  // per-worker memory
-  Duration timeout = 0;            // lease validity
+  std::uint32_t client_id = 0;     ///< billing tenant of the requester
+  std::uint32_t workers = 0;       ///< requested function instances
+  std::uint64_t memory_bytes = 0;  ///< per-worker memory
+  Duration timeout = 0;            ///< lease validity
 };
 
+/// A granted lease: where to allocate the sandbox and until when the
+/// capacity is held. Lease ids are shard-tagged (high 16 bits) under a
+/// sharded manager.
 struct LeaseGrantMsg {
-  std::uint64_t lease_id = 0;
-  std::uint32_t device = 0;
-  std::uint16_t alloc_port = 0;
-  std::uint16_t rdma_port = 0;
-  std::uint32_t workers = 0;  // workers granted on this executor
-  Time expires_at = 0;
+  std::uint64_t lease_id = 0;   ///< shard-tagged lease identifier
+  std::uint32_t device = 0;     ///< fabric device of the granted executor
+  std::uint16_t alloc_port = 0; ///< its lightweight allocator's TCP port
+  std::uint16_t rdma_port = 0;  ///< its fabric CM port for worker connections
+  std::uint32_t workers = 0;    ///< workers granted on this executor
+  Time expires_at = 0;          ///< lease deadline (renewable via ExtendLease)
 };
 
+/// Sandbox allocation on the leased executor (A2 in the cold-start path).
 struct AllocationRequestMsg {
-  std::uint64_t lease_id = 0;
-  std::uint32_t client_id = 0;
-  std::uint32_t workers = 0;
-  std::uint64_t memory_bytes = 0;
-  std::uint8_t sandbox = 0;  // SandboxType
-  std::uint8_t policy = 0;   // InvocationPolicy
-  Duration hot_timeout = 0;  // Adaptive rollback timeout (0 = default)
-  Time expires_at = 0;       // lease expiry (sandbox self-destructs)
+  std::uint64_t lease_id = 0;    ///< the backing lease
+  std::uint32_t client_id = 0;   ///< billing tenant
+  std::uint32_t workers = 0;     ///< worker threads to spawn
+  std::uint64_t memory_bytes = 0;///< per-worker memory reservation
+  std::uint8_t sandbox = 0;      ///< SandboxType
+  std::uint8_t policy = 0;       ///< InvocationPolicy
+  Duration hot_timeout = 0;      ///< Adaptive rollback timeout (0 = default)
+  Time expires_at = 0;           ///< lease expiry (sandbox self-destructs)
 };
 
+/// Early return of leased capacity to the resource manager.
 struct ReleaseResourcesMsg {
-  std::uint64_t lease_id = 0;
-  std::uint32_t workers = 0;
-  std::uint64_t memory_bytes = 0;
+  std::uint64_t lease_id = 0;     ///< lease being released
+  std::uint32_t workers = 0;      ///< workers coming back
+  std::uint64_t memory_bytes = 0; ///< memory coming back
 };
 
 /// Lease renewal: extends a live lease by `extension` from now. Granted
@@ -134,30 +148,71 @@ struct ExtendLeaseMsg {
 
 struct ExtendOkMsg {
   std::uint64_t lease_id = 0;
-  Time expires_at = 0;  // the new deadline
+  Time expires_at = 0;  ///< the new deadline
 };
 
-struct AllocationReplyMsg {
-  bool ok = false;
-  std::uint64_t sandbox_id = 0;
-  std::uint16_t rdma_port = 0;   // port workers accept on
-  std::uint64_t spawn_ns = 0;    // measured sandbox+worker spawn time
-  std::string error;
+/// Fulfillment contract of a batched allocation (BatchAllocateMsg::mode).
+enum class BatchMode : std::uint8_t {
+  BestEffort,   ///< return whatever subset of the request fits
+  AllOrNothing, ///< grant everything or nothing (partials are rolled back)
 };
 
-struct SubmitCodeOkMsg {
-  std::uint16_t fn_index = 0;  // index in the sandbox's function table
+/// Batched lease acquisition: one round trip acquires leases totalling
+/// `workers` function instances, aggregated across executors — and, on a
+/// sharded manager, across shards. Replaces the serial client loop of
+/// one LeaseRequest per partial grant (Sec. III-D) for wide allocations.
+struct BatchAllocateMsg {
+  std::uint32_t client_id = 0;
+  std::uint32_t workers = 0;       ///< total function instances wanted
+  std::uint64_t memory_bytes = 0;  ///< per-worker memory
+  Duration timeout = 0;            ///< validity of every granted lease
+  std::uint8_t mode = 0;           ///< BatchMode
 };
 
-struct SubmitCodeMsg {
-  std::uint64_t sandbox_id = 0;
-  std::string function_name;
-  std::uint64_t code_size = 0;  // shipped library size (bytes on the wire)
+/// Reply to BatchAllocateMsg: the granted leases (possibly spanning
+/// several executors and shards). `complete` is false when the request
+/// was only partially satisfiable — under AllOrNothing the grant list is
+/// then empty and every provisional lease has been released.
+struct BatchGrantedMsg {
+  bool complete = false;
+  std::vector<LeaseGrantMsg> grants;
+  std::string error;  ///< set when `grants` is empty
 };
 
-struct DeallocateMsg {
-  std::uint64_t sandbox_id = 0;
+/// Push notification from the resource manager to the executor manager
+/// that hosts a renewed lease: the sandbox deadline moves to the new
+/// expiry, so renewal stays a single client<->manager round trip.
+struct LeaseRenewedMsg {
   std::uint64_t lease_id = 0;
+  Time expires_at = 0;  ///< the renewed deadline
+};
+
+/// Allocation outcome from the lightweight allocator.
+struct AllocationReplyMsg {
+  bool ok = false;               ///< sandbox up and workers spawned
+  std::uint64_t sandbox_id = 0;  ///< handle for code submission/deallocation
+  std::uint16_t rdma_port = 0;   ///< port workers accept on
+  std::uint64_t spawn_ns = 0;    ///< measured sandbox+worker spawn time
+  std::string error;             ///< failure reason when !ok
+};
+
+/// Code-submission acknowledgement.
+struct SubmitCodeOkMsg {
+  std::uint16_t fn_index = 0;  ///< index in the sandbox's function table
+};
+
+/// Function-code shipping into a live sandbox (padded to the library
+/// size on the wire, so the transfer cost is real).
+struct SubmitCodeMsg {
+  std::uint64_t sandbox_id = 0; ///< target sandbox
+  std::string function_name;    ///< registry name of the function package
+  std::uint64_t code_size = 0;  ///< shipped library size (bytes on the wire)
+};
+
+/// Sandbox teardown; the executor returns the lease to the manager.
+struct DeallocateMsg {
+  std::uint64_t sandbox_id = 0; ///< sandbox to tear down
+  std::uint64_t lease_id = 0;   ///< its backing lease
 };
 
 /// Envelope: [u8 type][payload...]. Each payload codec is explicit; this
@@ -176,6 +231,9 @@ Bytes encode(const DeallocateMsg& m);
 Bytes encode(const ReleaseResourcesMsg& m);
 Bytes encode(const ExtendLeaseMsg& m);
 Bytes encode(const ExtendOkMsg& m);
+Bytes encode(const BatchAllocateMsg& m);
+Bytes encode(const BatchGrantedMsg& m);
+Bytes encode(const LeaseRenewedMsg& m);
 
 Result<MsgType> peek_type(const Bytes& raw);
 Result<RegisterExecutorMsg> decode_register(const Bytes& raw);
@@ -191,5 +249,8 @@ Result<DeallocateMsg> decode_deallocate(const Bytes& raw);
 Result<ReleaseResourcesMsg> decode_release(const Bytes& raw);
 Result<ExtendLeaseMsg> decode_extend_lease(const Bytes& raw);
 Result<ExtendOkMsg> decode_extend_ok(const Bytes& raw);
+Result<BatchAllocateMsg> decode_batch_allocate(const Bytes& raw);
+Result<BatchGrantedMsg> decode_batch_granted(const Bytes& raw);
+Result<LeaseRenewedMsg> decode_lease_renewed(const Bytes& raw);
 
 }  // namespace rfs::rfaas

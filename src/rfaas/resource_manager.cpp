@@ -105,14 +105,16 @@ sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> s
           stream->send(encode_lease_error(msg.error().message));
           break;
         }
-        // Route first (lock-free), then serialize on the routed shard's
-        // gate: a single-shard manager decides strictly one lease at a
-        // time, an N-shard manager N at a time. The decision delay is
-        // paid inside the critical section — that is the whole point. A
-        // stolen placement ran a second scan over other shards, so it
-        // bills a second decision delay (conservative: the victim
-        // shard's own gate queue is not consumed).
-        const std::uint32_t shard = core_.preferred_shard();
+        // Route first (lock-free, locality-aware under LocalityFirst),
+        // then serialize on the routed shard's gate: a single-shard
+        // manager decides strictly one lease at a time, an N-shard
+        // manager N at a time. The decision delay is paid inside the
+        // critical section — that is the whole point. A stolen placement
+        // ran a second scan over other shards, so it bills a second
+        // decision delay (conservative: the victim shard's own gate
+        // queue is not consumed).
+        const std::uint32_t shard =
+            core_.preferred_shard_for(fabric_.locality(stream->remote_device()));
         auto& gate = *grant_gates_[shard];
         co_await gate.lock();
         co_await sim::delay(config_.lease_processing);
@@ -136,16 +138,48 @@ sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> s
         co_await gate.lock();
         co_await sim::delay(config_.lease_processing);
         const Time expires_at = engine_.now() + msg.value().extension;
-        const bool renewed = core_.renew(msg.value().lease_id, expires_at);
+        const auto renewed = core_.renew(msg.value().lease_id, expires_at);
         gate.unlock();
         if (renewed) {
           ExtendOkMsg ok;
           ok.lease_id = msg.value().lease_id;
           ok.expires_at = expires_at;
           stream->send(encode(ok));
+          // Push the new deadline to the hosting executor so the sandbox
+          // does not self-destruct at the original expiry. Renewal thus
+          // stays a single client<->manager round trip.
+          if (renewed->executor_stream != nullptr && !renewed->executor_stream->closed()) {
+            LeaseRenewedMsg push;
+            push.lease_id = msg.value().lease_id;
+            push.expires_at = expires_at;
+            renewed->executor_stream->send(encode(push));
+          }
         } else {
           stream->send(encode_lease_error("unknown lease"));
         }
+        break;
+      }
+      case MsgType::BatchAllocate: {
+        auto msg = decode_batch_allocate(*raw);
+        if (!msg) {
+          stream->send(encode_lease_error(msg.error().message));
+          break;
+        }
+        // One round trip, one gate session: the routed shard's scan is
+        // paid once for the whole batch (a scan is O(registry) however
+        // many leases it yields) plus one extra decision delay per
+        // additional shard the batch spilled onto — that amortization is
+        // exactly what the batched API buys over N serial LeaseRequests.
+        const std::uint32_t locality = fabric_.locality(stream->remote_device());
+        const std::uint32_t shard = core_.preferred_shard_for(locality);
+        auto& gate = *grant_gates_[shard];
+        co_await gate.lock();
+        co_await sim::delay(config_.lease_processing);
+        std::uint32_t extra_shards = 0;
+        Bytes reply = grant_batch(msg.value(), locality, shard, extra_shards);
+        if (extra_shards > 0) co_await sim::delay(extra_shards * config_.lease_processing);
+        gate.unlock();
+        stream->send(std::move(reply));
         break;
       }
       case MsgType::ReleaseResources: {
@@ -185,6 +219,48 @@ Bytes ResourceManager::grant_lease(const LeaseRequestMsg& req, std::uint32_t cli
   msg.workers = grant->workers;
   msg.expires_at = grant->expires_at;
   return encode(msg);
+}
+
+Bytes ResourceManager::grant_batch(const BatchAllocateMsg& req, std::uint32_t client_locality,
+                                   std::uint32_t shard, std::uint32_t& extra_shards) {
+  extra_shards = 0;
+  BatchGrantedMsg reply;
+  if (core_.size() == 0) {
+    reply.error = "no executors registered";
+    return encode(reply);
+  }
+  if (req.workers == 0) {
+    reply.error = "zero workers requested";
+    return encode(reply);
+  }
+
+  ScheduleRequest request;
+  request.workers = req.workers;
+  request.memory_per_worker = req.memory_bytes;
+  request.client_locality = client_locality;
+
+  const bool all_or_nothing = req.mode == static_cast<std::uint8_t>(BatchMode::AllOrNothing);
+  auto outcome =
+      core_.grant_batch(request, req.client_id, req.timeout, engine_.now(), all_or_nothing, shard);
+  extra_shards = outcome.shards_touched > 0 ? outcome.shards_touched - 1 : 0;
+
+  reply.complete = outcome.complete;
+  for (const auto& g : outcome.grants) {
+    LeaseGrantMsg grant;
+    grant.lease_id = g.lease_id;
+    grant.device = g.executor_info.device;
+    grant.alloc_port = g.executor_info.alloc_port;
+    grant.rdma_port = g.executor_info.rdma_port;
+    grant.workers = g.workers;
+    grant.expires_at = g.expires_at;
+    reply.grants.push_back(grant);
+  }
+  if (reply.grants.empty()) {
+    reply.error = all_or_nothing && !outcome.complete
+                      ? "all-or-nothing batch unsatisfiable"
+                      : "no executor with free capacity";
+  }
+  return encode(reply);
 }
 
 void ResourceManager::mark_executor_dead(std::uint64_t executor_id) {

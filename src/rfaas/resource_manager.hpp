@@ -81,6 +81,12 @@ class ResourceManager {
   /// second decision scan).
   Bytes grant_lease(const LeaseRequestMsg& req, std::uint32_t client_locality,
                     std::uint32_t shard, bool& stolen);
+
+  /// Builds the BatchGranted reply for one batched allocation; sets
+  /// `extra_shards` to the number of shards beyond the routed one the
+  /// batch touched (the caller bills one extra decision scan each).
+  Bytes grant_batch(const BatchAllocateMsg& req, std::uint32_t client_locality,
+                    std::uint32_t shard, std::uint32_t& extra_shards);
   void mark_executor_dead(std::uint64_t executor_id);
 
   sim::Engine& engine_;

@@ -7,6 +7,7 @@ const char* to_string(SchedulingPolicy p) {
     case SchedulingPolicy::RoundRobin: return "round-robin";
     case SchedulingPolicy::LeastLoaded: return "least-loaded";
     case SchedulingPolicy::PowerOfTwoChoices: return "power-of-two";
+    case SchedulingPolicy::LocalityFirst: return "locality-first";
   }
   return "unknown";
 }
@@ -160,6 +161,28 @@ std::optional<Placement> PowerOfTwoScheduler::place(const ExecutorRegistry& regi
   return std::nullopt;
 }
 
+std::optional<Placement> LocalityFirstScheduler::place(const ExecutorRegistry& registry,
+                                                       const ScheduleRequest& request,
+                                                       const std::vector<bool>& excluded) {
+  // Local pass: least-loaded among the executors in the client's rack.
+  std::optional<Placement> best;
+  std::uint32_t best_free = 0;
+  for (std::size_t idx = 0; idx < registry.size(); ++idx) {
+    if (registry.at(idx).locality != request.client_locality) continue;
+    auto p = fit(registry, idx, request, excluded);
+    if (!p) continue;
+    const std::uint32_t free = registry.at(idx).free_workers;
+    if (!best || free > best_free) {
+      best = p;
+      best_free = free;
+    }
+  }
+  if (best) return best;
+  // No local capacity: pay the cross-rack cost through the usual
+  // power-of-two sampling (which itself still tie-breaks on locality).
+  return fallback_.place(registry, request, excluded);
+}
+
 std::unique_ptr<Scheduler> make_scheduler(const Config& config) {
   switch (config.scheduling) {
     case SchedulingPolicy::LeastLoaded:
@@ -167,6 +190,8 @@ std::unique_ptr<Scheduler> make_scheduler(const Config& config) {
     case SchedulingPolicy::PowerOfTwoChoices:
       return std::make_unique<PowerOfTwoScheduler>(config.scheduler_seed,
                                                    config.scheduler_locality);
+    case SchedulingPolicy::LocalityFirst:
+      return std::make_unique<LocalityFirstScheduler>(config.scheduler_seed);
     case SchedulingPolicy::RoundRobin:
     default:
       return std::make_unique<RoundRobinScheduler>();

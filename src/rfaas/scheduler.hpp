@@ -154,6 +154,25 @@ class PowerOfTwoScheduler final : public Scheduler {
   bool prefer_locality_;
 };
 
+/// Locality-first placement: among the executors in the client's rack
+/// (matching topology group) pick the least loaded; when no local
+/// executor fits, fall back to power-of-two-choices over the whole
+/// registry. Under a sharded manager this policy also switches the
+/// shard layout to rack-affine (executors shard by rack, requests route
+/// to the client rack's shard first) — see ShardedResourceManager.
+class LocalityFirstScheduler final : public Scheduler {
+ public:
+  explicit LocalityFirstScheduler(std::uint64_t seed) : fallback_(seed, true) {}
+
+  [[nodiscard]] const char* name() const override { return "locality-first"; }
+  [[nodiscard]] std::optional<Placement> place(const ExecutorRegistry& registry,
+                                               const ScheduleRequest& request,
+                                               const std::vector<bool>& excluded) override;
+
+ private:
+  PowerOfTwoScheduler fallback_;
+};
+
 /// Builds the policy selected by `config.scheduling`.
 std::unique_ptr<Scheduler> make_scheduler(const Config& config);
 

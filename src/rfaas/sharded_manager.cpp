@@ -5,7 +5,8 @@
 namespace rfs::rfaas {
 
 ShardedResourceManager::ShardedResourceManager(const Config& config)
-    : rng_counter_(config.scheduler_seed) {
+    : locality_sharding_(config.scheduling == SchedulingPolicy::LocalityFirst),
+      rng_counter_(config.scheduler_seed) {
   const std::uint32_t n = std::max(1u, config.manager_shards);
   shards_.reserve(n);
   for (std::uint32_t s = 0; s < n; ++s) {
@@ -23,8 +24,12 @@ ShardedResourceManager::ShardedResourceManager(const Config& config)
 ShardedResourceManager::~ShardedResourceManager() = default;
 
 std::uint64_t ShardedResourceManager::add_executor(ExecutorEntry entry) {
-  const std::uint32_t s = static_cast<std::uint32_t>(
-      next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size());
+  // LocalityFirst gives every rack a home shard so rack-local routing is
+  // a modulo, not a search; all other policies balance round-robin.
+  const std::uint32_t s = locality_sharding_
+      ? entry.locality % static_cast<std::uint32_t>(shards_.size())
+      : static_cast<std::uint32_t>(next_shard_.fetch_add(1, std::memory_order_relaxed) %
+                                   shards_.size());
   auto& shard = *shards_[s];
   std::lock_guard<std::mutex> lock(shard.mu);
   const std::uint32_t workers = entry.total_workers;
@@ -52,6 +57,13 @@ std::uint32_t ShardedResourceManager::preferred_shard() {
   const auto free_a = shards_[a]->free_workers.load(std::memory_order_relaxed);
   const auto free_b = shards_[b]->free_workers.load(std::memory_order_relaxed);
   return free_a >= free_b ? a : b;
+}
+
+std::uint32_t ShardedResourceManager::preferred_shard_for(std::uint32_t client_locality) {
+  if (!locality_sharding_ || shard_count() == 1) return preferred_shard();
+  const std::uint32_t home = client_locality % shard_count();
+  if (shards_[home]->free_workers.load(std::memory_order_relaxed) > 0) return home;
+  return preferred_shard();
 }
 
 std::optional<ShardedResourceManager::Grant> ShardedResourceManager::grant_on(
@@ -91,7 +103,11 @@ std::optional<ShardedResourceManager::Grant> ShardedResourceManager::grant_on(
     grant.workers = placement->workers;
     grant.memory = placement->memory;
     grant.expires_at = record.expires_at;
+    grant.executor_locality = shard.registry.at(placement->executor).locality;
     grant.executor_info = shard.registry.at(placement->executor).info;
+    if (grant.executor_locality == request.client_locality) {
+      local_grants_.fetch_add(1, std::memory_order_relaxed);
+    }
     return grant;
   }
   return std::nullopt;
@@ -133,15 +149,53 @@ std::optional<ShardedResourceManager::Grant> ShardedResourceManager::grant(
   return std::nullopt;
 }
 
-bool ShardedResourceManager::renew(std::uint64_t lease_id, Time new_expires_at) {
+ShardedResourceManager::BatchGrant ShardedResourceManager::grant_batch(
+    const ScheduleRequest& request, std::uint32_t client_id, Duration timeout, Time now,
+    bool all_or_nothing, std::optional<std::uint32_t> routed) {
+  BatchGrant out;
+  batches_.fetch_add(1, std::memory_order_relaxed);
+
+  // Per-shard partial fulfillment: each sub-placement takes whatever the
+  // placed executor can give (the schedulers' min(free, requested) rule)
+  // and the remainder re-routes — the first one to the caller's routed
+  // shard, later ones freshly, so wide batches spread across shards.
+  std::uint32_t remaining = request.workers;
+  std::vector<bool> touched(shards_.size(), false);
+  while (remaining > 0) {
+    ScheduleRequest sub = request;
+    sub.workers = remaining;
+    auto g = grant(sub, client_id, timeout, now, out.grants.empty() ? routed : std::nullopt);
+    if (!g) break;  // fleet-wide exhaustion (grant() already counted the denial)
+    remaining -= g->workers;
+    out.granted_workers += g->workers;
+    touched[g->shard] = true;
+    out.grants.push_back(std::move(*g));
+  }
+  for (std::size_t s = 0; s < touched.size(); ++s) {
+    if (touched[s]) ++out.shards_touched;
+  }
+  out.complete = remaining == 0;
+
+  if (!out.complete && all_or_nothing) {
+    // Roll the provisional leases back; the scans still happened, so
+    // shards_touched keeps billing the decision cost.
+    for (const auto& g : out.grants) release(g.lease_id);
+    out.grants.clear();
+    out.granted_workers = 0;
+  }
+  return out;
+}
+
+std::optional<ShardedResourceManager::Renewal> ShardedResourceManager::renew(
+    std::uint64_t lease_id, Time new_expires_at) {
   const std::uint32_t s = id_shard(lease_id);
-  if (s >= shards_.size()) return false;
+  if (s >= shards_.size()) return std::nullopt;
   auto& shard = *shards_[s];
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.leases.find(lease_id);
-  if (it == shard.leases.end()) return false;
+  if (it == shard.leases.end()) return std::nullopt;
   it->second.expires_at = new_expires_at;
-  return true;
+  return Renewal{shard.registry.at(it->second.executor).stream};
 }
 
 bool ShardedResourceManager::release(std::uint64_t lease_id) {

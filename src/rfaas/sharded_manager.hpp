@@ -56,13 +56,29 @@ class ShardedResourceManager {
   /// LeaseRequest, plus the shard bookkeeping for introspection.
   struct Grant {
     std::uint64_t lease_id = 0;
-    std::uint64_t executor = 0;  // global executor id (shard-tagged)
+    std::uint64_t executor = 0;  ///< global executor id (shard-tagged)
     std::uint32_t shard = 0;
     std::uint32_t workers = 0;
-    std::uint64_t memory = 0;  // total bytes claimed
+    std::uint64_t memory = 0;  ///< total bytes claimed
     Time expires_at = 0;
-    bool stolen = false;  // placed outside the routed shard
-    RegisterExecutorMsg executor_info;  // device + ports for the grant msg
+    bool stolen = false;  ///< placed outside the routed shard
+    std::uint32_t executor_locality = 0;  ///< rack of the granted executor
+    RegisterExecutorMsg executor_info;  ///< device + ports for the grant msg
+  };
+
+  /// Result of a batched multi-lease grant (see grant_batch()).
+  struct BatchGrant {
+    std::vector<Grant> grants;          ///< the committed leases, grant order
+    std::uint32_t granted_workers = 0;  ///< sum over `grants`
+    std::uint32_t shards_touched = 0;   ///< distinct shards scanned/placed on
+    bool complete = false;              ///< every requested worker granted
+  };
+
+  /// Result of a successful renew(): the registration stream of the
+  /// executor hosting the lease (may be null for core-only deployments),
+  /// so the control plane can push the new deadline to the sandbox.
+  struct Renewal {
+    std::shared_ptr<net::TcpStream> executor_stream;
   };
 
   explicit ShardedResourceManager(const Config& config);
@@ -76,13 +92,21 @@ class ShardedResourceManager {
   }
 
   /// Registers an executor on the next shard (round-robin assignment
-  /// keeps skewed fleets balanced across shards). Returns its global id.
+  /// keeps skewed fleets balanced across shards; with the LocalityFirst
+  /// policy the shard is the executor's rack modulo the shard count, so
+  /// each rack has a home shard). Returns its global id.
   std::uint64_t add_executor(ExecutorEntry entry);
 
   /// Level-1 routing decision: power-of-two-choices over the shards'
   /// aggregate free-worker counters. Lock-free; consumes one value of the
   /// routing RNG (none with a single shard).
   [[nodiscard]] std::uint32_t preferred_shard();
+
+  /// Locality-aware routing: with the LocalityFirst policy the client
+  /// rack's home shard is preferred while it has free capacity; all
+  /// other configurations (and an exhausted home shard) fall back to
+  /// preferred_shard().
+  [[nodiscard]] std::uint32_t preferred_shard_for(std::uint32_t client_locality);
 
   /// Grants a lease: places inside `routed` (defaults to a fresh
   /// preferred_shard() decision), stealing from the other shards in
@@ -91,8 +115,20 @@ class ShardedResourceManager {
                              Duration timeout, Time now,
                              std::optional<std::uint32_t> routed = std::nullopt);
 
-  /// Extends a live lease to the given expiry; false when unknown.
-  bool renew(std::uint64_t lease_id, Time new_expires_at);
+  /// Grants a batch of leases totalling `request.workers` workers in one
+  /// call, aggregating partial placements across executors and shards
+  /// (per-shard partial fulfillment). `routed` seeds the first
+  /// sub-placement; later ones route freshly. When `all_or_nothing` is
+  /// set and the fleet cannot satisfy the whole request, every
+  /// provisional lease is released and the returned grant list is empty.
+  BatchGrant grant_batch(const ScheduleRequest& request, std::uint32_t client_id,
+                         Duration timeout, Time now, bool all_or_nothing,
+                         std::optional<std::uint32_t> routed = std::nullopt);
+
+  /// Extends a live lease to the given expiry; nullopt when unknown. On
+  /// success carries the hosting executor's registration stream so the
+  /// caller can push the renewal to the sandbox.
+  std::optional<Renewal> renew(std::uint64_t lease_id, Time new_expires_at);
 
   /// Returns the lease's capacity to its executor; false when unknown
   /// (already released, expired, or dropped at executor death).
@@ -134,6 +170,12 @@ class ShardedResourceManager {
   [[nodiscard]] std::uint64_t grants() const { return grants_.load(std::memory_order_relaxed); }
   [[nodiscard]] std::uint64_t denials() const { return denials_.load(std::memory_order_relaxed); }
   [[nodiscard]] std::uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+  /// Grants whose executor sits in the requesting client's rack — the
+  /// numerator of the locality hit rate benches report.
+  [[nodiscard]] std::uint64_t local_grants() const {
+    return local_grants_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t batches() const { return batches_.load(std::memory_order_relaxed); }
 
   /// Per-shard introspection for tests and the single-shard compatibility
   /// accessors of ResourceManager. Not synchronized: call only while no
@@ -201,12 +243,15 @@ class ShardedResourceManager {
                                 std::uint32_t client_id, Duration timeout, Time now);
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  bool locality_sharding_ = false;  // LocalityFirst: shard executors by rack
   std::atomic<std::uint64_t> next_shard_{0};  // round-robin executor assignment
   std::atomic<std::size_t> executor_count_{0};  // lock-free size() for the grant path
   std::atomic<std::uint64_t> rng_counter_;
   std::atomic<std::uint64_t> grants_{0};
   std::atomic<std::uint64_t> denials_{0};
   std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> local_grants_{0};
+  std::atomic<std::uint64_t> batches_{0};
 };
 
 }  // namespace rfs::rfaas

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "workloads/blackscholes.hpp"
 #include "workloads/image.hpp"
@@ -74,7 +75,13 @@ void register_matmul_half(rfaas::FunctionRegistry& registry, unsigned sample_shi
     std::memcpy(&n, in, 4);
     const std::size_t matrix_doubles = static_cast<std::size_t>(n) * n;
     if (size < 4 + 2 * matrix_doubles * sizeof(double)) return 0;
-    const auto* a = reinterpret_cast<const double*>(static_cast<const std::uint8_t*>(in) + 4);
+    // The doubles sit at payload offset 4 and are not 8-byte aligned in
+    // the wire buffer: copy into aligned storage instead of casting
+    // (UBSan: misaligned load). The copy is O(n^2) under an O(n^3) kernel.
+    std::vector<double> ab(2 * matrix_doubles);
+    std::memcpy(ab.data(), static_cast<const std::uint8_t*>(in) + 4,
+                2 * matrix_doubles * sizeof(double));
+    const double* a = ab.data();
     const double* b = a + matrix_doubles;
     auto* c = static_cast<double*>(out);
     const std::size_t half = n / 2;

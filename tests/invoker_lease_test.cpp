@@ -1,0 +1,425 @@
+// Tests of the client-side lease lifecycle: the LeaseSet auto-renewal
+// component (renew-ahead-of-expiry, failure/expiry callbacks), invoker
+// auto-renewal end to end (renewed leases keep their sandboxes alive past
+// the original TTL via the manager's LeaseRenewed push), batched lease
+// acquisition through the invoker and over the raw wire, and the harness
+// churn workload sustaining leases past the TTL with zero spurious
+// expiries.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/harness.hpp"
+#include "rfaas/sharded_manager.hpp"
+
+namespace rfs::rfaas {
+namespace {
+
+cluster::ScenarioSpec small_fleet(unsigned executors = 1, unsigned cores = 4,
+                                  unsigned shards = 1) {
+  auto spec = cluster::ScenarioSpec::uniform(executors, cores, 32ull << 30, /*clients=*/1);
+  spec.config.manager_shards = shards;
+  return spec;
+}
+
+/// Acquires one lease of `workers` workers with the given timeout over
+/// an open control stream to the resource manager.
+sim::Task<Result<LeaseGrantMsg>> acquire_one(std::shared_ptr<net::TcpStream> stream,
+                                             std::uint32_t workers, Duration timeout) {
+  LeaseRequestMsg req;
+  req.client_id = 1;
+  req.workers = workers;
+  req.memory_bytes = 64ull << 20;
+  req.timeout = timeout;
+  stream->send(encode(req));
+  auto raw = co_await stream->recv();
+  if (!raw.has_value()) co_return Error::make(1, "stream closed");
+  co_return decode_lease_grant(*raw);
+}
+
+// --------------------------------------------------------------------------
+// LeaseSet: renewal ahead of expiry, callbacks, failure modes
+// --------------------------------------------------------------------------
+
+TEST(LeaseSet, RenewsAheadOfExpiryAndSurvivesTheSweep) {
+  cluster::Harness h(small_fleet());
+  h.start();
+
+  auto mutex = std::make_shared<sim::Mutex>();
+  LeaseSetOptions opts;
+  opts.renew_margin = 500_ms;
+  opts.extension = 2_s;
+  LeaseSet leases(h.engine(), opts);
+  std::vector<std::uint64_t> renewed_ids;
+  leases.on_renewed([&](std::uint64_t id, Time) { renewed_ids.push_back(id); });
+
+  auto scenario = [&]() -> sim::Task<void> {
+    auto conn = co_await h.tcp().connect(h.client_device(0).id(), h.rm().device().id(),
+                                         h.rm().port());
+    EXPECT_TRUE(conn.ok());
+    if (!conn.ok()) co_return;
+    auto stream = conn.value();
+    auto grant = co_await acquire_one(stream, 2, 2_s);
+    EXPECT_TRUE(grant.ok());
+    if (!grant.ok()) co_return;
+
+    leases.bind(stream, mutex);
+    leases.track(grant.value().lease_id, grant.value().expires_at, 2_s);
+    leases.start();
+  };
+  h.spawn(scenario());
+
+  // 10 s is five TTLs: without renewal the heartbeat sweep reclaims the
+  // lease after ~2-3 s; with renewal it must still be live.
+  h.run_for(10_s);
+  EXPECT_EQ(h.rm().active_leases(), 1u);
+  EXPECT_GE(leases.renewals(), 3u);
+  EXPECT_EQ(leases.renewal_failures(), 0u);
+  EXPECT_EQ(leases.expiries(), 0u);
+  EXPECT_EQ(leases.size(), 1u);
+  EXPECT_FALSE(renewed_ids.empty());
+  EXPECT_GT(leases.earliest_expiry(), h.engine().now());
+
+  // Stop renewing: the manager's sweep must reclaim at the last deadline.
+  leases.stop();
+  h.run_for(10_s);
+  EXPECT_EQ(h.rm().active_leases(), 0u);
+}
+
+TEST(LeaseSet, UnknownLeaseSurfacesFailureAndExpiry) {
+  cluster::Harness h(small_fleet());
+  h.start();
+
+  auto mutex = std::make_shared<sim::Mutex>();
+  LeaseSetOptions opts;
+  opts.renew_margin = 500_ms;
+  opts.extension = 2_s;
+  LeaseSet leases(h.engine(), opts);
+  std::string failure_reason;
+  std::vector<std::uint64_t> expired_ids;
+  leases.on_renewal_failed(
+      [&](std::uint64_t, const std::string& reason) { failure_reason = reason; });
+  leases.on_expired([&](std::uint64_t id) { expired_ids.push_back(id); });
+
+  auto scenario = [&]() -> sim::Task<void> {
+    auto conn = co_await h.tcp().connect(h.client_device(0).id(), h.rm().device().id(),
+                                         h.rm().port());
+    EXPECT_TRUE(conn.ok());
+    if (!conn.ok()) co_return;
+    leases.bind(conn.value(), mutex);
+    // Never granted: the manager answers every renewal with LeaseError.
+    leases.track(/*lease_id=*/4242, h.engine().now() + 2_s, 2_s);
+    leases.start();
+  };
+  h.spawn(scenario());
+
+  h.run_for(5_s);
+  EXPECT_GE(leases.renewal_failures(), 1u);
+  EXPECT_EQ(leases.expiries(), 1u);
+  EXPECT_EQ(leases.size(), 0u);  // given up after the refusal
+  EXPECT_EQ(failure_reason, "unknown lease");
+  EXPECT_EQ(expired_ids, (std::vector<std::uint64_t>{4242}));
+}
+
+TEST(LeaseSet, LaterShortLeaseInterruptsALongSleep) {
+  cluster::Harness h(small_fleet(/*executors=*/2));
+  h.start();
+
+  auto mutex = std::make_shared<sim::Mutex>();
+  LeaseSetOptions opts;
+  opts.renew_margin = 1_s;
+  LeaseSet leases(h.engine(), opts);
+
+  auto scenario = [&]() -> sim::Task<void> {
+    auto conn = co_await h.tcp().connect(h.client_device(0).id(), h.rm().device().id(),
+                                         h.rm().port());
+    EXPECT_TRUE(conn.ok());
+    if (!conn.ok()) co_return;
+    auto stream = conn.value();
+    leases.bind(stream, mutex);
+
+    // A long lease first: the renewal actor goes to sleep until ~t+299s.
+    auto long_grant = co_await acquire_one(stream, 1, 300_s);
+    EXPECT_TRUE(long_grant.ok());
+    if (!long_grant.ok()) co_return;
+    leases.track(long_grant.value().lease_id, long_grant.value().expires_at, 300_s);
+    leases.start();
+    co_await sim::delay(1_s);
+
+    // A short lease tracked mid-sleep must interrupt that sleep: its
+    // renewal window (due ~t+3s) is far earlier than the sleep target.
+    auto short_grant = co_await acquire_one(stream, 1, 4_s);
+    EXPECT_TRUE(short_grant.ok());
+    if (!short_grant.ok()) co_return;
+    leases.track(short_grant.value().lease_id, short_grant.value().expires_at, 4_s);
+  };
+  h.spawn(scenario());
+
+  h.run_for(20_s);
+  EXPECT_GE(leases.renewals(), 3u);  // the short lease kept renewing
+  EXPECT_EQ(leases.expiries(), 0u);
+  EXPECT_EQ(leases.size(), 2u);
+  EXPECT_EQ(h.rm().active_leases(), 2u);  // both still live at t=20s
+}
+
+TEST(LeaseSet, StopStartCycleLeavesASingleRenewalActor) {
+  cluster::Harness h(small_fleet());
+  h.start();
+
+  auto mutex = std::make_shared<sim::Mutex>();
+  LeaseSetOptions opts;
+  opts.renew_margin = 500_ms;
+  opts.extension = 2_s;
+  LeaseSet leases(h.engine(), opts);
+
+  auto scenario = [&]() -> sim::Task<void> {
+    auto conn = co_await h.tcp().connect(h.client_device(0).id(), h.rm().device().id(),
+                                         h.rm().port());
+    EXPECT_TRUE(conn.ok());
+    if (!conn.ok()) co_return;
+    auto stream = conn.value();
+    leases.bind(stream, mutex);
+    auto grant = co_await acquire_one(stream, 1, 2_s);
+    EXPECT_TRUE(grant.ok());
+    if (!grant.ok()) co_return;
+    leases.track(grant.value().lease_id, grant.value().expires_at, 2_s);
+
+    // Start, stop while the actor sleeps, start again: exactly one
+    // actor may survive, or renewals double (and so would the wire
+    // traffic and the renewal counters the benches gate on).
+    leases.start();
+    co_await sim::delay(200_ms);
+    leases.stop();
+    co_await sim::delay(200_ms);
+    leases.start();
+  };
+  h.spawn(scenario());
+
+  // TTL 2s, margin 0.5s: one actor renews at ~1.5s intervals — at most
+  // 5 renewals fit in 7s; a duplicated actor would roughly double that.
+  h.run_for(7_s);
+  EXPECT_GE(leases.renewals(), 3u);
+  EXPECT_LE(leases.renewals(), 5u);
+  EXPECT_EQ(leases.expiries(), 0u);
+  EXPECT_EQ(h.rm().active_leases(), 1u);
+}
+
+TEST(LeaseSet, UntrackedLeaseIsNeverRenewed) {
+  cluster::Harness h(small_fleet());
+  h.start();
+
+  auto mutex = std::make_shared<sim::Mutex>();
+  LeaseSetOptions opts;
+  opts.renew_margin = 500_ms;
+  LeaseSet leases(h.engine(), opts);
+
+  auto scenario = [&]() -> sim::Task<void> {
+    auto conn = co_await h.tcp().connect(h.client_device(0).id(), h.rm().device().id(),
+                                         h.rm().port());
+    EXPECT_TRUE(conn.ok());
+    if (!conn.ok()) co_return;
+    auto stream = conn.value();
+    auto grant = co_await acquire_one(stream, 1, 2_s);
+    EXPECT_TRUE(grant.ok());
+    if (!grant.ok()) co_return;
+    leases.bind(stream, mutex);
+    leases.track(grant.value().lease_id, grant.value().expires_at, 2_s);
+    leases.start();
+    EXPECT_TRUE(leases.untrack(grant.value().lease_id));
+    EXPECT_FALSE(leases.untrack(grant.value().lease_id));
+  };
+  h.spawn(scenario());
+
+  h.run_for(6_s);
+  EXPECT_EQ(leases.renewals(), 0u);
+  // Nobody renewed: the manager sweep reclaims at the original TTL.
+  EXPECT_EQ(h.rm().active_leases(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Invoker auto-renewal end to end
+// --------------------------------------------------------------------------
+
+TEST(InvokerLease, AutoRenewKeepsSandboxAlivePastTtl) {
+  cluster::Harness h(small_fleet());
+  h.registry().add_echo();
+  h.start();
+  auto invoker = h.make_invoker();
+
+  InvocationResult late{};
+  auto scenario = [&]() -> sim::Task<void> {
+    AllocationSpec spec;
+    spec.function_name = "echo";
+    spec.workers = 1;
+    spec.policy = InvocationPolicy::HotAlways;
+    spec.lease_timeout = 2_s;
+    spec.auto_renew = true;
+    spec.renew_margin = 500_ms;
+    auto st = co_await invoker->allocate(spec);
+    EXPECT_TRUE(st.ok()) << (st.ok() ? "" : st.error().message);
+    if (!st.ok()) co_return;
+
+    auto in = invoker->input_buffer<std::uint8_t>(64);
+    auto out = invoker->output_buffer<std::uint8_t>(64);
+    // Two and a half TTLs after allocation the sandbox would be gone
+    // without renewal (executors enforce expiry exactly); the renewed
+    // lease must still serve invocations.
+    co_await sim::delay(5_s);
+    late = co_await invoker->invoke(0, in, 16, out);
+    co_await invoker->deallocate();
+  };
+  h.spawn(scenario());
+  h.run_for(20_s);
+
+  EXPECT_TRUE(late.ok);
+  EXPECT_GE(invoker->leases().renewals(), 2u);
+  EXPECT_EQ(invoker->leases().expiries(), 0u);
+  EXPECT_EQ(invoker->leases().size(), 0u);  // deallocate untracked it
+  EXPECT_EQ(h.rm().active_leases(), 0u);
+}
+
+TEST(InvokerLease, WithoutRenewalTheSandboxDiesAtTtl) {
+  cluster::Harness h(small_fleet());
+  h.registry().add_echo();
+  h.start();
+  auto invoker = h.make_invoker();
+
+  InvocationResult late{};
+  auto scenario = [&]() -> sim::Task<void> {
+    AllocationSpec spec;
+    spec.function_name = "echo";
+    spec.workers = 1;
+    spec.policy = InvocationPolicy::HotAlways;
+    spec.lease_timeout = 2_s;  // no auto_renew
+    auto st = co_await invoker->allocate(spec);
+    EXPECT_TRUE(st.ok()) << (st.ok() ? "" : st.error().message);
+    if (!st.ok()) co_return;
+
+    auto in = invoker->input_buffer<std::uint8_t>(64);
+    auto out = invoker->output_buffer<std::uint8_t>(64);
+    co_await sim::delay(5_s);
+    late = co_await invoker->invoke(0, in, 16, out);
+  };
+  h.spawn(scenario());
+  h.run_for(20_s);
+
+  // The executor tore the sandbox down at the 2 s deadline.
+  EXPECT_FALSE(late.ok);
+  EXPECT_EQ(invoker->leases().renewals(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Batched acquisition
+// --------------------------------------------------------------------------
+
+TEST(InvokerLease, BatchedAllocationAggregatesLeasesInOneRoundTrip) {
+  cluster::Harness h(small_fleet(/*executors=*/4, /*cores=*/2, /*shards=*/2));
+  h.registry().add_echo();
+  h.start();
+  auto invoker = h.make_invoker();
+
+  auto scenario = [&]() -> sim::Task<void> {
+    AllocationSpec spec;
+    spec.function_name = "echo";
+    spec.workers = 8;  // needs all four 2-core executors
+    spec.batched_leases = true;
+    auto st = co_await invoker->allocate(spec);
+    EXPECT_TRUE(st.ok()) << (st.ok() ? "" : st.error().message);
+  };
+  h.spawn(scenario());
+  h.run_for(10_s);
+
+  EXPECT_EQ(invoker->connected_workers(), 8u);
+  EXPECT_EQ(invoker->lease_count(), 4u);
+  EXPECT_EQ(h.rm().active_leases(), 4u);
+  // The whole multi-lease acquisition was one BatchAllocate.
+  EXPECT_EQ(h.rm().core().batches(), 1u);
+}
+
+TEST(BatchWire, AllOrNothingRollsBackAndBestEffortDeliversPartials) {
+  cluster::Harness h(small_fleet(/*executors=*/2, /*cores=*/2, /*shards=*/2));
+  h.start();
+  const std::uint32_t fleet_free = h.rm().free_workers_total();
+  ASSERT_EQ(fleet_free, 4u);
+
+  auto scenario = [&]() -> sim::Task<void> {
+    auto conn = co_await h.tcp().connect(h.client_device(0).id(), h.rm().device().id(),
+                                         h.rm().port());
+    EXPECT_TRUE(conn.ok());
+    if (!conn.ok()) co_return;
+    auto stream = conn.value();
+
+    // All-or-nothing for more than the fleet has: empty reply, and the
+    // provisionally granted leases are rolled back.
+    BatchAllocateMsg req;
+    req.client_id = 1;
+    req.workers = 8;
+    req.memory_bytes = 64ull << 20;
+    req.timeout = 60_s;
+    req.mode = static_cast<std::uint8_t>(BatchMode::AllOrNothing);
+    stream->send(encode(req));
+    auto raw = co_await stream->recv();
+    EXPECT_TRUE(raw.has_value());
+    if (!raw.has_value()) co_return;
+    auto reply = decode_batch_granted(*raw);
+    EXPECT_TRUE(reply.ok());
+    if (!reply.ok()) co_return;
+    EXPECT_FALSE(reply.value().complete);
+    EXPECT_TRUE(reply.value().grants.empty());
+    EXPECT_FALSE(reply.value().error.empty());
+    EXPECT_EQ(h.rm().active_leases(), 0u);
+    EXPECT_EQ(h.rm().free_workers_total(), fleet_free);
+
+    // Best-effort with the same ask: both executors' capacity comes back
+    // as partial leases spanning both shards.
+    req.mode = static_cast<std::uint8_t>(BatchMode::BestEffort);
+    stream->send(encode(req));
+    auto raw2 = co_await stream->recv();
+    EXPECT_TRUE(raw2.has_value());
+    if (!raw2.has_value()) co_return;
+    auto reply2 = decode_batch_granted(*raw2);
+    EXPECT_TRUE(reply2.ok());
+    if (!reply2.ok()) co_return;
+    EXPECT_FALSE(reply2.value().complete);
+    EXPECT_EQ(reply2.value().grants.size(), 2u);
+    if (reply2.value().grants.size() != 2u) co_return;
+    std::uint32_t total = 0;
+    for (const auto& g : reply2.value().grants) total += g.workers;
+    EXPECT_EQ(total, fleet_free);
+    EXPECT_NE(ShardedResourceManager::id_shard(reply2.value().grants[0].lease_id),
+              ShardedResourceManager::id_shard(reply2.value().grants[1].lease_id));
+  };
+  h.spawn(scenario());
+  h.run_for(5_s);
+  EXPECT_EQ(h.rm().active_leases(), 2u);
+}
+
+// --------------------------------------------------------------------------
+// Harness churn workload: leases outlive the TTL with zero expiries
+// --------------------------------------------------------------------------
+
+TEST(ChurnWorkload, SustainsLeasesPastTtlWithZeroSpuriousExpiries) {
+  auto spec = cluster::ScenarioSpec::uniform(/*executors=*/4, /*cores=*/8, 32ull << 30,
+                                             /*clients=*/4);
+  spec.config.manager_shards = 2;
+  cluster::Harness h(spec);
+  h.start();
+
+  auto workload = cluster::LeaseWorkload::churn(/*lease_timeout=*/2_s, /*seed=*/5);
+  workload.workers_min = 1;
+  workload.workers_max = 4;
+  workload.memory_per_worker = 64ull << 20;
+  auto trace = h.run_lease_workload(workload, /*horizon=*/30_s);
+
+  EXPECT_GT(trace.granted, 0u);
+  EXPECT_GT(trace.renewals, trace.granted);  // holds span several TTLs
+  EXPECT_EQ(trace.renewal_failures, 0u);
+  EXPECT_EQ(trace.spurious_expiries, 0u);
+  // Everything drains once the holds end and renewals stop.
+  h.run_for(60_s);
+  EXPECT_EQ(h.rm().active_leases(), 0u);
+  EXPECT_EQ(h.rm().free_workers_total(), h.rm().total_workers());
+}
+
+}  // namespace
+}  // namespace rfs::rfaas

@@ -45,6 +45,22 @@ std::vector<Bytes> sample_messages() {
   msgs.push_back(encode(ReleaseResourcesMsg{1, 2, 3}));
   msgs.push_back(encode(ExtendLeaseMsg{(7ull << 48) | 42, 30_s}));
   msgs.push_back(encode(ExtendOkMsg{(7ull << 48) | 42, 90_s}));
+  BatchAllocateMsg batch;
+  batch.client_id = 9;
+  batch.workers = 32;
+  batch.memory_bytes = 256ull << 20;
+  batch.timeout = 60_s;
+  batch.mode = 1;
+  msgs.push_back(encode(batch));
+  BatchGrantedMsg granted;
+  granted.complete = true;
+  LeaseGrantMsg g1;
+  g1.lease_id = (1ull << 48) | 7;
+  g1.workers = 4;
+  granted.grants = {g1, LeaseGrantMsg{}};
+  granted.error = "";
+  msgs.push_back(encode(granted));
+  msgs.push_back(encode(LeaseRenewedMsg{(3ull << 48) | 5, 120_s}));
   return msgs;
 }
 
@@ -64,6 +80,9 @@ int accepted_by_any(const Bytes& raw) {
   n += decode_release(raw).ok();
   n += decode_extend_lease(raw).ok();
   n += decode_extend_ok(raw).ok();
+  n += decode_batch_allocate(raw).ok();
+  n += decode_batch_granted(raw).ok();
+  n += decode_lease_renewed(raw).ok();
   return n;
 }
 

@@ -261,6 +261,45 @@ TEST(PowerOfTwo, BalancesBetterThanArrivalOrder) {
 }
 
 // --------------------------------------------------------------------------
+// LocalityFirst: rack-local least-loaded, power-of-two fallback
+// --------------------------------------------------------------------------
+
+TEST(LocalityFirst, PicksLeastLoadedExecutorInTheClientsRack) {
+  ExecutorRegistry reg;
+  reg.add(entry(8, 64ull << 30, /*locality=*/0));   // remote, freest overall
+  reg.add(entry(2, 64ull << 30, /*locality=*/1));   // local
+  reg.add(entry(4, 64ull << 30, /*locality=*/1));   // local, freer
+  LocalityFirstScheduler sched(7);
+  auto p = grant(sched, reg, request(1, 1 << 20, /*locality=*/1));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->executor, 2u);  // local beats freer-but-remote
+}
+
+TEST(LocalityFirst, FallsBackToPowerOfTwoWhenTheRackIsFull) {
+  ExecutorRegistry reg;
+  reg.add(entry(1, 64ull << 30, /*locality=*/1));
+  reg.add(entry(8, 64ull << 30, /*locality=*/0));
+  LocalityFirstScheduler sched(7);
+  auto p1 = grant(sched, reg, request(1, 1 << 20, /*locality=*/1));
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_EQ(p1->executor, 0u);  // drains the rack
+  auto p2 = grant(sched, reg, request(1, 1 << 20, /*locality=*/1));
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(p2->executor, 1u);  // cross-rack fallback still places
+}
+
+TEST(LocalityFirst, SkipsExcludedLocalExecutors) {
+  ExecutorRegistry reg;
+  reg.add(entry(4, 64ull << 30, /*locality=*/1));
+  reg.add(entry(2, 64ull << 30, /*locality=*/1));
+  LocalityFirstScheduler sched(7);
+  std::vector<bool> excluded{true, false};  // e.g. found dead at commit
+  auto p = sched.place(reg, request(1, 1 << 20, /*locality=*/1), excluded);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->executor, 1u);
+}
+
+// --------------------------------------------------------------------------
 // Config plumbing and oversubscription (platform level)
 // --------------------------------------------------------------------------
 
@@ -271,7 +310,10 @@ TEST(SchedulerConfig, FactorySelectsPolicy) {
   EXPECT_STREQ(make_scheduler(c)->name(), "least-loaded");
   c.scheduling = SchedulingPolicy::PowerOfTwoChoices;
   EXPECT_STREQ(make_scheduler(c)->name(), "power-of-two");
+  c.scheduling = SchedulingPolicy::LocalityFirst;
+  EXPECT_STREQ(make_scheduler(c)->name(), "locality-first");
   EXPECT_STREQ(to_string(SchedulingPolicy::LeastLoaded), "least-loaded");
+  EXPECT_STREQ(to_string(SchedulingPolicy::LocalityFirst), "locality-first");
 }
 
 TEST(SchedulerConfig, OversubscriptionScalesLeaseCapacity) {

@@ -217,6 +217,166 @@ TEST(ShardedDeath, DropsLeasesAndCapacityOfTheDeadExecutorOnly) {
 }
 
 // --------------------------------------------------------------------------
+// Batched grants: per-shard partial fulfillment, all-or-nothing rollback
+// --------------------------------------------------------------------------
+
+TEST(BatchedGrants, AggregatesPartialPlacementsAcrossShards) {
+  SRM m(sharded_config(4));
+  for (int i = 0; i < 4; ++i) m.add_executor(entry(2));  // one 2-worker exec per shard
+  auto out = m.grant_batch(request(8), /*client=*/1, /*timeout=*/1000, /*now=*/0,
+                           /*all_or_nothing=*/false);
+  EXPECT_TRUE(out.complete);
+  EXPECT_EQ(out.granted_workers, 8u);
+  EXPECT_EQ(out.grants.size(), 4u);
+  EXPECT_EQ(out.shards_touched, 4u);
+  EXPECT_EQ(m.active_leases(), 4u);
+  EXPECT_EQ(m.free_workers_total(), 0u);
+  EXPECT_EQ(m.batches(), 1u);
+  // Every granted lease is routable for release by its shard-tagged id.
+  for (const auto& g : out.grants) EXPECT_TRUE(m.release(g.lease_id));
+  EXPECT_EQ(m.free_workers_total(), 8u);
+}
+
+TEST(BatchedGrants, BestEffortDeliversWhatFits) {
+  SRM m(sharded_config(2));
+  m.add_executor(entry(2));
+  m.add_executor(entry(1));
+  auto out = m.grant_batch(request(8), 1, 1000, 0, /*all_or_nothing=*/false);
+  EXPECT_FALSE(out.complete);
+  EXPECT_EQ(out.granted_workers, 3u);
+  EXPECT_EQ(out.grants.size(), 2u);
+  EXPECT_EQ(m.active_leases(), 2u);
+  EXPECT_EQ(m.denials(), 1u);  // the final unsatisfiable remainder
+}
+
+TEST(BatchedGrants, AllOrNothingReleasesPartialLeases) {
+  SRM m(sharded_config(2));
+  m.add_executor(entry(2));
+  m.add_executor(entry(2));
+  const std::uint32_t before = m.free_workers_total();
+  auto out = m.grant_batch(request(8), 1, 1000, 0, /*all_or_nothing=*/true);
+  EXPECT_FALSE(out.complete);
+  EXPECT_TRUE(out.grants.empty());
+  EXPECT_EQ(out.granted_workers, 0u);
+  // The partial placements were rolled back in full.
+  EXPECT_EQ(m.active_leases(), 0u);
+  EXPECT_EQ(m.free_workers_total(), before);
+  // The scans still happened: both shards were touched.
+  EXPECT_EQ(out.shards_touched, 2u);
+}
+
+TEST(BatchedGrants, AllOrNothingSucceedsWhenTheFleetFits) {
+  SRM m(sharded_config(2));
+  m.add_executor(entry(4));
+  m.add_executor(entry(4));
+  auto out = m.grant_batch(request(6), 1, 1000, 0, /*all_or_nothing=*/true);
+  EXPECT_TRUE(out.complete);
+  EXPECT_EQ(out.granted_workers, 6u);
+  EXPECT_EQ(m.free_workers_total(), 2u);
+}
+
+// --------------------------------------------------------------------------
+// Renewal races: a renewed lease must never be reaped by the sweep
+// --------------------------------------------------------------------------
+
+TEST(RenewalRace, ConcurrentRenewAndSweepNeverReapALiveLease) {
+  constexpr unsigned kSweeps = 2000;
+  SRM m(sharded_config(4));
+  for (int i = 0; i < 8; ++i) m.add_executor(entry(8));
+
+  // One long-lived lease per shard, each renewed far past every sweep
+  // the sweeper thread will run. However the renewals and sweeps
+  // interleave, a renewed lease must survive every sweep below its
+  // (renewed) deadline.
+  std::vector<std::uint64_t> held;
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    auto g = m.grant(request(2), 1, /*timeout=*/1'000'000, /*now=*/0, s);
+    ASSERT_TRUE(g.has_value());
+    held.push_back(g->lease_id);
+  }
+
+  std::thread renewer([&m, &held] {
+    for (unsigned i = 0; i < kSweeps; ++i) {
+      for (auto id : held) {
+        EXPECT_TRUE(m.renew(id, /*new_expires_at=*/2'000'000 + i).has_value())
+            << "renewed lease was reaped at round " << i;
+      }
+    }
+  });
+  std::thread sweeper([&m] {
+    for (unsigned i = 0; i < kSweeps; ++i) m.sweep_expired(/*now=*/i * 100);
+  });
+  renewer.join();
+  sweeper.join();
+
+  EXPECT_EQ(m.active_leases(), 4u);  // nothing was spuriously reaped
+  for (auto id : held) EXPECT_TRUE(m.release(id));
+  EXPECT_EQ(m.free_workers_total(), m.total_workers());
+}
+
+TEST(RenewalRace, SweepAtTheOldDeadlineAfterRenewDoesNotReap) {
+  SRM m(sharded_config(2));
+  m.add_executor(entry(4));
+  auto g = m.grant(request(2), 1, /*timeout=*/100, /*now=*/0);
+  ASSERT_TRUE(g.has_value());
+  // Renew exactly at the old deadline, then sweep at it: the order the
+  // control plane serializes through the shard gate.
+  EXPECT_TRUE(m.renew(g->lease_id, /*new_expires_at=*/500).has_value());
+  EXPECT_EQ(m.sweep_expired(/*now=*/100), 0u);
+  EXPECT_EQ(m.active_leases(), 1u);
+  EXPECT_EQ(m.sweep_expired(/*now=*/500), 1u);  // renewed deadline enforced
+}
+
+// --------------------------------------------------------------------------
+// Locality-first shard routing
+// --------------------------------------------------------------------------
+
+TEST(LocalityRouting, ExecutorsShardByRackAndRequestsRouteHome) {
+  Config c = sharded_config(4, SchedulingPolicy::LocalityFirst);
+  SRM m(c);
+  // Two executors per rack, racks 0-3: rack r must land on shard r.
+  for (std::uint32_t rack = 0; rack < 4; ++rack) {
+    for (int i = 0; i < 2; ++i) {
+      auto e = entry(4);
+      e.locality = rack;
+      const auto id = m.add_executor(std::move(e));
+      EXPECT_EQ(SRM::id_shard(id), rack);
+    }
+  }
+  // A client in rack 2 routes to shard 2 and gets a rack-2 executor.
+  EXPECT_EQ(m.preferred_shard_for(2), 2u);
+  ScheduleRequest req = request(2);
+  req.client_locality = 2;
+  auto g = m.grant(req, 1, 1000, 0, m.preferred_shard_for(2));
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->shard, 2u);
+  EXPECT_EQ(g->executor_locality, 2u);
+  EXPECT_EQ(m.local_grants(), 1u);
+}
+
+TEST(LocalityRouting, ExhaustedHomeShardFallsBackToOtherRacks) {
+  Config c = sharded_config(2, SchedulingPolicy::LocalityFirst);
+  SRM m(c);
+  auto local = entry(1);
+  local.locality = 0;
+  m.add_executor(std::move(local));
+  auto remote = entry(8);
+  remote.locality = 1;
+  m.add_executor(std::move(remote));
+
+  ScheduleRequest req = request(1);
+  req.client_locality = 0;
+  auto g1 = m.grant(req, 1, 1000, 0, m.preferred_shard_for(0));
+  ASSERT_TRUE(g1.has_value());
+  EXPECT_EQ(g1->executor_locality, 0u);  // local while capacity lasts
+  // Home shard drained: the next request must still be served, remotely.
+  auto g2 = m.grant(req, 1, 1000, 0, m.preferred_shard_for(0));
+  ASSERT_TRUE(g2.has_value());
+  EXPECT_EQ(g2->executor_locality, 1u);
+  EXPECT_EQ(m.local_grants(), 1u);
+}
+
+// --------------------------------------------------------------------------
 // Single-shard equivalence: the classic manager, bit for bit
 // --------------------------------------------------------------------------
 
