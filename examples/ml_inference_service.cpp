@@ -26,8 +26,12 @@ sim::Task<void> service(cluster::Harness& p) {
   spec.policy = rfaas::InvocationPolicy::Adaptive;
   // A serving process runs indefinitely: hold a short lease and let the
   // LeaseSet renew it, instead of guessing a one-shot timeout up front.
+  // Self-healing re-allocates and redeploys if the manager ever reclaims
+  // the lease (quota pressure, drain, rebalance), so the service
+  // migrates instead of going down.
   spec.lease_timeout = 30_s;
   spec.auto_renew = true;
+  spec.self_heal = true;
   auto st = co_await invoker->allocate(spec);
   if (!st.ok()) {
     std::printf("allocation failed: %s\n", st.error().message.c_str());

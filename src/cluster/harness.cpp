@@ -28,6 +28,11 @@ double UtilizationTrace::grant_throughput(Duration horizon) const {
   return static_cast<double>(granted) / (static_cast<double>(horizon) * 1e-9);
 }
 
+double UtilizationTrace::reclaim_latency_percentile(double p) const {
+  if (reclaim_latency.empty()) return 0;
+  return Summary(reclaim_latency).percentile(p);
+}
+
 ScenarioSpec ScenarioSpec::large_fleet(unsigned executors, unsigned clients, unsigned racks,
                                        std::uint64_t seed) {
   ScenarioSpec spec;
@@ -132,13 +137,14 @@ rfaas::ReleaseResourcesMsg release_for(const rfaas::LeaseGrantMsg& grant,
 
 /// Holds a granted lease for `hold`, then releases it — detached from the
 /// tenant loop so hold times occupy the fleet without throttling the
-/// tenant's arrival process. A renewing client untracks the lease first
-/// so the release cannot race a concurrent renewal.
+/// tenant's arrival process. A renewing client abandons the lease chain
+/// first (self-healing may have replaced the original id), so the
+/// release names the live lease and cannot race a renewal or heal.
 sim::Task<void> hold_and_release(std::shared_ptr<net::TcpStream> stream,
                                  std::shared_ptr<rfaas::LeaseSet> leases,
                                  rfaas::ReleaseResourcesMsg release, Duration hold) {
   co_await sim::delay(hold);
-  if (leases != nullptr) leases->untrack(release.lease_id);
+  if (leases != nullptr) release.lease_id = leases->abandon(release.lease_id);
   if (!stream->closed()) stream->send(rfaas::encode(release));
 }
 
@@ -147,19 +153,41 @@ sim::Task<void> hold_and_release(std::shared_ptr<net::TcpStream> stream,
 std::shared_ptr<rfaas::LeaseSet> Harness::make_lease_set(
     std::shared_ptr<net::TcpStream> stream, std::shared_ptr<sim::Mutex> mutex,
     const LeaseWorkload& workload, std::shared_ptr<WorkloadCounters> out) {
-  if (!workload.auto_renew) return nullptr;
+  if (!workload.auto_renew && !workload.subscribe_events && !workload.self_heal) {
+    return nullptr;
+  }
   rfaas::LeaseSetOptions opts;
   opts.renew_margin =
       workload.renew_margin != 0 ? workload.renew_margin : workload.lease_timeout / 4;
   opts.extension = workload.lease_timeout;
+  opts.self_heal = workload.self_heal;
+  opts.realloc_budget = workload.realloc_budget;
+  opts.realloc_backoff = workload.realloc_backoff;
   auto leases = std::make_shared<rfaas::LeaseSet>(engine_, opts);
   leases->bind(std::move(stream), std::move(mutex));
   leases->on_renewed([out](std::uint64_t, Time) { ++out->renewals; });
   leases->on_renewal_failed(
       [out](std::uint64_t, const std::string&) { ++out->renewal_failures; });
   leases->on_expired([out](std::uint64_t) { ++out->spurious_expiries; });
-  leases->start();
+  auto* engine = &engine_;
+  leases->on_terminated([out, engine](std::uint64_t, rfaas::TerminationReason, Time at) {
+    ++out->terminations;
+    out->reclaim_latency.push_back(static_cast<double>(engine->now() - at));
+  });
+  leases->on_reallocated(
+      [out](std::uint64_t, const rfaas::LeaseGrantMsg&) { ++out->reallocations; });
+  if (workload.auto_renew || workload.self_heal) leases->start();
   return leases;
+}
+
+sim::Task<void> Harness::subscribe_lease_events(std::size_t client, std::uint32_t client_id,
+                                                const LeaseWorkload& workload,
+                                                std::shared_ptr<rfaas::LeaseSet> leases) {
+  if (leases == nullptr || (!workload.subscribe_events && !workload.self_heal)) co_return;
+  auto conn = co_await tcp_->connect(client_devices_.at(client)->id(), rm_device_->id(),
+                                     rm_->port());
+  if (!conn.ok()) co_return;
+  leases->subscribe(conn.value(), client_id);
 }
 
 sim::Task<std::pair<bool, std::optional<rfaas::LeaseGrantMsg>>> Harness::request_lease(
@@ -200,6 +228,8 @@ sim::Task<void> Harness::lease_client_loop(std::size_t client, LeaseWorkload wor
   auto stream = conn.value();
   auto mutex = std::make_shared<sim::Mutex>();
   auto leases = make_lease_set(stream, mutex, workload, out);
+  co_await subscribe_lease_events(client, static_cast<std::uint32_t>(client + 1), workload,
+                                  leases);
 
   while (engine_.now() < deadline) {
     const auto workers =
@@ -209,18 +239,24 @@ sim::Task<void> Harness::lease_client_loop(std::size_t client, LeaseWorkload wor
                                                 workers, workload, *out);
     if (!open) break;
     if (grant) {
-      // Closed loop: hold the lease (auto-renewing if configured),
-      // release, then think.
+      // Closed loop: hold the lease (auto-renewing/self-healing if
+      // configured), release, then think. The release names whatever
+      // lease currently stands in for the original grant.
       if (leases != nullptr) {
-        leases->track(grant->lease_id, grant->expires_at, workload.lease_timeout);
+        leases->track(grant->lease_id, grant->expires_at, workload.lease_timeout,
+                      grant->workers, workload.memory_per_worker);
       }
       co_await sim::delay(uniform(workload.hold_min, workload.hold_max));
-      if (leases != nullptr) leases->untrack(grant->lease_id);
-      stream->send(rfaas::encode(release_for(*grant, workload)));
+      auto release = release_for(*grant, workload);
+      if (leases != nullptr) release.lease_id = leases->abandon(grant->lease_id);
+      stream->send(rfaas::encode(release));
     }
     co_await sim::delay(uniform(workload.think_min, workload.think_max));
   }
-  if (leases != nullptr) leases->stop();
+  if (leases != nullptr) {
+    out->realloc_failures += leases->realloc_failures();
+    leases->stop();
+  }
   stream->close();
 }
 
@@ -234,6 +270,8 @@ sim::Task<void> Harness::tenant_client_loop(std::size_t client, TenantWorkload w
   auto stream = conn.value();
   auto mutex = std::make_shared<sim::Mutex>();
   auto leases = make_lease_set(stream, mutex, workload.lease, out);
+  co_await subscribe_lease_events(client, static_cast<std::uint32_t>(client + 1),
+                                  workload.lease, leases);
 
   while (engine_.now() < deadline) {
     const auto workers = static_cast<std::uint32_t>(
@@ -246,7 +284,8 @@ sim::Task<void> Harness::tenant_client_loop(std::size_t client, TenantWorkload w
       // The hold happens off-loop so it occupies the fleet without
       // throttling this tenant's arrival process.
       if (leases != nullptr) {
-        leases->track(grant->lease_id, grant->expires_at, workload.lease.lease_timeout);
+        leases->track(grant->lease_id, grant->expires_at, workload.lease.lease_timeout,
+                      grant->workers, workload.lease.memory_per_worker);
       }
       spawn(hold_and_release(
           stream, leases, release_for(*grant, workload.lease),
@@ -255,7 +294,10 @@ sim::Task<void> Harness::tenant_client_loop(std::size_t client, TenantWorkload w
     const double think_s = rng.exponential(std::max(1e-9, workload.arrival_hz));
     co_await sim::delay(static_cast<Duration>(think_s * 1e9));
   }
-  if (leases != nullptr) leases->stop();
+  if (leases != nullptr) {
+    out->realloc_failures += leases->realloc_failures();
+    leases->stop();
+  }
   stream->close();
 }
 
@@ -297,8 +339,44 @@ UtilizationTrace Harness::run_lease_workload(const LeaseWorkload& workload, Dura
   trace.renewals = counters->renewals;
   trace.renewal_failures = counters->renewal_failures;
   trace.spurious_expiries = counters->spurious_expiries;
+  trace.terminations = counters->terminations;
+  trace.reallocations = counters->reallocations;
+  trace.realloc_failures = counters->realloc_failures;
   trace.grant_latency = counters->grant_latency;
+  trace.reclaim_latency = counters->reclaim_latency;
   return trace;
+}
+
+sim::Task<void> Harness::eviction_storm_loop(Duration period, unsigned leases_per_tick,
+                                             Time deadline, std::uint64_t seed,
+                                             std::shared_ptr<StormStats> out) {
+  Rng rng(seed);
+  while (engine_.now() < deadline) {
+    co_await sim::delay(period);
+    if (engine_.now() >= deadline) break;
+    auto ids = rm_->core().active_lease_ids();
+    if (ids.empty()) continue;
+    std::vector<std::uint64_t> victims;
+    for (unsigned i = 0; i < leases_per_tick; ++i) {
+      victims.push_back(ids[rng.uniform_int(0, ids.size() - 1)]);
+    }
+    out->requested += victims.size();
+    out->evicted += rm_->evict_leases(victims, rfaas::TerminationReason::QuotaPressure);
+  }
+}
+
+std::shared_ptr<Harness::StormStats> Harness::start_eviction_storm(Duration period,
+                                                                   unsigned leases_per_tick,
+                                                                   Duration duration,
+                                                                   std::uint64_t seed) {
+  auto stats = std::make_shared<StormStats>();
+  spawn(eviction_storm_loop(period, leases_per_tick, engine_.now() + duration, seed, stats));
+  return stats;
+}
+
+std::optional<std::size_t> Harness::drain_executor(std::size_t index) {
+  if (index >= executor_devices_.size()) return std::nullopt;
+  return rm_->drain_executor_on_device(executor_devices_[index]->id());
 }
 
 MultiTenantTrace Harness::run_multi_tenant_workload(const std::vector<TenantWorkload>& tenants,
@@ -336,6 +414,12 @@ MultiTenantTrace Harness::run_multi_tenant_workload(const std::vector<TenantWork
     trace.aggregate.renewals += sinks[t]->renewals;
     trace.aggregate.renewal_failures += sinks[t]->renewal_failures;
     trace.aggregate.spurious_expiries += sinks[t]->spurious_expiries;
+    trace.aggregate.terminations += sinks[t]->terminations;
+    trace.aggregate.reallocations += sinks[t]->reallocations;
+    trace.aggregate.realloc_failures += sinks[t]->realloc_failures;
+    trace.aggregate.reclaim_latency.insert(trace.aggregate.reclaim_latency.end(),
+                                           sinks[t]->reclaim_latency.begin(),
+                                           sinks[t]->reclaim_latency.end());
     trace.aggregate.grant_latency.insert(trace.aggregate.grant_latency.end(),
                                          tenant.grant_latency.begin(),
                                          tenant.grant_latency.end());

@@ -87,6 +87,15 @@ struct LeaseWorkload {
   bool auto_renew = false;
   /// Renew when remaining validity drops below this; 0 = timeout / 4.
   Duration renew_margin = 0;
+  /// Open a notification stream (SubscribeEvents) so manager-initiated
+  /// LeaseTerminated pushes are observed and counted — the control arm
+  /// of the self-healing comparison subscribes without healing.
+  bool subscribe_events = false;
+  /// Self-healing: re-allocate terminated/expired leases transparently
+  /// (implies subscribe_events).
+  bool self_heal = false;
+  unsigned realloc_budget = 6;
+  Duration realloc_backoff = 10_ms;
 
   /// Churn preset: leases deliberately outlive their TTL (holds of 3-6x
   /// the timeout), kept alive purely by auto-renewal — the scenario that
@@ -119,7 +128,13 @@ struct UtilizationTrace {
   std::uint64_t renewals = 0;           // successful ExtendLease round trips
   std::uint64_t renewal_failures = 0;   // refused / failed renewals
   std::uint64_t spurious_expiries = 0;  // held leases lost to expiry
+  std::uint64_t terminations = 0;       // manager-initiated LeaseTerminated
+  std::uint64_t reallocations = 0;      // lost leases replaced (self-healing)
+  std::uint64_t realloc_failures = 0;   // heal budgets exhausted unreplaced
   std::vector<double> grant_latency;  // ns per successful grant
+  /// Client-observed reclamation latency per termination push: manager
+  /// eviction decision -> push absorbed by the holder (virtual ns).
+  std::vector<double> reclaim_latency;
 
   [[nodiscard]] double mean_utilization() const;
   [[nodiscard]] double peak_utilization() const;
@@ -127,6 +142,17 @@ struct UtilizationTrace {
   [[nodiscard]] double grant_latency_percentile(double p) const;
   /// Grants per virtual second over `horizon`.
   [[nodiscard]] double grant_throughput(Duration horizon) const;
+  /// Reclamation-latency percentile, 0 when nothing was terminated.
+  [[nodiscard]] double reclaim_latency_percentile(double p) const;
+  /// Held leases lost involuntarily: terminations + spurious expiries.
+  [[nodiscard]] std::uint64_t losses() const { return terminations + spurious_expiries; }
+  /// Share of lost leases the client replaced before the workload ended:
+  /// the self-healing survival rate (100 when nothing was lost).
+  [[nodiscard]] double survival_pct() const {
+    return losses() == 0 ? 100.0
+                         : 100.0 * static_cast<double>(reallocations) /
+                               static_cast<double>(losses());
+  }
 };
 
 /// One tenant of a multi-tenant lease workload: a group of client hosts
@@ -206,6 +232,25 @@ class Harness {
   MultiTenantTrace run_multi_tenant_workload(const std::vector<TenantWorkload>& tenants,
                                              Duration horizon, Duration sample_every = 1_s);
 
+  /// Tally of one eviction storm (see start_eviction_storm()).
+  struct StormStats {
+    std::uint64_t requested = 0;  ///< eviction attempts issued
+    std::uint64_t evicted = 0;    ///< leases actually live when evicted
+  };
+
+  /// Failure-injection knob: every `period`, evicts up to
+  /// `leases_per_tick` random live leases (reason QuotaPressure) for
+  /// `duration` virtual time. Deterministic for a fixed seed. Runs
+  /// alongside a lease workload; read the tally after run()/run_for().
+  std::shared_ptr<StormStats> start_eviction_storm(Duration period, unsigned leases_per_tick,
+                                                   Duration duration, std::uint64_t seed = 99);
+
+  /// Failure-injection knob: drains executor `index` — every lease it
+  /// hosts is terminated (LeaseTerminated to both sides) and it receives
+  /// no further placements. Returns the number of evicted leases, or
+  /// nullopt when the executor is not (or no longer) registered.
+  std::optional<std::size_t> drain_executor(std::size_t index);
+
  private:
   // Heap-shared so client coroutines still parked on a hold/think delay
   // when the horizon ends can outlive run_lease_workload() safely.
@@ -215,7 +260,11 @@ class Harness {
     std::uint64_t renewals = 0;
     std::uint64_t renewal_failures = 0;
     std::uint64_t spurious_expiries = 0;
+    std::uint64_t terminations = 0;
+    std::uint64_t reallocations = 0;
+    std::uint64_t realloc_failures = 0;
     std::vector<double> grant_latency;
+    std::vector<double> reclaim_latency;
   };
 
   /// Builds the renewal-side LeaseSet of one workload client (nullptr
@@ -240,6 +289,15 @@ class Harness {
   sim::Task<void> tenant_client_loop(std::size_t client, TenantWorkload workload,
                                      std::uint64_t seed, Time deadline,
                                      std::shared_ptr<WorkloadCounters> out);
+  sim::Task<void> eviction_storm_loop(Duration period, unsigned leases_per_tick,
+                                      Time deadline, std::uint64_t seed,
+                                      std::shared_ptr<StormStats> out);
+  /// Opens the notification stream of one workload client and subscribes
+  /// its LeaseSet to termination pushes (no-op when the workload neither
+  /// subscribes nor self-heals).
+  sim::Task<void> subscribe_lease_events(std::size_t client, std::uint32_t client_id,
+                                         const LeaseWorkload& workload,
+                                         std::shared_ptr<rfaas::LeaseSet> leases);
   sim::Task<void> sample_utilization(std::shared_ptr<std::vector<UtilizationTrace::Sample>> out,
                                      Time deadline, Duration every);
 

@@ -2,6 +2,12 @@
 
 namespace rfs::rfaas {
 
+std::uint64_t allocation_mib_ms(std::uint64_t memory_bytes, Duration span) {
+  const std::uint64_t mib = memory_bytes >> 20;
+  const std::uint64_t ms = span / 1'000'000ull;
+  return mib * ms;
+}
+
 BillingDatabase::BillingDatabase(fabric::ProtectionDomain& pd)
     : counters_(kMaxTenants * kCountersPerTenant) {
   (void)counters_.register_memory(pd, fabric::RemoteAtomic | fabric::LocalWrite);

@@ -26,6 +26,13 @@ struct TenantUsage {
   std::uint64_t hot_poll_ns = 0;
 };
 
+/// Allocation-component units (Ca's ta) of holding `memory_bytes` for
+/// `span` nanoseconds: MiB x milliseconds. Executor managers accrue this
+/// incrementally (every billing flush plus the remainder at teardown), so
+/// renewed leases are billed for their full lifetime — not just the span
+/// the original grant promised.
+std::uint64_t allocation_mib_ms(std::uint64_t memory_bytes, Duration span);
+
 class BillingDatabase {
  public:
   static constexpr std::uint32_t kMaxTenants = 256;

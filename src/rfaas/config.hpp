@@ -125,6 +125,21 @@ struct Config {
   /// grant/renew/expiry only ever contends on one shard.
   unsigned manager_shards = 1;
 
+  /// Tenant worker quota (0 = no quota policy). When a lease request is
+  /// denied for lack of capacity, the manager evicts leases of tenants
+  /// holding more than this many workers (LeaseTerminated pushed to the
+  /// executor and the owning client) and retries the placement once —
+  /// quota-pressure fast reclamation (docs/FAULT_TOLERANCE.md).
+  std::uint32_t tenant_quota_workers = 0;
+
+  /// Period of the shard rebalance sweep (0 = disabled). Each sweep
+  /// migrates executor registrations from the fullest shard to the
+  /// emptiest while the max/min schedulable-capacity skew exceeds
+  /// `rebalance_max_skew`, at most `rebalance_max_moves` moves per sweep.
+  Duration rebalance_period = 0;
+  double rebalance_max_skew = 1.5;
+  unsigned rebalance_max_moves = 4;
+
   /// Lease scheduling policy and its knobs.
   SchedulingPolicy scheduling = SchedulingPolicy::RoundRobin;
   /// Seed of the randomized policies (power-of-two-choices); placements

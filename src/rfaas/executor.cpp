@@ -343,6 +343,7 @@ sim::Task<AllocationReplyMsg> ExecutorManager::allocate_sandbox(const Allocation
   sb.memory_bytes = total_memory;
   sb.created_at = engine_.now();
   sb.last_invocation = engine_.now();
+  sb.billed_until = sb.created_at;
   sb.expires_at = req.expires_at;
   sandboxes_[sb.id] = std::move(sandbox);
   const Time spawn_start = engine_.now();
@@ -381,9 +382,10 @@ sim::Task<void> ExecutorManager::teardown_sandbox(Sandbox& sb, bool notify_rm) {
   allocated_workers_ -= static_cast<std::uint32_t>(sb.workers.size());
 
   // Bill the allocation component Ca: memory reservation x wall time.
-  const std::uint64_t mib = sb.memory_bytes >> 20;
-  const std::uint64_t ms = (engine_.now() - sb.created_at) / 1'000'000ull;
-  account_allocation(sb.client_id, mib * ms);
+  // The flush loop already accrued up to billed_until; charge the tail.
+  account_allocation(sb.client_id,
+                     allocation_mib_ms(sb.memory_bytes, engine_.now() - sb.billed_until));
+  sb.billed_until = engine_.now();
   co_await flush_billing();
 
   if (notify_rm && rm_stream_ != nullptr && !rm_stream_->closed()) {
@@ -505,6 +507,28 @@ sim::Task<void> ExecutorManager::register_with_rm(fabric::DeviceId rm_device,
         if (sb->dead || sb->lease_id != renewed.value().lease_id) continue;
         sb->expires_at = std::max(sb->expires_at, renewed.value().expires_at);
       }
+    } else if (type.value() == MsgType::LeaseTerminated) {
+      // Manager-initiated reclamation: the lease is already gone on the
+      // manager side; tear its sandboxes down now instead of waiting for
+      // the (possibly renewed) expiry timer. No ReleaseResources back —
+      // the manager returned the capacity when it evicted.
+      auto term = decode_lease_terminated(*msg);
+      if (!term) continue;
+      std::vector<std::uint64_t> doomed;
+      for (auto& [id, sb] : sandboxes_) {
+        if (!sb->dead && sb->lease_id == term.value().lease_id) doomed.push_back(id);
+      }
+      for (auto id : doomed) {
+        auto kill = [](ExecutorManager* self, std::uint64_t sandbox_id) -> sim::Task<void> {
+          Sandbox* sb = self->find_sandbox(sandbox_id);
+          if (sb != nullptr && !sb->dead) {
+            co_await self->teardown_sandbox(*sb, /*notify_rm=*/false);
+          }
+        };
+        log::debug("executor", "lease ", term.value().lease_id,
+                   " terminated by the manager, reclaiming sandbox ", id);
+        sim::spawn(engine_, kill(this, id));
+      }
     }
   }
 }
@@ -513,7 +537,22 @@ sim::Task<void> ExecutorManager::billing_flush_loop() {
   while (alive_) {
     co_await sim::delay(config_.billing_flush_period);
     if (!alive_) break;
+    accrue_allocation();
     co_await flush_billing();
+  }
+}
+
+void ExecutorManager::accrue_allocation() {
+  const Time now = engine_.now();
+  for (auto& [id, sb] : sandboxes_) {
+    if (sb->dead) continue;
+    // Bill whole milliseconds only and carry the remainder, so periodic
+    // accrual sums to exactly what a single teardown-time charge would.
+    const Duration span = now - sb->billed_until;
+    const Duration billed = (span / 1'000'000ull) * 1'000'000ull;
+    if (billed == 0) continue;
+    account_allocation(sb->client_id, allocation_mib_ms(sb->memory_bytes, billed));
+    sb->billed_until += billed;
   }
 }
 

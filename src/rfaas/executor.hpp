@@ -98,6 +98,11 @@ struct Sandbox {
   Time created_at = 0;
   Time last_invocation = 0;
   Time expires_at = 0;
+  /// Allocation billing (Ca) high-water mark: the reservation is billed
+  /// up to here. Advanced by every billing flush and finished at
+  /// teardown, so long-lived (renewed) sandboxes are billed for their
+  /// full span as it accrues.
+  Time billed_until = 0;
   bool dead = false;
 };
 
@@ -140,6 +145,9 @@ class ExecutorManager {
   sim::Task<void> register_with_rm(fabric::DeviceId rm_device, std::uint16_t rm_port);
   sim::Task<void> billing_flush_loop();
   sim::Task<void> flush_billing();
+  /// Accrues the allocation component (Ca) of every live sandbox up to
+  /// now, in whole milliseconds (the sub-ms remainder carries over).
+  void accrue_allocation();
   sim::Task<void> reaper_loop();
   sim::Task<void> sandbox_expiry(std::uint64_t sandbox_id, Time expires_at);
 

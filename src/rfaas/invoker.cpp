@@ -17,9 +17,17 @@ LeaseSet::LeaseSet(sim::Engine& engine, LeaseSetOptions options)
 }
 
 LeaseSet::~LeaseSet() {
-  // The renewal actor only holds the shared state; flag it down and let
-  // it exit at its next wake (or be drained with the engine).
+  // The renewal/notification/healing actors only hold the shared state;
+  // flag them down and let them exit at their next wake (or be drained
+  // with the engine). Callbacks are cleared so a late actor never calls
+  // into a torn-down owner.
   state_->running = false;
+  state_->healing_enabled = false;
+  state_->renewed_fn = nullptr;
+  state_->renewal_failed_fn = nullptr;
+  state_->expired_fn = nullptr;
+  state_->terminated_fn = nullptr;
+  state_->reallocated_fn = nullptr;
 }
 
 void LeaseSet::bind(std::shared_ptr<net::TcpStream> rm_stream,
@@ -28,18 +36,58 @@ void LeaseSet::bind(std::shared_ptr<net::TcpStream> rm_stream,
   state_->request_mutex = std::move(request_mutex);
 }
 
+void LeaseSet::subscribe(std::shared_ptr<net::TcpStream> notify_stream,
+                         std::uint32_t client_id) {
+  state_->client_id = client_id;
+  state_->healing_enabled = true;
+  SubscribeEventsMsg msg;
+  msg.client_id = client_id;
+  notify_stream->send(encode(msg));
+  sim::spawn(*state_->engine, notify_loop(state_, std::move(notify_stream)));
+}
+
 void LeaseSet::configure(LeaseSetOptions options) { state_->options = options; }
 
-void LeaseSet::track(std::uint64_t lease_id, Time expires_at, Duration original_timeout) {
-  state_->leases[lease_id] = Tracked{expires_at, original_timeout};
+void LeaseSet::track(std::uint64_t lease_id, Time expires_at, Duration original_timeout,
+                     std::uint32_t workers, std::uint64_t memory_per_worker) {
+  Tracked t;
+  t.expires_at = expires_at;
+  t.original_timeout = original_timeout;
+  t.workers = workers;
+  t.memory_per_worker = memory_per_worker;
+  t.origin = lease_id;
+  state_->leases[lease_id] = t;
+  state_->current_of_origin[lease_id] = lease_id;
   state_->wake.set();  // un-park the renewal actor
 }
 
-bool LeaseSet::untrack(std::uint64_t lease_id) { return state_->leases.erase(lease_id) > 0; }
+bool LeaseSet::untrack(std::uint64_t lease_id) {
+  auto it = state_->leases.find(lease_id);
+  if (it == state_->leases.end()) return false;
+  state_->current_of_origin.erase(it->second.origin);
+  state_->leases.erase(it);
+  return true;
+}
+
+std::uint64_t LeaseSet::resolve(std::uint64_t origin) const {
+  auto it = state_->current_of_origin.find(origin);
+  return it == state_->current_of_origin.end() ? origin : it->second;
+}
+
+std::uint64_t LeaseSet::abandon(std::uint64_t origin) {
+  const std::uint64_t current = resolve(origin);
+  if (state_->healing.count(origin) > 0) state_->canceled.insert(origin);
+  state_->leases.erase(current);
+  state_->current_of_origin.erase(origin);
+  return current;
+}
 
 void LeaseSet::start() {
-  if (state_->running) return;
   if (state_->stream == nullptr || state_->request_mutex == nullptr) return;
+  // Re-arm healing after a stop()/start() cycle (subscribe() set it the
+  // first time; the notification listener itself survives stop()).
+  if (state_->options.self_heal) state_->healing_enabled = true;
+  if (state_->running) return;
   state_->running = true;
   // Bump the epoch so an actor surviving from before a stop() retires
   // itself on its next wake instead of running alongside this one.
@@ -48,6 +96,7 @@ void LeaseSet::start() {
 
 void LeaseSet::stop() {
   state_->running = false;
+  state_->healing_enabled = false;
   state_->wake.set();
 }
 
@@ -56,6 +105,8 @@ void LeaseSet::on_renewal_failed(RenewalFailedFn fn) {
   state_->renewal_failed_fn = std::move(fn);
 }
 void LeaseSet::on_expired(ExpiredFn fn) { state_->expired_fn = std::move(fn); }
+void LeaseSet::on_terminated(TerminatedFn fn) { state_->terminated_fn = std::move(fn); }
+void LeaseSet::on_reallocated(ReallocatedFn fn) { state_->reallocated_fn = std::move(fn); }
 
 std::size_t LeaseSet::size() const { return state_->leases.size(); }
 
@@ -70,6 +121,10 @@ Time LeaseSet::earliest_expiry() const {
 std::uint64_t LeaseSet::renewals() const { return state_->renewals; }
 std::uint64_t LeaseSet::renewal_failures() const { return state_->renewal_failures; }
 std::uint64_t LeaseSet::expiries() const { return state_->expiries; }
+std::uint64_t LeaseSet::terminations() const { return state_->terminations; }
+std::uint64_t LeaseSet::losses() const { return state_->losses; }
+std::uint64_t LeaseSet::reallocations() const { return state_->reallocations; }
+std::uint64_t LeaseSet::realloc_failures() const { return state_->realloc_failures; }
 
 namespace {
 
@@ -91,13 +146,115 @@ sim::Task<void> LeaseSet::wake_at(std::shared_ptr<State> state, Duration after) 
   state->wake.set();
 }
 
+void LeaseSet::maybe_heal(const std::shared_ptr<State>& state, std::uint64_t old_id,
+                          const Tracked& lost) {
+  if (!state->options.self_heal || !state->healing_enabled) return;
+  if (lost.workers == 0) return;  // shape unknown: nothing to re-request
+  if (state->stream == nullptr || state->stream->closed() ||
+      state->request_mutex == nullptr) {
+    return;
+  }
+  if (!state->healing.insert(lost.origin).second) return;  // already healing
+  sim::spawn(*state->engine, heal(state, old_id, lost));
+}
+
+sim::Task<void> LeaseSet::notify_loop(std::shared_ptr<State> state,
+                                      std::shared_ptr<net::TcpStream> stream) {
+  while (true) {
+    auto raw = co_await stream->recv();
+    if (!raw.has_value()) co_return;  // unsubscribed / manager gone
+    auto term = decode_lease_terminated(*raw);
+    if (!term) continue;
+    // A push for an untracked lease is stale: the holder released it, or
+    // a refused renewal already lost it (and started its heal).
+    auto it = state->leases.find(term.value().lease_id);
+    if (it == state->leases.end()) continue;
+    const Tracked lost = it->second;
+    state->leases.erase(it);
+    ++state->terminations;
+    ++state->losses;
+    if (state->terminated_fn) {
+      state->terminated_fn(term.value().lease_id,
+                           static_cast<TerminationReason>(term.value().reason),
+                           term.value().evicted_at);
+    }
+    maybe_heal(state, term.value().lease_id, lost);
+  }
+}
+
+sim::Task<void> LeaseSet::heal(std::shared_ptr<State> state, std::uint64_t old_id,
+                               Tracked lost) {
+  Duration backoff = std::max<Duration>(1_us, state->options.realloc_backoff);
+  bool healed = false;
+  bool canceled = false;
+  for (unsigned attempt = 0; attempt < std::max(1u, state->options.realloc_budget);
+       ++attempt) {
+    if (!state->healing_enabled || state->canceled.count(lost.origin) > 0) {
+      canceled = true;
+      break;
+    }
+    if (state->stream == nullptr || state->stream->closed()) break;
+
+    co_await state->request_mutex->lock();
+    LeaseRequestMsg req;
+    req.client_id = state->client_id;
+    req.workers = lost.workers;
+    req.memory_bytes = lost.memory_per_worker;
+    req.timeout = lost.original_timeout;
+    state->stream->send(encode(req));
+    auto raw = co_await state->stream->recv();
+    state->request_mutex->unlock();
+    if (!raw.has_value()) break;  // manager disconnected
+
+    auto grant = decode_lease_grant(*raw);
+    if (grant.ok()) {
+      const LeaseGrantMsg& g = grant.value();
+      if (!state->healing_enabled || state->canceled.count(lost.origin) > 0) {
+        // The holder abandoned the chain while we were in flight: hand
+        // the fresh grant straight back instead of leaking it.
+        ReleaseResourcesMsg rel;
+        rel.lease_id = g.lease_id;
+        rel.workers = g.workers;
+        rel.memory_bytes = lost.memory_per_worker * g.workers;
+        if (!state->stream->closed()) state->stream->send(encode(rel));
+        canceled = true;
+        break;
+      }
+      Tracked replacement = lost;
+      replacement.expires_at = g.expires_at;
+      replacement.workers = g.workers;  // partial replacements stay partial
+      state->leases[g.lease_id] = replacement;
+      state->current_of_origin[lost.origin] = g.lease_id;
+      ++state->reallocations;
+      state->wake.set();  // the replacement may be the next renewal due
+      if (state->reallocated_fn) state->reallocated_fn(old_id, g);
+      healed = true;
+      break;
+    }
+    // Denied (transient exhaustion while the evicted capacity settles):
+    // back off exponentially within the budget.
+    co_await sim::delay(backoff);
+    backoff *= 2;
+  }
+  state->healing.erase(lost.origin);
+  state->canceled.erase(lost.origin);
+  if (!healed && !canceled) ++state->realloc_failures;
+}
+
 sim::Task<void> LeaseSet::renew_loop(std::shared_ptr<State> state, std::uint64_t epoch) {
   sim::Engine& engine = *state->engine;
   auto active = [&state, epoch] { return state->running && state->epoch == epoch; };
   auto expire = [&state](std::uint64_t id) {
-    state->leases.erase(id);
+    auto it = state->leases.find(id);
+    if (it == state->leases.end()) return;
+    const Tracked lost = it->second;
+    state->leases.erase(it);
     ++state->expiries;
+    ++state->losses;
     if (state->expired_fn) state->expired_fn(id);
+    // An expired or refused lease is as gone as an evicted one: the
+    // self-healing path re-allocates it the same way.
+    maybe_heal(state, id, lost);
   };
   while (active()) {
     if (state->leases.empty()) {
@@ -226,15 +383,43 @@ sim::Task<Status> Invoker::allocate(const AllocationSpec& spec) {
   }
   cold_start_.connect_manager = engine_.now() - t0;
 
-  if (spec.auto_renew) {
+  if (spec.auto_renew || spec.self_heal) {
     LeaseSetOptions opts;
     opts.renew_margin =
         spec.renew_margin != 0 ? spec.renew_margin : spec.lease_timeout / 4;
     opts.extension = spec.lease_timeout;
+    opts.self_heal = spec.self_heal;
+    opts.realloc_budget = spec.realloc_budget;
+    opts.realloc_backoff = spec.realloc_backoff;
     lease_set_->configure(opts);
   }
   lease_set_->bind(rm_stream_, rm_mutex_);
 
+  if (spec.self_heal) {
+    // Self-healing: a dedicated notification stream carries the
+    // manager's LeaseTerminated pushes, and a re-allocated lease gets
+    // its sandbox redeployed with the spec of the allocate() call that
+    // created it (looked up by the lost lease's id).
+    lease_set_->on_reallocated([this](std::uint64_t old_id, const LeaseGrantMsg& grant) {
+      auto it = lease_specs_.find(old_id);
+      if (it == lease_specs_.end()) return;
+      auto lease_spec = it->second;
+      lease_specs_.erase(it);
+      lease_specs_[grant.lease_id] = lease_spec;
+      sim::spawn(engine_, redeploy(*lease_spec, grant));
+    });
+    if (notify_stream_ == nullptr || notify_stream_->closed()) {
+      // One listener per connection: subscribe() spawns the notify
+      // actor, so only a fresh stream gets subscribed.
+      auto notify = co_await tcp_.connect(device_.id(), rm_device_, rm_port_);
+      if (!notify.ok()) co_return notify.error();
+      notify_stream_ = notify.value();
+      lease_set_->subscribe(notify_stream_, client_id_);
+    }
+  }
+
+  const auto spec_ref =
+      spec.self_heal ? std::make_shared<const AllocationSpec>(spec) : nullptr;
   std::uint32_t remaining = spec.workers;
   while (remaining > 0) {
     // Stage 2: lease acquisition (A1). Grants may be partial; the client
@@ -249,13 +434,15 @@ sim::Task<Status> Invoker::allocate(const AllocationSpec& spec) {
     for (const auto& grant : grants.value()) {
       auto deployed = co_await deploy_grant(spec, grant);
       if (!deployed.ok()) co_return deployed;
-      if (spec.auto_renew) {
-        lease_set_->track(grant.lease_id, grant.expires_at, spec.lease_timeout);
+      if (spec.auto_renew || spec.self_heal) {
+        lease_set_->track(grant.lease_id, grant.expires_at, spec.lease_timeout,
+                          grant.workers, spec.memory_per_worker);
       }
+      if (spec_ref != nullptr) lease_specs_[grant.lease_id] = spec_ref;
       remaining -= std::min(remaining, grant.workers);
     }
   }
-  if (spec.auto_renew) lease_set_->start();
+  if (spec.auto_renew || spec.self_heal) lease_set_->start();
   co_return Status::success();
 }
 
@@ -378,6 +565,17 @@ sim::Task<Status> Invoker::deploy_grant(const AllocationSpec& spec, const LeaseG
   co_return Status::success();
 }
 
+sim::Task<void> Invoker::redeploy(AllocationSpec spec, LeaseGrantMsg grant) {
+  // The replacement lease is already tracked by the LeaseSet; this
+  // rebuilds the serving side: sandbox, worker connections, code.
+  auto st = co_await deploy_grant(spec, grant);
+  if (!st.ok()) {
+    log::warn("invoker", "self-heal redeploy failed: ", st.error().message);
+    co_return;
+  }
+  ++redeployments_;
+}
+
 sim::Task<Status> Invoker::connect_worker(const LeaseGrantMsg& grant, std::uint64_t sandbox_id,
                                           std::uint32_t index) {
   ByteWriter pdata;
@@ -451,9 +649,12 @@ sim::Task<void> Invoker::run_submission(std::uint16_t fn_index, std::uint8_t* he
     free_workers_.push_back(idx);
     slots_->release();
 
-    if (!result.rejected) break;
-    ++rejections_;
-    // Brief backoff before retrying on the (FIFO) next worker.
+    if (result.ok) break;
+    if (result.rejected) ++rejections_;
+    // Rejected — or the worker's connection is dead (its lease was
+    // terminated and the sandbox reclaimed): brief backoff, then retry
+    // on the (FIFO) next worker. Self-healed allocations appended fresh
+    // workers, so the rotation reaches a live one.
     co_await sim::delay(2_us);
   }
   // Client-observed latency includes queueing for a free worker and any
@@ -532,6 +733,7 @@ sim::Task<void> Invoker::deallocate() {
     alloc.mgr_stream->close();
   }
   allocations_.clear();
+  lease_specs_.clear();
   for (auto& w : workers_) {
     if (w.conn != nullptr) w.conn->close();
   }

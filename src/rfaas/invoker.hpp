@@ -17,6 +17,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,15 @@ struct LeaseSetOptions {
   Duration renew_margin = 30_s;
   /// Extension requested per renewal; 0 = the lease's original timeout.
   Duration extension = 0;
+  /// Self-healing: when a tracked lease is terminated by the manager
+  /// (LeaseTerminated push) or lost to expiry/refused renewal, request a
+  /// replacement lease of the same shape instead of surfacing a dead
+  /// allocation. Requires subscribe() and tracked lease shapes.
+  bool self_heal = false;
+  /// Re-allocation attempts per lost lease before giving up.
+  unsigned realloc_budget = 4;
+  /// Backoff before the second attempt; doubles per further attempt.
+  Duration realloc_backoff = 20_ms;
 };
 
 /// Client-side lease lifecycle tracker: holds the set of live leases,
@@ -55,6 +65,15 @@ class LeaseSet {
   using RenewedFn = std::function<void(std::uint64_t lease_id, Time new_expires_at)>;
   using RenewalFailedFn = std::function<void(std::uint64_t lease_id, const std::string& reason)>;
   using ExpiredFn = std::function<void(std::uint64_t lease_id)>;
+  /// Manager-initiated termination received on the notification stream.
+  /// `evicted_at` is the manager's decision timestamp — now() minus it is
+  /// the client-observed reclamation latency.
+  using TerminatedFn =
+      std::function<void(std::uint64_t lease_id, TerminationReason reason, Time evicted_at)>;
+  /// A lost lease was transparently replaced: `grant` is the new lease
+  /// (already tracked). Owners deploy sandboxes/workers onto it here.
+  using ReallocatedFn =
+      std::function<void(std::uint64_t old_lease_id, const LeaseGrantMsg& grant)>;
 
   explicit LeaseSet(sim::Engine& engine, LeaseSetOptions options = {});
   ~LeaseSet();
@@ -67,16 +86,37 @@ class LeaseSet {
   /// renewal actor can outlive the acquiring scope).
   void bind(std::shared_ptr<net::TcpStream> rm_stream, std::shared_ptr<sim::Mutex> request_mutex);
 
+  /// Opens the termination-push channel: sends SubscribeEvents for
+  /// `client_id` on `notify_stream` (a dedicated connection to the
+  /// resource manager — pushes never share the request stream) and
+  /// spawns a listener reacting to LeaseTerminated. Enables self-healing
+  /// re-allocation when the options ask for it.
+  void subscribe(std::shared_ptr<net::TcpStream> notify_stream, std::uint32_t client_id);
+
   /// Replaces the renewal options (margin, extension). Takes effect from
   /// the next renewal decision.
   void configure(LeaseSetOptions options);
 
   /// Starts tracking a granted lease. `original_timeout` is the grant's
   /// validity (the default renewal extension when options.extension == 0).
-  void track(std::uint64_t lease_id, Time expires_at, Duration original_timeout);
+  /// `workers`/`memory_per_worker` record the lease's shape — required
+  /// for self-healing re-allocation (0 = shape unknown, never healed).
+  void track(std::uint64_t lease_id, Time expires_at, Duration original_timeout,
+             std::uint32_t workers = 0, std::uint64_t memory_per_worker = 0);
 
   /// Stops tracking (released/deallocated lease). False when unknown.
   bool untrack(std::uint64_t lease_id);
+
+  /// Current lease id standing in for `origin` (the originally granted
+  /// id): self-healing replaces lost leases, so the holder's handle and
+  /// the live lease id can diverge. Returns `origin` when never replaced.
+  [[nodiscard]] std::uint64_t resolve(std::uint64_t origin) const;
+
+  /// Gives up the lease chain started by `origin`: cancels any
+  /// re-allocation in flight (a late replacement grant is released, not
+  /// tracked), untracks the current lease and returns its id so the
+  /// holder can release it with the manager.
+  std::uint64_t abandon(std::uint64_t origin);
 
   /// Spawns the renewal actor (idempotent). bind() must have been called.
   void start();
@@ -84,10 +124,13 @@ class LeaseSet {
   /// Stops the renewal actor at its next wake; tracked leases remain.
   void stop();
 
-  /// Expiry callbacks. Settable any time; invoked from the renewal actor.
+  /// Lifecycle callbacks. Settable any time; invoked from the renewal,
+  /// notification and re-allocation actors.
   void on_renewed(RenewedFn fn);
   void on_renewal_failed(RenewalFailedFn fn);
   void on_expired(ExpiredFn fn);
+  void on_terminated(TerminatedFn fn);
+  void on_reallocated(ReallocatedFn fn);
 
   [[nodiscard]] std::size_t size() const;
   /// Deadline of the earliest-expiring tracked lease (0 when empty).
@@ -99,11 +142,26 @@ class LeaseSet {
   /// Tracked leases that reached their deadline without a successful
   /// renewal — each one is a spurious expiry from the holder's view.
   [[nodiscard]] std::uint64_t expiries() const;
+  /// Manager-initiated LeaseTerminated pushes received for tracked leases.
+  [[nodiscard]] std::uint64_t terminations() const;
+  /// Tracked leases lost involuntarily (terminated, expired, or renewal
+  /// refused) — the denominator of the self-healing survival rate.
+  [[nodiscard]] std::uint64_t losses() const;
+  /// Lost leases successfully replaced by a fresh grant.
+  [[nodiscard]] std::uint64_t reallocations() const;
+  /// Lost leases whose re-allocation budget ran out unreplaced.
+  [[nodiscard]] std::uint64_t realloc_failures() const;
 
  private:
   struct Tracked {
     Time expires_at = 0;
     Duration original_timeout = 0;
+    /// Lease shape, for self-healing re-allocation (0 = unknown).
+    std::uint32_t workers = 0;
+    std::uint64_t memory_per_worker = 0;
+    /// First lease id of this chain: replacements keep the origin, so
+    /// holders can resolve their original handle to the live lease.
+    std::uint64_t origin = 0;
   };
   /// Heap-shared with the renewal actor so the actor can outlive the
   /// LeaseSet object (same pattern as the harness workload counters).
@@ -125,13 +183,38 @@ class LeaseSet {
     std::uint64_t renewals = 0;
     std::uint64_t renewal_failures = 0;
     std::uint64_t expiries = 0;
+    std::uint64_t terminations = 0;
+    std::uint64_t losses = 0;
+    std::uint64_t reallocations = 0;
+    std::uint64_t realloc_failures = 0;
+    /// Tenant id the notification subscription (and healing LeaseRequests)
+    /// run under; set by subscribe().
+    std::uint32_t client_id = 0;
+    /// Healing gate, independent of the renewal actor: set by subscribe(),
+    /// cleared by stop() and the destructor so in-flight re-allocations
+    /// retire instead of touching a torn-down owner.
+    bool healing_enabled = false;
+    /// origin -> current lease id of every tracked chain.
+    std::map<std::uint64_t, std::uint64_t> current_of_origin;
+    /// Origins with a re-allocation in flight / canceled mid-heal.
+    std::set<std::uint64_t> healing;
+    std::set<std::uint64_t> canceled;
     RenewedFn renewed_fn;
     RenewalFailedFn renewal_failed_fn;
     ExpiredFn expired_fn;
+    TerminatedFn terminated_fn;
+    ReallocatedFn reallocated_fn;
   };
 
   static sim::Task<void> renew_loop(std::shared_ptr<State> state, std::uint64_t epoch);
   static sim::Task<void> wake_at(std::shared_ptr<State> state, Duration after);
+  static sim::Task<void> notify_loop(std::shared_ptr<State> state,
+                                     std::shared_ptr<net::TcpStream> stream);
+  static sim::Task<void> heal(std::shared_ptr<State> state, std::uint64_t old_id, Tracked lost);
+  /// Spawns heal() for a lost lease when healing is enabled and the
+  /// lease's shape is known.
+  static void maybe_heal(const std::shared_ptr<State>& state, std::uint64_t old_id,
+                         const Tracked& lost);
 
   std::shared_ptr<State> state_;
 };
@@ -158,6 +241,17 @@ struct AllocationSpec {
   /// Renew when a lease's remaining validity drops below this; 0 picks
   /// a quarter of `lease_timeout`.
   Duration renew_margin = 0;
+  /// Self-healing allocation: subscribe to manager termination pushes
+  /// and, when a lease is reclaimed (eviction, drain, rebalance) or lost
+  /// to expiry, transparently re-acquire a lease of the same shape and
+  /// redeploy its sandbox + workers, so in-flight workloads migrate
+  /// instead of failing. Implies auto-renewal: a self-healing allocation
+  /// stays alive until deallocate().
+  bool self_heal = false;
+  /// Re-allocation attempts per lost lease before giving up.
+  unsigned realloc_budget = 4;
+  /// Initial re-allocation backoff (doubles per attempt).
+  Duration realloc_backoff = 20_ms;
 };
 
 /// Client-observed stages of a cold start (Fig. 9).
@@ -252,6 +346,8 @@ class Invoker {
   [[nodiscard]] const LeaseSet& leases() const { return *lease_set_; }
   /// Leases acquired by the current allocation (one per sandbox).
   [[nodiscard]] std::size_t lease_count() const { return allocations_.size(); }
+  /// Sandboxes redeployed onto self-healed (re-allocated) leases.
+  [[nodiscard]] std::uint64_t redeployments() const { return redeployments_; }
 
  private:
   struct WorkerRef {
@@ -284,6 +380,8 @@ class Invoker {
   /// Stages 3-5 of a cold start for one granted lease: sandbox
   /// allocation, worker connections, code submission.
   sim::Task<Status> deploy_grant(const AllocationSpec& spec, const LeaseGrantMsg& grant);
+  /// Deploys a replacement grant produced by self-healing re-allocation.
+  sim::Task<void> redeploy(AllocationSpec spec, LeaseGrantMsg grant);
 
   sim::Engine& engine_;
   fabric::Fabric& fabric_;
@@ -297,9 +395,16 @@ class Invoker {
   fabric::ProtectionDomain* pd_ = nullptr;
   std::shared_ptr<net::TcpStream> rm_stream_;
   /// Serializes request/response pairs on rm_stream_ between allocate()
-  /// and the LeaseSet's renewal actor.
+  /// and the LeaseSet's renewal/re-allocation actors.
   std::shared_ptr<sim::Mutex> rm_mutex_;
+  /// Dedicated push channel for LeaseTerminated notifications.
+  std::shared_ptr<net::TcpStream> notify_stream_;
   std::unique_ptr<LeaseSet> lease_set_;
+  /// Spec that created each self-healing lease, keyed by lease id (the
+  /// mapping follows replacements), so a redeploy uses the allocation's
+  /// own function/sandbox/policy even across multiple allocate() calls.
+  std::map<std::uint64_t, std::shared_ptr<const AllocationSpec>> lease_specs_;
+  std::uint64_t redeployments_ = 0;
   std::vector<Allocation> allocations_;
   std::vector<WorkerRef> workers_;
   std::deque<std::size_t> free_workers_;

@@ -200,6 +200,20 @@ Bytes encode(const LeaseRenewedMsg& m) {
   return w.take();
 }
 
+Bytes encode(const LeaseTerminatedMsg& m) {
+  auto w = header(MsgType::LeaseTerminated);
+  w.u64(m.lease_id);
+  w.u8(m.reason);
+  w.u64(m.evicted_at);
+  return w.take();
+}
+
+Bytes encode(const SubscribeEventsMsg& m) {
+  auto w = header(MsgType::SubscribeEvents);
+  w.u32(m.client_id);
+  return w.take();
+}
+
 Result<MsgType> peek_type(const Bytes& raw) {
   if (raw.empty()) return Error::make(21, "protocol: empty message");
   auto v = raw[0];
@@ -458,8 +472,42 @@ Result<LeaseRenewedMsg> decode_lease_renewed(const Bytes& raw) {
   return m;
 }
 
+Result<LeaseTerminatedMsg> decode_lease_terminated(const Bytes& raw) {
+  auto r = open(raw, MsgType::LeaseTerminated);
+  if (!r) return r.error();
+  auto& rd = r.value();
+  LeaseTerminatedMsg m;
+  auto lease = rd.u64();
+  auto reason = rd.u8();
+  auto evicted = rd.u64();
+  if (!lease || !reason.ok() || !evicted) {
+    return Error::make(22, "protocol: truncated LeaseTerminated");
+  }
+  m.lease_id = lease.value();
+  m.reason = reason.value();
+  m.evicted_at = evicted.value();
+  return m;
+}
+
+Result<SubscribeEventsMsg> decode_subscribe_events(const Bytes& raw) {
+  auto r = open(raw, MsgType::SubscribeEvents);
+  if (!r) return r.error();
+  auto client = r.value().u32();
+  if (!client) return Error::make(22, "protocol: truncated SubscribeEvents");
+  return SubscribeEventsMsg{client.value()};
+}
+
 const char* to_string(SandboxType t) {
   return t == SandboxType::Docker ? "docker" : "bare-metal";
+}
+
+const char* to_string(TerminationReason r) {
+  switch (r) {
+    case TerminationReason::QuotaPressure: return "quota-pressure";
+    case TerminationReason::Drain: return "drain";
+    case TerminationReason::Rebalance: return "rebalance";
+  }
+  return "unknown";
 }
 
 }  // namespace rfs::rfaas

@@ -71,6 +71,7 @@ enum class MsgType : std::uint8_t {
   BatchAllocate,        // client -> resource manager (multi-lease, one trip)
   BatchGranted,
   LeaseRenewed,         // resource manager -> executor manager (push)
+  SubscribeEvents,      // client -> resource manager (open a notification stream)
   Count,                // sentinel, keep last
 };
 
@@ -187,6 +188,35 @@ struct LeaseRenewedMsg {
   Time expires_at = 0;  ///< the renewed deadline
 };
 
+/// Why the resource manager reclaimed a lease ahead of its deadline.
+enum class TerminationReason : std::uint8_t {
+  QuotaPressure,  ///< evicted to make room under a tenant worker quota
+  Drain,          ///< hosting executor is being drained
+  Rebalance,      ///< hosting executor migrated to another shard
+};
+
+const char* to_string(TerminationReason r);
+
+/// Fast reclamation (Sec. III-B): the manager terminates a live lease and
+/// pushes this to both sides — the hosting executor tears the sandbox
+/// down, the owning client (on its notification stream, see
+/// SubscribeEventsMsg) untracks the lease and, with self-healing enabled,
+/// transparently re-allocates. `evicted_at` is the manager's decision
+/// timestamp, so receivers can report end-to-end reclamation latency.
+struct LeaseTerminatedMsg {
+  std::uint64_t lease_id = 0;
+  std::uint8_t reason = 0;  ///< TerminationReason
+  Time evicted_at = 0;      ///< when the manager made the eviction decision
+};
+
+/// Opens a notification stream: the client sends this once on a dedicated
+/// connection and then only receives pushes (LeaseTerminated) for leases
+/// owned by `client_id`. Keeping pushes off the request stream preserves
+/// its strict request-response discipline.
+struct SubscribeEventsMsg {
+  std::uint32_t client_id = 0;
+};
+
 /// Allocation outcome from the lightweight allocator.
 struct AllocationReplyMsg {
   bool ok = false;               ///< sandbox up and workers spawned
@@ -234,6 +264,8 @@ Bytes encode(const ExtendOkMsg& m);
 Bytes encode(const BatchAllocateMsg& m);
 Bytes encode(const BatchGrantedMsg& m);
 Bytes encode(const LeaseRenewedMsg& m);
+Bytes encode(const LeaseTerminatedMsg& m);
+Bytes encode(const SubscribeEventsMsg& m);
 
 Result<MsgType> peek_type(const Bytes& raw);
 Result<RegisterExecutorMsg> decode_register(const Bytes& raw);
@@ -252,5 +284,7 @@ Result<ExtendOkMsg> decode_extend_ok(const Bytes& raw);
 Result<BatchAllocateMsg> decode_batch_allocate(const Bytes& raw);
 Result<BatchGrantedMsg> decode_batch_granted(const Bytes& raw);
 Result<LeaseRenewedMsg> decode_lease_renewed(const Bytes& raw);
+Result<LeaseTerminatedMsg> decode_lease_terminated(const Bytes& raw);
+Result<SubscribeEventsMsg> decode_subscribe_events(const Bytes& raw);
 
 }  // namespace rfs::rfaas

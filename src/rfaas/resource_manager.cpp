@@ -5,10 +5,6 @@
 
 namespace rfs::rfaas {
 
-namespace {
-constexpr std::uint64_t kNoExecutor = UINT64_MAX;
-}
-
 ResourceManager::ResourceManager(sim::Engine& engine, fabric::Fabric& fabric,
                                  net::TcpNetwork& tcp, sim::Host& host, fabric::Device& device,
                                  Config config)
@@ -32,6 +28,7 @@ void ResourceManager::start() {
   sim::spawn(engine_, run_server());
   sim::spawn(engine_, run_billing_accept());
   sim::spawn(engine_, heartbeat_loop());
+  if (config_.rebalance_period > 0) sim::spawn(engine_, rebalance_loop());
 }
 
 void ResourceManager::stop() {
@@ -61,14 +58,21 @@ sim::Task<void> ResourceManager::run_billing_accept() {
 }
 
 sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> stream) {
-  std::uint64_t executor_id = kNoExecutor;  // set once this stream registers
   while (alive_) {
     auto raw = co_await stream->recv();
     if (!raw.has_value()) {
       // Stream closed. A registered executor disconnecting means it died
       // (or was stopped); reclaim immediately — faster than waiting for
-      // missed heartbeats.
-      if (executor_id != kNoExecutor) mark_executor_dead(executor_id);
+      // missed heartbeats. The id is resolved through executor_ids_, not
+      // a value captured at registration: rebalance migrations re-tag it.
+      if (auto it = executor_ids_.find(stream.get()); it != executor_ids_.end()) {
+        mark_executor_dead(it->second);
+        executor_ids_.erase(it);
+      }
+      // A vanished subscriber stops receiving termination pushes.
+      for (auto it = subscribers_.begin(); it != subscribers_.end();) {
+        it = it->second == stream ? subscribers_.erase(it) : std::next(it);
+      }
       break;
     }
     auto type = peek_type(*raw);
@@ -87,7 +91,8 @@ sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> s
         entry.last_ack = engine_.now();
         entry.locality = fabric_.locality(msg.value().device);
         entry.stream = stream;
-        executor_id = core_.add_executor(std::move(entry));
+        const std::uint64_t executor_id = core_.add_executor(std::move(entry));
+        executor_ids_[stream.get()] = executor_id;
         RegisterOkMsg ok;
         ok.rm_rdma_port = rdma_port_;
         auto slot0 = billing_.tenant_slot(0);
@@ -113,14 +118,30 @@ sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> s
         // ran a second scan over other shards, so it bills a second
         // decision delay (conservative: the victim shard's own gate
         // queue is not consumed).
-        const std::uint32_t shard =
-            core_.preferred_shard_for(fabric_.locality(stream->remote_device()));
+        const std::uint32_t locality = fabric_.locality(stream->remote_device());
+        const std::uint32_t shard = core_.preferred_shard_for(locality);
         auto& gate = *grant_gates_[shard];
         co_await gate.lock();
         co_await sim::delay(config_.lease_processing);
         bool stolen = false;
-        Bytes reply =
-            grant_lease(msg.value(), fabric_.locality(stream->remote_device()), shard, stolen);
+        Bytes reply = grant_lease(msg.value(), locality, shard, stolen);
+        if (config_.tenant_quota_workers > 0 && core_.size() > 0 &&
+            msg.value().workers > 0) {
+          // Quota pressure: a fleet-wide denial evicts leases of tenants
+          // holding more than their worker quota (fast reclamation, the
+          // capacity comes back instantly) and retries the placement once
+          // — billing a second decision scan.
+          auto type = peek_type(reply);
+          if (type.ok() && type.value() == MsgType::LeaseError) {
+            auto evicted = core_.reclaim_quota(
+                msg.value().client_id, config_.tenant_quota_workers, msg.value().workers);
+            if (!evicted.empty()) {
+              notify_evictions(evicted, TerminationReason::QuotaPressure);
+              co_await sim::delay(config_.lease_processing);
+              reply = grant_lease(msg.value(), locality, shard, stolen);
+            }
+          }
+        }
         if (stolen) co_await sim::delay(config_.lease_processing);
         gate.unlock();
         stream->send(std::move(reply));
@@ -188,7 +209,17 @@ sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> s
         break;
       }
       case MsgType::HeartbeatAck: {
-        if (executor_id != kNoExecutor) core_.touch(executor_id, engine_.now());
+        if (auto it = executor_ids_.find(stream.get()); it != executor_ids_.end()) {
+          core_.touch(it->second, engine_.now());
+        }
+        break;
+      }
+      case MsgType::SubscribeEvents: {
+        auto msg = decode_subscribe_events(*raw);
+        if (!msg) break;
+        // Latest subscription wins; the stream carries only pushes from
+        // here on, so the client's request stream stays request-response.
+        subscribers_[msg.value().client_id] = stream;
         break;
       }
       default:
@@ -266,6 +297,75 @@ Bytes ResourceManager::grant_batch(const BatchAllocateMsg& req, std::uint32_t cl
 void ResourceManager::mark_executor_dead(std::uint64_t executor_id) {
   if (auto info = core_.mark_dead(executor_id)) {
     log::warn("rm", "executor on device ", info->device, " is dead, reclaiming leases");
+  }
+}
+
+void ResourceManager::notify_evictions(
+    const std::vector<ShardedResourceManager::Eviction>& evictions,
+    TerminationReason reason) {
+  const Time now = engine_.now();
+  for (const auto& ev : evictions) {
+    LeaseTerminatedMsg msg;
+    msg.lease_id = ev.lease_id;
+    msg.reason = static_cast<std::uint8_t>(reason);
+    msg.evicted_at = now;
+    // Executor side: tear the sandbox down and release its workers.
+    if (ev.executor_stream != nullptr && !ev.executor_stream->closed()) {
+      ev.executor_stream->send(encode(msg));
+    }
+    // Client side: the push lands on the tenant's notification stream
+    // (if subscribed); an unsubscribed client only learns through its
+    // next refused renewal or a dead worker connection.
+    auto it = subscribers_.find(ev.client_id);
+    if (it != subscribers_.end() && it->second != nullptr && !it->second->closed()) {
+      it->second->send(encode(msg));
+    }
+  }
+}
+
+std::size_t ResourceManager::evict_leases(const std::vector<std::uint64_t>& lease_ids,
+                                          TerminationReason reason) {
+  std::vector<ShardedResourceManager::Eviction> evicted;
+  evicted.reserve(lease_ids.size());
+  for (const auto id : lease_ids) {
+    if (auto ev = core_.evict(id)) evicted.push_back(std::move(*ev));
+  }
+  notify_evictions(evicted, reason);
+  return evicted.size();
+}
+
+std::optional<std::size_t> ResourceManager::drain_executor_on_device(std::uint32_t device) {
+  auto executor = core_.find_executor_by_device(device);
+  if (!executor) return std::nullopt;
+  auto evicted = core_.drain_executor(*executor);
+  notify_evictions(evicted, TerminationReason::Drain);
+  log::info("rm", "draining executor on device ", device, ", evicted ", evicted.size(),
+            " leases");
+  return evicted.size();
+}
+
+ShardedResourceManager::RebalanceReport ResourceManager::rebalance_now() {
+  auto report = core_.rebalance(config_.rebalance_max_skew, config_.rebalance_max_moves,
+                                engine_.now());
+  // Migrated executors keep their streams but change ids: re-point the
+  // per-stream id table so heartbeat acks and disconnects keep landing
+  // on the live registration.
+  for (const auto& mig : report.migrations) {
+    if (mig.stream != nullptr) executor_ids_[mig.stream.get()] = mig.new_id;
+  }
+  notify_evictions(report.evictions, TerminationReason::Rebalance);
+  if (!report.migrations.empty()) {
+    log::info("rm", "rebalance moved ", report.migrations.size(), " executors, skew ",
+              report.skew_before, " -> ", report.skew_after);
+  }
+  return report;
+}
+
+sim::Task<void> ResourceManager::rebalance_loop() {
+  while (alive_) {
+    co_await sim::delay(config_.rebalance_period);
+    if (!alive_) break;
+    (void)rebalance_now();
   }
 }
 

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -70,11 +71,38 @@ class ResourceManager {
   static constexpr std::size_t kPlacementLogCap = ShardedResourceManager::kPlacementLogCap;
   [[nodiscard]] std::vector<Placement> placement_log() const { return core_.placement_log(); }
 
+  // ---- Manager-initiated reclamation (docs/FAULT_TOLERANCE.md) ----
+
+  /// Terminates the given leases ahead of their deadlines: capacity
+  /// returns to the pool immediately and LeaseTerminated is pushed to
+  /// each hosting executor (sandbox teardown) and each owning client's
+  /// notification stream. Returns how many leases were actually live.
+  std::size_t evict_leases(const std::vector<std::uint64_t>& lease_ids,
+                           TerminationReason reason);
+
+  /// Drains the executor registered for fabric device `device`: all its
+  /// leases are evicted (reason Drain) and it receives no further
+  /// placements. Returns the number of evicted leases, or nullopt when
+  /// no alive executor is registered for that device.
+  std::optional<std::size_t> drain_executor_on_device(std::uint32_t device);
+
+  /// Runs one rebalance sweep now (also runs periodically when
+  /// Config::rebalance_period > 0): migrates executor registrations from
+  /// the fullest shard to the emptiest and evicts (reason Rebalance) the
+  /// active leases of every migrated executor.
+  ShardedResourceManager::RebalanceReport rebalance_now();
+
  private:
   sim::Task<void> run_server();
   sim::Task<void> handle_stream(std::shared_ptr<net::TcpStream> stream);
   sim::Task<void> run_billing_accept();
   sim::Task<void> heartbeat_loop();
+  sim::Task<void> rebalance_loop();
+
+  /// Pushes LeaseTerminated for each eviction to the hosting executor's
+  /// registration stream and the owning client's notification stream.
+  void notify_evictions(const std::vector<ShardedResourceManager::Eviction>& evictions,
+                        TerminationReason reason);
 
   /// Builds the reply for one lease request; sets `stolen` when the
   /// placement was stolen from another shard (the caller bills the
@@ -108,6 +136,15 @@ class ResourceManager {
   /// One FIFO gate per shard: the simulated critical section of a lease
   /// decision (grant and renew both pass through it).
   std::vector<std::unique_ptr<sim::Mutex>> grant_gates_;
+
+  /// Notification streams by client id (SubscribeEvents): where
+  /// LeaseTerminated pushes for that tenant's leases go.
+  std::map<std::uint32_t, std::shared_ptr<net::TcpStream>> subscribers_;
+  /// Current executor id per registration stream. Rebalance migrations
+  /// re-tag an executor's id, so heartbeat acks and disconnects resolve
+  /// the id through this table instead of a value captured at
+  /// registration time.
+  std::map<const net::TcpStream*, std::uint64_t> executor_ids_;
 };
 
 }  // namespace rfs::rfaas

@@ -32,7 +32,7 @@ std::size_t ExecutorRegistry::alive_count() const {
 std::uint32_t ExecutorRegistry::free_workers_total() const {
   std::uint32_t n = 0;
   for (const auto& e : entries_) {
-    if (e.alive) n += e.free_workers;
+    if (e.schedulable()) n += e.free_workers;
   }
   return n;
 }
@@ -40,7 +40,7 @@ std::uint32_t ExecutorRegistry::free_workers_total() const {
 std::uint32_t ExecutorRegistry::total_workers() const {
   std::uint32_t n = 0;
   for (const auto& e : entries_) {
-    if (e.alive) n += e.total_workers;
+    if (e.schedulable()) n += e.total_workers;
   }
   return n;
 }
@@ -48,7 +48,7 @@ std::uint32_t ExecutorRegistry::total_workers() const {
 bool ExecutorRegistry::try_claim(std::size_t i, std::uint32_t workers, std::uint64_t memory) {
   if (i >= entries_.size()) return false;
   auto& e = entries_[i];
-  if (!e.alive || workers == 0 || workers > e.free_workers || memory > e.free_memory) {
+  if (!e.schedulable() || workers == 0 || workers > e.free_workers || memory > e.free_memory) {
     return false;
   }
   e.free_workers -= workers;
@@ -59,7 +59,7 @@ bool ExecutorRegistry::try_claim(std::size_t i, std::uint32_t workers, std::uint
 void ExecutorRegistry::release(std::size_t i, std::uint32_t workers, std::uint64_t memory) {
   if (i >= entries_.size()) return;
   auto& e = entries_[i];
-  if (!e.alive) return;  // capacity was zeroed at death
+  if (!e.schedulable()) return;  // capacity was zeroed at death or drain
   e.free_workers += workers;
   e.free_memory += memory;
 }
@@ -68,6 +68,14 @@ void ExecutorRegistry::mark_dead(std::size_t i) {
   if (i >= entries_.size()) return;
   auto& e = entries_[i];
   e.alive = false;
+  e.free_workers = 0;
+  e.free_memory = 0;
+}
+
+void ExecutorRegistry::set_draining(std::size_t i) {
+  if (i >= entries_.size()) return;
+  auto& e = entries_[i];
+  e.draining = true;
   e.free_workers = 0;
   e.free_memory = 0;
 }
@@ -85,7 +93,7 @@ std::optional<Placement> fit(const ExecutorRegistry& registry, std::size_t idx,
                              const ScheduleRequest& request, const std::vector<bool>& excluded) {
   if (idx < excluded.size() && excluded[idx]) return std::nullopt;
   const auto& e = registry.at(idx);
-  if (!e.alive || e.free_workers == 0) return std::nullopt;
+  if (!e.schedulable() || e.free_workers == 0) return std::nullopt;
   const std::uint32_t workers = std::min(e.free_workers, request.workers);
   const std::uint64_t memory = request.memory_per_worker * workers;
   if (memory > e.free_memory) return std::nullopt;

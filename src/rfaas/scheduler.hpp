@@ -43,9 +43,16 @@ struct ExecutorEntry {
   std::uint32_t free_workers = 0;
   std::uint64_t free_memory = 0;
   bool alive = true;
+  /// Draining: the host stays alive (heartbeats continue) but its
+  /// capacity left the schedulable pool — no new placements, and
+  /// released leases do not return workers to it.
+  bool draining = false;
   Time last_ack = 0;
   std::uint32_t locality = 0;  // topology group of the executor NIC
   std::shared_ptr<net::TcpStream> stream;
+
+  /// Eligible to host new leases.
+  [[nodiscard]] bool schedulable() const { return alive && !draining; }
 };
 
 /// Registry of spot executors: capacity accounting, heartbeat bookkeeping
@@ -75,6 +82,10 @@ class ExecutorRegistry {
 
   /// Marks an executor dead and zeroes its capacity (fast reclamation).
   void mark_dead(std::size_t i);
+
+  /// Marks an executor draining: it stays alive but its capacity leaves
+  /// the schedulable pool (free workers zeroed, no future claims).
+  void set_draining(std::size_t i);
 
  private:
   std::vector<ExecutorEntry> entries_;

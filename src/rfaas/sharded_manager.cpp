@@ -206,7 +206,7 @@ bool ShardedResourceManager::release(std::uint64_t lease_id) {
   auto it = shard.leases.find(lease_id);
   if (it == shard.leases.end()) return false;
   const LeaseRecord& record = it->second;
-  if (shard.registry.at(record.executor).alive) {
+  if (shard.registry.at(record.executor).schedulable()) {
     shard.registry.release(record.executor, record.workers, record.memory);
     shard.free_workers.fetch_add(record.workers, std::memory_order_relaxed);
   }
@@ -226,7 +226,7 @@ std::size_t ShardedResourceManager::sweep_expired(Time now) {
         continue;
       }
       const LeaseRecord& record = it->second;
-      if (shard.registry.at(record.executor).alive) {
+      if (shard.registry.at(record.executor).schedulable()) {
         shard.registry.release(record.executor, record.workers, record.memory);
         shard.free_workers.fetch_add(record.workers, std::memory_order_relaxed);
       }
@@ -236,6 +236,248 @@ std::size_t ShardedResourceManager::sweep_expired(Time now) {
     shard.lease_count.store(shard.leases.size(), std::memory_order_relaxed);
   }
   return reclaimed;
+}
+
+std::optional<ShardedResourceManager::Eviction> ShardedResourceManager::evict(
+    std::uint64_t lease_id) {
+  const std::uint32_t s = id_shard(lease_id);
+  if (s >= shards_.size()) return std::nullopt;
+  auto& shard = *shards_[s];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.leases.find(lease_id);
+  if (it == shard.leases.end()) return std::nullopt;
+  const LeaseRecord record = it->second;
+
+  Eviction ev;
+  ev.lease_id = lease_id;
+  ev.client_id = record.client_id;
+  ev.workers = record.workers;
+  ev.memory = record.memory;
+  auto& entry = shard.registry.at(record.executor);
+  ev.executor_stream = entry.stream;
+  if (entry.schedulable()) {
+    shard.registry.release(record.executor, record.workers, record.memory);
+    shard.free_workers.fetch_add(record.workers, std::memory_order_relaxed);
+  }
+  shard.leases.erase(it);
+  shard.lease_count.store(shard.leases.size(), std::memory_order_relaxed);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  return ev;
+}
+
+std::vector<std::uint64_t> ShardedResourceManager::active_lease_ids(std::size_t max) const {
+  std::vector<std::uint64_t> ids;
+  for (const auto& shard_ptr : shards_) {
+    auto& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& kv : shard.leases) {
+      if (ids.size() >= max) return ids;
+      ids.push_back(kv.first);
+    }
+  }
+  return ids;
+}
+
+std::vector<ShardedResourceManager::Eviction> ShardedResourceManager::reclaim_quota(
+    std::uint32_t requesting_client, std::uint32_t quota_workers,
+    std::uint32_t workers_needed) {
+  // Snapshot who holds what (per-shard locks, taken one at a time), then
+  // evict outside the snapshot loop — evict() re-takes its shard's lock
+  // and resolves any lease that vanished in between to a no-op.
+  struct Held {
+    std::uint64_t lease_id;
+    std::uint32_t client_id;
+  };
+  std::vector<Held> snapshot;
+  std::map<std::uint32_t, std::uint64_t> held_workers;
+  for (const auto& shard_ptr : shards_) {
+    auto& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [id, record] : shard.leases) {
+      snapshot.push_back({id, record.client_id});
+      held_workers[record.client_id] += record.workers;
+    }
+  }
+
+  std::vector<Eviction> out;
+  std::uint32_t reclaimed = 0;
+  for (const auto& h : snapshot) {
+    if (reclaimed >= workers_needed) break;
+    if (h.client_id == requesting_client) continue;
+    if (held_workers[h.client_id] <= quota_workers) continue;
+    if (auto ev = evict(h.lease_id)) {
+      held_workers[h.client_id] -= ev->workers;
+      reclaimed += ev->workers;
+      out.push_back(std::move(*ev));
+    }
+  }
+  return out;
+}
+
+std::uint64_t ShardedResourceManager::evict_hosted_leases(
+    Shard& shard, std::size_t local, const std::shared_ptr<net::TcpStream>& stream,
+    std::vector<Eviction>& out) {
+  std::uint64_t reclaimed_memory = 0;
+  std::size_t evicted = 0;
+  for (auto it = shard.leases.begin(); it != shard.leases.end();) {
+    if (it->second.executor != local) {
+      ++it;
+      continue;
+    }
+    Eviction ev;
+    ev.lease_id = it->first;
+    ev.client_id = it->second.client_id;
+    ev.workers = it->second.workers;
+    ev.memory = it->second.memory;
+    ev.executor_stream = stream;
+    reclaimed_memory += it->second.memory;
+    out.push_back(std::move(ev));
+    it = shard.leases.erase(it);
+    ++evicted;
+  }
+  shard.lease_count.store(shard.leases.size(), std::memory_order_relaxed);
+  evictions_.fetch_add(evicted, std::memory_order_relaxed);
+  return reclaimed_memory;
+}
+
+std::vector<ShardedResourceManager::Eviction> ShardedResourceManager::drain_executor(
+    std::uint64_t executor_id) {
+  const std::uint32_t s = id_shard(executor_id);
+  const std::size_t local = static_cast<std::size_t>(id_low(executor_id));
+  if (s >= shards_.size()) return {};
+  auto& shard = *shards_[s];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (local >= shard.registry.size()) return {};
+  auto& entry = shard.registry.at(local);
+  if (!entry.schedulable()) return {};
+
+  std::vector<Eviction> out;
+  evict_hosted_leases(shard, local, entry.stream, out);
+
+  // The host's whole capacity leaves the schedulable pool: the still-free
+  // workers come off the free aggregate (leased ones already did at
+  // grant), the full complement off the capacity aggregate.
+  shard.free_workers.fetch_sub(entry.free_workers, std::memory_order_relaxed);
+  shard.total_workers.fetch_sub(entry.total_workers, std::memory_order_relaxed);
+  shard.registry.set_draining(local);
+  return out;
+}
+
+std::optional<std::uint64_t> ShardedResourceManager::find_executor_by_device(
+    std::uint32_t device) const {
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    auto& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (std::size_t i = 0; i < shard.registry.size(); ++i) {
+      const auto& e = shard.registry.at(i);
+      if (e.alive && e.info.device == device) return make_id(s, i);
+    }
+  }
+  return std::nullopt;
+}
+
+ShardedResourceManager::RebalanceReport ShardedResourceManager::rebalance(
+    double max_skew, unsigned max_moves, Time now) {
+  RebalanceReport report;
+  if (shards_.size() < 2) return report;
+
+  auto capacities = [this] {
+    std::vector<std::int64_t> caps;
+    caps.reserve(shards_.size());
+    for (const auto& shard : shards_) {
+      caps.push_back(shard->total_workers.load(std::memory_order_relaxed));
+    }
+    return caps;
+  };
+  auto skew_of = [](const std::vector<std::int64_t>& caps) {
+    const auto [lo, hi] = std::minmax_element(caps.begin(), caps.end());
+    return static_cast<double>(std::max<std::int64_t>(0, *hi)) /
+           static_cast<double>(std::max<std::int64_t>(1, *lo));
+  };
+  report.skew_before = skew_of(capacities());
+
+  for (unsigned move = 0; move < max_moves; ++move) {
+    const auto caps = capacities();
+    if (skew_of(caps) <= max_skew) break;
+    const std::uint32_t donor = static_cast<std::uint32_t>(
+        std::max_element(caps.begin(), caps.end()) - caps.begin());
+    const std::uint32_t receiver = static_cast<std::uint32_t>(
+        std::min_element(caps.begin(), caps.end()) - caps.begin());
+    if (donor == receiver) break;
+    const std::int64_t gap = caps[donor] - caps[receiver];
+
+    // Pull the migrating executor out of the donor shard under its lock:
+    // prefer the largest executor that does not overshoot the balance
+    // point (2w <= gap); fall back to the smallest one that still
+    // narrows the gap at all.
+    ExecutorEntry moved;
+    bool found = false;
+    {
+      auto& shard = *shards_[donor];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      std::size_t best = 0;
+      std::uint32_t best_fit = 0;    // largest with 2w <= gap
+      std::size_t small = 0;
+      std::uint32_t small_w = 0;     // smallest overall (w < gap)
+      bool have_fit = false, have_small = false;
+      for (std::size_t i = 0; i < shard.registry.size(); ++i) {
+        const auto& e = shard.registry.at(i);
+        if (!e.schedulable() || e.total_workers == 0) continue;
+        const std::uint32_t w = e.total_workers;
+        if (2 * static_cast<std::int64_t>(w) <= gap && (!have_fit || w > best_fit)) {
+          best = i;
+          best_fit = w;
+          have_fit = true;
+        }
+        if (static_cast<std::int64_t>(w) < gap && (!have_small || w < small_w)) {
+          small = i;
+          small_w = w;
+          have_small = true;
+        }
+      }
+      if (!have_fit && !have_small) break;
+      const std::size_t local = have_fit ? best : small;
+      auto& entry = shard.registry.at(local);
+
+      // Evict the executor's active leases; their memory rejoins the
+      // entry's pool so the migrated registration starts clean.
+      const std::uint64_t reclaimed_memory =
+          evict_hosted_leases(shard, local, entry.stream, report.evictions);
+
+      moved = entry;
+      moved.free_workers = moved.total_workers;
+      moved.free_memory = entry.free_memory + reclaimed_memory;
+      moved.last_ack = now;
+      found = true;
+
+      shard.free_workers.fetch_sub(entry.free_workers, std::memory_order_relaxed);
+      shard.total_workers.fetch_sub(entry.total_workers, std::memory_order_relaxed);
+      shard.registry.mark_dead(local);  // tombstone; the live entry moves
+
+      Migration mig;
+      mig.old_id = make_id(donor, local);
+      mig.stream = moved.stream;
+      report.migrations.push_back(std::move(mig));
+    }
+    if (!found) break;
+
+    // Re-register on the receiver shard (its own lock; never both at
+    // once). The global executor count is unchanged: the donor entry is
+    // a tombstone, not a deregistration.
+    {
+      auto& shard = *shards_[receiver];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      const std::uint32_t workers = moved.total_workers;
+      const std::size_t local = shard.registry.add(std::move(moved));
+      shard.free_workers.fetch_add(workers, std::memory_order_relaxed);
+      shard.total_workers.fetch_add(workers, std::memory_order_relaxed);
+      report.migrations.back().new_id = make_id(receiver, local);
+    }
+    migrations_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  report.skew_after = skew_of(capacities());
+  return report;
 }
 
 std::optional<RegisterExecutorMsg> ShardedResourceManager::mark_dead(
@@ -251,13 +493,16 @@ std::optional<RegisterExecutorMsg> ShardedResourceManager::mark_dead(
   const RegisterExecutorMsg info = entry.info;
 
   // Fast reclamation: drop the dead executor's leases without returning
-  // capacity (mark_dead zeroes the counters), mirror the aggregates.
+  // capacity (mark_dead zeroes the counters), mirror the aggregates. A
+  // draining executor's capacity already left the pool at drain time.
   for (auto it = shard.leases.begin(); it != shard.leases.end();) {
     it = it->second.executor == local ? shard.leases.erase(it) : std::next(it);
   }
   shard.lease_count.store(shard.leases.size(), std::memory_order_relaxed);
-  shard.free_workers.fetch_sub(entry.free_workers, std::memory_order_relaxed);
-  shard.total_workers.fetch_sub(entry.total_workers, std::memory_order_relaxed);
+  if (!entry.draining) {
+    shard.free_workers.fetch_sub(entry.free_workers, std::memory_order_relaxed);
+    shard.total_workers.fetch_sub(entry.total_workers, std::memory_order_relaxed);
+  }
   shard.registry.mark_dead(local);
   return info;
 }

@@ -81,6 +81,36 @@ class ShardedResourceManager {
     std::shared_ptr<net::TcpStream> executor_stream;
   };
 
+  /// One manager-initiated lease termination (fast reclamation): the
+  /// capacity is already back in the pool; the control plane still owes
+  /// a LeaseTerminated push to the hosting executor (sandbox teardown)
+  /// and to the owning client's notification stream.
+  struct Eviction {
+    std::uint64_t lease_id = 0;
+    std::uint32_t client_id = 0;
+    std::uint32_t workers = 0;
+    std::uint64_t memory = 0;
+    std::shared_ptr<net::TcpStream> executor_stream;  ///< may be null (core-only)
+  };
+
+  /// One executor moved between shards by rebalance(); the control plane
+  /// uses `stream` to remap its per-stream executor-id table so later
+  /// heartbeat acks land on the new registration.
+  struct Migration {
+    std::uint64_t old_id = 0;
+    std::uint64_t new_id = 0;
+    std::shared_ptr<net::TcpStream> stream;  ///< may be null (core-only)
+  };
+
+  /// Outcome of one rebalance sweep. Skew is max/min schedulable worker
+  /// capacity across shards (1.0 = perfectly balanced).
+  struct RebalanceReport {
+    double skew_before = 1.0;
+    double skew_after = 1.0;
+    std::vector<Migration> migrations;
+    std::vector<Eviction> evictions;  ///< leases evicted off migrated executors
+  };
+
   explicit ShardedResourceManager(const Config& config);
   ~ShardedResourceManager();
 
@@ -138,6 +168,47 @@ class ShardedResourceManager {
   /// lock. Returns the number of leases reclaimed.
   std::size_t sweep_expired(Time now);
 
+  // ---- Manager-initiated reclamation (evict / drain / rebalance) ----
+
+  /// Terminates a live lease ahead of its deadline and returns its
+  /// capacity to the pool. nullopt when the lease is unknown (already
+  /// released, expired, or evicted — eviction races resolve to exactly
+  /// one winner).
+  std::optional<Eviction> evict(std::uint64_t lease_id);
+
+  /// Snapshot of up to `max` live lease ids, shard-major. For eviction
+  /// policies and scenario drivers; ids may be gone again by the time
+  /// they are evicted (evict() then returns nullopt).
+  [[nodiscard]] std::vector<std::uint64_t> active_lease_ids(
+      std::size_t max = static_cast<std::size_t>(-1)) const;
+
+  /// Tenant quota pressure: evicts leases of clients holding more than
+  /// `quota_workers` (never the requester's own) until `workers_needed`
+  /// workers are reclaimed or no over-quota lease remains. Oldest leases
+  /// of each over-quota tenant go first (shard-major id order).
+  std::vector<Eviction> reclaim_quota(std::uint32_t requesting_client,
+                                      std::uint32_t quota_workers,
+                                      std::uint32_t workers_needed);
+
+  /// Drains an executor: evicts every lease it hosts and parks its
+  /// capacity out of the schedulable pool. The host stays alive
+  /// (heartbeats continue) but receives no further placements.
+  std::vector<Eviction> drain_executor(std::uint64_t executor_id);
+
+  /// One rebalance sweep: while the max/min schedulable-capacity skew
+  /// across shards exceeds `max_skew` (and at most `max_moves` times),
+  /// migrates an executor registration from the fullest shard to the
+  /// emptiest. Active leases of a migrated executor are evicted — their
+  /// owners re-allocate (self-healing) and land on the new registration.
+  /// `now` seeds the migrated entries' heartbeat clocks.
+  RebalanceReport rebalance(double max_skew, unsigned max_moves, Time now);
+
+  /// Global id of the alive executor registered for fabric device
+  /// `device` (nullopt when unknown). For scenario drivers that address
+  /// executors by host rather than by registration id.
+  [[nodiscard]] std::optional<std::uint64_t> find_executor_by_device(
+      std::uint32_t device) const;
+
   /// Marks an executor dead, drops its leases and zeroes its capacity.
   /// Returns the executor's registration info when this call was the one
   /// that killed it (for logging), nullopt when it was already dead.
@@ -176,6 +247,14 @@ class ShardedResourceManager {
     return local_grants_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t batches() const { return batches_.load(std::memory_order_relaxed); }
+  /// Manager-initiated lease terminations (evict/drain/rebalance paths).
+  [[nodiscard]] std::uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  /// Executor registrations moved between shards by rebalance().
+  [[nodiscard]] std::uint64_t migrations() const {
+    return migrations_.load(std::memory_order_relaxed);
+  }
 
   /// Per-shard introspection for tests and the single-shard compatibility
   /// accessors of ResourceManager. Not synchronized: call only while no
@@ -189,6 +268,11 @@ class ShardedResourceManager {
   [[nodiscard]] std::size_t shard_lease_count(std::uint32_t shard) const;
   [[nodiscard]] std::uint32_t shard_free_workers(std::uint32_t shard) const {
     return clamp_free(shards_.at(shard)->free_workers.load(std::memory_order_relaxed));
+  }
+  /// Schedulable worker capacity of one shard — the load metric of the
+  /// rebalance sweep.
+  [[nodiscard]] std::uint32_t shard_total_workers(std::uint32_t shard) const {
+    return clamp_free(shards_.at(shard)->total_workers.load(std::memory_order_relaxed));
   }
 
   /// Committed placements, shard-major, executor indices rewritten to
@@ -242,6 +326,15 @@ class ShardedResourceManager {
   std::optional<Grant> grant_on(std::uint32_t shard_index, const ScheduleRequest& request,
                                 std::uint32_t client_id, Duration timeout, Time now);
 
+  /// Under the shard lock: erases every lease hosted by registry index
+  /// `local`, appending Eviction records and bumping the eviction
+  /// counter. Capacity is NOT released back to the entry — drain parks
+  /// it, migration moves it wholesale. Returns the evicted leases'
+  /// total memory (migration folds it back into the moved entry).
+  std::uint64_t evict_hosted_leases(Shard& shard, std::size_t local,
+                                    const std::shared_ptr<net::TcpStream>& stream,
+                                    std::vector<Eviction>& out);
+
   std::vector<std::unique_ptr<Shard>> shards_;
   bool locality_sharding_ = false;  // LocalityFirst: shard executors by rack
   std::atomic<std::uint64_t> next_shard_{0};  // round-robin executor assignment
@@ -252,6 +345,8 @@ class ShardedResourceManager {
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::uint64_t> local_grants_{0};
   std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> migrations_{0};
 };
 
 }  // namespace rfs::rfaas

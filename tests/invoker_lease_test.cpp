@@ -395,6 +395,239 @@ TEST(BatchWire, AllOrNothingRollsBackAndBestEffortDeliversPartials) {
 }
 
 // --------------------------------------------------------------------------
+// Self-healing allocations: manager-initiated eviction, drain, storms
+// --------------------------------------------------------------------------
+
+TEST(SelfHeal, EvictionMigratesTheAllocationTransparently) {
+  cluster::Harness h(small_fleet(/*executors=*/2));
+  h.registry().add_echo();
+  h.start();
+  auto invoker = h.make_invoker();
+
+  InvocationResult before{}, after{};
+  std::size_t live_after_heal = 0;
+  auto scenario = [&]() -> sim::Task<void> {
+    AllocationSpec spec;
+    spec.function_name = "echo";
+    spec.workers = 1;
+    spec.policy = InvocationPolicy::HotAlways;
+    spec.lease_timeout = 30_s;
+    spec.self_heal = true;
+    auto st = co_await invoker->allocate(spec);
+    EXPECT_TRUE(st.ok()) << (st.ok() ? "" : st.error().message);
+    if (!st.ok()) co_return;
+
+    auto in = invoker->input_buffer<std::uint8_t>(64);
+    auto out = invoker->output_buffer<std::uint8_t>(64);
+    before = co_await invoker->invoke(0, in, 16, out);
+
+    // The manager reclaims the allocation's only lease.
+    auto ids = h.rm().core().active_lease_ids();
+    EXPECT_EQ(ids.size(), 1u);
+    EXPECT_EQ(h.rm().evict_leases(ids, TerminationReason::QuotaPressure), 1u);
+
+    co_await sim::delay(2_s);  // push -> heal -> redeploy settles
+    live_after_heal = h.executor(0).live_sandboxes() + h.executor(1).live_sandboxes();
+    after = co_await invoker->invoke(0, in, 16, out);
+    co_await invoker->deallocate();
+  };
+  h.spawn(scenario());
+  h.run_for(20_s);
+
+  EXPECT_TRUE(before.ok);
+  EXPECT_TRUE(after.ok);  // the workload migrated instead of failing
+  EXPECT_EQ(invoker->leases().terminations(), 1u);
+  EXPECT_EQ(invoker->leases().reallocations(), 1u);
+  EXPECT_EQ(invoker->redeployments(), 1u);
+  EXPECT_EQ(live_after_heal, 1u);  // old sandbox reclaimed, one redeployed
+  EXPECT_EQ(h.rm().active_leases(), 0u);  // deallocate released the healed lease
+}
+
+TEST(SelfHeal, EvictVsInvokeRaceRecoversWithinTheLoop) {
+  cluster::Harness h(small_fleet(/*executors=*/2));
+  h.registry().add_echo();
+  h.start();
+  auto invoker = h.make_invoker();
+
+  unsigned ok_count = 0, failures = 0;
+  bool last_ok = false;
+  auto scenario = [&]() -> sim::Task<void> {
+    AllocationSpec spec;
+    spec.function_name = "echo";
+    spec.workers = 1;
+    spec.policy = InvocationPolicy::HotAlways;
+    spec.lease_timeout = 30_s;
+    spec.self_heal = true;
+    auto st = co_await invoker->allocate(spec);
+    EXPECT_TRUE(st.ok()) << (st.ok() ? "" : st.error().message);
+    if (!st.ok()) co_return;
+
+    auto in = invoker->input_buffer<std::uint8_t>(64);
+    auto out = invoker->output_buffer<std::uint8_t>(64);
+    for (int i = 0; i < 60; ++i) {
+      if (i == 20) {
+        // Evict mid-loop: invocations race the teardown + re-allocation.
+        (void)h.rm().evict_leases(h.rm().core().active_lease_ids(),
+                                  TerminationReason::QuotaPressure);
+      }
+      auto r = co_await invoker->invoke(0, in, 16, out);
+      last_ok = r.ok;
+      r.ok ? ++ok_count : ++failures;
+      co_await sim::delay(10_ms);
+    }
+  };
+  h.spawn(scenario());
+  h.run_for(60_s);
+
+  EXPECT_EQ(invoker->leases().reallocations(), 1u);
+  EXPECT_TRUE(last_ok);          // serving again after the heal
+  EXPECT_GE(ok_count, 50u);      // only the heal window can fail
+  EXPECT_LE(failures, 10u);
+}
+
+TEST(SelfHeal, WithoutSelfHealingEvictionKillsTheAllocation) {
+  cluster::Harness h(small_fleet(/*executors=*/2));
+  h.registry().add_echo();
+  h.start();
+  auto invoker = h.make_invoker();
+
+  InvocationResult after{};
+  auto scenario = [&]() -> sim::Task<void> {
+    AllocationSpec spec;
+    spec.function_name = "echo";
+    spec.workers = 1;
+    spec.policy = InvocationPolicy::HotAlways;
+    spec.lease_timeout = 30_s;
+    spec.auto_renew = true;  // renewing, but not self-healing
+    auto st = co_await invoker->allocate(spec);
+    EXPECT_TRUE(st.ok()) << (st.ok() ? "" : st.error().message);
+    if (!st.ok()) co_return;
+
+    (void)h.rm().evict_leases(h.rm().core().active_lease_ids(),
+                              TerminationReason::QuotaPressure);
+    co_await sim::delay(2_s);
+    auto in = invoker->input_buffer<std::uint8_t>(64);
+    auto out = invoker->output_buffer<std::uint8_t>(64);
+    after = co_await invoker->invoke(0, in, 16, out);
+  };
+  h.spawn(scenario());
+  // Long enough for the renewal actor to notice: its ExtendLease at
+  // ~22.5 s (margin = TTL/4) is refused — the client's first signal.
+  h.run_for(40_s);
+
+  EXPECT_FALSE(after.ok);  // the failing control of fig15
+  EXPECT_EQ(invoker->leases().reallocations(), 0u);
+  EXPECT_GE(invoker->leases().losses(), 1u);
+}
+
+TEST(SelfHeal, DrainMigratesTheSandboxOffTheDrainedHost) {
+  cluster::Harness h(small_fleet(/*executors=*/2));
+  h.registry().add_echo();
+  h.start();
+  auto invoker = h.make_invoker();
+
+  InvocationResult after{};
+  auto scenario = [&]() -> sim::Task<void> {
+    AllocationSpec spec;
+    spec.function_name = "echo";
+    spec.workers = 1;
+    spec.policy = InvocationPolicy::HotAlways;
+    spec.lease_timeout = 30_s;
+    spec.self_heal = true;
+    auto st = co_await invoker->allocate(spec);
+    EXPECT_TRUE(st.ok()) << (st.ok() ? "" : st.error().message);
+    if (!st.ok()) co_return;
+    // Round-robin placement put the sandbox on executor 0; drain it.
+    EXPECT_EQ(h.executor(0).live_sandboxes(), 1u);
+    auto evicted = h.drain_executor(0);
+    EXPECT_TRUE(evicted.has_value());
+    if (evicted.has_value()) EXPECT_EQ(*evicted, 1u);
+
+    co_await sim::delay(2_s);
+    auto in = invoker->input_buffer<std::uint8_t>(64);
+    auto out = invoker->output_buffer<std::uint8_t>(64);
+    after = co_await invoker->invoke(0, in, 16, out);
+  };
+  h.spawn(scenario());
+  h.run_for(20_s);
+
+  EXPECT_TRUE(after.ok);
+  EXPECT_EQ(invoker->leases().terminations(), 1u);
+  EXPECT_EQ(invoker->leases().reallocations(), 1u);
+  // The replacement could only land on the other host.
+  EXPECT_EQ(h.executor(0).live_sandboxes(), 0u);
+  EXPECT_EQ(h.executor(1).live_sandboxes(), 1u);
+}
+
+TEST(SelfHealWorkload, SurvivesAnEvictionStorm) {
+  auto spec = cluster::ScenarioSpec::uniform(/*executors=*/8, /*cores=*/8, 32ull << 30,
+                                             /*clients=*/4);
+  spec.config.manager_shards = 2;
+  cluster::Harness h(spec);
+  h.start();
+
+  cluster::LeaseWorkload workload;
+  workload.workers_min = 1;
+  workload.workers_max = 4;
+  workload.memory_per_worker = 64ull << 20;
+  workload.hold_min = 1_s;
+  workload.hold_max = 4_s;
+  workload.think_min = 50_ms;
+  workload.think_max = 300_ms;
+  workload.lease_timeout = 5_s;
+  workload.auto_renew = true;
+  workload.subscribe_events = true;
+  workload.self_heal = true;
+  workload.seed = 11;
+
+  auto storm = h.start_eviction_storm(/*period=*/100_ms, /*leases_per_tick=*/1,
+                                      /*duration=*/10_s);
+  auto trace = h.run_lease_workload(workload, /*horizon=*/15_s);
+
+  EXPECT_GT(storm->evicted, 0u);
+  EXPECT_GT(trace.terminations, 0u);
+  EXPECT_GE(trace.survival_pct(), 99.0);  // lost leases were replaced
+  EXPECT_GT(trace.reclaim_latency_percentile(99), 0.0);
+  // Everything drains once holds end and renewals stop: no leaked
+  // replacements, no stranded capacity.
+  h.run_for(30_s);
+  EXPECT_EQ(h.rm().active_leases(), 0u);
+  EXPECT_EQ(h.rm().free_workers_total(), h.rm().total_workers());
+}
+
+// --------------------------------------------------------------------------
+// Renewal-aware billing: the full renewed span accrues, not the original
+// --------------------------------------------------------------------------
+
+TEST(Billing, RenewedAllocationSpanKeepsAccruing) {
+  cluster::Harness h(small_fleet());
+  h.registry().add_echo();
+  h.start();
+  auto invoker = h.make_invoker();
+
+  auto scenario = [&]() -> sim::Task<void> {
+    AllocationSpec spec;
+    spec.function_name = "echo";
+    spec.workers = 1;
+    spec.memory_per_worker = 64ull << 20;
+    spec.lease_timeout = 2_s;
+    spec.auto_renew = true;
+    spec.renew_margin = 500_ms;
+    auto st = co_await invoker->allocate(spec);
+    EXPECT_TRUE(st.ok()) << (st.ok() ? "" : st.error().message);
+  };
+  h.spawn(scenario());
+  h.run_for(10_s);
+
+  // Still held (renewals keep it alive) — and still billed: ~10 s of a
+  // 64 MiB reservation. Billing the original 2 s span only would cap at
+  // 64 MiB x 2000 ms; billing at teardown only would read zero here.
+  EXPECT_EQ(h.rm().active_leases(), 1u);
+  const auto usage = h.rm().billing().usage(invoker->client_id());
+  EXPECT_GT(usage.allocation_mib_ms, 64ull * 5000);
+}
+
+// --------------------------------------------------------------------------
 // Harness churn workload: leases outlive the TTL with zero expiries
 // --------------------------------------------------------------------------
 

@@ -61,6 +61,12 @@ std::vector<Bytes> sample_messages() {
   granted.error = "";
   msgs.push_back(encode(granted));
   msgs.push_back(encode(LeaseRenewedMsg{(3ull << 48) | 5, 120_s}));
+  LeaseTerminatedMsg term;
+  term.lease_id = (2ull << 48) | 9;
+  term.reason = static_cast<std::uint8_t>(TerminationReason::Rebalance);
+  term.evicted_at = 45_s;
+  msgs.push_back(encode(term));
+  msgs.push_back(encode(SubscribeEventsMsg{77}));
   return msgs;
 }
 
@@ -83,6 +89,8 @@ int accepted_by_any(const Bytes& raw) {
   n += decode_batch_allocate(raw).ok();
   n += decode_batch_granted(raw).ok();
   n += decode_lease_renewed(raw).ok();
+  n += decode_lease_terminated(raw).ok();
+  n += decode_subscribe_events(raw).ok();
   return n;
 }
 

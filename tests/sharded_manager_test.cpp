@@ -328,6 +328,224 @@ TEST(RenewalRace, SweepAtTheOldDeadlineAfterRenewDoesNotReap) {
 }
 
 // --------------------------------------------------------------------------
+// Manager-initiated reclamation: evict, quota pressure, drain, rebalance
+// --------------------------------------------------------------------------
+
+TEST(Eviction, ReturnsCapacityAndResolvesRacesToOneWinner) {
+  SRM m(sharded_config(2));
+  m.add_executor(entry(4));
+  auto g = m.grant(request(3), /*client=*/7, /*timeout=*/1000, /*now=*/0);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(m.free_workers_total(), 1u);
+
+  auto ev = m.evict(g->lease_id);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->lease_id, g->lease_id);
+  EXPECT_EQ(ev->client_id, 7u);
+  EXPECT_EQ(ev->workers, 3u);
+  EXPECT_EQ(m.free_workers_total(), 4u);
+  EXPECT_EQ(m.active_leases(), 0u);
+  EXPECT_EQ(m.evictions(), 1u);
+  // Second eviction, release and renew of the evicted lease all miss.
+  EXPECT_FALSE(m.evict(g->lease_id).has_value());
+  EXPECT_FALSE(m.release(g->lease_id));
+  EXPECT_FALSE(m.renew(g->lease_id, 9999).has_value());
+  EXPECT_FALSE(m.evict(SRM::make_id(9, 1)).has_value());  // bogus shard
+}
+
+TEST(Eviction, QuotaPressureEvictsOverQuotaTenantsOnly) {
+  SRM m(sharded_config(2));
+  m.add_executor(entry(8));
+  m.add_executor(entry(8));
+  // Tenant 1 hogs 12 workers over three leases; tenant 2 holds 2.
+  std::vector<std::uint64_t> hog;
+  for (int i = 0; i < 3; ++i) {
+    auto g = m.grant(request(4), /*client=*/1, 1000, 0);
+    ASSERT_TRUE(g.has_value());
+    hog.push_back(g->lease_id);
+  }
+  auto small = m.grant(request(2), /*client=*/2, 1000, 0);
+  ASSERT_TRUE(small.has_value());
+
+  // Requester 3 needs 6 workers; quota is 4: only tenant 1's leases may
+  // go, and only until 6 workers are reclaimed (or it drops to quota).
+  auto evicted = m.reclaim_quota(/*requesting_client=*/3, /*quota_workers=*/4,
+                                 /*workers_needed=*/6);
+  ASSERT_EQ(evicted.size(), 2u);
+  for (const auto& ev : evicted) EXPECT_EQ(ev.client_id, 1u);
+  EXPECT_TRUE(m.release(small->lease_id));  // tenant 2 untouched
+  // Tenant 1 keeps exactly one lease (4 workers = its quota).
+  EXPECT_EQ(m.active_leases(), 1u);
+
+  // Nothing over quota: nothing to reclaim.
+  EXPECT_TRUE(m.reclaim_quota(3, 4, 6).empty());
+}
+
+TEST(Eviction, DrainEvictsLeasesAndParksCapacity) {
+  SRM m(sharded_config(2));
+  const auto e0 = m.add_executor(entry(4));  // shard 0
+  m.add_executor(entry(4));                  // shard 1
+  auto g = m.grant(request(2), /*client=*/1, 1000, 0, /*routed=*/0u);
+  ASSERT_TRUE(g.has_value());
+
+  auto evicted = m.drain_executor(e0);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].lease_id, g->lease_id);
+  // The drained host's capacity left the pool entirely.
+  EXPECT_EQ(m.shard_free_workers(0), 0u);
+  EXPECT_EQ(m.shard_total_workers(0), 0u);
+  EXPECT_EQ(m.free_workers_total(), 4u);
+  EXPECT_EQ(m.active_leases(), 0u);
+  EXPECT_EQ(m.alive_count(), 2u);  // still alive, just not schedulable
+  // Late release of an already-evicted lease must not resurrect workers.
+  EXPECT_FALSE(m.release(g->lease_id));
+  EXPECT_EQ(m.shard_free_workers(0), 0u);
+  // New placements route around the drained host (stealing if needed).
+  auto g2 = m.grant(request(4), 1, 1000, 0, /*routed=*/0u);
+  ASSERT_TRUE(g2.has_value());
+  EXPECT_EQ(g2->shard, 1u);
+  // Draining twice (or a dead executor) is a no-op.
+  EXPECT_TRUE(m.drain_executor(e0).empty());
+  // Death of a draining host must not drift the aggregates.
+  EXPECT_TRUE(m.mark_dead(e0).has_value());
+  EXPECT_EQ(m.shard_total_workers(0), 0u);
+  EXPECT_EQ(m.total_workers(), 4u);
+}
+
+TEST(Rebalance, MigratesCapacityFromFullestToEmptiestShard) {
+  SRM m(sharded_config(4));
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 16; ++i) ids.push_back(m.add_executor(entry(8)));  // 4 per shard
+  // Leases on shard 0, so a migration off it must evict them.
+  auto g = m.grant(request(2), /*client=*/1, 1000, 0, /*routed=*/0u);
+  ASSERT_TRUE(g.has_value());
+  // Capacity evaporates from shards 2/3: three of four die in each.
+  for (const auto id : ids) {
+    if (SRM::id_shard(id) >= 2 && SRM::id_low(id) >= 1) (void)m.mark_dead(id);
+  }
+  EXPECT_EQ(m.shard_total_workers(2), 8u);
+  const double skew_before = 32.0 / 8.0;
+
+  auto report = m.rebalance(/*max_skew=*/1.3, /*max_moves=*/8, /*now=*/42);
+  EXPECT_DOUBLE_EQ(report.skew_before, skew_before);
+  EXPECT_LT(report.skew_after, report.skew_before);
+  EXPECT_FALSE(report.migrations.empty());
+  EXPECT_EQ(m.migrations(), report.migrations.size());
+  // Total schedulable capacity is conserved across the sweep.
+  EXPECT_EQ(m.total_workers(), 8u * 16u - 8u * 6u);
+  EXPECT_EQ(m.free_workers_total(), m.total_workers());  // leases evicted
+
+  // The evicted lease belongs to a migrated executor and is unknown now.
+  bool lease_evicted = false;
+  for (const auto& ev : report.evictions) lease_evicted |= ev.lease_id == g->lease_id;
+  if (lease_evicted) EXPECT_FALSE(m.release(g->lease_id));
+
+  // Migrated registrations serve grants from their new shards.
+  for (const auto& mig : report.migrations) {
+    EXPECT_NE(SRM::id_shard(mig.old_id), SRM::id_shard(mig.new_id));
+    auto g2 = m.grant(request(1), 1, 1000, 0, /*routed=*/SRM::id_shard(mig.new_id));
+    ASSERT_TRUE(g2.has_value());
+    EXPECT_TRUE(m.release(g2->lease_id));
+  }
+  // Balanced within threshold: another sweep is a no-op.
+  auto again = m.rebalance(1.3, 8, 43);
+  EXPECT_TRUE(again.migrations.empty());
+  EXPECT_DOUBLE_EQ(again.skew_before, report.skew_after);
+}
+
+// --------------------------------------------------------------------------
+// Eviction races (threaded): evict-vs-renew and evict-vs-grant
+// --------------------------------------------------------------------------
+
+TEST(EvictionRace, ConcurrentEvictAndRenewResolveToOneOutcome) {
+  constexpr unsigned kRounds = 500;
+  SRM m(sharded_config(4));
+  for (int i = 0; i < 8; ++i) m.add_executor(entry(16));
+  const std::uint32_t total = m.free_workers_total();
+
+  // Each round grants one lease per shard, then a renewer hammers them
+  // while an evictor takes them down. Whatever the interleaving, every
+  // lease must end exactly once (the eviction wins it or the release
+  // does), renewals of a gone lease must fail cleanly, and no capacity
+  // may be lost or invented.
+  for (unsigned round = 0; round < kRounds / 50; ++round) {
+    std::vector<std::uint64_t> held;
+    for (std::uint32_t s = 0; s < 4; ++s) {
+      for (int i = 0; i < 4; ++i) {
+        auto g = m.grant(request(2), /*client=*/1, /*timeout=*/1'000'000, /*now=*/0, s);
+        ASSERT_TRUE(g.has_value());
+        held.push_back(g->lease_id);
+      }
+    }
+    std::atomic<std::uint64_t> renew_wins{0};
+    std::thread renewer([&m, &held, &renew_wins] {
+      for (unsigned i = 0; i < 50; ++i) {
+        for (const auto id : held) {
+          if (m.renew(id, 2'000'000 + i).has_value()) {
+            renew_wins.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+    std::thread evictor([&m, &held] {
+      for (const auto id : held) {
+        (void)m.evict(id);
+      }
+    });
+    renewer.join();
+    evictor.join();
+    // The evictor visited every lease: all of them are gone, all
+    // capacity is back, however many renewals squeezed in between.
+    EXPECT_EQ(m.active_leases(), 0u);
+    EXPECT_EQ(m.free_workers_total(), total);
+    for (const auto id : held) EXPECT_FALSE(m.renew(id, 9'000'000).has_value());
+  }
+}
+
+TEST(EvictionRace, StormAgainstGrantsAndReleasesConservesCapacity) {
+  constexpr unsigned kThreads = 4;
+  constexpr unsigned kIterations = 300;
+  SRM m(sharded_config(4, SchedulingPolicy::PowerOfTwoChoices));
+  for (int i = 0; i < 8; ++i) m.add_executor(entry(32));
+  const std::uint32_t total = m.free_workers_total();
+
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&m, t] {
+      std::vector<std::uint64_t> held;
+      for (unsigned i = 0; i < kIterations; ++i) {
+        auto g = m.grant(request(1 + (i + t) % 3), t, /*timeout=*/1'000'000, /*now=*/i);
+        if (g) held.push_back(g->lease_id);
+        if (held.size() > 6) {
+          // Alternate releasing and evicting our own backlog; both paths
+          // return capacity exactly once.
+          const auto id = held.front();
+          held.erase(held.begin());
+          if (i % 2 == 0) {
+            (void)m.release(id);
+          } else {
+            (void)m.evict(id);
+          }
+        }
+      }
+      for (const auto id : held) (void)m.release(id);
+    });
+  }
+  // A storm thread evicts random snapshots out from under the workers.
+  threads.emplace_back([&m] {
+    for (unsigned i = 0; i < 2 * kIterations; ++i) {
+      auto ids = m.active_lease_ids(/*max=*/4);
+      for (const auto id : ids) (void)m.evict(id);
+    }
+  });
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(m.active_leases(), 0u);
+  EXPECT_EQ(m.free_workers_total(), total);
+  EXPECT_GT(m.evictions(), 0u);
+}
+
+// --------------------------------------------------------------------------
 // Locality-first shard routing
 // --------------------------------------------------------------------------
 
@@ -550,6 +768,87 @@ TEST(ShardedHarness, MultiTenantTraceSplitsPerTenant) {
             trace.tenants[0].granted + trace.tenants[1].granted);
   EXPECT_EQ(trace.aggregate.grant_latency.size(), trace.aggregate.granted);
   EXPECT_GT(trace.aggregate.grant_latency_percentile(99), 0.0);
+}
+
+TEST(ShardedHarness, QuotaPressureEvictsAndRetriesOverTheWire) {
+  auto spec = cluster::ScenarioSpec::uniform(/*executors=*/1, /*cores=*/8,
+                                             /*memory_bytes=*/32ull << 30, /*clients=*/2);
+  spec.config.tenant_quota_workers = 4;
+  cluster::Harness h(spec);
+  h.start();
+
+  auto acquire = [](cluster::Harness* hp, std::shared_ptr<net::TcpStream> stream,
+                    std::uint32_t client, std::uint32_t workers)
+      -> sim::Task<Result<LeaseGrantMsg>> {
+    LeaseRequestMsg req;
+    req.client_id = client;
+    req.workers = workers;
+    req.memory_bytes = 64ull << 20;
+    req.timeout = 60_s;
+    stream->send(encode(req));
+    auto raw = co_await stream->recv();
+    (void)hp;
+    if (!raw.has_value()) co_return Error::make(1, "stream closed");
+    co_return decode_lease_grant(*raw);
+  };
+
+  auto scenario = [&]() -> sim::Task<void> {
+    auto a = co_await h.tcp().connect(h.client_device(0).id(), h.rm().device().id(),
+                                      h.rm().port());
+    auto b = co_await h.tcp().connect(h.client_device(1).id(), h.rm().device().id(),
+                                      h.rm().port());
+    EXPECT_TRUE(a.ok() && b.ok());
+    if (!a.ok() || !b.ok()) co_return;
+
+    // Tenant 1 hogs the whole 8-worker fleet, double its quota of 4.
+    auto a1 = co_await acquire(&h, a.value(), /*client=*/1, 4);
+    auto a2 = co_await acquire(&h, a.value(), /*client=*/1, 4);
+    EXPECT_TRUE(a1.ok() && a2.ok());
+    EXPECT_EQ(h.rm().free_workers_total(), 0u);
+
+    // Tenant 2's request would be denied for capacity — quota pressure
+    // evicts one of tenant 1's leases and the retry grants it.
+    auto b1 = co_await acquire(&h, b.value(), /*client=*/2, 4);
+    EXPECT_TRUE(b1.ok());
+    if (b1.ok()) EXPECT_EQ(b1.value().workers, 4u);
+    EXPECT_EQ(h.rm().core().evictions(), 1u);
+  };
+  h.spawn(scenario());
+  h.run_for(5_s);
+  EXPECT_EQ(h.rm().active_leases(), 2u);  // one of tenant 1's + tenant 2's
+}
+
+TEST(ShardedHarness, PeriodicRebalanceRestoresBalanceAfterCrashes) {
+  auto spec = cluster::ScenarioSpec::uniform(/*executors=*/8, /*cores=*/4,
+                                             /*memory_bytes=*/16ull << 30, /*clients=*/4);
+  spec.config.manager_shards = 4;  // two executors per shard
+  spec.config.rebalance_period = 500_ms;
+  spec.config.rebalance_max_skew = 1.5;
+  cluster::Harness h(spec);
+  h.start();
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    ASSERT_EQ(h.rm().core().shard_total_workers(s), 8u) << "shard " << s;
+  }
+
+  // Both executors of shards 2 and 3 crash (registration is round-robin,
+  // so executor index i lands on shard i % 4).
+  for (std::size_t i : {std::size_t{2}, std::size_t{3}, std::size_t{6}, std::size_t{7}}) {
+    h.executor(i).stop(/*crash=*/true);
+  }
+  h.run_for(3_s);  // disconnect reclamation + a few rebalance sweeps
+
+  // The sweep spread the four survivors back over all shards.
+  EXPECT_GE(h.rm().core().migrations(), 2u);
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(h.rm().core().shard_total_workers(s), 4u) << "shard " << s;
+  }
+
+  // Migrated executors keep answering heartbeats under their new ids —
+  // nobody gets falsely reaped — and the fleet still serves leases.
+  h.run_for(5_s);
+  EXPECT_EQ(h.rm().alive_executors(), 4u);
+  auto trace = h.run_lease_workload(quick_workload(), /*horizon=*/5_s);
+  EXPECT_GT(trace.granted, 0u);
 }
 
 TEST(ShardedHarness, ExtendLeaseOverTheWire) {
