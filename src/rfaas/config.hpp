@@ -139,6 +139,12 @@ struct Config {
   Duration rebalance_period = 0;
   double rebalance_max_skew = 1.5;
   unsigned rebalance_max_moves = 4;
+  /// Storm-aware backoff of the periodic rebalance sweep: a sweep is
+  /// skipped while the manager's eviction counter rose since the last
+  /// one (an eviction storm is reshaping load — migrating executors
+  /// mid-storm would evict yet more leases into the chaos and chase a
+  /// moving skew). Manual rebalance_now() calls are never skipped.
+  bool rebalance_storm_backoff = true;
 
   /// Lease scheduling policy and its knobs.
   SchedulingPolicy scheduling = SchedulingPolicy::RoundRobin;

@@ -28,6 +28,7 @@ LeaseSet::~LeaseSet() {
   state_->expired_fn = nullptr;
   state_->terminated_fn = nullptr;
   state_->reallocated_fn = nullptr;
+  state_->chain_extended_fn = nullptr;
 }
 
 void LeaseSet::bind(std::shared_ptr<net::TcpStream> rm_stream,
@@ -64,7 +65,12 @@ void LeaseSet::track(std::uint64_t lease_id, Time expires_at, Duration original_
 bool LeaseSet::untrack(std::uint64_t lease_id) {
   auto it = state_->leases.find(lease_id);
   if (it == state_->leases.end()) return false;
-  state_->current_of_origin.erase(it->second.origin);
+  // Only the chain's primary tears the origin mapping down: untracking a
+  // secondary (partial-heal) lease must not orphan the chain.
+  auto cur = state_->current_of_origin.find(it->second.origin);
+  if (cur != state_->current_of_origin.end() && cur->second == lease_id) {
+    state_->current_of_origin.erase(cur);
+  }
   state_->leases.erase(it);
   return true;
 }
@@ -77,6 +83,23 @@ std::uint64_t LeaseSet::resolve(std::uint64_t origin) const {
 std::uint64_t LeaseSet::abandon(std::uint64_t origin) {
   const std::uint64_t current = resolve(origin);
   if (state_->healing.count(origin) > 0) state_->canceled.insert(origin);
+  // Secondary chain leases (partial heals) are released here directly:
+  // the caller only learns the primary id, and ReleaseResources is
+  // fire-and-forget so this needs no request/response slot.
+  for (auto it = state_->leases.begin(); it != state_->leases.end();) {
+    if (it->second.origin != origin || it->first == current) {
+      ++it;
+      continue;
+    }
+    ReleaseResourcesMsg rel;
+    rel.lease_id = it->first;
+    rel.workers = it->second.workers;
+    rel.memory_bytes = it->second.memory_per_worker * it->second.workers;
+    if (state_->stream != nullptr && !state_->stream->closed()) {
+      state_->stream->send(encode(rel));
+    }
+    it = state_->leases.erase(it);
+  }
   state_->leases.erase(current);
   state_->current_of_origin.erase(origin);
   return current;
@@ -107,6 +130,9 @@ void LeaseSet::on_renewal_failed(RenewalFailedFn fn) {
 void LeaseSet::on_expired(ExpiredFn fn) { state_->expired_fn = std::move(fn); }
 void LeaseSet::on_terminated(TerminatedFn fn) { state_->terminated_fn = std::move(fn); }
 void LeaseSet::on_reallocated(ReallocatedFn fn) { state_->reallocated_fn = std::move(fn); }
+void LeaseSet::on_chain_extended(ReallocatedFn fn) {
+  state_->chain_extended_fn = std::move(fn);
+}
 
 std::size_t LeaseSet::size() const { return state_->leases.size(); }
 
@@ -154,7 +180,10 @@ void LeaseSet::maybe_heal(const std::shared_ptr<State>& state, std::uint64_t old
       state->request_mutex == nullptr) {
     return;
   }
-  if (!state->healing.insert(lost.origin).second) return;  // already healing
+  // A lost lease is erased from the table before this runs, so the same
+  // loss never heals twice; losses of different chain members (partial
+  // heals) may overlap, hence a per-origin count rather than a set.
+  ++state->healing[lost.origin];
   sim::spawn(*state->engine, heal(state, old_id, lost));
 }
 
@@ -185,10 +214,14 @@ sim::Task<void> LeaseSet::notify_loop(std::shared_ptr<State> state,
 sim::Task<void> LeaseSet::heal(std::shared_ptr<State> state, std::uint64_t old_id,
                                Tracked lost) {
   Duration backoff = std::max<Duration>(1_us, state->options.realloc_backoff);
-  bool healed = false;
+  std::uint32_t remaining = lost.workers;
+  bool healed = false;    // at least one replacement grant landed
   bool canceled = false;
-  for (unsigned attempt = 0; attempt < std::max(1u, state->options.realloc_budget);
-       ++attempt) {
+  // Denials consume the budget; successful (possibly partial) grants do
+  // not — a partial replacement immediately re-requests the remainder,
+  // so a lost 8-worker lease replaced 3+3+2 costs zero budget.
+  unsigned denials = 0;
+  while (remaining > 0 && denials < std::max(1u, state->options.realloc_budget)) {
     if (!state->healing_enabled || state->canceled.count(lost.origin) > 0) {
       canceled = true;
       break;
@@ -198,7 +231,7 @@ sim::Task<void> LeaseSet::heal(std::shared_ptr<State> state, std::uint64_t old_i
     co_await state->request_mutex->lock();
     LeaseRequestMsg req;
     req.client_id = state->client_id;
-    req.workers = lost.workers;
+    req.workers = remaining;
     req.memory_bytes = lost.memory_per_worker;
     req.timeout = lost.original_timeout;
     state->stream->send(encode(req));
@@ -222,22 +255,43 @@ sim::Task<void> LeaseSet::heal(std::shared_ptr<State> state, std::uint64_t old_i
       }
       Tracked replacement = lost;
       replacement.expires_at = g.expires_at;
-      replacement.workers = g.workers;  // partial replacements stay partial
+      replacement.workers = g.workers;
       state->leases[g.lease_id] = replacement;
-      state->current_of_origin[lost.origin] = g.lease_id;
-      ++state->reallocations;
+      // The first grant takes the lost lease's chain slot (primary when
+      // the lost lease was the primary); further partial grants join the
+      // chain as secondaries and are released with it at abandon().
+      if (!healed) {
+        auto cur = state->current_of_origin.find(lost.origin);
+        if (cur != state->current_of_origin.end() && cur->second == old_id) {
+          cur->second = g.lease_id;
+        }
+      }
       state->wake.set();  // the replacement may be the next renewal due
-      if (state->reallocated_fn) state->reallocated_fn(old_id, g);
-      healed = true;
-      break;
+      if (!healed) {
+        // One reallocation per lost lease, however many grants replace it.
+        ++state->reallocations;
+        healed = true;
+        if (state->reallocated_fn) state->reallocated_fn(old_id, g);
+      } else if (state->chain_extended_fn) {
+        // Remainder grant: a deployment event (the owner still has to
+        // put a sandbox on it), not a second healed lease.
+        state->chain_extended_fn(old_id, g);
+      }
+      old_id = g.lease_id;  // a further remainder grant chains off this one
+      remaining -= std::min(remaining, g.workers);
+      continue;
     }
     // Denied (transient exhaustion while the evicted capacity settles):
     // back off exponentially within the budget.
+    ++denials;
     co_await sim::delay(backoff);
     backoff *= 2;
   }
-  state->healing.erase(lost.origin);
-  state->canceled.erase(lost.origin);
+  auto in_flight = state->healing.find(lost.origin);
+  if (in_flight != state->healing.end() && --in_flight->second == 0) {
+    state->healing.erase(in_flight);
+    state->canceled.erase(lost.origin);
+  }
   if (!healed && !canceled) ++state->realloc_failures;
 }
 
@@ -400,13 +454,27 @@ sim::Task<Status> Invoker::allocate(const AllocationSpec& spec) {
     // manager's LeaseTerminated pushes, and a re-allocated lease gets
     // its sandbox redeployed with the spec of the allocate() call that
     // created it (looked up by the lost lease's id).
-    lease_set_->on_reallocated([this](std::uint64_t old_id, const LeaseGrantMsg& grant) {
+    // Both callbacks look the spec up under the grant they chain off:
+    // on_reallocated's old_id is the LOST lease (its entry is dead —
+    // erase it, keeping the map bounded under sustained healing), while
+    // on_chain_extended's old_id is the previous partial grant, which
+    // is alive and may be lost and healed itself later — keep its entry.
+    auto redeploy_grant = [this](std::uint64_t old_id, const LeaseGrantMsg& grant,
+                                 bool erase_old) {
       auto it = lease_specs_.find(old_id);
       if (it == lease_specs_.end()) return;
       auto lease_spec = it->second;
-      lease_specs_.erase(it);
+      if (erase_old) lease_specs_.erase(it);
       lease_specs_[grant.lease_id] = lease_spec;
       sim::spawn(engine_, redeploy(*lease_spec, grant));
+    };
+    lease_set_->on_reallocated([redeploy_grant](std::uint64_t old_id,
+                                                const LeaseGrantMsg& grant) {
+      redeploy_grant(old_id, grant, /*erase_old=*/true);
+    });
+    lease_set_->on_chain_extended([redeploy_grant](std::uint64_t old_id,
+                                                   const LeaseGrantMsg& grant) {
+      redeploy_grant(old_id, grant, /*erase_old=*/false);
     });
     if (notify_stream_ == nullptr || notify_stream_->closed()) {
       // One listener per connection: subscribe() spawns the notify

@@ -40,11 +40,17 @@ struct LeaseSetOptions {
   /// Self-healing: when a tracked lease is terminated by the manager
   /// (LeaseTerminated push) or lost to expiry/refused renewal, request a
   /// replacement lease of the same shape instead of surfacing a dead
-  /// allocation. Requires subscribe() and tracked lease shapes.
+  /// allocation. A replacement grant smaller than the lost lease does
+  /// not end the heal: the remainder is re-requested until the lost
+  /// worker count is fully replaced (or the budget runs out), and every
+  /// partial grant joins the lease chain. Requires subscribe() and
+  /// tracked lease shapes.
   bool self_heal = false;
-  /// Re-allocation attempts per lost lease before giving up.
+  /// Denied re-allocation requests per lost lease before giving up.
+  /// Successful (even partial) grants consume none of the budget — a
+  /// partial replacement re-requests its remainder for free.
   unsigned realloc_budget = 4;
-  /// Backoff before the second attempt; doubles per further attempt.
+  /// Backoff after the first denial; doubles per further denial.
   Duration realloc_backoff = 20_ms;
 };
 
@@ -72,6 +78,9 @@ class LeaseSet {
       std::function<void(std::uint64_t lease_id, TerminationReason reason, Time evicted_at)>;
   /// A lost lease was transparently replaced: `grant` is the new lease
   /// (already tracked). Owners deploy sandboxes/workers onto it here.
+  /// Fires once per lost lease; when the replacement was partial, each
+  /// further remainder grant fires the chain-extended callback instead
+  /// (same signature, `old_lease_id` = the grant it chains off).
   using ReallocatedFn =
       std::function<void(std::uint64_t old_lease_id, const LeaseGrantMsg& grant)>;
 
@@ -115,7 +124,10 @@ class LeaseSet {
   /// Gives up the lease chain started by `origin`: cancels any
   /// re-allocation in flight (a late replacement grant is released, not
   /// tracked), untracks the current lease and returns its id so the
-  /// holder can release it with the manager.
+  /// holder can release it with the manager. Secondary chain leases —
+  /// partial heals fan a chain out over several grants — are untracked
+  /// and released to the manager directly (ReleaseResources is
+  /// fire-and-forget, so no request/response slot is consumed).
   std::uint64_t abandon(std::uint64_t origin);
 
   /// Spawns the renewal actor (idempotent). bind() must have been called.
@@ -131,6 +143,9 @@ class LeaseSet {
   void on_expired(ExpiredFn fn);
   void on_terminated(TerminatedFn fn);
   void on_reallocated(ReallocatedFn fn);
+  /// Remainder grant of a partial heal joined a chain (deploy a sandbox
+  /// onto it, but do not count a second healed lease).
+  void on_chain_extended(ReallocatedFn fn);
 
   [[nodiscard]] std::size_t size() const;
   /// Deadline of the earliest-expiring tracked lease (0 when empty).
@@ -194,16 +209,20 @@ class LeaseSet {
     /// cleared by stop() and the destructor so in-flight re-allocations
     /// retire instead of touching a torn-down owner.
     bool healing_enabled = false;
-    /// origin -> current lease id of every tracked chain.
+    /// origin -> current *primary* lease id of every tracked chain (a
+    /// partially healed chain may track further secondary leases that
+    /// share the origin).
     std::map<std::uint64_t, std::uint64_t> current_of_origin;
-    /// Origins with a re-allocation in flight / canceled mid-heal.
-    std::set<std::uint64_t> healing;
+    /// In-flight heal actors per origin (secondary losses of the same
+    /// chain heal concurrently) / origins canceled mid-heal.
+    std::map<std::uint64_t, unsigned> healing;
     std::set<std::uint64_t> canceled;
     RenewedFn renewed_fn;
     RenewalFailedFn renewal_failed_fn;
     ExpiredFn expired_fn;
     TerminatedFn terminated_fn;
     ReallocatedFn reallocated_fn;
+    ReallocatedFn chain_extended_fn;
   };
 
   static sim::Task<void> renew_loop(std::shared_ptr<State> state, std::uint64_t epoch);
@@ -248,9 +267,10 @@ struct AllocationSpec {
   /// instead of failing. Implies auto-renewal: a self-healing allocation
   /// stays alive until deallocate().
   bool self_heal = false;
-  /// Re-allocation attempts per lost lease before giving up.
+  /// Denied re-allocation requests per lost lease before giving up
+  /// (successful partial grants consume none of the budget).
   unsigned realloc_budget = 4;
-  /// Initial re-allocation backoff (doubles per attempt).
+  /// Initial re-allocation backoff (doubles per denial).
   Duration realloc_backoff = 20_ms;
 };
 

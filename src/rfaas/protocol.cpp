@@ -32,6 +32,27 @@ Result<ByteReader> open(const Bytes& raw, MsgType expected) {
   }
   return r;
 }
+
+// Fixed-layout fast path: sequential memcpy at compile-time offsets, one
+// bounds check per message, no intermediate writer/reader state. The
+// byte stream is identical to what ByteWriter produced for these
+// messages, so old and new encodings interoperate.
+inline std::uint8_t* put(std::uint8_t* p, const void* v, std::size_t n) {
+  std::memcpy(p, v, n);
+  return p + n;
+}
+
+template <typename T>
+inline const std::uint8_t* take(const std::uint8_t* p, T& v) {
+  std::memcpy(&v, p, sizeof(T));
+  return p + sizeof(T);
+}
+
+/// One shared bounds-and-type check for the fixed-size decoders.
+inline bool open_fixed(std::span<const std::uint8_t> raw, MsgType expected,
+                       std::size_t wire_size) {
+  return raw.size() >= wire_size && raw[0] == static_cast<std::uint8_t>(expected);
+}
 }  // namespace
 
 Bytes encode(MsgType type) { return header(type).take(); }
@@ -54,13 +75,52 @@ Bytes encode(const RegisterOkMsg& m) {
   return w.take();
 }
 
+std::size_t encode_into(const LeaseRequestMsg& m, std::uint8_t* out, std::size_t capacity) {
+  if (capacity < kLeaseRequestWireSize) return 0;
+  *out = static_cast<std::uint8_t>(MsgType::LeaseRequest);
+  std::uint8_t* p = out + 1;
+  p = put(p, &m.client_id, 4);
+  p = put(p, &m.workers, 4);
+  p = put(p, &m.memory_bytes, 8);
+  p = put(p, &m.timeout, 8);
+  return static_cast<std::size_t>(p - out);
+}
+
+std::size_t encode_into(const LeaseGrantMsg& m, std::uint8_t* out, std::size_t capacity) {
+  if (capacity < kLeaseGrantWireSize) return 0;
+  *out = static_cast<std::uint8_t>(MsgType::LeaseGrant);
+  std::uint8_t* p = out + 1;
+  p = put(p, &m.lease_id, 8);
+  p = put(p, &m.device, 4);
+  p = put(p, &m.alloc_port, 2);
+  p = put(p, &m.rdma_port, 2);
+  p = put(p, &m.workers, 4);
+  p = put(p, &m.expires_at, 8);
+  return static_cast<std::size_t>(p - out);
+}
+
+std::size_t encode_into(const ExtendLeaseMsg& m, std::uint8_t* out, std::size_t capacity) {
+  if (capacity < kExtendLeaseWireSize) return 0;
+  *out = static_cast<std::uint8_t>(MsgType::ExtendLease);
+  std::uint8_t* p = out + 1;
+  p = put(p, &m.lease_id, 8);
+  p = put(p, &m.extension, 8);
+  return static_cast<std::size_t>(p - out);
+}
+
+std::size_t encode_into(const ExtendOkMsg& m, std::uint8_t* out, std::size_t capacity) {
+  if (capacity < kExtendOkWireSize) return 0;
+  *out = static_cast<std::uint8_t>(MsgType::ExtendOk);
+  std::uint8_t* p = out + 1;
+  p = put(p, &m.lease_id, 8);
+  p = put(p, &m.expires_at, 8);
+  return static_cast<std::size_t>(p - out);
+}
+
 Bytes encode(const LeaseRequestMsg& m) {
-  auto w = header(MsgType::LeaseRequest);
-  w.u32(m.client_id);
-  w.u32(m.workers);
-  w.u64(m.memory_bytes);
-  w.u64(m.timeout);
-  return w.take();
+  Bytes b(kLeaseRequestWireSize);
+  encode_into(m, b.data(), b.size());
+  return b;
 }
 
 namespace {
@@ -95,9 +155,9 @@ Result<LeaseGrantMsg> read_grant_body(ByteReader& rd) {
 }  // namespace
 
 Bytes encode(const LeaseGrantMsg& m) {
-  auto w = header(MsgType::LeaseGrant);
-  write_grant_body(w, m);
-  return w.take();
+  Bytes b(kLeaseGrantWireSize);
+  encode_into(m, b.data(), b.size());
+  return b;
 }
 
 Bytes encode_lease_error(const std::string& reason) {
@@ -161,17 +221,15 @@ Bytes encode(const DeallocateMsg& m) {
 }
 
 Bytes encode(const ExtendLeaseMsg& m) {
-  auto w = header(MsgType::ExtendLease);
-  w.u64(m.lease_id);
-  w.u64(m.extension);
-  return w.take();
+  Bytes b(kExtendLeaseWireSize);
+  encode_into(m, b.data(), b.size());
+  return b;
 }
 
 Bytes encode(const ExtendOkMsg& m) {
-  auto w = header(MsgType::ExtendOk);
-  w.u64(m.lease_id);
-  w.u64(m.expires_at);
-  return w.take();
+  Bytes b(kExtendOkWireSize);
+  encode_into(m, b.data(), b.size());
+  return b;
 }
 
 Bytes encode(const BatchAllocateMsg& m) {
@@ -244,29 +302,32 @@ Result<RegisterExecutorMsg> decode_register(const Bytes& raw) {
   return m;
 }
 
-Result<LeaseRequestMsg> decode_lease_request(const Bytes& raw) {
-  auto r = open(raw, MsgType::LeaseRequest);
-  if (!r) return r.error();
-  auto& rd = r.value();
-  LeaseRequestMsg m;
-  auto client = rd.u32();
-  auto workers = rd.u32();
-  auto memory = rd.u64();
-  auto timeout = rd.u64();
-  if (!client || !workers || !memory || !timeout) {
-    return Error::make(22, "protocol: truncated LeaseRequest");
+Result<LeaseRequestMsg> decode_lease_request(std::span<const std::uint8_t> raw) {
+  if (!open_fixed(raw, MsgType::LeaseRequest, kLeaseRequestWireSize)) {
+    return Error::make(22, "protocol: bad LeaseRequest");
   }
-  m.client_id = client.value();
-  m.workers = workers.value();
-  m.memory_bytes = memory.value();
-  m.timeout = timeout.value();
+  LeaseRequestMsg m;
+  const std::uint8_t* p = raw.data() + 1;
+  p = take(p, m.client_id);
+  p = take(p, m.workers);
+  p = take(p, m.memory_bytes);
+  take(p, m.timeout);
   return m;
 }
 
-Result<LeaseGrantMsg> decode_lease_grant(const Bytes& raw) {
-  auto r = open(raw, MsgType::LeaseGrant);
-  if (!r) return r.error();
-  return read_grant_body(r.value());
+Result<LeaseGrantMsg> decode_lease_grant(std::span<const std::uint8_t> raw) {
+  if (!open_fixed(raw, MsgType::LeaseGrant, kLeaseGrantWireSize)) {
+    return Error::make(22, "protocol: bad LeaseGrant");
+  }
+  LeaseGrantMsg m;
+  const std::uint8_t* p = raw.data() + 1;
+  p = take(p, m.lease_id);
+  p = take(p, m.device);
+  p = take(p, m.alloc_port);
+  p = take(p, m.rdma_port);
+  p = take(p, m.workers);
+  take(p, m.expires_at);
+  return m;
 }
 
 Result<std::string> decode_lease_error(const Bytes& raw) {
@@ -390,29 +451,25 @@ Result<DeallocateMsg> decode_deallocate(const Bytes& raw) {
   return m;
 }
 
-Result<ExtendLeaseMsg> decode_extend_lease(const Bytes& raw) {
-  auto r = open(raw, MsgType::ExtendLease);
-  if (!r) return r.error();
-  auto& rd = r.value();
+Result<ExtendLeaseMsg> decode_extend_lease(std::span<const std::uint8_t> raw) {
+  if (!open_fixed(raw, MsgType::ExtendLease, kExtendLeaseWireSize)) {
+    return Error::make(22, "protocol: bad ExtendLease");
+  }
   ExtendLeaseMsg m;
-  auto lease = rd.u64();
-  auto extension = rd.u64();
-  if (!lease || !extension) return Error::make(22, "protocol: truncated ExtendLease");
-  m.lease_id = lease.value();
-  m.extension = extension.value();
+  const std::uint8_t* p = raw.data() + 1;
+  p = take(p, m.lease_id);
+  take(p, m.extension);
   return m;
 }
 
-Result<ExtendOkMsg> decode_extend_ok(const Bytes& raw) {
-  auto r = open(raw, MsgType::ExtendOk);
-  if (!r) return r.error();
-  auto& rd = r.value();
+Result<ExtendOkMsg> decode_extend_ok(std::span<const std::uint8_t> raw) {
+  if (!open_fixed(raw, MsgType::ExtendOk, kExtendOkWireSize)) {
+    return Error::make(22, "protocol: bad ExtendOk");
+  }
   ExtendOkMsg m;
-  auto lease = rd.u64();
-  auto expires = rd.u64();
-  if (!lease || !expires) return Error::make(22, "protocol: truncated ExtendOk");
-  m.lease_id = lease.value();
-  m.expires_at = expires.value();
+  const std::uint8_t* p = raw.data() + 1;
+  p = take(p, m.lease_id);
+  take(p, m.expires_at);
   return m;
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -245,6 +246,32 @@ struct DeallocateMsg {
   std::uint64_t lease_id = 0;   ///< its backing lease
 };
 
+// ---------------------------------------------------------------------------
+// Zero-allocation fast path (fig16). The hot control-plane messages —
+// LeaseRequest, LeaseGrant, ExtendLease, ExtendOk — have fixed-layout
+// bodies, so they encode into a caller-provided buffer and decode from a
+// span with a single bounds check and no heap traffic. (The data-plane
+// Invoke message was always allocation-free: InvocationHeader::pack into
+// the registered buffer plus the packed immediate of Imm.) The Bytes
+// encode()/decode_*() entry points below remain the general API; for
+// these four messages they are thin wrappers over the fast path, so the
+// wire format is byte-identical and the protocol-fuzz suite covers both.
+// ---------------------------------------------------------------------------
+
+/// Fixed wire sizes (envelope type byte included) of the hot messages.
+inline constexpr std::size_t kLeaseRequestWireSize = 1 + 4 + 4 + 8 + 8;
+inline constexpr std::size_t kLeaseGrantWireSize = 1 + 8 + 4 + 2 + 2 + 4 + 8;
+inline constexpr std::size_t kExtendLeaseWireSize = 1 + 8 + 8;
+inline constexpr std::size_t kExtendOkWireSize = 1 + 8 + 8;
+
+/// Encodes into `out` (caller-provided, no allocation). Returns the
+/// bytes written — the message's wire size — or 0 when `capacity` is too
+/// small.
+std::size_t encode_into(const LeaseRequestMsg& m, std::uint8_t* out, std::size_t capacity);
+std::size_t encode_into(const LeaseGrantMsg& m, std::uint8_t* out, std::size_t capacity);
+std::size_t encode_into(const ExtendLeaseMsg& m, std::uint8_t* out, std::size_t capacity);
+std::size_t encode_into(const ExtendOkMsg& m, std::uint8_t* out, std::size_t capacity);
+
 /// Envelope: [u8 type][payload...]. Each payload codec is explicit; this
 /// is a real wire format, not in-memory object passing.
 Bytes encode(MsgType type);
@@ -270,8 +297,11 @@ Bytes encode(const SubscribeEventsMsg& m);
 Result<MsgType> peek_type(const Bytes& raw);
 Result<RegisterExecutorMsg> decode_register(const Bytes& raw);
 Result<RegisterOkMsg> decode_register_ok(const Bytes& raw);
-Result<LeaseRequestMsg> decode_lease_request(const Bytes& raw);
-Result<LeaseGrantMsg> decode_lease_grant(const Bytes& raw);
+// Hot-path decoders take a span (no Bytes required — a stack buffer or a
+// network scatter entry decodes without copying); Bytes converts
+// implicitly, so existing call sites are unchanged.
+Result<LeaseRequestMsg> decode_lease_request(std::span<const std::uint8_t> raw);
+Result<LeaseGrantMsg> decode_lease_grant(std::span<const std::uint8_t> raw);
 Result<std::string> decode_lease_error(const Bytes& raw);
 Result<AllocationRequestMsg> decode_allocation_request(const Bytes& raw);
 Result<AllocationReplyMsg> decode_allocation_reply(const Bytes& raw);
@@ -279,8 +309,8 @@ Result<SubmitCodeMsg> decode_submit_code(const Bytes& raw);
 Result<SubmitCodeOkMsg> decode_submit_code_ok(const Bytes& raw);
 Result<DeallocateMsg> decode_deallocate(const Bytes& raw);
 Result<ReleaseResourcesMsg> decode_release(const Bytes& raw);
-Result<ExtendLeaseMsg> decode_extend_lease(const Bytes& raw);
-Result<ExtendOkMsg> decode_extend_ok(const Bytes& raw);
+Result<ExtendLeaseMsg> decode_extend_lease(std::span<const std::uint8_t> raw);
+Result<ExtendOkMsg> decode_extend_ok(std::span<const std::uint8_t> raw);
 Result<BatchAllocateMsg> decode_batch_allocate(const Bytes& raw);
 Result<BatchGrantedMsg> decode_batch_granted(const Bytes& raw);
 Result<LeaseRenewedMsg> decode_lease_renewed(const Bytes& raw);

@@ -358,14 +358,31 @@ ShardedResourceManager::RebalanceReport ResourceManager::rebalance_now() {
     log::info("rm", "rebalance moved ", report.migrations.size(), " executors, skew ",
               report.skew_before, " -> ", report.skew_after);
   }
+  // Re-baseline the storm detector here, not just in the periodic loop:
+  // a manual rebalance's own evictions must not read as a storm and
+  // suppress the next periodic sweep.
+  rebalance_last_evictions_ = core_.evictions();
   return report;
 }
 
 sim::Task<void> ResourceManager::rebalance_loop() {
+  rebalance_last_evictions_ = core_.evictions();
   while (alive_) {
     co_await sim::delay(config_.rebalance_period);
     if (!alive_) break;
-    (void)rebalance_now();
+    if (config_.rebalance_storm_backoff) {
+      // Storm-aware backoff: leases were evicted since the last round
+      // (quota pressure, drains — an eviction storm reshaping load), so
+      // the skew the sweep would chase is still moving. Sit this round
+      // out; once the counter stops rising the sweep resumes.
+      const std::uint64_t evictions = core_.evictions();
+      if (evictions > rebalance_last_evictions_) {
+        rebalance_last_evictions_ = evictions;
+        ++rebalance_skips_;
+        continue;
+      }
+    }
+    (void)rebalance_now();  // re-baselines the eviction counter itself
   }
 }
 

@@ -92,6 +92,11 @@ class ResourceManager {
   /// active leases of every migrated executor.
   ShardedResourceManager::RebalanceReport rebalance_now();
 
+  /// Periodic rebalance sweeps skipped by the storm-aware backoff
+  /// (Config::rebalance_storm_backoff): rounds in which the eviction
+  /// counter was still rising when the sweep came due.
+  [[nodiscard]] std::uint64_t rebalance_sweeps_skipped() const { return rebalance_skips_; }
+
  private:
   sim::Task<void> run_server();
   sim::Task<void> handle_stream(std::shared_ptr<net::TcpStream> stream);
@@ -145,6 +150,11 @@ class ResourceManager {
   /// the id through this table instead of a value captured at
   /// registration time.
   std::map<const net::TcpStream*, std::uint64_t> executor_ids_;
+  /// Storm-aware backoff state of rebalance_loop(): the eviction count
+  /// observed at the end of the previous round, and how many rounds the
+  /// backoff skipped because the counter was still rising.
+  std::uint64_t rebalance_last_evictions_ = 0;
+  std::uint64_t rebalance_skips_ = 0;
 };
 
 }  // namespace rfs::rfaas

@@ -17,32 +17,13 @@ const char* to_string(SchedulingPolicy p) {
 // --------------------------------------------------------------------------
 
 std::size_t ExecutorRegistry::add(ExecutorEntry entry) {
+  if (entry.alive) ++alive_count_;
+  if (entry.schedulable()) {
+    free_workers_total_ += entry.free_workers;
+    total_workers_ += entry.total_workers;
+  }
   entries_.push_back(std::move(entry));
   return entries_.size() - 1;
-}
-
-std::size_t ExecutorRegistry::alive_count() const {
-  std::size_t n = 0;
-  for (const auto& e : entries_) {
-    if (e.alive) ++n;
-  }
-  return n;
-}
-
-std::uint32_t ExecutorRegistry::free_workers_total() const {
-  std::uint32_t n = 0;
-  for (const auto& e : entries_) {
-    if (e.schedulable()) n += e.free_workers;
-  }
-  return n;
-}
-
-std::uint32_t ExecutorRegistry::total_workers() const {
-  std::uint32_t n = 0;
-  for (const auto& e : entries_) {
-    if (e.schedulable()) n += e.total_workers;
-  }
-  return n;
 }
 
 bool ExecutorRegistry::try_claim(std::size_t i, std::uint32_t workers, std::uint64_t memory) {
@@ -53,6 +34,7 @@ bool ExecutorRegistry::try_claim(std::size_t i, std::uint32_t workers, std::uint
   }
   e.free_workers -= workers;
   e.free_memory -= memory;
+  free_workers_total_ -= workers;
   return true;
 }
 
@@ -62,11 +44,17 @@ void ExecutorRegistry::release(std::size_t i, std::uint32_t workers, std::uint64
   if (!e.schedulable()) return;  // capacity was zeroed at death or drain
   e.free_workers += workers;
   e.free_memory += memory;
+  free_workers_total_ += workers;
 }
 
 void ExecutorRegistry::mark_dead(std::size_t i) {
   if (i >= entries_.size()) return;
   auto& e = entries_[i];
+  if (e.alive) --alive_count_;
+  if (e.schedulable()) {
+    free_workers_total_ -= e.free_workers;
+    total_workers_ -= e.total_workers;
+  }
   e.alive = false;
   e.free_workers = 0;
   e.free_memory = 0;
@@ -75,6 +63,10 @@ void ExecutorRegistry::mark_dead(std::size_t i) {
 void ExecutorRegistry::set_draining(std::size_t i) {
   if (i >= entries_.size()) return;
   auto& e = entries_[i];
+  if (e.schedulable()) {
+    free_workers_total_ -= e.free_workers;
+    total_workers_ -= e.total_workers;
+  }
   e.draining = true;
   e.free_workers = 0;
   e.free_memory = 0;

@@ -57,6 +57,12 @@ struct ExecutorEntry {
 
 /// Registry of spot executors: capacity accounting, heartbeat bookkeeping
 /// and reclamation. Owned by the resource manager; read by schedulers.
+///
+/// The liveness and capacity aggregates are maintained incrementally on
+/// every add/claim/release/death/drain, so alive_count(),
+/// free_workers_total() and total_workers() are O(1) reads instead of
+/// O(executors) scans — they sit on utilization sampling and snapshot
+/// paths that used to serialize against grants.
 class ExecutorRegistry {
  public:
   /// Registers an executor; returns its stable index.
@@ -67,9 +73,12 @@ class ExecutorRegistry {
   [[nodiscard]] ExecutorEntry& at(std::size_t i) { return entries_.at(i); }
   [[nodiscard]] const ExecutorEntry& at(std::size_t i) const { return entries_.at(i); }
 
-  [[nodiscard]] std::size_t alive_count() const;
-  [[nodiscard]] std::uint32_t free_workers_total() const;
-  [[nodiscard]] std::uint32_t total_workers() const;
+  /// Alive executors (incremental counter, O(1)).
+  [[nodiscard]] std::size_t alive_count() const { return alive_count_; }
+  /// Free workers over schedulable executors (incremental, O(1)).
+  [[nodiscard]] std::uint32_t free_workers_total() const { return free_workers_total_; }
+  /// Total workers over schedulable executors (incremental, O(1)).
+  [[nodiscard]] std::uint32_t total_workers() const { return total_workers_; }
 
   /// Commits a placement: claims `workers` workers and `memory` bytes on
   /// executor `i`. Fails (false) when the executor died between the
@@ -89,6 +98,9 @@ class ExecutorRegistry {
 
  private:
   std::vector<ExecutorEntry> entries_;
+  std::size_t alive_count_ = 0;
+  std::uint32_t free_workers_total_ = 0;  // over schedulable entries
+  std::uint32_t total_workers_ = 0;       // over schedulable entries
 };
 
 /// One placement decision: grant `workers` on executor `executor`,

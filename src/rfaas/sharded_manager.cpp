@@ -31,9 +31,10 @@ std::uint64_t ShardedResourceManager::add_executor(ExecutorEntry entry) {
       : static_cast<std::uint32_t>(next_shard_.fetch_add(1, std::memory_order_relaxed) %
                                    shards_.size());
   auto& shard = *shards_[s];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<std::shared_mutex> lock(shard.mu);
   const std::uint32_t workers = entry.total_workers;
   const std::size_t local = shard.registry.add(std::move(entry));
+  shard.hosted.resize(shard.registry.size());
   shard.free_workers.fetch_add(workers, std::memory_order_relaxed);
   shard.total_workers.fetch_add(workers, std::memory_order_relaxed);
   executor_count_.fetch_add(1, std::memory_order_relaxed);
@@ -66,11 +67,50 @@ std::uint32_t ShardedResourceManager::preferred_shard_for(std::uint32_t client_l
   return preferred_shard();
 }
 
+// --------------------------------------------------------------------------
+// Lease-table indexes
+// --------------------------------------------------------------------------
+
+void ShardedResourceManager::arm_expiry(Shard& shard, Time at, std::uint64_t lease_id) {
+  shard.expiry.push_back({at, lease_id});
+  std::push_heap(shard.expiry.begin(), shard.expiry.end(), ExpiryLater{});
+}
+
+void ShardedResourceManager::index_lease(Shard& shard, std::uint64_t lease_id,
+                                         const LeaseRecord& record) {
+  shard.leases.emplace(lease_id, record);
+  if (shard.hosted.size() <= record.executor) shard.hosted.resize(shard.registry.size());
+  shard.hosted[record.executor].insert(lease_id);
+  auto& tenant = shard.tenants[record.client_id];
+  tenant.held_workers += record.workers;
+  tenant.leases.insert(lease_id);
+  arm_expiry(shard, record.expires_at, lease_id);
+}
+
+std::unordered_map<std::uint64_t, ShardedResourceManager::LeaseRecord>::iterator
+ShardedResourceManager::unindex_lease(
+    Shard& shard, std::unordered_map<std::uint64_t, LeaseRecord>::iterator it) {
+  const LeaseRecord& record = it->second;
+  if (record.executor < shard.hosted.size()) shard.hosted[record.executor].erase(it->first);
+  auto tenant = shard.tenants.find(record.client_id);
+  if (tenant != shard.tenants.end()) {
+    tenant->second.held_workers -=
+        std::min<std::uint64_t>(tenant->second.held_workers, record.workers);
+    tenant->second.leases.erase(it->first);
+    if (tenant->second.leases.empty()) shard.tenants.erase(tenant);
+  }
+  return shard.leases.erase(it);
+}
+
+// --------------------------------------------------------------------------
+// Grants
+// --------------------------------------------------------------------------
+
 std::optional<ShardedResourceManager::Grant> ShardedResourceManager::grant_on(
     std::uint32_t shard_index, const ScheduleRequest& request, std::uint32_t client_id,
     Duration timeout, Time now) {
   auto& shard = *shards_[shard_index];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<std::shared_mutex> lock(shard.mu);
 
   // Same place-and-commit cycle as the single manager: the policy
   // proposes, try_claim revalidates (the executor may have died between
@@ -92,7 +132,7 @@ std::optional<ShardedResourceManager::Grant> ShardedResourceManager::grant_on(
     record.memory = placement->memory;
     record.expires_at = now + timeout;
     const std::uint64_t lease_id = make_id(shard_index, shard.next_lease++);
-    shard.leases.emplace(lease_id, record);
+    index_lease(shard, lease_id, record);
     shard.lease_count.store(shard.leases.size(), std::memory_order_relaxed);
     if (shard.log.size() < kPlacementLogCap) shard.log.push_back(*placement);
 
@@ -186,15 +226,22 @@ ShardedResourceManager::BatchGrant ShardedResourceManager::grant_batch(
   return out;
 }
 
+// --------------------------------------------------------------------------
+// Renew / release / expiry
+// --------------------------------------------------------------------------
+
 std::optional<ShardedResourceManager::Renewal> ShardedResourceManager::renew(
     std::uint64_t lease_id, Time new_expires_at) {
   const std::uint32_t s = id_shard(lease_id);
   if (s >= shards_.size()) return std::nullopt;
   auto& shard = *shards_[s];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<std::shared_mutex> lock(shard.mu);
   auto it = shard.leases.find(lease_id);
   if (it == shard.leases.end()) return std::nullopt;
   it->second.expires_at = new_expires_at;
+  // Re-arm the expiry index in place: the new deadline joins the heap,
+  // the superseded entry is discarded when the sweep surfaces it.
+  arm_expiry(shard, new_expires_at, lease_id);
   return Renewal{shard.registry.at(it->second.executor).stream};
 }
 
@@ -202,7 +249,7 @@ bool ShardedResourceManager::release(std::uint64_t lease_id) {
   const std::uint32_t s = id_shard(lease_id);
   if (s >= shards_.size()) return false;
   auto& shard = *shards_[s];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<std::shared_mutex> lock(shard.mu);
   auto it = shard.leases.find(lease_id);
   if (it == shard.leases.end()) return false;
   const LeaseRecord& record = it->second;
@@ -210,7 +257,7 @@ bool ShardedResourceManager::release(std::uint64_t lease_id) {
     shard.registry.release(record.executor, record.workers, record.memory);
     shard.free_workers.fetch_add(record.workers, std::memory_order_relaxed);
   }
-  shard.leases.erase(it);
+  unindex_lease(shard, it);
   shard.lease_count.store(shard.leases.size(), std::memory_order_relaxed);
   return true;
 }
@@ -219,7 +266,43 @@ std::size_t ShardedResourceManager::sweep_expired(Time now) {
   std::size_t reclaimed = 0;
   for (auto& shard_ptr : shards_) {
     auto& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<std::shared_mutex> lock(shard.mu);
+    auto& heap = shard.expiry;
+    while (!heap.empty() && heap.front().at <= now) {
+      std::pop_heap(heap.begin(), heap.end(), ExpiryLater{});
+      const ExpiryEntry entry = heap.back();
+      heap.pop_back();
+      auto it = shard.leases.find(entry.lease_id);
+      if (it == shard.leases.end()) continue;    // released/evicted: stale entry
+      if (it->second.expires_at > now) continue; // renewed: its re-arm entry is queued
+      const LeaseRecord& record = it->second;
+      if (shard.registry.at(record.executor).schedulable()) {
+        shard.registry.release(record.executor, record.workers, record.memory);
+        shard.free_workers.fetch_add(record.workers, std::memory_order_relaxed);
+      }
+      unindex_lease(shard, it);
+      ++reclaimed;
+    }
+    // Compact once stale entries (renewal churn on long-lived leases)
+    // dominate the heap; amortized O(1) per armed deadline.
+    if (heap.size() >= 64 && heap.size() > 2 * shard.leases.size()) {
+      heap.clear();
+      heap.reserve(shard.leases.size());
+      for (const auto& [id, record] : shard.leases) heap.push_back({record.expires_at, id});
+      std::make_heap(heap.begin(), heap.end(), ExpiryLater{});
+    }
+    shard.lease_count.store(shard.leases.size(), std::memory_order_relaxed);
+  }
+  return reclaimed;
+}
+
+std::size_t ShardedResourceManager::sweep_expired_scan(Time now) {
+  // Pre-index reference: walk every lease of every shard (the seed's
+  // sweep). Kept for fig16's before/after and the equivalence tests.
+  std::size_t reclaimed = 0;
+  for (auto& shard_ptr : shards_) {
+    auto& shard = *shard_ptr;
+    std::lock_guard<std::shared_mutex> lock(shard.mu);
     for (auto it = shard.leases.begin(); it != shard.leases.end();) {
       if (it->second.expires_at > now) {
         ++it;
@@ -230,7 +313,7 @@ std::size_t ShardedResourceManager::sweep_expired(Time now) {
         shard.registry.release(record.executor, record.workers, record.memory);
         shard.free_workers.fetch_add(record.workers, std::memory_order_relaxed);
       }
-      it = shard.leases.erase(it);
+      it = unindex_lease(shard, it);
       ++reclaimed;
     }
     shard.lease_count.store(shard.leases.size(), std::memory_order_relaxed);
@@ -238,12 +321,16 @@ std::size_t ShardedResourceManager::sweep_expired(Time now) {
   return reclaimed;
 }
 
+// --------------------------------------------------------------------------
+// Manager-initiated reclamation
+// --------------------------------------------------------------------------
+
 std::optional<ShardedResourceManager::Eviction> ShardedResourceManager::evict(
     std::uint64_t lease_id) {
   const std::uint32_t s = id_shard(lease_id);
   if (s >= shards_.size()) return std::nullopt;
   auto& shard = *shards_[s];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<std::shared_mutex> lock(shard.mu);
   auto it = shard.leases.find(lease_id);
   if (it == shard.leases.end()) return std::nullopt;
   const LeaseRecord record = it->second;
@@ -259,54 +346,49 @@ std::optional<ShardedResourceManager::Eviction> ShardedResourceManager::evict(
     shard.registry.release(record.executor, record.workers, record.memory);
     shard.free_workers.fetch_add(record.workers, std::memory_order_relaxed);
   }
-  shard.leases.erase(it);
+  unindex_lease(shard, it);
   shard.lease_count.store(shard.leases.size(), std::memory_order_relaxed);
   evictions_.fetch_add(1, std::memory_order_relaxed);
   return ev;
 }
 
 std::vector<std::uint64_t> ShardedResourceManager::active_lease_ids(std::size_t max) const {
+  // Shard-major, ascending per shard (= grant/age order, since per-shard
+  // lease counters only grow) — the exact order of the pre-index table.
   std::vector<std::uint64_t> ids;
   for (const auto& shard_ptr : shards_) {
     auto& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
-    for (const auto& kv : shard.leases) {
+    std::vector<std::uint64_t> local;
+    {
+      std::shared_lock<std::shared_mutex> lock(shard.mu);
+      local.reserve(shard.leases.size());
+      for (const auto& kv : shard.leases) local.push_back(kv.first);
+    }
+    std::sort(local.begin(), local.end());
+    for (std::uint64_t id : local) {
       if (ids.size() >= max) return ids;
-      ids.push_back(kv.first);
+      ids.push_back(id);
     }
   }
   return ids;
 }
 
-std::vector<ShardedResourceManager::Eviction> ShardedResourceManager::reclaim_quota(
-    std::uint32_t requesting_client, std::uint32_t quota_workers,
-    std::uint32_t workers_needed) {
-  // Snapshot who holds what (per-shard locks, taken one at a time), then
-  // evict outside the snapshot loop — evict() re-takes its shard's lock
-  // and resolves any lease that vanished in between to a no-op.
-  struct Held {
-    std::uint64_t lease_id;
-    std::uint32_t client_id;
-  };
-  std::vector<Held> snapshot;
-  std::map<std::uint32_t, std::uint64_t> held_workers;
-  for (const auto& shard_ptr : shards_) {
-    auto& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
-    for (const auto& [id, record] : shard.leases) {
-      snapshot.push_back({id, record.client_id});
-      held_workers[record.client_id] += record.workers;
-    }
-  }
-
+std::vector<ShardedResourceManager::Eviction> ShardedResourceManager::evict_quota_candidates(
+    const std::vector<std::pair<std::uint64_t, std::uint32_t>>& candidates,
+    std::map<std::uint32_t, std::uint64_t>& held, std::uint32_t requesting_client,
+    std::uint32_t quota_workers, std::uint32_t workers_needed) {
+  // evict() re-takes its shard's lock and resolves any lease that
+  // vanished since the snapshot to a no-op, so the candidates need not
+  // be consistent with the live table.
   std::vector<Eviction> out;
   std::uint32_t reclaimed = 0;
-  for (const auto& h : snapshot) {
+  for (const auto& [lease_id, client] : candidates) {
     if (reclaimed >= workers_needed) break;
-    if (h.client_id == requesting_client) continue;
-    if (held_workers[h.client_id] <= quota_workers) continue;
-    if (auto ev = evict(h.lease_id)) {
-      held_workers[h.client_id] -= ev->workers;
+    if (client == requesting_client) continue;
+    auto h = held.find(client);
+    if (h == held.end() || h->second <= quota_workers) continue;
+    if (auto ev = evict(lease_id)) {
+      h->second -= std::min<std::uint64_t>(h->second, ev->workers);
       reclaimed += ev->workers;
       out.push_back(std::move(*ev));
     }
@@ -314,25 +396,100 @@ std::vector<ShardedResourceManager::Eviction> ShardedResourceManager::reclaim_qu
   return out;
 }
 
+std::vector<ShardedResourceManager::Eviction> ShardedResourceManager::reclaim_quota(
+    std::uint32_t requesting_client, std::uint32_t quota_workers,
+    std::uint32_t workers_needed) {
+  // O(tenants): the held-worker totals come straight from the per-shard
+  // tenant counters (maintained on every grant/release/evict), and only
+  // the over-quota tenants' lease lists are materialized as candidates.
+  std::map<std::uint32_t, std::uint64_t> held;
+  for (const auto& shard_ptr : shards_) {
+    auto& shard = *shard_ptr;
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    for (const auto& [client, tenant] : shard.tenants) {
+      if (tenant.held_workers > 0) held[client] += tenant.held_workers;
+    }
+  }
+
+  std::vector<std::uint32_t> offenders;
+  for (const auto& [client, total] : held) {
+    if (client != requesting_client && total > quota_workers) offenders.push_back(client);
+  }
+  if (offenders.empty()) return {};
+
+  // One pass (one shared lock) per shard for all offenders — not one
+  // per (offender, shard) pair; the sort below restores global order.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> candidates;
+  for (const auto& shard_ptr : shards_) {
+    auto& shard = *shard_ptr;
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    for (std::uint32_t client : offenders) {
+      auto it = shard.tenants.find(client);
+      if (it == shard.tenants.end()) continue;
+      for (std::uint64_t id : it->second.leases) candidates.emplace_back(id, client);
+    }
+  }
+  // Full lease ids embed the shard in their high bits, so a plain sort
+  // restores the shard-major age order the scan variant produced.
+  std::sort(candidates.begin(), candidates.end());
+  return evict_quota_candidates(candidates, held, requesting_client, quota_workers,
+                                workers_needed);
+}
+
+std::vector<ShardedResourceManager::Eviction> ShardedResourceManager::reclaim_quota_scan(
+    std::uint32_t requesting_client, std::uint32_t quota_workers,
+    std::uint32_t workers_needed) {
+  // Pre-index reference: snapshot who holds what by walking every lease
+  // (O(total leases) per call — the seed's behavior on every denied
+  // request). Kept for fig16's before/after and the equivalence tests.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> snapshot;
+  std::map<std::uint32_t, std::uint64_t> held;
+  for (const auto& shard_ptr : shards_) {
+    auto& shard = *shard_ptr;
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    for (const auto& [id, record] : shard.leases) {
+      snapshot.emplace_back(id, record.client_id);
+      held[record.client_id] += record.workers;
+    }
+  }
+  std::sort(snapshot.begin(), snapshot.end());
+  return evict_quota_candidates(snapshot, held, requesting_client, quota_workers,
+                                workers_needed);
+}
+
+std::uint64_t ShardedResourceManager::tenant_held_workers(std::uint32_t client_id) const {
+  std::uint64_t held = 0;
+  for (const auto& shard_ptr : shards_) {
+    auto& shard = *shard_ptr;
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.tenants.find(client_id);
+    if (it != shard.tenants.end()) held += it->second.held_workers;
+  }
+  return held;
+}
+
 std::uint64_t ShardedResourceManager::evict_hosted_leases(
     Shard& shard, std::size_t local, const std::shared_ptr<net::TcpStream>& stream,
     std::vector<Eviction>& out) {
   std::uint64_t reclaimed_memory = 0;
   std::size_t evicted = 0;
-  for (auto it = shard.leases.begin(); it != shard.leases.end();) {
-    if (it->second.executor != local) {
-      ++it;
-      continue;
-    }
+  if (local >= shard.hosted.size()) return 0;
+  // O(hosted) via the per-executor index; sorted so eviction records
+  // (and the control plane's notification pushes) stay in age order.
+  std::vector<std::uint64_t> ids(shard.hosted[local].begin(), shard.hosted[local].end());
+  std::sort(ids.begin(), ids.end());
+  for (std::uint64_t id : ids) {
+    auto it = shard.leases.find(id);
+    if (it == shard.leases.end()) continue;
     Eviction ev;
-    ev.lease_id = it->first;
+    ev.lease_id = id;
     ev.client_id = it->second.client_id;
     ev.workers = it->second.workers;
     ev.memory = it->second.memory;
     ev.executor_stream = stream;
     reclaimed_memory += it->second.memory;
     out.push_back(std::move(ev));
-    it = shard.leases.erase(it);
+    unindex_lease(shard, it);
     ++evicted;
   }
   shard.lease_count.store(shard.leases.size(), std::memory_order_relaxed);
@@ -346,7 +503,7 @@ std::vector<ShardedResourceManager::Eviction> ShardedResourceManager::drain_exec
   const std::size_t local = static_cast<std::size_t>(id_low(executor_id));
   if (s >= shards_.size()) return {};
   auto& shard = *shards_[s];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<std::shared_mutex> lock(shard.mu);
   if (local >= shard.registry.size()) return {};
   auto& entry = shard.registry.at(local);
   if (!entry.schedulable()) return {};
@@ -367,7 +524,7 @@ std::optional<std::uint64_t> ShardedResourceManager::find_executor_by_device(
     std::uint32_t device) const {
   for (std::uint32_t s = 0; s < shards_.size(); ++s) {
     auto& shard = *shards_[s];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
     for (std::size_t i = 0; i < shard.registry.size(); ++i) {
       const auto& e = shard.registry.at(i);
       if (e.alive && e.info.device == device) return make_id(s, i);
@@ -414,7 +571,7 @@ ShardedResourceManager::RebalanceReport ShardedResourceManager::rebalance(
     bool found = false;
     {
       auto& shard = *shards_[donor];
-      std::lock_guard<std::mutex> lock(shard.mu);
+      std::lock_guard<std::shared_mutex> lock(shard.mu);
       std::size_t best = 0;
       std::uint32_t best_fit = 0;    // largest with 2w <= gap
       std::size_t small = 0;
@@ -466,9 +623,10 @@ ShardedResourceManager::RebalanceReport ShardedResourceManager::rebalance(
     // a tombstone, not a deregistration.
     {
       auto& shard = *shards_[receiver];
-      std::lock_guard<std::mutex> lock(shard.mu);
+      std::lock_guard<std::shared_mutex> lock(shard.mu);
       const std::uint32_t workers = moved.total_workers;
       const std::size_t local = shard.registry.add(std::move(moved));
+      shard.hosted.resize(shard.registry.size());
       shard.free_workers.fetch_add(workers, std::memory_order_relaxed);
       shard.total_workers.fetch_add(workers, std::memory_order_relaxed);
       report.migrations.back().new_id = make_id(receiver, local);
@@ -486,7 +644,7 @@ std::optional<RegisterExecutorMsg> ShardedResourceManager::mark_dead(
   const std::size_t local = static_cast<std::size_t>(id_low(executor_id));
   if (s >= shards_.size()) return std::nullopt;
   auto& shard = *shards_[s];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<std::shared_mutex> lock(shard.mu);
   if (local >= shard.registry.size()) return std::nullopt;
   auto& entry = shard.registry.at(local);
   if (!entry.alive) return std::nullopt;
@@ -495,8 +653,14 @@ std::optional<RegisterExecutorMsg> ShardedResourceManager::mark_dead(
   // Fast reclamation: drop the dead executor's leases without returning
   // capacity (mark_dead zeroes the counters), mirror the aggregates. A
   // draining executor's capacity already left the pool at drain time.
-  for (auto it = shard.leases.begin(); it != shard.leases.end();) {
-    it = it->second.executor == local ? shard.leases.erase(it) : std::next(it);
+  // The hosted-lease index makes the drop O(hosted), not O(shard leases).
+  if (local < shard.hosted.size()) {
+    const std::vector<std::uint64_t> ids(shard.hosted[local].begin(),
+                                         shard.hosted[local].end());
+    for (std::uint64_t id : ids) {
+      auto it = shard.leases.find(id);
+      if (it != shard.leases.end()) unindex_lease(shard, it);
+    }
   }
   shard.lease_count.store(shard.leases.size(), std::memory_order_relaxed);
   if (!entry.draining) {
@@ -512,7 +676,7 @@ bool ShardedResourceManager::touch(std::uint64_t executor_id, Time now) {
   const std::size_t local = static_cast<std::size_t>(id_low(executor_id));
   if (s >= shards_.size()) return false;
   auto& shard = *shards_[s];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<std::shared_mutex> lock(shard.mu);
   if (local >= shard.registry.size()) return false;
   shard.registry.at(local).last_ack = now;
   return true;
@@ -526,7 +690,7 @@ std::size_t ShardedResourceManager::size() const {
 std::size_t ShardedResourceManager::alive_count() const {
   std::size_t n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
     n += shard->registry.alive_count();
   }
   return n;
@@ -564,7 +728,7 @@ std::vector<Placement> ShardedResourceManager::placement_log() const {
   std::vector<Placement> merged;
   for (std::uint32_t s = 0; s < shards_.size(); ++s) {
     auto& shard = *shards_[s];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
     for (const auto& p : shard.log) {
       Placement global = p;
       global.executor = static_cast<std::size_t>(make_id(s, p.executor));

@@ -25,10 +25,32 @@
 // single-manager behavior (same scheduler stream, same lease-id
 // sequence), which is what the single-vs-sharded benchmarks compare.
 //
+// Hot-path indexes (fig16): the lease table itself is a hash map, and
+// three side indexes keep every periodic or reactive path off the
+// full-table scan the seed paid —
+//
+//  * Expiry min-heap per shard, keyed by deadline with lazy deletion:
+//    the heartbeat sweep pops only entries whose deadline has passed, so
+//    sweeping costs O(expired + stale) instead of O(live leases).
+//    ExtendLease re-arms by pushing the new deadline; the superseded
+//    entry is discarded when it surfaces.
+//  * Per-tenant index (held-worker counter + age-ordered lease ids),
+//    maintained incrementally on grant/release/evict: reclaim_quota
+//    reads O(tenants) counters and walks only over-quota tenants'
+//    leases instead of snapshotting the whole table per denied request.
+//  * Per-executor hosted-lease sets: drain/death/migration evict only
+//    the host's own leases, O(hosted) instead of O(shard leases).
+//
+// The `*_scan` variants of sweep and quota reclaim preserve the seed's
+// full-table algorithms as reference implementations — bench/fig16
+// measures the indexed paths against them, and the equivalence tests in
+// tests/sharded_manager_test.cpp pin both to the same outcomes.
+//
 // The core is deliberately independent of the simulation engine: it is a
-// plain thread-safe state machine (per-shard std::mutex, atomic
-// aggregates), usable from real threads in stress tests and from sim
-// coroutines in the control plane alike.
+// plain thread-safe state machine (per-shard std::shared_mutex — grants
+// and sweeps write-lock one shard, snapshots and routing reads share it
+// or use the lock-free atomic aggregates), usable from real threads in
+// stress tests and from sim coroutines in the control plane alike.
 #pragma once
 
 #include <atomic>
@@ -37,6 +59,10 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
+#include <shared_mutex>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "rfaas/config.hpp"
@@ -164,9 +190,19 @@ class ShardedResourceManager {
   /// (already released, expired, or dropped at executor death).
   bool release(std::uint64_t lease_id);
 
-  /// Reclaims every lease past its deadline; per-shard sweep, no global
-  /// lock. Returns the number of leases reclaimed.
+  /// Reclaims every lease past its deadline by draining the per-shard
+  /// expiry heaps — O(expired + stale renewal entries), independent of
+  /// the live-lease count. Returns the number of leases reclaimed. Safe
+  /// against clock regression: a `now` earlier than a previous sweep's
+  /// reclaims nothing early and leaves the index intact.
   std::size_t sweep_expired(Time now);
+
+  /// Reference implementation of the pre-index sweep: walks the full
+  /// lease table of every shard, O(live leases). Same outcome as
+  /// sweep_expired (the equivalence tests pin this); kept so
+  /// bench/fig16_hotpath can measure the indexed sweep against the scan
+  /// it replaced on identical state.
+  std::size_t sweep_expired_scan(Time now);
 
   // ---- Manager-initiated reclamation (evict / drain / rebalance) ----
 
@@ -185,10 +221,24 @@ class ShardedResourceManager {
   /// Tenant quota pressure: evicts leases of clients holding more than
   /// `quota_workers` (never the requester's own) until `workers_needed`
   /// workers are reclaimed or no over-quota lease remains. Oldest leases
-  /// of each over-quota tenant go first (shard-major id order).
+  /// of each over-quota tenant go first (shard-major id order). Reads
+  /// the incremental per-tenant held-worker counters — O(tenants) plus
+  /// the over-quota candidates, not O(total leases) per denied request.
   std::vector<Eviction> reclaim_quota(std::uint32_t requesting_client,
                                       std::uint32_t quota_workers,
                                       std::uint32_t workers_needed);
+
+  /// Reference implementation of the pre-index quota reclaim: snapshots
+  /// every lease of every shard and rebuilds the per-tenant held counts
+  /// from scratch, O(total leases). Same evictions as reclaim_quota;
+  /// kept for the fig16 before/after measurement and equivalence tests.
+  std::vector<Eviction> reclaim_quota_scan(std::uint32_t requesting_client,
+                                           std::uint32_t quota_workers,
+                                           std::uint32_t workers_needed);
+
+  /// Workers currently held by `client_id` across all shards — a sum of
+  /// the per-shard tenant counters, O(shards).
+  [[nodiscard]] std::uint64_t tenant_held_workers(std::uint32_t client_id) const;
 
   /// Drains an executor: evicts every lease it hosts and parks its
   /// capacity out of the schedulable pool. The host stays alive
@@ -218,13 +268,15 @@ class ShardedResourceManager {
   bool touch(std::uint64_t executor_id, Time now);
 
   /// Calls fn(global_executor_id, const ExecutorEntry&) for every
-  /// registered executor, shard by shard under the shard lock. The
-  /// callback must not reenter the manager (collect, then act).
+  /// registered executor, shard by shard under a shared (read) lock, so
+  /// concurrent grants on other threads are not serialized against the
+  /// visit. The callback must not reenter the manager (collect, then
+  /// act).
   template <typename Fn>
   void visit_executors(Fn&& fn) const {
     for (std::uint32_t s = 0; s < shards_.size(); ++s) {
       auto& shard = *shards_[s];
-      std::lock_guard<std::mutex> lock(shard.mu);
+      std::shared_lock<std::shared_mutex> lock(shard.mu);
       for (std::size_t i = 0; i < shard.registry.size(); ++i) {
         fn(make_id(s, i), shard.registry.at(i));
       }
@@ -299,11 +351,42 @@ class ShardedResourceManager {
     Time expires_at = 0;
   };
 
+  /// One armed deadline in a shard's expiry heap. Entries are never
+  /// removed in place: release/evict/renew leave them behind, and the
+  /// sweep discards any entry whose lease is gone or whose deadline no
+  /// longer matches the lease's (lazy deletion).
+  struct ExpiryEntry {
+    Time at = 0;
+    std::uint64_t lease_id = 0;
+  };
+  /// Min-heap order for std::push_heap/pop_heap (which build max-heaps):
+  /// earliest deadline at the front, ties broken by lease id so sweep
+  /// order is deterministic.
+  struct ExpiryLater {
+    bool operator()(const ExpiryEntry& a, const ExpiryEntry& b) const {
+      return a.at != b.at ? a.at > b.at : a.lease_id > b.lease_id;
+    }
+  };
+
+  /// Incremental per-tenant slice of one shard's lease table. Lease ids
+  /// grow monotonically per shard, so the ordered id set doubles as the
+  /// tenant's leases in age order (oldest first) for quota eviction.
+  struct TenantIndex {
+    std::uint64_t held_workers = 0;
+    std::set<std::uint64_t> leases;
+  };
+
   struct Shard {
-    mutable std::mutex mu;
+    mutable std::shared_mutex mu;
     ExecutorRegistry registry;
     std::unique_ptr<Scheduler> scheduler;
-    std::map<std::uint64_t, LeaseRecord> leases;  // keyed by full lease id
+    std::unordered_map<std::uint64_t, LeaseRecord> leases;  // keyed by full lease id
+    /// Deadline index over `leases` (lazy deletion, see ExpiryEntry).
+    std::vector<ExpiryEntry> expiry;
+    /// Lease ids hosted by each registry index (parallel to registry).
+    std::vector<std::unordered_set<std::uint64_t>> hosted;
+    /// client id -> held workers + age-ordered lease ids.
+    std::unordered_map<std::uint32_t, TenantIndex> tenants;
     std::uint64_t next_lease = 1;
     std::vector<Placement> log;
     /// Relaxed aggregate mirrors of the registry, readable without the
@@ -326,11 +409,35 @@ class ShardedResourceManager {
   std::optional<Grant> grant_on(std::uint32_t shard_index, const ScheduleRequest& request,
                                 std::uint32_t client_id, Duration timeout, Time now);
 
-  /// Under the shard lock: erases every lease hosted by registry index
-  /// `local`, appending Eviction records and bumping the eviction
-  /// counter. Capacity is NOT released back to the entry — drain parks
-  /// it, migration moves it wholesale. Returns the evicted leases'
-  /// total memory (migration folds it back into the moved entry).
+  /// Under the shard write lock: inserts the lease into the table and
+  /// every side index (expiry heap, per-executor set, tenant counters).
+  static void index_lease(Shard& shard, std::uint64_t lease_id, const LeaseRecord& record);
+
+  /// Under the shard write lock: removes the lease from the table, the
+  /// per-executor set and the tenant index; returns the next table
+  /// iterator. The expiry-heap entry stays behind and is discarded
+  /// lazily by a later sweep.
+  static std::unordered_map<std::uint64_t, LeaseRecord>::iterator unindex_lease(
+      Shard& shard, std::unordered_map<std::uint64_t, LeaseRecord>::iterator it);
+
+  /// Under the shard write lock: arms (or re-arms, on renewal) the
+  /// expiry heap for `lease_id` at `at`.
+  static void arm_expiry(Shard& shard, Time at, std::uint64_t lease_id);
+
+  /// Shared tail of reclaim_quota / reclaim_quota_scan: evicts the
+  /// candidate (lease id, client) pairs in id order while their holder
+  /// stays over quota, until `workers_needed` workers came back.
+  std::vector<Eviction> evict_quota_candidates(
+      const std::vector<std::pair<std::uint64_t, std::uint32_t>>& candidates,
+      std::map<std::uint32_t, std::uint64_t>& held, std::uint32_t requesting_client,
+      std::uint32_t quota_workers, std::uint32_t workers_needed);
+
+  /// Under the shard write lock: erases every lease hosted by registry
+  /// index `local` (via its hosted-lease set, O(hosted)), appending
+  /// Eviction records and bumping the eviction counter. Capacity is NOT
+  /// released back to the entry — drain parks it, migration moves it
+  /// wholesale. Returns the evicted leases' total memory (migration
+  /// folds it back into the moved entry).
   std::uint64_t evict_hosted_leases(Shard& shard, std::size_t local,
                                     const std::shared_ptr<net::TcpStream>& stream,
                                     std::vector<Eviction>& out);

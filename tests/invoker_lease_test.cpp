@@ -559,6 +559,139 @@ TEST(SelfHeal, DrainMigratesTheSandboxOffTheDrainedHost) {
   EXPECT_EQ(h.executor(1).live_sandboxes(), 1u);
 }
 
+TEST(SelfHeal, PartialReplacementReRequestsTheRemainder) {
+  // The lost lease held 4 workers on a 4-core host; after that host is
+  // drained the survivors offer only 2 workers each, so the heal must
+  // fan the chain out over two partial grants instead of settling for a
+  // shrunken allocation.
+  cluster::ScenarioSpec spec;
+  spec.executors = {{1, 4, 32ull << 30}, {2, 2, 32ull << 30}};
+  spec.client_hosts = 1;
+  cluster::Harness h(spec);
+  h.start();
+
+  auto mutex = std::make_shared<sim::Mutex>();
+  LeaseSetOptions opts;
+  opts.self_heal = true;
+  opts.realloc_budget = 4;
+  opts.realloc_backoff = 10_ms;
+  LeaseSet leases(h.engine(), opts);
+  std::vector<LeaseGrantMsg> replacements;
+  leases.on_reallocated(
+      [&](std::uint64_t, const LeaseGrantMsg& g) { replacements.push_back(g); });
+  std::vector<LeaseGrantMsg> extensions;
+  leases.on_chain_extended(
+      [&](std::uint64_t, const LeaseGrantMsg& g) { extensions.push_back(g); });
+
+  std::uint64_t origin = 0;
+  auto scenario = [&]() -> sim::Task<void> {
+    auto conn = co_await h.tcp().connect(h.client_device(0).id(), h.rm().device().id(),
+                                         h.rm().port());
+    auto notify = co_await h.tcp().connect(h.client_device(0).id(), h.rm().device().id(),
+                                           h.rm().port());
+    EXPECT_TRUE(conn.ok() && notify.ok());
+    if (!conn.ok() || !notify.ok()) co_return;
+    leases.bind(conn.value(), mutex);
+    leases.subscribe(notify.value(), /*client_id=*/1);
+
+    auto grant = co_await acquire_one(conn.value(), /*workers=*/4, /*timeout=*/300_s);
+    EXPECT_TRUE(grant.ok());
+    if (!grant.ok()) co_return;
+    EXPECT_EQ(grant.value().workers, 4u);  // landed whole on the 4-core host
+    origin = grant.value().lease_id;
+    leases.track(origin, grant.value().expires_at, 300_s, /*workers=*/4,
+                 /*memory_per_worker=*/64ull << 20);
+    leases.start();
+
+    // Drain the hosting executor: the lease is terminated and no
+    // replacement that large exists anywhere.
+    EXPECT_EQ(h.drain_executor(0), std::optional<std::size_t>{1});
+    co_await sim::delay(2_s);  // push -> heal -> remainder re-request settles
+
+    // One healed lease, fanned out over two partial grants of 2 workers.
+    EXPECT_EQ(leases.terminations(), 1u);
+    EXPECT_EQ(leases.reallocations(), 1u);
+    EXPECT_EQ(leases.realloc_failures(), 0u);
+    EXPECT_EQ(leases.size(), 2u);
+    EXPECT_EQ(replacements.size(), 1u);
+    EXPECT_EQ(extensions.size(), 1u);
+    if (replacements.size() != 1 || extensions.size() != 1) co_return;
+    EXPECT_EQ(replacements[0].workers + extensions[0].workers, 4u);
+    EXPECT_EQ(h.rm().core().tenant_held_workers(1), 4u);  // full shape restored
+    EXPECT_EQ(h.rm().active_leases(), 2u);
+    // The chain resolves to the first replacement grant.
+    EXPECT_EQ(leases.resolve(origin), replacements[0].lease_id);
+
+    // Abandoning the chain releases the secondary lease internally and
+    // hands the primary back for the holder to release.
+    const std::uint64_t primary = leases.abandon(origin);
+    EXPECT_EQ(primary, replacements[0].lease_id);
+    EXPECT_EQ(leases.size(), 0u);
+    ReleaseResourcesMsg rel;
+    rel.lease_id = primary;
+    rel.workers = replacements[0].workers;
+    rel.memory_bytes = (64ull << 20) * replacements[0].workers;
+    conn.value()->send(encode(rel));
+    co_await sim::delay(100_ms);
+    EXPECT_EQ(h.rm().active_leases(), 0u);  // nothing leaked
+    EXPECT_EQ(h.rm().free_workers_total(), 4u);  // both survivors whole again
+    leases.stop();
+  };
+  h.spawn(scenario());
+  h.run_for(10_s);
+  EXPECT_EQ(h.rm().active_leases(), 0u);
+}
+
+TEST(SelfHeal, PartialHealGivesUpCleanlyWhenTheBudgetRunsOut) {
+  // Only 2 of the lost 4 workers exist anywhere: the heal lands the
+  // partial grant, keeps re-requesting the remainder, and runs out of
+  // budget without counting a failure for the workers it did replace.
+  cluster::ScenarioSpec spec;
+  spec.executors = {{1, 4, 32ull << 30}, {1, 2, 32ull << 30}};
+  spec.client_hosts = 1;
+  cluster::Harness h(spec);
+  h.start();
+
+  auto mutex = std::make_shared<sim::Mutex>();
+  LeaseSetOptions opts;
+  opts.self_heal = true;
+  opts.realloc_budget = 2;
+  opts.realloc_backoff = 5_ms;
+  LeaseSet leases(h.engine(), opts);
+
+  auto scenario = [&]() -> sim::Task<void> {
+    auto conn = co_await h.tcp().connect(h.client_device(0).id(), h.rm().device().id(),
+                                         h.rm().port());
+    auto notify = co_await h.tcp().connect(h.client_device(0).id(), h.rm().device().id(),
+                                           h.rm().port());
+    EXPECT_TRUE(conn.ok() && notify.ok());
+    if (!conn.ok() || !notify.ok()) co_return;
+    leases.bind(conn.value(), mutex);
+    leases.subscribe(notify.value(), /*client_id=*/1);
+
+    auto grant = co_await acquire_one(conn.value(), /*workers=*/4, /*timeout=*/300_s);
+    EXPECT_TRUE(grant.ok());
+    if (!grant.ok()) co_return;
+    EXPECT_EQ(grant.value().workers, 4u);
+    leases.track(grant.value().lease_id, grant.value().expires_at, 300_s, 4, 64ull << 20);
+    leases.start();
+
+    EXPECT_EQ(h.drain_executor(0), std::optional<std::size_t>{1});
+    co_await sim::delay(2_s);
+
+    // The 2-worker survivor carries half the shape; the remainder denial
+    // burns the budget. The heal still counts as a reallocation (some
+    // capacity came back) and not as a failure.
+    EXPECT_EQ(leases.reallocations(), 1u);
+    EXPECT_EQ(leases.realloc_failures(), 0u);
+    EXPECT_EQ(leases.size(), 1u);
+    EXPECT_EQ(h.rm().core().tenant_held_workers(1), 2u);
+    leases.stop();
+  };
+  h.spawn(scenario());
+  h.run_for(10_s);
+}
+
 TEST(SelfHealWorkload, SurvivesAnEvictionStorm) {
   auto spec = cluster::ScenarioSpec::uniform(/*executors=*/8, /*cores=*/8, 32ull << 30,
                                              /*clients=*/4);

@@ -136,6 +136,74 @@ TEST(ProtocolFuzz, RandomCorruptionNeverCrashes) {
   SUCCEED();
 }
 
+TEST(ProtocolFastPath, EncodeIntoMatchesTheBytesApiByteForByte) {
+  // The zero-allocation fast path must produce exactly the wire bytes
+  // the Bytes API produces (it IS the Bytes API's backend now, but this
+  // pins the fixed layouts against accidental drift).
+  LeaseRequestMsg req{9, 16, 1_GiB, 60_s};
+  LeaseGrantMsg grant;
+  grant.lease_id = (5ull << 48) | 123;
+  grant.device = 7;
+  grant.alloc_port = 7000;
+  grant.rdma_port = 7001;
+  grant.workers = 4;
+  grant.expires_at = 90_s;
+  ExtendLeaseMsg extend{(7ull << 48) | 42, 30_s};
+  ExtendOkMsg ok{(7ull << 48) | 42, 90_s};
+
+  std::uint8_t buf[64];
+  EXPECT_EQ(encode_into(req, buf, sizeof buf), kLeaseRequestWireSize);
+  EXPECT_EQ(Bytes(buf, buf + kLeaseRequestWireSize), encode(req));
+  EXPECT_EQ(encode_into(grant, buf, sizeof buf), kLeaseGrantWireSize);
+  EXPECT_EQ(Bytes(buf, buf + kLeaseGrantWireSize), encode(grant));
+  EXPECT_EQ(encode_into(extend, buf, sizeof buf), kExtendLeaseWireSize);
+  EXPECT_EQ(Bytes(buf, buf + kExtendLeaseWireSize), encode(extend));
+  EXPECT_EQ(encode_into(ok, buf, sizeof buf), kExtendOkWireSize);
+  EXPECT_EQ(Bytes(buf, buf + kExtendOkWireSize), encode(ok));
+
+  // Undersized buffers refuse without writing.
+  EXPECT_EQ(encode_into(req, buf, kLeaseRequestWireSize - 1), 0u);
+  EXPECT_EQ(encode_into(grant, buf, 0), 0u);
+}
+
+TEST(ProtocolFastPath, SpanDecodersRoundTripFromStackBuffers) {
+  LeaseGrantMsg grant;
+  grant.lease_id = (3ull << 48) | 77;
+  grant.device = 2;
+  grant.alloc_port = 6100;
+  grant.rdma_port = 6101;
+  grant.workers = 12;
+  grant.expires_at = 12345678;
+
+  std::uint8_t buf[64];
+  const std::size_t n = encode_into(grant, buf, sizeof buf);
+  auto decoded = decode_lease_grant(std::span<const std::uint8_t>(buf, n));
+  EXPECT_TRUE(decoded.ok());
+  if (decoded.ok()) {
+    EXPECT_EQ(decoded.value().lease_id, grant.lease_id);
+    EXPECT_EQ(decoded.value().device, grant.device);
+    EXPECT_EQ(decoded.value().alloc_port, grant.alloc_port);
+    EXPECT_EQ(decoded.value().rdma_port, grant.rdma_port);
+    EXPECT_EQ(decoded.value().workers, grant.workers);
+    EXPECT_EQ(decoded.value().expires_at, grant.expires_at);
+  }
+  // Truncations and a wrong type byte are rejected.
+  EXPECT_FALSE(decode_lease_grant(std::span<const std::uint8_t>(buf, n - 1)).ok());
+  buf[0] = static_cast<std::uint8_t>(MsgType::LeaseRequest);
+  EXPECT_FALSE(decode_lease_grant(std::span<const std::uint8_t>(buf, n)).ok());
+
+  LeaseRequestMsg req{1, 8, 256ull << 20, 60_s};
+  const std::size_t rn = encode_into(req, buf, sizeof buf);
+  auto rdec = decode_lease_request(std::span<const std::uint8_t>(buf, rn));
+  EXPECT_TRUE(rdec.ok());
+  if (rdec.ok()) {
+    EXPECT_EQ(rdec.value().client_id, req.client_id);
+    EXPECT_EQ(rdec.value().workers, req.workers);
+    EXPECT_EQ(rdec.value().memory_bytes, req.memory_bytes);
+    EXPECT_EQ(rdec.value().timeout, req.timeout);
+  }
+}
+
 TEST(ProtocolFuzz, HttpParserSurvivesRandomBytes) {
   Rng rng(77);
   for (int round = 0; round < 2000; ++round) {

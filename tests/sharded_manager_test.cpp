@@ -909,5 +909,234 @@ TEST(ShardedHarness, ExtendLeaseOverTheWire) {
   EXPECT_EQ(h.rm().active_leases(), 0u);  // renewed deadline enforced
 }
 
+// --------------------------------------------------------------------------
+// Expiry-index (timer heap) edge cases
+// --------------------------------------------------------------------------
+
+TEST(ExpiryIndex, RenewalRearmAtTheHeapBoundary) {
+  SRM m(sharded_config(1));
+  m.add_executor(entry(8));
+  auto g = m.grant(request(2), 1, /*timeout=*/100, /*now=*/0);
+  ASSERT_TRUE(g.has_value());
+
+  // Re-arm to the *same* deadline: the heap now holds two entries for
+  // the lease. The sweep one tick early must not reap, the sweep at the
+  // boundary reclaims exactly once, and capacity comes back exactly once.
+  ASSERT_TRUE(m.renew(g->lease_id, 100).has_value());
+  EXPECT_EQ(m.sweep_expired(99), 0u);
+  EXPECT_EQ(m.sweep_expired(100), 1u);
+  EXPECT_EQ(m.sweep_expired(100), 0u);  // duplicate heap entry is stale
+  EXPECT_EQ(m.free_workers_total(), 8u);
+  EXPECT_EQ(m.active_leases(), 0u);
+
+  // Re-arm *earlier* than the armed deadline: the new entry must fire at
+  // the earlier time even though the original one is still queued.
+  auto g2 = m.grant(request(2), 1, /*timeout=*/200, /*now=*/0);
+  ASSERT_TRUE(g2.has_value());
+  ASSERT_TRUE(m.renew(g2->lease_id, 150).has_value());
+  EXPECT_EQ(m.sweep_expired(149), 0u);
+  EXPECT_EQ(m.sweep_expired(150), 1u);
+  EXPECT_EQ(m.sweep_expired(200), 0u);  // original entry surfaces stale
+  EXPECT_EQ(m.free_workers_total(), 8u);
+}
+
+TEST(ExpiryIndex, EvictingAnAlreadyExpiredLeaseResolvesOnce) {
+  SRM m(sharded_config(1));
+  m.add_executor(entry(8));
+  auto g = m.grant(request(4), 1, /*timeout=*/100, /*now=*/0);
+  ASSERT_TRUE(g.has_value());
+
+  // The lease is past its deadline but not yet swept: evict() wins the
+  // race, returns the capacity, and the later sweep must not double
+  // count the stale heap entry.
+  auto ev = m.evict(g->lease_id);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->workers, 4u);
+  EXPECT_EQ(m.free_workers_total(), 8u);
+  EXPECT_EQ(m.sweep_expired(500), 0u);
+  EXPECT_EQ(m.free_workers_total(), 8u);
+  // And the mirror race: swept first, evicted second resolves to a no-op.
+  auto g2 = m.grant(request(4), 1, /*timeout=*/100, /*now=*/0);
+  ASSERT_TRUE(g2.has_value());
+  EXPECT_EQ(m.sweep_expired(1000), 1u);
+  EXPECT_FALSE(m.evict(g2->lease_id).has_value());
+  EXPECT_EQ(m.free_workers_total(), 8u);
+}
+
+TEST(ExpiryIndex, ClockRegressionNeverReapsEarlyOrWedgesTheHeap) {
+  SRM m(sharded_config(1));
+  m.add_executor(entry(8));
+  auto early = m.grant(request(2), 1, /*timeout=*/100, /*now=*/0);
+  auto late = m.grant(request(2), 1, /*timeout=*/200, /*now=*/0);
+  ASSERT_TRUE(early.has_value() && late.has_value());
+
+  EXPECT_EQ(m.sweep_expired(120), 1u);  // the 100-deadline lease
+  // The clock runs backwards (a resynced heartbeat loop): nothing may be
+  // reaped early, and the index must stay functional afterwards.
+  EXPECT_EQ(m.sweep_expired(10), 0u);
+  EXPECT_EQ(m.active_leases(), 1u);
+  EXPECT_EQ(m.sweep_expired(199), 0u);
+  EXPECT_EQ(m.sweep_expired(200), 1u);
+  EXPECT_EQ(m.free_workers_total(), 8u);
+}
+
+TEST(ExpiryIndex, RenewalChurnIsCompactedAndStaysCorrect) {
+  SRM m(sharded_config(1));
+  m.add_executor(entry(8));
+  auto g = m.grant(request(1), 1, /*timeout=*/10, /*now=*/0);
+  ASSERT_TRUE(g.has_value());
+  // Thousands of re-arms of one lease: the heap must not blow up the
+  // sweep (compaction) and the final deadline must be the binding one.
+  Time deadline = 10;
+  for (int i = 0; i < 5000; ++i) {
+    deadline += 10;
+    ASSERT_TRUE(m.renew(g->lease_id, deadline).has_value());
+    if (i % 100 == 0) EXPECT_EQ(m.sweep_expired(deadline - 1), 0u);
+  }
+  EXPECT_EQ(m.sweep_expired(deadline - 1), 0u);
+  EXPECT_EQ(m.sweep_expired(deadline), 1u);
+  EXPECT_EQ(m.free_workers_total(), 8u);
+}
+
+// --------------------------------------------------------------------------
+// Index-vs-scan equivalence (the *_scan reference implementations)
+// --------------------------------------------------------------------------
+
+TEST(IndexEquivalence, SweepMatchesTheScanReference) {
+  // Two managers driven through the same grant/renew/release sequence:
+  // the indexed sweep and the full-table scan must reclaim the same
+  // leases and leave identical capacity behind.
+  auto build = [] {
+    auto m = std::make_unique<SRM>(sharded_config(4));
+    for (int i = 0; i < 8; ++i) m->add_executor(entry(16));
+    return m;
+  };
+  auto drive = [](SRM& m) {
+    Rng rng(2024);
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 400; ++i) {
+      auto g = m.grant(request(1 + i % 3), 1 + i % 5,
+                       /*timeout=*/100 + rng.uniform_int(0, 900), /*now=*/0);
+      if (g) ids.push_back(g->lease_id);
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 3) (void)m.release(ids[i]);
+    for (std::size_t i = 1; i < ids.size(); i += 4) (void)m.renew(ids[i], 5000);
+    return ids;
+  };
+  auto indexed = build();
+  auto scanned = build();
+  drive(*indexed);
+  drive(*scanned);
+
+  for (Time now : {Time{300}, Time{600}, Time{900}, Time{5000}}) {
+    EXPECT_EQ(indexed->sweep_expired(now), scanned->sweep_expired_scan(now)) << now;
+    EXPECT_EQ(indexed->active_leases(), scanned->active_leases()) << now;
+    EXPECT_EQ(indexed->free_workers_total(), scanned->free_workers_total()) << now;
+    EXPECT_EQ(indexed->active_lease_ids(), scanned->active_lease_ids()) << now;
+  }
+}
+
+TEST(IndexEquivalence, QuotaReclaimMatchesTheScanReference) {
+  auto build = [] {
+    auto m = std::make_unique<SRM>(sharded_config(4));
+    for (int i = 0; i < 8; ++i) m->add_executor(entry(16));
+    // Tenants 1-6 hold skewed worker counts across shards.
+    for (int i = 0; i < 60; ++i) {
+      (void)m->grant(request(1 + i % 4), /*client=*/1 + i % 6, /*timeout=*/100000, 0);
+    }
+    return m;
+  };
+  auto indexed = build();
+  auto scanned = build();
+  ASSERT_EQ(indexed->active_leases(), scanned->active_leases());
+
+  for (std::uint32_t quota : {12u, 8u, 4u}) {
+    auto a = indexed->reclaim_quota(/*requesting_client=*/2, quota, /*workers_needed=*/7);
+    auto b = scanned->reclaim_quota_scan(/*requesting_client=*/2, quota, 7);
+    ASSERT_EQ(a.size(), b.size()) << "quota " << quota;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].lease_id, b[i].lease_id);
+      EXPECT_EQ(a[i].client_id, b[i].client_id);
+      EXPECT_EQ(a[i].workers, b[i].workers);
+    }
+    EXPECT_EQ(indexed->active_leases(), scanned->active_leases());
+    EXPECT_EQ(indexed->free_workers_total(), scanned->free_workers_total());
+  }
+}
+
+TEST(IndexEquivalence, TenantCountersTrackGrantsReleasesAndEvictions) {
+  SRM m(sharded_config(2));
+  m.add_executor(entry(16));
+  m.add_executor(entry(16));
+  auto g1 = m.grant(request(4), /*client=*/7, 1000, 0);
+  auto g2 = m.grant(request(2), /*client=*/7, 1000, 0);
+  auto g3 = m.grant(request(3), /*client=*/9, 1000, 0);
+  ASSERT_TRUE(g1 && g2 && g3);
+  EXPECT_EQ(m.tenant_held_workers(7), 6u);
+  EXPECT_EQ(m.tenant_held_workers(9), 3u);
+  EXPECT_EQ(m.tenant_held_workers(1), 0u);
+
+  EXPECT_TRUE(m.release(g2->lease_id));
+  EXPECT_EQ(m.tenant_held_workers(7), 4u);
+  ASSERT_TRUE(m.evict(g1->lease_id).has_value());
+  EXPECT_EQ(m.tenant_held_workers(7), 0u);
+  EXPECT_EQ(m.sweep_expired(2000), 1u);  // g3 expires
+  EXPECT_EQ(m.tenant_held_workers(9), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Storm-aware rebalance backoff
+// --------------------------------------------------------------------------
+
+TEST(ShardedHarness, StormAwareBackoffDefersRebalanceDuringEvictionStorms) {
+  auto spec = cluster::ScenarioSpec::uniform(/*executors=*/8, /*cores=*/8,
+                                             /*memory_bytes=*/32ull << 30, /*clients=*/8);
+  spec.config.manager_shards = 2;  // four executors per shard
+  spec.config.rebalance_period = 300_ms;
+  spec.config.rebalance_max_skew = 1.3;
+  cluster::Harness h(spec);
+  h.start();
+
+  // Skew the fleet: drain three of shard 1's executors so a rebalance
+  // sweep has every reason to migrate capacity over. Executors register
+  // round-robin, so index i lands on shard i % 2.
+  unsigned drained = 0;
+  for (std::size_t i = 1; i < 8 && drained < 3; i += 2) {
+    ASSERT_TRUE(h.drain_executor(i).has_value());
+    ++drained;
+  }
+  ASSERT_EQ(drained, 3u);
+  ASSERT_GT(h.rm().core().shard_total_workers(0), 2 * h.rm().core().shard_total_workers(1));
+
+  // Phase 1: an eviction storm rages across the whole workload horizon.
+  // Every rebalance round sees the eviction counter rising and must sit
+  // out — no migrations, only skips. Holds and thinks are short so lease
+  // arrivals outpace the storm (the fleet never runs dry of victims).
+  cluster::LeaseWorkload workload = quick_workload();
+  workload.hold_min = 300_ms;
+  workload.hold_max = 1_s;
+  workload.think_min = 20_ms;
+  workload.think_max = 100_ms;
+  const std::uint64_t evictions_after_drain = h.rm().core().evictions();
+  (void)h.start_eviction_storm(/*period=*/100_ms, /*leases_per_tick=*/1,
+                               /*duration=*/12_s, /*seed=*/5);
+  (void)h.run_lease_workload(workload, /*horizon=*/6_s);
+  EXPECT_GT(h.rm().core().evictions(), evictions_after_drain);  // the storm did evict
+  EXPECT_GT(h.rm().rebalance_sweeps_skipped(), 0u);
+  EXPECT_EQ(h.rm().core().migrations(), 0u);
+
+  // Phase 2: the storm ends (duration covers phase 1 plus slack; once
+  // leases drain there is nothing left to evict) — the next quiet round
+  // rebalances the drained-away skew.
+  h.run_for(20_s);
+  EXPECT_GT(h.rm().core().migrations(), 0u);
+  const double skew =
+      static_cast<double>(std::max(h.rm().core().shard_total_workers(0),
+                                   h.rm().core().shard_total_workers(1))) /
+      static_cast<double>(std::max(1u, std::min(h.rm().core().shard_total_workers(0),
+                                                h.rm().core().shard_total_workers(1))));
+  EXPECT_LE(skew, 1.5);
+}
+
 }  // namespace
 }  // namespace rfs::rfaas
