@@ -20,6 +20,13 @@ sim::Task<Wc> CompletionQueue::wait_polling() {
   co_return wc;
 }
 
+sim::Task<std::size_t> CompletionQueue::wait_polling_many(std::span<Wc> out) {
+  while (ready_.empty()) {
+    co_await arrival_.wait();
+  }
+  co_return poll(out);
+}
+
 sim::Task<Wc> CompletionQueue::wait_blocking() {
   while (ready_.empty()) {
     co_await arrival_.wait();

@@ -29,6 +29,13 @@ class CompletionQueue {
   /// available. Returns the completion.
   sim::Task<Wc> wait_polling();
 
+  /// Batched busy-poll wait: resumes at the exact virtual time the FIRST
+  /// completion becomes available and drains everything ready at that
+  /// instant into `out` in one sweep, FIFO order — N completions that
+  /// arrived together cost one poll, not N. Returns the count (>= 1,
+  /// <= out.size()).
+  sim::Task<std::size_t> wait_polling_many(std::span<Wc> out);
+
   /// Blocking wait: like wait_polling but adds the wake-up latency of the
   /// completion channel before returning.
   sim::Task<Wc> wait_blocking();

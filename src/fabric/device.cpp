@@ -46,7 +46,9 @@ MemoryRegion* ProtectionDomain::register_memory(void* base, std::uint64_t length
 
 sim::Task<MemoryRegion*> ProtectionDomain::register_memory_timed(void* base, std::uint64_t length,
                                                                  std::uint32_t access) {
+  co_await register_gate_.lock();
   co_await sim::delay(fabric_.model().mr_register_time(length));
+  register_gate_.unlock();
   co_return register_memory(base, length, access);
 }
 

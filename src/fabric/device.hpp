@@ -16,6 +16,7 @@
 #include "common/result.hpp"
 #include "fabric/model.hpp"
 #include "fabric/verbs.hpp"
+#include "sim/sync.hpp"
 #include "sim/task.hpp"
 
 namespace rfs::sim {
@@ -65,6 +66,11 @@ class ProtectionDomain {
 
   /// Registration with the pinning cost applied in virtual time; used on
   /// the executor cold path where registration latency matters.
+  /// Registrations within one PD serialize: ibv_reg_mr pins pages under
+  /// the owning process's mmap write lock, so concurrent calls from one
+  /// process queue up (one PD per actor models one process). This is why
+  /// per-invocation registration collapses under fan-out while a
+  /// pre-registered buffer pool does not (fig18).
   sim::Task<MemoryRegion*> register_memory_timed(void* base, std::uint64_t length,
                                                  std::uint32_t access);
 
@@ -82,6 +88,7 @@ class ProtectionDomain {
   Fabric& fabric_;
   std::unordered_map<std::uint32_t, std::unique_ptr<MemoryRegion>> by_rkey_;
   std::unordered_map<std::uint32_t, MemoryRegion*> by_lkey_;
+  sim::Mutex register_gate_;  // mmap-lock serialization of timed registrations
 };
 
 /// One NIC. Owns its protection domains and queue pairs.

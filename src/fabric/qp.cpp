@@ -21,19 +21,16 @@ Status QueuePair::post_recv(RecvWr wr) {
     Parked p = std::move(parked_.front());
     parked_.pop_front();
     recv_queue_.push_back(std::move(wr));
-    deliver_with_recv(p.wr, p.payload, p.arrival);
+    deliver_with_recv(p.wr, p.payload, p.byte_len, p.arrival);
     return Status::success();
   }
   recv_queue_.push_back(std::move(wr));
   return Status::success();
 }
 
-Status QueuePair::post_send(SendWr wr) {
+Status QueuePair::validate_send(const SendWr& wr) const {
   if (state_ != QpState::Rts) return Error::make(1, "post_send: QP not in RTS");
   const auto& model = dev_.fabric().model();
-
-  std::uint64_t total = 0;
-  for (const auto& s : wr.sge) total += s.length;
 
   switch (wr.opcode) {
     case Opcode::Send:
@@ -41,7 +38,7 @@ Status QueuePair::post_send(SendWr wr) {
     case Opcode::Write:
     case Opcode::WriteImm: {
       if (auto st = validate_sges(wr.sge); !st) return st;
-      if (wr.inline_data && total > model.max_inline) {
+      if (wr.inline_data && wr.sge.total_length() > model.max_inline) {
         return Error::make(2, "post_send: inline payload exceeds max_inline");
       }
       break;
@@ -66,6 +63,11 @@ Status QueuePair::post_send(SendWr wr) {
     default:
       return Error::make(2, "post_send: invalid opcode");
   }
+  return Status::success();
+}
+
+Status QueuePair::post_send(SendWr wr) {
+  if (auto st = validate_send(wr); !st) return st;
 
   Bytes inline_copy;
   if (wr.inline_data) {
@@ -74,16 +76,43 @@ Status QueuePair::post_send(SendWr wr) {
     inline_copy = std::move(gathered).take();
   }
 
-  sim::spawn(dev_.fabric().engine(), run_send(std::move(wr), std::move(inline_copy)));
+  const Duration doorbell = dev_.fabric().model().post_overhead;
+  sim::spawn(dev_.fabric().engine(), run_send(std::move(wr), std::move(inline_copy), doorbell));
   return Status::success();
 }
 
-sim::Task<void> QueuePair::run_send(SendWr wr, Bytes inline_copy) {
+Status QueuePair::post_send_many(std::span<SendWr> wrs) {
+  // Validate the whole chain before posting anything: ibv_post_send stops
+  // at the first bad WR, and a half-posted chain is useless to callers.
+  for (const SendWr& wr : wrs) {
+    if (auto st = validate_send(wr); !st) return st;
+  }
+
+  const Duration doorbell = dev_.fabric().model().post_overhead;
+  bool first = true;
+  for (SendWr& wr : wrs) {
+    Bytes inline_copy;
+    if (wr.inline_data) {
+      auto gathered = gather(wr.sge);
+      if (!gathered) return gathered.error();
+      inline_copy = std::move(gathered).take();
+    }
+    // One doorbell for the chain: the first WR pays the MMIO write + WQE
+    // fetch; later WRs are fetched with the same doorbell.
+    sim::spawn(dev_.fabric().engine(),
+               run_send(std::move(wr), std::move(inline_copy), first ? doorbell : 0));
+    first = false;
+  }
+  return Status::success();
+}
+
+sim::Task<void> QueuePair::run_send(SendWr wr, Bytes inline_copy, Duration doorbell) {
   const auto& model = dev_.fabric().model();
   auto& net = dev_.fabric().net();
 
-  // Doorbell + WQE fetch; non-inlined payloads add a PCIe DMA read.
-  Duration launch = model.post_overhead;
+  // Doorbell + WQE fetch (zero for chained WRs riding a batched post);
+  // non-inlined payloads add a PCIe DMA read.
+  Duration launch = doorbell;
   const bool is_payload_op = wr.opcode == Opcode::Send || wr.opcode == Opcode::SendImm ||
                              wr.opcode == Opcode::Write || wr.opcode == Opcode::WriteImm;
   if (is_payload_op && !wr.inline_data) launch += model.dma_read_latency;
@@ -126,8 +155,7 @@ sim::Task<void> QueuePair::run_send(SendWr wr, Bytes inline_copy) {
   }
 
   if (wr.opcode == Opcode::Read) {
-    std::uint64_t total = 0;
-    for (const auto& s : wr.sge) total += s.length;
+    const std::uint64_t total = wr.sge.total_length();
     Time request_at = net.reserve_rdma(src, dst, 16);
     co_await sim::delay_until(request_at);
     if (peer.state_ == QpState::Error) {
@@ -152,19 +180,29 @@ sim::Task<void> QueuePair::run_send(SendWr wr, Bytes inline_copy) {
     co_return;
   }
 
-  // Payload-carrying operations: gather at DMA time (non-inlined reads the
-  // application buffer now — true zero-copy semantics).
-  Bytes payload;
+  // Payload-carrying operations. Single-SGE non-inlined payloads — the
+  // entire invocation data plane — move straight out of the registered
+  // application buffer with no intermediate copy: the NIC reads the
+  // buffer at transfer time, which is exactly the registered-memory
+  // contract. Multi-SGE payloads gather into a staging copy (real HCAs
+  // coalesce SGEs in the DMA engine; one copy models that fairly).
+  Bytes staged;
+  std::span<const std::uint8_t> payload;
   if (wr.inline_data) {
-    payload = std::move(inline_copy);
-  } else {
+    staged = std::move(inline_copy);
+    payload = {staged.data(), staged.size()};
+  } else if (wr.sge.size() == 1) {
+    payload = {reinterpret_cast<const std::uint8_t*>(wr.sge[0].addr), wr.sge[0].length};
+  } else if (!wr.sge.empty()) {
     auto gathered = gather(wr.sge);
     if (!gathered) {
       complete_local(wr, WcStatus::LocalProtectionError, 0);
       co_return;
     }
-    payload = std::move(gathered).take();
+    staged = std::move(gathered).take();
+    payload = {staged.data(), staged.size()};
   }
+  const auto byte_len = static_cast<std::uint32_t>(payload.size());
 
   Time delivered = net.reserve_rdma(src, dst, payload.size());
   co_await sim::delay_until(delivered);
@@ -186,7 +224,7 @@ sim::Task<void> QueuePair::run_send(SendWr wr, Bytes inline_copy) {
     }
     if (wr.opcode == Opcode::Write) {
       co_await sim::delay(model.cqe_overhead);
-      complete_local(wr, WcStatus::Success, static_cast<std::uint32_t>(payload.size()));
+      complete_local(wr, WcStatus::Success, byte_len);
       co_return;
     }
   }
@@ -194,18 +232,25 @@ sim::Task<void> QueuePair::run_send(SendWr wr, Bytes inline_copy) {
   // Send/SendImm/WriteImm consume a receive at the target.
   if (peer.recv_queue_.empty()) {
     if (peer.rnr_policy_ == RnrPolicy::Wait) {
-      peer.parked_.push_back(Parked{wr, std::move(payload), dev_.fabric().engine().now()});
+      // WriteImm data is already placed via the rkey above; only sends
+      // must park a payload copy (the source buffer may be reused before
+      // a receive shows up).
+      Bytes copy;
+      if (wr.opcode != Opcode::WriteImm) copy.assign(payload.begin(), payload.end());
+      peer.parked_.push_back(Parked{wr, std::move(copy), byte_len, dev_.fabric().engine().now()});
       co_return;  // local completion generated on eventual delivery
     }
     complete_local(wr, WcStatus::RnrRetryExceeded, 0);
     co_return;
   }
-  peer.deliver_with_recv(wr, payload, dev_.fabric().engine().now());
+  peer.deliver_with_recv(wr, payload, byte_len, dev_.fabric().engine().now());
 }
 
 void QueuePair::deliver_with_recv(const SendWr& wr, std::span<const std::uint8_t> payload,
-                                  Time arrival) {
-  // Runs on the *receiving* QP ("this" is the target).
+                                  std::uint32_t byte_len, Time arrival) {
+  // Runs on the *receiving* QP ("this" is the target). For parked
+  // WriteImm deliveries `payload` is empty (the data was placed when the
+  // write landed) and `byte_len` carries the completion byte count.
   RecvWr recv = std::move(recv_queue_.front());
   recv_queue_.pop_front();
   const auto& model = dev_.fabric().model();
@@ -214,17 +259,16 @@ void QueuePair::deliver_with_recv(const SendWr& wr, std::span<const std::uint8_t
   Wc remote{};
   remote.wr_id = recv.wr_id;
   remote.qp_num = qp_num_;
-  remote.byte_len = static_cast<std::uint32_t>(payload.size());
+  remote.byte_len = byte_len;
 
   Wc local{};
   local.wr_id = wr.wr_id;
   local.qp_num = peer_ != nullptr ? peer_->qp_num() : 0;
   local.opcode = wr.opcode;
-  local.byte_len = static_cast<std::uint32_t>(payload.size());
+  local.byte_len = byte_len;
 
   if (wr.opcode == Opcode::Send || wr.opcode == Opcode::SendImm) {
-    std::uint64_t capacity = 0;
-    for (const auto& s : recv.sge) capacity += s.length;
+    const std::uint64_t capacity = recv.sge.total_length();
     if (payload.size() > capacity) {
       remote.status = WcStatus::LocalProtectionError;
       remote.opcode = Opcode::Recv;
@@ -280,11 +324,9 @@ void QueuePair::complete_local(const SendWr& wr, WcStatus status, std::uint32_t 
   send_cq_->push(wc);
 }
 
-Result<Bytes> QueuePair::gather(const std::vector<Sge>& sge) const {
+Result<Bytes> QueuePair::gather(const SgeList& sge) const {
   Bytes out;
-  std::uint64_t total = 0;
-  for (const auto& s : sge) total += s.length;
-  out.reserve(total);
+  out.reserve(sge.total_length());
   for (const auto& s : sge) {
     const auto* p = reinterpret_cast<const std::uint8_t*>(s.addr);
     out.insert(out.end(), p, p + s.length);
@@ -292,7 +334,7 @@ Result<Bytes> QueuePair::gather(const std::vector<Sge>& sge) const {
   return out;
 }
 
-Status QueuePair::validate_sges(const std::vector<Sge>& sge) const {
+Status QueuePair::validate_sges(const SgeList& sge) const {
   for (const auto& s : sge) {
     MemoryRegion* mr = pd_->find_lkey(s.lkey);
     if (mr == nullptr) return Error::make(3, "invalid lkey");

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <span>
 
 #include "common/bytes.hpp"
 #include "common/result.hpp"
@@ -55,6 +56,13 @@ class QueuePair {
   /// remote-protection errors arrive as error CQEs.
   Status post_send(SendWr wr);
 
+  /// Posts a chain of work requests with a single doorbell, mirroring the
+  /// linked-list form of ibv_post_send: the first WR pays post_overhead,
+  /// the rest ride the same MMIO write. All WRs are validated up front —
+  /// a validation failure of any WR fails the whole chain before anything
+  /// is posted (as a real post_send stops at the bad_wr).
+  Status post_send_many(std::span<SendWr> wrs);
+
   /// Transitions to the error state, flushing posted receives.
   void set_error();
 
@@ -63,15 +71,21 @@ class QueuePair {
  private:
   struct Parked {
     SendWr wr;
-    Bytes payload;   // gathered at delivery time
+    // Send/SendImm park a copy of the payload (the sender's buffer may be
+    // reused before a receive shows up); WriteImm data is already placed
+    // via the rkey, so only the byte count is kept — no copy.
+    Bytes payload;
+    std::uint32_t byte_len = 0;
     Time arrival;
   };
 
-  sim::Task<void> run_send(SendWr wr, Bytes inline_copy);
-  void deliver_with_recv(const SendWr& wr, std::span<const std::uint8_t> payload, Time arrival);
+  Status validate_send(const SendWr& wr) const;
+  sim::Task<void> run_send(SendWr wr, Bytes inline_copy, Duration doorbell);
+  void deliver_with_recv(const SendWr& wr, std::span<const std::uint8_t> payload,
+                         std::uint32_t byte_len, Time arrival);
   void complete_local(const SendWr& wr, WcStatus status, std::uint32_t byte_len);
-  [[nodiscard]] Result<Bytes> gather(const std::vector<Sge>& sge) const;
-  [[nodiscard]] Status validate_sges(const std::vector<Sge>& sge) const;
+  [[nodiscard]] Result<Bytes> gather(const SgeList& sge) const;
+  [[nodiscard]] Status validate_sges(const SgeList& sge) const;
 
   Device& dev_;
   std::uint32_t qp_num_;

@@ -5,8 +5,11 @@
 // like the real implementation and could be retargeted to hardware verbs.
 #pragma once
 
+#include <array>
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
-#include <vector>
+#include <initializer_list>
 
 namespace rfs::fabric {
 
@@ -52,11 +55,51 @@ struct Sge {
   std::uint32_t lkey = 0;
 };
 
+/// Inline scatter-gather list. Real WRs carry at most max_send_sge
+/// entries (single digits on every HCA), so a fixed-capacity array keeps
+/// work-request construction off the heap — the invocation fast path
+/// posts a WR per call and must not allocate.
+class SgeList {
+ public:
+  static constexpr std::size_t kMaxSge = 4;
+
+  SgeList() = default;
+  SgeList(std::initializer_list<Sge> init) {
+    for (const Sge& s : init) push_back(s);
+  }
+
+  void push_back(const Sge& s) {
+    assert(count_ < kMaxSge && "SgeList: more SGEs than max_send_sge");
+    elems_[count_++] = s;
+  }
+  void clear() { count_ = 0; }
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] Sge& operator[](std::size_t i) { return elems_[i]; }
+  [[nodiscard]] const Sge& operator[](std::size_t i) const { return elems_[i]; }
+  [[nodiscard]] Sge* begin() { return elems_.data(); }
+  [[nodiscard]] Sge* end() { return elems_.data() + count_; }
+  [[nodiscard]] const Sge* begin() const { return elems_.data(); }
+  [[nodiscard]] const Sge* end() const { return elems_.data() + count_; }
+
+  /// Sum of the element lengths (the WR's payload size).
+  [[nodiscard]] std::uint64_t total_length() const {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < count_; ++i) total += elems_[i].length;
+    return total;
+  }
+
+ private:
+  std::array<Sge, kMaxSge> elems_{};
+  std::size_t count_ = 0;
+};
+
 /// Send-queue work request.
 struct SendWr {
   std::uint64_t wr_id = 0;
   Opcode opcode = Opcode::Write;
-  std::vector<Sge> sge;
+  SgeList sge;
   std::uint64_t remote_addr = 0;   // WRITE/READ/atomics target
   std::uint32_t rkey = 0;
   std::uint32_t imm = 0;           // immediate data for *Imm opcodes
@@ -69,7 +112,7 @@ struct SendWr {
 /// Receive-queue work request.
 struct RecvWr {
   std::uint64_t wr_id = 0;
-  std::vector<Sge> sge;
+  SgeList sge;
 };
 
 /// Work completion, mirrors ibv_wc.

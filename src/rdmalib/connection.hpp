@@ -55,6 +55,10 @@ class Connection {
                         std::uint64_t remote_addr, std::uint32_t rkey, std::uint64_t add,
                         std::uint64_t wr_id);
 
+  /// Posts a pre-built WR chain with a single doorbell (ibv_post_send
+  /// linked-list form); N WRs cost one post_overhead, not N.
+  Status post_many(std::span<fabric::SendWr> wrs) { return qp_->post_send_many(wrs); }
+
   /// Posts a receive covering the raw region of `buf`.
   template <typename T>
   Status post_recv_buffer(Buffer<T>& buf, std::uint64_t wr_id) {
@@ -75,6 +79,10 @@ class Connection {
   sim::Task<fabric::Wc> wait_recv_blocking() { return recv_cq_->wait_blocking(); }
   sim::Task<fabric::Wc> wait_send_polling() { return send_cq_->wait_polling(); }
   sim::Task<fabric::Wc> wait_send_blocking() { return send_cq_->wait_blocking(); }
+  /// Batched busy-poll: one sweep drains every ready send completion.
+  sim::Task<std::size_t> wait_send_polling_many(std::span<fabric::Wc> out) {
+    return send_cq_->wait_polling_many(out);
+  }
 
   /// Tears the connection down; the peer sees errors on its next ops.
   void close();

@@ -115,6 +115,36 @@ struct Config {
   /// Idle executor reaping threshold of the lightweight allocator.
   Duration executor_idle_timeout = 60_s;
 
+  /// Warm sandbox pool of the executor manager (0 = disabled, the
+  /// seed behaviour). When enabled, retired sandboxes — lease expired,
+  /// terminated, deallocated or reaped — park in a bounded keep-alive
+  /// pool instead of tearing down: the executor process, its workers and
+  /// their registered RDMA buffers stay alive, so a repeat allocation of
+  /// the same shape by the same tenant revives in `warm_pool_revive`
+  /// instead of paying sandbox spawn + buffer registration + worker
+  /// spawn. Pooled sandboxes hold their host memory reservation (the
+  /// provider-funded cost of keep-alive; clients are not billed for it).
+  std::uint32_t warm_pool_capacity = 0;
+
+  /// Predictive eviction (the SeBS keep-alive model): the pool keeps a
+  /// per-function histogram of observed idle times between retire and
+  /// revive; a pooled sandbox's keep-alive horizon is this quantile of
+  /// its function's idle distribution, clamped to the bounds below.
+  /// Functions with no history yet get the max (optimistic start).
+  double warm_pool_quantile = 0.99;
+  /// Safety factor on the predicted horizon: idle gaps jitter, and a gap
+  /// marginally above every previous observation would otherwise always
+  /// evict. The padded horizon trades a little held memory for not
+  /// cold-starting a tenant whose cadence drifted a few percent.
+  double warm_pool_horizon_margin = 1.5;
+  Duration warm_pool_min_keepalive = 1_s;
+  Duration warm_pool_max_keepalive = 120_s;
+  Duration warm_pool_sweep_period = 1_s;
+
+  /// Reviving a pooled sandbox on a warm hit: rebind the allocation and
+  /// signal the worker threads (process and registrations are live).
+  Duration warm_pool_revive = 50_us;
+
   /// How often executor managers flush accounting to the billing DB.
   Duration billing_flush_period = 2_s;
 

@@ -1,6 +1,7 @@
 #include "rfaas/executor.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/log.hpp"
 
@@ -21,8 +22,11 @@ sim::Task<void> Worker::init() {
   const std::uint64_t out_bytes = mgr_.config_.worker_out_buffer_bytes > 0
                                       ? mgr_.config_.worker_out_buffer_bytes
                                       : mgr_.config_.worker_buffer_bytes;
-  recv_buf_ = std::make_unique<rdmalib::Buffer<std::uint8_t>>(mgr_.config_.worker_buffer_bytes);
-  out_buf_ = std::make_unique<rdmalib::Buffer<std::uint8_t>>(out_bytes);
+  // Draw from the manager's buffer freelist when a retired worker left a
+  // matching region behind; a new process still pays the (timed) pinning
+  // cost, but not the host-side allocation + page-fault churn.
+  recv_buf_ = mgr_.take_pooled_buffer(mgr_.config_.worker_buffer_bytes);
+  out_buf_ = mgr_.take_pooled_buffer(out_bytes);
   co_await recv_buf_->register_memory_timed(*pd_, fabric::RemoteWrite | fabric::LocalWrite);
   co_await out_buf_->register_memory_timed(*pd_, fabric::LocalWrite);
   co_await sim::delay(mgr_.config_.worker_spawn);
@@ -41,6 +45,43 @@ void Worker::stop() {
   running_ = false;
   connected_.set();
   if (conn_) conn_->close();
+}
+
+sim::Task<void> Worker::drain() {
+  running_ = false;
+  connected_.set();
+  if (in_flight_) {
+    // An invocation is executing: let it run to completion and write its
+    // result back over the still-open connection before closing. run()
+    // exits its loop right after (running_ is false) and sets done_.
+    ++mgr_.drained_in_flight_;
+    co_await done_.wait();
+  }
+  // Idle (or now-finished) worker: closing flushes pending receives with
+  // FlushError, which wakes a hot poller or blocked warm waiter promptly.
+  if (conn_) conn_->close();
+}
+
+void Worker::rearm() {
+  conn_.reset();
+  connected_.reset();
+  done_.reset();
+  running_ = true;
+  hot_ = false;
+  holds_core_ = false;
+  in_flight_ = false;
+  sim::spawn(mgr_.engine_, run());
+}
+
+void Worker::surrender_buffers() {
+  if (recv_buf_) {
+    recv_buf_->deregister();
+    mgr_.recycle_buffer(std::move(recv_buf_));
+  }
+  if (out_buf_) {
+    out_buf_->deregister();
+    mgr_.recycle_buffer(std::move(out_buf_));
+  }
 }
 
 void Worker::post_receive() {
@@ -87,7 +128,9 @@ sim::Task<void> Worker::run() {
           continue;
         }
         if (wc->status != fabric::WcStatus::Success) break;
+        in_flight_ = true;
         co_await execute_and_reply(*wc, true);
+        in_flight_ = false;
       } else {
         // Warm: block on the completion channel; pay wake-up + re-arm and
         // the local resource check with the allocator, then acquire the
@@ -95,9 +138,13 @@ sim::Task<void> Worker::run() {
         auto wc = co_await conn_->wait_recv_blocking();
         if (!running_) break;
         if (wc.status != fabric::WcStatus::Success) break;
+        // The invocation's bytes already landed in recv_buf_; from here it
+        // must run to completion even if a teardown starts concurrently.
+        in_flight_ = true;
         co_await sim::delay(mgr_.config_.warm_rearm + mgr_.config_.warm_resource_check);
         holds_core_ = mgr_.host_.try_acquire_core();
         co_await execute_and_reply(wc, false);
+        in_flight_ = false;
         if (holds_core_) {
           if (sandbox_.policy == InvocationPolicy::Adaptive) {
             hot_ = true;  // enter hot polling on the held core
@@ -174,6 +221,34 @@ sim::Task<void> Worker::execute_and_reply(const fabric::Wc& wc, bool hot) {
 }
 
 // ---------------------------------------------------------------------------
+// IdleHistory
+// ---------------------------------------------------------------------------
+
+Duration IdleHistory::quantile(double q) const {
+  std::array<Duration, kWindow> sorted{};
+  std::copy_n(samples_.begin(), count_, sorted.begin());
+  std::sort(sorted.begin(), sorted.begin() + count_);
+  q = std::clamp(q, 0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(count_ - 1) + 0.5);
+  return sorted[idx];
+}
+
+namespace {
+
+/// Histogram key of a sandbox: its tenant plus its primary
+/// (first-installed) function. Idle behaviour is a property of how ONE
+/// tenant drives a function image — mixing tenants would let a bursty
+/// client's short gaps shrink the keep-alive horizon of a slow-cadence
+/// one (and vice versa), exactly the cross-tenant interference the
+/// per-function SeBS eviction model avoids.
+std::string function_key(const Sandbox& sb) {
+  return std::to_string(sb.client_id) + '/' +
+         (sb.codes.empty() ? std::string{} : sb.codes.front()->name);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
 // ExecutorManager
 // ---------------------------------------------------------------------------
 
@@ -199,6 +274,9 @@ void ExecutorManager::start(fabric::DeviceId rm_device, std::uint16_t rm_port) {
   sim::spawn(engine_, register_with_rm(rm_device, rm_port));
   sim::spawn(engine_, billing_flush_loop());
   sim::spawn(engine_, reaper_loop());
+  // Only schedule the sweep when the pool exists: with the pool disabled
+  // (the default) the manager's event pattern is exactly the seed's.
+  if (config_.warm_pool_capacity > 0) sim::spawn(engine_, warm_pool_sweeper());
 }
 
 void ExecutorManager::stop(bool crash) {
@@ -213,6 +291,12 @@ void ExecutorManager::stop(bool crash) {
     for (auto& w : sb.workers) w->stop();
     graveyard_.push_back(std::move(it->second));
     sandboxes_.erase(it);
+  }
+  while (!warm_pool_.empty()) {
+    auto sb = std::move(warm_pool_.front());
+    warm_pool_.pop_front();
+    host_.release_memory(sb->memory_bytes);
+    graveyard_.push_back(std::move(sb));
   }
   if (rm_stream_) rm_stream_->close();
   (void)crash;  // a graceful stop and a crash differ only in notifications,
@@ -289,6 +373,16 @@ sim::Task<void> ExecutorManager::handle_stream(std::shared_ptr<net::TcpStream> s
           stream->send(encode_lease_error(pkg.error().message));
           break;
         }
+        // Warm-pool payoff: a revived sandbox still has the library
+        // installed from its previous life — return the existing index
+        // and skip the dlopen + relocation cost entirely.
+        auto installed = std::find(sb->codes.begin(), sb->codes.end(), pkg.value());
+        if (installed != sb->codes.end()) {
+          SubmitCodeOkMsg ok;
+          ok.fn_index = static_cast<std::uint16_t>(installed - sb->codes.begin());
+          stream->send(encode(ok));
+          break;
+        }
         // Install the shipped library: dlopen + relocation cost scales
         // with the code size (which already paid its wire cost).
         co_await sim::delay(config_.code_install_base +
@@ -327,7 +421,57 @@ sim::Task<AllocationReplyMsg> ExecutorManager::allocate_sandbox(const Allocation
     co_return reply;
   }
   const std::uint64_t total_memory = req.memory_bytes * req.workers;
-  if (auto st = host_.reserve_memory(total_memory); !st.ok()) {
+
+  // Warm hit: a pooled sandbox of the same tenant and shape revives in
+  // microseconds — the executor process, its installed code and its
+  // registered buffers are all still live, so the entire cold path
+  // (sandbox spawn, buffer pinning, worker spawn, code install) vanishes.
+  if (auto pooled = take_from_pool(req, total_memory)) {
+    const Time revive_start = engine_.now();
+    Sandbox& sb = *pooled;
+    idle_history_[function_key(sb)].record(engine_.now() - sb.pooled_at);
+    ++pool_stats_.hits;
+    sb.lease_id = req.lease_id;
+    sb.policy = static_cast<InvocationPolicy>(req.policy);
+    sb.hot_timeout = req.hot_timeout;
+    sb.created_at = engine_.now();
+    sb.last_invocation = engine_.now();
+    sb.billed_until = engine_.now();
+    sb.expires_at = req.expires_at;
+    sb.pooled_at = 0;
+    sb.dead = false;
+    co_await sim::delay(config_.warm_pool_revive);
+    for (auto& w : sb.workers) {
+      // The previous serving loop signalled done_ on exit; awaiting it
+      // makes the rearm race-free before resetting the worker state.
+      co_await w->done().wait();
+      w->rearm();
+    }
+    const std::uint64_t sid = sb.id;
+    const Time expires_at = sb.expires_at;
+    sandboxes_[sid] = std::move(pooled);
+    allocated_workers_ += req.workers;
+    if (expires_at > 0) sim::spawn(engine_, sandbox_expiry(sid, expires_at));
+    reply.ok = true;
+    reply.sandbox_id = sid;
+    reply.rdma_port = rdma_port_;
+    reply.spawn_ns = engine_.now() - revive_start;
+    co_return reply;
+  }
+  if (config_.warm_pool_capacity > 0) ++pool_stats_.misses;
+
+  // Cold allocation. Under memory pressure the pool yields first:
+  // keep-alive sandboxes are reclaimed oldest-first until the reservation
+  // fits (pooled capacity is a cache, never a denial-of-service).
+  auto st = host_.reserve_memory(total_memory);
+  while (!st.ok() && !warm_pool_.empty()) {
+    auto victim = std::move(warm_pool_.front());
+    warm_pool_.pop_front();
+    ++pool_stats_.pressure_evictions;
+    destroy_sandbox_final(std::move(victim));
+    st = host_.reserve_memory(total_memory);
+  }
+  if (!st.ok()) {
     reply.error = st.error().message;
     co_return reply;
   }
@@ -376,13 +520,21 @@ sim::Task<AllocationReplyMsg> ExecutorManager::allocate_sandbox(const Allocation
 sim::Task<void> ExecutorManager::teardown_sandbox(Sandbox& sb, bool notify_rm) {
   if (sb.dead) co_return;
   sb.dead = true;
-  for (auto& w : sb.workers) w->stop();
+  // Graceful drain: a worker that already accepted an invocation finishes
+  // it and delivers the result before its connection closes; idle workers
+  // close immediately (identical to the pre-drain behaviour).
+  for (auto& w : sb.workers) co_await w->drain();
 
-  host_.release_memory(sb.memory_bytes);
+  const bool park = poolable(sb);
+  // A parked sandbox keeps its host memory reservation (the keep-alive
+  // cost); a destroyed one releases it right away.
+  if (!park) host_.release_memory(sb.memory_bytes);
   allocated_workers_ -= static_cast<std::uint32_t>(sb.workers.size());
 
   // Bill the allocation component Ca: memory reservation x wall time.
   // The flush loop already accrued up to billed_until; charge the tail.
+  // Pooled time is NOT billed to the client — keep-alive is funded by the
+  // provider in exchange for faster repeat allocations (the SeBS model).
   account_allocation(sb.client_id,
                      allocation_mib_ms(sb.memory_bytes, engine_.now() - sb.billed_until));
   sb.billed_until = engine_.now();
@@ -400,10 +552,117 @@ sim::Task<void> ExecutorManager::teardown_sandbox(Sandbox& sb, bool notify_rm) {
   }
 
   auto it = sandboxes_.find(sb.id);
+  std::unique_ptr<Sandbox> owned;
   if (it != sandboxes_.end()) {
-    graveyard_.push_back(std::move(it->second));
+    owned = std::move(it->second);
     sandboxes_.erase(it);
   }
+  if (owned == nullptr) co_return;
+
+  if (park) {
+    sb.pooled_at = engine_.now();
+    ++pool_stats_.parked;
+    warm_pool_.push_back(std::move(owned));
+    if (warm_pool_.size() > config_.warm_pool_capacity) {
+      auto victim = std::move(warm_pool_.front());
+      warm_pool_.pop_front();
+      ++pool_stats_.capacity_evictions;
+      destroy_sandbox_final(std::move(victim));
+    }
+  } else {
+    for (auto& w : sb.workers) w->surrender_buffers();
+    graveyard_.push_back(std::move(owned));
+  }
+}
+
+bool ExecutorManager::poolable(const Sandbox& sb) const {
+  return alive_ && config_.warm_pool_capacity > 0 && !sb.workers.empty();
+}
+
+std::unique_ptr<Sandbox> ExecutorManager::take_from_pool(const AllocationRequestMsg& req,
+                                                         std::uint64_t total_memory) {
+  // Most-recently-parked first: the newest entry has the warmest caches
+  // and the longest remaining keep-alive horizon. A sandbox never crosses
+  // tenants — the pool match requires the same client, isolation type,
+  // worker count and reservation size.
+  for (auto it = warm_pool_.rbegin(); it != warm_pool_.rend(); ++it) {
+    Sandbox& sb = **it;
+    if (sb.client_id != req.client_id) continue;
+    if (sb.type != static_cast<SandboxType>(req.sandbox)) continue;
+    if (sb.workers.size() != req.workers) continue;
+    if (sb.memory_bytes != total_memory) continue;
+    auto fwd = std::next(it).base();
+    auto owned = std::move(*fwd);
+    warm_pool_.erase(fwd);
+    return owned;
+  }
+  return nullptr;
+}
+
+void ExecutorManager::destroy_sandbox_final(std::unique_ptr<Sandbox> sb) {
+  host_.release_memory(sb->memory_bytes);
+  for (auto& w : sb->workers) w->surrender_buffers();
+  graveyard_.push_back(std::move(sb));
+}
+
+Duration ExecutorManager::keepalive_horizon(const Sandbox& sb) const {
+  auto it = idle_history_.find(function_key(sb));
+  if (it == idle_history_.end() || it->second.count() == 0) {
+    // No history yet: optimistic start, the first idle samples decide.
+    return config_.warm_pool_max_keepalive;
+  }
+  const Duration q = it->second.quantile(config_.warm_pool_quantile);
+  const auto padded =
+      static_cast<Duration>(static_cast<double>(q) * config_.warm_pool_horizon_margin);
+  return std::clamp(padded, config_.warm_pool_min_keepalive, config_.warm_pool_max_keepalive);
+}
+
+std::uint64_t ExecutorManager::warm_pool_memory_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& sb : warm_pool_) total += sb->memory_bytes;
+  return total;
+}
+
+sim::Task<void> ExecutorManager::warm_pool_sweeper() {
+  // Predictive eviction: a pooled sandbox whose idle time exceeds its
+  // function's keep-alive horizon (idle-histogram quantile) is unlikely
+  // to be asked for again — reclaim its memory.
+  while (alive_) {
+    co_await sim::delay(config_.warm_pool_sweep_period);
+    if (!alive_) break;
+    for (auto it = warm_pool_.begin(); it != warm_pool_.end();) {
+      Sandbox& sb = **it;
+      if (engine_.now() - sb.pooled_at > keepalive_horizon(sb)) {
+        auto victim = std::move(*it);
+        it = warm_pool_.erase(it);
+        ++pool_stats_.predictive_evictions;
+        destroy_sandbox_final(std::move(victim));
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+std::unique_ptr<rdmalib::Buffer<std::uint8_t>> ExecutorManager::take_pooled_buffer(
+    std::uint64_t bytes) {
+  auto it = buffer_pool_.find(bytes);
+  if (it != buffer_pool_.end() && !it->second.empty()) {
+    auto buf = std::move(it->second.back());
+    it->second.pop_back();
+    --buffer_pool_count_;
+    // Scrub: the region last served another allocation, possibly of a
+    // different tenant; a recycled buffer must look freshly zeroed.
+    std::memset(buf->raw(), 0, buf->raw_bytes());
+    return buf;
+  }
+  return std::make_unique<rdmalib::Buffer<std::uint8_t>>(bytes);
+}
+
+void ExecutorManager::recycle_buffer(std::unique_ptr<rdmalib::Buffer<std::uint8_t>> buf) {
+  if (buf == nullptr || buffer_pool_count_ >= kBufferPoolCap) return;
+  ++buffer_pool_count_;
+  buffer_pool_[buf->payload_bytes()].push_back(std::move(buf));
 }
 
 sim::Task<void> ExecutorManager::sandbox_expiry(std::uint64_t sandbox_id, Time expires_at) {
@@ -514,22 +773,32 @@ sim::Task<void> ExecutorManager::register_with_rm(fabric::DeviceId rm_device,
       // the manager returned the capacity when it evicted.
       auto term = decode_lease_terminated(*msg);
       if (!term) continue;
-      std::vector<std::uint64_t> doomed;
-      for (auto& [id, sb] : sandboxes_) {
-        if (!sb->dead && sb->lease_id == term.value().lease_id) doomed.push_back(id);
-      }
-      for (auto id : doomed) {
-        auto kill = [](ExecutorManager* self, std::uint64_t sandbox_id) -> sim::Task<void> {
-          Sandbox* sb = self->find_sandbox(sandbox_id);
-          if (sb != nullptr && !sb->dead) {
-            co_await self->teardown_sandbox(*sb, /*notify_rm=*/false);
-          }
-        };
-        log::debug("executor", "lease ", term.value().lease_id,
-                   " terminated by the manager, reclaiming sandbox ", id);
-        sim::spawn(engine_, kill(this, id));
-      }
+      reclaim_lease(term.value().lease_id);
+    } else if (type.value() == MsgType::LeasesTerminated) {
+      // Batched form: one message carries every lease the manager evicted
+      // from this executor in one sweep.
+      auto term = decode_leases_terminated(*msg);
+      if (!term) continue;
+      for (auto lease_id : term.value().lease_ids) reclaim_lease(lease_id);
     }
+  }
+}
+
+void ExecutorManager::reclaim_lease(std::uint64_t lease_id) {
+  std::vector<std::uint64_t> doomed;
+  for (auto& [id, sb] : sandboxes_) {
+    if (!sb->dead && sb->lease_id == lease_id) doomed.push_back(id);
+  }
+  for (auto id : doomed) {
+    auto kill = [](ExecutorManager* self, std::uint64_t sandbox_id) -> sim::Task<void> {
+      Sandbox* sb = self->find_sandbox(sandbox_id);
+      if (sb != nullptr && !sb->dead) {
+        co_await self->teardown_sandbox(*sb, /*notify_rm=*/false);
+      }
+    };
+    log::debug("executor", "lease ", lease_id,
+               " terminated by the manager, reclaiming sandbox ", id);
+    sim::spawn(engine_, kill(this, id));
   }
 }
 
@@ -558,23 +827,58 @@ void ExecutorManager::accrue_allocation() {
 
 sim::Task<void> ExecutorManager::flush_billing() {
   if (rm_conn_ == nullptr || billing_addr_ == 0 || !rm_conn_->alive()) co_return;
+  // The gate keeps concurrent flushes (periodic loop vs teardown) from
+  // draining each other's completions in the batched poll below.
+  co_await billing_flush_gate_.lock();
   for (auto& [client, usage] : pending_usage_) {
     const std::uint64_t deltas[3] = {usage.allocation_mib_ms, usage.compute_ns,
                                      usage.hot_poll_ns};
     const std::uint64_t tenant = client % BillingDatabase::kMaxTenants;
     const std::uint64_t base =
         billing_addr_ + tenant * BillingDatabase::kCountersPerTenant * 8;
+    // Chain the non-zero counter updates into a single doorbell and drain
+    // their completions in one poll sweep instead of one post + one poll
+    // per counter (the fig18 doorbell-batching model).
+    std::array<fabric::SendWr, 3> wrs;
+    std::size_t n = 0;
     for (int i = 0; i < 3; ++i) {
       if (deltas[i] == 0) continue;
-      auto st = rm_conn_->post_fetch_add(billing_scratch_->data() + i,
-                                         billing_scratch_->mr()->lkey(), base + i * 8ull,
-                                         billing_rkey_, deltas[i], /*wr_id=*/i);
-      if (!st.ok()) co_return;
-      auto wc = co_await rm_conn_->wait_send_polling();
-      if (wc.status != fabric::WcStatus::Success) co_return;
+      fabric::SendWr& wr = wrs[n++];
+      wr.wr_id = static_cast<std::uint64_t>(i);
+      wr.opcode = fabric::Opcode::FetchAdd;
+      wr.sge = {{reinterpret_cast<std::uint64_t>(billing_scratch_->data() + i), 8,
+                 billing_scratch_->mr()->lkey()}};
+      wr.remote_addr = base + static_cast<std::uint64_t>(i) * 8;
+      wr.rkey = billing_rkey_;
+      wr.swap_or_add = deltas[i];
+    }
+    if (n == 0) {
+      usage = PendingUsage{};
+      continue;
+    }
+    auto st = rm_conn_->post_many({wrs.data(), n});
+    if (!st.ok()) {
+      billing_flush_gate_.unlock();
+      co_return;
+    }
+    bool failed = false;
+    std::size_t drained = 0;
+    std::array<fabric::Wc, 3> wcs;
+    while (drained < n) {
+      const std::size_t got =
+          co_await rm_conn_->wait_send_polling_many({wcs.data(), n - drained});
+      for (std::size_t k = 0; k < got; ++k) {
+        if (wcs[k].status != fabric::WcStatus::Success) failed = true;
+      }
+      drained += got;
+    }
+    if (failed) {
+      billing_flush_gate_.unlock();
+      co_return;
     }
     usage = PendingUsage{};
   }
+  billing_flush_gate_.unlock();
 }
 
 sim::Task<void> ExecutorManager::reaper_loop() {

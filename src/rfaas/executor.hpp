@@ -12,7 +12,9 @@
 // under oversubscription, Fig. 6).
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -26,6 +28,7 @@
 #include "rfaas/functions.hpp"
 #include "rfaas/protocol.hpp"
 #include "sim/host.hpp"
+#include "sim/sync.hpp"
 
 namespace rfs::rfaas {
 
@@ -46,6 +49,22 @@ class Worker {
 
   /// Requests shutdown and wakes the loop.
   void stop();
+
+  /// Graceful shutdown: if an invocation is executing, lets it finish and
+  /// deliver its result before closing the connection; otherwise behaves
+  /// like stop(). Teardown paths (evict, drain, expiry, deallocate) use
+  /// this so in-flight work is never cut off mid-reply.
+  sim::Task<void> drain();
+
+  /// Warm-pool revival: restarts the serving loop of a worker whose
+  /// process survived in the keep-alive pool. Buffers, protection domain
+  /// and registrations are reused as-is; the caller must have awaited
+  /// done() so the previous loop has fully exited.
+  void rearm();
+
+  /// Final teardown: deregisters the RDMA buffers and hands them to the
+  /// manager's buffer freelist for the next cold start to recycle.
+  void surrender_buffers();
 
   /// Completion event of the serving loop (awaited during teardown).
   sim::Event& done() { return done_; }
@@ -76,6 +95,7 @@ class Worker {
   bool running_ = true;
   bool hot_ = false;
   bool holds_core_ = false;
+  bool in_flight_ = false;  // an accepted invocation is executing
   std::uint64_t served_ = 0;
   std::uint64_t rejected_ = 0;
 };
@@ -103,7 +123,44 @@ struct Sandbox {
   /// teardown, so long-lived (renewed) sandboxes are billed for their
   /// full span as it accrues.
   Time billed_until = 0;
+  /// When the sandbox entered the warm keep-alive pool (0 = live).
+  Time pooled_at = 0;
   bool dead = false;
+};
+
+/// Per-function histogram of observed idle times (retire → next request
+/// for the same shape). The warm pool's predictive keep-alive horizon is
+/// a quantile of this distribution, following the SeBS eviction model:
+/// keep a sandbox exactly long enough to cover the typical idle gap.
+class IdleHistory {
+ public:
+  static constexpr std::size_t kWindow = 64;
+
+  void record(Duration idle) {
+    samples_[next_] = idle;
+    next_ = (next_ + 1) % kWindow;
+    if (count_ < kWindow) ++count_;
+  }
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+  /// Quantile over the retained window; call only with count() > 0.
+  [[nodiscard]] Duration quantile(double q) const;
+
+ private:
+  std::array<Duration, kWindow> samples_{};
+  std::size_t count_ = 0;
+  std::size_t next_ = 0;
+};
+
+/// Observability counters of the warm sandbox pool.
+struct WarmPoolStats {
+  std::uint64_t hits = 0;    // allocations served by reviving a pooled sandbox
+  std::uint64_t misses = 0;  // allocations that went cold with the pool enabled
+  std::uint64_t parked = 0;  // retirements that entered the pool
+  std::uint64_t predictive_evictions = 0;  // idle past the keep-alive horizon
+  std::uint64_t capacity_evictions = 0;    // pushed out by a newer retirement
+  std::uint64_t pressure_evictions = 0;    // reclaimed to satisfy a cold allocation
 };
 
 class ExecutorManager {
@@ -136,6 +193,19 @@ class ExecutorManager {
   [[nodiscard]] std::size_t live_sandboxes() const;
   [[nodiscard]] Sandbox* find_sandbox(std::uint64_t id);
 
+  /// Warm-pool observability (tests, benches, fig18).
+  [[nodiscard]] const WarmPoolStats& warm_pool_stats() const { return pool_stats_; }
+  [[nodiscard]] std::size_t warm_pool_size() const { return warm_pool_.size(); }
+  /// Host memory held by pooled (keep-alive) sandboxes — the provider-side
+  /// cost of the pool, reported as "memory held" in fig18.
+  [[nodiscard]] std::uint64_t warm_pool_memory_bytes() const;
+  /// Keep-alive horizon the predictive policy currently assigns to this
+  /// sandbox's function (quantile of the idle histogram, clamped).
+  [[nodiscard]] Duration keepalive_horizon(const Sandbox& sb) const;
+  /// Invocations that were executing when their sandbox was torn down and
+  /// were allowed to finish (graceful drain), instead of being cut off.
+  [[nodiscard]] std::uint64_t drained_in_flight() const { return drained_in_flight_; }
+
  private:
   friend class Worker;
 
@@ -153,6 +223,23 @@ class ExecutorManager {
 
   sim::Task<AllocationReplyMsg> allocate_sandbox(const AllocationRequestMsg& req);
   sim::Task<void> teardown_sandbox(Sandbox& sb, bool notify_rm);
+
+  /// Warm sandbox pool (keep-alive; see Config::warm_pool_capacity).
+  [[nodiscard]] bool poolable(const Sandbox& sb) const;
+  std::unique_ptr<Sandbox> take_from_pool(const AllocationRequestMsg& req,
+                                          std::uint64_t total_memory);
+  /// Irreversible teardown of a retired/pooled sandbox: releases the host
+  /// memory, recycles the worker buffers and parks the object.
+  void destroy_sandbox_final(std::unique_ptr<Sandbox> sb);
+  sim::Task<void> warm_pool_sweeper();
+  /// Tears down every live sandbox of a lease the manager reclaimed.
+  void reclaim_lease(std::uint64_t lease_id);
+
+  /// Registered-buffer freelist: retired worker buffers (deregistered) are
+  /// kept for the next cold start to reuse, so steady-state churn does not
+  /// re-allocate + re-fault 8 MiB regions per worker.
+  std::unique_ptr<rdmalib::Buffer<std::uint8_t>> take_pooled_buffer(std::uint64_t bytes);
+  void recycle_buffer(std::unique_ptr<rdmalib::Buffer<std::uint8_t>> buf);
 
   sim::Engine& engine_;
   fabric::Fabric& fabric_;
@@ -175,6 +262,17 @@ class ExecutorManager {
   std::vector<std::unique_ptr<Sandbox>> graveyard_;
   std::uint64_t next_sandbox_id_ = 1;
 
+  /// Keep-alive pool, oldest first (front is the first capacity victim).
+  std::deque<std::unique_ptr<Sandbox>> warm_pool_;
+  std::map<std::string, IdleHistory> idle_history_;
+  WarmPoolStats pool_stats_;
+  std::uint64_t drained_in_flight_ = 0;
+
+  static constexpr std::size_t kBufferPoolCap = 64;
+  std::map<std::uint64_t, std::vector<std::unique_ptr<rdmalib::Buffer<std::uint8_t>>>>
+      buffer_pool_;
+  std::size_t buffer_pool_count_ = 0;
+
   struct PendingUsage {
     std::uint64_t allocation_mib_ms = 0;
     std::uint64_t compute_ns = 0;
@@ -185,6 +283,10 @@ class ExecutorManager {
   std::uint64_t billing_addr_ = 0;
   std::uint32_t billing_rkey_ = 0;
   std::unique_ptr<rdmalib::Buffer<std::uint64_t>> billing_scratch_;
+  // Serializes flush_billing bodies: the batched completion sweep
+  // (wait_send_polling_many) must not drain CQEs a concurrent flush
+  // posted, so concurrent flushes take turns on the shared billing QP.
+  sim::Mutex billing_flush_gate_;
   std::shared_ptr<net::TcpStream> rm_stream_;
 };
 

@@ -1,6 +1,7 @@
 #include "rfaas/invoker.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/log.hpp"
 
@@ -187,27 +188,54 @@ void LeaseSet::maybe_heal(const std::shared_ptr<State>& state, std::uint64_t old
   sim::spawn(*state->engine, heal(state, old_id, lost));
 }
 
+namespace {
+
+/// Reacts to one terminated-lease push: loss accounting, the holder's
+/// callback, and (when enabled) the self-healing re-allocation. Shared by
+/// the single-lease and the batched (LeasesTerminated) push forms.
+template <typename StatePtr, typename HealFn>
+void apply_termination(const StatePtr& state, std::uint64_t lease_id, std::uint8_t reason,
+                       Time evicted_at, HealFn&& heal) {
+  // A push for an untracked lease is stale: the holder released it, or
+  // a refused renewal already lost it (and started its heal).
+  auto it = state->leases.find(lease_id);
+  if (it == state->leases.end()) return;
+  const auto lost = it->second;
+  state->leases.erase(it);
+  ++state->terminations;
+  ++state->losses;
+  if (state->terminated_fn) {
+    state->terminated_fn(lease_id, static_cast<TerminationReason>(reason), evicted_at);
+  }
+  heal(lease_id, lost);
+}
+
+}  // namespace
+
 sim::Task<void> LeaseSet::notify_loop(std::shared_ptr<State> state,
                                       std::shared_ptr<net::TcpStream> stream) {
   while (true) {
     auto raw = co_await stream->recv();
     if (!raw.has_value()) co_return;  // unsubscribed / manager gone
+    auto heal = [&state](std::uint64_t id, const Tracked& lost) {
+      maybe_heal(state, id, lost);
+    };
+    auto type = peek_type(*raw);
+    if (type.ok() && type.value() == MsgType::LeasesTerminated) {
+      // Batched push: one message per sweep carries every lease of this
+      // client the manager evicted together.
+      auto batch = decode_leases_terminated(*raw);
+      if (!batch) continue;
+      for (auto lease_id : batch.value().lease_ids) {
+        apply_termination(state, lease_id, batch.value().reason, batch.value().evicted_at,
+                          heal);
+      }
+      continue;
+    }
     auto term = decode_lease_terminated(*raw);
     if (!term) continue;
-    // A push for an untracked lease is stale: the holder released it, or
-    // a refused renewal already lost it (and started its heal).
-    auto it = state->leases.find(term.value().lease_id);
-    if (it == state->leases.end()) continue;
-    const Tracked lost = it->second;
-    state->leases.erase(it);
-    ++state->terminations;
-    ++state->losses;
-    if (state->terminated_fn) {
-      state->terminated_fn(term.value().lease_id,
-                           static_cast<TerminationReason>(term.value().reason),
-                           term.value().evicted_at);
-    }
-    maybe_heal(state, term.value().lease_id, lost);
+    apply_termination(state, term.value().lease_id, term.value().reason,
+                      term.value().evicted_at, heal);
   }
 }
 
@@ -421,7 +449,8 @@ Invoker::Invoker(sim::Engine& engine, fabric::Fabric& fabric, net::TcpNetwork& t
       pd_(device.alloc_pd()),
       rm_mutex_(std::make_shared<sim::Mutex>()),
       lease_set_(std::make_unique<LeaseSet>(engine)),
-      slots_(std::make_unique<sim::Semaphore>(0)) {}
+      slots_(std::make_unique<sim::Semaphore>(0)),
+      slot_sem_(std::make_unique<sim::Semaphore>(0)) {}
 
 Invoker::~Invoker() = default;
 
@@ -685,6 +714,116 @@ sim::Task<Result<std::uint16_t>> Invoker::add_function(const std::string& name) 
     index = ok.value().fn_index;
   }
   co_return index;
+}
+
+void Invoker::reserve_slots(std::size_t count, std::size_t max_input, std::size_t max_output) {
+  for (std::size_t i = 0; i < count; ++i) {
+    auto slot = std::make_unique<InvocationSlot>(max_input, max_output);
+    // Registered once, up front; every invocation on this slot reuses the
+    // pinned regions instead of paying registration on the hot path.
+    (void)slot->in.register_memory(*pd_, fabric::LocalWrite);
+    (void)slot->out.register_memory(*pd_, fabric::RemoteWrite | fabric::LocalWrite);
+    free_slots_.push_back(slot_pool_.size());
+    slot_pool_.push_back(std::move(slot));
+    slot_sem_->release();
+  }
+}
+
+sim::Task<InvocationResult> Invoker::invoke_pooled(std::uint16_t fn_index,
+                                                   std::span<const std::uint8_t> payload) {
+  const Time submitted = engine_.now();
+  InvocationResult result;
+  if (slot_pool_.empty()) {
+    result.submitted_at = submitted;
+    result.completed_at = engine_.now();
+    co_return result;  // reserve_slots() was never called
+  }
+  co_await slot_sem_->acquire();
+  const std::size_t slot_idx = free_slots_.front();
+  free_slots_.pop_front();
+  InvocationSlot& slot = *slot_pool_[slot_idx];
+
+  const std::size_t n = std::min<std::size_t>(payload.size(), slot.in.payload_bytes());
+  if (n > 0) std::memcpy(slot.in.data(), payload.data(), n);
+
+  // Redirect loop, like submit(): rejected warm invocations move to the
+  // next free worker.
+  const std::size_t max_attempts = workers_.empty() ? 1 : 2 * workers_.size();
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    co_await slots_->acquire();
+    const std::size_t widx = free_workers_.front();
+    free_workers_.pop_front();
+
+    result = co_await invoke_pooled_on(widx, fn_index, slot, n);
+
+    free_workers_.push_back(widx);
+    slots_->release();
+
+    if (result.ok) break;
+    if (result.rejected) ++rejections_;
+    co_await sim::delay(2_us);
+  }
+  free_slots_.push_back(slot_idx);
+  slot_sem_->release();
+  result.submitted_at = submitted;
+  co_return result;
+}
+
+sim::Task<InvocationResult> Invoker::invoke_pooled_on(std::size_t worker,
+                                                      std::uint16_t fn_index,
+                                                      InvocationSlot& slot,
+                                                      std::size_t payload_bytes) {
+  InvocationResult result;
+  result.submitted_at = engine_.now();
+  WorkerRef& w = workers_[worker];
+  if (w.conn == nullptr || !w.conn->alive()) {
+    result.completed_at = engine_.now();
+    co_return result;
+  }
+
+  const std::uint32_t invocation_id = next_invocation_++ & 0x7FFFFu;
+
+  // Frame fast path: pack the header straight into the slot's registered
+  // region — no staging buffer, no allocation.
+  InvocationHeader header;
+  header.result_addr = reinterpret_cast<std::uint64_t>(slot.out.raw());
+  header.result_rkey = slot.out.mr() != nullptr ? slot.out.mr()->rkey() : 0;
+  (void)encode_into(header, slot.in.raw(), InvocationHeader::kSize);
+
+  (void)w.conn->post_recv_empty(invocation_id);
+
+  // Header + payload leave as one contiguous span of the slot; the fabric
+  // forwards single-SGE non-inline payloads by reference (zero-copy).
+  const fabric::Sge sge = slot.in.sge_with_header(payload_bytes);
+  const bool inline_ok = sge.length <= fabric_.model().max_inline;
+  auto st = w.conn->post_write_imm(sge, w.remote_buf, Imm::invocation(fn_index, invocation_id),
+                                   invocation_id, inline_ok);
+  if (!st.ok()) {
+    result.completed_at = engine_.now();
+    co_return result;
+  }
+
+  auto send_wc = polling_client_ ? co_await w.conn->wait_send_polling()
+                                 : co_await w.conn->wait_send_blocking();
+  if (send_wc.status != fabric::WcStatus::Success) {
+    result.completed_at = engine_.now();
+    co_return result;
+  }
+
+  auto wc = polling_client_ ? co_await w.conn->wait_recv_polling()
+                            : co_await w.conn->wait_recv_blocking();
+  co_await sim::delay(config_.client_completion);
+  result.completed_at = engine_.now();
+  if (wc.status != fabric::WcStatus::Success || !wc.has_imm) co_return result;
+  const InvocationResponse resp = decode_invocation_response(wc);
+  if (resp.invocation_id != invocation_id) {
+    log::warn("invoker", "immediate mismatch: got ", wc.imm, " expected ", invocation_id);
+    co_return result;
+  }
+  result.rejected = resp.rejected;
+  result.ok = !resp.rejected;
+  result.output_bytes = resp.output_bytes;
+  co_return result;
 }
 
 sim::Future<InvocationResult> Invoker::submit_raw(std::uint16_t fn_index,

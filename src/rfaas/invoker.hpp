@@ -18,6 +18,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -349,6 +350,23 @@ class Invoker {
     co_return co_await fut.get();
   }
 
+  /// Zero-copy data plane: pre-registers `count` invocation slots (input
+  /// with the 12 B header + output), each registered once with the client
+  /// PD and recycled per call. With slots reserved, invoke_pooled() never
+  /// allocates or registers on the invocation path — the contrast to
+  /// per-call buffers, whose registrations serialize on the process's
+  /// mmap lock and collapse under fan-out (fig18).
+  void reserve_slots(std::size_t count, std::size_t max_input, std::size_t max_output);
+  [[nodiscard]] std::size_t slot_count() const { return slot_pool_.size(); }
+
+  /// Fast-path invocation on a pooled slot: copies `payload` into the
+  /// slot's registered input region (clipped to the slot size), writes
+  /// header + payload to a worker as a single span, and decodes the
+  /// result notification without staging. Waits for a free slot when all
+  /// are in flight; redirects rejections like submit().
+  sim::Task<InvocationResult> invoke_pooled(std::uint16_t fn_index,
+                                            std::span<const std::uint8_t> payload);
+
   /// Releases all sandboxes and leases ("Remote resources are allocated
   /// and deallocated as needed").
   sim::Task<void> deallocate();
@@ -376,6 +394,14 @@ class Invoker {
     std::uint64_t max_payload = 0;
   };
 
+  /// One pre-registered invocation slot of the zero-copy data plane.
+  struct InvocationSlot {
+    rdmalib::Buffer<std::uint8_t> in;   // 12 B header + input payload
+    rdmalib::Buffer<std::uint8_t> out;  // result landing zone
+    InvocationSlot(std::size_t max_input, std::size_t max_output)
+        : in(max_input, InvocationHeader::kSize), out(max_output) {}
+  };
+
   struct Allocation {
     std::uint64_t lease_id = 0;
     std::uint64_t sandbox_id = 0;
@@ -391,6 +417,8 @@ class Invoker {
   sim::Task<InvocationResult> invoke_on(std::size_t worker, std::uint16_t fn_index,
                                         std::uint8_t* header_ptr, fabric::Sge sge,
                                         rdmalib::RemoteBuffer out);
+  sim::Task<InvocationResult> invoke_pooled_on(std::size_t worker, std::uint16_t fn_index,
+                                               InvocationSlot& slot, std::size_t payload_bytes);
   sim::Task<Status> connect_worker(const LeaseGrantMsg& grant, std::uint64_t sandbox_id,
                                    std::uint32_t index);
   /// Acquires leases totalling up to `remaining` workers: one serial
@@ -429,6 +457,9 @@ class Invoker {
   std::vector<WorkerRef> workers_;
   std::deque<std::size_t> free_workers_;
   std::unique_ptr<sim::Semaphore> slots_;
+  std::vector<std::unique_ptr<InvocationSlot>> slot_pool_;
+  std::deque<std::size_t> free_slots_;
+  std::unique_ptr<sim::Semaphore> slot_sem_;
   bool polling_client_ = true;
   std::uint32_t next_invocation_ = 1;
   std::uint64_t rejections_ = 0;

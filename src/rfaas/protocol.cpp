@@ -16,6 +16,31 @@ InvocationHeader InvocationHeader::unpack(const std::uint8_t* in) {
   return h;
 }
 
+std::size_t encode_into(const InvocationHeader& h, std::uint8_t* out, std::size_t capacity) {
+  if (capacity < InvocationHeader::kSize) return 0;
+  h.pack(out);
+  return InvocationHeader::kSize;
+}
+
+Result<InvocationFrame> decode_invocation_frame(std::span<const std::uint8_t> buf,
+                                                std::uint32_t byte_len) {
+  if (byte_len < InvocationHeader::kSize || byte_len > buf.size()) {
+    return Error::make(23, "protocol: malformed invocation frame");
+  }
+  InvocationFrame f;
+  f.header = InvocationHeader::unpack(buf.data());
+  f.payload = buf.subspan(InvocationHeader::kSize, byte_len - InvocationHeader::kSize);
+  return f;
+}
+
+InvocationResponse decode_invocation_response(const fabric::Wc& wc) {
+  InvocationResponse r;
+  r.invocation_id = Imm::result_id(wc.imm);
+  r.rejected = Imm::rejected(wc.imm);
+  r.output_bytes = wc.byte_len;
+  return r;
+}
+
 namespace {
 ByteWriter header(MsgType type) {
   ByteWriter w;
@@ -263,6 +288,15 @@ Bytes encode(const LeaseTerminatedMsg& m) {
   w.u64(m.lease_id);
   w.u8(m.reason);
   w.u64(m.evicted_at);
+  return w.take();
+}
+
+Bytes encode(const LeasesTerminatedMsg& m) {
+  auto w = header(MsgType::LeasesTerminated);
+  w.u8(m.reason);
+  w.u64(m.evicted_at);
+  w.u32(static_cast<std::uint32_t>(m.lease_ids.size()));
+  for (std::uint64_t id : m.lease_ids) w.u64(id);
   return w.take();
 }
 
@@ -543,6 +577,29 @@ Result<LeaseTerminatedMsg> decode_lease_terminated(const Bytes& raw) {
   m.lease_id = lease.value();
   m.reason = reason.value();
   m.evicted_at = evicted.value();
+  return m;
+}
+
+Result<LeasesTerminatedMsg> decode_leases_terminated(const Bytes& raw) {
+  auto r = open(raw, MsgType::LeasesTerminated);
+  if (!r) return r.error();
+  auto& rd = r.value();
+  LeasesTerminatedMsg m;
+  auto reason = rd.u8();
+  auto evicted = rd.u64();
+  auto count = rd.u32();
+  if (!reason.ok() || !evicted || !count) {
+    return Error::make(22, "protocol: truncated LeasesTerminated");
+  }
+  m.reason = reason.value();
+  m.evicted_at = evicted.value();
+  // No reserve() from the wire-supplied count: a corrupted count must
+  // fail on the bounds-checked reads below, not allocate.
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto id = rd.u64();
+    if (!id) return Error::make(22, "protocol: truncated LeasesTerminated");
+    m.lease_ids.push_back(id.value());
+  }
   return m;
 }
 

@@ -73,6 +73,7 @@ enum class MsgType : std::uint8_t {
   BatchGranted,
   LeaseRenewed,         // resource manager -> executor manager (push)
   SubscribeEvents,      // client -> resource manager (open a notification stream)
+  LeasesTerminated,     // resource manager -> client/executor (coalesced sweep)
   Count,                // sentinel, keep last
 };
 
@@ -210,6 +211,18 @@ struct LeaseTerminatedMsg {
   Time evicted_at = 0;      ///< when the manager made the eviction decision
 };
 
+/// Coalesced fast reclamation: one eviction sweep may terminate many
+/// leases owned by the same client (or hosted on the same executor).
+/// Pushing them in a single message keeps reclamation storms at one
+/// notification per stream per sweep instead of one per lease. Reason
+/// and decision timestamp are shared — a sweep has one cause and one
+/// decision point.
+struct LeasesTerminatedMsg {
+  std::uint8_t reason = 0;  ///< TerminationReason
+  Time evicted_at = 0;      ///< when the manager made the eviction decision
+  std::vector<std::uint64_t> lease_ids;
+};
+
 /// Opens a notification stream: the client sends this once on a dedicated
 /// connection and then only receives pushes (LeaseTerminated) for leases
 /// owned by `client_id`. Keeping pushes off the request stream preserves
@@ -264,6 +277,45 @@ inline constexpr std::size_t kLeaseGrantWireSize = 1 + 8 + 4 + 2 + 2 + 4 + 8;
 inline constexpr std::size_t kExtendLeaseWireSize = 1 + 8 + 8;
 inline constexpr std::size_t kExtendOkWireSize = 1 + 8 + 8;
 
+// ---------------------------------------------------------------------------
+// Invocation data-plane frames (fig18). The submit frame is the 12-byte
+// InvocationHeader followed by the input payload, written directly into
+// the worker's registered buffer; the response carries no body at all —
+// the executor writes the output into the client's result buffer and the
+// completion's immediate value plus byte count are the entire response.
+// Both directions encode into registered memory and decode from spans:
+// zero heap traffic, zero intermediate copies.
+// ---------------------------------------------------------------------------
+
+/// Decoded view of a received submit frame. `payload` aliases the
+/// registered receive buffer — nothing is copied or allocated.
+struct InvocationFrame {
+  InvocationHeader header;
+  std::span<const std::uint8_t> payload;
+};
+
+/// Decoded result completion: the responder's entire reply is the packed
+/// immediate of the result WRITE_WITH_IMM plus the completion byte count.
+struct InvocationResponse {
+  std::uint32_t invocation_id = 0;
+  bool rejected = false;
+  std::uint32_t output_bytes = 0;
+};
+
+/// Writes the submit-frame header into a registered buffer. Returns
+/// InvocationHeader::kSize, or 0 when `capacity` is too small (the
+/// unchecked InvocationHeader::pack stays available for fixed buffers).
+std::size_t encode_into(const InvocationHeader& h, std::uint8_t* out, std::size_t capacity);
+
+/// Bounds-checked decode of a received submit frame; `byte_len` is the
+/// byte count of the WRITE_WITH_IMM completion. Fails when the write is
+/// shorter than the header or overruns the buffer.
+Result<InvocationFrame> decode_invocation_frame(std::span<const std::uint8_t> buf,
+                                                std::uint32_t byte_len);
+
+/// Decodes a result completion (immediate + byte count).
+InvocationResponse decode_invocation_response(const fabric::Wc& wc);
+
 /// Encodes into `out` (caller-provided, no allocation). Returns the
 /// bytes written — the message's wire size — or 0 when `capacity` is too
 /// small.
@@ -292,6 +344,7 @@ Bytes encode(const BatchAllocateMsg& m);
 Bytes encode(const BatchGrantedMsg& m);
 Bytes encode(const LeaseRenewedMsg& m);
 Bytes encode(const LeaseTerminatedMsg& m);
+Bytes encode(const LeasesTerminatedMsg& m);
 Bytes encode(const SubscribeEventsMsg& m);
 
 Result<MsgType> peek_type(const Bytes& raw);
@@ -315,6 +368,7 @@ Result<BatchAllocateMsg> decode_batch_allocate(const Bytes& raw);
 Result<BatchGrantedMsg> decode_batch_granted(const Bytes& raw);
 Result<LeaseRenewedMsg> decode_lease_renewed(const Bytes& raw);
 Result<LeaseTerminatedMsg> decode_lease_terminated(const Bytes& raw);
+Result<LeasesTerminatedMsg> decode_leases_terminated(const Bytes& raw);
 Result<SubscribeEventsMsg> decode_subscribe_events(const Bytes& raw);
 
 }  // namespace rfs::rfaas

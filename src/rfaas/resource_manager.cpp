@@ -303,22 +303,52 @@ void ResourceManager::mark_executor_dead(std::uint64_t executor_id) {
 void ResourceManager::notify_evictions(
     const std::vector<ShardedResourceManager::Eviction>& evictions,
     TerminationReason reason) {
+  if (evictions.empty()) return;
   const Time now = engine_.now();
-  for (const auto& ev : evictions) {
-    LeaseTerminatedMsg msg;
-    msg.lease_id = ev.lease_id;
-    msg.reason = static_cast<std::uint8_t>(reason);
-    msg.evicted_at = now;
-    // Executor side: tear the sandbox down and release its workers.
-    if (ev.executor_stream != nullptr && !ev.executor_stream->closed()) {
-      ev.executor_stream->send(encode(msg));
+  evictions_notified_ += evictions.size();
+
+  // Coalesce per destination stream: an eviction storm that clears N
+  // leases off one executor (or one tenant) sends one batched message,
+  // not N. First-appearance order keeps the send sequence deterministic.
+  struct Dest {
+    std::shared_ptr<net::TcpStream> stream;
+    std::vector<std::uint64_t> lease_ids;
+  };
+  std::vector<Dest> dests;
+  auto add = [&dests](const std::shared_ptr<net::TcpStream>& stream, std::uint64_t lease_id) {
+    if (stream == nullptr || stream->closed()) return;
+    for (auto& d : dests) {
+      if (d.stream == stream) {
+        d.lease_ids.push_back(lease_id);
+        return;
+      }
     }
+    dests.push_back(Dest{stream, {lease_id}});
+  };
+  for (const auto& ev : evictions) {
+    // Executor side: tear the sandbox down and release its workers.
+    add(ev.executor_stream, ev.lease_id);
     // Client side: the push lands on the tenant's notification stream
     // (if subscribed); an unsubscribed client only learns through its
     // next refused renewal or a dead worker connection.
     auto it = subscribers_.find(ev.client_id);
-    if (it != subscribers_.end() && it->second != nullptr && !it->second->closed()) {
-      it->second->send(encode(msg));
+    if (it != subscribers_.end()) add(it->second, ev.lease_id);
+  }
+
+  for (auto& dest : dests) {
+    ++notification_messages_;
+    if (dest.lease_ids.size() == 1) {
+      LeaseTerminatedMsg msg;
+      msg.lease_id = dest.lease_ids.front();
+      msg.reason = static_cast<std::uint8_t>(reason);
+      msg.evicted_at = now;
+      dest.stream->send(encode(msg));
+    } else {
+      LeasesTerminatedMsg msg;
+      msg.reason = static_cast<std::uint8_t>(reason);
+      msg.evicted_at = now;
+      msg.lease_ids = std::move(dest.lease_ids);
+      dest.stream->send(encode(msg));
     }
   }
 }

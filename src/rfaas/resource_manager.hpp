@@ -97,6 +97,13 @@ class ResourceManager {
   /// counter was still rising when the sweep came due.
   [[nodiscard]] std::uint64_t rebalance_sweeps_skipped() const { return rebalance_skips_; }
 
+  /// Eviction-notification coalescing: total evicted leases announced,
+  /// and how many push messages carried them. A sweep that evicts N
+  /// leases hosted on one executor and owned by one client costs two
+  /// messages (one batched LeasesTerminated per stream), not 2N.
+  [[nodiscard]] std::uint64_t evictions_notified() const { return evictions_notified_; }
+  [[nodiscard]] std::uint64_t notification_messages() const { return notification_messages_; }
+
  private:
   sim::Task<void> run_server();
   sim::Task<void> handle_stream(std::shared_ptr<net::TcpStream> stream);
@@ -104,8 +111,10 @@ class ResourceManager {
   sim::Task<void> heartbeat_loop();
   sim::Task<void> rebalance_loop();
 
-  /// Pushes LeaseTerminated for each eviction to the hosting executor's
-  /// registration stream and the owning client's notification stream.
+  /// Pushes termination notices to each hosting executor's registration
+  /// stream and each owning client's notification stream. Notices to the
+  /// same stream coalesce into one LeasesTerminated message per sweep (a
+  /// single eviction keeps the legacy LeaseTerminated form).
   void notify_evictions(const std::vector<ShardedResourceManager::Eviction>& evictions,
                         TerminationReason reason);
 
@@ -155,6 +164,9 @@ class ResourceManager {
   /// backoff skipped because the counter was still rising.
   std::uint64_t rebalance_last_evictions_ = 0;
   std::uint64_t rebalance_skips_ = 0;
+  /// Notification-coalescing counters (evicted leases vs push messages).
+  std::uint64_t evictions_notified_ = 0;
+  std::uint64_t notification_messages_ = 0;
 };
 
 }  // namespace rfs::rfaas
