@@ -3,7 +3,11 @@
 # and run the full test suite. This is the gate every PR must keep green,
 # locally and in CI (.github/workflows/ci.yml).
 #
-#   ./scripts/check.sh [--sanitize=address,undefined|thread] [build-dir]
+#   ./scripts/check.sh [--sanitize=address,undefined|thread] [--chaos] [build-dir]
+#
+# --chaos restricts the test run to the lossy-network suite (the ctest
+# `chaos` label: fault-injector determinism, retransmission FSMs, wire
+# fuzzing) — the quick loop when iterating on protocol hardening.
 #
 # Extra cmake arguments (compiler launcher, generators) can be injected
 # through RFS_CMAKE_ARGS, e.g.
@@ -13,10 +17,12 @@ set -euo pipefail
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 sanitize=""
 build=""
+ctest_args=()
 
 for arg in "$@"; do
   case "$arg" in
     --sanitize=*) sanitize="${arg#--sanitize=}" ;;
+    --chaos) ctest_args+=(-L chaos) ;;
     --help|-h)
       sed -n '2,/^[^#]/p' "$0" | sed -n 's/^# \{0,1\}//p'
       exit 0
@@ -37,4 +43,4 @@ cmake_args=(-DRFS_WERROR=ON)
 
 cmake -B "$build" -S "$repo" "${cmake_args[@]}"
 cmake --build "$build" -j "$(nproc)"
-ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+ctest --test-dir "$build" --output-on-failure -j "$(nproc)" ${ctest_args[@]+"${ctest_args[@]}"}

@@ -1,5 +1,7 @@
 #include "cluster/harness.hpp"
 
+#include <cstdlib>
+
 #include "common/log.hpp"
 #include "common/stats.hpp"
 
@@ -59,6 +61,10 @@ Harness::Harness(ScenarioSpec spec) : spec_(std::move(spec)) {
   engine_.make_current();
   fabric_ = std::make_unique<fabric::Fabric>(engine_, spec_.config.network);
   tcp_ = std::make_unique<net::TcpNetwork>(engine_, fabric_->net());
+  if (spec_.inject_faults) {
+    faults_ = std::make_unique<net::FaultInjector>(spec_.fault_seed);
+    tcp_->set_fault_injector(faults_.get());
+  }
 
   const unsigned racks = std::max(1u, spec_.racks);
   unsigned host_counter = 0;  // round-robin rack assignment across all hosts
@@ -90,6 +96,15 @@ Harness::Harness(ScenarioSpec spec) : spec_(std::move(spec)) {
                                        client_hosts_.back().get());
     dev.set_locality(host_counter++ % racks);
     client_devices_.push_back(&dev);
+  }
+
+  if (faults_ != nullptr) {
+    // Chaos applies to the client<->manager control links only: executor
+    // registration links keep the lossless default spec, and the RDMA
+    // data plane never passes through the TCP overlay at all.
+    for (auto* dev : client_devices_) {
+      faults_->set_link(dev->id(), rm_device_->id(), spec_.faults);
+    }
   }
 }
 
@@ -139,20 +154,24 @@ rfaas::ReleaseResourcesMsg release_for(const rfaas::LeaseGrantMsg& grant,
 /// tenant loop so hold times occupy the fleet without throttling the
 /// tenant's arrival process. A renewing client abandons the lease chain
 /// first (self-healing may have replaced the original id), so the
-/// release names the live lease and cannot race a renewal or heal.
-sim::Task<void> hold_and_release(std::shared_ptr<net::TcpStream> stream,
+/// release names the live lease and cannot race a renewal or heal. The
+/// release goes through the session (retransmitted until ReleaseOk), so
+/// one dropped message cannot strand capacity until lease expiry.
+sim::Task<void> hold_and_release(std::shared_ptr<rfaas::Session> session,
                                  std::shared_ptr<rfaas::LeaseSet> leases,
                                  rfaas::ReleaseResourcesMsg release, Duration hold) {
   co_await sim::delay(hold);
   if (leases != nullptr) release.lease_id = leases->abandon(release.lease_id);
-  if (!stream->closed()) stream->send(rfaas::encode(release));
+  if (session->closed()) co_return;
+  release.request_id = session->next_request_id();
+  (void)co_await session->call(rfaas::encode(release), release.request_id);
 }
 
 }  // namespace
 
 std::shared_ptr<rfaas::LeaseSet> Harness::make_lease_set(
-    std::shared_ptr<net::TcpStream> stream, std::shared_ptr<sim::Mutex> mutex,
-    const LeaseWorkload& workload, std::shared_ptr<WorkloadCounters> out) {
+    std::shared_ptr<rfaas::Session> session, const LeaseWorkload& workload,
+    std::shared_ptr<WorkloadCounters> out) {
   if (!workload.auto_renew && !workload.subscribe_events && !workload.self_heal) {
     return nullptr;
   }
@@ -164,7 +183,7 @@ std::shared_ptr<rfaas::LeaseSet> Harness::make_lease_set(
   opts.realloc_budget = workload.realloc_budget;
   opts.realloc_backoff = workload.realloc_backoff;
   auto leases = std::make_shared<rfaas::LeaseSet>(engine_, opts);
-  leases->bind(std::move(stream), std::move(mutex));
+  leases->bind(std::move(session));
   leases->on_renewed([out](std::uint64_t, Time) { ++out->renewals; });
   leases->on_renewal_failed(
       [out](std::uint64_t, const std::string&) { ++out->renewal_failures; });
@@ -180,33 +199,35 @@ std::shared_ptr<rfaas::LeaseSet> Harness::make_lease_set(
   return leases;
 }
 
-sim::Task<void> Harness::subscribe_lease_events(std::size_t client, std::uint32_t client_id,
-                                                const LeaseWorkload& workload,
-                                                std::shared_ptr<rfaas::LeaseSet> leases) {
-  if (leases == nullptr || (!workload.subscribe_events && !workload.self_heal)) co_return;
+sim::Task<std::shared_ptr<rfaas::Session>> Harness::subscribe_lease_events(
+    std::size_t client, std::uint32_t client_id, const LeaseWorkload& workload,
+    std::shared_ptr<rfaas::LeaseSet> leases) {
+  if (leases == nullptr || (!workload.subscribe_events && !workload.self_heal)) {
+    co_return nullptr;
+  }
   auto conn = co_await tcp_->connect(client_devices_.at(client)->id(), rm_device_->id(),
                                      rm_->port());
-  if (!conn.ok()) co_return;
-  leases->subscribe(conn.value(), client_id);
+  if (!conn.ok()) co_return nullptr;
+  auto session = std::make_shared<rfaas::Session>(engine_, conn.value(), spec_.session_options);
+  leases->subscribe(session, client_id);
+  co_return session;
 }
 
 sim::Task<std::pair<bool, std::optional<rfaas::LeaseGrantMsg>>> Harness::request_lease(
-    std::shared_ptr<net::TcpStream> stream, std::shared_ptr<sim::Mutex> mutex,
-    std::uint32_t client_id, std::uint32_t workers, const LeaseWorkload& workload,
-    WorkloadCounters& out) {
+    std::shared_ptr<rfaas::Session> session, std::uint32_t client_id, std::uint32_t workers,
+    const LeaseWorkload& workload, WorkloadCounters& out) {
   rfaas::LeaseRequestMsg req;
   req.client_id = client_id;
   req.workers = workers;
   req.memory_bytes = workload.memory_per_worker;
   req.timeout = workload.lease_timeout;
+  req.request_id = session->next_request_id();
   const Time sent_at = engine_.now();
-  co_await mutex->lock();
-  stream->send(rfaas::encode(req));
-  auto raw = co_await stream->recv();
-  mutex->unlock();
-  if (!raw.has_value()) co_return {false, std::nullopt};  // stream closed
+  auto raw = co_await session->call(rfaas::encode(req), req.request_id);
+  // Stream closed or retransmit budget exhausted: the client dies.
+  if (!raw.ok()) co_return {false, std::nullopt};
 
-  auto grant = rfaas::decode_lease_grant(*raw);
+  auto grant = rfaas::decode_lease_grant(raw.value());
   if (!grant.ok()) {
     ++out.denied;
     co_return {true, std::nullopt};
@@ -222,26 +243,36 @@ sim::Task<void> Harness::lease_client_loop(std::size_t client, LeaseWorkload wor
   Rng rng(seed);
   auto uniform = [&rng](std::uint64_t lo, std::uint64_t hi) { return rng.uniform_int(lo, hi); };
 
+  ++out->clients_started;
   auto conn = co_await tcp_->connect(client_devices_.at(client)->id(), rm_device_->id(),
                                      rm_->port());
-  if (!conn.ok()) co_return;
-  auto stream = conn.value();
-  auto mutex = std::make_shared<sim::Mutex>();
-  auto leases = make_lease_set(stream, mutex, workload, out);
-  co_await subscribe_lease_events(client, static_cast<std::uint32_t>(client + 1), workload,
-                                  leases);
+  if (!conn.ok()) {
+    ++out->client_deaths;
+    co_return;
+  }
+  auto session = std::make_shared<rfaas::Session>(engine_, conn.value(), spec_.session_options);
+  out->sessions.push_back(session);
+  auto leases = make_lease_set(session, workload, out);
+  auto notify = co_await subscribe_lease_events(client, static_cast<std::uint32_t>(client + 1),
+                                                workload, leases);
+  if (notify != nullptr) out->sessions.push_back(notify);
 
+  bool died = false;
   while (engine_.now() < deadline) {
     const auto workers =
         static_cast<std::uint32_t>(uniform(workload.workers_min, workload.workers_max));
-    auto [open, grant] = co_await request_lease(stream, mutex,
+    auto [open, grant] = co_await request_lease(session,
                                                 static_cast<std::uint32_t>(client + 1),
                                                 workers, workload, *out);
-    if (!open) break;
+    if (!open) {
+      died = true;
+      break;
+    }
     if (grant) {
       // Closed loop: hold the lease (auto-renewing/self-healing if
       // configured), release, then think. The release names whatever
-      // lease currently stands in for the original grant.
+      // lease currently stands in for the original grant and is
+      // retransmitted until the manager acks it with ReleaseOk.
       if (leases != nullptr) {
         leases->track(grant->lease_id, grant->expires_at, workload.lease_timeout,
                       grant->workers, workload.memory_per_worker);
@@ -249,37 +280,50 @@ sim::Task<void> Harness::lease_client_loop(std::size_t client, LeaseWorkload wor
       co_await sim::delay(uniform(workload.hold_min, workload.hold_max));
       auto release = release_for(*grant, workload);
       if (leases != nullptr) release.lease_id = leases->abandon(grant->lease_id);
-      stream->send(rfaas::encode(release));
+      if (!session->closed()) {
+        release.request_id = session->next_request_id();
+        (void)co_await session->call(rfaas::encode(release), release.request_id);
+      }
     }
     co_await sim::delay(uniform(workload.think_min, workload.think_max));
   }
+  if (died) ++out->client_deaths;
   if (leases != nullptr) {
     out->realloc_failures += leases->realloc_failures();
     leases->stop();
   }
-  stream->close();
+  session->stream()->close();
 }
 
 sim::Task<void> Harness::tenant_client_loop(std::size_t client, TenantWorkload workload,
                                             std::uint64_t seed, Time deadline,
                                             std::shared_ptr<WorkloadCounters> out) {
   Rng rng(seed);
+  ++out->clients_started;
   auto conn = co_await tcp_->connect(client_devices_.at(client)->id(), rm_device_->id(),
                                      rm_->port());
-  if (!conn.ok()) co_return;
-  auto stream = conn.value();
-  auto mutex = std::make_shared<sim::Mutex>();
-  auto leases = make_lease_set(stream, mutex, workload.lease, out);
-  co_await subscribe_lease_events(client, static_cast<std::uint32_t>(client + 1),
-                                  workload.lease, leases);
+  if (!conn.ok()) {
+    ++out->client_deaths;
+    co_return;
+  }
+  auto session = std::make_shared<rfaas::Session>(engine_, conn.value(), spec_.session_options);
+  out->sessions.push_back(session);
+  auto leases = make_lease_set(session, workload.lease, out);
+  auto notify = co_await subscribe_lease_events(client, static_cast<std::uint32_t>(client + 1),
+                                                workload.lease, leases);
+  if (notify != nullptr) out->sessions.push_back(notify);
 
+  bool died = false;
   while (engine_.now() < deadline) {
     const auto workers = static_cast<std::uint32_t>(
         rng.uniform_int(workload.lease.workers_min, workload.lease.workers_max));
-    auto [open, grant] = co_await request_lease(stream, mutex,
+    auto [open, grant] = co_await request_lease(session,
                                                 static_cast<std::uint32_t>(client + 1),
                                                 workers, workload.lease, *out);
-    if (!open) break;
+    if (!open) {
+      died = true;
+      break;
+    }
     if (grant) {
       // The hold happens off-loop so it occupies the fleet without
       // throttling this tenant's arrival process.
@@ -288,17 +332,18 @@ sim::Task<void> Harness::tenant_client_loop(std::size_t client, TenantWorkload w
                       grant->workers, workload.lease.memory_per_worker);
       }
       spawn(hold_and_release(
-          stream, leases, release_for(*grant, workload.lease),
+          session, leases, release_for(*grant, workload.lease),
           rng.uniform_int(workload.lease.hold_min, workload.lease.hold_max)));
     }
     const double think_s = rng.exponential(std::max(1e-9, workload.arrival_hz));
     co_await sim::delay(static_cast<Duration>(think_s * 1e9));
   }
+  if (died) ++out->client_deaths;
   if (leases != nullptr) {
     out->realloc_failures += leases->realloc_failures();
     leases->stop();
   }
-  stream->close();
+  session->stream()->close();
 }
 
 sim::Task<void> Harness::sample_utilization(
@@ -331,6 +376,7 @@ UtilizationTrace Harness::run_lease_workload(const LeaseWorkload& workload, Dura
   spawn(sample_utilization(samples, deadline, sample_every));
 
   engine_.run_until(deadline);
+  last_sinks_ = {counters};
 
   UtilizationTrace trace;
   trace.samples = *samples;
@@ -344,7 +390,46 @@ UtilizationTrace Harness::run_lease_workload(const LeaseWorkload& workload, Dura
   trace.realloc_failures = counters->realloc_failures;
   trace.grant_latency = counters->grant_latency;
   trace.reclaim_latency = counters->reclaim_latency;
+  refresh_chaos_counters(trace);
   return trace;
+}
+
+void Harness::refresh_chaos_counters(UtilizationTrace& trace) const {
+  trace.retransmits = 0;
+  trace.call_failures = 0;
+  trace.duplicate_replies = 0;
+  trace.duplicate_pushes = 0;
+  trace.double_grants = 0;
+  trace.clients_started = 0;
+  trace.client_deaths = 0;
+  for (const auto& sink : last_sinks_) {
+    trace.clients_started += sink->clients_started;
+    trace.client_deaths += sink->client_deaths;
+    for (const auto& session : sink->sessions) {
+      trace.retransmits += session->retransmits();
+      trace.call_failures += session->call_failures();
+      trace.duplicate_replies += session->duplicate_replies();
+      trace.duplicate_pushes += session->duplicate_pushes();
+      trace.double_grants += session->double_grants();
+    }
+  }
+}
+
+void Harness::partition_client(std::size_t i, Time from, Time until) {
+  if (faults_ == nullptr || i >= client_devices_.size()) return;
+  faults_->add_partition(client_devices_[i]->id(), rm_device_->id(), from, until);
+}
+
+std::size_t Harness::leaked_leases_after(Duration grace) {
+  run_for(grace);
+  const std::size_t leaked = rm_->active_leases();
+  if (leaked != 0 && spec_.assert_drained) {
+    log::error("harness", "lease table not empty after drain: ", leaked,
+               " leases leaked (chaos seed ",
+               faults_ != nullptr ? faults_->seed() : 0, ")");
+    std::abort();
+  }
+  return leaked;
 }
 
 sim::Task<void> Harness::eviction_storm_loop(Duration period, unsigned leases_per_tick,
@@ -400,6 +485,7 @@ MultiTenantTrace Harness::run_multi_tenant_workload(const std::vector<TenantWork
   spawn(sample_utilization(samples, deadline, sample_every));
 
   engine_.run_until(deadline);
+  last_sinks_ = sinks;
 
   MultiTenantTrace trace;
   trace.aggregate.samples = *samples;
@@ -425,6 +511,7 @@ MultiTenantTrace Harness::run_multi_tenant_workload(const std::vector<TenantWork
                                          tenant.grant_latency.end());
     trace.tenants.push_back(std::move(tenant));
   }
+  refresh_chaos_counters(trace.aggregate);
   return trace;
 }
 

@@ -23,9 +23,11 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "net/faulty.hpp"
 #include "rfaas/executor.hpp"
 #include "rfaas/invoker.hpp"
 #include "rfaas/resource_manager.hpp"
+#include "rfaas/session.hpp"
 
 namespace rfs::cluster {
 
@@ -45,6 +47,24 @@ struct ScenarioSpec {
   /// Topology groups (racks); hosts are assigned round-robin. 1 = flat.
   unsigned racks = 1;
   rfaas::Config config{};
+
+  /// Chaos knobs (bench/fig19_chaos.cpp): when `inject_faults` is set the
+  /// harness owns a net::FaultInjector seeded with `fault_seed` and runs
+  /// every client<->manager control link under `faults`. Executor
+  /// registration links keep the lossless default unless a test retunes
+  /// them through fault_injector(), and the RDMA data plane is never
+  /// faulted — RoCE RC retransmits below the protocol under test.
+  net::FaultSpec faults{};
+  bool inject_faults = false;
+  std::uint64_t fault_seed = 1;
+  /// Retransmission parameters of every workload client session. Soak
+  /// schedules widen max_retransmits so partition windows longer than
+  /// the adaptive-RTO backoff sum cannot kill a client.
+  rfaas::SessionOptions session_options{};
+  /// When set (the default), leaked_leases_after() aborts on a nonzero
+  /// result, so chaos tests get the no-leaked-leases invariant for free;
+  /// benches that report the gate themselves clear it.
+  bool assert_drained = true;
 
   /// Homogeneous fleet shorthand.
   static ScenarioSpec uniform(unsigned executors, unsigned cores = 36,
@@ -131,6 +151,14 @@ struct UtilizationTrace {
   std::uint64_t terminations = 0;       // manager-initiated LeaseTerminated
   std::uint64_t reallocations = 0;      // lost leases replaced (self-healing)
   std::uint64_t realloc_failures = 0;   // heal budgets exhausted unreplaced
+  // Chaos accounting, summed over every client session of the run.
+  std::uint64_t retransmits = 0;        // timed-out requests sent again
+  std::uint64_t call_failures = 0;      // calls that exhausted the retransmit budget
+  std::uint64_t duplicate_replies = 0;  // replies absorbed by session dedup
+  std::uint64_t duplicate_pushes = 0;   // eviction pushes absorbed by seq dedup
+  std::uint64_t double_grants = 0;      // duplicate grant with a DIFFERENT lease id
+  std::uint64_t clients_started = 0;
+  std::uint64_t client_deaths = 0;      // loops that died on a transport failure
   std::vector<double> grant_latency;  // ns per successful grant
   /// Client-observed reclamation latency per termination push: manager
   /// eviction decision -> push absorbed by the holder (virtual ns).
@@ -152,6 +180,13 @@ struct UtilizationTrace {
     return losses() == 0 ? 100.0
                          : 100.0 * static_cast<double>(reallocations) /
                                static_cast<double>(losses());
+  }
+  /// Share of client loops that reached the horizon instead of dying on
+  /// a transport failure — the fig19 chaos gate requires 100.
+  [[nodiscard]] double client_survival_pct() const {
+    return clients_started == 0 ? 100.0
+                                : 100.0 * static_cast<double>(clients_started - client_deaths) /
+                                      static_cast<double>(clients_started);
   }
 };
 
@@ -251,6 +286,30 @@ class Harness {
   /// nullopt when the executor is not (or no longer) registered.
   std::optional<std::size_t> drain_executor(std::size_t index);
 
+  /// The chaos decision source when ScenarioSpec::inject_faults is set
+  /// (nullptr otherwise); tests add partitions or retune individual
+  /// links through it.
+  [[nodiscard]] net::FaultInjector* fault_injector() { return faults_.get(); }
+
+  /// Black-holes the control link between client host `i` and the
+  /// manager for virtual time [from, until). No-op without fault
+  /// injection.
+  void partition_client(std::size_t i, Time from, Time until);
+
+  /// Post-drain leak gate: runs the engine for `grace` so in-flight
+  /// releases and the expiry sweep land, then returns how many leases
+  /// are still live in any shard's table. After every client drained, a
+  /// nonzero result is a protocol bug (double-release miscount or a
+  /// grant the client never learned it owns) — with
+  /// ScenarioSpec::assert_drained set it aborts instead of returning.
+  std::size_t leaked_leases_after(Duration grace);
+
+  /// Re-sums the chaos counter block of `trace` from the client sessions
+  /// of the most recent workload run. Call after a post-horizon drain:
+  /// clients parked on a hold when the horizon hit keep their sessions
+  /// (and late duplicate deliveries) live past run_lease_workload().
+  void refresh_chaos_counters(UtilizationTrace& trace) const;
+
  private:
   // Heap-shared so client coroutines still parked on a hold/think delay
   // when the horizon ends can outlive run_lease_workload() safely.
@@ -263,25 +322,30 @@ class Harness {
     std::uint64_t terminations = 0;
     std::uint64_t reallocations = 0;
     std::uint64_t realloc_failures = 0;
+    std::uint64_t clients_started = 0;
+    std::uint64_t client_deaths = 0;
     std::vector<double> grant_latency;
     std::vector<double> reclaim_latency;
+    /// Every session the run's clients opened (request + notification),
+    /// harvested when traces are built — kept as shared_ptrs so chaos
+    /// counters stay readable after the owning loop unwound.
+    std::vector<std::shared_ptr<rfaas::Session>> sessions;
   };
 
   /// Builds the renewal-side LeaseSet of one workload client (nullptr
   /// when the workload does not auto-renew); its callbacks feed `out`.
-  std::shared_ptr<rfaas::LeaseSet> make_lease_set(
-      std::shared_ptr<net::TcpStream> stream, std::shared_ptr<sim::Mutex> mutex,
-      const LeaseWorkload& workload, std::shared_ptr<WorkloadCounters> out);
+  std::shared_ptr<rfaas::LeaseSet> make_lease_set(std::shared_ptr<rfaas::Session> session,
+                                                  const LeaseWorkload& workload,
+                                                  std::shared_ptr<WorkloadCounters> out);
 
-  /// One lease round trip: request `workers` on `stream`, account the
-  /// outcome (granted/denied + grant latency) into `out`, and return the
-  /// grant (nullopt when denied, nullptr stream-closed signalled via the
-  /// bool). Shared by both client loops; `mutex` serializes the round
-  /// trip against the client's renewal actor.
+  /// One lease round trip: request `workers` through `session` (which
+  /// retransmits and dedups under loss), account the outcome
+  /// (granted/denied + grant latency) into `out`, and return the grant
+  /// (nullopt when denied, session-dead signalled via the bool). Shared
+  /// by both client loops.
   sim::Task<std::pair<bool, std::optional<rfaas::LeaseGrantMsg>>> request_lease(
-      std::shared_ptr<net::TcpStream> stream, std::shared_ptr<sim::Mutex> mutex,
-      std::uint32_t client_id, std::uint32_t workers, const LeaseWorkload& workload,
-      WorkloadCounters& out);
+      std::shared_ptr<rfaas::Session> session, std::uint32_t client_id, std::uint32_t workers,
+      const LeaseWorkload& workload, WorkloadCounters& out);
 
   sim::Task<void> lease_client_loop(std::size_t client, LeaseWorkload workload,
                                     std::uint64_t seed, Time deadline,
@@ -293,11 +357,12 @@ class Harness {
                                       Time deadline, std::uint64_t seed,
                                       std::shared_ptr<StormStats> out);
   /// Opens the notification stream of one workload client and subscribes
-  /// its LeaseSet to termination pushes (no-op when the workload neither
-  /// subscribes nor self-heals).
-  sim::Task<void> subscribe_lease_events(std::size_t client, std::uint32_t client_id,
-                                         const LeaseWorkload& workload,
-                                         std::shared_ptr<rfaas::LeaseSet> leases);
+  /// its LeaseSet to termination pushes; returns the notification
+  /// session so its dedup counters can be harvested (nullptr when the
+  /// workload neither subscribes nor self-heals).
+  sim::Task<std::shared_ptr<rfaas::Session>> subscribe_lease_events(
+      std::size_t client, std::uint32_t client_id, const LeaseWorkload& workload,
+      std::shared_ptr<rfaas::LeaseSet> leases);
   sim::Task<void> sample_utilization(std::shared_ptr<std::vector<UtilizationTrace::Sample>> out,
                                      Time deadline, Duration every);
 
@@ -305,7 +370,12 @@ class Harness {
   sim::Engine engine_;
   std::unique_ptr<fabric::Fabric> fabric_;
   std::unique_ptr<net::TcpNetwork> tcp_;
+  std::unique_ptr<net::FaultInjector> faults_;
   rfaas::FunctionRegistry registry_;
+
+  /// Counter sinks of the most recent workload run, kept so
+  /// refresh_chaos_counters() can re-sum them after a drain.
+  std::vector<std::shared_ptr<WorkloadCounters>> last_sinks_;
 
   std::unique_ptr<sim::Host> rm_host_;
   fabric::Device* rm_device_ = nullptr;

@@ -1,0 +1,48 @@
+#include "net/faulty.hpp"
+
+namespace rfs::net {
+
+FaultInjector::Decision FaultInjector::decide(fabric::DeviceId src, fabric::DeviceId dst,
+                                              Time now) {
+  ++counters_.messages;
+  const std::uint64_t link = key(src, dst);
+
+  for (const auto& p : partitions_) {
+    if (p.link == link && now >= p.from && now < p.until) {
+      ++counters_.dropped;
+      ++counters_.partitioned;
+      return Decision{.drop = true};
+    }
+  }
+
+  const auto it = links_.find(link);
+  const FaultSpec& spec = it != links_.end() ? it->second : default_spec_;
+
+  Decision d;
+  // Draw every fault independently and in a fixed order, so the RNG
+  // stream (and with it the whole run) only depends on the seed and the
+  // message sequence — never on which probabilities are zero.
+  const bool drop = rng_.bernoulli(spec.drop_p);
+  const bool dup = rng_.bernoulli(spec.dup_p);
+  const bool reorder = rng_.bernoulli(spec.reorder_p);
+  const bool delay = rng_.bernoulli(spec.delay_p);
+  const Duration held =
+      static_cast<Duration>(rng_.uniform(static_cast<double>(spec.delay_min),
+                                         static_cast<double>(spec.delay_max)));
+  if (drop) {
+    ++counters_.dropped;
+    d.drop = true;
+    return d;
+  }
+  if (dup) {
+    ++counters_.duplicated;
+    d.duplicates = 1;
+  }
+  if (reorder || delay) {
+    reorder ? ++counters_.reordered : ++counters_.delayed;
+    d.extra_delay = held;
+  }
+  return d;
+}
+
+}  // namespace rfs::net

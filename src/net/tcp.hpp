@@ -22,6 +22,7 @@
 
 namespace rfs::net {
 
+class FaultInjector;
 class TcpNetwork;
 
 /// One direction-agnostic endpoint pair. Obtain via connect()/accept().
@@ -47,6 +48,7 @@ class TcpStream : public std::enable_shared_from_this<TcpStream> {
       : net_(net), local_(local), remote_(remote) {}
 
   sim::Task<void> deliver(std::shared_ptr<TcpStream> peer, Bytes message);
+  sim::Task<void> transmit(std::shared_ptr<TcpStream> peer, Bytes message, Duration extra_delay);
 
   TcpNetwork& net_;
   fabric::DeviceId local_;
@@ -86,11 +88,19 @@ class TcpNetwork {
   sim::Task<Result<std::shared_ptr<TcpStream>>> connect(fabric::DeviceId from,
                                                         fabric::DeviceId to, std::uint16_t port);
 
+  /// Installs (or clears, with nullptr) the chaos decision source every
+  /// message consults before touching the wire. Not owned; the injector
+  /// must outlive the network. nullptr (the default) is the seed
+  /// behaviour: exactly-once, in-order delivery.
+  void set_fault_injector(FaultInjector* injector) { faults_ = injector; }
+  [[nodiscard]] FaultInjector* fault_injector() const { return faults_; }
+
  private:
   void track(const std::shared_ptr<TcpStream>& stream);
 
   sim::Engine& engine_;
   fabric::Switch& switch_;
+  FaultInjector* faults_ = nullptr;
   std::map<std::pair<fabric::DeviceId, std::uint16_t>, std::unique_ptr<TcpListener>> listeners_;
   /// Every stream pair ever created (client side; the peer link reaches
   /// the server side). Only used to break peer cycles at teardown.

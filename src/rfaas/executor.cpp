@@ -543,12 +543,24 @@ sim::Task<void> ExecutorManager::teardown_sandbox(Sandbox& sb, bool notify_rm) {
   if (notify_rm && rm_stream_ != nullptr && !rm_stream_->closed()) {
     // "When users terminate the allocation before the lease expires,
     // executors notify the manager to include their resources in future
-    // allocations" (Sec. III-B).
+    // allocations" (Sec. III-B). Through the session the release
+    // retransmits until the manager acks it (detached: teardown latency
+    // must not absorb retransmission timeouts); without a session a lost
+    // release is reclaimed by the manager's expiry sweep.
     ReleaseResourcesMsg msg;
     msg.lease_id = sb.lease_id;
     msg.workers = static_cast<std::uint32_t>(sb.workers.size());
     msg.memory_bytes = sb.memory_bytes;
-    rm_stream_->send(encode(msg));
+    if (rm_session_ != nullptr && !rm_session_->closed()) {
+      auto release = [](std::shared_ptr<Session> session,
+                        ReleaseResourcesMsg rel) -> sim::Task<void> {
+        rel.request_id = session->next_request_id();
+        (void)co_await session->call(encode(rel), rel.request_id);
+      };
+      sim::spawn(engine_, release(rm_session_, msg));
+    } else {
+      rm_stream_->send(encode(msg));
+    }
   }
 
   auto it = sandboxes_.find(sb.id);
@@ -722,6 +734,13 @@ sim::Task<void> ExecutorManager::register_with_rm(fabric::DeviceId rm_device,
     co_return;
   }
   rm_stream_ = stream.value();
+  // Registration runs through a retransmitting session: a dropped
+  // RegisterExecutor or RegisterOk no longer strands the executor
+  // outside the fleet. The epoch stamps this registration attempt so the
+  // manager can fence retransmissions from a superseded session.
+  SessionOptions session_options;
+  session_options.epoch = static_cast<std::uint32_t>(++registration_epoch_);
+  rm_session_ = std::make_shared<Session>(engine_, rm_stream_, session_options);
 
   RegisterExecutorMsg reg;
   reg.device = device_.id();
@@ -729,13 +748,19 @@ sim::Task<void> ExecutorManager::register_with_rm(fabric::DeviceId rm_device,
   reg.rdma_port = rdma_port_;
   reg.cores = host_.cores();
   reg.memory_bytes = host_.memory_bytes();
-  rm_stream_->send(encode(reg));
+  reg.epoch = registration_epoch_;
+  reg.request_id = rm_session_->next_request_id();
 
-  auto reply = co_await rm_stream_->recv();
-  if (!reply.has_value()) co_return;
-  auto ok = decode_register_ok(*reply);
+  auto reply = co_await rm_session_->call(encode(reg), reg.request_id);
+  if (!reply.ok()) {
+    log::warn("executor", "registration failed: ", reply.error().message);
+    co_return;
+  }
+  auto ok = decode_register_ok(reply.value());
   if (!ok) {
-    log::warn("executor", "registration failed: ", ok.error().message);
+    // Typically a LeaseError push-back: this epoch was fenced by a newer
+    // registration session for the same device.
+    log::warn("executor", "registration refused: ", ok.error().message);
     co_return;
   }
   billing_addr_ = ok.value().billing_addr;
@@ -751,14 +776,19 @@ sim::Task<void> ExecutorManager::register_with_rm(fabric::DeviceId rm_device,
   }
 
   // Answer heartbeats and apply lease-renewal pushes for as long as we
-  // are alive.
+  // are alive. Pushes arrive through the session pump, which has already
+  // dropped duplicated deliveries of sequenced eviction pushes — a
+  // duplicated LeasesTerminated cannot reclaim a fresh sandbox that
+  // reused the lease id.
   while (true) {
-    auto msg = co_await rm_stream_->recv();
+    auto msg = co_await rm_session_->next_push();
     if (!msg.has_value()) break;
     auto type = peek_type(*msg);
     if (!type.ok() || !alive_) continue;
     if (type.value() == MsgType::Heartbeat) {
-      rm_stream_->send(encode(MsgType::HeartbeatAck));
+      // Acks are periodic and loss-tolerant by design (the liveness
+      // window spans multiple heartbeats), so they stay fire-and-forget.
+      rm_session_->send_raw(encode(MsgType::HeartbeatAck));
     } else if (type.value() == MsgType::LeaseRenewed) {
       auto renewed = decode_lease_renewed(*msg);
       if (!renewed) continue;

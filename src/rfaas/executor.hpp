@@ -27,6 +27,7 @@
 #include "rfaas/config.hpp"
 #include "rfaas/functions.hpp"
 #include "rfaas/protocol.hpp"
+#include "rfaas/session.hpp"
 #include "sim/host.hpp"
 #include "sim/sync.hpp"
 
@@ -288,6 +289,13 @@ class ExecutorManager {
   // posted, so concurrent flushes take turns on the shared billing QP.
   sim::Mutex billing_flush_gate_;
   std::shared_ptr<net::TcpStream> rm_stream_;
+  /// Hardened session over rm_stream_: registration and teardown releases
+  /// retransmit under loss, and duplicated eviction pushes are filtered
+  /// before they can reclaim a sandbox twice.
+  std::shared_ptr<Session> rm_session_;
+  /// Bumped per registration attempt; the manager fences RegisterExecutor
+  /// retransmissions from superseded sessions by this epoch.
+  std::uint64_t registration_epoch_ = 0;
 };
 
 }  // namespace rfs::rfaas

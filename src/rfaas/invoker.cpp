@@ -38,6 +38,14 @@ void LeaseSet::bind(std::shared_ptr<net::TcpStream> rm_stream,
   state_->request_mutex = std::move(request_mutex);
 }
 
+void LeaseSet::bind(std::shared_ptr<Session> rm_session) {
+  state_->session = std::move(rm_session);
+  // The session owns its stream's recv side; keep the bare-stream fields
+  // in sync so availability checks see the same transport.
+  state_->stream = state_->session->stream();
+  state_->request_mutex = nullptr;
+}
+
 void LeaseSet::subscribe(std::shared_ptr<net::TcpStream> notify_stream,
                          std::uint32_t client_id) {
   state_->client_id = client_id;
@@ -46,6 +54,18 @@ void LeaseSet::subscribe(std::shared_ptr<net::TcpStream> notify_stream,
   msg.client_id = client_id;
   notify_stream->send(encode(msg));
   sim::spawn(*state_->engine, notify_loop(state_, std::move(notify_stream)));
+}
+
+void LeaseSet::subscribe(std::shared_ptr<Session> notify_session, std::uint32_t client_id) {
+  state_->client_id = client_id;
+  state_->healing_enabled = true;
+  SubscribeEventsMsg msg;
+  msg.client_id = client_id;
+  // Subscriptions are idempotent at the manager (latest wins), so a
+  // duplicated or lost subscribe needs no request/reply discipline; a
+  // lost one is resent by the next allocate() on a fresh stream.
+  notify_session->send_raw(encode(msg));
+  sim::spawn(*state_->engine, notify_loop_session(state_, std::move(notify_session)));
 }
 
 void LeaseSet::configure(LeaseSetOptions options) { state_->options = options; }
@@ -96,9 +116,7 @@ std::uint64_t LeaseSet::abandon(std::uint64_t origin) {
     rel.lease_id = it->first;
     rel.workers = it->second.workers;
     rel.memory_bytes = it->second.memory_per_worker * it->second.workers;
-    if (state_->stream != nullptr && !state_->stream->closed()) {
-      state_->stream->send(encode(rel));
-    }
+    send_release(state_, rel);
     it = state_->leases.erase(it);
   }
   state_->leases.erase(current);
@@ -107,7 +125,10 @@ std::uint64_t LeaseSet::abandon(std::uint64_t origin) {
 }
 
 void LeaseSet::start() {
-  if (state_->stream == nullptr || state_->request_mutex == nullptr) return;
+  if (state_->session == nullptr &&
+      (state_->stream == nullptr || state_->request_mutex == nullptr)) {
+    return;
+  }
   // Re-arm healing after a stop()/start() cycle (subscribe() set it the
   // first time; the notification listener itself survives stop()).
   if (state_->options.self_heal) state_->healing_enabled = true;
@@ -177,10 +198,10 @@ void LeaseSet::maybe_heal(const std::shared_ptr<State>& state, std::uint64_t old
                           const Tracked& lost) {
   if (!state->options.self_heal || !state->healing_enabled) return;
   if (lost.workers == 0) return;  // shape unknown: nothing to re-request
-  if (state->stream == nullptr || state->stream->closed() ||
-      state->request_mutex == nullptr) {
-    return;
-  }
+  const bool session_ok = state->session != nullptr && !state->session->closed();
+  const bool stream_ok = state->stream != nullptr && !state->stream->closed() &&
+                         state->request_mutex != nullptr;
+  if (!session_ok && !stream_ok) return;
   // A lost lease is erased from the table before this runs, so the same
   // loss never heals twice; losses of different chain members (partial
   // heals) may overlap, hence a per-origin count rather than a set.
@@ -212,30 +233,84 @@ void apply_termination(const StatePtr& state, std::uint64_t lease_id, std::uint8
 
 }  // namespace
 
+void LeaseSet::handle_notification(const std::shared_ptr<State>& state, const Bytes& raw) {
+  auto heal = [&state](std::uint64_t id, const Tracked& lost) {
+    maybe_heal(state, id, lost);
+  };
+  auto type = peek_type(raw);
+  if (type.ok() && type.value() == MsgType::LeasesTerminated) {
+    // Batched push: one message per sweep carries every lease of this
+    // client the manager evicted together.
+    auto batch = decode_leases_terminated(raw);
+    if (!batch) return;
+    for (auto lease_id : batch.value().lease_ids) {
+      apply_termination(state, lease_id, batch.value().reason, batch.value().evicted_at,
+                        heal);
+    }
+    return;
+  }
+  auto term = decode_lease_terminated(raw);
+  if (!term) return;
+  apply_termination(state, term.value().lease_id, term.value().reason,
+                    term.value().evicted_at, heal);
+}
+
 sim::Task<void> LeaseSet::notify_loop(std::shared_ptr<State> state,
                                       std::shared_ptr<net::TcpStream> stream) {
   while (true) {
     auto raw = co_await stream->recv();
     if (!raw.has_value()) co_return;  // unsubscribed / manager gone
-    auto heal = [&state](std::uint64_t id, const Tracked& lost) {
-      maybe_heal(state, id, lost);
-    };
-    auto type = peek_type(*raw);
-    if (type.ok() && type.value() == MsgType::LeasesTerminated) {
-      // Batched push: one message per sweep carries every lease of this
-      // client the manager evicted together.
-      auto batch = decode_leases_terminated(*raw);
-      if (!batch) continue;
-      for (auto lease_id : batch.value().lease_ids) {
-        apply_termination(state, lease_id, batch.value().reason, batch.value().evicted_at,
-                          heal);
-      }
-      continue;
+    handle_notification(state, *raw);
+  }
+}
+
+sim::Task<void> LeaseSet::notify_loop_session(std::shared_ptr<State> state,
+                                              std::shared_ptr<Session> session) {
+  // The session pump already filtered duplicated deliveries (by push
+  // seq), so every message seen here is a first delivery.
+  while (true) {
+    auto raw = co_await session->next_push();
+    if (!raw.has_value()) co_return;
+    handle_notification(state, *raw);
+  }
+}
+
+sim::Task<Result<Bytes>> LeaseSet::exchange(std::shared_ptr<State> state,
+                                            std::function<Bytes(std::uint64_t)> make) {
+  if (state->session != nullptr) {
+    if (state->session->closed()) co_return Error::make(40, "manager session closed");
+    const std::uint64_t id = state->session->next_request_id();
+    co_return co_await state->session->call(make(id), id);
+  }
+  if (state->stream == nullptr || state->stream->closed() ||
+      state->request_mutex == nullptr) {
+    co_return Error::make(40, "manager stream closed");
+  }
+  co_await state->request_mutex->lock();
+  state->stream->send(make(0));
+  auto raw = co_await state->stream->recv();
+  state->request_mutex->unlock();
+  if (!raw.has_value()) co_return Error::make(40, "manager disconnected");
+  co_return *raw;
+}
+
+sim::Task<void> LeaseSet::release_via_session(std::shared_ptr<Session> session,
+                                              ReleaseResourcesMsg rel) {
+  rel.request_id = session->next_request_id();
+  // The call retransmits until the ReleaseOk ack lands (or the budget
+  // runs out, in which case the manager's expiry sweep reclaims it).
+  (void)co_await session->call(encode(rel), rel.request_id);
+}
+
+void LeaseSet::send_release(const std::shared_ptr<State>& state, ReleaseResourcesMsg rel) {
+  if (state->session != nullptr) {
+    if (!state->session->closed()) {
+      sim::spawn(*state->engine, release_via_session(state->session, rel));
     }
-    auto term = decode_lease_terminated(*raw);
-    if (!term) continue;
-    apply_termination(state, term.value().lease_id, term.value().reason,
-                      term.value().evicted_at, heal);
+    return;
+  }
+  if (state->stream != nullptr && !state->stream->closed()) {
+    state->stream->send(encode(rel));
   }
 }
 
@@ -254,20 +329,23 @@ sim::Task<void> LeaseSet::heal(std::shared_ptr<State> state, std::uint64_t old_i
       canceled = true;
       break;
     }
-    if (state->stream == nullptr || state->stream->closed()) break;
+    if (state->session != nullptr ? state->session->closed()
+                                  : (state->stream == nullptr || state->stream->closed())) {
+      break;
+    }
 
-    co_await state->request_mutex->lock();
     LeaseRequestMsg req;
     req.client_id = state->client_id;
     req.workers = remaining;
     req.memory_bytes = lost.memory_per_worker;
     req.timeout = lost.original_timeout;
-    state->stream->send(encode(req));
-    auto raw = co_await state->stream->recv();
-    state->request_mutex->unlock();
-    if (!raw.has_value()) break;  // manager disconnected
+    auto raw = co_await exchange(state, [&req](std::uint64_t id) {
+      req.request_id = id;
+      return encode(req);
+    });
+    if (!raw.ok()) break;  // manager unreachable (disconnect / budget out)
 
-    auto grant = decode_lease_grant(*raw);
+    auto grant = decode_lease_grant(raw.value());
     if (grant.ok()) {
       const LeaseGrantMsg& g = grant.value();
       if (!state->healing_enabled || state->canceled.count(lost.origin) > 0) {
@@ -277,7 +355,7 @@ sim::Task<void> LeaseSet::heal(std::shared_ptr<State> state, std::uint64_t old_i
         rel.lease_id = g.lease_id;
         rel.workers = g.workers;
         rel.memory_bytes = lost.memory_per_worker * g.workers;
-        if (!state->stream->closed()) state->stream->send(encode(rel));
+        send_release(state, rel);
         canceled = true;
         break;
       }
@@ -383,31 +461,36 @@ sim::Task<void> LeaseSet::renew_loop(std::shared_ptr<State> state, std::uint64_t
       }
       const Duration extension = state->options.extension != 0 ? state->options.extension
                                                                : it->second.original_timeout;
-      if (state->stream == nullptr || state->stream->closed()) {
+      const bool transport_up =
+          state->session != nullptr
+              ? !state->session->closed()
+              : (state->stream != nullptr && !state->stream->closed() &&
+                 state->request_mutex != nullptr);
+      if (!transport_up) {
         ++state->renewal_failures;
         if (state->renewal_failed_fn) state->renewal_failed_fn(id, "manager stream closed");
         failed = true;
         continue;
       }
 
-      co_await state->request_mutex->lock();
       ExtendLeaseMsg msg;
       msg.lease_id = id;
       msg.extension = extension;
-      state->stream->send(encode(msg));
-      auto raw = co_await state->stream->recv();
-      state->request_mutex->unlock();
+      auto raw = co_await exchange(state, [&msg](std::uint64_t request_id) {
+        msg.request_id = request_id;
+        return encode(msg);
+      });
       if (!active()) co_return;  // stopped mid-flight: shutdown, not a failure
 
       it = state->leases.find(id);  // may have been untracked while waiting
       if (it == state->leases.end()) continue;
-      if (!raw.has_value()) {
+      if (!raw.ok()) {
         ++state->renewal_failures;
-        if (state->renewal_failed_fn) state->renewal_failed_fn(id, "manager disconnected");
+        if (state->renewal_failed_fn) state->renewal_failed_fn(id, raw.error().message);
         failed = true;
         continue;
       }
-      auto ok = decode_extend_ok(*raw);
+      auto ok = decode_extend_ok(raw.value());
       if (ok.ok()) {
         it->second.expires_at = ok.value().expires_at;
         ++state->renewals;
@@ -415,7 +498,7 @@ sim::Task<void> LeaseSet::renew_loop(std::shared_ptr<State> state, std::uint64_t
       } else {
         // The manager refused (typically "unknown lease"): the lease is
         // dead on the authoritative side — surface both signals.
-        auto reason = decode_lease_error(*raw);
+        auto reason = decode_lease_error(raw.value());
         ++state->renewal_failures;
         if (state->renewal_failed_fn) {
           state->renewal_failed_fn(id, reason.ok() ? reason.value() : "renewal refused");
@@ -458,11 +541,18 @@ sim::Task<Status> Invoker::allocate(const AllocationSpec& spec) {
   polling_client_ = spec.polling_client;
 
   // Stage 1: connect to the resource manager (once; cached afterwards).
+  // The stream is wrapped in a retransmitting Session — the invoker's
+  // only reader of it — so every lease-critical exchange is idempotent
+  // under loss. A reconnect mints a fresh session epoch, fencing replies
+  // addressed to the dead session's id space.
   Time t0 = engine_.now();
   if (rm_stream_ == nullptr || rm_stream_->closed()) {
     auto stream = co_await tcp_.connect(device_.id(), rm_device_, rm_port_);
     if (!stream.ok()) co_return stream.error();
     rm_stream_ = stream.value();
+    SessionOptions session_options;
+    session_options.epoch = ++rm_epoch_;
+    rm_session_ = std::make_shared<Session>(engine_, rm_stream_, session_options);
   }
   cold_start_.connect_manager = engine_.now() - t0;
 
@@ -476,7 +566,7 @@ sim::Task<Status> Invoker::allocate(const AllocationSpec& spec) {
     opts.realloc_backoff = spec.realloc_backoff;
     lease_set_->configure(opts);
   }
-  lease_set_->bind(rm_stream_, rm_mutex_);
+  lease_set_->bind(rm_session_);
 
   if (spec.self_heal) {
     // Self-healing: a dedicated notification stream carries the
@@ -511,7 +601,8 @@ sim::Task<Status> Invoker::allocate(const AllocationSpec& spec) {
       auto notify = co_await tcp_.connect(device_.id(), rm_device_, rm_port_);
       if (!notify.ok()) co_return notify.error();
       notify_stream_ = notify.value();
-      lease_set_->subscribe(notify_stream_, client_id_);
+      notify_session_ = std::make_shared<Session>(engine_, notify_stream_);
+      lease_set_->subscribe(notify_session_, client_id_);
     }
   }
 
@@ -546,7 +637,6 @@ sim::Task<Status> Invoker::allocate(const AllocationSpec& spec) {
 sim::Task<Result<std::vector<LeaseGrantMsg>>> Invoker::acquire_leases(
     const AllocationSpec& spec, std::uint32_t remaining) {
   std::vector<LeaseGrantMsg> grants;
-  co_await rm_mutex_->lock();
   if (spec.batched_leases) {
     BatchAllocateMsg req;
     req.client_id = client_id_;
@@ -554,11 +644,12 @@ sim::Task<Result<std::vector<LeaseGrantMsg>>> Invoker::acquire_leases(
     req.memory_bytes = spec.memory_per_worker;
     req.timeout = spec.lease_timeout;
     req.mode = static_cast<std::uint8_t>(BatchMode::BestEffort);
-    rm_stream_->send(encode(req));
-    auto reply = co_await rm_stream_->recv();
-    rm_mutex_->unlock();
-    if (!reply.has_value()) co_return Error::make(40, "resource manager disconnected");
-    auto batch = decode_batch_granted(*reply);
+    req.request_id = rm_session_->next_request_id();
+    auto reply = co_await rm_session_->call(encode(req), req.request_id);
+    if (!reply.ok()) {
+      co_return Error::make(40, "resource manager unreachable: " + reply.error().message);
+    }
+    auto batch = decode_batch_granted(reply.value());
     if (!batch) co_return batch.error();
     if (batch.value().grants.empty()) {
       co_return Error::make(41, "lease denied: " + (batch.value().error.empty()
@@ -572,16 +663,17 @@ sim::Task<Result<std::vector<LeaseGrantMsg>>> Invoker::acquire_leases(
     req.workers = remaining;
     req.memory_bytes = spec.memory_per_worker;
     req.timeout = spec.lease_timeout;
-    rm_stream_->send(encode(req));
-    auto reply = co_await rm_stream_->recv();
-    rm_mutex_->unlock();
-    if (!reply.has_value()) co_return Error::make(40, "resource manager disconnected");
-    auto type = peek_type(*reply);
+    req.request_id = rm_session_->next_request_id();
+    auto reply = co_await rm_session_->call(encode(req), req.request_id);
+    if (!reply.ok()) {
+      co_return Error::make(40, "resource manager unreachable: " + reply.error().message);
+    }
+    auto type = peek_type(reply.value());
     if (!type.ok() || type.value() != MsgType::LeaseGrant) {
-      auto err = decode_lease_error(*reply);
+      auto err = decode_lease_error(reply.value());
       co_return Error::make(41, "lease denied: " + (err.ok() ? err.value() : "unknown"));
     }
-    auto grant_msg = decode_lease_grant(*reply);
+    auto grant_msg = decode_lease_grant(reply.value());
     if (!grant_msg) co_return grant_msg.error();
     grants.push_back(grant_msg.value());
   }

@@ -27,6 +27,7 @@
 #include "rdmalib/connection.hpp"
 #include "rfaas/config.hpp"
 #include "rfaas/protocol.hpp"
+#include "rfaas/session.hpp"
 #include "sim/host.hpp"
 #include "sim/sync.hpp"
 
@@ -96,12 +97,21 @@ class LeaseSet {
   /// renewal actor can outlive the acquiring scope).
   void bind(std::shared_ptr<net::TcpStream> rm_stream, std::shared_ptr<sim::Mutex> request_mutex);
 
+  /// Hardened alternative: renewals, heals and releases go through the
+  /// retransmitting session (idempotent request ids, adaptive timeouts)
+  /// instead of bare send/recv — the path that survives lossy links.
+  void bind(std::shared_ptr<Session> rm_session);
+
   /// Opens the termination-push channel: sends SubscribeEvents for
   /// `client_id` on `notify_stream` (a dedicated connection to the
   /// resource manager — pushes never share the request stream) and
   /// spawns a listener reacting to LeaseTerminated. Enables self-healing
   /// re-allocation when the options ask for it.
   void subscribe(std::shared_ptr<net::TcpStream> notify_stream, std::uint32_t client_id);
+
+  /// Hardened push channel: the session's pump filters duplicated
+  /// eviction pushes (by seq) before they reach the termination handler.
+  void subscribe(std::shared_ptr<Session> notify_session, std::uint32_t client_id);
 
   /// Replaces the renewal options (margin, extension). Takes effect from
   /// the next renewal decision.
@@ -186,6 +196,8 @@ class LeaseSet {
     LeaseSetOptions options;
     std::shared_ptr<net::TcpStream> stream;
     std::shared_ptr<sim::Mutex> request_mutex;
+    /// Set by the Session bind(); takes precedence over the bare stream.
+    std::shared_ptr<Session> session;
     std::map<std::uint64_t, Tracked> leases;
     /// Wakes the sleeping renewal actor early: set by track() (a new
     /// lease may be due sooner than the current sleep target), stop(),
@@ -230,6 +242,21 @@ class LeaseSet {
   static sim::Task<void> wake_at(std::shared_ptr<State> state, Duration after);
   static sim::Task<void> notify_loop(std::shared_ptr<State> state,
                                      std::shared_ptr<net::TcpStream> stream);
+  static sim::Task<void> notify_loop_session(std::shared_ptr<State> state,
+                                             std::shared_ptr<Session> session);
+  /// Reacts to one termination push (single or batched form).
+  static void handle_notification(const std::shared_ptr<State>& state, const Bytes& raw);
+  /// One serialized request/reply exchange with the manager: through the
+  /// retransmitting session when bound, else bare send/recv under the
+  /// legacy mutex. `make` encodes the request with the id it is given
+  /// (0 in legacy mode).
+  static sim::Task<Result<Bytes>> exchange(std::shared_ptr<State> state,
+                                           std::function<Bytes(std::uint64_t)> make);
+  /// Hands a lease back to the manager: a retransmitted, acked call in
+  /// session mode; fire-and-forget in legacy mode.
+  static void send_release(const std::shared_ptr<State>& state, ReleaseResourcesMsg rel);
+  static sim::Task<void> release_via_session(std::shared_ptr<Session> session,
+                                             ReleaseResourcesMsg rel);
   static sim::Task<void> heal(std::shared_ptr<State> state, std::uint64_t old_id, Tracked lost);
   /// Spawns heal() for a lost lease when healing is enabled and the
   /// lease's shape is known.
@@ -445,8 +472,14 @@ class Invoker {
   /// Serializes request/response pairs on rm_stream_ between allocate()
   /// and the LeaseSet's renewal/re-allocation actors.
   std::shared_ptr<sim::Mutex> rm_mutex_;
+  /// Hardened request/reply session over rm_stream_ (owns all recv on
+  /// it); every lease-critical exchange of this invoker goes through it.
+  std::shared_ptr<Session> rm_session_;
   /// Dedicated push channel for LeaseTerminated notifications.
   std::shared_ptr<net::TcpStream> notify_stream_;
+  std::shared_ptr<Session> notify_session_;
+  /// Session epochs fence stale exchanges across manager reconnects.
+  std::uint32_t rm_epoch_ = 0;
   std::unique_ptr<LeaseSet> lease_set_;
   /// Spec that created each self-healing lease, keyed by lease id (the
   /// mapping follows replacements), so a redeploy uses the allocation's

@@ -89,6 +89,8 @@ Bytes encode(const RegisterExecutorMsg& m) {
   w.u16(m.rdma_port);
   w.u32(m.cores);
   w.u64(m.memory_bytes);
+  w.u64(m.epoch);
+  w.u64(m.request_id);
   return w.take();
 }
 
@@ -97,6 +99,7 @@ Bytes encode(const RegisterOkMsg& m) {
   w.u16(m.rm_rdma_port);
   w.u64(m.billing_addr);
   w.u32(m.billing_rkey);
+  w.u64(m.request_id);
   return w.take();
 }
 
@@ -108,6 +111,7 @@ std::size_t encode_into(const LeaseRequestMsg& m, std::uint8_t* out, std::size_t
   p = put(p, &m.workers, 4);
   p = put(p, &m.memory_bytes, 8);
   p = put(p, &m.timeout, 8);
+  p = put(p, &m.request_id, 8);
   return static_cast<std::size_t>(p - out);
 }
 
@@ -121,6 +125,7 @@ std::size_t encode_into(const LeaseGrantMsg& m, std::uint8_t* out, std::size_t c
   p = put(p, &m.rdma_port, 2);
   p = put(p, &m.workers, 4);
   p = put(p, &m.expires_at, 8);
+  p = put(p, &m.request_id, 8);
   return static_cast<std::size_t>(p - out);
 }
 
@@ -130,6 +135,7 @@ std::size_t encode_into(const ExtendLeaseMsg& m, std::uint8_t* out, std::size_t 
   std::uint8_t* p = out + 1;
   p = put(p, &m.lease_id, 8);
   p = put(p, &m.extension, 8);
+  p = put(p, &m.request_id, 8);
   return static_cast<std::size_t>(p - out);
 }
 
@@ -139,6 +145,7 @@ std::size_t encode_into(const ExtendOkMsg& m, std::uint8_t* out, std::size_t cap
   std::uint8_t* p = out + 1;
   p = put(p, &m.lease_id, 8);
   p = put(p, &m.expires_at, 8);
+  p = put(p, &m.request_id, 8);
   return static_cast<std::size_t>(p - out);
 }
 
@@ -185,9 +192,10 @@ Bytes encode(const LeaseGrantMsg& m) {
   return b;
 }
 
-Bytes encode_lease_error(const std::string& reason) {
+Bytes encode_lease_error(const std::string& reason, std::uint64_t request_id) {
   auto w = header(MsgType::LeaseError);
   w.str(reason);
+  w.u64(request_id);
   return w.take();
 }
 
@@ -209,6 +217,14 @@ Bytes encode(const ReleaseResourcesMsg& m) {
   w.u64(m.lease_id);
   w.u32(m.workers);
   w.u64(m.memory_bytes);
+  w.u64(m.request_id);
+  return w.take();
+}
+
+Bytes encode(const ReleaseOkMsg& m) {
+  auto w = header(MsgType::ReleaseOk);
+  w.u64(m.lease_id);
+  w.u64(m.request_id);
   return w.take();
 }
 
@@ -264,6 +280,7 @@ Bytes encode(const BatchAllocateMsg& m) {
   w.u64(m.memory_bytes);
   w.u64(m.timeout);
   w.u8(m.mode);
+  w.u64(m.request_id);
   return w.take();
 }
 
@@ -273,6 +290,7 @@ Bytes encode(const BatchGrantedMsg& m) {
   w.u32(static_cast<std::uint32_t>(m.grants.size()));
   for (const auto& g : m.grants) write_grant_body(w, g);
   w.str(m.error);
+  w.u64(m.request_id);
   return w.take();
 }
 
@@ -288,6 +306,7 @@ Bytes encode(const LeaseTerminatedMsg& m) {
   w.u64(m.lease_id);
   w.u8(m.reason);
   w.u64(m.evicted_at);
+  w.u64(m.seq);
   return w.take();
 }
 
@@ -297,6 +316,7 @@ Bytes encode(const LeasesTerminatedMsg& m) {
   w.u64(m.evicted_at);
   w.u32(static_cast<std::uint32_t>(m.lease_ids.size()));
   for (std::uint64_t id : m.lease_ids) w.u64(id);
+  w.u64(m.seq);
   return w.take();
 }
 
@@ -325,7 +345,9 @@ Result<RegisterExecutorMsg> decode_register(const Bytes& raw) {
   auto rdma_port = rd.u16();
   auto cores = rd.u32();
   auto memory = rd.u64();
-  if (!device || !alloc_port || !rdma_port || !cores || !memory) {
+  auto epoch = rd.u64();
+  auto request_id = rd.u64();
+  if (!device || !alloc_port || !rdma_port || !cores || !memory || !epoch || !request_id) {
     return Error::make(22, "protocol: truncated RegisterExecutor");
   }
   m.device = device.value();
@@ -333,6 +355,8 @@ Result<RegisterExecutorMsg> decode_register(const Bytes& raw) {
   m.rdma_port = rdma_port.value();
   m.cores = cores.value();
   m.memory_bytes = memory.value();
+  m.epoch = epoch.value();
+  m.request_id = request_id.value();
   return m;
 }
 
@@ -345,7 +369,8 @@ Result<LeaseRequestMsg> decode_lease_request(std::span<const std::uint8_t> raw) 
   p = take(p, m.client_id);
   p = take(p, m.workers);
   p = take(p, m.memory_bytes);
-  take(p, m.timeout);
+  p = take(p, m.timeout);
+  take(p, m.request_id);
   return m;
 }
 
@@ -360,14 +385,18 @@ Result<LeaseGrantMsg> decode_lease_grant(std::span<const std::uint8_t> raw) {
   p = take(p, m.alloc_port);
   p = take(p, m.rdma_port);
   p = take(p, m.workers);
-  take(p, m.expires_at);
+  p = take(p, m.expires_at);
+  take(p, m.request_id);
   return m;
 }
 
 Result<std::string> decode_lease_error(const Bytes& raw) {
   auto r = open(raw, MsgType::LeaseError);
   if (!r) return r.error();
-  return r.value().str();
+  auto reason = r.value().str();
+  if (!reason) return reason.error();
+  if (!r.value().u64().ok()) return Error::make(22, "protocol: truncated LeaseError");
+  return reason;
 }
 
 Result<AllocationRequestMsg> decode_allocation_request(const Bytes& raw) {
@@ -406,10 +435,14 @@ Result<RegisterOkMsg> decode_register_ok(const Bytes& raw) {
   auto port = rd.u16();
   auto addr = rd.u64();
   auto rkey = rd.u32();
-  if (!port || !addr || !rkey) return Error::make(22, "protocol: truncated RegisterOk");
+  auto request_id = rd.u64();
+  if (!port || !addr || !rkey || !request_id) {
+    return Error::make(22, "protocol: truncated RegisterOk");
+  }
   m.rm_rdma_port = port.value();
   m.billing_addr = addr.value();
   m.billing_rkey = rkey.value();
+  m.request_id = request_id.value();
   return m;
 }
 
@@ -421,11 +454,25 @@ Result<ReleaseResourcesMsg> decode_release(const Bytes& raw) {
   auto lease = rd.u64();
   auto workers = rd.u32();
   auto memory = rd.u64();
-  if (!lease || !workers || !memory) return Error::make(22, "protocol: truncated Release");
+  auto request_id = rd.u64();
+  if (!lease || !workers || !memory || !request_id) {
+    return Error::make(22, "protocol: truncated Release");
+  }
   m.lease_id = lease.value();
   m.workers = workers.value();
   m.memory_bytes = memory.value();
+  m.request_id = request_id.value();
   return m;
+}
+
+Result<ReleaseOkMsg> decode_release_ok(const Bytes& raw) {
+  auto r = open(raw, MsgType::ReleaseOk);
+  if (!r) return r.error();
+  auto& rd = r.value();
+  auto lease = rd.u64();
+  auto request_id = rd.u64();
+  if (!lease || !request_id) return Error::make(22, "protocol: truncated ReleaseOk");
+  return ReleaseOkMsg{lease.value(), request_id.value()};
 }
 
 Result<AllocationReplyMsg> decode_allocation_reply(const Bytes& raw) {
@@ -492,7 +539,8 @@ Result<ExtendLeaseMsg> decode_extend_lease(std::span<const std::uint8_t> raw) {
   ExtendLeaseMsg m;
   const std::uint8_t* p = raw.data() + 1;
   p = take(p, m.lease_id);
-  take(p, m.extension);
+  p = take(p, m.extension);
+  take(p, m.request_id);
   return m;
 }
 
@@ -503,7 +551,8 @@ Result<ExtendOkMsg> decode_extend_ok(std::span<const std::uint8_t> raw) {
   ExtendOkMsg m;
   const std::uint8_t* p = raw.data() + 1;
   p = take(p, m.lease_id);
-  take(p, m.expires_at);
+  p = take(p, m.expires_at);
+  take(p, m.request_id);
   return m;
 }
 
@@ -517,7 +566,8 @@ Result<BatchAllocateMsg> decode_batch_allocate(const Bytes& raw) {
   auto memory = rd.u64();
   auto timeout = rd.u64();
   auto mode = rd.u8();
-  if (!client || !workers || !memory || !timeout || !mode.ok()) {
+  auto request_id = rd.u64();
+  if (!client || !workers || !memory || !timeout || !mode.ok() || !request_id) {
     return Error::make(22, "protocol: truncated BatchAllocate");
   }
   m.client_id = client.value();
@@ -525,6 +575,7 @@ Result<BatchAllocateMsg> decode_batch_allocate(const Bytes& raw) {
   m.memory_bytes = memory.value();
   m.timeout = timeout.value();
   m.mode = mode.value();
+  m.request_id = request_id.value();
   return m;
 }
 
@@ -545,8 +596,10 @@ Result<BatchGrantedMsg> decode_batch_granted(const Bytes& raw) {
     m.grants.push_back(g.value());
   }
   auto err = rd.str();
-  if (!err) return Error::make(22, "protocol: truncated BatchGranted");
+  auto request_id = rd.u64();
+  if (!err || !request_id) return Error::make(22, "protocol: truncated BatchGranted");
   m.error = err.value();
+  m.request_id = request_id.value();
   return m;
 }
 
@@ -571,12 +624,14 @@ Result<LeaseTerminatedMsg> decode_lease_terminated(const Bytes& raw) {
   auto lease = rd.u64();
   auto reason = rd.u8();
   auto evicted = rd.u64();
-  if (!lease || !reason.ok() || !evicted) {
+  auto seq = rd.u64();
+  if (!lease || !reason.ok() || !evicted || !seq) {
     return Error::make(22, "protocol: truncated LeaseTerminated");
   }
   m.lease_id = lease.value();
   m.reason = reason.value();
   m.evicted_at = evicted.value();
+  m.seq = seq.value();
   return m;
 }
 
@@ -600,6 +655,9 @@ Result<LeasesTerminatedMsg> decode_leases_terminated(const Bytes& raw) {
     if (!id) return Error::make(22, "protocol: truncated LeasesTerminated");
     m.lease_ids.push_back(id.value());
   }
+  auto seq = rd.u64();
+  if (!seq) return Error::make(22, "protocol: truncated LeasesTerminated");
+  m.seq = seq.value();
   return m;
 }
 
@@ -609,6 +667,33 @@ Result<SubscribeEventsMsg> decode_subscribe_events(const Bytes& raw) {
   auto client = r.value().u32();
   if (!client) return Error::make(22, "protocol: truncated SubscribeEvents");
   return SubscribeEventsMsg{client.value()};
+}
+
+bool is_reply_type(MsgType t) {
+  switch (t) {
+    case MsgType::LeaseGrant:
+    case MsgType::LeaseError:
+    case MsgType::ExtendOk:
+    case MsgType::BatchGranted:
+    case MsgType::ReleaseOk:
+    case MsgType::RegisterOk:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<std::uint64_t> reply_request_id(const Bytes& raw) {
+  auto t = peek_type(raw);
+  if (!t) return t.error();
+  if (!is_reply_type(t.value())) return Error::make(24, "protocol: not a reply type");
+  // Every reply appends the echoed id as its final 8 bytes; reading it
+  // positionally keeps reply matching O(1) even for variable-length
+  // replies (BatchGranted, LeaseError).
+  if (raw.size() < 1 + 8) return Error::make(22, "protocol: truncated reply");
+  std::uint64_t id = 0;
+  std::memcpy(&id, raw.data() + raw.size() - 8, 8);
+  return id;
 }
 
 const char* to_string(SandboxType t) {

@@ -74,8 +74,22 @@ enum class MsgType : std::uint8_t {
   LeaseRenewed,         // resource manager -> executor manager (push)
   SubscribeEvents,      // client -> resource manager (open a notification stream)
   LeasesTerminated,     // resource manager -> client/executor (coalesced sweep)
+  ReleaseOk,            // resource manager -> releaser (ack, retransmit stop)
   Count,                // sentinel, keep last
 };
+
+// ---------------------------------------------------------------------------
+// Lossy-network hardening. Lease-critical messages carry a trailing
+// monotonically increasing request id ((epoch << 32) | sequence, see
+// rfaas/session.hpp); replies echo it so a retransmitting sender can
+// match a reply to the attempt it answers, and the manager's bounded
+// per-stream dedup table can replay the cached reply for a retransmitted
+// request instead of executing it twice (no double-grants). id 0 means
+// "legacy sender": never deduplicated, never retransmitted — the field
+// is always on the wire, only its value is optional. Push notifications
+// (LeaseTerminated/LeasesTerminated) carry a per-stream sequence number
+// instead, so duplicated deliveries are counted and ignored client-side.
+// ---------------------------------------------------------------------------
 
 /// Worker polling policy of an allocation.
 enum class InvocationPolicy : std::uint8_t {
@@ -91,6 +105,8 @@ struct RegisterExecutorMsg {
   std::uint16_t rdma_port = 0;    ///< fabric CM port for worker connections
   std::uint32_t cores = 0;        ///< schedulable cores of the host
   std::uint64_t memory_bytes = 0; ///< offerable memory of the host
+  std::uint64_t epoch = 0;        ///< registration session epoch (fences stale sessions)
+  std::uint64_t request_id = 0;   ///< retransmission dedup id (0 = legacy)
 };
 
 /// Registration reply: where the executor's billing atomics land.
@@ -98,6 +114,7 @@ struct RegisterOkMsg {
   std::uint16_t rm_rdma_port = 0;     ///< where executors connect for billing atomics
   std::uint64_t billing_addr = 0;     ///< base of the billing counter array
   std::uint32_t billing_rkey = 0;     ///< rkey of the billing counter array
+  std::uint64_t request_id = 0;       ///< echoes RegisterExecutorMsg::request_id
 };
 
 /// One lease acquisition (Sec. III-C): "clients acquire leases by
@@ -108,6 +125,7 @@ struct LeaseRequestMsg {
   std::uint32_t workers = 0;       ///< requested function instances
   std::uint64_t memory_bytes = 0;  ///< per-worker memory
   Duration timeout = 0;            ///< lease validity
+  std::uint64_t request_id = 0;    ///< retransmission dedup id (0 = legacy)
 };
 
 /// A granted lease: where to allocate the sandbox and until when the
@@ -120,6 +138,7 @@ struct LeaseGrantMsg {
   std::uint16_t rdma_port = 0;  ///< its fabric CM port for worker connections
   std::uint32_t workers = 0;    ///< workers granted on this executor
   Time expires_at = 0;          ///< lease deadline (renewable via ExtendLease)
+  std::uint64_t request_id = 0; ///< echoes LeaseRequestMsg::request_id
 };
 
 /// Sandbox allocation on the leased executor (A2 in the cold-start path).
@@ -139,6 +158,16 @@ struct ReleaseResourcesMsg {
   std::uint64_t lease_id = 0;     ///< lease being released
   std::uint32_t workers = 0;      ///< workers coming back
   std::uint64_t memory_bytes = 0; ///< memory coming back
+  std::uint64_t request_id = 0;   ///< retransmission dedup id (0 = legacy)
+};
+
+/// Acknowledges a ReleaseResourcesMsg carrying a nonzero request id, so
+/// the releaser can stop retransmitting. Legacy releases (id 0) stay
+/// fire-and-forget and receive no ack; a release lost on the wire is
+/// then reclaimed by the manager's lease-expiry sweep instead.
+struct ReleaseOkMsg {
+  std::uint64_t lease_id = 0;
+  std::uint64_t request_id = 0;  ///< echoes ReleaseResourcesMsg::request_id
 };
 
 /// Lease renewal: extends a live lease by `extension` from now. Granted
@@ -147,11 +176,13 @@ struct ReleaseResourcesMsg {
 struct ExtendLeaseMsg {
   std::uint64_t lease_id = 0;
   Duration extension = 0;
+  std::uint64_t request_id = 0;  ///< retransmission dedup id (0 = legacy)
 };
 
 struct ExtendOkMsg {
   std::uint64_t lease_id = 0;
-  Time expires_at = 0;  ///< the new deadline
+  Time expires_at = 0;           ///< the new deadline
+  std::uint64_t request_id = 0;  ///< echoes ExtendLeaseMsg::request_id
 };
 
 /// Fulfillment contract of a batched allocation (BatchAllocateMsg::mode).
@@ -170,6 +201,7 @@ struct BatchAllocateMsg {
   std::uint64_t memory_bytes = 0;  ///< per-worker memory
   Duration timeout = 0;            ///< validity of every granted lease
   std::uint8_t mode = 0;           ///< BatchMode
+  std::uint64_t request_id = 0;    ///< retransmission dedup id (0 = legacy)
 };
 
 /// Reply to BatchAllocateMsg: the granted leases (possibly spanning
@@ -179,7 +211,8 @@ struct BatchAllocateMsg {
 struct BatchGrantedMsg {
   bool complete = false;
   std::vector<LeaseGrantMsg> grants;
-  std::string error;  ///< set when `grants` is empty
+  std::string error;             ///< set when `grants` is empty
+  std::uint64_t request_id = 0;  ///< echoes BatchAllocateMsg::request_id
 };
 
 /// Push notification from the resource manager to the executor manager
@@ -209,6 +242,7 @@ struct LeaseTerminatedMsg {
   std::uint64_t lease_id = 0;
   std::uint8_t reason = 0;  ///< TerminationReason
   Time evicted_at = 0;      ///< when the manager made the eviction decision
+  std::uint64_t seq = 0;    ///< per-stream push sequence (0 = legacy)
 };
 
 /// Coalesced fast reclamation: one eviction sweep may terminate many
@@ -221,6 +255,7 @@ struct LeasesTerminatedMsg {
   std::uint8_t reason = 0;  ///< TerminationReason
   Time evicted_at = 0;      ///< when the manager made the eviction decision
   std::vector<std::uint64_t> lease_ids;
+  std::uint64_t seq = 0;    ///< per-stream push sequence (0 = legacy)
 };
 
 /// Opens a notification stream: the client sends this once on a dedicated
@@ -272,10 +307,11 @@ struct DeallocateMsg {
 // ---------------------------------------------------------------------------
 
 /// Fixed wire sizes (envelope type byte included) of the hot messages.
-inline constexpr std::size_t kLeaseRequestWireSize = 1 + 4 + 4 + 8 + 8;
-inline constexpr std::size_t kLeaseGrantWireSize = 1 + 8 + 4 + 2 + 2 + 4 + 8;
-inline constexpr std::size_t kExtendLeaseWireSize = 1 + 8 + 8;
-inline constexpr std::size_t kExtendOkWireSize = 1 + 8 + 8;
+/// The trailing 8 bytes of each are the request id.
+inline constexpr std::size_t kLeaseRequestWireSize = 1 + 4 + 4 + 8 + 8 + 8;
+inline constexpr std::size_t kLeaseGrantWireSize = 1 + 8 + 4 + 2 + 2 + 4 + 8 + 8;
+inline constexpr std::size_t kExtendLeaseWireSize = 1 + 8 + 8 + 8;
+inline constexpr std::size_t kExtendOkWireSize = 1 + 8 + 8 + 8;
 
 // ---------------------------------------------------------------------------
 // Invocation data-plane frames (fig18). The submit frame is the 12-byte
@@ -331,13 +367,14 @@ Bytes encode(const RegisterExecutorMsg& m);
 Bytes encode(const RegisterOkMsg& m);
 Bytes encode(const LeaseRequestMsg& m);
 Bytes encode(const LeaseGrantMsg& m);
-Bytes encode_lease_error(const std::string& reason);
+Bytes encode_lease_error(const std::string& reason, std::uint64_t request_id = 0);
 Bytes encode(const AllocationRequestMsg& m);
 Bytes encode(const AllocationReplyMsg& m);
 Bytes encode(const SubmitCodeMsg& m);
 Bytes encode(const SubmitCodeOkMsg& m);
 Bytes encode(const DeallocateMsg& m);
 Bytes encode(const ReleaseResourcesMsg& m);
+Bytes encode(const ReleaseOkMsg& m);
 Bytes encode(const ExtendLeaseMsg& m);
 Bytes encode(const ExtendOkMsg& m);
 Bytes encode(const BatchAllocateMsg& m);
@@ -362,6 +399,7 @@ Result<SubmitCodeMsg> decode_submit_code(const Bytes& raw);
 Result<SubmitCodeOkMsg> decode_submit_code_ok(const Bytes& raw);
 Result<DeallocateMsg> decode_deallocate(const Bytes& raw);
 Result<ReleaseResourcesMsg> decode_release(const Bytes& raw);
+Result<ReleaseOkMsg> decode_release_ok(const Bytes& raw);
 Result<ExtendLeaseMsg> decode_extend_lease(std::span<const std::uint8_t> raw);
 Result<ExtendOkMsg> decode_extend_ok(std::span<const std::uint8_t> raw);
 Result<BatchAllocateMsg> decode_batch_allocate(const Bytes& raw);
@@ -370,5 +408,14 @@ Result<LeaseRenewedMsg> decode_lease_renewed(const Bytes& raw);
 Result<LeaseTerminatedMsg> decode_lease_terminated(const Bytes& raw);
 Result<LeasesTerminatedMsg> decode_leases_terminated(const Bytes& raw);
 Result<SubscribeEventsMsg> decode_subscribe_events(const Bytes& raw);
+
+/// True for message types that answer a request (and so echo its id):
+/// LeaseGrant, LeaseError, ExtendOk, BatchGranted, ReleaseOk, RegisterOk.
+bool is_reply_type(MsgType t);
+
+/// Extracts the echoed request id from a reply message — the trailing 8
+/// bytes of every reply body. Fails on non-reply types and truncated
+/// messages; returns 0 for replies sent to legacy (id 0) requests.
+Result<std::uint64_t> reply_request_id(const Bytes& raw);
 
 }  // namespace rfs::rfaas

@@ -1,5 +1,8 @@
 #include "rfaas/resource_manager.hpp"
 
+#include <deque>
+#include <unordered_map>
+
 #include "common/log.hpp"
 #include "rdmalib/connection.hpp"
 
@@ -58,6 +61,36 @@ sim::Task<void> ResourceManager::run_billing_accept() {
 }
 
 sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> stream) {
+  // Per-stream duplicate-request table: request id -> the exact reply
+  // bytes already sent. A retransmission (same nonzero id) replays the
+  // cached reply instead of re-running the decision — the idempotence
+  // that keeps a duplicated LeaseRequest from granting twice. Bounded
+  // FIFO; safe because each session keeps at most one call outstanding,
+  // so a wandering duplicate can never lag the window by 128 exchanges.
+  // Lives on the coroutine frame: messages of one stream are processed
+  // strictly in order, and the table dies with the connection.
+  constexpr std::size_t kDedupWindow = 128;
+  std::unordered_map<std::uint64_t, Bytes> dedup;
+  std::deque<std::uint64_t> dedup_fifo;
+  auto replay_duplicate = [&](std::uint64_t id) -> bool {
+    if (id == 0) return false;  // legacy senders never dedup
+    auto it = dedup.find(id);
+    if (it == dedup.end()) return false;
+    ++dedup_hits_;
+    stream->send(Bytes(it->second));
+    return true;
+  };
+  auto reply_cached = [&](std::uint64_t id, Bytes reply) {
+    if (id != 0) {
+      dedup[id] = reply;
+      dedup_fifo.push_back(id);
+      if (dedup_fifo.size() > kDedupWindow) {
+        dedup.erase(dedup_fifo.front());
+        dedup_fifo.pop_front();
+      }
+    }
+    stream->send(std::move(reply));
+  };
   while (alive_) {
     auto raw = co_await stream->recv();
     if (!raw.has_value()) {
@@ -73,6 +106,7 @@ sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> s
       for (auto it = subscribers_.begin(); it != subscribers_.end();) {
         it = it->second == stream ? subscribers_.erase(it) : std::next(it);
       }
+      push_seqs_.erase(stream.get());
       break;
     }
     auto type = peek_type(*raw);
@@ -81,6 +115,25 @@ sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> s
       case MsgType::RegisterExecutor: {
         auto msg = decode_register(*raw);
         if (!msg) break;
+        if (replay_duplicate(msg.value().request_id)) break;
+        if (msg.value().epoch != 0) {
+          // Epoch fencing: only the newest registration session may own a
+          // device. An older epoch is a retransmission from a session the
+          // executor already abandoned; admitting it would double-count
+          // the device's capacity. A newer epoch supersedes — the stale
+          // registration is marked dead first, reclaiming its leases.
+          auto it = executor_epochs_.find(msg.value().device);
+          if (it != executor_epochs_.end()) {
+            if (msg.value().epoch <= it->second.epoch) {
+              ++fenced_registrations_;
+              reply_cached(msg.value().request_id,
+                           encode_lease_error("stale registration epoch",
+                                              msg.value().request_id));
+              break;
+            }
+            mark_executor_dead(it->second.executor_id);
+          }
+        }
         ExecutorEntry entry;
         entry.info = msg.value();
         entry.total_workers = static_cast<std::uint32_t>(
@@ -93,12 +146,17 @@ sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> s
         entry.stream = stream;
         const std::uint64_t executor_id = core_.add_executor(std::move(entry));
         executor_ids_[stream.get()] = executor_id;
+        if (msg.value().epoch != 0) {
+          executor_epochs_[msg.value().device] =
+              RegistrationEpoch{msg.value().epoch, executor_id};
+        }
         RegisterOkMsg ok;
         ok.rm_rdma_port = rdma_port_;
         auto slot0 = billing_.tenant_slot(0);
         ok.billing_addr = slot0.addr;
         ok.billing_rkey = slot0.rkey;
-        stream->send(encode(ok));
+        ok.request_id = msg.value().request_id;
+        reply_cached(msg.value().request_id, encode(ok));
         log::info("rm", "registered executor on device ", msg.value().device, " with ",
                   msg.value().cores, " cores on shard ",
                   ShardedResourceManager::id_shard(executor_id));
@@ -110,6 +168,7 @@ sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> s
           stream->send(encode_lease_error(msg.error().message));
           break;
         }
+        if (replay_duplicate(msg.value().request_id)) break;
         // Route first (lock-free, locality-aware under LocalityFirst),
         // then serialize on the routed shard's gate: a single-shard
         // manager decides strictly one lease at a time, an N-shard
@@ -144,15 +203,17 @@ sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> s
         }
         if (stolen) co_await sim::delay(config_.lease_processing);
         gate.unlock();
-        stream->send(std::move(reply));
+        reply_cached(msg.value().request_id, std::move(reply));
         break;
       }
       case MsgType::ExtendLease: {
         auto msg = decode_extend_lease(*raw);
         if (!msg) break;
+        if (replay_duplicate(msg.value().request_id)) break;
         const std::uint32_t shard = ShardedResourceManager::id_shard(msg.value().lease_id);
         if (shard >= core_.shard_count()) {
-          stream->send(encode_lease_error("unknown lease"));
+          reply_cached(msg.value().request_id,
+                       encode_lease_error("unknown lease", msg.value().request_id));
           break;
         }
         auto& gate = *grant_gates_[shard];
@@ -165,7 +226,8 @@ sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> s
           ExtendOkMsg ok;
           ok.lease_id = msg.value().lease_id;
           ok.expires_at = expires_at;
-          stream->send(encode(ok));
+          ok.request_id = msg.value().request_id;
+          reply_cached(msg.value().request_id, encode(ok));
           // Push the new deadline to the hosting executor so the sandbox
           // does not self-destruct at the original expiry. Renewal thus
           // stays a single client<->manager round trip.
@@ -176,7 +238,8 @@ sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> s
             renewed->executor_stream->send(encode(push));
           }
         } else {
-          stream->send(encode_lease_error("unknown lease"));
+          reply_cached(msg.value().request_id,
+                       encode_lease_error("unknown lease", msg.value().request_id));
         }
         break;
       }
@@ -186,6 +249,7 @@ sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> s
           stream->send(encode_lease_error(msg.error().message));
           break;
         }
+        if (replay_duplicate(msg.value().request_id)) break;
         // One round trip, one gate session: the routed shard's scan is
         // paid once for the whole batch (a scan is O(registry) however
         // many leases it yields) plus one extra decision delay per
@@ -200,12 +264,24 @@ sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> s
         Bytes reply = grant_batch(msg.value(), locality, shard, extra_shards);
         if (extra_shards > 0) co_await sim::delay(extra_shards * config_.lease_processing);
         gate.unlock();
-        stream->send(std::move(reply));
+        reply_cached(msg.value().request_id, std::move(reply));
         break;
       }
       case MsgType::ReleaseResources: {
         auto msg = decode_release(*raw);
-        if (msg) core_.release(msg.value().lease_id);
+        if (!msg) break;
+        if (replay_duplicate(msg.value().request_id)) break;
+        core_.release(msg.value().lease_id);
+        // Acked (and thus retransmittable) only for hardened senders;
+        // legacy releases stay fire-and-forget so their streams never see
+        // an unexpected push, and a lost one is reclaimed by the expiry
+        // sweep.
+        if (msg.value().request_id != 0) {
+          ReleaseOkMsg ok;
+          ok.lease_id = msg.value().lease_id;
+          ok.request_id = msg.value().request_id;
+          reply_cached(msg.value().request_id, encode(ok));
+        }
         break;
       }
       case MsgType::HeartbeatAck: {
@@ -230,8 +306,8 @@ sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> s
 
 Bytes ResourceManager::grant_lease(const LeaseRequestMsg& req, std::uint32_t client_locality,
                                    std::uint32_t shard, bool& stolen) {
-  if (core_.size() == 0) return encode_lease_error("no executors registered");
-  if (req.workers == 0) return encode_lease_error("zero workers requested");
+  if (core_.size() == 0) return encode_lease_error("no executors registered", req.request_id);
+  if (req.workers == 0) return encode_lease_error("zero workers requested", req.request_id);
 
   ScheduleRequest request;
   request.workers = req.workers;
@@ -239,7 +315,7 @@ Bytes ResourceManager::grant_lease(const LeaseRequestMsg& req, std::uint32_t cli
   request.client_locality = client_locality;
 
   auto grant = core_.grant(request, req.client_id, req.timeout, engine_.now(), shard);
-  if (!grant) return encode_lease_error("no executor with free capacity");
+  if (!grant) return encode_lease_error("no executor with free capacity", req.request_id);
   stolen = grant->stolen;
 
   LeaseGrantMsg msg;
@@ -249,6 +325,7 @@ Bytes ResourceManager::grant_lease(const LeaseRequestMsg& req, std::uint32_t cli
   msg.rdma_port = grant->executor_info.rdma_port;
   msg.workers = grant->workers;
   msg.expires_at = grant->expires_at;
+  msg.request_id = req.request_id;
   return encode(msg);
 }
 
@@ -256,6 +333,7 @@ Bytes ResourceManager::grant_batch(const BatchAllocateMsg& req, std::uint32_t cl
                                    std::uint32_t shard, std::uint32_t& extra_shards) {
   extra_shards = 0;
   BatchGrantedMsg reply;
+  reply.request_id = req.request_id;
   if (core_.size() == 0) {
     reply.error = "no executors registered";
     return encode(reply);
@@ -337,17 +415,23 @@ void ResourceManager::notify_evictions(
 
   for (auto& dest : dests) {
     ++notification_messages_;
+    // Per-stream push sequence: a duplicated delivery carries the same
+    // seq and is filtered by the receiving session before it can tear a
+    // sandbox down (or run a client's recovery) twice.
+    const std::uint64_t seq = ++push_seqs_[dest.stream.get()];
     if (dest.lease_ids.size() == 1) {
       LeaseTerminatedMsg msg;
       msg.lease_id = dest.lease_ids.front();
       msg.reason = static_cast<std::uint8_t>(reason);
       msg.evicted_at = now;
+      msg.seq = seq;
       dest.stream->send(encode(msg));
     } else {
       LeasesTerminatedMsg msg;
       msg.reason = static_cast<std::uint8_t>(reason);
       msg.evicted_at = now;
       msg.lease_ids = std::move(dest.lease_ids);
+      msg.seq = seq;
       dest.stream->send(encode(msg));
     }
   }

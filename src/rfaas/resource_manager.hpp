@@ -104,6 +104,14 @@ class ResourceManager {
   [[nodiscard]] std::uint64_t evictions_notified() const { return evictions_notified_; }
   [[nodiscard]] std::uint64_t notification_messages() const { return notification_messages_; }
 
+  /// Retransmitted requests answered from the per-stream dedup table
+  /// instead of re-running the decision (each hit is a double-grant or
+  /// double-release that did not happen).
+  [[nodiscard]] std::uint64_t dedup_hits() const { return dedup_hits_; }
+  /// Re-registrations refused because a newer epoch already owns the
+  /// device (stale-session fencing).
+  [[nodiscard]] std::uint64_t fenced_registrations() const { return fenced_registrations_; }
+
  private:
   sim::Task<void> run_server();
   sim::Task<void> handle_stream(std::shared_ptr<net::TcpStream> stream);
@@ -159,6 +167,19 @@ class ResourceManager {
   /// the id through this table instead of a value captured at
   /// registration time.
   std::map<const net::TcpStream*, std::uint64_t> executor_ids_;
+  /// Highest registration epoch seen per device, with the executor id it
+  /// granted. A RegisterExecutor carrying an older (nonzero) epoch is a
+  /// retransmission from a session the executor already abandoned:
+  /// refuse it, or the device's capacity would be counted twice.
+  struct RegistrationEpoch {
+    std::uint64_t epoch = 0;
+    std::uint64_t executor_id = 0;
+  };
+  std::map<std::uint32_t, RegistrationEpoch> executor_epochs_;
+  /// Monotonic sequence number per push stream (executor registration and
+  /// client notification streams): lets the receiving session discard
+  /// duplicated deliveries of eviction pushes.
+  std::map<const net::TcpStream*, std::uint64_t> push_seqs_;
   /// Storm-aware backoff state of rebalance_loop(): the eviction count
   /// observed at the end of the previous round, and how many rounds the
   /// backoff skipped because the counter was still rising.
@@ -167,6 +188,8 @@ class ResourceManager {
   /// Notification-coalescing counters (evicted leases vs push messages).
   std::uint64_t evictions_notified_ = 0;
   std::uint64_t notification_messages_ = 0;
+  std::uint64_t dedup_hits_ = 0;
+  std::uint64_t fenced_registrations_ = 0;
 };
 
 }  // namespace rfs::rfaas

@@ -1,0 +1,202 @@
+#include "rfaas/session.hpp"
+
+#include <algorithm>
+
+#include "sim/engine.hpp"
+
+namespace rfs::rfaas {
+
+namespace {
+
+/// Bound on remembered completed-request ids and push sequence numbers.
+/// One outstanding call per session means a wandering duplicate can lag
+/// the live request by at most the injector's delay bound, far less than
+/// 256 exchanges; eviction therefore never forgets a live duplicate.
+constexpr std::size_t kCompletedWindow = 256;
+constexpr std::size_t kPushSeqWindow = 256;
+
+}  // namespace
+
+Session::Session(sim::Engine& engine, std::shared_ptr<net::TcpStream> stream,
+                 SessionOptions options)
+    : state_(std::make_shared<State>(engine, std::move(stream), options)) {
+  sim::spawn(engine, pump(state_));
+}
+
+std::uint64_t Session::next_request_id() {
+  ++state_->sequence;
+  return (static_cast<std::uint64_t>(state_->options.epoch) << 32) |
+         static_cast<std::uint64_t>(state_->sequence);
+}
+
+Duration Session::current_rto() const { return rto_of(*state_); }
+
+Duration Session::rto_of(const State& st) {
+  if (!st.has_rtt) return st.options.rto_initial;
+  const double rto = st.srtt + 4.0 * st.rttvar;
+  return std::clamp(static_cast<Duration>(rto), st.options.rto_min, st.options.rto_max);
+}
+
+void Session::note_rtt(State& st, Duration sample) {
+  // RFC 6298 smoothing (alpha = 1/8, beta = 1/4).
+  const double s = static_cast<double>(sample);
+  if (!st.has_rtt) {
+    st.srtt = s;
+    st.rttvar = s / 2.0;
+    st.has_rtt = true;
+    return;
+  }
+  const double err = s - st.srtt;
+  st.rttvar = 0.75 * st.rttvar + 0.25 * (err < 0 ? -err : err);
+  st.srtt = 0.875 * st.srtt + 0.125 * s;
+}
+
+sim::Task<void> Session::wake_at(std::shared_ptr<State> st, Time deadline) {
+  const Time now = st->engine.now();
+  if (deadline > now) co_await sim::delay(deadline - now);
+  // Possibly stale (the call may have moved on to a later attempt); a
+  // spurious set only makes the waiter re-check its own deadline.
+  st->reply_event.set();
+}
+
+sim::Task<Result<Bytes>> Session::call(Bytes request, std::uint64_t request_id) {
+  auto st = state_;
+  co_await st->call_mutex.lock();
+  ++st->calls;
+  st->waiting = true;
+  st->pending_id = request_id;
+  st->pending_reply.reset();
+
+  Result<Bytes> out = Error::make(30, "session: retransmit budget exhausted");
+  Duration rto = rto_of(*st);
+  bool retransmitted = false;
+  for (unsigned attempt = 0; attempt <= st->options.max_retransmits; ++attempt) {
+    if (st->closed || st->stream->closed()) {
+      out = Error::make(31, "session: stream closed");
+      break;
+    }
+    if (attempt > 0) {
+      ++st->retransmits;
+      retransmitted = true;
+    }
+    const Time sent_at = st->engine.now();
+    st->stream->send(Bytes(request));
+    const Time deadline = sent_at + rto;
+    while (!st->pending_reply && !st->closed && st->engine.now() < deadline) {
+      st->reply_event.reset();
+      sim::spawn(st->engine, wake_at(st, deadline));
+      co_await st->reply_event.wait();
+    }
+    if (st->pending_reply) {
+      // Karn's rule: an exchange that was ever retransmitted yields no
+      // RTT sample (the reply could answer either transmission).
+      if (!retransmitted) note_rtt(*st, st->engine.now() - sent_at);
+      out = std::move(*st->pending_reply);
+      st->pending_reply.reset();
+      break;
+    }
+    rto = std::min<Duration>(rto * 2, st->options.rto_max);
+  }
+  if (!out.ok()) ++st->call_failures;
+
+  st->waiting = false;
+  st->pending_id = 0;
+  st->call_mutex.unlock();
+  co_return out;
+}
+
+sim::Task<std::optional<Bytes>> Session::next_push() {
+  auto st = state_;
+  while (true) {
+    if (!st->pushes.empty()) {
+      Bytes msg = std::move(st->pushes.front());
+      st->pushes.pop_front();
+      co_return msg;
+    }
+    if (st->closed) co_return std::nullopt;
+    st->push_event.reset();
+    co_await st->push_event.wait();
+  }
+}
+
+void Session::send_raw(Bytes message) { state_->stream->send(std::move(message)); }
+
+sim::Task<void> Session::pump(std::shared_ptr<State> st) {
+  while (true) {
+    auto raw = co_await st->stream->recv();
+    if (!raw) break;
+    classify(*st, std::move(*raw));
+  }
+  st->closed = true;
+  st->reply_event.set();
+  st->push_event.set();
+}
+
+void Session::record_completed(State& st, std::uint64_t id, const Bytes& reply) {
+  std::uint64_t lease_id = 0;
+  if (auto type = peek_type(reply); type && type.value() == MsgType::LeaseGrant) {
+    if (auto grant = decode_lease_grant(reply)) lease_id = grant.value().lease_id;
+  }
+  st.completed.emplace(id, lease_id);
+  st.completed_fifo.push_back(id);
+  if (st.completed_fifo.size() > kCompletedWindow) {
+    st.completed.erase(st.completed_fifo.front());
+    st.completed_fifo.pop_front();
+  }
+}
+
+void Session::classify(State& st, Bytes msg) {
+  auto type = peek_type(msg);
+  if (!type) return;  // garbage frame: drop
+
+  if (is_reply_type(type.value())) {
+    auto id = reply_request_id(msg);
+    if (!id) return;
+    if (id.value() != 0 && st.waiting && id.value() == st.pending_id) {
+      record_completed(st, id.value(), msg);
+      st.pending_reply = std::move(msg);
+      st.reply_event.set();
+      return;
+    }
+    if (auto it = st.completed.find(id.value()); it != st.completed.end()) {
+      ++st.duplicate_replies;
+      // The invariant the chaos gate pins to zero: a re-answer to a
+      // completed request naming a DIFFERENT lease would be a second
+      // grant for one logical request.
+      if (type.value() == MsgType::LeaseGrant && it->second != 0) {
+        if (auto grant = decode_lease_grant(msg);
+            grant && grant.value().lease_id != it->second) {
+          ++st.double_grants;
+        }
+      }
+      return;
+    }
+    ++st.stale_replies;  // reply to a request we gave up on: drop
+    return;
+  }
+
+  // Push path. Sequenced eviction pushes (seq != 0) deduplicate here so
+  // duplicated deliveries never reach the owner's termination handler.
+  std::uint64_t seq = 0;
+  if (type.value() == MsgType::LeaseTerminated) {
+    if (auto m = decode_lease_terminated(msg)) seq = m.value().seq;
+  } else if (type.value() == MsgType::LeasesTerminated) {
+    if (auto m = decode_leases_terminated(msg)) seq = m.value().seq;
+  }
+  if (seq != 0) {
+    if (st.push_seqs.contains(seq)) {
+      ++st.duplicate_pushes;
+      return;
+    }
+    st.push_seqs.emplace(seq, true);
+    st.push_seqs_fifo.push_back(seq);
+    if (st.push_seqs_fifo.size() > kPushSeqWindow) {
+      st.push_seqs.erase(st.push_seqs_fifo.front());
+      st.push_seqs_fifo.pop_front();
+    }
+  }
+  st.pushes.push_back(std::move(msg));
+  st.push_event.set();
+}
+
+}  // namespace rfs::rfaas

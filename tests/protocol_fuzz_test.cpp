@@ -19,14 +19,18 @@ std::vector<Bytes> sample_messages() {
   reg.rdma_port = 7001;
   reg.cores = 36;
   reg.memory_bytes = 1ull << 36;
+  reg.epoch = 4;
+  reg.request_id = (4ull << 32) | 1;
   msgs.push_back(encode(reg));
-  msgs.push_back(encode(RegisterOkMsg{6001, 0xFEEDFACE, 77}));
-  msgs.push_back(encode(LeaseRequestMsg{9, 16, 1_GiB, 60_s}));
+  msgs.push_back(encode(RegisterOkMsg{6001, 0xFEEDFACE, 77, (4ull << 32) | 1}));
+  msgs.push_back(encode(LeaseRequestMsg{9, 16, 1_GiB, 60_s, (1ull << 32) | 9}));
   LeaseGrantMsg grant;
   grant.lease_id = 11;
   grant.workers = 4;
+  grant.request_id = (1ull << 32) | 9;
   msgs.push_back(encode(grant));
   msgs.push_back(encode_lease_error("nope"));
+  msgs.push_back(encode_lease_error("stale epoch", (2ull << 32) | 3));
   AllocationRequestMsg alloc;
   alloc.lease_id = 5;
   alloc.workers = 2;
@@ -42,9 +46,10 @@ std::vector<Bytes> sample_messages() {
   msgs.push_back(encode(code));
   msgs.push_back(encode(SubmitCodeOkMsg{3}));
   msgs.push_back(encode(DeallocateMsg{1, 2}));
-  msgs.push_back(encode(ReleaseResourcesMsg{1, 2, 3}));
-  msgs.push_back(encode(ExtendLeaseMsg{(7ull << 48) | 42, 30_s}));
-  msgs.push_back(encode(ExtendOkMsg{(7ull << 48) | 42, 90_s}));
+  msgs.push_back(encode(ReleaseResourcesMsg{1, 2, 3, (5ull << 32) | 8}));
+  msgs.push_back(encode(ReleaseOkMsg{1, (5ull << 32) | 8}));
+  msgs.push_back(encode(ExtendLeaseMsg{(7ull << 48) | 42, 30_s, (6ull << 32) | 2}));
+  msgs.push_back(encode(ExtendOkMsg{(7ull << 48) | 42, 90_s, (6ull << 32) | 2}));
   BatchAllocateMsg batch;
   batch.client_id = 9;
   batch.workers = 32;
@@ -65,7 +70,14 @@ std::vector<Bytes> sample_messages() {
   term.lease_id = (2ull << 48) | 9;
   term.reason = static_cast<std::uint8_t>(TerminationReason::Rebalance);
   term.evicted_at = 45_s;
+  term.seq = 12;
   msgs.push_back(encode(term));
+  LeasesTerminatedMsg sweep;
+  sweep.reason = static_cast<std::uint8_t>(TerminationReason::QuotaPressure);
+  sweep.evicted_at = 46_s;
+  sweep.lease_ids = {(2ull << 48) | 9, (2ull << 48) | 10};
+  sweep.seq = 13;
+  msgs.push_back(encode(sweep));
   msgs.push_back(encode(SubscribeEventsMsg{77}));
   return msgs;
 }
@@ -84,12 +96,14 @@ int accepted_by_any(const Bytes& raw) {
   n += decode_submit_code_ok(raw).ok();
   n += decode_deallocate(raw).ok();
   n += decode_release(raw).ok();
+  n += decode_release_ok(raw).ok();
   n += decode_extend_lease(raw).ok();
   n += decode_extend_ok(raw).ok();
   n += decode_batch_allocate(raw).ok();
   n += decode_batch_granted(raw).ok();
   n += decode_lease_renewed(raw).ok();
   n += decode_lease_terminated(raw).ok();
+  n += decode_leases_terminated(raw).ok();
   n += decode_subscribe_events(raw).ok();
   return n;
 }
@@ -116,6 +130,95 @@ TEST(ProtocolFuzz, AllPrefixTruncationsRejected) {
           << msg.size();
     }
   }
+}
+
+TEST(ProtocolHardened, RequestIdEpochAndSeqRoundTrip) {
+  // Every lease-critical field added for lossy-network hardening must
+  // survive an encode/decode roundtrip exactly.
+  RegisterExecutorMsg reg;
+  reg.device = 3;
+  reg.epoch = 9;
+  reg.request_id = (9ull << 32) | 4;
+  auto rdec = decode_register(encode(reg));
+  ASSERT_TRUE(rdec.ok());
+  EXPECT_EQ(rdec.value().epoch, 9u);
+  EXPECT_EQ(rdec.value().request_id, (9ull << 32) | 4);
+
+  auto req = decode_lease_request(encode(LeaseRequestMsg{9, 16, 1_GiB, 60_s, 42}));
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req.value().request_id, 42u);
+
+  auto rel = decode_release(encode(ReleaseResourcesMsg{1, 2, 3, 55}));
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel.value().request_id, 55u);
+
+  auto rok = decode_release_ok(encode(ReleaseOkMsg{7, 55}));
+  ASSERT_TRUE(rok.ok());
+  EXPECT_EQ(rok.value().lease_id, 7u);
+  EXPECT_EQ(rok.value().request_id, 55u);
+
+  LeaseTerminatedMsg term;
+  term.lease_id = 5;
+  term.seq = 31;
+  auto tdec = decode_lease_terminated(encode(term));
+  ASSERT_TRUE(tdec.ok());
+  EXPECT_EQ(tdec.value().seq, 31u);
+
+  LeasesTerminatedMsg sweep;
+  sweep.lease_ids = {1, 2, 3};
+  sweep.seq = 32;
+  auto sdec = decode_leases_terminated(encode(sweep));
+  ASSERT_TRUE(sdec.ok());
+  EXPECT_EQ(sdec.value().seq, 32u);
+  EXPECT_EQ(sdec.value().lease_ids.size(), 3u);
+}
+
+TEST(ProtocolHardened, ReplyRequestIdExtractsFromEveryReplyType) {
+  // The retransmission FSM matches replies to in-flight requests via
+  // reply_request_id(); it must work for every type is_reply_type()
+  // claims is a reply, and refuse everything else.
+  const std::uint64_t id = (3ull << 32) | 17;
+  LeaseGrantMsg grant;
+  grant.lease_id = 11;
+  grant.request_id = id;
+  BatchGrantedMsg batch;
+  batch.complete = true;
+  batch.request_id = id;
+  batch.error = "";
+  const std::vector<Bytes> replies = {
+      encode(grant),
+      encode_lease_error("no capacity", id),
+      encode(ExtendOkMsg{99, 60_s, id}),
+      encode(batch),
+      encode(ReleaseOkMsg{4, id}),
+      encode(RegisterOkMsg{6001, 1, 2, id}),
+  };
+  for (const auto& raw : replies) {
+    auto type = peek_type(raw);
+    ASSERT_TRUE(type.ok());
+    EXPECT_TRUE(is_reply_type(type.value())) << "type " << int(raw[0]);
+    auto rid = reply_request_id(raw);
+    ASSERT_TRUE(rid.ok()) << "type " << int(raw[0]);
+    EXPECT_EQ(rid.value(), id) << "type " << int(raw[0]);
+  }
+  // Non-reply messages are not matchable.
+  EXPECT_FALSE(is_reply_type(MsgType::LeaseRequest));
+  EXPECT_FALSE(is_reply_type(MsgType::LeaseTerminated));
+  EXPECT_FALSE(reply_request_id(encode(LeaseRequestMsg{1, 1, 1_GiB, 1_s, 5})).ok());
+}
+
+TEST(ProtocolHardened, DuplicateDeliveryDecodesIdentically) {
+  // A duplicated frame is byte-identical; decoding it twice must yield
+  // the same fields both times (codecs are stateless — the dedup layer
+  // above relies on that).
+  const Bytes raw = encode(LeaseRequestMsg{9, 16, 1_GiB, 60_s, (8ull << 32) | 6});
+  auto first = decode_lease_request(raw);
+  auto second = decode_lease_request(raw);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().client_id, second.value().client_id);
+  EXPECT_EQ(first.value().request_id, second.value().request_id);
+  EXPECT_EQ(first.value().request_id, (8ull << 32) | 6);
 }
 
 TEST(ProtocolFuzz, RandomCorruptionNeverCrashes) {
