@@ -3,11 +3,14 @@
 # and run the full test suite. This is the gate every PR must keep green,
 # locally and in CI (.github/workflows/ci.yml).
 #
-#   ./scripts/check.sh [--sanitize=address,undefined|thread] [--chaos] [build-dir]
+#   ./scripts/check.sh [--sanitize=address,undefined|thread] [--chaos] [--overload] [build-dir]
 #
 # --chaos restricts the test run to the lossy-network suite (the ctest
 # `chaos` label: fault-injector determinism, retransmission FSMs, wire
 # fuzzing) — the quick loop when iterating on protocol hardening.
+# --overload restricts it to the ingress-protection suite (the ctest
+# `overload` label: admission/WFQ determinism and end-to-end storm
+# invariants) — the quick loop when iterating on admission control.
 #
 # Extra cmake arguments (compiler launcher, generators) can be injected
 # through RFS_CMAKE_ARGS, e.g.
@@ -23,6 +26,7 @@ for arg in "$@"; do
   case "$arg" in
     --sanitize=*) sanitize="${arg#--sanitize=}" ;;
     --chaos) ctest_args+=(-L chaos) ;;
+    --overload) ctest_args+=(-L overload) ;;
     --help|-h)
       sed -n '2,/^[^#]/p' "$0" | sed -n 's/^# \{0,1\}//p'
       exit 0

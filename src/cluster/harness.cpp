@@ -1,5 +1,6 @@
 #include "cluster/harness.hpp"
 
+#include <cmath>
 #include <cstdlib>
 
 #include "common/log.hpp"
@@ -213,7 +214,7 @@ sim::Task<std::shared_ptr<rfaas::Session>> Harness::subscribe_lease_events(
   co_return session;
 }
 
-sim::Task<std::pair<bool, std::optional<rfaas::LeaseGrantMsg>>> Harness::request_lease(
+sim::Task<Harness::LeaseAttempt> Harness::request_lease(
     std::shared_ptr<rfaas::Session> session, std::uint32_t client_id, std::uint32_t workers,
     const LeaseWorkload& workload, WorkloadCounters& out) {
   rfaas::LeaseRequestMsg req;
@@ -225,16 +226,57 @@ sim::Task<std::pair<bool, std::optional<rfaas::LeaseGrantMsg>>> Harness::request
   const Time sent_at = engine_.now();
   auto raw = co_await session->call(rfaas::encode(req), req.request_id);
   // Stream closed or retransmit budget exhausted: the client dies.
-  if (!raw.ok()) co_return {false, std::nullopt};
+  LeaseAttempt attempt;
+  if (!raw.ok()) co_return attempt;
+  attempt.open = true;
 
   auto grant = rfaas::decode_lease_grant(raw.value());
   if (!grant.ok()) {
     ++out.denied;
-    co_return {true, std::nullopt};
+    if (auto shed = rfaas::decode_lease_denied(raw.value()); shed.ok()) {
+      ++out.overload_denials;
+      attempt.overload = true;
+      attempt.retry_after = shed.value().retry_after;
+    }
+    co_return attempt;
   }
   ++out.granted;
   out.grant_latency.push_back(static_cast<double>(engine_.now() - sent_at));
-  co_return {true, grant.value()};
+  attempt.grant = grant.value();
+  co_return attempt;
+}
+
+sim::Task<Harness::LeaseAttempt> Harness::request_lease_with_retries(
+    std::shared_ptr<rfaas::Session> session, std::uint32_t client_id, std::uint32_t workers,
+    const TenantWorkload& workload, Rng& rng, Time deadline,
+    std::shared_ptr<WorkloadCounters> out) {
+  // Admitted-latency accounting: a retried grant's latency spans from
+  // the FIRST send, so retry waits show up in the admitted tail instead
+  // of vanishing — the fig17 p99 gate measures what a client felt.
+  const Time first_sent = engine_.now();
+  const std::size_t latencies_before = out->grant_latency.size();
+  std::uint64_t spent = 0;
+  Duration backoff = std::max<Duration>(1_us, workload.retry_backoff);
+  LeaseAttempt attempt = co_await request_lease(session, client_id, workers, workload.lease, *out);
+  while (attempt.open && attempt.overload && !attempt.grant && spent < workload.retry_budget &&
+         engine_.now() < deadline) {
+    // The retry-budget discipline: never before the manager's hint,
+    // exponentially spaced, jittered upward so a shed herd spreads out
+    // instead of re-arriving in one wave.
+    Duration wait = std::max(backoff, attempt.retry_after);
+    wait += static_cast<Duration>(static_cast<double>(wait) * 0.25 * rng.uniform());
+    co_await sim::delay(wait);
+    backoff *= 2;
+    ++spent;
+    ++out->retries;
+    attempt = co_await request_lease(session, client_id, workers, workload.lease, *out);
+  }
+  if (attempt.grant && spent > 0 && out->grant_latency.size() > latencies_before) {
+    out->grant_latency.back() = static_cast<double>(engine_.now() - first_sent);
+  }
+  out->max_retries = std::max(out->max_retries, spent);
+  if (attempt.overload && !attempt.grant && workload.retry_budget > 0) ++out->retry_exhausted;
+  co_return attempt;
 }
 
 sim::Task<void> Harness::lease_client_loop(std::size_t client, LeaseWorkload workload,
@@ -261,14 +303,13 @@ sim::Task<void> Harness::lease_client_loop(std::size_t client, LeaseWorkload wor
   while (engine_.now() < deadline) {
     const auto workers =
         static_cast<std::uint32_t>(uniform(workload.workers_min, workload.workers_max));
-    auto [open, grant] = co_await request_lease(session,
-                                                static_cast<std::uint32_t>(client + 1),
-                                                workers, workload, *out);
-    if (!open) {
+    auto attempt = co_await request_lease(session, static_cast<std::uint32_t>(client + 1),
+                                          workers, workload, *out);
+    if (!attempt.open) {
       died = true;
       break;
     }
-    if (grant) {
+    if (const auto& grant = attempt.grant) {
       // Closed loop: hold the lease (auto-renewing/self-healing if
       // configured), release, then think. The release names whatever
       // lease currently stands in for the original grant and is
@@ -313,18 +354,21 @@ sim::Task<void> Harness::tenant_client_loop(std::size_t client, TenantWorkload w
                                                 workload.lease, leases);
   if (notify != nullptr) out->sessions.push_back(notify);
 
+  const std::uint32_t tenant_id = workload.tenant_id != 0
+                                      ? workload.tenant_id
+                                      : static_cast<std::uint32_t>(client + 1);
   bool died = false;
   while (engine_.now() < deadline) {
     const auto workers = static_cast<std::uint32_t>(
         rng.uniform_int(workload.lease.workers_min, workload.lease.workers_max));
-    auto [open, grant] = co_await request_lease(session,
-                                                static_cast<std::uint32_t>(client + 1),
-                                                workers, workload.lease, *out);
-    if (!open) {
+    ++out->offered;
+    auto attempt = co_await request_lease_with_retries(session, tenant_id, workers, workload,
+                                                       rng, deadline, out);
+    if (!attempt.open) {
       died = true;
       break;
     }
-    if (grant) {
+    if (const auto& grant = attempt.grant) {
       // The hold happens off-loop so it occupies the fleet without
       // throttling this tenant's arrival process.
       if (leases != nullptr) {
@@ -344,6 +388,113 @@ sim::Task<void> Harness::tenant_client_loop(std::size_t client, TenantWorkload w
     leases->stop();
   }
   session->stream()->close();
+}
+
+namespace {
+
+/// Next inter-arrival gap of an open-loop generator running at aggregate
+/// rate `rate_hz`, drawn at virtual instant `now`. Deterministic per Rng
+/// stream; each process has the same mean rate (Diurnal: peak rate).
+Duration next_arrival_gap(const TenantWorkload& workload, double rate_hz, Rng& rng, Time now) {
+  switch (workload.arrivals) {
+    case ArrivalProcess::Diurnal: {
+      // Thinning against the peak: draw candidate Poisson arrivals at
+      // `rate_hz` and keep each with probability lambda(t)/peak, where
+      // lambda swings sinusoidally between ~10% and 100% of the peak
+      // over `diurnal_period` — a compressed day/night demand curve.
+      const double period_s =
+          std::max(1e-9, static_cast<double>(workload.diurnal_period) * 1e-9);
+      double total_s = 0;
+      for (int guard = 0; guard < 1024; ++guard) {
+        total_s += rng.exponential(rate_hz);
+        const double t_s = static_cast<double>(now) * 1e-9 + total_s;
+        const double phase = std::sin(2.0 * M_PI * t_s / period_s);
+        const double accept = 0.1 + 0.9 * 0.5 * (1.0 + phase);
+        if (rng.bernoulli(accept)) break;
+      }
+      return static_cast<Duration>(total_s * 1e9);
+    }
+    case ArrivalProcess::HeavyTail: {
+      // Lognormal gaps with mean 1/rate: E[exp(N(mu, sigma))] = 1/rate
+      // puts mu at -ln(rate) - sigma^2/2. Large sigma = long quiets and
+      // bursts that arrive inside one admission window.
+      const double sigma = std::max(0.0, workload.heavy_tail_sigma);
+      const double mu = -std::log(rate_hz) - sigma * sigma / 2.0;
+      return static_cast<Duration>(rng.lognormal(mu, sigma) * 1e9);
+    }
+    case ArrivalProcess::Poisson:
+    case ArrivalProcess::Closed:
+      return static_cast<Duration>(rng.exponential(rate_hz) * 1e9);
+  }
+  return static_cast<Duration>(rng.exponential(rate_hz) * 1e9);
+}
+
+}  // namespace
+
+sim::Task<void> Harness::open_loop_request(std::shared_ptr<rfaas::Session> session,
+                                           std::uint32_t client_id, std::uint32_t workers,
+                                           TenantWorkload workload, std::uint64_t seed,
+                                           Time deadline,
+                                           std::shared_ptr<WorkloadCounters> out) {
+  Rng rng(seed);
+  auto attempt = co_await request_lease_with_retries(session, client_id, workers, workload,
+                                                     rng, deadline, out);
+  if (!attempt.grant) co_return;
+  // Hold and release inline: this coroutine is already detached from
+  // the arrival generator, so the hold occupies the fleet without
+  // touching the offered-load process.
+  co_await sim::delay(
+      rng.uniform_int(workload.lease.hold_min, workload.lease.hold_max));
+  if (session->closed()) co_return;
+  auto release = release_for(*attempt.grant, workload.lease);
+  release.request_id = session->next_request_id();
+  (void)co_await session->call(rfaas::encode(release), release.request_id);
+}
+
+sim::Task<void> Harness::open_loop_tenant_loop(std::size_t client, TenantWorkload workload,
+                                               std::uint64_t seed, Time deadline,
+                                               std::shared_ptr<WorkloadCounters> out) {
+  Rng rng(seed);
+  ++out->clients_started;
+  auto conn = co_await tcp_->connect(client_devices_.at(client)->id(), rm_device_->id(),
+                                     rm_->port());
+  if (!conn.ok()) {
+    ++out->client_deaths;
+    co_return;
+  }
+  auto session = std::make_shared<rfaas::Session>(engine_, conn.value(), spec_.session_options);
+  out->sessions.push_back(session);
+
+  const std::uint32_t tenant_id = workload.tenant_id != 0
+                                      ? workload.tenant_id
+                                      : static_cast<std::uint32_t>(client + 1);
+  // One real connection multiplexes `multiplex` simulated clients: the
+  // generator fires their superposed arrival process (rate multiplex *
+  // arrival_hz) and each arrival runs as a detached request coroutine,
+  // so offered load never waits for service — a million clients on a
+  // handful of sessions, which is the regime admission control is for.
+  const auto logical = std::max<std::uint64_t>(1, workload.multiplex);
+  const double rate_hz =
+      std::max(1e-9, workload.arrival_hz * static_cast<double>(logical));
+  std::uint64_t arrival_seq = 0;
+  bool died = false;
+  while (engine_.now() < deadline) {
+    co_await sim::delay(next_arrival_gap(workload, rate_hz, rng, engine_.now()));
+    if (engine_.now() >= deadline) break;
+    if (session->closed()) {
+      died = true;
+      break;
+    }
+    ++out->offered;
+    const auto workers = static_cast<std::uint32_t>(
+        rng.uniform_int(workload.lease.workers_min, workload.lease.workers_max));
+    spawn(open_loop_request(session, tenant_id, workers, workload,
+                            splitmix64(seed + (++arrival_seq) * kSplitmix64Gamma), deadline,
+                            out));
+  }
+  if (died) ++out->client_deaths;
+  // The session stays open past the horizon: detached arrivals may
+  // still be holding leases — leaked_leases_after() is the drain gate.
 }
 
 sim::Task<void> Harness::sample_utilization(
@@ -388,6 +539,11 @@ UtilizationTrace Harness::run_lease_workload(const LeaseWorkload& workload, Dura
   trace.terminations = counters->terminations;
   trace.reallocations = counters->reallocations;
   trace.realloc_failures = counters->realloc_failures;
+  trace.offered = counters->offered;
+  trace.overload_denials = counters->overload_denials;
+  trace.retries = counters->retries;
+  trace.retry_exhausted = counters->retry_exhausted;
+  trace.max_retries = counters->max_retries;
   trace.grant_latency = counters->grant_latency;
   trace.reclaim_latency = counters->reclaim_latency;
   refresh_chaos_counters(trace);
@@ -477,9 +633,21 @@ MultiTenantTrace Harness::run_multi_tenant_workload(const std::vector<TenantWork
     sinks.push_back(sink);
     for (unsigned c = 0; c < tenant.clients; ++c) {
       const std::size_t client = next_client++ % client_hosts_.size();
+      // WFQ weights key on the identity the clients will present: the
+      // shared tenant_id when set, else each per-client id.
+      if (rm_->admission().enabled()) {
+        rm_->admission().set_weight(tenant.tenant_id != 0
+                                        ? tenant.tenant_id
+                                        : static_cast<std::uint32_t>(client + 1),
+                                    tenant.weight);
+      }
       const std::uint64_t seed =
           tenant.lease.seed * 0x9e3779b97f4a7c15ull + (t << 20) + c;
-      spawn(tenant_client_loop(client, tenant, seed, deadline, sink));
+      if (tenant.arrivals == ArrivalProcess::Closed) {
+        spawn(tenant_client_loop(client, tenant, seed, deadline, sink));
+      } else {
+        spawn(open_loop_tenant_loop(client, tenant, seed, deadline, sink));
+      }
     }
   }
   spawn(sample_utilization(samples, deadline, sample_every));
@@ -492,9 +660,20 @@ MultiTenantTrace Harness::run_multi_tenant_workload(const std::vector<TenantWork
   for (std::size_t t = 0; t < tenants.size(); ++t) {
     TenantTrace tenant;
     tenant.name = tenants[t].name;
+    tenant.weight = tenants[t].weight;
+    tenant.offered = sinks[t]->offered;
     tenant.granted = sinks[t]->granted;
     tenant.denied = sinks[t]->denied;
+    tenant.overload_denials = sinks[t]->overload_denials;
+    tenant.retries = sinks[t]->retries;
+    tenant.retry_exhausted = sinks[t]->retry_exhausted;
+    tenant.max_retries = sinks[t]->max_retries;
     tenant.grant_latency = sinks[t]->grant_latency;
+    trace.aggregate.offered += tenant.offered;
+    trace.aggregate.overload_denials += tenant.overload_denials;
+    trace.aggregate.retries += tenant.retries;
+    trace.aggregate.retry_exhausted += tenant.retry_exhausted;
+    trace.aggregate.max_retries = std::max(trace.aggregate.max_retries, tenant.max_retries);
     trace.aggregate.granted += tenant.granted;
     trace.aggregate.denied += tenant.denied;
     trace.aggregate.renewals += sinks[t]->renewals;

@@ -151,6 +151,12 @@ struct UtilizationTrace {
   std::uint64_t terminations = 0;       // manager-initiated LeaseTerminated
   std::uint64_t reallocations = 0;      // lost leases replaced (self-healing)
   std::uint64_t realloc_failures = 0;   // heal budgets exhausted unreplaced
+  // Overload accounting (admission control + client retry budgets).
+  std::uint64_t offered = 0;            // arrivals generated (open-loop offered load)
+  std::uint64_t overload_denials = 0;   // admission sheds observed (subset of denied)
+  std::uint64_t retries = 0;            // shed requests re-attempted within budget
+  std::uint64_t retry_exhausted = 0;    // arrivals whose retry budget ran dry
+  std::uint64_t max_retries = 0;        // most retries any single arrival spent
   // Chaos accounting, summed over every client session of the run.
   std::uint64_t retransmits = 0;        // timed-out requests sent again
   std::uint64_t call_failures = 0;      // calls that exhausted the retransmit budget
@@ -190,24 +196,78 @@ struct UtilizationTrace {
   }
 };
 
+/// Arrival process of one tenant's request generator.
+enum class ArrivalProcess : std::uint8_t {
+  /// Legacy closed loop: one outstanding request per client, exponential
+  /// think time — manager queueing throttles a saturated tenant.
+  Closed,
+  /// Open loop: Poisson arrivals fired as detached request coroutines,
+  /// so offered load is independent of how the manager responds — the
+  /// overload regime admission control exists for.
+  Poisson,
+  /// Open loop, sinusoidally modulated Poisson (thinning against the
+  /// peak rate): a compressed diurnal demand curve whose peak is
+  /// `arrival_hz` and trough is ~10% of it.
+  Diurnal,
+  /// Open loop, lognormal inter-arrivals with the same mean rate but
+  /// heavy-tailed gaps — long quiets punctured by bursts that slam the
+  /// admission window all at once.
+  HeavyTail,
+};
+
 /// One tenant of a multi-tenant lease workload: a group of client hosts
-/// issuing requests at a per-client arrival rate (exponential think time;
-/// the loop is closed over the control round-trip, so manager queueing
-/// throttles a saturated tenant — exactly the effect under study). Leases
-/// are released from detached hold coroutines, so hold times occupy the
-/// fleet without limiting the tenant's request rate.
+/// issuing requests at a per-client arrival rate. The default Closed
+/// process keeps the legacy behaviour; the open-loop processes decouple
+/// offered load from service and can multiplex thousands of simulated
+/// clients per connection (a million-client ingress on a handful of
+/// hosts). Leases are released from detached hold coroutines, so hold
+/// times occupy the fleet without limiting the tenant's request rate.
 struct TenantWorkload {
   std::string name = "tenant";
   unsigned clients = 4;     // client hosts dedicated to this tenant
-  double arrival_hz = 5.0;  // per-client lease-request rate
+  double arrival_hz = 5.0;  // per simulated client lease-request rate
   LeaseWorkload lease{};    // sizes, hold times, lease timeout, seed
+
+  /// WFQ weight at the manager's admission layer; applied by
+  /// run_multi_tenant_workload before the run when admission is
+  /// configured (Config::admission).
+  std::uint32_t weight = 1;
+  /// Tenant identity presented in LeaseRequest.client_id by ALL of this
+  /// tenant's clients (0 = legacy per-client ids). Admission fairness is
+  /// keyed on this id, so weighted sharing needs every client of a
+  /// tenant to present the same one. Incompatible with per-client
+  /// notification subscriptions (subscribe_events/self_heal): the
+  /// manager keeps one push stream per id.
+  std::uint32_t tenant_id = 0;
+  ArrivalProcess arrivals = ArrivalProcess::Closed;
+  /// Simulated clients multiplexed on each real connection (open-loop
+  /// processes only): the host fires `multiplex * arrival_hz` aggregate
+  /// arrivals per second over one shared session.
+  std::uint64_t multiplex = 1;
+  /// Retries per arrival after an admission shed (0 = shed requests are
+  /// simply counted as denied). Each retry waits
+  /// max(retry_backoff * 2^attempt, the manager's retry_after hint)
+  /// plus up to 25% upward jitter — the client-side retry-budget
+  /// discipline that keeps retries from amplifying a storm.
+  unsigned retry_budget = 0;
+  Duration retry_backoff = 5_ms;
+  /// Period of the Diurnal modulation.
+  Duration diurnal_period = 60_s;
+  /// Lognormal sigma of HeavyTail inter-arrival gaps.
+  double heavy_tail_sigma = 2.0;
 };
 
 /// Per-tenant slice of a multi-tenant run.
 struct TenantTrace {
   std::string name;
+  std::uint32_t weight = 1;
+  std::uint64_t offered = 0;  ///< arrivals generated (open loop: offered load)
   std::uint64_t granted = 0;
   std::uint64_t denied = 0;
+  std::uint64_t overload_denials = 0;  ///< admission sheds (subset of denied)
+  std::uint64_t retries = 0;           ///< shed requests re-attempted
+  std::uint64_t retry_exhausted = 0;   ///< arrivals whose retry budget ran dry
+  std::uint64_t max_retries = 0;       ///< most retries any single arrival spent
   std::vector<double> grant_latency;  // ns
 };
 
@@ -322,6 +382,11 @@ class Harness {
     std::uint64_t terminations = 0;
     std::uint64_t reallocations = 0;
     std::uint64_t realloc_failures = 0;
+    std::uint64_t offered = 0;
+    std::uint64_t overload_denials = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t retry_exhausted = 0;
+    std::uint64_t max_retries = 0;
     std::uint64_t clients_started = 0;
     std::uint64_t client_deaths = 0;
     std::vector<double> grant_latency;
@@ -338,14 +403,33 @@ class Harness {
                                                   const LeaseWorkload& workload,
                                                   std::shared_ptr<WorkloadCounters> out);
 
+  /// Outcome of one lease round trip.
+  struct LeaseAttempt {
+    bool open = false;       ///< session survived the exchange
+    bool overload = false;   ///< shed by admission control (LeaseDenied)
+    Duration retry_after = 0;  ///< shed-only backoff hint (0 = none)
+    std::optional<rfaas::LeaseGrantMsg> grant;
+  };
+
   /// One lease round trip: request `workers` through `session` (which
   /// retransmits and dedups under loss), account the outcome
-  /// (granted/denied + grant latency) into `out`, and return the grant
-  /// (nullopt when denied, session-dead signalled via the bool). Shared
-  /// by both client loops.
-  sim::Task<std::pair<bool, std::optional<rfaas::LeaseGrantMsg>>> request_lease(
-      std::shared_ptr<rfaas::Session> session, std::uint32_t client_id, std::uint32_t workers,
-      const LeaseWorkload& workload, WorkloadCounters& out);
+  /// (granted/denied/shed + grant latency) into `out`. Shared by every
+  /// client loop.
+  sim::Task<LeaseAttempt> request_lease(std::shared_ptr<rfaas::Session> session,
+                                        std::uint32_t client_id, std::uint32_t workers,
+                                        const LeaseWorkload& workload, WorkloadCounters& out);
+
+  /// request_lease wrapped in the client-side retry-budget discipline:
+  /// an admission shed is retried up to `workload.retry_budget` times,
+  /// each wait = max(exponential backoff, the manager's retry_after
+  /// hint) with upward jitter from `rng`. Grant latency spans the whole
+  /// retried attempt (first send -> grant).
+  sim::Task<LeaseAttempt> request_lease_with_retries(std::shared_ptr<rfaas::Session> session,
+                                                     std::uint32_t client_id,
+                                                     std::uint32_t workers,
+                                                     const TenantWorkload& workload, Rng& rng,
+                                                     Time deadline,
+                                                     std::shared_ptr<WorkloadCounters> out);
 
   sim::Task<void> lease_client_loop(std::size_t client, LeaseWorkload workload,
                                     std::uint64_t seed, Time deadline,
@@ -353,6 +437,19 @@ class Harness {
   sim::Task<void> tenant_client_loop(std::size_t client, TenantWorkload workload,
                                      std::uint64_t seed, Time deadline,
                                      std::shared_ptr<WorkloadCounters> out);
+  /// Open-loop generator of one tenant client host: fires arrivals at
+  /// the aggregate rate of `workload.multiplex` simulated clients as
+  /// detached request coroutines over one shared session — offered load
+  /// never waits for service (ArrivalProcess::Poisson/Diurnal/HeavyTail).
+  sim::Task<void> open_loop_tenant_loop(std::size_t client, TenantWorkload workload,
+                                        std::uint64_t seed, Time deadline,
+                                        std::shared_ptr<WorkloadCounters> out);
+  /// One open-loop arrival: retried lease request, detached hold+release
+  /// on grant.
+  sim::Task<void> open_loop_request(std::shared_ptr<rfaas::Session> session,
+                                    std::uint32_t client_id, std::uint32_t workers,
+                                    TenantWorkload workload, std::uint64_t seed, Time deadline,
+                                    std::shared_ptr<WorkloadCounters> out);
   sim::Task<void> eviction_storm_loop(Duration period, unsigned leases_per_tick,
                                       Time deadline, std::uint64_t seed,
                                       std::shared_ptr<StormStats> out);

@@ -4,6 +4,8 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "common/units.hpp"
 #include "fabric/model.hpp"
@@ -53,6 +55,45 @@ struct BillingRates {
   double allocation_per_gb_s = 0.15e-4;  // Ca: memory reservation, per GB-second
   double compute_per_s = 0.45e-4;        // Cc: busy execution, per core-second
   double hot_poll_per_s = 0.30e-4;       // Ch: hot polling occupancy, per core-second
+};
+
+/// Ingress admission control of the resource manager (0 rates = the
+/// feature is off, the pre-admission behaviour). Two mechanisms compose
+/// (src/rfaas/admission.hpp): a per-tenant token bucket *polices*
+/// absolute request rates, and a start-time-fair-queueing credit check
+/// *shares* the manager's aggregate admission capacity by tenant weight
+/// when demand exceeds it. Both shed with `LeaseDenied{Overload,
+/// retry_after}` before any shard lock, placement scan or quota-eviction
+/// work — rejecting must stay near-free under overload, or overload
+/// turns into collapse.
+struct AdmissionConfig {
+  /// Aggregate admission capacity (requests/s) shared by all tenants
+  /// under WFQ (0 disables the capacity/WFQ layer).
+  double capacity_hz = 0;
+  /// Burst depth of the capacity bucket (requests; 0 = capacity_hz/100,
+  /// min 1 — about 10 ms of line-rate burst).
+  double capacity_burst = 0;
+  /// Default per-tenant policing rate (requests/s; 0 disables policing
+  /// for tenants without an explicit override).
+  double tenant_rate_hz = 0;
+  /// Default per-tenant policing burst (requests; 0 = tenant_rate_hz/100,
+  /// min 1).
+  double tenant_burst = 0;
+  /// WFQ lag credit: how many admissions a tenant of weight w may run
+  /// ahead of the global virtual time (credit * w requests of burst
+  /// before weight-proportional shedding kicks in).
+  double wfq_credit = 8;
+  /// Default WFQ weight of a tenant with no explicit weight.
+  std::uint32_t default_weight = 1;
+  /// Explicit per-tenant weights, applied at manager construction
+  /// (tenant id, weight). Weights can also be set later through
+  /// Admission::set_weight.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> tenant_weights;
+  /// Bounds of the retry_after hint carried by LeaseDenied.
+  Duration retry_after_min = 1_ms;
+  Duration retry_after_max = 2_s;
+
+  [[nodiscard]] bool enabled() const { return capacity_hz > 0 || tenant_rate_hz > 0; }
 };
 
 struct Config {
@@ -154,6 +195,10 @@ struct Config {
   /// cross-shard work stealing (src/rfaas/sharded_manager.hpp), so lease
   /// grant/renew/expiry only ever contends on one shard.
   unsigned manager_shards = 1;
+
+  /// Ingress admission control (token bucket + WFQ early shed); disabled
+  /// by default — see AdmissionConfig above.
+  AdmissionConfig admission{};
 
   /// Tenant worker quota (0 = no quota policy). When a lease request is
   /// denied for lack of capacity, the manager evicts leases of tenants

@@ -15,6 +15,7 @@ LeaseSet::LeaseSet(sim::Engine& engine, LeaseSetOptions options)
     : state_(std::make_shared<State>()) {
   state_->engine = &engine;
   state_->options = options;
+  state_->jitter = Rng(options.jitter_seed);
 }
 
 LeaseSet::~LeaseSet() {
@@ -68,7 +69,12 @@ void LeaseSet::subscribe(std::shared_ptr<Session> notify_session, std::uint32_t 
   sim::spawn(*state_->engine, notify_loop_session(state_, std::move(notify_session)));
 }
 
-void LeaseSet::configure(LeaseSetOptions options) { state_->options = options; }
+void LeaseSet::configure(LeaseSetOptions options) {
+  if (options.jitter_seed != state_->options.jitter_seed) {
+    state_->jitter = Rng(options.jitter_seed);
+  }
+  state_->options = options;
+}
 
 void LeaseSet::track(std::uint64_t lease_id, Time expires_at, Duration original_timeout,
                      std::uint32_t workers, std::uint64_t memory_per_worker) {
@@ -173,6 +179,8 @@ std::uint64_t LeaseSet::terminations() const { return state_->terminations; }
 std::uint64_t LeaseSet::losses() const { return state_->losses; }
 std::uint64_t LeaseSet::reallocations() const { return state_->reallocations; }
 std::uint64_t LeaseSet::realloc_failures() const { return state_->realloc_failures; }
+
+std::uint64_t LeaseSet::overload_denials() const { return state_->overload_denials; }
 
 namespace {
 
@@ -388,9 +396,25 @@ sim::Task<void> LeaseSet::heal(std::shared_ptr<State> state, std::uint64_t old_i
       continue;
     }
     // Denied (transient exhaustion while the evicted capacity settles):
-    // back off exponentially within the budget.
+    // back off exponentially within the budget. An admission shed
+    // (LeaseDenied) carries a retry_after hint — the wait never
+    // undercuts it, or a fleet-wide eviction would turn the heal loops
+    // into a synchronized retry storm amplifying the very overload
+    // that evicted the leases. The jitter is upward-only for the same
+    // reason: waits may stretch past the hint, never compress below it.
     ++denials;
-    co_await sim::delay(backoff);
+    Duration wait = backoff;
+    if (auto shed = decode_lease_denied(raw.value()); shed.ok()) {
+      ++state->overload_denials;
+      if (state->options.honor_retry_after) {
+        wait = std::max(wait, shed.value().retry_after);
+      }
+    }
+    if (state->options.backoff_jitter > 0) {
+      wait += static_cast<Duration>(static_cast<double>(wait) *
+                                    state->options.backoff_jitter * state->jitter.uniform());
+    }
+    co_await sim::delay(wait);
     backoff *= 2;
   }
   auto in_flight = state->healing.find(lost.origin);
@@ -564,6 +588,11 @@ sim::Task<Status> Invoker::allocate(const AllocationSpec& spec) {
     opts.self_heal = spec.self_heal;
     opts.realloc_budget = spec.realloc_budget;
     opts.realloc_backoff = spec.realloc_backoff;
+    opts.honor_retry_after = spec.honor_retry_after;
+    opts.backoff_jitter = spec.backoff_jitter;
+    // Per-client jitter streams: a herd of healing invokers must not
+    // share one backoff schedule.
+    opts.jitter_seed = 0x5eed ^ (static_cast<std::uint64_t>(client_id_) << 17);
     lease_set_->configure(opts);
   }
   lease_set_->bind(rm_session_);
@@ -649,6 +678,11 @@ sim::Task<Result<std::vector<LeaseGrantMsg>>> Invoker::acquire_leases(
     if (!reply.ok()) {
       co_return Error::make(40, "resource manager unreachable: " + reply.error().message);
     }
+    if (auto shed = decode_lease_denied(reply.value()); shed.ok()) {
+      co_return Error::make(42, "lease shed by admission control (retry after " +
+                                    std::to_string(shed.value().retry_after / 1'000'000) +
+                                    " ms)");
+    }
     auto batch = decode_batch_granted(reply.value());
     if (!batch) co_return batch.error();
     if (batch.value().grants.empty()) {
@@ -669,6 +703,15 @@ sim::Task<Result<std::vector<LeaseGrantMsg>>> Invoker::acquire_leases(
       co_return Error::make(40, "resource manager unreachable: " + reply.error().message);
     }
     auto type = peek_type(reply.value());
+    if (type.ok() && type.value() == MsgType::LeaseDenied) {
+      // Admission shed: a transient, retryable condition — distinct
+      // error code so callers can back off (at least retry_after)
+      // instead of treating it as a capacity refusal.
+      auto shed = decode_lease_denied(reply.value());
+      const Duration after = shed.ok() ? shed.value().retry_after : 0;
+      co_return Error::make(42, "lease shed by admission control (retry after " +
+                                    std::to_string(after / 1'000'000) + " ms)");
+    }
     if (!type.ok() || type.value() != MsgType::LeaseGrant) {
       auto err = decode_lease_error(reply.value());
       co_return Error::make(41, "lease denied: " + (err.ok() ? err.value() : "unknown"));

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "net/tcp.hpp"
 #include "rdmalib/buffer.hpp"
 #include "rdmalib/connection.hpp"
@@ -54,6 +55,18 @@ struct LeaseSetOptions {
   unsigned realloc_budget = 4;
   /// Backoff after the first denial; doubles per further denial.
   Duration realloc_backoff = 20_ms;
+  /// Honor the retry_after hint of LeaseDenied{Overload}: a heal's
+  /// backoff never waits less than the manager asked for, so a mass
+  /// eviction cannot turn the heal loops into a retry storm that
+  /// amplifies the very overload that caused it.
+  bool honor_retry_after = true;
+  /// Upward jitter on every heal backoff (fraction of the wait, drawn
+  /// uniformly in [0, backoff_jitter]); desynchronizes the heal herd a
+  /// fleet-wide eviction creates. 0 disables jitter.
+  double backoff_jitter = 0.25;
+  /// Seed of the jitter stream; give each client its own so their
+  /// jittered waits decorrelate deterministically.
+  std::uint64_t jitter_seed = 0x5eed;
 };
 
 /// Client-side lease lifecycle tracker: holds the set of live leases,
@@ -177,6 +190,10 @@ class LeaseSet {
   [[nodiscard]] std::uint64_t reallocations() const;
   /// Lost leases whose re-allocation budget ran out unreplaced.
   [[nodiscard]] std::uint64_t realloc_failures() const;
+  /// Heal requests shed by admission control (LeaseDenied{Overload});
+  /// each consumed one unit of its heal's realloc budget and backed off
+  /// at least the manager's retry_after hint.
+  [[nodiscard]] std::uint64_t overload_denials() const;
 
  private:
   struct Tracked {
@@ -215,6 +232,9 @@ class LeaseSet {
     std::uint64_t losses = 0;
     std::uint64_t reallocations = 0;
     std::uint64_t realloc_failures = 0;
+    std::uint64_t overload_denials = 0;
+    /// Jitter stream of the heal backoffs (seeded from the options).
+    Rng jitter{0x5eed};
     /// Tenant id the notification subscription (and healing LeaseRequests)
     /// run under; set by subscribe().
     std::uint32_t client_id = 0;
@@ -300,6 +320,11 @@ struct AllocationSpec {
   unsigned realloc_budget = 4;
   /// Initial re-allocation backoff (doubles per denial).
   Duration realloc_backoff = 20_ms;
+  /// Honor LeaseDenied{Overload} retry_after hints in heal backoffs
+  /// (LeaseSetOptions::honor_retry_after).
+  bool honor_retry_after = true;
+  /// Upward jitter fraction on heal backoffs (0 = none).
+  double backoff_jitter = 0.25;
 };
 
 /// Client-observed stages of a cold start (Fig. 9).

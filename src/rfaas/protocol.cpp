@@ -149,6 +149,16 @@ std::size_t encode_into(const ExtendOkMsg& m, std::uint8_t* out, std::size_t cap
   return static_cast<std::size_t>(p - out);
 }
 
+std::size_t encode_into(const LeaseDeniedMsg& m, std::uint8_t* out, std::size_t capacity) {
+  if (capacity < kLeaseDeniedWireSize) return 0;
+  *out = static_cast<std::uint8_t>(MsgType::LeaseDenied);
+  std::uint8_t* p = out + 1;
+  p = put(p, &m.reason, 1);
+  p = put(p, &m.retry_after, 8);
+  p = put(p, &m.request_id, 8);
+  return static_cast<std::size_t>(p - out);
+}
+
 Bytes encode(const LeaseRequestMsg& m) {
   Bytes b(kLeaseRequestWireSize);
   encode_into(m, b.data(), b.size());
@@ -324,6 +334,12 @@ Bytes encode(const SubscribeEventsMsg& m) {
   auto w = header(MsgType::SubscribeEvents);
   w.u32(m.client_id);
   return w.take();
+}
+
+Bytes encode(const LeaseDeniedMsg& m) {
+  Bytes b(kLeaseDeniedWireSize);
+  encode_into(m, b.data(), b.size());
+  return b;
 }
 
 Result<MsgType> peek_type(const Bytes& raw) {
@@ -669,10 +685,23 @@ Result<SubscribeEventsMsg> decode_subscribe_events(const Bytes& raw) {
   return SubscribeEventsMsg{client.value()};
 }
 
+Result<LeaseDeniedMsg> decode_lease_denied(std::span<const std::uint8_t> raw) {
+  if (!open_fixed(raw, MsgType::LeaseDenied, kLeaseDeniedWireSize)) {
+    return Error::make(22, "protocol: bad LeaseDenied");
+  }
+  LeaseDeniedMsg m;
+  const std::uint8_t* p = raw.data() + 1;
+  p = take(p, m.reason);
+  p = take(p, m.retry_after);
+  take(p, m.request_id);
+  return m;
+}
+
 bool is_reply_type(MsgType t) {
   switch (t) {
     case MsgType::LeaseGrant:
     case MsgType::LeaseError:
+    case MsgType::LeaseDenied:
     case MsgType::ExtendOk:
     case MsgType::BatchGranted:
     case MsgType::ReleaseOk:
@@ -698,6 +727,14 @@ Result<std::uint64_t> reply_request_id(const Bytes& raw) {
 
 const char* to_string(SandboxType t) {
   return t == SandboxType::Docker ? "docker" : "bare-metal";
+}
+
+const char* to_string(DenialReason r) {
+  switch (r) {
+    case DenialReason::Overload: return "overload";
+    case DenialReason::QuotaExceeded: return "quota-exceeded";
+  }
+  return "unknown";
 }
 
 const char* to_string(TerminationReason r) {

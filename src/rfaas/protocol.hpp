@@ -75,6 +75,7 @@ enum class MsgType : std::uint8_t {
   SubscribeEvents,      // client -> resource manager (open a notification stream)
   LeasesTerminated,     // resource manager -> client/executor (coalesced sweep)
   ReleaseOk,            // resource manager -> releaser (ack, retransmit stop)
+  LeaseDenied,          // resource manager -> client (admission shed, retry hint)
   Count,                // sentinel, keep last
 };
 
@@ -223,6 +224,29 @@ struct LeaseRenewedMsg {
   Time expires_at = 0;  ///< the renewed deadline
 };
 
+/// Why the resource manager refused to even process a request.
+enum class DenialReason : std::uint8_t {
+  Overload,      ///< ingress admission shed the request (token bucket / WFQ)
+  QuotaExceeded, ///< reserved: per-tenant policy refusal at admission time
+};
+
+const char* to_string(DenialReason r);
+
+/// Admission-control shed (ingress protection): the manager refused the
+/// request *before* any shard lock, placement scan, or quota-eviction
+/// work — the whole point is that saying no is nearly free under
+/// overload. `retry_after` is the manager's backoff hint (how long until
+/// the tenant's token bucket refills enough to admit one request);
+/// well-behaved clients wait at least that long before retrying, and
+/// LeaseSet heal loops treat it as a floor under their jittered
+/// exponential backoff. Fixed layout, hot under overload by definition —
+/// rides the zero-allocation fast path like LeaseGrant.
+struct LeaseDeniedMsg {
+  std::uint8_t reason = 0;       ///< DenialReason
+  Duration retry_after = 0;      ///< backoff hint (0 = none)
+  std::uint64_t request_id = 0;  ///< echoes the denied request's id
+};
+
 /// Why the resource manager reclaimed a lease ahead of its deadline.
 enum class TerminationReason : std::uint8_t {
   QuotaPressure,  ///< evicted to make room under a tenant worker quota
@@ -312,6 +336,7 @@ inline constexpr std::size_t kLeaseRequestWireSize = 1 + 4 + 4 + 8 + 8 + 8;
 inline constexpr std::size_t kLeaseGrantWireSize = 1 + 8 + 4 + 2 + 2 + 4 + 8 + 8;
 inline constexpr std::size_t kExtendLeaseWireSize = 1 + 8 + 8 + 8;
 inline constexpr std::size_t kExtendOkWireSize = 1 + 8 + 8 + 8;
+inline constexpr std::size_t kLeaseDeniedWireSize = 1 + 1 + 8 + 8;
 
 // ---------------------------------------------------------------------------
 // Invocation data-plane frames (fig18). The submit frame is the 12-byte
@@ -359,6 +384,7 @@ std::size_t encode_into(const LeaseRequestMsg& m, std::uint8_t* out, std::size_t
 std::size_t encode_into(const LeaseGrantMsg& m, std::uint8_t* out, std::size_t capacity);
 std::size_t encode_into(const ExtendLeaseMsg& m, std::uint8_t* out, std::size_t capacity);
 std::size_t encode_into(const ExtendOkMsg& m, std::uint8_t* out, std::size_t capacity);
+std::size_t encode_into(const LeaseDeniedMsg& m, std::uint8_t* out, std::size_t capacity);
 
 /// Envelope: [u8 type][payload...]. Each payload codec is explicit; this
 /// is a real wire format, not in-memory object passing.
@@ -383,6 +409,7 @@ Bytes encode(const LeaseRenewedMsg& m);
 Bytes encode(const LeaseTerminatedMsg& m);
 Bytes encode(const LeasesTerminatedMsg& m);
 Bytes encode(const SubscribeEventsMsg& m);
+Bytes encode(const LeaseDeniedMsg& m);
 
 Result<MsgType> peek_type(const Bytes& raw);
 Result<RegisterExecutorMsg> decode_register(const Bytes& raw);
@@ -408,9 +435,11 @@ Result<LeaseRenewedMsg> decode_lease_renewed(const Bytes& raw);
 Result<LeaseTerminatedMsg> decode_lease_terminated(const Bytes& raw);
 Result<LeasesTerminatedMsg> decode_leases_terminated(const Bytes& raw);
 Result<SubscribeEventsMsg> decode_subscribe_events(const Bytes& raw);
+Result<LeaseDeniedMsg> decode_lease_denied(std::span<const std::uint8_t> raw);
 
 /// True for message types that answer a request (and so echo its id):
-/// LeaseGrant, LeaseError, ExtendOk, BatchGranted, ReleaseOk, RegisterOk.
+/// LeaseGrant, LeaseError, LeaseDenied, ExtendOk, BatchGranted,
+/// ReleaseOk, RegisterOk.
 bool is_reply_type(MsgType t);
 
 /// Extracts the echoed request id from a reply message — the trailing 8

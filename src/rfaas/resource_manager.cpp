@@ -19,7 +19,8 @@ ResourceManager::ResourceManager(sim::Engine& engine, fabric::Fabric& fabric,
       config_(std::move(config)),
       pd_(device.alloc_pd()),
       billing_(*pd_),
-      core_(config_) {
+      core_(config_),
+      admission_(config_.admission) {
   grant_gates_.reserve(core_.shard_count());
   for (std::uint32_t s = 0; s < core_.shard_count(); ++s) {
     grant_gates_.push_back(std::make_unique<sim::Mutex>());
@@ -169,6 +170,22 @@ sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> s
           break;
         }
         if (replay_duplicate(msg.value().request_id)) break;
+        // Early shed: the admission verdict costs one mutex and a few
+        // arithmetic updates — no shard gate, no placement scan, no
+        // quota-eviction pass. Under overload this is the only work a
+        // shed request ever causes the manager, which is what keeps
+        // goodput at capacity instead of collapsing with offered load.
+        if (admission_.enabled()) {
+          auto verdict = admission_.admit(msg.value().client_id, engine_.now());
+          if (!verdict.admitted) {
+            LeaseDeniedMsg denied;
+            denied.reason = static_cast<std::uint8_t>(DenialReason::Overload);
+            denied.retry_after = verdict.retry_after;
+            denied.request_id = msg.value().request_id;
+            reply_cached(msg.value().request_id, encode(denied));
+            break;
+          }
+        }
         // Route first (lock-free, locality-aware under LocalityFirst),
         // then serialize on the routed shard's gate: a single-shard
         // manager decides strictly one lease at a time, an N-shard
@@ -250,6 +267,21 @@ sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> s
           break;
         }
         if (replay_duplicate(msg.value().request_id)) break;
+        // Batched allocations pass the same early-shed admission as
+        // single requests: one admission token per round trip (the shard
+        // scan is paid once per batch, so that is the unit of work the
+        // capacity bucket paces).
+        if (admission_.enabled()) {
+          auto verdict = admission_.admit(msg.value().client_id, engine_.now());
+          if (!verdict.admitted) {
+            LeaseDeniedMsg denied;
+            denied.reason = static_cast<std::uint8_t>(DenialReason::Overload);
+            denied.retry_after = verdict.retry_after;
+            denied.request_id = msg.value().request_id;
+            reply_cached(msg.value().request_id, encode(denied));
+            break;
+          }
+        }
         // One round trip, one gate session: the routed shard's scan is
         // paid once for the whole batch (a scan is O(registry) however
         // many leases it yields) plus one extra decision delay per

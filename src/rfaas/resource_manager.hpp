@@ -27,6 +27,7 @@
 
 #include "net/tcp.hpp"
 #include "rdmalib/connection.hpp"
+#include "rfaas/admission.hpp"
 #include "rfaas/billing.hpp"
 #include "rfaas/config.hpp"
 #include "rfaas/protocol.hpp"
@@ -104,6 +105,15 @@ class ResourceManager {
   [[nodiscard]] std::uint64_t evictions_notified() const { return evictions_notified_; }
   [[nodiscard]] std::uint64_t notification_messages() const { return notification_messages_; }
 
+  /// Ingress admission control (Config::admission): the token-bucket +
+  /// WFQ early-shed layer every LeaseRequest/BatchAllocate passes before
+  /// any shard lock or eviction work. Mutable access lets tests and
+  /// benches adjust tenant weights/rates mid-run.
+  [[nodiscard]] Admission& admission() { return admission_; }
+  [[nodiscard]] const Admission& admission() const { return admission_; }
+  /// Requests shed at admission (LeaseDenied{Overload} replies).
+  [[nodiscard]] std::uint64_t admission_sheds() const { return admission_.sheds(); }
+
   /// Retransmitted requests answered from the per-stream dedup table
   /// instead of re-running the decision (each hit is a double-grant or
   /// double-release that did not happen).
@@ -155,6 +165,9 @@ class ResourceManager {
   std::vector<std::unique_ptr<rdmalib::Connection>> billing_conns_;
 
   ShardedResourceManager core_;
+  /// Ingress admission: evaluated before routing, shard gates, or any
+  /// eviction work — the cheap early-shed path.
+  Admission admission_;
   /// One FIFO gate per shard: the simulated critical section of a lease
   /// decision (grant and renew both pass through it).
   std::vector<std::unique_ptr<sim::Mutex>> grant_gates_;

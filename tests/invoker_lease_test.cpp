@@ -692,6 +692,93 @@ TEST(SelfHeal, PartialHealGivesUpCleanlyWhenTheBudgetRunsOut) {
   h.run_for(10_s);
 }
 
+/// Shared setup for the retry_after regression pair: a manager whose
+/// admission layer has exactly one capacity token (refilling at 0.2/s,
+/// so the next token is ~5 s out), a tracked 4-worker lease, and an
+/// eviction that sends the heal loop through that admission wall.
+struct HealBackoffProbe {
+  std::uint64_t reallocations = 0;
+  std::uint64_t realloc_failures = 0;
+  std::uint64_t overload_denials = 0;
+};
+
+HealBackoffProbe run_heal_against_admission(bool honor_retry_after) {
+  cluster::ScenarioSpec spec;
+  spec.executors = {{1, 4, 32ull << 30}, {1, 4, 32ull << 30}};
+  spec.client_hosts = 1;
+  // One token up front (the initial acquire spends it); the refill is
+  // so slow that any heal attempt inside the next ~5 s is shed with a
+  // retry_after hint of that entire wait.
+  spec.config.admission.capacity_hz = 0.2;
+  spec.config.admission.capacity_burst = 1;
+  spec.config.admission.retry_after_max = 5_s;
+  cluster::Harness h(spec);
+  h.start();
+
+  auto mutex = std::make_shared<sim::Mutex>();
+  LeaseSetOptions opts;
+  opts.self_heal = true;
+  opts.realloc_budget = 4;
+  opts.realloc_backoff = 2_ms;
+  opts.honor_retry_after = honor_retry_after;
+  opts.backoff_jitter = 0;  // exact timelines — this test counts attempts
+  LeaseSet leases(h.engine(), opts);
+
+  auto scenario = [&]() -> sim::Task<void> {
+    auto conn = co_await h.tcp().connect(h.client_device(0).id(), h.rm().device().id(),
+                                         h.rm().port());
+    auto notify = co_await h.tcp().connect(h.client_device(0).id(), h.rm().device().id(),
+                                           h.rm().port());
+    EXPECT_TRUE(conn.ok() && notify.ok());
+    if (!conn.ok() || !notify.ok()) co_return;
+    leases.bind(conn.value(), mutex);
+    leases.subscribe(notify.value(), /*client_id=*/1);
+
+    auto grant = co_await acquire_one(conn.value(), /*workers=*/4, /*timeout=*/300_s);
+    EXPECT_TRUE(grant.ok());
+    if (!grant.ok()) co_return;
+    leases.track(grant.value().lease_id, grant.value().expires_at, 300_s, 4, 64ull << 20);
+    leases.start();
+    EXPECT_EQ(h.drain_executor(0), std::optional<std::size_t>{1});
+  };
+  h.spawn(scenario());
+  h.run_for(12_s);
+
+  HealBackoffProbe probe;
+  probe.reallocations = leases.reallocations();
+  probe.realloc_failures = leases.realloc_failures();
+  probe.overload_denials = leases.overload_denials();
+  leases.stop();
+  return probe;
+}
+
+TEST(SelfHeal, DenialRetryAfterFloorsTheHealBackoff) {
+  // Regression: heal loops used to back off by their own exponential
+  // schedule only, ignoring the manager's retry_after hint — a 2 ms
+  // initial backoff re-offered the denied request long before capacity
+  // could exist, burning the whole realloc budget into the wall (see
+  // the companion test below for that amplification). Honoring the hint
+  // floors the wait: one denial, one ~5 s sleep, then a heal that lands.
+  auto probe = run_heal_against_admission(/*honor_retry_after=*/true);
+  EXPECT_EQ(probe.reallocations, 1u);
+  EXPECT_EQ(probe.realloc_failures, 0u);
+  // The timer truncation on the hint can land the retry 1 ns before the
+  // token is whole; at most one extra denial, never a storm.
+  EXPECT_LE(probe.overload_denials, 2u);
+  EXPECT_GE(probe.overload_denials, 1u);
+}
+
+TEST(SelfHeal, IgnoringRetryAfterAmplifiesTheStorm) {
+  // The pre-fix behavior, pinned deliberately: with the hint ignored,
+  // every backoff in the budget fires inside the 5 s capacity gap, so
+  // the heal dies at the wall having amplified one eviction into
+  // budget-many denied requests. This is what honor_retry_after is for.
+  auto probe = run_heal_against_admission(/*honor_retry_after=*/false);
+  EXPECT_EQ(probe.reallocations, 0u);
+  EXPECT_EQ(probe.realloc_failures, 1u);
+  EXPECT_EQ(probe.overload_denials, 4u);  // the entire realloc budget
+}
+
 TEST(SelfHealWorkload, SurvivesAnEvictionStorm) {
   auto spec = cluster::ScenarioSpec::uniform(/*executors=*/8, /*cores=*/8, 32ull << 30,
                                              /*clients=*/4);

@@ -1,0 +1,159 @@
+// Property-style overload invariants, end to end through the harness:
+// open-loop arrival storms at 10x and 50x of admission capacity must
+// never leak a lease after drain, never spend past a client's retry
+// budget, and never let admitted requests queue behind the storm being
+// shed (bounded p99). The chaos variant composes overload with seeded
+// link faults — the same RFS_CHAOS_SEED knob as the fig19 suite, so a
+// failing seed is replayable. Labeled `overload` in CMake
+// (`ctest -L overload`, scripts/check.sh --overload).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "cluster/harness.hpp"
+#include "net/faulty.hpp"
+
+namespace rfs::cluster {
+namespace {
+
+constexpr double kCapacityHz = 200.0;
+
+std::uint64_t chaos_seed() {
+  const char* env = std::getenv("RFS_CHAOS_SEED");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 1ull;
+}
+
+struct OverloadRun {
+  MultiTenantTrace trace;
+  std::size_t leaked = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t sheds = 0;
+};
+
+/// Two weighted tenants (3:1) of open-loop Poisson clients at
+/// `overload` times the admission capacity, with `retry_budget`
+/// retries per simulated client; optionally under symmetric link chaos.
+OverloadRun run_overload(double overload, unsigned retry_budget, bool chaos,
+                         Duration horizon = 3_s) {
+  auto spec = ScenarioSpec::uniform(/*executors=*/8, /*cores=*/36,
+                                    /*memory_bytes=*/64ull << 30, /*clients=*/2);
+  spec.config.admission.capacity_hz = kCapacityHz;
+  spec.config.admission.wfq_credit = 2;
+  spec.assert_drained = false;  // the test owns the leak assertion
+  if (chaos) {
+    spec.inject_faults = true;
+    spec.faults = net::FaultSpec::symmetric(0.05);
+    spec.faults.delay_min = 100_us;
+    spec.faults.delay_max = 1_ms;
+    spec.fault_seed = chaos_seed();
+  }
+
+  Harness harness(spec);
+  harness.start();
+
+  std::vector<TenantWorkload> tenants;
+  const double offered_hz = overload * kCapacityHz;
+  const std::uint32_t weights[2] = {3, 1};
+  for (unsigned t = 0; t < 2; ++t) {
+    TenantWorkload w;
+    w.name = "t" + std::to_string(t);
+    w.clients = 1;
+    w.tenant_id = 201 + t;
+    w.weight = weights[t];
+    w.arrivals = ArrivalProcess::Poisson;
+    w.multiplex = 500;
+    w.arrival_hz = (offered_hz / 2.0) / 500.0;
+    w.retry_budget = retry_budget;
+    w.retry_backoff = 5_ms;
+    w.lease.workers_min = 1;
+    w.lease.workers_max = 1;
+    w.lease.memory_per_worker = 64ull << 20;
+    w.lease.hold_min = 20_ms;
+    w.lease.hold_max = 80_ms;
+    w.lease.lease_timeout = 30_s;
+    w.lease.seed = 4000 + t;
+    tenants.push_back(w);
+  }
+
+  OverloadRun run;
+  run.trace = harness.run_multi_tenant_workload(tenants, horizon, /*sample_every=*/1_s);
+  run.leaked = harness.leaked_leases_after(chaos ? 10_s : 5_s);
+  run.admitted = harness.rm().admission().admitted();
+  run.sheds = harness.rm().admission().sheds();
+  return run;
+}
+
+TEST(OverloadInvariants, TenfoldStormDrainsCleanAndHonorsBudgets) {
+  auto run = run_overload(/*overload=*/10, /*retry_budget=*/2, /*chaos=*/false);
+  const auto& a = run.trace.aggregate;
+
+  // The storm actually happened, and the admitter carried it.
+  EXPECT_GT(a.offered, 10u * a.granted / 2);
+  EXPECT_GT(a.granted, 0u);
+  EXPECT_GT(run.sheds, 0u);
+
+  // Invariant 1: every granted lease is returned — nothing leaks, no
+  // matter how many sheds and retries surrounded it.
+  EXPECT_EQ(run.leaked, 0u);
+
+  // Invariant 2: no simulated client ever spends past its budget, and
+  // the budget was genuinely exercised (retries happened, some clients
+  // exhausted them).
+  EXPECT_LE(a.max_retries, 2u);
+  EXPECT_GT(a.retries, 0u);
+  EXPECT_GT(a.retry_exhausted, 0u);
+
+  // Invariant 3: a grant implies a manager-side admission — the early
+  // shed can never be bypassed.
+  EXPECT_GE(run.admitted, a.granted);
+  EXPECT_EQ(a.client_deaths, 0u);
+}
+
+TEST(OverloadInvariants, FiftyfoldStormKeepsGoodputAndBoundedTail) {
+  // The unloaded run anchors the tail bound; no retries in either so
+  // grant latency is the pure admitted path.
+  auto base = run_overload(/*overload=*/0.5, /*retry_budget=*/0, /*chaos=*/false);
+  auto storm = run_overload(/*overload=*/50, /*retry_budget=*/0, /*chaos=*/false);
+  const auto& a = storm.trace.aggregate;
+
+  EXPECT_EQ(storm.leaked, 0u);
+  EXPECT_EQ(a.retries, 0u);  // budget 0 means the client never re-offers
+
+  // Goodput pins to capacity while 50x demand is shed in O(1).
+  const double goodput = static_cast<double>(a.granted) / to_s(3_s);
+  EXPECT_GE(goodput, 0.9 * kCapacityHz);
+
+  // Admitted requests must not queue behind the storm: p99 within 5x of
+  // the unloaded tail (the same bound bench/fig17_overload gates on).
+  const double p99_base = base.trace.aggregate.grant_latency_percentile(99);
+  const double p99_storm = a.grant_latency_percentile(99);
+  ASSERT_GT(p99_base, 0.0);
+  EXPECT_LE(p99_storm, 5.0 * p99_base);
+
+  // Weighted fairness holds at 50x: the 3:1 split lands within 15%.
+  ASSERT_EQ(storm.trace.tenants.size(), 2u);
+  const auto& heavy = storm.trace.tenants[0];
+  const auto& light = storm.trace.tenants[1];
+  const double share = static_cast<double>(heavy.granted) /
+                       static_cast<double>(heavy.granted + light.granted);
+  EXPECT_NEAR(share, 0.75, 0.15 * 0.75);
+}
+
+TEST(OverloadInvariants, OverloadComposesWithLinkChaos) {
+  // 10x overload plus 5% symmetric drop/dup/reorder on every control
+  // link, seeded like fig19: retransmission, dedup replay of cached
+  // denials, retry budgets and the expiry sweep all compose — and the
+  // drain invariant still holds exactly.
+  auto run = run_overload(/*overload=*/10, /*retry_budget=*/3, /*chaos=*/true);
+  const auto& a = run.trace.aggregate;
+
+  EXPECT_EQ(run.leaked, 0u) << "seed " << chaos_seed();
+  EXPECT_GT(a.granted, 0u);
+  EXPECT_LE(a.max_retries, 3u) << "seed " << chaos_seed();
+  EXPECT_EQ(a.client_deaths, 0u) << "seed " << chaos_seed();
+  EXPECT_GE(run.admitted, a.granted);
+}
+
+}  // namespace
+}  // namespace rfs::cluster

@@ -31,6 +31,11 @@ std::vector<Bytes> sample_messages() {
   msgs.push_back(encode(grant));
   msgs.push_back(encode_lease_error("nope"));
   msgs.push_back(encode_lease_error("stale epoch", (2ull << 32) | 3));
+  LeaseDeniedMsg denied;
+  denied.reason = static_cast<std::uint8_t>(DenialReason::Overload);
+  denied.retry_after = 25_ms;
+  denied.request_id = (1ull << 32) | 10;
+  msgs.push_back(encode(denied));
   AllocationRequestMsg alloc;
   alloc.lease_id = 5;
   alloc.workers = 2;
@@ -90,6 +95,7 @@ int accepted_by_any(const Bytes& raw) {
   n += decode_lease_request(raw).ok();
   n += decode_lease_grant(raw).ok();
   n += decode_lease_error(raw).ok();
+  n += decode_lease_denied(raw).ok();
   n += decode_allocation_request(raw).ok();
   n += decode_allocation_reply(raw).ok();
   n += decode_submit_code(raw).ok();
@@ -185,9 +191,14 @@ TEST(ProtocolHardened, ReplyRequestIdExtractsFromEveryReplyType) {
   batch.complete = true;
   batch.request_id = id;
   batch.error = "";
+  LeaseDeniedMsg denied;
+  denied.reason = static_cast<std::uint8_t>(DenialReason::Overload);
+  denied.retry_after = 10_ms;
+  denied.request_id = id;
   const std::vector<Bytes> replies = {
       encode(grant),
       encode_lease_error("no capacity", id),
+      encode(denied),
       encode(ExtendOkMsg{99, 60_s, id}),
       encode(batch),
       encode(ReleaseOkMsg{4, id}),
@@ -253,6 +264,10 @@ TEST(ProtocolFastPath, EncodeIntoMatchesTheBytesApiByteForByte) {
   grant.expires_at = 90_s;
   ExtendLeaseMsg extend{(7ull << 48) | 42, 30_s};
   ExtendOkMsg ok{(7ull << 48) | 42, 90_s};
+  LeaseDeniedMsg denied;
+  denied.reason = static_cast<std::uint8_t>(DenialReason::QuotaExceeded);
+  denied.retry_after = 250_ms;
+  denied.request_id = (2ull << 32) | 6;
 
   std::uint8_t buf[64];
   EXPECT_EQ(encode_into(req, buf, sizeof buf), kLeaseRequestWireSize);
@@ -263,10 +278,13 @@ TEST(ProtocolFastPath, EncodeIntoMatchesTheBytesApiByteForByte) {
   EXPECT_EQ(Bytes(buf, buf + kExtendLeaseWireSize), encode(extend));
   EXPECT_EQ(encode_into(ok, buf, sizeof buf), kExtendOkWireSize);
   EXPECT_EQ(Bytes(buf, buf + kExtendOkWireSize), encode(ok));
+  EXPECT_EQ(encode_into(denied, buf, sizeof buf), kLeaseDeniedWireSize);
+  EXPECT_EQ(Bytes(buf, buf + kLeaseDeniedWireSize), encode(denied));
 
   // Undersized buffers refuse without writing.
   EXPECT_EQ(encode_into(req, buf, kLeaseRequestWireSize - 1), 0u);
   EXPECT_EQ(encode_into(grant, buf, 0), 0u);
+  EXPECT_EQ(encode_into(denied, buf, kLeaseDeniedWireSize - 1), 0u);
 }
 
 TEST(ProtocolFastPath, SpanDecodersRoundTripFromStackBuffers) {
@@ -294,6 +312,23 @@ TEST(ProtocolFastPath, SpanDecodersRoundTripFromStackBuffers) {
   EXPECT_FALSE(decode_lease_grant(std::span<const std::uint8_t>(buf, n - 1)).ok());
   buf[0] = static_cast<std::uint8_t>(MsgType::LeaseRequest);
   EXPECT_FALSE(decode_lease_grant(std::span<const std::uint8_t>(buf, n)).ok());
+
+  // LeaseDenied is the hot reply under overload: the same stack-buffer
+  // roundtrip, truncation and type-confusion guarantees must hold.
+  LeaseDeniedMsg denied;
+  denied.reason = static_cast<std::uint8_t>(DenialReason::Overload);
+  denied.retry_after = 42_ms;
+  denied.request_id = (9ull << 32) | 3;
+  const std::size_t dn = encode_into(denied, buf, sizeof buf);
+  ASSERT_EQ(dn, kLeaseDeniedWireSize);
+  auto ddec = decode_lease_denied(std::span<const std::uint8_t>(buf, dn));
+  ASSERT_TRUE(ddec.ok());
+  EXPECT_EQ(ddec.value().reason, denied.reason);
+  EXPECT_EQ(ddec.value().retry_after, denied.retry_after);
+  EXPECT_EQ(ddec.value().request_id, denied.request_id);
+  EXPECT_FALSE(decode_lease_denied(std::span<const std::uint8_t>(buf, dn - 1)).ok());
+  buf[0] = static_cast<std::uint8_t>(MsgType::LeaseGrant);
+  EXPECT_FALSE(decode_lease_denied(std::span<const std::uint8_t>(buf, dn)).ok());
 
   LeaseRequestMsg req{1, 8, 256ull << 20, 60_s};
   const std::size_t rn = encode_into(req, buf, sizeof buf);
