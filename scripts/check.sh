@@ -3,7 +3,7 @@
 # and run the full test suite. This is the gate every PR must keep green,
 # locally and in CI (.github/workflows/ci.yml).
 #
-#   ./scripts/check.sh [--sanitize=address,undefined|thread] [--chaos] [--overload] [build-dir]
+#   ./scripts/check.sh [--sanitize=address,undefined|thread] [--chaos] [--overload] [--ha] [build-dir]
 #
 # --chaos restricts the test run to the lossy-network suite (the ctest
 # `chaos` label: fault-injector determinism, retransmission FSMs, wire
@@ -11,6 +11,9 @@
 # --overload restricts it to the ingress-protection suite (the ctest
 # `overload` label: admission/WFQ determinism and end-to-end storm
 # invariants) — the quick loop when iterating on admission control.
+# --ha restricts it to the high-availability suite (the ctest `ha`
+# label: journal replay equivalence, manager failover, failover under
+# link chaos) — the quick loop when iterating on replication.
 #
 # Extra cmake arguments (compiler launcher, generators) can be injected
 # through RFS_CMAKE_ARGS, e.g.
@@ -27,6 +30,7 @@ for arg in "$@"; do
     --sanitize=*) sanitize="${arg#--sanitize=}" ;;
     --chaos) ctest_args+=(-L chaos) ;;
     --overload) ctest_args+=(-L overload) ;;
+    --ha) ctest_args+=(-L ha) ;;
     --help|-h)
       sed -n '2,/^[^#]/p' "$0" | sed -n 's/^# \{0,1\}//p'
       exit 0

@@ -36,6 +36,11 @@ double UtilizationTrace::reclaim_latency_percentile(double p) const {
   return Summary(reclaim_latency).percentile(p);
 }
 
+double UtilizationTrace::blackout_percentile(double p) const {
+  if (blackout_ns.empty()) return 0;
+  return Summary(blackout_ns).percentile(p);
+}
+
 ScenarioSpec ScenarioSpec::large_fleet(unsigned executors, unsigned clients, unsigned racks,
                                        std::uint64_t seed) {
   ScenarioSpec spec;
@@ -279,6 +284,48 @@ sim::Task<Harness::LeaseAttempt> Harness::request_lease_with_retries(
   co_return attempt;
 }
 
+sim::Task<std::shared_ptr<rfaas::Session>> Harness::connect_client_session(
+    std::size_t client, std::uint32_t epoch) {
+  auto conn = co_await tcp_->connect(client_devices_.at(client)->id(), rm_device_->id(),
+                                     rm_->port());
+  if (!conn.ok()) co_return nullptr;
+  auto options = spec_.session_options;
+  options.epoch = epoch;
+  co_return std::make_shared<rfaas::Session>(engine_, conn.value(), options);
+}
+
+sim::Task<std::shared_ptr<rfaas::Session>> Harness::reconnect_client(
+    std::size_t client, const LeaseWorkload& workload, std::uint32_t& epoch, Time deadline,
+    std::shared_ptr<rfaas::LeaseSet> leases, std::shared_ptr<WorkloadCounters> out) {
+  for (unsigned attempt = 0;
+       attempt < spec_.client_reconnect_attempts && engine_.now() < deadline; ++attempt) {
+    co_await sim::delay(spec_.client_reconnect_backoff);
+    // A bumped session epoch fences whatever replies the previous
+    // incarnation (or a zombie primary) still has in flight.
+    auto session = co_await connect_client_session(client, ++epoch);
+    if (session == nullptr) {
+      ++out->reconnect_failures;
+      continue;
+    }
+    out->sessions.push_back(session);
+    ++out->reconnects;
+    if (leases != nullptr) {
+      leases->bind(session);
+      auto notify = co_await subscribe_lease_events(
+          client, static_cast<std::uint32_t>(client + 1), workload, leases);
+      if (notify != nullptr) out->sessions.push_back(notify);
+      // Leases held across the outage: re-validate against the promoted
+      // primary's adopted state (lost ones surface as losses and heal).
+      // revalidate() spawns lazily — yield one tick so the revalidation
+      // pass snapshots the tracked set before the caller releases.
+      leases->revalidate();
+      co_await sim::delay(1_us);
+    }
+    co_return session;
+  }
+  co_return nullptr;
+}
+
 sim::Task<void> Harness::lease_client_loop(std::size_t client, LeaseWorkload workload,
                                            std::uint64_t seed, Time deadline,
                                            std::shared_ptr<WorkloadCounters> out) {
@@ -286,13 +333,12 @@ sim::Task<void> Harness::lease_client_loop(std::size_t client, LeaseWorkload wor
   auto uniform = [&rng](std::uint64_t lo, std::uint64_t hi) { return rng.uniform_int(lo, hi); };
 
   ++out->clients_started;
-  auto conn = co_await tcp_->connect(client_devices_.at(client)->id(), rm_device_->id(),
-                                     rm_->port());
-  if (!conn.ok()) {
+  std::uint32_t epoch = spec_.session_options.epoch;
+  auto session = co_await connect_client_session(client, epoch);
+  if (session == nullptr) {
     ++out->client_deaths;
     co_return;
   }
-  auto session = std::make_shared<rfaas::Session>(engine_, conn.value(), spec_.session_options);
   out->sessions.push_back(session);
   auto leases = make_lease_set(session, workload, out);
   auto notify = co_await subscribe_lease_events(client, static_cast<std::uint32_t>(client + 1),
@@ -300,16 +346,29 @@ sim::Task<void> Harness::lease_client_loop(std::size_t client, LeaseWorkload wor
   if (notify != nullptr) out->sessions.push_back(notify);
 
   bool died = false;
+  Time blackout_started = 0;  // first failed call of the current outage
   while (engine_.now() < deadline) {
     const auto workers =
         static_cast<std::uint32_t>(uniform(workload.workers_min, workload.workers_max));
     auto attempt = co_await request_lease(session, static_cast<std::uint32_t>(client + 1),
                                           workers, workload, *out);
     if (!attempt.open) {
-      died = true;
-      break;
+      // Failover path: redial the manager address (a promoted standby
+      // listens on the same device and port) and resume the loop.
+      if (blackout_started == 0) blackout_started = engine_.now();
+      auto fresh = co_await reconnect_client(client, workload, epoch, deadline, leases, out);
+      if (fresh == nullptr) {
+        died = true;
+        break;
+      }
+      session = fresh;
+      continue;
     }
     if (const auto& grant = attempt.grant) {
+      if (blackout_started != 0) {
+        out->blackout_ns.push_back(static_cast<double>(engine_.now() - blackout_started));
+        blackout_started = 0;
+      }
       // Closed loop: hold the lease (auto-renewing/self-healing if
       // configured), release, then think. The release names whatever
       // lease currently stands in for the original grant and is
@@ -319,6 +378,20 @@ sim::Task<void> Harness::lease_client_loop(std::size_t client, LeaseWorkload wor
                       grant->workers, workload.memory_per_worker);
       }
       co_await sim::delay(uniform(workload.hold_min, workload.hold_max));
+      // The manager may have died during the hold. Reconnect BEFORE
+      // abandoning the lease so it is still tracked when the fresh
+      // session revalidates — that is exactly the "held lease survives
+      // a failover" path — and the release then lands on the promoted
+      // primary instead of being dropped on the floor.
+      if (session->closed() && spec_.client_reconnect_attempts > 0) {
+        if (blackout_started == 0) blackout_started = engine_.now();
+        auto fresh = co_await reconnect_client(client, workload, epoch, deadline, leases, out);
+        if (fresh == nullptr) {
+          died = true;
+          break;
+        }
+        session = fresh;
+      }
       auto release = release_for(*grant, workload);
       if (leases != nullptr) release.lease_id = leases->abandon(grant->lease_id);
       if (!session->closed()) {
@@ -326,7 +399,13 @@ sim::Task<void> Harness::lease_client_loop(std::size_t client, LeaseWorkload wor
         (void)co_await session->call(rfaas::encode(release), release.request_id);
       }
     }
-    co_await sim::delay(uniform(workload.think_min, workload.think_max));
+    // During an outage the client skips its think time and immediately
+    // probes the grant path: the open blackout sample must measure when
+    // the platform can grant again, not when this client felt like
+    // asking again.
+    if (blackout_started == 0) {
+      co_await sim::delay(uniform(workload.think_min, workload.think_max));
+    }
   }
   if (died) ++out->client_deaths;
   if (leases != nullptr) {
@@ -544,8 +623,11 @@ UtilizationTrace Harness::run_lease_workload(const LeaseWorkload& workload, Dura
   trace.retries = counters->retries;
   trace.retry_exhausted = counters->retry_exhausted;
   trace.max_retries = counters->max_retries;
+  trace.reconnects = counters->reconnects;
+  trace.reconnect_failures = counters->reconnect_failures;
   trace.grant_latency = counters->grant_latency;
   trace.reclaim_latency = counters->reclaim_latency;
+  trace.blackout_ns = counters->blackout_ns;
   refresh_chaos_counters(trace);
   return trace;
 }
@@ -620,6 +702,62 @@ std::optional<std::size_t> Harness::drain_executor(std::size_t index) {
   return rm_->drain_executor_on_device(executor_devices_[index]->id());
 }
 
+std::shared_ptr<rfaas::StandbyReplica> Harness::attach_standby() {
+  auto standby = std::make_shared<rfaas::StandbyReplica>(spec_.config);
+  if (auto attached = rm_->attach_standby(standby); !attached.ok()) {
+    log::error("harness", "standby attach failed: ", attached.error().message);
+    return nullptr;
+  }
+  standbys_.push_back(standby);
+  return standby;
+}
+
+void Harness::kill_manager(bool zombie) {
+  if (zombie) {
+    rm_->isolate();
+  } else {
+    rm_->crash();
+  }
+}
+
+rfaas::ResourceManager& Harness::promote_standby(std::size_t index) {
+  auto replica = standbys_.at(index);
+  standbys_.erase(standbys_.begin() + static_cast<std::ptrdiff_t>(index));
+  const std::uint32_t epoch = rm_->manager_epoch() + 1;
+  retired_rms_.push_back(std::move(rm_));
+  rm_ = std::make_unique<rfaas::ResourceManager>(engine_, *fabric_, *tcp_, *rm_host_,
+                                                 *rm_device_, spec_.config);
+  if (auto adopted = rm_->adopt(replica->export_state(), epoch); !adopted.ok()) {
+    log::error("harness", "standby promotion failed: ", adopted.error().message);
+    std::abort();
+  }
+  rm_->start();
+  // Surviving standbys chase the new primary's journal from a fresh
+  // snapshot, so a second failover stays possible.
+  for (auto& standby : standbys_) {
+    if (auto attached = rm_->attach_standby(standby); !attached.ok()) {
+      log::error("harness", "standby re-attach failed: ", attached.error().message);
+    }
+  }
+  return *rm_;
+}
+
+namespace {
+
+sim::Task<void> failover_script(Harness& h, Duration kill_after, Duration promote_after,
+                                bool zombie) {
+  co_await sim::delay(kill_after);
+  h.kill_manager(zombie);
+  co_await sim::delay(promote_after);
+  h.promote_standby();
+}
+
+}  // namespace
+
+void Harness::schedule_failover(Duration kill_after, Duration promote_after, bool zombie) {
+  spawn(failover_script(*this, kill_after, promote_after, zombie));
+}
+
 MultiTenantTrace Harness::run_multi_tenant_workload(const std::vector<TenantWorkload>& tenants,
                                                     Duration horizon, Duration sample_every) {
   const Time deadline = engine_.now() + horizon;
@@ -682,6 +820,8 @@ MultiTenantTrace Harness::run_multi_tenant_workload(const std::vector<TenantWork
     trace.aggregate.terminations += sinks[t]->terminations;
     trace.aggregate.reallocations += sinks[t]->reallocations;
     trace.aggregate.realloc_failures += sinks[t]->realloc_failures;
+    trace.aggregate.reconnects += sinks[t]->reconnects;
+    trace.aggregate.reconnect_failures += sinks[t]->reconnect_failures;
     trace.aggregate.reclaim_latency.insert(trace.aggregate.reclaim_latency.end(),
                                            sinks[t]->reclaim_latency.begin(),
                                            sinks[t]->reclaim_latency.end());

@@ -66,6 +66,15 @@ struct ScenarioSpec {
   /// benches that report the gate themselves clear it.
   bool assert_drained = true;
 
+  /// Client failover knobs: when a workload client's session dies it
+  /// redials the manager up to this many times (backoff apart) with a
+  /// bumped session epoch, re-binds its LeaseSet, re-subscribes the
+  /// notification stream and revalidates held leases against the
+  /// promoted primary. 0 keeps the pre-HA behaviour: a dead session is
+  /// a dead client.
+  unsigned client_reconnect_attempts = 0;
+  Duration client_reconnect_backoff = 20_ms;
+
   /// Homogeneous fleet shorthand.
   static ScenarioSpec uniform(unsigned executors, unsigned cores = 36,
                               std::uint64_t memory_bytes = 64ull << 30, unsigned clients = 1) {
@@ -165,10 +174,17 @@ struct UtilizationTrace {
   std::uint64_t double_grants = 0;      // duplicate grant with a DIFFERENT lease id
   std::uint64_t clients_started = 0;
   std::uint64_t client_deaths = 0;      // loops that died on a transport failure
+  // Failover accounting (manager kill + standby promotion).
+  std::uint64_t reconnects = 0;         // sessions re-established after a dead one
+  std::uint64_t reconnect_failures = 0; // redial attempts that could not connect
   std::vector<double> grant_latency;  // ns per successful grant
   /// Client-observed reclamation latency per termination push: manager
   /// eviction decision -> push absorbed by the holder (virtual ns).
   std::vector<double> reclaim_latency;
+  /// Grant-path blackout per outage a client observed: first failed
+  /// call -> next successful grant (virtual ns). The fig20 failover
+  /// bench gates its p99 against the unloaded grant tail.
+  std::vector<double> blackout_ns;
 
   [[nodiscard]] double mean_utilization() const;
   [[nodiscard]] double peak_utilization() const;
@@ -178,6 +194,9 @@ struct UtilizationTrace {
   [[nodiscard]] double grant_throughput(Duration horizon) const;
   /// Reclamation-latency percentile, 0 when nothing was terminated.
   [[nodiscard]] double reclaim_latency_percentile(double p) const;
+  /// Blackout percentile over every client-observed outage, 0 when no
+  /// client ever lost its session.
+  [[nodiscard]] double blackout_percentile(double p) const;
   /// Held leases lost involuntarily: terminations + spurious expiries.
   [[nodiscard]] std::uint64_t losses() const { return terminations + spurious_expiries; }
   /// Share of lost leases the client replaced before the workload ended:
@@ -346,6 +365,35 @@ class Harness {
   /// nullopt when the executor is not (or no longer) registered.
   std::optional<std::size_t> drain_executor(std::size_t index);
 
+  /// Attaches a warm standby to the current primary: snapshot install +
+  /// live journal-record streaming (requires Config::journal_enabled).
+  /// Returns nullptr when the primary has no journal or the snapshot
+  /// offer is rejected.
+  std::shared_ptr<rfaas::StandbyReplica> attach_standby();
+  [[nodiscard]] std::size_t standby_count() const { return standbys_.size(); }
+
+  /// Kills the current primary. Default: hard crash — listeners down,
+  /// every established control stream severed, clients and executors
+  /// see dead sessions. `zombie`: network isolation only — listeners
+  /// down but established streams stay up, so the stale primary keeps
+  /// answering in-flight calls until epoch fencing cuts it off.
+  void kill_manager(bool zombie = false);
+
+  /// Promotes standby `index` to primary: a fresh ResourceManager on the
+  /// manager host/device (same address and port) adopts the replica's
+  /// exported state under the old epoch + 1 and starts serving. Any
+  /// remaining standbys are re-attached to the new primary. The retired
+  /// manager object stays alive (parked coroutines reference it) but
+  /// never serves again. Aborts if adoption fails — a digest-verified
+  /// replica that cannot seed a manager is a replication bug.
+  rfaas::ResourceManager& promote_standby(std::size_t index = 0);
+
+  /// Schedules a failover inside a workload run: after `kill_after` the
+  /// primary dies (crash or zombie), then `promote_after` later standby
+  /// 0 is promoted. Attach a standby first; spawn before the run so the
+  /// kill lands mid-horizon.
+  void schedule_failover(Duration kill_after, Duration promote_after, bool zombie = false);
+
   /// The chaos decision source when ScenarioSpec::inject_faults is set
   /// (nullptr otherwise); tests add partitions or retune individual
   /// links through it.
@@ -389,8 +437,11 @@ class Harness {
     std::uint64_t max_retries = 0;
     std::uint64_t clients_started = 0;
     std::uint64_t client_deaths = 0;
+    std::uint64_t reconnects = 0;
+    std::uint64_t reconnect_failures = 0;
     std::vector<double> grant_latency;
     std::vector<double> reclaim_latency;
+    std::vector<double> blackout_ns;
     /// Every session the run's clients opened (request + notification),
     /// harvested when traces are built — kept as shared_ptrs so chaos
     /// counters stay readable after the owning loop unwound.
@@ -430,6 +481,22 @@ class Harness {
                                                      const TenantWorkload& workload, Rng& rng,
                                                      Time deadline,
                                                      std::shared_ptr<WorkloadCounters> out);
+
+  /// Dials the manager from client host `client` and wraps the stream in
+  /// a Session carrying `epoch` (nullptr when the connect fails). Every
+  /// reconnect bumps the epoch so replies of the previous session
+  /// incarnation are fenced.
+  sim::Task<std::shared_ptr<rfaas::Session>> connect_client_session(std::size_t client,
+                                                                    std::uint32_t epoch);
+
+  /// Bounded redial of one workload client after its session died:
+  /// connects under a bumped epoch, re-binds the LeaseSet, re-subscribes
+  /// the notification stream and revalidates held leases against the
+  /// (promoted) manager. Returns the fresh session, or nullptr when the
+  /// budget ran dry. `epoch` lives in the calling coroutine's frame.
+  sim::Task<std::shared_ptr<rfaas::Session>> reconnect_client(
+      std::size_t client, const LeaseWorkload& workload, std::uint32_t& epoch, Time deadline,
+      std::shared_ptr<rfaas::LeaseSet> leases, std::shared_ptr<WorkloadCounters> out);
 
   sim::Task<void> lease_client_loop(std::size_t client, LeaseWorkload workload,
                                     std::uint64_t seed, Time deadline,
@@ -477,6 +544,12 @@ class Harness {
   std::unique_ptr<sim::Host> rm_host_;
   fabric::Device* rm_device_ = nullptr;
   std::unique_ptr<rfaas::ResourceManager> rm_;
+  /// Warm standbys attached to the current primary (promotion consumes
+  /// one and re-attaches the rest).
+  std::vector<std::shared_ptr<rfaas::StandbyReplica>> standbys_;
+  /// Managers retired by promote_standby(): dead to the network but kept
+  /// alive because their parked coroutine frames still reference them.
+  std::vector<std::unique_ptr<rfaas::ResourceManager>> retired_rms_;
 
   std::vector<std::unique_ptr<sim::Host>> executor_hosts_;
   std::vector<fabric::Device*> executor_devices_;

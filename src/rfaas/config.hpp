@@ -221,6 +221,32 @@ struct Config {
   /// moving skew). Manual rebalance_now() calls are never skipped.
   bool rebalance_storm_backoff = true;
 
+  /// Journal every manager state transition (grant/renew/release/expiry/
+  /// eviction/registration/drain/death/migration) to an append-only
+  /// replicated log (src/rfaas/journal.hpp) that warm standby replicas
+  /// replay into an identical in-memory state (src/rfaas/replica.hpp).
+  /// Off by default: standalone managers with no standby attached would
+  /// only pay the append for nothing. Harness scenarios with a standby
+  /// and the failover suites turn it on.
+  bool journal_enabled = false;
+
+  /// Snapshot cadence of the journaling primary: once the retained log
+  /// grows past this many records, the manager folds the prefix into a
+  /// fresh snapshot (ShardedResourceManager::export_state), re-offers it
+  /// to attached standbys and truncates the log behind it, bounding log
+  /// memory and replay time. 0 = never snapshot (the log only grows).
+  std::uint64_t journal_snapshot_every = 4096;
+
+  /// Executor re-registration attempts after its manager session dies
+  /// (manager crash/failover). 0 keeps the pre-HA behaviour: the session
+  /// loss is permanent and the executor waits to be reaped. Each attempt
+  /// bumps the registration epoch, so a zombie primary's stale session
+  /// is fenced by the epoch machinery.
+  unsigned executor_reconnect_attempts = 0;
+
+  /// Backoff between executor re-registration attempts.
+  Duration executor_reconnect_backoff = 50_ms;
+
   /// Lease scheduling policy and its knobs.
   SchedulingPolicy scheduling = SchedulingPolicy::RoundRobin;
   /// Seed of the randomized policies (power-of-two-choices); placements

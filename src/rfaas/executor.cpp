@@ -728,10 +728,32 @@ sim::Task<void> ExecutorManager::run_rdma_accept() {
 
 sim::Task<void> ExecutorManager::register_with_rm(fabric::DeviceId rm_device,
                                                   std::uint16_t rm_port) {
+  // The session pump below runs until the manager-side stream dies. With
+  // Config::executor_reconnect_attempts == 0 that loss is permanent (the
+  // pre-HA behaviour); otherwise the executor redials with backoff —
+  // after a manager failover the promoted standby re-attaches the
+  // registration (leases and sandboxes preserved). Every attempt bumps
+  // the registration epoch, so a zombie primary's stale session can
+  // never speak for this device again. The attempt budget resets after
+  // any successful registration: each distinct manager death gets the
+  // full budget, while an unreachable fleet still bounds the loop (the
+  // sim engine runs until no events remain).
+  unsigned failures = 0;
+  while (alive_) {
+    const bool registered = co_await register_session(rm_device, rm_port);
+    if (registered) failures = 0;
+    if (!alive_ || failures >= config_.executor_reconnect_attempts) co_return;
+    ++failures;
+    co_await sim::delay(config_.executor_reconnect_backoff);
+  }
+}
+
+sim::Task<bool> ExecutorManager::register_session(fabric::DeviceId rm_device,
+                                                  std::uint16_t rm_port) {
   auto stream = co_await tcp_.connect(device_.id(), rm_device, rm_port);
   if (!stream.ok()) {
     log::warn("executor", "cannot reach resource manager: ", stream.error().message);
-    co_return;
+    co_return false;
   }
   rm_stream_ = stream.value();
   // Registration runs through a retransmitting session: a dropped
@@ -754,14 +776,14 @@ sim::Task<void> ExecutorManager::register_with_rm(fabric::DeviceId rm_device,
   auto reply = co_await rm_session_->call(encode(reg), reg.request_id);
   if (!reply.ok()) {
     log::warn("executor", "registration failed: ", reply.error().message);
-    co_return;
+    co_return false;
   }
   auto ok = decode_register_ok(reply.value());
   if (!ok) {
     // Typically a LeaseError push-back: this epoch was fenced by a newer
     // registration session for the same device.
     log::warn("executor", "registration refused: ", ok.error().message);
-    co_return;
+    co_return false;
   }
   billing_addr_ = ok.value().billing_addr;
   billing_rkey_ = ok.value().billing_rkey;
@@ -812,6 +834,7 @@ sim::Task<void> ExecutorManager::register_with_rm(fabric::DeviceId rm_device,
       for (auto lease_id : term.value().lease_ids) reclaim_lease(lease_id);
     }
   }
+  co_return true;  // registered; the pump ended with the session
 }
 
 void ExecutorManager::reclaim_lease(std::uint64_t lease_id) {

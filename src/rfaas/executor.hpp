@@ -214,6 +214,12 @@ class ExecutorManager {
   sim::Task<void> handle_stream(std::shared_ptr<net::TcpStream> stream);
   sim::Task<void> run_rdma_accept();
   sim::Task<void> register_with_rm(fabric::DeviceId rm_device, std::uint16_t rm_port);
+  /// One registration session: connect, register under a fresh epoch,
+  /// then pump manager pushes until the session dies. True when the
+  /// registration itself completed (the push pump may still end later —
+  /// e.g. the manager crashed — which is what the reconnect loop in
+  /// register_with_rm retries on).
+  sim::Task<bool> register_session(fabric::DeviceId rm_device, std::uint16_t rm_port);
   sim::Task<void> billing_flush_loop();
   sim::Task<void> flush_billing();
   /// Accrues the allocation component (Ca) of every live sandbox up to

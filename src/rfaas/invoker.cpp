@@ -181,6 +181,11 @@ std::uint64_t LeaseSet::reallocations() const { return state_->reallocations; }
 std::uint64_t LeaseSet::realloc_failures() const { return state_->realloc_failures; }
 
 std::uint64_t LeaseSet::overload_denials() const { return state_->overload_denials; }
+std::uint64_t LeaseSet::revalidations() const { return state_->revalidated; }
+std::uint64_t LeaseSet::revalidation_losses() const { return state_->revalidation_losses; }
+std::uint64_t LeaseSet::failover_announces() const { return state_->failover_announces; }
+
+void LeaseSet::revalidate() { sim::spawn(*state_->engine, revalidate_all(state_)); }
 
 namespace {
 
@@ -246,6 +251,17 @@ void LeaseSet::handle_notification(const std::shared_ptr<State>& state, const By
     maybe_heal(state, id, lost);
   };
   auto type = peek_type(raw);
+  if (type.ok() && type.value() == MsgType::FailoverAnnounce) {
+    // A promoted standby took over the manager role: nothing this client
+    // holds can be trusted until it is re-validated against the restored
+    // lease table (leases granted in the blackout window by the dead
+    // primary may not have reached the journal).
+    auto announce = decode_failover_announce(raw);
+    if (!announce) return;
+    ++state->failover_announces;
+    sim::spawn(*state->engine, revalidate_all(state));
+    return;
+  }
   if (type.ok() && type.value() == MsgType::LeasesTerminated) {
     // Batched push: one message per sweep carries every lease of this
     // client the manager evicted together.
@@ -300,6 +316,55 @@ sim::Task<Result<Bytes>> LeaseSet::exchange(std::shared_ptr<State> state,
   state->request_mutex->unlock();
   if (!raw.has_value()) co_return Error::make(40, "manager disconnected");
   co_return *raw;
+}
+
+sim::Task<void> LeaseSet::revalidate_all(std::shared_ptr<State> state) {
+  // Snapshot the ids first: each exchange yields, and a refused lease
+  // mutates the tracked map mid-iteration.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(state->leases.size());
+  for (const auto& [id, tracked] : state->leases) ids.push_back(id);
+  const std::uint32_t client = state->client_id;
+  for (const auto id : ids) {
+    if (state->leases.find(id) == state->leases.end()) continue;  // lost meanwhile
+    auto reply = co_await exchange(state, [id, client](std::uint64_t request_id) {
+      LeaseRevalidateMsg msg;
+      msg.client_id = client;
+      msg.lease_id = id;
+      msg.request_id = request_id;
+      return encode(msg);
+    });
+    // Manager unreachable: leave the remaining leases tracked; the next
+    // reconnect (or the announce on its notification stream) re-runs the
+    // whole pass.
+    if (!reply.ok()) co_return;
+    auto type = peek_type(reply.value());
+    if (type.ok() && type.value() == MsgType::ExtendOk) {
+      auto ok = decode_extend_ok(reply.value());
+      if (!ok.ok()) continue;
+      if (auto it = state->leases.find(id); it != state->leases.end()) {
+        // Adopt the manager's authoritative deadline: the promoted
+        // standby replayed the renewals it saw, which may trail the dead
+        // primary's last answer.
+        it->second.expires_at = ok.value().expires_at;
+        ++state->revalidated;
+      }
+      continue;
+    }
+    // Refused: the manager does not carry this lease (never journaled
+    // before the crash, or reclaimed in the blackout). Same loss path as
+    // a refused renewal: untrack, report, heal.
+    auto it = state->leases.find(id);
+    if (it == state->leases.end()) continue;
+    const Tracked lost = it->second;
+    state->leases.erase(it);
+    ++state->revalidation_losses;
+    ++state->losses;
+    if (state->renewal_failed_fn) state->renewal_failed_fn(id, "lost in failover");
+    maybe_heal(state, id, lost);
+  }
+  // Deadlines may have moved (usually earlier): re-aim the renewal actor.
+  state->wake.set();
 }
 
 sim::Task<void> LeaseSet::release_via_session(std::shared_ptr<Session> session,
@@ -560,6 +625,28 @@ Invoker::Invoker(sim::Engine& engine, fabric::Fabric& fabric, net::TcpNetwork& t
       slot_sem_(std::make_unique<sim::Semaphore>(0)) {}
 
 Invoker::~Invoker() = default;
+
+sim::Task<Status> Invoker::reconnect() {
+  auto stream = co_await tcp_.connect(device_.id(), rm_device_, rm_port_);
+  if (!stream.ok()) co_return stream.error();
+  rm_stream_ = stream.value();
+  SessionOptions session_options;
+  session_options.epoch = ++rm_epoch_;
+  rm_session_ = std::make_shared<Session>(engine_, rm_stream_, session_options);
+  lease_set_->bind(rm_session_);
+  if (notify_session_ != nullptr) {
+    // The old push channel died with the manager: re-subscribe on a
+    // fresh one. A promoted manager answers the subscription with a
+    // FailoverAnnounce, which re-triggers revalidation on its own.
+    auto notify = co_await tcp_.connect(device_.id(), rm_device_, rm_port_);
+    if (!notify.ok()) co_return notify.error();
+    notify_stream_ = notify.value();
+    notify_session_ = std::make_shared<Session>(engine_, notify_stream_);
+    lease_set_->subscribe(notify_session_, client_id_);
+  }
+  lease_set_->revalidate();
+  co_return Status::success();
+}
 
 sim::Task<Status> Invoker::allocate(const AllocationSpec& spec) {
   polling_client_ = spec.polling_client;

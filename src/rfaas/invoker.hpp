@@ -126,6 +126,15 @@ class LeaseSet {
   /// eviction pushes (by seq) before they reach the termination handler.
   void subscribe(std::shared_ptr<Session> notify_session, std::uint32_t client_id);
 
+  /// Failover lease re-validation: asks the manager whether each tracked
+  /// lease still stands (LeaseRevalidate, read-only on the manager). A
+  /// confirmed lease adopts the manager's authoritative deadline; a
+  /// refused one was lost in the failover window — it is untracked,
+  /// counted as a loss and, when healing is enabled, transparently
+  /// re-acquired. Triggered automatically by a FailoverAnnounce push on
+  /// the notification stream; callable directly after a reconnect.
+  void revalidate();
+
   /// Replaces the renewal options (margin, extension). Takes effect from
   /// the next renewal decision.
   void configure(LeaseSetOptions options);
@@ -194,6 +203,14 @@ class LeaseSet {
   /// each consumed one unit of its heal's realloc budget and backed off
   /// at least the manager's retry_after hint.
   [[nodiscard]] std::uint64_t overload_denials() const;
+  /// Leases confirmed alive by LeaseRevalidate after a failover.
+  [[nodiscard]] std::uint64_t revalidations() const;
+  /// Tracked leases the (promoted) manager no longer carried at
+  /// re-validation — lost in the failover window (counted in losses()
+  /// and healed like any other loss).
+  [[nodiscard]] std::uint64_t revalidation_losses() const;
+  /// FailoverAnnounce pushes observed on the notification stream.
+  [[nodiscard]] std::uint64_t failover_announces() const;
 
  private:
   struct Tracked {
@@ -233,6 +250,9 @@ class LeaseSet {
     std::uint64_t reallocations = 0;
     std::uint64_t realloc_failures = 0;
     std::uint64_t overload_denials = 0;
+    std::uint64_t revalidated = 0;
+    std::uint64_t revalidation_losses = 0;
+    std::uint64_t failover_announces = 0;
     /// Jitter stream of the heal backoffs (seeded from the options).
     Rng jitter{0x5eed};
     /// Tenant id the notification subscription (and healing LeaseRequests)
@@ -278,6 +298,9 @@ class LeaseSet {
   static sim::Task<void> release_via_session(std::shared_ptr<Session> session,
                                              ReleaseResourcesMsg rel);
   static sim::Task<void> heal(std::shared_ptr<State> state, std::uint64_t old_id, Tracked lost);
+  /// Revalidates every tracked lease against the manager in turn (the
+  /// failover path; see revalidate()).
+  static sim::Task<void> revalidate_all(std::shared_ptr<State> state);
   /// Spawns heal() for a lost lease when healing is enabled and the
   /// lease's shape is known.
   static void maybe_heal(const std::shared_ptr<State>& state, std::uint64_t old_id,
@@ -363,6 +386,13 @@ class Invoker {
   /// Acquires leases and allocates sandboxes until `spec.workers` function
   /// instances are connected. Records the cold-start breakdown.
   sim::Task<Status> allocate(const AllocationSpec& spec);
+
+  /// Manager failover recovery: redials the resource manager, mints a
+  /// fresh session epoch (replies addressed to the dead session's id
+  /// space are fenced), rebinds the LeaseSet, re-subscribes the
+  /// notification stream when one was active, and re-validates every
+  /// held lease against the (possibly promoted) manager.
+  sim::Task<Status> reconnect();
 
   /// Registers an additional function with every allocated sandbox;
   /// returns its function-table index.

@@ -342,6 +342,79 @@ Bytes encode(const LeaseDeniedMsg& m) {
   return b;
 }
 
+std::size_t encode_into(const JournalRecordMsg& m, std::uint8_t* out, std::size_t capacity) {
+  if (capacity < kJournalRecordWireSize) return 0;
+  *out = static_cast<std::uint8_t>(MsgType::JournalRecord);
+  std::uint8_t* p = out + 1;
+  p = put(p, &m.seq, 8);
+  p = put(p, &m.op, 1);
+  p = put(p, &m.lease_id, 8);
+  p = put(p, &m.client_id, 4);
+  p = put(p, &m.executor, 8);
+  p = put(p, &m.workers, 4);
+  p = put(p, &m.memory, 8);
+  p = put(p, &m.time, 8);
+  p = put(p, &m.aux, 8);
+  p = put(p, &m.aux2, 8);
+  p = put(p, &m.checksum, 8);
+  return static_cast<std::size_t>(p - out);
+}
+
+std::size_t encode_into(const SnapshotOfferMsg& m, std::uint8_t* out, std::size_t capacity) {
+  if (capacity < kSnapshotOfferWireSize) return 0;
+  *out = static_cast<std::uint8_t>(MsgType::SnapshotOffer);
+  std::uint8_t* p = out + 1;
+  p = put(p, &m.manager_epoch, 4);
+  p = put(p, &m.upto_seq, 8);
+  p = put(p, &m.digest, 8);
+  p = put(p, &m.lease_count, 8);
+  return static_cast<std::size_t>(p - out);
+}
+
+std::size_t encode_into(const FailoverAnnounceMsg& m, std::uint8_t* out, std::size_t capacity) {
+  if (capacity < kFailoverAnnounceWireSize) return 0;
+  *out = static_cast<std::uint8_t>(MsgType::FailoverAnnounce);
+  std::uint8_t* p = out + 1;
+  p = put(p, &m.manager_epoch, 4);
+  p = put(p, &m.applied_seq, 8);
+  p = put(p, &m.promoted_at, 8);
+  return static_cast<std::size_t>(p - out);
+}
+
+std::size_t encode_into(const LeaseRevalidateMsg& m, std::uint8_t* out, std::size_t capacity) {
+  if (capacity < kLeaseRevalidateWireSize) return 0;
+  *out = static_cast<std::uint8_t>(MsgType::LeaseRevalidate);
+  std::uint8_t* p = out + 1;
+  p = put(p, &m.client_id, 4);
+  p = put(p, &m.lease_id, 8);
+  p = put(p, &m.request_id, 8);
+  return static_cast<std::size_t>(p - out);
+}
+
+Bytes encode(const JournalRecordMsg& m) {
+  Bytes b(kJournalRecordWireSize);
+  encode_into(m, b.data(), b.size());
+  return b;
+}
+
+Bytes encode(const SnapshotOfferMsg& m) {
+  Bytes b(kSnapshotOfferWireSize);
+  encode_into(m, b.data(), b.size());
+  return b;
+}
+
+Bytes encode(const FailoverAnnounceMsg& m) {
+  Bytes b(kFailoverAnnounceWireSize);
+  encode_into(m, b.data(), b.size());
+  return b;
+}
+
+Bytes encode(const LeaseRevalidateMsg& m) {
+  Bytes b(kLeaseRevalidateWireSize);
+  encode_into(m, b.data(), b.size());
+  return b;
+}
+
 Result<MsgType> peek_type(const Bytes& raw) {
   if (raw.empty()) return Error::make(21, "protocol: empty message");
   auto v = raw[0];
@@ -693,6 +766,63 @@ Result<LeaseDeniedMsg> decode_lease_denied(std::span<const std::uint8_t> raw) {
   const std::uint8_t* p = raw.data() + 1;
   p = take(p, m.reason);
   p = take(p, m.retry_after);
+  take(p, m.request_id);
+  return m;
+}
+
+Result<JournalRecordMsg> decode_journal_record(std::span<const std::uint8_t> raw) {
+  if (!open_fixed(raw, MsgType::JournalRecord, kJournalRecordWireSize)) {
+    return Error::make(22, "protocol: bad JournalRecord");
+  }
+  JournalRecordMsg m;
+  const std::uint8_t* p = raw.data() + 1;
+  p = take(p, m.seq);
+  p = take(p, m.op);
+  p = take(p, m.lease_id);
+  p = take(p, m.client_id);
+  p = take(p, m.executor);
+  p = take(p, m.workers);
+  p = take(p, m.memory);
+  p = take(p, m.time);
+  p = take(p, m.aux);
+  p = take(p, m.aux2);
+  take(p, m.checksum);
+  return m;
+}
+
+Result<SnapshotOfferMsg> decode_snapshot_offer(std::span<const std::uint8_t> raw) {
+  if (!open_fixed(raw, MsgType::SnapshotOffer, kSnapshotOfferWireSize)) {
+    return Error::make(22, "protocol: bad SnapshotOffer");
+  }
+  SnapshotOfferMsg m;
+  const std::uint8_t* p = raw.data() + 1;
+  p = take(p, m.manager_epoch);
+  p = take(p, m.upto_seq);
+  p = take(p, m.digest);
+  take(p, m.lease_count);
+  return m;
+}
+
+Result<FailoverAnnounceMsg> decode_failover_announce(std::span<const std::uint8_t> raw) {
+  if (!open_fixed(raw, MsgType::FailoverAnnounce, kFailoverAnnounceWireSize)) {
+    return Error::make(22, "protocol: bad FailoverAnnounce");
+  }
+  FailoverAnnounceMsg m;
+  const std::uint8_t* p = raw.data() + 1;
+  p = take(p, m.manager_epoch);
+  p = take(p, m.applied_seq);
+  take(p, m.promoted_at);
+  return m;
+}
+
+Result<LeaseRevalidateMsg> decode_lease_revalidate(std::span<const std::uint8_t> raw) {
+  if (!open_fixed(raw, MsgType::LeaseRevalidate, kLeaseRevalidateWireSize)) {
+    return Error::make(22, "protocol: bad LeaseRevalidate");
+  }
+  LeaseRevalidateMsg m;
+  const std::uint8_t* p = raw.data() + 1;
+  p = take(p, m.client_id);
+  p = take(p, m.lease_id);
   take(p, m.request_id);
   return m;
 }

@@ -76,6 +76,10 @@ enum class MsgType : std::uint8_t {
   LeasesTerminated,     // resource manager -> client/executor (coalesced sweep)
   ReleaseOk,            // resource manager -> releaser (ack, retransmit stop)
   LeaseDenied,          // resource manager -> client (admission shed, retry hint)
+  JournalRecord,        // primary manager -> standby replica (state stream)
+  SnapshotOffer,        // primary manager -> standby replica (snapshot header)
+  FailoverAnnounce,     // promoted manager -> subscriber (push, new epoch)
+  LeaseRevalidate,      // client -> promoted manager (held-lease audit)
   Count,                // sentinel, keep last
 };
 
@@ -290,6 +294,61 @@ struct SubscribeEventsMsg {
   std::uint32_t client_id = 0;
 };
 
+/// One entry of the manager's replicated lease-state log (rfaas/journal.hpp):
+/// every lease state transition the primary applies is appended as one of
+/// these fixed-layout records and streamed to warm standby replicas, which
+/// replay them into an identical in-memory state. Field meaning depends on
+/// the op (journal::op semantics); `checksum` chains over every field plus
+/// the previous record's checksum, so a corrupted or reordered stream is
+/// detected at the first bad record. Hot on every grant — rides the
+/// zero-allocation fast path.
+struct JournalRecordMsg {
+  std::uint64_t seq = 0;       ///< monotonically increasing log position (1-based)
+  std::uint8_t op = 0;         ///< journal::Op discriminator
+  std::uint64_t lease_id = 0;  ///< shard-tagged lease id (lease ops)
+  std::uint32_t client_id = 0; ///< owning tenant (Grant) / locality (AddExecutor)
+  std::uint64_t executor = 0;  ///< shard-tagged global executor id
+  std::uint32_t workers = 0;   ///< workers of the lease / executor capacity
+  std::uint64_t memory = 0;    ///< lease memory / executor free memory
+  Time time = 0;               ///< expires_at (lease ops) or last_ack (executor ops)
+  std::uint64_t aux = 0;       ///< op-specific (flags, packed endpoint, peer id)
+  std::uint64_t aux2 = 0;      ///< op-specific (packed epoch|cores)
+  std::uint64_t checksum = 0;  ///< chained integrity checksum
+};
+
+/// Header of a snapshot transfer to a (re)attaching standby: the state it
+/// is about to install covers the journal up to `upto_seq`, and `digest`
+/// must match the installed state's digest — a torn or stale snapshot is
+/// rejected before any record is replayed on top of it.
+struct SnapshotOfferMsg {
+  std::uint32_t manager_epoch = 0; ///< epoch of the snapshotting primary
+  std::uint64_t upto_seq = 0;      ///< journal position the snapshot covers
+  std::uint64_t digest = 0;        ///< ManagerState::digest() of the snapshot
+  std::uint64_t lease_count = 0;   ///< live leases in the snapshot (sanity)
+};
+
+/// Pushed by a freshly promoted manager on every (re)subscribed
+/// notification stream: the manager epoch moved, so clients must
+/// re-validate every lease they hold (LeaseRevalidate) — grants issued by
+/// the dead primary after its last journaled record, or by a fenced
+/// zombie, fail re-validation and flow into the self-healing path.
+struct FailoverAnnounceMsg {
+  std::uint32_t manager_epoch = 0; ///< epoch of the announcing manager
+  std::uint64_t applied_seq = 0;   ///< last journal record the standby replayed
+  Time promoted_at = 0;            ///< when the standby took over
+};
+
+/// Client-side lease audit after a failover: "do you still honour this
+/// lease?" The manager answers ExtendOk with the lease's current deadline
+/// when it survived replay, or LeaseError when it is unknown — the client
+/// then treats it as lost and heals. Hot during reconnect storms — rides
+/// the zero-allocation fast path.
+struct LeaseRevalidateMsg {
+  std::uint32_t client_id = 0;   ///< owning tenant presented for the audit
+  std::uint64_t lease_id = 0;    ///< lease being re-validated
+  std::uint64_t request_id = 0;  ///< retransmission dedup id (0 = legacy)
+};
+
 /// Allocation outcome from the lightweight allocator.
 struct AllocationReplyMsg {
   bool ok = false;               ///< sandbox up and workers spawned
@@ -337,6 +396,10 @@ inline constexpr std::size_t kLeaseGrantWireSize = 1 + 8 + 4 + 2 + 2 + 4 + 8 + 8
 inline constexpr std::size_t kExtendLeaseWireSize = 1 + 8 + 8 + 8;
 inline constexpr std::size_t kExtendOkWireSize = 1 + 8 + 8 + 8;
 inline constexpr std::size_t kLeaseDeniedWireSize = 1 + 1 + 8 + 8;
+inline constexpr std::size_t kJournalRecordWireSize = 1 + 8 + 1 + 8 + 4 + 8 + 4 + 8 + 8 + 8 + 8 + 8;
+inline constexpr std::size_t kSnapshotOfferWireSize = 1 + 4 + 8 + 8 + 8;
+inline constexpr std::size_t kFailoverAnnounceWireSize = 1 + 4 + 8 + 8;
+inline constexpr std::size_t kLeaseRevalidateWireSize = 1 + 4 + 8 + 8;
 
 // ---------------------------------------------------------------------------
 // Invocation data-plane frames (fig18). The submit frame is the 12-byte
@@ -385,6 +448,10 @@ std::size_t encode_into(const LeaseGrantMsg& m, std::uint8_t* out, std::size_t c
 std::size_t encode_into(const ExtendLeaseMsg& m, std::uint8_t* out, std::size_t capacity);
 std::size_t encode_into(const ExtendOkMsg& m, std::uint8_t* out, std::size_t capacity);
 std::size_t encode_into(const LeaseDeniedMsg& m, std::uint8_t* out, std::size_t capacity);
+std::size_t encode_into(const JournalRecordMsg& m, std::uint8_t* out, std::size_t capacity);
+std::size_t encode_into(const SnapshotOfferMsg& m, std::uint8_t* out, std::size_t capacity);
+std::size_t encode_into(const FailoverAnnounceMsg& m, std::uint8_t* out, std::size_t capacity);
+std::size_t encode_into(const LeaseRevalidateMsg& m, std::uint8_t* out, std::size_t capacity);
 
 /// Envelope: [u8 type][payload...]. Each payload codec is explicit; this
 /// is a real wire format, not in-memory object passing.
@@ -410,6 +477,10 @@ Bytes encode(const LeaseTerminatedMsg& m);
 Bytes encode(const LeasesTerminatedMsg& m);
 Bytes encode(const SubscribeEventsMsg& m);
 Bytes encode(const LeaseDeniedMsg& m);
+Bytes encode(const JournalRecordMsg& m);
+Bytes encode(const SnapshotOfferMsg& m);
+Bytes encode(const FailoverAnnounceMsg& m);
+Bytes encode(const LeaseRevalidateMsg& m);
 
 Result<MsgType> peek_type(const Bytes& raw);
 Result<RegisterExecutorMsg> decode_register(const Bytes& raw);
@@ -436,6 +507,10 @@ Result<LeaseTerminatedMsg> decode_lease_terminated(const Bytes& raw);
 Result<LeasesTerminatedMsg> decode_leases_terminated(const Bytes& raw);
 Result<SubscribeEventsMsg> decode_subscribe_events(const Bytes& raw);
 Result<LeaseDeniedMsg> decode_lease_denied(std::span<const std::uint8_t> raw);
+Result<JournalRecordMsg> decode_journal_record(std::span<const std::uint8_t> raw);
+Result<SnapshotOfferMsg> decode_snapshot_offer(std::span<const std::uint8_t> raw);
+Result<FailoverAnnounceMsg> decode_failover_announce(std::span<const std::uint8_t> raw);
+Result<LeaseRevalidateMsg> decode_lease_revalidate(std::span<const std::uint8_t> raw);
 
 /// True for message types that answer a request (and so echo its id):
 /// LeaseGrant, LeaseError, LeaseDenied, ExtendOk, BatchGranted,

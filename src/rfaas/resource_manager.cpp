@@ -41,6 +41,103 @@ void ResourceManager::stop() {
   fabric_.stop_listening(device_, rdma_port_);
 }
 
+void ResourceManager::crash() {
+  stop();
+  // A dead process drops every socket at once: sever the established
+  // control and notification streams so clients and executors observe
+  // the failure now instead of at the next heartbeat.
+  for (auto& weak : server_streams_) {
+    if (auto stream = weak.lock(); stream != nullptr && !stream->closed()) stream->close();
+  }
+  server_streams_.clear();
+  log::warn("rm", "manager crashed (epoch ", manager_epoch_, ")");
+}
+
+void ResourceManager::isolate() {
+  // Zombie primary: unreachable for new connections, still convinced it
+  // owns the fleet on its established streams. Its late grants and
+  // replies must be fenced by session/registration epochs downstream.
+  tcp_.listen(device_.id(), port_).shutdown();
+  fabric_.stop_listening(device_, rdma_port_);
+  log::warn("rm", "manager isolated (zombie, epoch ", manager_epoch_, ")");
+}
+
+Status ResourceManager::adopt(const ShardedResourceManager::ManagerState& state,
+                              std::uint32_t epoch) {
+  if (alive_) return Error::make(61, "rm: adopt() must run before start()");
+  if (auto restored = core_.restore_state(state, engine_.now()); !restored.ok()) return restored;
+  manager_epoch_ = epoch;
+  restored_ = true;
+  promoted_at_ = engine_.now();
+  // Rebuild the per-device registration fence from the restored executor
+  // table: the old primary's sessions carry older epochs and stay fenced;
+  // surviving executors re-register with a bumped epoch and re-attach.
+  for (std::uint32_t s = 0; s < state.shards.size(); ++s) {
+    const auto& shard = state.shards[s];
+    for (std::size_t i = 0; i < shard.executors.size(); ++i) {
+      const auto& ex = shard.executors[i];
+      if (!ex.alive || ex.info.epoch == 0) continue;
+      executor_epochs_[ex.info.device] =
+          RegistrationEpoch{ex.info.epoch, ShardedResourceManager::make_id(s, i)};
+    }
+  }
+  log::info("rm", "promoted standby state: epoch ", epoch, ", ", core_.active_leases(),
+            " leases, ", core_.alive_count(), " executors");
+  return Status::success();
+}
+
+Status ResourceManager::attach_standby(std::shared_ptr<StandbyReplica> standby) {
+  auto* journal = core_.journal();
+  if (journal == nullptr) {
+    return Error::make(60, "rm: standby needs Config::journal_enabled");
+  }
+  const std::uint64_t upto = journal->last_seq();
+  const auto state = core_.export_state();
+  SnapshotOfferMsg offer;
+  offer.manager_epoch = manager_epoch_;
+  offer.upto_seq = upto;
+  offer.digest = state.digest();
+  for (const auto& shard : state.shards) offer.lease_count += shard.leases.size();
+  if (auto installed = standby->install_snapshot(state, offer, engine_.now());
+      !installed.ok()) {
+    return installed;
+  }
+  // Live replication: every appended record crosses the wire encoding on
+  // its way into the replica, so the stream the tests exercise is the
+  // byte-exact stream a remote standby would consume.
+  journal->add_sink([this, standby](const JournalRecordMsg& record) {
+    if (auto applied = standby->apply_wire(encode(record)); !applied.ok()) {
+      ++replication_errors_;
+      log::warn("rm", "standby diverged at seq ", record.seq, ": ", applied.error().message);
+    }
+  });
+  standbys_.push_back(std::move(standby));
+  return Status::success();
+}
+
+void ResourceManager::maybe_snapshot() {
+  auto* journal = core_.journal();
+  if (journal == nullptr || config_.journal_snapshot_every == 0) return;
+  if (journal->size() <= config_.journal_snapshot_every) return;
+  const std::uint64_t upto = journal->last_seq();
+  const auto state = core_.export_state();
+  SnapshotOfferMsg offer;
+  offer.manager_epoch = manager_epoch_;
+  offer.upto_seq = upto;
+  offer.digest = state.digest();
+  for (const auto& shard : state.shards) offer.lease_count += shard.leases.size();
+  for (const auto& standby : standbys_) {
+    if (auto installed = standby->install_snapshot(state, offer, engine_.now());
+        !installed.ok()) {
+      ++replication_errors_;
+      log::warn("rm", "standby refused snapshot at seq ", upto, ": ",
+                installed.error().message);
+    }
+  }
+  journal->truncate_before(upto + 1);
+  ++snapshots_taken_;
+}
+
 sim::Task<void> ResourceManager::run_server() {
   auto& listener = tcp_.listen(device_.id(), port_);
   while (alive_) {
@@ -62,6 +159,7 @@ sim::Task<void> ResourceManager::run_billing_accept() {
 }
 
 sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> stream) {
+  server_streams_.push_back(stream);  // crash() severs these
   // Per-stream duplicate-request table: request id -> the exact reply
   // bytes already sent. A retransmission (same nonzero id) replays the
   // cached reply instead of re-running the decision — the idempotence
@@ -95,6 +193,11 @@ sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> s
   while (alive_) {
     auto raw = co_await stream->recv();
     if (!raw.has_value()) {
+      // A crashed manager executes nothing: its own death severed these
+      // streams, and reading that as "every executor died" would journal
+      // a fleet-wide MarkDead to the standby it is about to fail over
+      // to. Only a live (or zombie) manager reclaims on disconnect.
+      if (!alive_) break;
       // Stream closed. A registered executor disconnecting means it died
       // (or was stopped); reclaim immediately — faster than waiting for
       // missed heartbeats. The id is resolved through executor_ids_, not
@@ -108,6 +211,7 @@ sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> s
         it = it->second == stream ? subscribers_.erase(it) : std::next(it);
       }
       push_seqs_.erase(stream.get());
+      std::erase_if(server_streams_, [](const auto& weak) { return weak.expired(); });
       break;
     }
     auto type = peek_type(*raw);
@@ -132,6 +236,21 @@ sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> s
                                               msg.value().request_id));
               break;
             }
+            // Failover re-attachment: on a promoted manager the device's
+            // registration (and its leases) survived in the restored
+            // state — the executor process itself never died, only its
+            // session to the old primary. Re-point the registration at
+            // the new stream in place instead of reclaiming its leases.
+            if (restored_ && core_.reattach_executor(it->second.executor_id, stream,
+                                                     msg.value().epoch, engine_.now())) {
+              executor_ids_[stream.get()] = it->second.executor_id;
+              it->second.epoch = msg.value().epoch;
+              ++reattached_executors_;
+              reply_cached(msg.value().request_id, make_register_ok(msg.value().request_id));
+              log::info("rm", "re-attached executor on device ", msg.value().device,
+                        " after failover (epoch ", msg.value().epoch, ")");
+              break;
+            }
             mark_executor_dead(it->second.executor_id);
           }
         }
@@ -151,13 +270,7 @@ sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> s
           executor_epochs_[msg.value().device] =
               RegistrationEpoch{msg.value().epoch, executor_id};
         }
-        RegisterOkMsg ok;
-        ok.rm_rdma_port = rdma_port_;
-        auto slot0 = billing_.tenant_slot(0);
-        ok.billing_addr = slot0.addr;
-        ok.billing_rkey = slot0.rkey;
-        ok.request_id = msg.value().request_id;
-        reply_cached(msg.value().request_id, encode(ok));
+        reply_cached(msg.value().request_id, make_register_ok(msg.value().request_id));
         log::info("rm", "registered executor on device ", msg.value().device, " with ",
                   msg.value().cores, " cores on shard ",
                   ShardedResourceManager::id_shard(executor_id));
@@ -328,6 +441,39 @@ sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> s
         // Latest subscription wins; the stream carries only pushes from
         // here on, so the client's request stream stays request-response.
         subscribers_[msg.value().client_id] = stream;
+        // A promoted manager announces the failover on every new
+        // notification stream: the reconnecting client learns the new
+        // manager epoch and re-validates its held leases against the
+        // restored table before trusting them further.
+        if (restored_) {
+          FailoverAnnounceMsg announce;
+          announce.manager_epoch = manager_epoch_;
+          announce.applied_seq = core_.journal() != nullptr ? core_.journal()->last_seq() : 0;
+          announce.promoted_at = promoted_at_;
+          stream->send(encode(announce));
+        }
+        break;
+      }
+      case MsgType::LeaseRevalidate: {
+        // Failover lease re-validation: does the (possibly promoted)
+        // manager still carry this lease for this client? Read-only —
+        // ExtendOk echoes the current deadline, LeaseError tells the
+        // client to drop the lease and heal through re-allocation.
+        auto msg = decode_lease_revalidate(*raw);
+        if (!msg) break;
+        if (replay_duplicate(msg.value().request_id)) break;
+        ++revalidations_;
+        const auto info = core_.lease_info(msg.value().lease_id);
+        if (info.has_value() && info->client_id == msg.value().client_id) {
+          ExtendOkMsg ok;
+          ok.lease_id = msg.value().lease_id;
+          ok.expires_at = info->expires_at;
+          ok.request_id = msg.value().request_id;
+          reply_cached(msg.value().request_id, encode(ok));
+        } else {
+          reply_cached(msg.value().request_id,
+                       encode_lease_error("unknown lease", msg.value().request_id));
+        }
         break;
       }
       default:
@@ -402,6 +548,16 @@ Bytes ResourceManager::grant_batch(const BatchAllocateMsg& req, std::uint32_t cl
                       : "no executor with free capacity";
   }
   return encode(reply);
+}
+
+Bytes ResourceManager::make_register_ok(std::uint64_t request_id) {
+  RegisterOkMsg ok;
+  ok.rm_rdma_port = rdma_port_;
+  auto slot0 = billing_.tenant_slot(0);
+  ok.billing_addr = slot0.addr;
+  ok.billing_rkey = slot0.rkey;
+  ok.request_id = request_id;
+  return encode(ok);
 }
 
 void ResourceManager::mark_executor_dead(std::uint64_t executor_id) {
@@ -543,6 +699,7 @@ sim::Task<void> ResourceManager::heartbeat_loop() {
     if (!alive_) break;
     const Time now = engine_.now();
     core_.sweep_expired(now);
+    maybe_snapshot();
 
     struct Action {
       std::uint64_t id;

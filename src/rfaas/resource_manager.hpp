@@ -31,6 +31,7 @@
 #include "rfaas/billing.hpp"
 #include "rfaas/config.hpp"
 #include "rfaas/protocol.hpp"
+#include "rfaas/replica.hpp"
 #include "rfaas/scheduler.hpp"
 #include "rfaas/sharded_manager.hpp"
 #include "sim/host.hpp"
@@ -47,6 +48,45 @@ class ResourceManager {
   /// heartbeat loop.
   void start();
   void stop();
+
+  // ---- Replication / failover (docs/FAULT_TOLERANCE.md) ----
+
+  /// Crash fault injection: kills the manager abruptly — listeners shut
+  /// down AND every established control/notification stream closes, the
+  /// way a dead process's sockets do. Clients and executors observe the
+  /// closure and run their reconnect paths against the promoted standby.
+  void crash();
+
+  /// Zombie fault injection: the manager stops accepting new connections
+  /// (a partition from everything that would redial) but keeps serving
+  /// its established streams — the stale-primary scenario the epoch
+  /// fencing must defeat.
+  void isolate();
+
+  /// Seeds a fresh (not yet start()ed) manager from a standby's exported
+  /// state under a bumped manager epoch: the promotion path. Rebuilds
+  /// the per-device registration-epoch fence from the restored executor
+  /// table, so the old primary's sessions stay fenced.
+  Status adopt(const ShardedResourceManager::ManagerState& state, std::uint32_t epoch);
+
+  /// Attaches a warm standby: installs a digest-verified snapshot of the
+  /// current state, then streams every subsequent journal record to it
+  /// through the wire encoding (encode -> apply_wire), keeping the
+  /// replica in lockstep. Requires Config::journal_enabled.
+  Status attach_standby(std::shared_ptr<StandbyReplica> standby);
+
+  /// Current manager epoch (1 at first boot; promotion installs old + 1).
+  [[nodiscard]] std::uint32_t manager_epoch() const { return manager_epoch_; }
+  /// True when this manager was seeded from a standby via adopt().
+  [[nodiscard]] bool restored() const { return restored_; }
+  /// LeaseRevalidate requests answered (failover lease re-validation).
+  [[nodiscard]] std::uint64_t revalidations() const { return revalidations_; }
+  /// Periodic journal snapshots folded + re-offered to the standbys.
+  [[nodiscard]] std::uint64_t snapshots_taken() const { return snapshots_taken_; }
+  /// Journal records a standby failed to apply (replication divergence).
+  [[nodiscard]] std::uint64_t replication_errors() const { return replication_errors_; }
+  /// Executors re-attached in place (leases preserved) after a failover.
+  [[nodiscard]] std::uint64_t reattached_executors() const { return reattached_executors_; }
 
   [[nodiscard]] std::uint16_t port() const { return port_; }
   [[nodiscard]] std::uint16_t rdma_port() const { return rdma_port_; }
@@ -149,6 +189,15 @@ class ResourceManager {
                     std::uint32_t shard, std::uint32_t& extra_shards);
   void mark_executor_dead(std::uint64_t executor_id);
 
+  /// The RegisterOk reply (billing window + rdma port) shared by fresh
+  /// registrations and failover re-attachments.
+  Bytes make_register_ok(std::uint64_t request_id);
+
+  /// Folds the journal prefix into a snapshot and re-offers it to every
+  /// standby once the retained log outgrows Config::journal_snapshot_every
+  /// (heartbeat cadence; no-op without a journal).
+  void maybe_snapshot();
+
   sim::Engine& engine_;
   fabric::Fabric& fabric_;
   net::TcpNetwork& tcp_;
@@ -203,6 +252,20 @@ class ResourceManager {
   std::uint64_t notification_messages_ = 0;
   std::uint64_t dedup_hits_ = 0;
   std::uint64_t fenced_registrations_ = 0;
+
+  /// Failover state: the manager epoch every promotion bumps, the warm
+  /// standbys fed by the journal sink, and every established server-side
+  /// stream (weak — the coroutine frames own them) so crash() can sever
+  /// them the way a dying process would.
+  std::uint32_t manager_epoch_ = 1;
+  bool restored_ = false;
+  Time promoted_at_ = 0;
+  std::vector<std::shared_ptr<StandbyReplica>> standbys_;
+  std::vector<std::weak_ptr<net::TcpStream>> server_streams_;
+  std::uint64_t revalidations_ = 0;
+  std::uint64_t snapshots_taken_ = 0;
+  std::uint64_t replication_errors_ = 0;
+  std::uint64_t reattached_executors_ = 0;
 };
 
 }  // namespace rfs::rfaas

@@ -7,6 +7,7 @@ namespace rfs::rfaas {
 ShardedResourceManager::ShardedResourceManager(const Config& config)
     : locality_sharding_(config.scheduling == SchedulingPolicy::LocalityFirst),
       rng_counter_(config.scheduler_seed) {
+  if (config.journal_enabled) journal_ = std::make_unique<Journal>();
   const std::uint32_t n = std::max(1u, config.manager_shards);
   shards_.reserve(n);
   for (std::uint32_t s = 0; s < n; ++s) {
@@ -33,11 +34,27 @@ std::uint64_t ShardedResourceManager::add_executor(ExecutorEntry entry) {
   auto& shard = *shards_[s];
   std::lock_guard<std::shared_mutex> lock(shard.mu);
   const std::uint32_t workers = entry.total_workers;
+  JournalRecordMsg rec;
+  if (journal_) {
+    rec.op = static_cast<std::uint8_t>(journal::Op::AddExecutor);
+    rec.lease_id = entry.info.memory_bytes;
+    rec.client_id = entry.locality;
+    rec.workers = entry.total_workers;
+    rec.memory = entry.free_memory;
+    rec.time = entry.last_ack;
+    rec.aux = journal::pack_endpoint(entry.info.device, entry.info.alloc_port,
+                                     entry.info.rdma_port);
+    rec.aux2 = (entry.info.epoch << 32) | entry.info.cores;
+  }
   const std::size_t local = shard.registry.add(std::move(entry));
   shard.hosted.resize(shard.registry.size());
   shard.free_workers.fetch_add(workers, std::memory_order_relaxed);
   shard.total_workers.fetch_add(workers, std::memory_order_relaxed);
   executor_count_.fetch_add(1, std::memory_order_relaxed);
+  if (journal_) {
+    rec.executor = make_id(s, local);
+    journal_->append(rec);
+  }
   return make_id(s, local);
 }
 
@@ -148,6 +165,20 @@ std::optional<ShardedResourceManager::Grant> ShardedResourceManager::grant_on(
     if (grant.executor_locality == request.client_locality) {
       local_grants_.fetch_add(1, std::memory_order_relaxed);
     }
+    if (journal_) {
+      JournalRecordMsg rec;
+      rec.op = static_cast<std::uint8_t>(journal::Op::Grant);
+      rec.lease_id = lease_id;
+      rec.client_id = client_id;
+      rec.executor = grant.executor;
+      rec.workers = placement->workers;
+      rec.memory = placement->memory;
+      rec.time = record.expires_at;
+      if (grant.executor_locality == request.client_locality) {
+        rec.aux |= journal::kAuxLocalGrant;
+      }
+      journal_->append(rec);
+    }
     return grant;
   }
   return std::nullopt;
@@ -242,6 +273,16 @@ std::optional<ShardedResourceManager::Renewal> ShardedResourceManager::renew(
   // Re-arm the expiry index in place: the new deadline joins the heap,
   // the superseded entry is discarded when the sweep surfaces it.
   arm_expiry(shard, new_expires_at, lease_id);
+  if (journal_) {
+    JournalRecordMsg rec;
+    rec.op = static_cast<std::uint8_t>(journal::Op::Renew);
+    rec.lease_id = lease_id;
+    rec.client_id = it->second.client_id;
+    rec.executor = make_id(s, it->second.executor);
+    rec.workers = it->second.workers;
+    rec.time = new_expires_at;
+    journal_->append(rec);
+  }
   return Renewal{shard.registry.at(it->second.executor).stream};
 }
 
@@ -252,13 +293,15 @@ bool ShardedResourceManager::release(std::uint64_t lease_id) {
   std::lock_guard<std::shared_mutex> lock(shard.mu);
   auto it = shard.leases.find(lease_id);
   if (it == shard.leases.end()) return false;
-  const LeaseRecord& record = it->second;
-  if (shard.registry.at(record.executor).schedulable()) {
+  const LeaseRecord record = it->second;
+  const bool returned = shard.registry.at(record.executor).schedulable();
+  if (returned) {
     shard.registry.release(record.executor, record.workers, record.memory);
     shard.free_workers.fetch_add(record.workers, std::memory_order_relaxed);
   }
   unindex_lease(shard, it);
   shard.lease_count.store(shard.leases.size(), std::memory_order_relaxed);
+  journal_lease_drop(journal::Op::Release, s, lease_id, record, returned);
   return true;
 }
 
@@ -275,12 +318,15 @@ std::size_t ShardedResourceManager::sweep_expired(Time now) {
       auto it = shard.leases.find(entry.lease_id);
       if (it == shard.leases.end()) continue;    // released/evicted: stale entry
       if (it->second.expires_at > now) continue; // renewed: its re-arm entry is queued
-      const LeaseRecord& record = it->second;
-      if (shard.registry.at(record.executor).schedulable()) {
+      const LeaseRecord record = it->second;
+      const bool returned = shard.registry.at(record.executor).schedulable();
+      if (returned) {
         shard.registry.release(record.executor, record.workers, record.memory);
         shard.free_workers.fetch_add(record.workers, std::memory_order_relaxed);
       }
       unindex_lease(shard, it);
+      journal_lease_drop(journal::Op::Expire, id_shard(entry.lease_id), entry.lease_id, record,
+                         returned);
       ++reclaimed;
     }
     // Compact once stale entries (renewal churn on long-lived leases)
@@ -308,12 +354,15 @@ std::size_t ShardedResourceManager::sweep_expired_scan(Time now) {
         ++it;
         continue;
       }
-      const LeaseRecord& record = it->second;
-      if (shard.registry.at(record.executor).schedulable()) {
+      const std::uint64_t lease_id = it->first;
+      const LeaseRecord record = it->second;
+      const bool returned = shard.registry.at(record.executor).schedulable();
+      if (returned) {
         shard.registry.release(record.executor, record.workers, record.memory);
         shard.free_workers.fetch_add(record.workers, std::memory_order_relaxed);
       }
       it = unindex_lease(shard, it);
+      journal_lease_drop(journal::Op::Expire, id_shard(lease_id), lease_id, record, returned);
       ++reclaimed;
     }
     shard.lease_count.store(shard.leases.size(), std::memory_order_relaxed);
@@ -342,13 +391,15 @@ std::optional<ShardedResourceManager::Eviction> ShardedResourceManager::evict(
   ev.memory = record.memory;
   auto& entry = shard.registry.at(record.executor);
   ev.executor_stream = entry.stream;
-  if (entry.schedulable()) {
+  const bool returned = entry.schedulable();
+  if (returned) {
     shard.registry.release(record.executor, record.workers, record.memory);
     shard.free_workers.fetch_add(record.workers, std::memory_order_relaxed);
   }
   unindex_lease(shard, it);
   shard.lease_count.store(shard.leases.size(), std::memory_order_relaxed);
   evictions_.fetch_add(1, std::memory_order_relaxed);
+  journal_lease_drop(journal::Op::Evict, s, lease_id, record, returned);
   return ev;
 }
 
@@ -469,8 +520,8 @@ std::uint64_t ShardedResourceManager::tenant_held_workers(std::uint32_t client_i
 }
 
 std::uint64_t ShardedResourceManager::evict_hosted_leases(
-    Shard& shard, std::size_t local, const std::shared_ptr<net::TcpStream>& stream,
-    std::vector<Eviction>& out) {
+    std::uint32_t shard_index, Shard& shard, std::size_t local,
+    const std::shared_ptr<net::TcpStream>& stream, std::vector<Eviction>& out) {
   std::uint64_t reclaimed_memory = 0;
   std::size_t evicted = 0;
   if (local >= shard.hosted.size()) return 0;
@@ -488,8 +539,12 @@ std::uint64_t ShardedResourceManager::evict_hosted_leases(
     ev.memory = it->second.memory;
     ev.executor_stream = stream;
     reclaimed_memory += it->second.memory;
+    const LeaseRecord record = it->second;
     out.push_back(std::move(ev));
     unindex_lease(shard, it);
+    // Capacity stays with the entry (drain parks it, migration moves it
+    // wholesale), so the record carries return-capacity = false.
+    journal_lease_drop(journal::Op::Evict, shard_index, id, record, false);
     ++evicted;
   }
   shard.lease_count.store(shard.leases.size(), std::memory_order_relaxed);
@@ -509,7 +564,7 @@ std::vector<ShardedResourceManager::Eviction> ShardedResourceManager::drain_exec
   if (!entry.schedulable()) return {};
 
   std::vector<Eviction> out;
-  evict_hosted_leases(shard, local, entry.stream, out);
+  evict_hosted_leases(s, shard, local, entry.stream, out);
 
   // The host's whole capacity leaves the schedulable pool: the still-free
   // workers come off the free aggregate (leased ones already did at
@@ -517,6 +572,12 @@ std::vector<ShardedResourceManager::Eviction> ShardedResourceManager::drain_exec
   shard.free_workers.fetch_sub(entry.free_workers, std::memory_order_relaxed);
   shard.total_workers.fetch_sub(entry.total_workers, std::memory_order_relaxed);
   shard.registry.set_draining(local);
+  if (journal_) {
+    JournalRecordMsg rec;
+    rec.op = static_cast<std::uint8_t>(journal::Op::SetDraining);
+    rec.executor = executor_id;
+    journal_->append(rec);
+  }
   return out;
 }
 
@@ -599,7 +660,7 @@ ShardedResourceManager::RebalanceReport ShardedResourceManager::rebalance(
       // Evict the executor's active leases; their memory rejoins the
       // entry's pool so the migrated registration starts clean.
       const std::uint64_t reclaimed_memory =
-          evict_hosted_leases(shard, local, entry.stream, report.evictions);
+          evict_hosted_leases(donor, shard, local, entry.stream, report.evictions);
 
       moved = entry;
       moved.free_workers = moved.total_workers;
@@ -625,11 +686,23 @@ ShardedResourceManager::RebalanceReport ShardedResourceManager::rebalance(
       auto& shard = *shards_[receiver];
       std::lock_guard<std::shared_mutex> lock(shard.mu);
       const std::uint32_t workers = moved.total_workers;
+      const std::uint64_t moved_memory = moved.free_memory;
+      const Time moved_ack = moved.last_ack;
       const std::size_t local = shard.registry.add(std::move(moved));
       shard.hosted.resize(shard.registry.size());
       shard.free_workers.fetch_add(workers, std::memory_order_relaxed);
       shard.total_workers.fetch_add(workers, std::memory_order_relaxed);
       report.migrations.back().new_id = make_id(receiver, local);
+      if (journal_) {
+        JournalRecordMsg rec;
+        rec.op = static_cast<std::uint8_t>(journal::Op::Migrate);
+        rec.executor = report.migrations.back().old_id;
+        rec.aux = report.migrations.back().new_id;
+        rec.workers = workers;
+        rec.memory = moved_memory;
+        rec.time = moved_ack;
+        journal_->append(rec);
+      }
     }
     migrations_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -668,6 +741,12 @@ std::optional<RegisterExecutorMsg> ShardedResourceManager::mark_dead(
     shard.total_workers.fetch_sub(entry.total_workers, std::memory_order_relaxed);
   }
   shard.registry.mark_dead(local);
+  if (journal_) {
+    JournalRecordMsg rec;
+    rec.op = static_cast<std::uint8_t>(journal::Op::MarkDead);
+    rec.executor = executor_id;
+    journal_->append(rec);
+  }
   return info;
 }
 
@@ -680,6 +759,17 @@ bool ShardedResourceManager::touch(std::uint64_t executor_id, Time now) {
   if (local >= shard.registry.size()) return false;
   shard.registry.at(local).last_ack = now;
   return true;
+}
+
+std::optional<ShardedResourceManager::LeaseInfo> ShardedResourceManager::lease_info(
+    std::uint64_t lease_id) const {
+  const std::uint32_t s = id_shard(lease_id);
+  if (s >= shards_.size()) return std::nullopt;
+  auto& shard = *shards_[s];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.leases.find(lease_id);
+  if (it == shard.leases.end()) return std::nullopt;
+  return LeaseInfo{it->second.client_id, it->second.workers, it->second.expires_at};
 }
 
 std::size_t ShardedResourceManager::size() const {
@@ -722,6 +812,493 @@ std::size_t ShardedResourceManager::active_leases() const {
 
 std::size_t ShardedResourceManager::shard_lease_count(std::uint32_t shard) const {
   return shards_.at(shard)->lease_count.load(std::memory_order_relaxed);
+}
+
+// --------------------------------------------------------------------------
+// Replication / failover: journal hooks, snapshot export/restore, replay
+// --------------------------------------------------------------------------
+
+void ShardedResourceManager::journal_lease_drop(journal::Op op, std::uint32_t shard_index,
+                                                std::uint64_t lease_id,
+                                                const LeaseRecord& record,
+                                                bool returned_capacity) {
+  if (!journal_) return;
+  JournalRecordMsg rec;
+  rec.op = static_cast<std::uint8_t>(op);
+  rec.lease_id = lease_id;
+  rec.client_id = record.client_id;
+  rec.executor = make_id(shard_index, record.executor);
+  rec.workers = record.workers;
+  rec.memory = record.memory;
+  rec.time = record.expires_at;
+  if (returned_capacity) rec.aux |= journal::kAuxReturnCapacity;
+  journal_->append(rec);
+}
+
+bool ShardedResourceManager::reattach_executor(std::uint64_t executor_id,
+                                               std::shared_ptr<net::TcpStream> stream,
+                                               std::uint64_t epoch, Time now) {
+  const std::uint32_t s = id_shard(executor_id);
+  const std::size_t local = static_cast<std::size_t>(id_low(executor_id));
+  if (s >= shards_.size()) return false;
+  auto& shard = *shards_[s];
+  std::lock_guard<std::shared_mutex> lock(shard.mu);
+  if (local >= shard.registry.size()) return false;
+  auto& entry = shard.registry.at(local);
+  if (!entry.alive) return false;
+  entry.stream = std::move(stream);
+  entry.last_ack = now;
+  entry.info.epoch = epoch;
+  if (journal_) {
+    JournalRecordMsg rec;
+    rec.op = static_cast<std::uint8_t>(journal::Op::Reattach);
+    rec.executor = executor_id;
+    rec.aux2 = epoch;
+    rec.time = now;
+    journal_->append(rec);
+  }
+  return true;
+}
+
+ShardedResourceManager::ManagerState ShardedResourceManager::export_state() const {
+  ManagerState state;
+  state.shards.resize(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    auto& shard = *shards_[s];
+    auto& out = state.shards[s];
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+
+    out.executors.reserve(shard.registry.size());
+    for (std::size_t i = 0; i < shard.registry.size(); ++i) {
+      const auto& e = shard.registry.at(i);
+      ManagerState::ExecutorState ex;
+      ex.info = e.info;
+      ex.total_workers = e.total_workers;
+      ex.free_workers = e.free_workers;
+      ex.free_memory = e.free_memory;
+      ex.alive = e.alive;
+      ex.draining = e.draining;
+      ex.locality = e.locality;
+      ex.last_ack = e.last_ack;
+      out.executors.push_back(ex);
+    }
+
+    out.leases.reserve(shard.leases.size());
+    for (const auto& [id, record] : shard.leases) {
+      ManagerState::LeaseState ls;
+      ls.lease_id = id;
+      ls.client_id = record.client_id;
+      ls.executor = record.executor;
+      ls.workers = record.workers;
+      ls.memory = record.memory;
+      ls.expires_at = record.expires_at;
+      out.leases.push_back(ls);
+    }
+    std::sort(out.leases.begin(), out.leases.end(),
+              [](const auto& a, const auto& b) { return a.lease_id < b.lease_id; });
+
+    out.tenants.reserve(shard.tenants.size());
+    for (const auto& [client, tenant] : shard.tenants) {
+      ManagerState::TenantState ts;
+      ts.client_id = client;
+      ts.held_workers = tenant.held_workers;
+      ts.leases.assign(tenant.leases.begin(), tenant.leases.end());
+      out.tenants.push_back(std::move(ts));
+    }
+    std::sort(out.tenants.begin(), out.tenants.end(),
+              [](const auto& a, const auto& b) { return a.client_id < b.client_id; });
+
+    // Canonical deadline index from the live leases — two managers with
+    // equivalent histories have heaps that differ in stale entries, so
+    // the raw heap is not state.
+    out.expiry.reserve(out.leases.size());
+    for (const auto& ls : out.leases) out.expiry.emplace_back(ls.expires_at, ls.lease_id);
+    std::sort(out.expiry.begin(), out.expiry.end());
+
+    out.next_lease = shard.next_lease;
+    out.free_workers = shard.free_workers.load(std::memory_order_relaxed);
+    out.total_workers = shard.total_workers.load(std::memory_order_relaxed);
+  }
+  state.grants = grants_.load(std::memory_order_relaxed);
+  state.local_grants = local_grants_.load(std::memory_order_relaxed);
+  state.evictions = evictions_.load(std::memory_order_relaxed);
+  state.migrations = migrations_.load(std::memory_order_relaxed);
+  state.next_shard = next_shard_.load(std::memory_order_relaxed);
+  state.executor_count = executor_count_.load(std::memory_order_relaxed);
+  return state;
+}
+
+Status ShardedResourceManager::restore_state(const ManagerState& state, Time now) {
+  if (state.shards.size() != shards_.size()) {
+    return Error::make(40, "restore: shard count mismatch");
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    auto& shard = *shards_[s];
+    const auto& in = state.shards[s];
+    std::lock_guard<std::shared_mutex> lock(shard.mu);
+    if (!shard.registry.empty() || !shard.leases.empty()) {
+      return Error::make(41, "restore: manager is not freshly constructed");
+    }
+
+    // Replay each executor's lifecycle (register full, claim down, drain
+    // or die) instead of poking fields, so the registry's incremental
+    // aggregates match a live manager's by construction.
+    for (const auto& ex : in.executors) {
+      ExecutorEntry e;
+      e.info = ex.info;
+      e.total_workers = ex.total_workers;
+      e.free_workers = ex.total_workers;
+      e.free_memory = ex.info.memory_bytes;
+      e.locality = ex.locality;
+      e.last_ack = now;  // fresh heartbeat clock: don't reap on promotion
+      const std::size_t local = shard.registry.add(std::move(e));
+      if (ex.alive && !ex.draining) {
+        const std::uint32_t claimed = ex.total_workers - ex.free_workers;
+        if (claimed > 0 && !shard.registry.try_claim(local, claimed, 0)) {
+          return Error::make(42, "restore: snapshot executor capacity is inconsistent");
+        }
+        shard.registry.at(local).free_memory = ex.free_memory;
+      } else {
+        // Drained and/or dead: run the same transitions the live entry
+        // went through so both flags and the aggregates line up.
+        if (ex.draining) shard.registry.set_draining(local);
+        if (!ex.alive) shard.registry.mark_dead(local);
+      }
+    }
+    shard.hosted.resize(shard.registry.size());
+
+    for (const auto& ls : in.leases) {
+      LeaseRecord record;
+      record.client_id = ls.client_id;
+      record.executor = static_cast<std::size_t>(ls.executor);
+      record.workers = ls.workers;
+      record.memory = ls.memory;
+      record.expires_at = ls.expires_at;
+      index_lease(shard, ls.lease_id, record);
+    }
+    shard.next_lease = in.next_lease;
+    shard.lease_count.store(shard.leases.size(), std::memory_order_relaxed);
+    shard.free_workers.store(in.free_workers, std::memory_order_relaxed);
+    shard.total_workers.store(in.total_workers, std::memory_order_relaxed);
+  }
+  grants_.store(state.grants, std::memory_order_relaxed);
+  local_grants_.store(state.local_grants, std::memory_order_relaxed);
+  evictions_.store(state.evictions, std::memory_order_relaxed);
+  migrations_.store(state.migrations, std::memory_order_relaxed);
+  next_shard_.store(state.next_shard, std::memory_order_relaxed);
+  executor_count_.store(state.executor_count, std::memory_order_relaxed);
+  return Status::success();
+}
+
+Status ShardedResourceManager::apply(const JournalRecordMsg& record) {
+  switch (static_cast<journal::Op>(record.op)) {
+    case journal::Op::AddExecutor: {
+      const std::uint32_t s = id_shard(record.executor);
+      const std::size_t local = static_cast<std::size_t>(id_low(record.executor));
+      if (s >= shards_.size()) return Error::make(43, "apply: shard out of range");
+      auto& shard = *shards_[s];
+      std::lock_guard<std::shared_mutex> lock(shard.mu);
+      if (shard.registry.size() != local) {
+        return Error::make(44, "apply: registry index diverged");
+      }
+      ExecutorEntry e;
+      e.info.device = static_cast<std::uint32_t>(record.aux >> 32);
+      e.info.alloc_port = static_cast<std::uint16_t>((record.aux >> 16) & 0xffff);
+      e.info.rdma_port = static_cast<std::uint16_t>(record.aux & 0xffff);
+      e.info.cores = static_cast<std::uint32_t>(record.aux2 & 0xffffffffull);
+      e.info.epoch = record.aux2 >> 32;
+      e.info.memory_bytes = record.lease_id;
+      e.total_workers = record.workers;
+      e.free_workers = record.workers;
+      e.free_memory = record.memory;
+      e.locality = record.client_id;
+      e.last_ack = record.time;
+      shard.registry.add(std::move(e));
+      shard.hosted.resize(shard.registry.size());
+      shard.free_workers.fetch_add(record.workers, std::memory_order_relaxed);
+      shard.total_workers.fetch_add(record.workers, std::memory_order_relaxed);
+      executor_count_.fetch_add(1, std::memory_order_relaxed);
+      // Mirror the primary's round-robin assignment counter so shard
+      // routing of post-promotion registrations stays aligned.
+      if (!locality_sharding_) next_shard_.fetch_add(1, std::memory_order_relaxed);
+      return Status::success();
+    }
+    case journal::Op::Grant: {
+      const std::uint32_t s = id_shard(record.lease_id);
+      if (s >= shards_.size() || id_shard(record.executor) != s) {
+        return Error::make(43, "apply: shard out of range");
+      }
+      const std::size_t local = static_cast<std::size_t>(id_low(record.executor));
+      auto& shard = *shards_[s];
+      std::lock_guard<std::shared_mutex> lock(shard.mu);
+      if (!shard.registry.try_claim(local, record.workers, record.memory)) {
+        return Error::make(45, "apply: granted capacity does not fit (diverged)");
+      }
+      shard.free_workers.fetch_sub(record.workers, std::memory_order_relaxed);
+      LeaseRecord lease;
+      lease.client_id = record.client_id;
+      lease.executor = local;
+      lease.workers = record.workers;
+      lease.memory = record.memory;
+      lease.expires_at = record.time;
+      index_lease(shard, record.lease_id, lease);
+      shard.next_lease = std::max(shard.next_lease, id_low(record.lease_id) + 1);
+      shard.lease_count.store(shard.leases.size(), std::memory_order_relaxed);
+      grants_.fetch_add(1, std::memory_order_relaxed);
+      if (record.aux & journal::kAuxLocalGrant) {
+        local_grants_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return Status::success();
+    }
+    case journal::Op::Renew: {
+      const std::uint32_t s = id_shard(record.lease_id);
+      if (s >= shards_.size()) return Error::make(43, "apply: shard out of range");
+      auto& shard = *shards_[s];
+      std::lock_guard<std::shared_mutex> lock(shard.mu);
+      auto it = shard.leases.find(record.lease_id);
+      if (it == shard.leases.end()) return Error::make(46, "apply: renew of unknown lease");
+      it->second.expires_at = record.time;
+      arm_expiry(shard, record.time, record.lease_id);
+      return Status::success();
+    }
+    case journal::Op::Release:
+    case journal::Op::Expire:
+    case journal::Op::Evict: {
+      const std::uint32_t s = id_shard(record.lease_id);
+      if (s >= shards_.size()) return Error::make(43, "apply: shard out of range");
+      auto& shard = *shards_[s];
+      std::lock_guard<std::shared_mutex> lock(shard.mu);
+      auto it = shard.leases.find(record.lease_id);
+      if (it == shard.leases.end()) return Error::make(46, "apply: drop of unknown lease");
+      const LeaseRecord lease = it->second;
+      // The capacity-return decision was made by the primary under its
+      // own registry state and travels with the record — replay must not
+      // re-derive it.
+      if (record.aux & journal::kAuxReturnCapacity) {
+        shard.registry.release(lease.executor, lease.workers, lease.memory);
+        shard.free_workers.fetch_add(lease.workers, std::memory_order_relaxed);
+      }
+      unindex_lease(shard, it);
+      shard.lease_count.store(shard.leases.size(), std::memory_order_relaxed);
+      if (static_cast<journal::Op>(record.op) == journal::Op::Evict) {
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return Status::success();
+    }
+    case journal::Op::SetDraining: {
+      const std::uint32_t s = id_shard(record.executor);
+      const std::size_t local = static_cast<std::size_t>(id_low(record.executor));
+      if (s >= shards_.size()) return Error::make(43, "apply: shard out of range");
+      auto& shard = *shards_[s];
+      std::lock_guard<std::shared_mutex> lock(shard.mu);
+      if (local >= shard.registry.size()) {
+        return Error::make(44, "apply: registry index diverged");
+      }
+      auto& entry = shard.registry.at(local);
+      shard.free_workers.fetch_sub(entry.free_workers, std::memory_order_relaxed);
+      shard.total_workers.fetch_sub(entry.total_workers, std::memory_order_relaxed);
+      shard.registry.set_draining(local);
+      return Status::success();
+    }
+    case journal::Op::MarkDead: {
+      const std::uint32_t s = id_shard(record.executor);
+      const std::size_t local = static_cast<std::size_t>(id_low(record.executor));
+      if (s >= shards_.size()) return Error::make(43, "apply: shard out of range");
+      auto& shard = *shards_[s];
+      std::lock_guard<std::shared_mutex> lock(shard.mu);
+      if (local >= shard.registry.size()) {
+        return Error::make(44, "apply: registry index diverged");
+      }
+      auto& entry = shard.registry.at(local);
+      if (!entry.alive) return Error::make(47, "apply: executor already dead");
+      if (local < shard.hosted.size()) {
+        const std::vector<std::uint64_t> ids(shard.hosted[local].begin(),
+                                             shard.hosted[local].end());
+        for (std::uint64_t id : ids) {
+          auto it = shard.leases.find(id);
+          if (it != shard.leases.end()) unindex_lease(shard, it);
+        }
+      }
+      shard.lease_count.store(shard.leases.size(), std::memory_order_relaxed);
+      if (!entry.draining) {
+        shard.free_workers.fetch_sub(entry.free_workers, std::memory_order_relaxed);
+        shard.total_workers.fetch_sub(entry.total_workers, std::memory_order_relaxed);
+      }
+      shard.registry.mark_dead(local);
+      return Status::success();
+    }
+    case journal::Op::Migrate: {
+      const std::uint32_t donor = id_shard(record.executor);
+      const std::size_t donor_local = static_cast<std::size_t>(id_low(record.executor));
+      const std::uint32_t receiver = id_shard(record.aux);
+      const std::size_t receiver_local = static_cast<std::size_t>(id_low(record.aux));
+      if (donor >= shards_.size() || receiver >= shards_.size()) {
+        return Error::make(43, "apply: shard out of range");
+      }
+      ExecutorEntry moved;
+      {
+        auto& shard = *shards_[donor];
+        std::lock_guard<std::shared_mutex> lock(shard.mu);
+        if (donor_local >= shard.registry.size()) {
+          return Error::make(44, "apply: registry index diverged");
+        }
+        auto& entry = shard.registry.at(donor_local);
+        moved = entry;
+        moved.free_workers = moved.total_workers;
+        moved.free_memory = record.memory;
+        moved.last_ack = record.time;
+        shard.free_workers.fetch_sub(entry.free_workers, std::memory_order_relaxed);
+        shard.total_workers.fetch_sub(entry.total_workers, std::memory_order_relaxed);
+        shard.registry.mark_dead(donor_local);
+      }
+      {
+        auto& shard = *shards_[receiver];
+        std::lock_guard<std::shared_mutex> lock(shard.mu);
+        if (shard.registry.size() != receiver_local) {
+          return Error::make(44, "apply: registry index diverged");
+        }
+        const std::uint32_t workers = moved.total_workers;
+        shard.registry.add(std::move(moved));
+        shard.hosted.resize(shard.registry.size());
+        shard.free_workers.fetch_add(workers, std::memory_order_relaxed);
+        shard.total_workers.fetch_add(workers, std::memory_order_relaxed);
+      }
+      migrations_.fetch_add(1, std::memory_order_relaxed);
+      return Status::success();
+    }
+    case journal::Op::Reattach: {
+      const std::uint32_t s = id_shard(record.executor);
+      const std::size_t local = static_cast<std::size_t>(id_low(record.executor));
+      if (s >= shards_.size()) return Error::make(43, "apply: shard out of range");
+      auto& shard = *shards_[s];
+      std::lock_guard<std::shared_mutex> lock(shard.mu);
+      if (local >= shard.registry.size()) {
+        return Error::make(44, "apply: registry index diverged");
+      }
+      auto& entry = shard.registry.at(local);
+      if (!entry.alive) return Error::make(47, "apply: reattach of dead executor");
+      entry.last_ack = record.time;
+      entry.info.epoch = record.aux2;
+      return Status::success();
+    }
+  }
+  return Error::make(48, "apply: unknown journal op");
+}
+
+// --------------------------------------------------------------------------
+// ManagerState equality and digest (replicated fields only: heartbeat
+// clocks, streams and the retransmission-scoped request_id of the cached
+// registration message are not journaled and therefore not state).
+// --------------------------------------------------------------------------
+
+namespace {
+
+bool info_equal(const RegisterExecutorMsg& a, const RegisterExecutorMsg& b) {
+  return a.device == b.device && a.alloc_port == b.alloc_port && a.rdma_port == b.rdma_port &&
+         a.cores == b.cores && a.memory_bytes == b.memory_bytes && a.epoch == b.epoch;
+}
+
+}  // namespace
+
+bool ShardedResourceManager::ManagerState::operator==(const ManagerState& other) const {
+  if (shards.size() != other.shards.size()) return false;
+  if (grants != other.grants || local_grants != other.local_grants ||
+      evictions != other.evictions || migrations != other.migrations ||
+      next_shard != other.next_shard || executor_count != other.executor_count) {
+    return false;
+  }
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const auto& a = shards[s];
+    const auto& b = other.shards[s];
+    if (a.next_lease != b.next_lease || a.free_workers != b.free_workers ||
+        a.total_workers != b.total_workers) {
+      return false;
+    }
+    if (a.executors.size() != b.executors.size() || a.leases.size() != b.leases.size() ||
+        a.tenants.size() != b.tenants.size() || a.expiry != b.expiry) {
+      return false;
+    }
+    for (std::size_t i = 0; i < a.executors.size(); ++i) {
+      const auto& x = a.executors[i];
+      const auto& y = b.executors[i];
+      if (!info_equal(x.info, y.info) || x.total_workers != y.total_workers ||
+          x.free_workers != y.free_workers || x.free_memory != y.free_memory ||
+          x.alive != y.alive || x.draining != y.draining || x.locality != y.locality) {
+        return false;
+      }
+    }
+    for (std::size_t i = 0; i < a.leases.size(); ++i) {
+      const auto& x = a.leases[i];
+      const auto& y = b.leases[i];
+      if (x.lease_id != y.lease_id || x.client_id != y.client_id || x.executor != y.executor ||
+          x.workers != y.workers || x.memory != y.memory || x.expires_at != y.expires_at) {
+        return false;
+      }
+    }
+    for (std::size_t i = 0; i < a.tenants.size(); ++i) {
+      const auto& x = a.tenants[i];
+      const auto& y = b.tenants[i];
+      if (x.client_id != y.client_id || x.held_workers != y.held_workers ||
+          x.leases != y.leases) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::uint64_t ShardedResourceManager::ManagerState::digest() const {
+  using journal::mix;
+  std::uint64_t h = 0;
+  h = mix(h, shards.size());
+  h = mix(h, grants);
+  h = mix(h, local_grants);
+  h = mix(h, evictions);
+  h = mix(h, migrations);
+  h = mix(h, next_shard);
+  h = mix(h, executor_count);
+  for (const auto& shard : shards) {
+    h = mix(h, shard.next_lease);
+    h = mix(h, static_cast<std::uint64_t>(shard.free_workers));
+    h = mix(h, static_cast<std::uint64_t>(shard.total_workers));
+    h = mix(h, shard.executors.size());
+    for (const auto& ex : shard.executors) {
+      h = mix(h, ex.info.device);
+      h = mix(h, ex.info.alloc_port);
+      h = mix(h, ex.info.rdma_port);
+      h = mix(h, ex.info.cores);
+      h = mix(h, ex.info.memory_bytes);
+      h = mix(h, ex.info.epoch);
+      h = mix(h, ex.total_workers);
+      h = mix(h, ex.free_workers);
+      h = mix(h, ex.free_memory);
+      h = mix(h, static_cast<std::uint64_t>(ex.alive));
+      h = mix(h, static_cast<std::uint64_t>(ex.draining));
+      h = mix(h, ex.locality);
+    }
+    h = mix(h, shard.leases.size());
+    for (const auto& ls : shard.leases) {
+      h = mix(h, ls.lease_id);
+      h = mix(h, ls.client_id);
+      h = mix(h, ls.executor);
+      h = mix(h, ls.workers);
+      h = mix(h, ls.memory);
+      h = mix(h, static_cast<std::uint64_t>(ls.expires_at));
+    }
+    h = mix(h, shard.tenants.size());
+    for (const auto& ts : shard.tenants) {
+      h = mix(h, ts.client_id);
+      h = mix(h, ts.held_workers);
+      h = mix(h, ts.leases.size());
+      for (std::uint64_t id : ts.leases) h = mix(h, id);
+    }
+    h = mix(h, shard.expiry.size());
+    for (const auto& [at, id] : shard.expiry) {
+      h = mix(h, static_cast<std::uint64_t>(at));
+      h = mix(h, id);
+    }
+  }
+  return h;
 }
 
 std::vector<Placement> ShardedResourceManager::placement_log() const {

@@ -66,6 +66,7 @@
 #include <vector>
 
 #include "rfaas/config.hpp"
+#include "rfaas/journal.hpp"
 #include "rfaas/protocol.hpp"
 #include "rfaas/scheduler.hpp"
 
@@ -267,6 +268,16 @@ class ShardedResourceManager {
   /// Records a heartbeat ack. False when the id is unknown.
   bool touch(std::uint64_t executor_id, Time now);
 
+  /// Owner and deadline of a live lease (shared lock on its shard);
+  /// nullopt when unknown. The failover revalidation path answers
+  /// LeaseRevalidate from this without mutating anything.
+  struct LeaseInfo {
+    std::uint32_t client_id = 0;
+    std::uint32_t workers = 0;
+    Time expires_at = 0;
+  };
+  [[nodiscard]] std::optional<LeaseInfo> lease_info(std::uint64_t lease_id) const;
+
   /// Calls fn(global_executor_id, const ExecutorEntry&) for every
   /// registered executor, shard by shard under a shared (read) lock, so
   /// concurrent grants on other threads are not serialized against the
@@ -331,6 +342,104 @@ class ShardedResourceManager {
   /// global ids; capped at kPlacementLogCap entries per shard.
   static constexpr std::size_t kPlacementLogCap = 1 << 16;
   [[nodiscard]] std::vector<Placement> placement_log() const;
+
+  // ---- Replication / failover (journal.hpp, replica.hpp) ----
+
+  /// Deep, canonical snapshot of the manager's replicated state: every
+  /// shard's executor table, lease table, tenant index, canonical expiry
+  /// index and counters, plus the manager-level counters a failover must
+  /// preserve. Canonical means deterministic ordering (leases and
+  /// tenants sorted by id, expiry deduplicated to the live deadlines),
+  /// so two managers that went through equivalent histories compare and
+  /// digest identically even though their hash tables and lazy heaps
+  /// differ internally. Heartbeat clocks (`last_ack`) and streams are
+  /// carried for restore but excluded from equality and the digest —
+  /// heartbeats are not journaled.
+  struct ManagerState {
+    /// One executor registration (registry order, tombstones included).
+    struct ExecutorState {
+      RegisterExecutorMsg info;
+      std::uint32_t total_workers = 0;
+      std::uint32_t free_workers = 0;
+      std::uint64_t free_memory = 0;
+      bool alive = true;
+      bool draining = false;
+      std::uint32_t locality = 0;
+      Time last_ack = 0;  ///< restored but not compared (not journaled)
+    };
+    /// One live lease (sorted by id).
+    struct LeaseState {
+      std::uint64_t lease_id = 0;
+      std::uint32_t client_id = 0;
+      std::uint64_t executor = 0;  ///< shard-local registry index
+      std::uint32_t workers = 0;
+      std::uint64_t memory = 0;
+      Time expires_at = 0;
+    };
+    /// One tenant's slice (sorted by client id; leases in age order).
+    struct TenantState {
+      std::uint32_t client_id = 0;
+      std::uint64_t held_workers = 0;
+      std::vector<std::uint64_t> leases;
+    };
+    struct ShardState {
+      std::vector<ExecutorState> executors;
+      std::vector<LeaseState> leases;
+      std::vector<TenantState> tenants;
+      /// Canonical deadline index: sorted (expires_at, lease_id) over the
+      /// live leases — the lazy heaps' stale entries are not state.
+      std::vector<std::pair<Time, std::uint64_t>> expiry;
+      std::uint64_t next_lease = 1;
+      std::int64_t free_workers = 0;
+      std::int64_t total_workers = 0;
+    };
+    std::vector<ShardState> shards;
+    std::uint64_t grants = 0;
+    std::uint64_t local_grants = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t migrations = 0;
+    std::uint64_t next_shard = 0;
+    std::uint64_t executor_count = 0;
+
+    /// Replicated-state equality: everything except heartbeat clocks and
+    /// streams. This is what the replay-equivalence tests assert.
+    [[nodiscard]] bool operator==(const ManagerState& other) const;
+    [[nodiscard]] bool operator!=(const ManagerState& other) const { return !(*this == other); }
+
+    /// Order-sensitive checksum over every compared field (the chained
+    /// journal mix). Snapshot offers carry it so a standby rejects a torn
+    /// or stale snapshot before replaying records on top of it.
+    [[nodiscard]] std::uint64_t digest() const;
+  };
+
+  /// The replication journal (null unless Config::journal_enabled).
+  [[nodiscard]] Journal* journal() const { return journal_.get(); }
+
+  /// Exports the canonical state snapshot. Takes each shard's shared
+  /// lock in turn — never call while holding a shard lock.
+  [[nodiscard]] ManagerState export_state() const;
+
+  /// Rebuilds this manager from a snapshot. Must be called on a freshly
+  /// constructed manager with the same shard count; replays the executor
+  /// lifecycle (add, claim, drain, death) so the registry's incremental
+  /// aggregates match a live manager's by construction. Heartbeat clocks
+  /// are reset to `now` so a just-promoted standby does not instantly
+  /// reap every executor. Nothing is journaled.
+  Status restore_state(const ManagerState& state, Time now);
+
+  /// Replays one journal record into this manager's state (the standby
+  /// path; see replica.hpp for sequencing and checksum verification).
+  /// Records are deltas — no placement policy or routing re-runs — so a
+  /// record that does not apply cleanly means the replica diverged and
+  /// an Error is returned. Nothing is re-journaled.
+  Status apply(const JournalRecordMsg& record);
+
+  /// Re-attaches a live executor after a failover: same registration,
+  /// new control stream and session epoch, leases and capacity
+  /// preserved. False when the id is unknown or the executor is dead
+  /// (the caller falls back to a fresh add_executor path). Journaled.
+  bool reattach_executor(std::uint64_t executor_id, std::shared_ptr<net::TcpStream> stream,
+                         std::uint64_t epoch, Time now);
 
   static constexpr std::uint64_t make_id(std::uint32_t shard, std::uint64_t low) {
     return (static_cast<std::uint64_t>(shard) << kShardShift) | low;
@@ -438,10 +547,23 @@ class ShardedResourceManager {
   /// released back to the entry — drain parks it, migration moves it
   /// wholesale. Returns the evicted leases' total memory (migration
   /// folds it back into the moved entry).
-  std::uint64_t evict_hosted_leases(Shard& shard, std::size_t local,
+  std::uint64_t evict_hosted_leases(std::uint32_t shard_index, Shard& shard, std::size_t local,
                                     const std::shared_ptr<net::TcpStream>& stream,
                                     std::vector<Eviction>& out);
 
+  /// Appends to the replication journal when enabled. Called under the
+  /// mutating shard's lock, so a shard's records stream in commit order;
+  /// the journal's own mutex orders records across shards.
+  void journal_append(JournalRecordMsg r) {
+    if (journal_) journal_->append(std::move(r));
+  }
+
+  /// Journal hook shared by release/expire/evict: one lease left the
+  /// table, with the capacity-return decision the primary already made.
+  void journal_lease_drop(journal::Op op, std::uint32_t shard_index, std::uint64_t lease_id,
+                          const LeaseRecord& record, bool returned_capacity);
+
+  std::unique_ptr<Journal> journal_;
   std::vector<std::unique_ptr<Shard>> shards_;
   bool locality_sharding_ = false;  // LocalityFirst: shard executors by rack
   std::atomic<std::uint64_t> next_shard_{0};  // round-robin executor assignment

@@ -84,6 +84,22 @@ std::vector<Bytes> sample_messages() {
   sweep.seq = 13;
   msgs.push_back(encode(sweep));
   msgs.push_back(encode(SubscribeEventsMsg{77}));
+  JournalRecordMsg rec;
+  rec.seq = 17;
+  rec.op = 2;  // journal::Op::Grant
+  rec.lease_id = (3ull << 48) | 9;
+  rec.client_id = 5;
+  rec.executor = (3ull << 48) | 1;
+  rec.workers = 4;
+  rec.memory = 256ull << 20;
+  rec.time = 90_s;
+  rec.aux = 1;
+  rec.aux2 = (7ull << 32) | 36;
+  rec.checksum = 0xDEADBEEFCAFEull;
+  msgs.push_back(encode(rec));
+  msgs.push_back(encode(SnapshotOfferMsg{2, 4096, 0xFACEFEEDull, 12}));
+  msgs.push_back(encode(FailoverAnnounceMsg{2, 4100, 7_s}));
+  msgs.push_back(encode(LeaseRevalidateMsg{5, (3ull << 48) | 9, (4ull << 32) | 2}));
   return msgs;
 }
 
@@ -111,6 +127,10 @@ int accepted_by_any(const Bytes& raw) {
   n += decode_lease_terminated(raw).ok();
   n += decode_leases_terminated(raw).ok();
   n += decode_subscribe_events(raw).ok();
+  n += decode_journal_record(raw).ok();
+  n += decode_snapshot_offer(raw).ok();
+  n += decode_failover_announce(raw).ok();
+  n += decode_lease_revalidate(raw).ok();
   return n;
 }
 
@@ -230,6 +250,107 @@ TEST(ProtocolHardened, DuplicateDeliveryDecodesIdentically) {
   EXPECT_EQ(first.value().client_id, second.value().client_id);
   EXPECT_EQ(first.value().request_id, second.value().request_id);
   EXPECT_EQ(first.value().request_id, (8ull << 32) | 6);
+}
+
+TEST(ProtocolHardened, FailoverMessagesRoundTripEveryField) {
+  // The HA wire messages carry replicated state: any silently dropped
+  // or misaligned field corrupts a standby, so every field is pinned.
+  JournalRecordMsg rec;
+  rec.seq = 0xA1B2C3D4E5ull;
+  rec.op = 9;
+  rec.lease_id = (7ull << 48) | 1234;
+  rec.client_id = 0xCAFE;
+  rec.executor = (7ull << 48) | 5;
+  rec.workers = 17;
+  rec.memory = 3ull << 33;
+  rec.time = 123456789;
+  rec.aux = 0x1122334455667788ull;
+  rec.aux2 = 0x99AABBCCDDEEFF00ull;
+  rec.checksum = 0x0123456789ABCDEFull;
+  auto rdec = decode_journal_record(encode(rec));
+  ASSERT_TRUE(rdec.ok());
+  EXPECT_EQ(rdec.value().seq, rec.seq);
+  EXPECT_EQ(rdec.value().op, rec.op);
+  EXPECT_EQ(rdec.value().lease_id, rec.lease_id);
+  EXPECT_EQ(rdec.value().client_id, rec.client_id);
+  EXPECT_EQ(rdec.value().executor, rec.executor);
+  EXPECT_EQ(rdec.value().workers, rec.workers);
+  EXPECT_EQ(rdec.value().memory, rec.memory);
+  EXPECT_EQ(rdec.value().time, rec.time);
+  EXPECT_EQ(rdec.value().aux, rec.aux);
+  EXPECT_EQ(rdec.value().aux2, rec.aux2);
+  EXPECT_EQ(rdec.value().checksum, rec.checksum);
+
+  auto odec = decode_snapshot_offer(encode(SnapshotOfferMsg{3, 777, 0xD1CEull, 42}));
+  ASSERT_TRUE(odec.ok());
+  EXPECT_EQ(odec.value().manager_epoch, 3u);
+  EXPECT_EQ(odec.value().upto_seq, 777u);
+  EXPECT_EQ(odec.value().digest, 0xD1CEull);
+  EXPECT_EQ(odec.value().lease_count, 42u);
+
+  auto adec = decode_failover_announce(encode(FailoverAnnounceMsg{4, 888, 9_s}));
+  ASSERT_TRUE(adec.ok());
+  EXPECT_EQ(adec.value().manager_epoch, 4u);
+  EXPECT_EQ(adec.value().applied_seq, 888u);
+  EXPECT_EQ(adec.value().promoted_at, 9_s);
+
+  auto vdec = decode_lease_revalidate(encode(LeaseRevalidateMsg{6, 999, (5ull << 32) | 1}));
+  ASSERT_TRUE(vdec.ok());
+  EXPECT_EQ(vdec.value().client_id, 6u);
+  EXPECT_EQ(vdec.value().lease_id, 999u);
+  EXPECT_EQ(vdec.value().request_id, (5ull << 32) | 1);
+
+  // LeaseRevalidate is a request (its replies reuse ExtendOk/LeaseError);
+  // the journal/snapshot/announce stream messages are not call replies
+  // either — none may be matchable by the retransmission FSM.
+  EXPECT_FALSE(is_reply_type(MsgType::LeaseRevalidate));
+  EXPECT_FALSE(is_reply_type(MsgType::JournalRecord));
+  EXPECT_FALSE(is_reply_type(MsgType::SnapshotOffer));
+  EXPECT_FALSE(is_reply_type(MsgType::FailoverAnnounce));
+  EXPECT_FALSE(reply_request_id(encode(LeaseRevalidateMsg{1, 2, 3})).ok());
+}
+
+TEST(ProtocolFastPath, FailoverEncodeIntoMatchesTheBytesApiByteForByte) {
+  // JournalRecord is the replication hot path (one frame per lease
+  // transition): the zero-allocation encoder must emit exactly the
+  // Bytes-API frame, and undersized buffers must refuse untouched.
+  JournalRecordMsg rec;
+  rec.seq = 31;
+  rec.op = 4;
+  rec.lease_id = (1ull << 48) | 2;
+  rec.client_id = 9;
+  rec.executor = (1ull << 48) | 1;
+  rec.workers = 2;
+  rec.memory = 64ull << 20;
+  rec.time = 42_s;
+  rec.aux = 3;
+  rec.aux2 = 0;
+  rec.checksum = 0xBEEF;
+  SnapshotOfferMsg offer{2, 100, 0xABCD, 7};
+  FailoverAnnounceMsg ann{2, 101, 5_s};
+  LeaseRevalidateMsg reval{9, (1ull << 48) | 2, (6ull << 32) | 4};
+
+  std::uint8_t buf[128];
+  EXPECT_EQ(encode_into(rec, buf, sizeof buf), kJournalRecordWireSize);
+  EXPECT_EQ(Bytes(buf, buf + kJournalRecordWireSize), encode(rec));
+  EXPECT_EQ(encode_into(offer, buf, sizeof buf), kSnapshotOfferWireSize);
+  EXPECT_EQ(Bytes(buf, buf + kSnapshotOfferWireSize), encode(offer));
+  EXPECT_EQ(encode_into(ann, buf, sizeof buf), kFailoverAnnounceWireSize);
+  EXPECT_EQ(Bytes(buf, buf + kFailoverAnnounceWireSize), encode(ann));
+  EXPECT_EQ(encode_into(reval, buf, sizeof buf), kLeaseRevalidateWireSize);
+  EXPECT_EQ(Bytes(buf, buf + kLeaseRevalidateWireSize), encode(reval));
+
+  EXPECT_EQ(encode_into(rec, buf, kJournalRecordWireSize - 1), 0u);
+  EXPECT_EQ(encode_into(offer, buf, kSnapshotOfferWireSize - 1), 0u);
+  EXPECT_EQ(encode_into(ann, buf, 0), 0u);
+  EXPECT_EQ(encode_into(reval, buf, kLeaseRevalidateWireSize - 1), 0u);
+
+  // Span decode from the stack buffer, truncation and type confusion.
+  const std::size_t n = encode_into(rec, buf, sizeof buf);
+  EXPECT_TRUE(decode_journal_record(std::span<const std::uint8_t>(buf, n)).ok());
+  EXPECT_FALSE(decode_journal_record(std::span<const std::uint8_t>(buf, n - 1)).ok());
+  buf[0] = static_cast<std::uint8_t>(MsgType::SnapshotOffer);
+  EXPECT_FALSE(decode_journal_record(std::span<const std::uint8_t>(buf, n)).ok());
 }
 
 TEST(ProtocolFuzz, RandomCorruptionNeverCrashes) {
