@@ -120,7 +120,7 @@ void run() {
     emit(table, "ablation-polling");
   }
 
-  // --- 3. Inline ceiling sweep at a 64 B payload (76 B on the wire).
+  // --- 3. Inline ceiling sweep at a 64 B payload (96 B on the wire).
   {
     Table table({"max_inline", "hot median (64 B payload)"});
     for (std::uint32_t ceiling : {0u, 64u, 128u, 256u}) {
@@ -139,8 +139,8 @@ void run() {
       table.row({std::to_string(ceiling) + " B", Table::us(stats.median)});
     }
     emit(table, "ablation-inline");
-    std::printf("The 12-byte header pushes a 64 B payload to 76 B on the wire: ceilings\n"
-                "below 76 B force the PCIe DMA read on the request path (Fig. 8 effect).\n");
+    std::printf("The 32-byte header pushes a 64 B payload to 96 B on the wire: ceilings\n"
+                "below 96 B force the PCIe DMA read on the request path (Fig. 8 effect).\n");
   }
 }
 

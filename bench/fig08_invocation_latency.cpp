@@ -1,7 +1,7 @@
 // Figure 8: RTT of a no-op rFaaS function vs the raw network transports
 // for 1 B - 4 kB messages: RDMA ping-pong (ib_write_lat), TCP round trip
 // (netperf), rFaaS hot and rFaaS warm. Shows the inlining effect at 128 B
-// (the 12-byte rFaaS header forces one direction out of the inline path)
+// (the 32-byte rFaaS header forces one direction out of the inline path)
 // and the Sec. V-A overheads: hot ~326 ns, warm ~4.67 us over raw RDMA.
 #include "bench_common.hpp"
 #include "net/tcp.hpp"

@@ -294,7 +294,7 @@ WireResult run_wire(unsigned iterations) {
     auto ok = rfaas::decode_extend_ok(std::span<const std::uint8_t>(buf, n));
     checksum += ok.ok() ? ok.value().expires_at : 0;
 
-    // Data-plane invoke: 12-byte header + packed immediate.
+    // Data-plane invoke: 32-byte header + packed immediate.
     rfaas::InvocationHeader header;
     header.result_addr = 0xdeadbeef00ull + i;
     header.result_rkey = 77;

@@ -36,8 +36,9 @@ sim::Task<void> client(cluster::Harness& platform) {
               to_ms(cold.total()), to_ms(cold.spawn_workers),
               to_ms(cold.total() - cold.spawn_workers));
 
-  // 3. RDMA-registered buffers: the input carries the 12-byte header with
-  //    the address + rkey of the output buffer.
+  // 3. RDMA-registered buffers: the input carries the 32-byte header with
+  //    the address + rkey of the output buffer (plus the fault-tolerance
+  //    tag/deadline/checksum fields, zero when FT is off).
   auto in = invoker->input_buffer<double>(1024);
   auto out = invoker->output_buffer<double>(1024);
   for (std::size_t i = 0; i < 1024; ++i) in[i] = static_cast<double>(i) * 0.5;

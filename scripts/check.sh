@@ -3,7 +3,7 @@
 # and run the full test suite. This is the gate every PR must keep green,
 # locally and in CI (.github/workflows/ci.yml).
 #
-#   ./scripts/check.sh [--sanitize=address,undefined|thread] [--chaos] [--overload] [--ha] [build-dir]
+#   ./scripts/check.sh [--sanitize=address,undefined|thread] [--chaos] [--overload] [--ha] [--gray] [build-dir]
 #
 # --chaos restricts the test run to the lossy-network suite (the ctest
 # `chaos` label: fault-injector determinism, retransmission FSMs, wire
@@ -14,6 +14,10 @@
 # --ha restricts it to the high-availability suite (the ctest `ha`
 # label: journal replay equivalence, manager failover, failover under
 # link chaos) — the quick loop when iterating on replication.
+# --gray restricts it to the data-plane fault-tolerance suite (the ctest
+# `dataplane-chaos` label: worker-fault injection, deadline/retry/hedging
+# recovery, breaker-driven quarantine, timer wheel) — the quick loop
+# when iterating on gray-failure handling.
 #
 # Extra cmake arguments (compiler launcher, generators) can be injected
 # through RFS_CMAKE_ARGS, e.g.
@@ -31,6 +35,7 @@ for arg in "$@"; do
     --chaos) ctest_args+=(-L chaos) ;;
     --overload) ctest_args+=(-L overload) ;;
     --ha) ctest_args+=(-L ha) ;;
+    --gray) ctest_args+=(-L dataplane-chaos) ;;
     --help|-h)
       sed -n '2,/^[^#]/p' "$0" | sed -n 's/^# \{0,1\}//p'
       exit 0

@@ -104,6 +104,12 @@ Harness::Harness(ScenarioSpec spec) : spec_(std::move(spec)) {
     client_devices_.push_back(&dev);
   }
 
+  if (spec_.inject_worker_faults) {
+    worker_faults_ = std::make_unique<net::WorkerFaultInjector>(spec_.fault_seed);
+    worker_faults_->set_default(spec_.worker_faults);
+    for (auto& executor : executors_) executor->set_worker_faults(worker_faults_.get());
+  }
+
   if (faults_ != nullptr) {
     // Chaos applies to the client<->manager control links only: executor
     // registration links keep the lossless default spec, and the RDMA

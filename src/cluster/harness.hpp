@@ -57,6 +57,14 @@ struct ScenarioSpec {
   net::FaultSpec faults{};
   bool inject_faults = false;
   std::uint64_t fault_seed = 1;
+  /// Executor-side data-plane chaos (bench/fig21_grayfailure): when
+  /// `inject_worker_faults` is set the harness owns a seeded
+  /// net::WorkerFaultInjector (same `fault_seed`) wired into every
+  /// ExecutorManager, with `worker_faults` as the fleet-wide default
+  /// spec. Per-executor overrides (e.g. exactly one gray host) go
+  /// through worker_fault_injector()->set_executor().
+  net::WorkerFaultSpec worker_faults{};
+  bool inject_worker_faults = false;
   /// Retransmission parameters of every workload client session. Soak
   /// schedules widen max_retransmits so partition windows longer than
   /// the adaptive-RTO backoff sum cannot kill a client.
@@ -399,6 +407,11 @@ class Harness {
   /// links through it.
   [[nodiscard]] net::FaultInjector* fault_injector() { return faults_.get(); }
 
+  /// The executor-side fault source when ScenarioSpec::inject_worker_faults
+  /// is set (nullptr otherwise); benches retune per-executor specs and
+  /// read the crash/stuck/gray/double-execution counters through it.
+  [[nodiscard]] net::WorkerFaultInjector* worker_fault_injector() { return worker_faults_.get(); }
+
   /// Black-holes the control link between client host `i` and the
   /// manager for virtual time [from, until). No-op without fault
   /// injection.
@@ -535,6 +548,7 @@ class Harness {
   std::unique_ptr<fabric::Fabric> fabric_;
   std::unique_ptr<net::TcpNetwork> tcp_;
   std::unique_ptr<net::FaultInjector> faults_;
+  std::unique_ptr<net::WorkerFaultInjector> worker_faults_;
   rfaas::FunctionRegistry registry_;
 
   /// Counter sinks of the most recent workload run, kept so

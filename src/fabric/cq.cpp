@@ -62,6 +62,29 @@ sim::Task<std::optional<Wc>> CompletionQueue::wait_polling_until(Time deadline) 
   co_return wc;
 }
 
+sim::Task<std::optional<Wc>> CompletionQueue::wait_blocking_until(Time deadline) {
+  // Same deadline-timer shape as wait_polling_until; the only difference
+  // is the completion-channel wake-up cost paid on a real arrival (a
+  // timeout returns at the deadline itself — nothing woke the thread).
+  auto expired = std::make_shared<bool>(false);
+  auto timer = [](sim::Event* ev, Time when, std::shared_ptr<bool> flag,
+                  std::weak_ptr<int> alive) -> sim::Task<void> {
+    co_await sim::delay_until(when);
+    *flag = true;
+    if (alive.lock()) ev->pulse();
+  };
+  sim::spawn(*sim::Engine::current(), timer(&arrival_, deadline, expired, alive_));
+  while (ready_.empty()) {
+    if (*expired) co_return std::nullopt;
+    co_await arrival_.wait();
+  }
+  co_await sim::delay(model_.blocking_wake_latency);
+  if (ready_.empty()) co_return std::nullopt;  // raced away during wake-up
+  Wc wc = ready_.front();
+  ready_.pop_front();
+  co_return wc;
+}
+
 void CompletionQueue::push(const Wc& wc) {
   ready_.push_back(wc);
   ++delivered_;

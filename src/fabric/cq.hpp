@@ -46,6 +46,13 @@ class CompletionQueue {
   /// configurable time without a new invocation").
   sim::Task<std::optional<Wc>> wait_polling_until(Time deadline);
 
+  /// Blocking wait with a deadline: completion-channel semantics (the
+  /// wake-up latency is charged on arrival) but returns nullopt when no
+  /// completion arrives by `deadline`. This is what lets an invocation
+  /// deadline surface as a timeout instead of blocking forever when the
+  /// remote executor died after the request was submitted.
+  sim::Task<std::optional<Wc>> wait_blocking_until(Time deadline);
+
   /// Pushes a completion (fabric internal).
   void push(const Wc& wc);
 

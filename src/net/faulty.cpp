@@ -45,4 +45,50 @@ FaultInjector::Decision FaultInjector::decide(fabric::DeviceId src, fabric::Devi
   return d;
 }
 
+WorkerFaultInjector::Decision WorkerFaultInjector::decide(fabric::DeviceId device) {
+  ++counters_.invocations;
+  const auto it = executors_.find(device);
+  const WorkerFaultSpec& spec = it != executors_.end() ? it->second : default_spec_;
+
+  Decision d;
+  // Fixed-order draws, mirroring FaultInjector::decide: the RNG stream
+  // depends only on the seed and the invocation sequence, never on
+  // which probabilities are zero — one seed replays the whole schedule.
+  const bool crash = rng_.bernoulli(spec.crash_p);
+  const bool stuck = rng_.bernoulli(spec.stuck_p);
+  const bool gray = rng_.bernoulli(spec.gray_p);
+  const bool corrupt = rng_.bernoulli(spec.corrupt_p);
+  const Duration pause = static_cast<Duration>(
+      spec.gray_multiplier * rng_.uniform(static_cast<double>(spec.gray_pause_min),
+                                          static_cast<double>(spec.gray_pause_max)));
+  if (crash) {
+    ++counters_.crashes;
+    d.crash = true;
+    return d;
+  }
+  if (stuck) {
+    ++counters_.stucks;
+    d.stuck = true;
+    return d;
+  }
+  if (gray) {
+    ++counters_.grays;
+    d.gray_delay = pause;
+  }
+  if (corrupt) {
+    ++counters_.corruptions;
+    d.corrupt = true;
+  }
+  return d;
+}
+
+bool WorkerFaultInjector::note_execution(std::uint64_t tag) {
+  if (tag == 0) return true;
+  if (!executed_tags_.insert(tag).second) {
+    ++counters_.double_executions;
+    return false;
+  }
+  return true;
+}
+
 }  // namespace rfs::net

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -110,6 +111,85 @@ class FaultInjector {
   FaultSpec default_spec_{};
   std::unordered_map<std::uint64_t, FaultSpec> links_;
   std::vector<Partition> partitions_;
+  Counters counters_;
+};
+
+/// Executor-side fault probabilities, evaluated independently per
+/// invocation dispatch. Unlike link faults (which hit messages on the
+/// wire), these model the failure modes of the worker itself: the
+/// process crashing mid-invocation, the sandbox wedging and never
+/// answering, the host going "gray" (alive but slow — the hardest mode
+/// to detect), and the response payload getting corrupted in flight.
+struct WorkerFaultSpec {
+  double crash_p = 0.0;    ///< worker dies before executing; no reply ever
+  double stuck_p = 0.0;    ///< sandbox wedges; invocation never completes
+  double gray_p = 0.0;     ///< dispatch pauses for a gray window first
+  double corrupt_p = 0.0;  ///< output bytes flipped after execution
+  /// Gray window bounds: the injected pre-dispatch pause is uniform in
+  /// [gray_pause_min, gray_pause_max] scaled by gray_multiplier.
+  double gray_multiplier = 1.0;
+  Duration gray_pause_min = 2_ms;
+  Duration gray_pause_max = 20_ms;
+
+  [[nodiscard]] bool enabled() const {
+    return crash_p > 0 || stuck_p > 0 || gray_p > 0 || corrupt_p > 0;
+  }
+};
+
+/// Seeded executor-fault decision source, consulted by each Worker
+/// immediately before dispatching an invocation. Shares the replayable
+/// chaos discipline of FaultInjector: one uint64_t seed, fixed-order
+/// draws, event-order determinism (RFS_CHAOS_SEED). Also hosts the
+/// global execution registry for the double-execution gate: every
+/// executed invocation tag is noted once, and a second execution of the
+/// same tag — the exact bug the dedup table and deadline propagation
+/// exist to prevent — is counted, never silently absorbed.
+class WorkerFaultInjector {
+ public:
+  explicit WorkerFaultInjector(std::uint64_t seed = 1) : rng_(seed), seed_(seed) {}
+
+  /// The injected fate of one invocation dispatch.
+  struct Decision {
+    bool crash = false;
+    bool stuck = false;
+    bool corrupt = false;
+    Duration gray_delay = 0;  ///< pre-dispatch pause (0 = healthy)
+  };
+
+  /// Applies to every executor device without an explicit spec.
+  void set_default(const WorkerFaultSpec& spec) { default_spec_ = spec; }
+
+  /// Applies to workers of the executor on fabric device `device`.
+  void set_executor(fabric::DeviceId device, const WorkerFaultSpec& spec) {
+    executors_[device] = spec;
+  }
+
+  /// Draws the fate of one invocation on `device`.
+  Decision decide(fabric::DeviceId device);
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Notes one execution of `tag`; returns false when the tag was
+  /// already executed (a double execution). tag 0 (FT off) is ignored.
+  bool note_execution(std::uint64_t tag);
+
+  /// Chaos accounting, aggregated over all executors.
+  struct Counters {
+    std::uint64_t invocations = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t stucks = 0;
+    std::uint64_t grays = 0;
+    std::uint64_t corruptions = 0;
+    std::uint64_t double_executions = 0;  ///< the fig21 zero-gate
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  Rng rng_;
+  std::uint64_t seed_;
+  WorkerFaultSpec default_spec_{};
+  std::unordered_map<std::uint64_t, WorkerFaultSpec> executors_;
+  std::unordered_set<std::uint64_t> executed_tags_;
   Counters counters_;
 };
 

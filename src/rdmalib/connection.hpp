@@ -77,6 +77,15 @@ class Connection {
   /// Completion helpers.
   sim::Task<fabric::Wc> wait_recv_polling() { return recv_cq_->wait_polling(); }
   sim::Task<fabric::Wc> wait_recv_blocking() { return recv_cq_->wait_blocking(); }
+  /// Deadline-bounded result waits: nullopt = nothing arrived in time.
+  /// The fix for the forever-hang when an executor dies after submit —
+  /// an invocation deadline surfaces as a timeout instead of a stall.
+  sim::Task<std::optional<fabric::Wc>> wait_recv_polling_until(Time deadline) {
+    return recv_cq_->wait_polling_until(deadline);
+  }
+  sim::Task<std::optional<fabric::Wc>> wait_recv_blocking_until(Time deadline) {
+    return recv_cq_->wait_blocking_until(deadline);
+  }
   sim::Task<fabric::Wc> wait_send_polling() { return send_cq_->wait_polling(); }
   sim::Task<fabric::Wc> wait_send_blocking() { return send_cq_->wait_blocking(); }
   /// Batched busy-poll: one sweep drains every ready send completion.

@@ -96,10 +96,51 @@ struct AdmissionConfig {
   [[nodiscard]] bool enabled() const { return capacity_hz > 0 || tenant_rate_hz > 0; }
 };
 
+/// Data-plane fault tolerance of the client's Invoker (all off by
+/// default — the seed behaviour: an invocation waits forever and trusts
+/// every response byte). When `invocation_deadline` is nonzero the
+/// invoker stamps idempotent invocation tags and absolute deadlines into
+/// the 32-byte header, surfaces a timeout instead of hanging when an
+/// executor dies after submit, and retries on another held worker up to
+/// `retry_budget` times (the executor dedup table guarantees a retried
+/// invocation never double-executes). Hedging launches a backup on a
+/// second warm worker after `hedge_delay`; first response wins, the
+/// loser is cancelled. The per-worker EWMA/circuit-breaker knobs feed
+/// gray-failure detection: a tripped breaker steers traffic off the
+/// worker and reports the executor to the resource manager, which
+/// quarantines (drains) it after `quarantine_trips` trips.
+struct FaultToleranceConfig {
+  /// Per-invocation deadline (0 = unbounded, the seed behaviour).
+  Duration invocation_deadline = 0;
+  /// Retries after a timeout/corruption, rotating across held workers.
+  std::uint32_t retry_budget = 2;
+  /// Launch a backup invocation on a second warm worker when the first
+  /// has not answered after `hedge_delay`.
+  bool hedging = false;
+  /// Hedge trigger (0 = auto: a multiple of the observed EWMA latency).
+  Duration hedge_delay = 0;
+  /// Smoothing factor of the per-worker latency/failure EWMAs.
+  double ewma_alpha = 0.2;
+  /// Breaker trips when the failure EWMA crosses this fraction...
+  double breaker_failure_threshold = 0.5;
+  /// ...after at least this many observations (cold workers don't trip).
+  std::uint32_t breaker_min_samples = 4;
+  /// Open -> HalfOpen probe delay of the circuit breaker.
+  Duration breaker_open_timeout = 50_ms;
+  /// Breaker trips of one executor before the manager drains it.
+  std::uint32_t quarantine_trips = 2;
+  /// Stamp and verify payload checksums (request header field + the
+  /// 12-bit response imm checksum); a mismatch counts as a failure and
+  /// triggers a retry.
+  bool checksum = false;
+
+  [[nodiscard]] bool enabled() const { return invocation_deadline != 0; }
+};
+
 struct Config {
   fabric::NetworkModel network{};
 
-  /// Executor-side dispatch: parse the 12 B header, look up the function
+  /// Executor-side dispatch: parse the 32 B header, look up the function
   /// index, call through the trampoline. Calibrated so that a hot no-op
   /// invocation costs ~326 ns over the raw RDMA round trip.
   Duration executor_dispatch = 170;
@@ -199,6 +240,10 @@ struct Config {
   /// Ingress admission control (token bucket + WFQ early shed); disabled
   /// by default — see AdmissionConfig above.
   AdmissionConfig admission{};
+
+  /// Data-plane fault tolerance (deadlines/retries/hedging/breakers);
+  /// disabled by default — see FaultToleranceConfig above.
+  FaultToleranceConfig fault_tolerance{};
 
   /// Tenant worker quota (0 = no quota policy). When a lease request is
   /// denied for lack of capacity, the manager evicts leases of tenants

@@ -50,7 +50,10 @@ void Worker::stop() {
 sim::Task<void> Worker::drain() {
   running_ = false;
   connected_.set();
-  if (in_flight_) {
+  // A wedged worker's invocation never completes (injected stuck fault):
+  // waiting on done_ would hang the teardown forever, so it is the one
+  // in-flight case drain() abandons.
+  if (in_flight_ && !wedged_) {
     // An invocation is executing: let it run to completion and write its
     // result back over the still-open connection before closing. run()
     // exits its loop right after (running_ is false) and sets done_.
@@ -70,6 +73,7 @@ void Worker::rearm() {
   hot_ = false;
   holds_core_ = false;
   in_flight_ = false;
+  wedged_ = false;
   sim::spawn(mgr_.engine_, run());
 }
 
@@ -159,6 +163,18 @@ sim::Task<void> Worker::run() {
   done_.set();
 }
 
+namespace {
+
+/// Slack the deadline guard reserves for the reply's wire + wake-up
+/// latency: an execution admitted by the guard deterministically lands
+/// its response at the client before the client's deadline fires, so a
+/// deadline timeout implies the invocation did not (and will not)
+/// execute — the invariant the retry path's zero-double-execution gate
+/// rests on.
+constexpr Duration kDeadlineMargin = 100_us;
+
+}  // namespace
+
 sim::Task<void> Worker::execute_and_reply(const fabric::Wc& wc, bool hot) {
   sandbox_.last_invocation = mgr_.engine_.now();
   const auto& sb_model = mgr_.config_.sandbox(sandbox_.type);
@@ -166,7 +182,37 @@ sim::Task<void> Worker::execute_and_reply(const fabric::Wc& wc, bool hot) {
   const std::uint16_t fn_index = Imm::fn_index(wc.imm);
   const CodePackage* code =
       fn_index < sandbox_.codes.size() ? sandbox_.codes[fn_index] : nullptr;
-  const bool rejected = !hot && !holds_core_;
+  bool rejected = !hot && !holds_core_;
+
+  // Injected executor fault, drawn before any timed work so the RNG
+  // stream depends only on the seed and the dispatch order (replayable
+  // from RFS_CHAOS_SEED like link faults).
+  net::WorkerFaultInjector::Decision fault;
+  if (mgr_.worker_faults_ != nullptr) fault = mgr_.worker_faults_->decide(mgr_.device_.id());
+
+  // Worker crash: the process dies before user code runs — no reply, no
+  // execution, the connection drops. Only the client's deadline (or a
+  // flushed CQ) surfaces this.
+  if (fault.crash) {
+    running_ = false;
+    if (conn_) conn_->close();
+    co_return;
+  }
+
+  // Stuck sandbox: the invocation wedges forever. Teardown must not
+  // wait for it (drain() checks wedged_) and the warm pool never adopts
+  // its sandbox (poolable()).
+  if (fault.stuck) {
+    wedged_ = true;
+    co_await wedge_.wait();  // never set: parked until simulation end
+    co_return;
+  }
+
+  // Gray slowness: a pre-dispatch stall (host alive but degraded).
+  // Injected before the deadline guard so a pause that overruns the
+  // client's deadline becomes a deadline drop — never a late execution
+  // racing the client's retry.
+  if (fault.gray_delay > 0) co_await sim::delay(fault.gray_delay);
 
   // Dispatch: header parse + function lookup (+ virtualized NIC cost).
   const Duration dispatch =
@@ -179,23 +225,84 @@ sim::Task<void> Worker::execute_and_reply(const fabric::Wc& wc, bool hot) {
       wc.byte_len >= InvocationHeader::kSize
           ? wc.byte_len - static_cast<std::uint32_t>(InvocationHeader::kSize)
           : 0;
+  const std::uint64_t tag = header.invocation_tag;
+
+  // Modelled execution time is known up front (the simulation charges it
+  // in virtual time), which lets the deadline guard below prove whether
+  // this invocation can still answer in time.
+  Duration compute = 0;
+  if (code != nullptr) {
+    double multiplier = 1.0;
+    if (sandbox_.type == SandboxType::Docker) {
+      multiplier = code->docker_compute_multiplier > 0.0 ? code->docker_compute_multiplier
+                                                         : sb_model.compute_multiplier;
+    }
+    compute = static_cast<Duration>(
+        static_cast<double>(code->compute_time(input_size)) * multiplier);
+  }
+
+  bool dropped = false;
+
+  // Hedge-loser cancellation parked on the manager beat us to dispatch.
+  if (tag != 0 && mgr_.consume_cancel(tag)) {
+    ++mgr_.cancelled_drops_;
+    rejected = true;
+    dropped = true;
+  }
+
+  // Deadline guard: if the modelled execution cannot complete — with a
+  // margin covering the reply's flight — before the client's deadline,
+  // the client has (or will have) timed out and retried elsewhere.
+  // Executing now would be the classic retry double-execution; drop.
+  if (!dropped && header.deadline != 0 &&
+      mgr_.engine_.now() + compute + kDeadlineMargin > header.deadline) {
+    ++mgr_.deadline_drops_;
+    rejected = true;
+    dropped = true;
+  }
+
+  // Request integrity: a checksum mismatch means the payload was mangled
+  // in flight; reject rather than execute garbage bytes.
+  if (!dropped && header.checksum != 0 &&
+      payload_checksum(recv_buf_->raw() + InvocationHeader::kSize, input_size) !=
+          header.checksum) {
+    rejected = true;
+    dropped = true;
+  }
 
   std::uint32_t out_len = 0;
-  if (!rejected && code != nullptr) {
+  std::uint32_t reply_csum = 0;
+  const ExecutorManager::DedupEntry* dup =
+      (!dropped && tag != 0) ? mgr_.dedup_find(tag) : nullptr;
+  if (dup != nullptr) {
+    // Idempotent replay: this tag already executed on this manager (a
+    // retry or hedge twin). Return the stored clean result without
+    // running user code again.
+    out_len = static_cast<std::uint32_t>(dup->output.size());
+    std::memcpy(out_buf_->raw(), dup->output.data(), out_len);
+    reply_csum = dup->checksum12;
+    rejected = false;
+    ++mgr_.dedup_replays_;
+    ++served_;
+  } else if (!rejected && code != nullptr) {
+    if (mgr_.worker_faults_ != nullptr) (void)mgr_.worker_faults_->note_execution(tag);
     const CodePackage& pkg = *code;
     // Run the real user code on the real bytes...
     out_len = pkg.entry(recv_buf_->raw() + InvocationHeader::kSize, input_size, out_buf_->raw());
     // ...and charge its modelled duration in virtual time.
-    double multiplier = 1.0;
-    if (sandbox_.type == SandboxType::Docker) {
-      multiplier = pkg.docker_compute_multiplier > 0.0 ? pkg.docker_compute_multiplier
-                                                       : sb_model.compute_multiplier;
-    }
-    const auto compute = static_cast<Duration>(
-        static_cast<double>(pkg.compute_time(input_size)) * multiplier);
     if (compute > 0) co_await mgr_.host_.compute_on_held_core(compute);
     mgr_.account_compute(sandbox_.client_id, compute + dispatch);
     ++served_;
+    // Stamp the reply checksum and store the clean result for replay
+    // BEFORE any injected corruption: the client detects the flipped
+    // bytes by the mismatch, and its same-worker retry replays the
+    // stored clean copy instead of re-executing.
+    if (header.checksum != 0) reply_csum = fold12(payload_checksum(out_buf_->raw(), out_len));
+    if (tag != 0) mgr_.dedup_record(tag, reply_csum, out_buf_->raw(), out_len);
+    if (fault.corrupt && out_len > 0) {
+      out_buf_->raw()[0] ^= 0xFF;
+      out_buf_->raw()[out_len - 1] ^= 0xFF;
+    }
   } else {
     ++rejected_;
   }
@@ -206,7 +313,8 @@ sim::Task<void> Worker::execute_and_reply(const fabric::Wc& wc, bool hot) {
   // Write the result (or the rejection notice) directly into the client's
   // memory using the header's address and access key.
   rdmalib::RemoteBuffer dst{header.result_addr, header.result_rkey, out_len};
-  const std::uint32_t imm = Imm::result(invocation_id, rejected || code == nullptr);
+  const std::uint32_t imm =
+      Imm::result(invocation_id, rejected || code == nullptr, reply_csum);
   const bool inline_ok = out_len <= mgr_.fabric_.model().max_inline;
   auto st = conn_->post_write_imm(out_buf_->sge_data(out_len), dst, imm, invocation_id,
                                   inline_ok);
@@ -406,6 +514,16 @@ sim::Task<void> ExecutorManager::handle_stream(std::shared_ptr<net::TcpStream> s
         stream->send(encode(MsgType::DeallocateOk));
         break;
       }
+      case MsgType::InvocationCancel: {
+        // Hedge-loser suppression: fire-and-forget (no reply — the
+        // canceller is racing the invocation and never waits on us).
+        // Parking the tag is enough: a dispatch that has not started yet
+        // consumes it and drops; one already past dispatch is absorbed
+        // by the dedup table on the client's side instead.
+        auto req = decode_invocation_cancel(*raw);
+        if (req) note_cancel(req.value().invocation_tag);
+        break;
+      }
       default:
         stream->send(encode_lease_error("unexpected message type"));
         break;
@@ -588,7 +706,43 @@ sim::Task<void> ExecutorManager::teardown_sandbox(Sandbox& sb, bool notify_rm) {
 }
 
 bool ExecutorManager::poolable(const Sandbox& sb) const {
+  // A wedged (stuck-fault) worker never completes its invocation, so its
+  // sandbox can never be revived — rearm() would wait on done() forever.
+  for (const auto& w : sb.workers) {
+    if (w->wedged()) return false;
+  }
   return alive_ && config_.warm_pool_capacity > 0 && !sb.workers.empty();
+}
+
+const ExecutorManager::DedupEntry* ExecutorManager::dedup_find(std::uint64_t tag) const {
+  auto it = dedup_.find(tag);
+  return it == dedup_.end() ? nullptr : &it->second;
+}
+
+void ExecutorManager::dedup_record(std::uint64_t tag, std::uint32_t checksum12,
+                                   const std::uint8_t* out, std::uint32_t len) {
+  if (dedup_.contains(tag)) return;
+  dedup_fifo_.push_back(tag);
+  if (dedup_fifo_.size() > kDedupWindow) {
+    dedup_.erase(dedup_fifo_.front());
+    dedup_fifo_.pop_front();
+  }
+  DedupEntry& e = dedup_[tag];
+  e.checksum12 = checksum12;
+  e.output.assign(out, out + len);
+}
+
+void ExecutorManager::note_cancel(std::uint64_t tag) {
+  if (tag == 0 || !cancelled_tags_.insert(tag).second) return;
+  cancel_fifo_.push_back(tag);
+  if (cancel_fifo_.size() > kCancelWindow) {
+    cancelled_tags_.erase(cancel_fifo_.front());
+    cancel_fifo_.pop_front();
+  }
+}
+
+bool ExecutorManager::consume_cancel(std::uint64_t tag) {
+  return cancelled_tags_.erase(tag) != 0;
 }
 
 std::unique_ptr<Sandbox> ExecutorManager::take_from_pool(const AllocationRequestMsg& req,

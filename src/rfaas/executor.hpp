@@ -18,8 +18,11 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "net/faulty.hpp"
 #include "net/tcp.hpp"
 #include "rdmalib/buffer.hpp"
 #include "rdmalib/connection.hpp"
@@ -75,6 +78,10 @@ class Worker {
   [[nodiscard]] std::uint64_t served() const { return served_; }
   [[nodiscard]] std::uint64_t rejections() const { return rejected_; }
   [[nodiscard]] bool hot() const { return hot_; }
+  /// True once an injected stuck-sandbox fault wedged this worker: its
+  /// invocation will never complete, so teardown must not wait for it
+  /// and the warm pool must never adopt its sandbox.
+  [[nodiscard]] bool wedged() const { return wedged_; }
 
  private:
   friend class ExecutorManager;
@@ -90,6 +97,7 @@ class Worker {
   std::unique_ptr<rdmalib::Connection> conn_;
   sim::Event connected_;
   sim::Event done_;
+  sim::Event wedge_;  // never set: a stuck worker parks on it forever
   fabric::ProtectionDomain* pd_ = nullptr;
   std::unique_ptr<rdmalib::Buffer<std::uint8_t>> recv_buf_;
   std::unique_ptr<rdmalib::Buffer<std::uint8_t>> out_buf_;
@@ -97,6 +105,7 @@ class Worker {
   bool hot_ = false;
   bool holds_core_ = false;
   bool in_flight_ = false;  // an accepted invocation is executing
+  bool wedged_ = false;     // injected stuck fault: never completes
   std::uint64_t served_ = 0;
   std::uint64_t rejected_ = 0;
 };
@@ -207,6 +216,18 @@ class ExecutorManager {
   /// were allowed to finish (graceful drain), instead of being cut off.
   [[nodiscard]] std::uint64_t drained_in_flight() const { return drained_in_flight_; }
 
+  /// Wires the seeded executor-fault injector (chaos harness). nullptr
+  /// (the default) means no injected worker faults.
+  void set_worker_faults(net::WorkerFaultInjector* faults) { worker_faults_ = faults; }
+  /// Invocations replayed from the dedup table instead of re-executing
+  /// (retries/hedges of an already-executed tag).
+  [[nodiscard]] std::uint64_t dedup_replays() const { return dedup_replays_; }
+  /// Invocations dropped because their client-side deadline had already
+  /// passed (or could not be met) at dispatch.
+  [[nodiscard]] std::uint64_t deadline_drops() const { return deadline_drops_; }
+  /// Invocations suppressed by a hedge-loser cancel that arrived first.
+  [[nodiscard]] std::uint64_t cancelled_drops() const { return cancelled_drops_; }
+
  private:
   friend class Worker;
 
@@ -247,6 +268,22 @@ class ExecutorManager {
   /// re-allocate + re-fault 8 MiB regions per worker.
   std::unique_ptr<rdmalib::Buffer<std::uint8_t>> take_pooled_buffer(std::uint64_t bytes);
   void recycle_buffer(std::unique_ptr<rdmalib::Buffer<std::uint8_t>> buf);
+
+  /// Idempotency dedup table (bounded window): a tag that already
+  /// executed on this manager replays its stored reply instead of
+  /// running user code again. Entry absent = never executed here.
+  struct DedupEntry {
+    std::uint32_t checksum12 = 0;           ///< reply imm checksum (0 = unchecked)
+    std::vector<std::uint8_t> output;       ///< completed result bytes
+  };
+  [[nodiscard]] const DedupEntry* dedup_find(std::uint64_t tag) const;
+  void dedup_record(std::uint64_t tag, std::uint32_t checksum12,
+                    const std::uint8_t* out, std::uint32_t len);
+  /// Hedge-loser cancellation: parks `tag` so a not-yet-dispatched
+  /// invocation carrying it is dropped instead of executed.
+  void note_cancel(std::uint64_t tag);
+  /// True (and consumes the parked cancel) when `tag` was cancelled.
+  bool consume_cancel(std::uint64_t tag);
 
   sim::Engine& engine_;
   fabric::Fabric& fabric_;
@@ -302,6 +339,20 @@ class ExecutorManager {
   /// Bumped per registration attempt; the manager fences RegisterExecutor
   /// retransmissions from superseded sessions by this epoch.
   std::uint64_t registration_epoch_ = 0;
+
+  /// Data-plane fault tolerance (PR 10). The injector is harness-owned;
+  /// dedup/cancel windows are bounded FIFOs so a long-lived manager's
+  /// memory stays flat.
+  net::WorkerFaultInjector* worker_faults_ = nullptr;
+  static constexpr std::size_t kDedupWindow = 128;
+  std::unordered_map<std::uint64_t, DedupEntry> dedup_;
+  std::deque<std::uint64_t> dedup_fifo_;
+  static constexpr std::size_t kCancelWindow = 256;
+  std::unordered_set<std::uint64_t> cancelled_tags_;
+  std::deque<std::uint64_t> cancel_fifo_;
+  std::uint64_t dedup_replays_ = 0;
+  std::uint64_t deadline_drops_ = 0;
+  std::uint64_t cancelled_drops_ = 0;
 };
 
 }  // namespace rfs::rfaas

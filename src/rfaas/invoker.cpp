@@ -512,31 +512,60 @@ sim::Task<void> LeaseSet::renew_loop(std::shared_ptr<State> state, std::uint64_t
       continue;
     }
 
-    // Earliest moment any lease needs attention.
-    Time due = 0;
+    // Sync the renewal timer wheel with the tracked set: every lease
+    // gets one timer at (expires_at - margin); track()/renewal moved a
+    // deadline -> rearm; untracked leases lose their timer. The wheel
+    // replaces the per-iteration O(leases) min-scan with O(changes).
     for (const auto& [id, t] : state->leases) {
       const Duration margin = effective_margin(state->options, t.original_timeout);
-      const Time at = t.expires_at > margin ? t.expires_at - margin : 0;
-      if (due == 0 || at < due) due = at;
+      // Clamp to 1: the wheel reserves deadline 0 for "nothing armed",
+      // and a past-due deadline still fires on the next advance().
+      const Time at = std::max<Time>(t.expires_at > margin ? t.expires_at - margin : 0, 1);
+      auto timer_it = state->lease_timers.find(id);
+      if (timer_it == state->lease_timers.end()) {
+        const auto tid = state->renew_wheel.arm(at);
+        state->lease_timers.emplace(id, tid);
+        state->timer_leases.emplace(tid, id);
+      } else if (state->renew_wheel.deadline_of(timer_it->second) != at) {
+        (void)state->renew_wheel.rearm(timer_it->second, at);
+      }
     }
+    for (auto it = state->lease_timers.begin(); it != state->lease_timers.end();) {
+      if (!state->leases.contains(it->first)) {
+        state->renew_wheel.cancel(it->second);
+        state->timer_leases.erase(it->second);
+        it = state->lease_timers.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    const Time due = state->renew_wheel.next_deadline();
     if (due > engine.now()) {
       // Sleep until the earliest renewal is due, interruptibly: track()
       // may add a lease due sooner than this target and stop() must not
       // leave the actor dozing — both set the wake event, and the waker
-      // sets it at the deadline. Either way the loop recomputes.
+      // sets it at the deadline. Either way the loop recomputes (and the
+      // top-of-loop sync re-arms the wheel for whatever changed).
       state->wake.reset();
       sim::spawn(engine, wake_at(state, due - engine.now()));
       co_await state->wake.wait();
       continue;
     }
 
-    // Renew everything inside its margin. Ids are snapshotted because
-    // renew_one suspends (and may untrack on expiry).
+    // Fire everything due. Ids are snapshotted because renew_one
+    // suspends (and may untrack on expiry); a renewal that fails
+    // transiently re-arms at its (now past) deadline on the next sync,
+    // so the retry is immediate but bounded by the backoff below.
+    std::vector<sim::TimerWheel::Id> fired;
+    state->renew_wheel.advance(engine.now(), fired);
     std::vector<std::uint64_t> due_ids;
-    for (const auto& [id, t] : state->leases) {
-      if (t.expires_at - effective_margin(state->options, t.original_timeout) <= engine.now()) {
-        due_ids.push_back(id);
-      }
+    for (const auto tid : fired) {
+      auto lease_it = state->timer_leases.find(tid);
+      if (lease_it == state->timer_leases.end()) continue;  // untracked meanwhile
+      due_ids.push_back(lease_it->second);
+      state->lease_timers.erase(lease_it->second);
+      state->timer_leases.erase(lease_it);
     }
     bool failed = false;
     for (std::uint64_t id : due_ids) {
@@ -841,6 +870,7 @@ sim::Task<Status> Invoker::deploy_grant(const AllocationSpec& spec, const LeaseG
 
   // Stage 4: direct RDMA connections to every worker (D2).
   t0 = engine_.now();
+  const std::size_t first_worker = workers_.size();
   sim::WaitGroup wg(grant.workers);
   bool connect_failed = false;
   for (std::uint32_t i = 0; i < grant.workers; ++i) {
@@ -855,6 +885,13 @@ sim::Task<Status> Invoker::deploy_grant(const AllocationSpec& spec, const LeaseG
   }
   co_await wg.wait();
   if (connect_failed) co_return Error::make(44, "worker connection failed");
+  // Stamp the grant's workers with their executor identity and control
+  // channel: health scoring keys on the device, and a hedged attempt's
+  // loser is cancelled over the manager stream.
+  for (std::size_t w = first_worker; w < workers_.size(); ++w) {
+    workers_[w].device = grant.device;
+    workers_[w].mgr_stream = mgr_stream;
+  }
   cold_start_.connect_workers += engine_.now() - t0;
 
   // Stage 5: submit the function code. The message is padded to the
@@ -968,22 +1005,28 @@ sim::Task<InvocationResult> Invoker::invoke_pooled(std::uint16_t fn_index,
   const std::size_t n = std::min<std::size_t>(payload.size(), slot.in.payload_bytes());
   if (n > 0) std::memcpy(slot.in.data(), payload.data(), n);
 
-  // Redirect loop, like submit(): rejected warm invocations move to the
-  // next free worker.
-  const std::size_t max_attempts = workers_.empty() ? 1 : 2 * workers_.size();
-  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
-    co_await slots_->acquire();
-    const std::size_t widx = free_workers_.front();
-    free_workers_.pop_front();
+  if (config_.fault_tolerance.enabled()) {
+    // Fault-tolerant path: per-attempt deadlines, budgeted retries,
+    // optional hedging. Same pooled slot, same zero-allocation frame.
+    result = co_await invoke_pooled_reliable(fn_index, slot_idx, n);
+  } else {
+    // Redirect loop, like submit(): rejected warm invocations move to
+    // the next free worker.
+    const std::size_t max_attempts = workers_.empty() ? 1 : 2 * workers_.size();
+    for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+      co_await slots_->acquire();
+      const std::size_t widx = free_workers_.front();
+      free_workers_.pop_front();
 
-    result = co_await invoke_pooled_on(widx, fn_index, slot, n);
+      result = co_await invoke_pooled_on(widx, fn_index, slot, n);
 
-    free_workers_.push_back(widx);
-    slots_->release();
+      free_workers_.push_back(widx);
+      slots_->release();
 
-    if (result.ok) break;
-    if (result.rejected) ++rejections_;
-    co_await sim::delay(2_us);
+      if (result.ok) break;
+      if (result.rejected) ++rejections_;
+      co_await sim::delay(2_us);
+    }
   }
   free_slots_.push_back(slot_idx);
   slot_sem_->release();
@@ -994,7 +1037,8 @@ sim::Task<InvocationResult> Invoker::invoke_pooled(std::uint16_t fn_index,
 sim::Task<InvocationResult> Invoker::invoke_pooled_on(std::size_t worker,
                                                       std::uint16_t fn_index,
                                                       InvocationSlot& slot,
-                                                      std::size_t payload_bytes) {
+                                                      std::size_t payload_bytes,
+                                                      std::uint64_t tag, Time deadline) {
   InvocationResult result;
   result.submitted_at = engine_.now();
   WorkerRef& w = workers_[worker];
@@ -1006,10 +1050,17 @@ sim::Task<InvocationResult> Invoker::invoke_pooled_on(std::size_t worker,
   const std::uint32_t invocation_id = next_invocation_++ & 0x7FFFFu;
 
   // Frame fast path: pack the header straight into the slot's registered
-  // region — no staging buffer, no allocation.
+  // region — no staging buffer, no allocation. The fault-tolerant path
+  // adds the idempotent tag, the per-attempt deadline and (optionally)
+  // a request checksum; all land in the same 32 B header.
   InvocationHeader header;
   header.result_addr = reinterpret_cast<std::uint64_t>(slot.out.raw());
   header.result_rkey = slot.out.mr() != nullptr ? slot.out.mr()->rkey() : 0;
+  header.invocation_tag = tag;
+  header.deadline = deadline;
+  header.checksum = tag != 0 && config_.fault_tolerance.checksum
+                        ? payload_checksum(slot.in.data(), payload_bytes)
+                        : 0;
   (void)encode_into(header, slot.in.raw(), InvocationHeader::kSize);
 
   (void)w.conn->post_recv_empty(invocation_id);
@@ -1032,20 +1083,323 @@ sim::Task<InvocationResult> Invoker::invoke_pooled_on(std::size_t worker,
     co_return result;
   }
 
-  auto wc = polling_client_ ? co_await w.conn->wait_recv_polling()
-                            : co_await w.conn->wait_recv_blocking();
+  fabric::Wc wc;
+  if (deadline != 0) {
+    // Deadline-bounded wait: an executor that crashed or wedged after
+    // the submit surfaces as a timeout instead of blocking forever.
+    std::optional<fabric::Wc> maybe;
+    if (polling_client_) {
+      maybe = co_await w.conn->wait_recv_polling_until(deadline);
+    } else {
+      maybe = co_await w.conn->wait_recv_blocking_until(deadline);
+    }
+    if (!maybe.has_value()) {
+      result.timed_out = true;
+      result.completed_at = engine_.now();
+      co_return result;
+    }
+    wc = *maybe;
+  } else if (polling_client_) {
+    wc = co_await w.conn->wait_recv_polling();
+  } else {
+    wc = co_await w.conn->wait_recv_blocking();
+  }
   co_await sim::delay(config_.client_completion);
   result.completed_at = engine_.now();
   if (wc.status != fabric::WcStatus::Success || !wc.has_imm) co_return result;
   const InvocationResponse resp = decode_invocation_response(wc);
   if (resp.invocation_id != invocation_id) {
-    log::warn("invoker", "immediate mismatch: got ", wc.imm, " expected ", invocation_id);
+    // With FT on, a reaped worker's stale completion can legitimately
+    // surface here (the abandoned attempt's reply raced the reap).
+    if (tag == 0) {
+      log::warn("invoker", "immediate mismatch: got ", wc.imm, " expected ", invocation_id);
+    } else {
+      log::debug("invoker", "stale immediate: got ", wc.imm, " expected ", invocation_id);
+    }
     co_return result;
   }
   result.rejected = resp.rejected;
   result.ok = !resp.rejected;
   result.output_bytes = resp.output_bytes;
+  if (result.ok && resp.checksum12 != 0 &&
+      fold12(payload_checksum(slot.out.raw(), resp.output_bytes)) != resp.checksum12) {
+    // The responder checksummed its output and the landed bytes do not
+    // match: response corrupted in flight. Surfaced for a same-worker
+    // retry — the executor's dedup table replays a clean copy.
+    result.ok = false;
+    result.corrupt = true;
+  }
   co_return result;
+}
+
+// --------------------------------------------------------------------------
+// Fault-tolerant data plane (client side)
+// --------------------------------------------------------------------------
+
+std::uint64_t Invoker::mint_tag() {
+  // (client epoch << 32) | seq: globally unique across clients (+1 keeps
+  // client 0 out of the tag==0 "FT off" sentinel), monotone per client —
+  // the executor dedup table keys replay detection on it.
+  return (static_cast<std::uint64_t>(client_id_ + 1) << 32) | (++next_tag_seq_ & 0xFFFFFFFFu);
+}
+
+std::size_t Invoker::pick_worker() {
+  const Time now = engine_.now();
+  // HalfOpen probe admission first: a breaker whose Open window expired
+  // wants exactly one probe through, but healthy workers sit at the
+  // front of the rotation, so the plain scan below would never revisit
+  // the deprioritized device — it could stay Open forever (and the
+  // manager would never see the repeat trips that trigger quarantine).
+  for (auto it = free_workers_.begin(); it != free_workers_.end(); ++it) {
+    auto h = health_.find(workers_[*it].device);
+    if (h != health_.end() && h->second.state() != HealthTracker::Breaker::Closed &&
+        h->second.allow(now)) {
+      const std::size_t widx = *it;
+      free_workers_.erase(it);
+      return widx;
+    }
+  }
+  // Prefer a worker whose executor's breaker admits traffic; fall back
+  // to plain FIFO when every executor is quarantined — a gray attempt
+  // bounded by the deadline beats refusing to try at all.
+  for (auto it = free_workers_.begin(); it != free_workers_.end(); ++it) {
+    auto h = health_.find(workers_[*it].device);
+    if (h == health_.end() || h->second.allow(now)) {
+      const std::size_t widx = *it;
+      free_workers_.erase(it);
+      return widx;
+    }
+  }
+  const std::size_t widx = free_workers_.front();
+  free_workers_.pop_front();
+  return widx;
+}
+
+std::size_t Invoker::pick_worker_avoiding(fabric::DeviceId device) {
+  // Hedge-backup selection: the backup exists to cover a straggling
+  // primary, so it must not land on the primary's (possibly gray)
+  // executor when any other device has a free healthy worker.
+  const Time now = engine_.now();
+  for (auto it = free_workers_.begin(); it != free_workers_.end(); ++it) {
+    if (workers_[*it].device == device) continue;
+    auto h = health_.find(workers_[*it].device);
+    if (h == health_.end() || h->second.allow(now)) {
+      const std::size_t widx = *it;
+      free_workers_.erase(it);
+      return widx;
+    }
+  }
+  return pick_worker();
+}
+
+void Invoker::release_worker(std::size_t widx) {
+  free_workers_.push_back(widx);
+  slots_->release();
+}
+
+sim::Task<void> Invoker::reap_worker(std::size_t widx) {
+  // A timed-out attempt may still get its (late) completion; drain it
+  // off-path before the worker rejoins the rotation, or the next
+  // invocation on this worker would consume a stale immediate. The grace
+  // must outlast the longest gray pause the chaos layer injects, so a
+  // slow-but-alive worker comes back; a wedged or dead one never does.
+  constexpr Duration kReapGrace = 50_ms;
+  WorkerRef& w = workers_[widx];
+  if (w.conn == nullptr || !w.conn->alive()) co_return;  // dead: stays out
+  auto late = co_await w.conn->wait_recv_polling_until(engine_.now() + kReapGrace);
+  if (!late.has_value()) co_return;  // nothing came: wedged/stuck, keep out
+  if (late->status != fabric::WcStatus::Success) co_return;  // flushed: dead
+  if (w.conn == nullptr || !w.conn->alive()) co_return;
+  release_worker(widx);
+}
+
+void Invoker::record_outcome(fabric::DeviceId device, bool ok, Duration latency) {
+  auto [it, inserted] = health_.try_emplace(device, config_.fault_tolerance);
+  HealthTracker& h = it->second;
+  const unsigned trips_before = h.trips();
+  h.record(ok, latency, engine_.now());
+  if (ok) {
+    const double a = config_.fault_tolerance.ewma_alpha;
+    latency_ewma_ = latency_ewma_ == 0
+                        ? static_cast<double>(latency)
+                        : (1.0 - a) * latency_ewma_ + a * static_cast<double>(latency);
+  }
+  if (h.trips() > trips_before) {
+    ++breaker_trips_;
+    // Tell the resource manager: the registry deprioritizes the gray
+    // executor for everyone, and repeated trips quarantine it outright.
+    if (rm_session_ != nullptr && !rm_session_->closed()) {
+      HealthReportMsg msg;
+      msg.client_id = client_id_;
+      msg.device = static_cast<std::uint32_t>(device);
+      msg.latency_us = static_cast<std::uint32_t>(h.ewma_latency() / 1'000);
+      msg.ok_count = h.ok_count();
+      msg.fail_count = h.fail_count();
+      sim::spawn(engine_, send_health_report(rm_session_, msg));
+    }
+  }
+}
+
+sim::Task<void> Invoker::send_health_report(std::shared_ptr<Session> session,
+                                            HealthReportMsg msg) {
+  msg.request_id = session->next_request_id();
+  (void)co_await session->call(encode(msg), msg.request_id);
+}
+
+sim::Task<InvocationResult> Invoker::invoke_pooled_reliable(std::uint16_t fn_index,
+                                                            std::size_t slot_idx,
+                                                            std::size_t payload_bytes) {
+  const FaultToleranceConfig& ft = config_.fault_tolerance;
+  constexpr std::size_t kNoWorker = static_cast<std::size_t>(-1);
+  InvocationResult result;
+  const std::uint64_t tag = mint_tag();
+  std::size_t widx = kNoWorker;  // owned worker carried across attempts
+
+  for (std::uint32_t attempt = 0; attempt <= ft.retry_budget; ++attempt) {
+    if (widx == kNoWorker) {
+      co_await slots_->acquire();
+      widx = pick_worker();
+    }
+    // Per-attempt deadline: the header carries it, so the executor-side
+    // margin guard can prove a late execution would race this client's
+    // retry and drop it — the deterministic no-double-execution pact.
+    const Time deadline = engine_.now() + ft.invocation_deadline;
+
+    if (attempt == 0 && ft.hedging) {
+      result = co_await run_hedged(widx, fn_index, slot_idx, payload_bytes, tag, deadline);
+      widx = kNoWorker;  // run_hedged's attempts released/reaped their workers
+    } else {
+      result = co_await invoke_pooled_on(widx, fn_index, *slot_pool_[slot_idx], payload_bytes,
+                                         tag, deadline);
+      record_outcome(workers_[widx].device, result.ok,
+                     result.completed_at - result.submitted_at);
+      if (result.ok) {
+        release_worker(widx);
+        widx = kNoWorker;
+      } else if (result.corrupt && workers_[widx].conn != nullptr &&
+                 workers_[widx].conn->alive()) {
+        // Response mangled in flight: retry on the SAME worker, where
+        // the executor's dedup table replays the stored clean output
+        // instead of re-executing. Keep the worker owned.
+        ++corruptions_detected_;
+      } else {
+        if (result.timed_out) {
+          ++timeouts_;
+          sim::spawn(engine_, reap_worker(widx));
+        } else if (workers_[widx].conn == nullptr || !workers_[widx].conn->alive()) {
+          // Dead connection: permanently out of the rotation.
+        } else {
+          release_worker(widx);
+        }
+        widx = kNoWorker;
+      }
+    }
+
+    if (result.ok) {
+      result.attempts = attempt + 1;
+      break;
+    }
+    if (attempt < ft.retry_budget) ++retries_;
+    if (result.rejected) {
+      ++rejections_;
+      co_await sim::delay(2_us);
+    }
+  }
+  if (widx != kNoWorker) release_worker(widx);
+  co_return result;
+}
+
+sim::Task<InvocationResult> Invoker::run_hedged(std::size_t widx, std::uint16_t fn_index,
+                                                std::size_t slot_idx, std::size_t payload_bytes,
+                                                std::uint64_t tag, Time deadline) {
+  auto hs = std::make_shared<Hedge>();
+  hs->pending = 1;
+  hs->in_flight.push_back(widx);
+  sim::spawn(engine_,
+             hedge_attempt(hs, widx, fn_index, slot_idx, payload_bytes, tag, deadline, false));
+  sim::spawn(engine_, hedge_backup(hs, fn_index, slot_idx, payload_bytes, tag, deadline,
+                                   workers_[widx].device));
+  co_await hs->done.wait();
+  // First response won; cancel every attempt still in flight on its
+  // executor manager (fire-and-forget — a cancel that loses the race
+  // costs one wasted execution absorbed by the dedup table, never a
+  // wrong result).
+  for (const std::size_t loser : hs->in_flight) {
+    auto& stream = workers_[loser].mgr_stream;
+    if (stream != nullptr && !stream->closed()) {
+      InvocationCancelMsg msg;
+      msg.client_id = client_id_;
+      msg.invocation_tag = tag;
+      stream->send(encode(msg));
+    }
+  }
+  if (hs->result.hedge_won) ++hedge_wins_;
+  co_return hs->result;
+}
+
+sim::Task<void> Invoker::hedge_attempt(std::shared_ptr<Hedge> hs, std::size_t widx,
+                                       std::uint16_t fn_index, std::size_t slot_idx,
+                                       std::size_t payload_bytes, std::uint64_t tag,
+                                       Time deadline, bool is_backup) {
+  InvocationResult r = co_await invoke_pooled_on(widx, fn_index, *slot_pool_[slot_idx],
+                                                 payload_bytes, tag, deadline);
+  record_outcome(workers_[widx].device, r.ok, r.completed_at - r.submitted_at);
+  if (r.timed_out) {
+    ++timeouts_;
+    sim::spawn(engine_, reap_worker(widx));
+  } else if (workers_[widx].conn == nullptr || !workers_[widx].conn->alive()) {
+    // Dead connection: permanently out of the rotation.
+  } else {
+    release_worker(widx);
+  }
+  if (is_backup) {
+    // Return the staging slot the backup borrowed from the pool.
+    free_slots_.push_back(slot_idx);
+    slot_sem_->release();
+  }
+  std::erase(hs->in_flight, widx);
+  --hs->pending;
+  if (!hs->resolved && (r.ok || hs->pending == 0)) {
+    hs->resolved = true;
+    hs->result = r;
+    hs->result.hedge_won = is_backup && r.ok;
+    hs->done.pulse();
+  }
+}
+
+sim::Task<void> Invoker::hedge_backup(std::shared_ptr<Hedge> hs, std::uint16_t fn_index,
+                                      std::size_t primary_slot_idx, std::size_t payload_bytes,
+                                      std::uint64_t tag, Time deadline,
+                                      fabric::DeviceId primary_device) {
+  // Launch the backup only once the primary has outlived the expected
+  // completion time (p99-ish: 4x the healthy latency EWMA) — hedges are
+  // for stragglers, not a 2x tax on every invocation.
+  const FaultToleranceConfig& ft = config_.fault_tolerance;
+  const Duration hedge_delay =
+      ft.hedge_delay != 0
+          ? ft.hedge_delay
+          : (latency_ewma_ > 0 ? static_cast<Duration>(4 * latency_ewma_) : 200_us);
+  co_await sim::delay(hedge_delay);
+  if (hs->resolved) co_return;               // primary answered in time
+  if (free_workers_.empty()) co_return;      // no spare worker: skip the hedge
+  if (!slot_sem_->try_acquire()) co_return;  // no spare slot: skip the hedge
+  const std::size_t slot2 = free_slots_.front();
+  free_slots_.pop_front();
+  // Stage the request into the backup's own slot — the primary's slot
+  // memory belongs to the write already in flight.
+  std::memcpy(slot_pool_[slot2]->in.data(), slot_pool_[primary_slot_idx]->in.data(),
+              payload_bytes);
+  if (!slots_->try_acquire()) {  // workers vanished since the check
+    free_slots_.push_back(slot2);
+    slot_sem_->release();
+    co_return;
+  }
+  const std::size_t widx2 = pick_worker_avoiding(primary_device);
+  ++hedges_launched_;
+  ++hs->pending;
+  hs->in_flight.push_back(widx2);
+  sim::spawn(engine_,
+             hedge_attempt(hs, widx2, fn_index, slot2, payload_bytes, tag, deadline, true));
 }
 
 sim::Future<InvocationResult> Invoker::submit_raw(std::uint16_t fn_index,
@@ -1065,20 +1419,50 @@ sim::Task<void> Invoker::run_submission(std::uint16_t fn_index, std::uint8_t* he
   const Time submitted = engine_.now();
   InvocationResult result;
 
+  // With fault tolerance on, every attempt carries an idempotent tag
+  // (executor-side dedup) and a per-attempt deadline — the submit path
+  // gets deadlines and retries but no hedging (it has no pooled backup
+  // slot to stage a second copy in).
+  const FaultToleranceConfig& ft = config_.fault_tolerance;
+  const std::uint64_t tag = ft.enabled() ? mint_tag() : 0;
+
   // Redirect loop: a rejected warm invocation is re-sent to another
   // executor; RDMA-speed rejections make this cheap (Sec. III-D).
-  const std::size_t max_attempts = workers_.empty() ? 1 : 2 * workers_.size();
+  const std::size_t redirect_attempts = workers_.empty() ? 1 : 2 * workers_.size();
+  const std::size_t max_attempts =
+      ft.enabled() ? std::max<std::size_t>(redirect_attempts, 1 + ft.retry_budget)
+                   : redirect_attempts;
   for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
     co_await slots_->acquire();
-    std::size_t idx = free_workers_.front();
-    free_workers_.pop_front();
+    std::size_t idx = ft.enabled() ? pick_worker() : free_workers_.front();
+    if (!ft.enabled()) free_workers_.pop_front();
+    const Time deadline = ft.enabled() ? engine_.now() + ft.invocation_deadline : 0;
 
-    result = co_await invoke_on(idx, fn_index, header_ptr, sge, out);
+    result = co_await invoke_on(idx, fn_index, header_ptr, sge, out, tag, deadline);
 
-    free_workers_.push_back(idx);
-    slots_->release();
+    if (ft.enabled()) {
+      record_outcome(workers_[idx].device, result.ok,
+                     result.completed_at - result.submitted_at);
+      if (result.timed_out) {
+        // The worker may still get a late completion; reap it off-path
+        // instead of returning a poisoned connection to the rotation.
+        ++timeouts_;
+        sim::spawn(engine_, reap_worker(idx));
+      } else if (workers_[idx].conn == nullptr || !workers_[idx].conn->alive()) {
+        // Dead connection: drop the worker from the rotation for good.
+      } else {
+        release_worker(idx);
+      }
+    } else {
+      free_workers_.push_back(idx);
+      slots_->release();
+    }
 
-    if (result.ok) break;
+    if (result.ok) {
+      result.attempts = static_cast<std::uint32_t>(attempt + 1);
+      break;
+    }
+    if (ft.enabled()) ++retries_;
     if (result.rejected) ++rejections_;
     // Rejected — or the worker's connection is dead (its lease was
     // terminated and the sandbox reclaimed): brief backoff, then retry
@@ -1094,7 +1478,8 @@ sim::Task<void> Invoker::run_submission(std::uint16_t fn_index, std::uint8_t* he
 
 sim::Task<InvocationResult> Invoker::invoke_on(std::size_t worker, std::uint16_t fn_index,
                                                std::uint8_t* header_ptr, fabric::Sge sge,
-                                               rdmalib::RemoteBuffer out) {
+                                               rdmalib::RemoteBuffer out, std::uint64_t tag,
+                                               Time deadline) {
   InvocationResult result;
   result.submitted_at = engine_.now();
   WorkerRef& w = workers_[worker];
@@ -1105,10 +1490,13 @@ sim::Task<InvocationResult> Invoker::invoke_on(std::size_t worker, std::uint16_t
 
   const std::uint32_t invocation_id = next_invocation_++ & 0x7FFFFu;
 
-  // Fill the 12-byte header: where the executor writes the result.
+  // Fill the 32-byte header: where the executor writes the result, plus
+  // the idempotent tag and per-attempt deadline when FT is on.
   InvocationHeader header;
   header.result_addr = out.addr;
   header.result_rkey = out.rkey;
+  header.invocation_tag = tag;
+  header.deadline = deadline;
   header.pack(header_ptr);
 
   // Post the receive for the result notification first.
@@ -1134,9 +1522,27 @@ sim::Task<InvocationResult> Invoker::invoke_on(std::size_t worker, std::uint16_t
     co_return result;
   }
 
-  // Await the result write into our memory.
-  auto wc = polling_client_ ? co_await w.conn->wait_recv_polling()
-                            : co_await w.conn->wait_recv_blocking();
+  // Await the result write into our memory (deadline-bounded when the
+  // fault-tolerant path supplied one).
+  fabric::Wc wc;
+  if (deadline != 0) {
+    std::optional<fabric::Wc> maybe;
+    if (polling_client_) {
+      maybe = co_await w.conn->wait_recv_polling_until(deadline);
+    } else {
+      maybe = co_await w.conn->wait_recv_blocking_until(deadline);
+    }
+    if (!maybe.has_value()) {
+      result.timed_out = true;
+      result.completed_at = engine_.now();
+      co_return result;
+    }
+    wc = *maybe;
+  } else if (polling_client_) {
+    wc = co_await w.conn->wait_recv_polling();
+  } else {
+    wc = co_await w.conn->wait_recv_blocking();
+  }
   co_await sim::delay(config_.client_completion);
   result.completed_at = engine_.now();
   if (wc.status != fabric::WcStatus::Success || !wc.has_imm) co_return result;

@@ -27,10 +27,12 @@
 #include "rdmalib/buffer.hpp"
 #include "rdmalib/connection.hpp"
 #include "rfaas/config.hpp"
+#include "rfaas/health.hpp"
 #include "rfaas/protocol.hpp"
 #include "rfaas/session.hpp"
 #include "sim/host.hpp"
 #include "sim/sync.hpp"
+#include "sim/timer_wheel.hpp"
 
 namespace rfs::rfaas {
 
@@ -262,6 +264,13 @@ class LeaseSet {
     /// cleared by stop() and the destructor so in-flight re-allocations
     /// retire instead of touching a torn-down owner.
     bool healing_enabled = false;
+    /// Renewal due-times live on a deadline-bucketed timer wheel (shared
+    /// data structure with the invocation deadline path); the two maps
+    /// translate between wheel timer ids and lease ids. Synced lazily at
+    /// the top of every renewal-loop pass.
+    sim::TimerWheel renew_wheel;
+    std::map<sim::TimerWheel::Id, std::uint64_t> timer_leases;
+    std::map<std::uint64_t, sim::TimerWheel::Id> lease_timers;
     /// origin -> current *primary* lease id of every tracked chain (a
     /// partially healed chain may track further secondary leases that
     /// share the origin).
@@ -368,6 +377,10 @@ struct ColdStartBreakdown {
 struct InvocationResult {
   bool ok = false;
   bool rejected = false;        // all redirect attempts were rejected
+  bool timed_out = false;       // the invocation deadline fired (FT mode)
+  bool corrupt = false;         // response failed its checksum (FT mode)
+  bool hedge_won = false;       // the hedged backup answered first
+  std::uint32_t attempts = 1;   // 1 = no retry was needed
   std::uint32_t output_bytes = 0;
   Time submitted_at = 0;
   Time completed_at = 0;
@@ -398,7 +411,7 @@ class Invoker {
   /// returns its function-table index.
   sim::Task<Result<std::uint16_t>> add_function(const std::string& name);
 
-  /// Creates a page-aligned input buffer with the 12-byte rFaaS header.
+  /// Creates a page-aligned input buffer with the 32-byte rFaaS header.
   template <typename T>
   rdmalib::Buffer<T> input_buffer(std::size_t count) {
     rdmalib::Buffer<T> buf(count, InvocationHeader::kSize);
@@ -433,7 +446,7 @@ class Invoker {
   }
 
   /// Zero-copy data plane: pre-registers `count` invocation slots (input
-  /// with the 12 B header + output), each registered once with the client
+  /// with the 32 B header + output), each registered once with the client
   /// PD and recycled per call. With slots reserved, invoke_pooled() never
   /// allocates or registers on the invocation path — the contrast to
   /// per-call buffers, whose registrations serialize on the process's
@@ -474,11 +487,15 @@ class Invoker {
     std::unique_ptr<rdmalib::Connection> conn;
     rdmalib::RemoteBuffer remote_buf;
     std::uint64_t max_payload = 0;
+    /// Executor identity + control channel, for health scoring and
+    /// hedge-loser cancellation (fault-tolerant data plane).
+    fabric::DeviceId device = 0;
+    std::shared_ptr<net::TcpStream> mgr_stream;
   };
 
   /// One pre-registered invocation slot of the zero-copy data plane.
   struct InvocationSlot {
-    rdmalib::Buffer<std::uint8_t> in;   // 12 B header + input payload
+    rdmalib::Buffer<std::uint8_t> in;   // 32 B header + input payload
     rdmalib::Buffer<std::uint8_t> out;  // result landing zone
     InvocationSlot(std::size_t max_input, std::size_t max_output)
         : in(max_input, InvocationHeader::kSize), out(max_output) {}
@@ -490,6 +507,17 @@ class Invoker {
     std::shared_ptr<net::TcpStream> mgr_stream;
   };
 
+  /// Shared fate of one (possibly hedged) fault-tolerant invocation:
+  /// every attempt reports in; the first success resolves, and losers
+  /// are cancelled on their executor managers.
+  struct Hedge {
+    sim::Event done;
+    bool resolved = false;
+    unsigned pending = 0;
+    InvocationResult result;
+    std::vector<std::size_t> in_flight;  ///< workers of unresolved attempts
+  };
+
   sim::Future<InvocationResult> submit_raw(std::uint16_t fn_index, std::uint8_t* header_ptr,
                                            fabric::Sge sge, std::uint32_t in_lkey,
                                            rdmalib::RemoteBuffer out);
@@ -498,9 +526,47 @@ class Invoker {
                                  sim::Promise<InvocationResult> promise);
   sim::Task<InvocationResult> invoke_on(std::size_t worker, std::uint16_t fn_index,
                                         std::uint8_t* header_ptr, fabric::Sge sge,
-                                        rdmalib::RemoteBuffer out);
+                                        rdmalib::RemoteBuffer out, std::uint64_t tag = 0,
+                                        Time deadline = 0);
   sim::Task<InvocationResult> invoke_pooled_on(std::size_t worker, std::uint16_t fn_index,
-                                               InvocationSlot& slot, std::size_t payload_bytes);
+                                               InvocationSlot& slot, std::size_t payload_bytes,
+                                               std::uint64_t tag = 0, Time deadline = 0);
+  /// Fault-tolerant pooled invocation: per-attempt deadlines, budgeted
+  /// retries rotating across healthy workers, same-worker dedup-replay
+  /// retry on corruption, optional hedging on the first attempt.
+  sim::Task<InvocationResult> invoke_pooled_reliable(std::uint16_t fn_index,
+                                                     std::size_t slot_idx,
+                                                     std::size_t payload_bytes);
+  sim::Task<InvocationResult> run_hedged(std::size_t widx, std::uint16_t fn_index,
+                                         std::size_t slot_idx, std::size_t payload_bytes,
+                                         std::uint64_t tag, Time deadline);
+  sim::Task<void> hedge_attempt(std::shared_ptr<Hedge> hs, std::size_t widx,
+                                std::uint16_t fn_index, std::size_t slot_idx,
+                                std::size_t payload_bytes, std::uint64_t tag, Time deadline,
+                                bool is_backup);
+  sim::Task<void> hedge_backup(std::shared_ptr<Hedge> hs, std::uint16_t fn_index,
+                               std::size_t primary_slot_idx, std::size_t payload_bytes,
+                               std::uint64_t tag, Time deadline,
+                               fabric::DeviceId primary_device);
+  /// Globally unique idempotent invocation id: (client epoch << 32) | seq.
+  std::uint64_t mint_tag();
+  /// Pops the next free worker: HalfOpen probes first (an expired Open
+  /// breaker admits exactly one), then executors whose breaker admits
+  /// traffic; must run after slots_->acquire().
+  std::size_t pick_worker();
+  /// pick_worker for hedge backups: prefers any device other than the
+  /// straggling primary's; falls back to pick_worker().
+  std::size_t pick_worker_avoiding(fabric::DeviceId device);
+  void release_worker(std::size_t widx);
+  /// Post-timeout worker recycling: drains the late/stale completion the
+  /// abandoned attempt left behind (bounded wait) before the worker may
+  /// rejoin the rotation; dead and wedged workers never rejoin.
+  sim::Task<void> reap_worker(std::size_t widx);
+  /// Feeds the per-executor health tracker and, on a breaker trip,
+  /// reports the executor to the resource manager (quarantine signal).
+  void record_outcome(fabric::DeviceId device, bool ok, Duration latency);
+  static sim::Task<void> send_health_report(std::shared_ptr<Session> session,
+                                            HealthReportMsg msg);
   sim::Task<Status> connect_worker(const LeaseGrantMsg& grant, std::uint64_t sandbox_id,
                                    std::uint32_t index);
   /// Acquires leases totalling up to `remaining` workers: one serial
@@ -552,6 +618,31 @@ class Invoker {
   std::uint32_t next_invocation_ = 1;
   std::uint64_t rejections_ = 0;
   ColdStartBreakdown cold_start_;
+
+  /// Fault-tolerant data plane state (all client-side).
+  std::map<fabric::DeviceId, HealthTracker> health_;
+  std::uint64_t next_tag_seq_ = 0;
+  double latency_ewma_ = 0.0;  ///< healthy completions, feeds auto hedge delay
+  std::uint64_t retries_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t corruptions_detected_ = 0;
+  std::uint64_t hedges_launched_ = 0;
+  std::uint64_t hedge_wins_ = 0;
+  std::uint64_t breaker_trips_ = 0;
+
+ public:
+  /// FT observability (fig21 + tests).
+  [[nodiscard]] std::uint64_t ft_retries() const { return retries_; }
+  [[nodiscard]] std::uint64_t ft_timeouts() const { return timeouts_; }
+  [[nodiscard]] std::uint64_t ft_corruptions() const { return corruptions_detected_; }
+  [[nodiscard]] std::uint64_t hedges_launched() const { return hedges_launched_; }
+  [[nodiscard]] std::uint64_t hedge_wins() const { return hedge_wins_; }
+  [[nodiscard]] std::uint64_t breaker_trips() const { return breaker_trips_; }
+  /// Health tracker of one executor device (nullptr = never observed).
+  [[nodiscard]] const HealthTracker* health_of(fabric::DeviceId device) const {
+    auto it = health_.find(device);
+    return it == health_.end() ? nullptr : &it->second;
+  }
 };
 
 }  // namespace rfs::rfaas

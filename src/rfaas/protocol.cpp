@@ -7,12 +7,18 @@ namespace rfs::rfaas {
 void InvocationHeader::pack(std::uint8_t* out) const {
   std::memcpy(out, &result_addr, 8);
   std::memcpy(out + 8, &result_rkey, 4);
+  std::memcpy(out + 12, &invocation_tag, 8);
+  std::memcpy(out + 20, &deadline, 8);
+  std::memcpy(out + 28, &checksum, 4);
 }
 
 InvocationHeader InvocationHeader::unpack(const std::uint8_t* in) {
   InvocationHeader h;
   std::memcpy(&h.result_addr, in, 8);
   std::memcpy(&h.result_rkey, in + 8, 4);
+  std::memcpy(&h.invocation_tag, in + 12, 8);
+  std::memcpy(&h.deadline, in + 20, 8);
+  std::memcpy(&h.checksum, in + 28, 4);
   return h;
 }
 
@@ -38,6 +44,7 @@ InvocationResponse decode_invocation_response(const fabric::Wc& wc) {
   r.invocation_id = Imm::result_id(wc.imm);
   r.rejected = Imm::rejected(wc.imm);
   r.output_bytes = wc.byte_len;
+  r.checksum12 = Imm::result_checksum(wc.imm);
   return r;
 }
 
@@ -391,6 +398,37 @@ std::size_t encode_into(const LeaseRevalidateMsg& m, std::uint8_t* out, std::siz
   return static_cast<std::size_t>(p - out);
 }
 
+std::size_t encode_into(const InvocationCancelMsg& m, std::uint8_t* out, std::size_t capacity) {
+  if (capacity < kInvocationCancelWireSize) return 0;
+  *out = static_cast<std::uint8_t>(MsgType::InvocationCancel);
+  std::uint8_t* p = out + 1;
+  p = put(p, &m.client_id, 4);
+  p = put(p, &m.invocation_tag, 8);
+  p = put(p, &m.request_id, 8);
+  return static_cast<std::size_t>(p - out);
+}
+
+std::size_t encode_into(const HealthReportMsg& m, std::uint8_t* out, std::size_t capacity) {
+  if (capacity < kHealthReportWireSize) return 0;
+  *out = static_cast<std::uint8_t>(MsgType::HealthReport);
+  std::uint8_t* p = out + 1;
+  p = put(p, &m.client_id, 4);
+  p = put(p, &m.device, 4);
+  p = put(p, &m.latency_us, 4);
+  p = put(p, &m.ok_count, 4);
+  p = put(p, &m.fail_count, 4);
+  p = put(p, &m.request_id, 8);
+  return static_cast<std::size_t>(p - out);
+}
+
+std::size_t encode_into(const HealthReportOkMsg& m, std::uint8_t* out, std::size_t capacity) {
+  if (capacity < kHealthReportOkWireSize) return 0;
+  *out = static_cast<std::uint8_t>(MsgType::HealthReportOk);
+  std::uint8_t* p = out + 1;
+  p = put(p, &m.request_id, 8);
+  return static_cast<std::size_t>(p - out);
+}
+
 Bytes encode(const JournalRecordMsg& m) {
   Bytes b(kJournalRecordWireSize);
   encode_into(m, b.data(), b.size());
@@ -411,6 +449,24 @@ Bytes encode(const FailoverAnnounceMsg& m) {
 
 Bytes encode(const LeaseRevalidateMsg& m) {
   Bytes b(kLeaseRevalidateWireSize);
+  encode_into(m, b.data(), b.size());
+  return b;
+}
+
+Bytes encode(const InvocationCancelMsg& m) {
+  Bytes b(kInvocationCancelWireSize);
+  encode_into(m, b.data(), b.size());
+  return b;
+}
+
+Bytes encode(const HealthReportMsg& m) {
+  Bytes b(kHealthReportWireSize);
+  encode_into(m, b.data(), b.size());
+  return b;
+}
+
+Bytes encode(const HealthReportOkMsg& m) {
+  Bytes b(kHealthReportOkWireSize);
   encode_into(m, b.data(), b.size());
   return b;
 }
@@ -827,6 +883,42 @@ Result<LeaseRevalidateMsg> decode_lease_revalidate(std::span<const std::uint8_t>
   return m;
 }
 
+Result<InvocationCancelMsg> decode_invocation_cancel(std::span<const std::uint8_t> raw) {
+  if (!open_fixed(raw, MsgType::InvocationCancel, kInvocationCancelWireSize)) {
+    return Error::make(22, "protocol: bad InvocationCancel");
+  }
+  InvocationCancelMsg m;
+  const std::uint8_t* p = raw.data() + 1;
+  p = take(p, m.client_id);
+  p = take(p, m.invocation_tag);
+  take(p, m.request_id);
+  return m;
+}
+
+Result<HealthReportMsg> decode_health_report(std::span<const std::uint8_t> raw) {
+  if (!open_fixed(raw, MsgType::HealthReport, kHealthReportWireSize)) {
+    return Error::make(22, "protocol: bad HealthReport");
+  }
+  HealthReportMsg m;
+  const std::uint8_t* p = raw.data() + 1;
+  p = take(p, m.client_id);
+  p = take(p, m.device);
+  p = take(p, m.latency_us);
+  p = take(p, m.ok_count);
+  p = take(p, m.fail_count);
+  take(p, m.request_id);
+  return m;
+}
+
+Result<HealthReportOkMsg> decode_health_report_ok(std::span<const std::uint8_t> raw) {
+  if (!open_fixed(raw, MsgType::HealthReportOk, kHealthReportOkWireSize)) {
+    return Error::make(22, "protocol: bad HealthReportOk");
+  }
+  HealthReportOkMsg m;
+  take(raw.data() + 1, m.request_id);
+  return m;
+}
+
 bool is_reply_type(MsgType t) {
   switch (t) {
     case MsgType::LeaseGrant:
@@ -836,6 +928,7 @@ bool is_reply_type(MsgType t) {
     case MsgType::BatchGranted:
     case MsgType::ReleaseOk:
     case MsgType::RegisterOk:
+    case MsgType::HealthReportOk:
       return true;
     default:
       return false;

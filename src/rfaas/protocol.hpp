@@ -2,10 +2,11 @@
 //
 // Control plane (TCP): executor registration, lease requests/grants,
 // allocation requests, code submission. Data plane (RDMA): the invocation
-// format of Sec. IV-A — a 12-byte header carrying the client's
-// result-buffer address and rkey, followed by the payload, written via
-// RDMA WRITE_WITH_IMM whose immediate value packs the function index and
-// the invocation identifier.
+// format of Sec. IV-A — a 32-byte header carrying the client's
+// result-buffer address and rkey plus the fault-tolerance fields
+// (idempotent invocation tag, absolute deadline, payload checksum),
+// followed by the payload, written via RDMA WRITE_WITH_IMM whose
+// immediate value packs the function index and the invocation identifier.
 #pragma once
 
 #include <cstdint>
@@ -21,34 +22,70 @@
 
 namespace rfs::rfaas {
 
-/// The 12-byte invocation header preceding every input payload: the
-/// executor writes the output directly into this client buffer.
+/// The 32-byte invocation header preceding every input payload: the
+/// executor writes the output directly into this client buffer. The
+/// trailing fault-tolerance fields are all-zero when FT is disabled:
+/// `invocation_tag` ((client epoch << 32) | sequence, 0 = no dedup) lets
+/// the executor recognise a retried or hedged invocation and replay the
+/// stored result instead of executing twice; `deadline` (absolute time,
+/// 0 = none) lets it drop an invocation that has already timed out on
+/// the client — a late duplicate is never executed; `checksum` (0 = not
+/// checked) is the client's checksum over the input payload, verified
+/// executor-side so a corrupted submit frame is rejected, not executed.
 struct InvocationHeader {
   std::uint64_t result_addr = 0;
   std::uint32_t result_rkey = 0;
+  std::uint64_t invocation_tag = 0;
+  Time deadline = 0;
+  std::uint32_t checksum = 0;
 
-  static constexpr std::size_t kSize = 12;
+  static constexpr std::size_t kSize = 32;
 
   void pack(std::uint8_t* out) const;
   static InvocationHeader unpack(const std::uint8_t* in);
 };
 
 /// Immediate-value encoding: high 12 bits function index, low 20 bits
-/// invocation id. Result immediates set the reject bit on rejection.
+/// invocation id. Result immediates set the reject bit on rejection and
+/// carry a 12-bit output checksum in the otherwise-unused high bits, so
+/// a corrupted response is detected from the completion alone.
 struct Imm {
   static constexpr std::uint32_t kRejectBit = 1u << 19;
 
   static std::uint32_t invocation(std::uint16_t fn_index, std::uint32_t invocation_id) {
     return (static_cast<std::uint32_t>(fn_index) << 20) | (invocation_id & 0xFFFFFu);
   }
-  static std::uint32_t result(std::uint32_t invocation_id, bool rejected) {
-    return (invocation_id & 0x7FFFFu) | (rejected ? kRejectBit : 0u);
+  static std::uint32_t result(std::uint32_t invocation_id, bool rejected,
+                              std::uint32_t checksum12 = 0) {
+    return (invocation_id & 0x7FFFFu) | (rejected ? kRejectBit : 0u) |
+           ((checksum12 & 0xFFFu) << 20);
   }
   static std::uint16_t fn_index(std::uint32_t imm) { return static_cast<std::uint16_t>(imm >> 20); }
   static std::uint32_t invocation_id(std::uint32_t imm) { return imm & 0xFFFFFu; }
   static std::uint32_t result_id(std::uint32_t imm) { return imm & 0x7FFFFu; }
   static bool rejected(std::uint32_t imm) { return (imm & kRejectBit) != 0; }
+  static std::uint32_t result_checksum(std::uint32_t imm) { return imm >> 20; }
 };
+
+/// 32-bit FNV-1a over a payload — the data-plane integrity check. Cheap
+/// enough for the fast path (one multiply per byte), strong enough to
+/// catch the injected bit flips. fold12() compresses it into the 12
+/// imm bits available for the response direction.
+inline std::uint32_t payload_checksum(const std::uint8_t* data, std::size_t len) {
+  std::uint32_t h = 2166136261u;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
+inline std::uint32_t fold12(std::uint32_t checksum) {
+  const std::uint32_t folded = (checksum ^ (checksum >> 12) ^ (checksum >> 24)) & 0xFFFu;
+  // 0 means "not checked" on the wire, so a genuinely zero fold maps to
+  // a fixed nonzero sentinel — verification stays deterministic.
+  return folded != 0 ? folded : 0xFFFu;
+}
 
 /// Message kinds on the TCP control plane.
 enum class MsgType : std::uint8_t {
@@ -80,6 +117,9 @@ enum class MsgType : std::uint8_t {
   SnapshotOffer,        // primary manager -> standby replica (snapshot header)
   FailoverAnnounce,     // promoted manager -> subscriber (push, new epoch)
   LeaseRevalidate,      // client -> promoted manager (held-lease audit)
+  InvocationCancel,     // client -> executor manager (hedge loser suppression)
+  HealthReport,         // client -> resource manager (executor health observations)
+  HealthReportOk,       // resource manager -> client (ack, retransmit stop)
   Count,                // sentinel, keep last
 };
 
@@ -349,6 +389,40 @@ struct LeaseRevalidateMsg {
   std::uint64_t request_id = 0;  ///< retransmission dedup id (0 = legacy)
 };
 
+/// Best-effort cancellation of an in-flight invocation, sent on the
+/// executor manager's control stream when a hedged duplicate lost the
+/// race. Fire-and-forget: the manager parks the tag in a bounded set and
+/// workers drop a matching invocation before dispatch — a cancel that
+/// arrives too late costs one wasted execution, never a wrong result
+/// (the client already consumed the winner; the executor dedup table
+/// absorbs the loser's reply). Fixed layout — rides the zero-allocation
+/// fast path since it fires on the invocation hot path.
+struct InvocationCancelMsg {
+  std::uint32_t client_id = 0;       ///< cancelling tenant
+  std::uint64_t invocation_tag = 0;  ///< (epoch << 32) | seq of the doomed invocation
+  std::uint64_t request_id = 0;      ///< unused for matching (fire-and-forget); 0 ok
+};
+
+/// Client-observed executor health, pushed to the resource manager when a
+/// client's per-worker circuit breaker trips (and periodically while
+/// degraded). The manager folds the observation into the executor's
+/// registry entry so every scheduler policy deprioritizes the gray host,
+/// and drains it outright after `quarantine_trips` distinct trips.
+/// Fixed layout — health reports spike exactly when the fleet is sick.
+struct HealthReportMsg {
+  std::uint32_t client_id = 0;    ///< reporting tenant
+  std::uint32_t device = 0;       ///< fabric device of the suspect executor
+  std::uint32_t latency_us = 0;   ///< EWMA invocation latency observed (µs)
+  std::uint32_t ok_count = 0;     ///< successful invocations in this window
+  std::uint32_t fail_count = 0;   ///< timeouts/corruptions in this window
+  std::uint64_t request_id = 0;   ///< retransmission dedup id (0 = legacy)
+};
+
+/// Acknowledges a HealthReportMsg so the reporter can stop retransmitting.
+struct HealthReportOkMsg {
+  std::uint64_t request_id = 0;  ///< echoes HealthReportMsg::request_id
+};
+
 /// Allocation outcome from the lightweight allocator.
 struct AllocationReplyMsg {
   bool ok = false;               ///< sandbox up and workers spawned
@@ -400,9 +474,12 @@ inline constexpr std::size_t kJournalRecordWireSize = 1 + 8 + 1 + 8 + 4 + 8 + 4 
 inline constexpr std::size_t kSnapshotOfferWireSize = 1 + 4 + 8 + 8 + 8;
 inline constexpr std::size_t kFailoverAnnounceWireSize = 1 + 4 + 8 + 8;
 inline constexpr std::size_t kLeaseRevalidateWireSize = 1 + 4 + 8 + 8;
+inline constexpr std::size_t kInvocationCancelWireSize = 1 + 4 + 8 + 8;
+inline constexpr std::size_t kHealthReportWireSize = 1 + 4 + 4 + 4 + 4 + 4 + 8;
+inline constexpr std::size_t kHealthReportOkWireSize = 1 + 8;
 
 // ---------------------------------------------------------------------------
-// Invocation data-plane frames (fig18). The submit frame is the 12-byte
+// Invocation data-plane frames (fig18). The submit frame is the 32-byte
 // InvocationHeader followed by the input payload, written directly into
 // the worker's registered buffer; the response carries no body at all —
 // the executor writes the output into the client's result buffer and the
@@ -420,10 +497,13 @@ struct InvocationFrame {
 
 /// Decoded result completion: the responder's entire reply is the packed
 /// immediate of the result WRITE_WITH_IMM plus the completion byte count.
+/// `checksum12` is the 12-bit folded output checksum carried in the high
+/// imm bits (0 = responder did not checksum).
 struct InvocationResponse {
   std::uint32_t invocation_id = 0;
   bool rejected = false;
   std::uint32_t output_bytes = 0;
+  std::uint32_t checksum12 = 0;
 };
 
 /// Writes the submit-frame header into a registered buffer. Returns
@@ -452,6 +532,9 @@ std::size_t encode_into(const JournalRecordMsg& m, std::uint8_t* out, std::size_
 std::size_t encode_into(const SnapshotOfferMsg& m, std::uint8_t* out, std::size_t capacity);
 std::size_t encode_into(const FailoverAnnounceMsg& m, std::uint8_t* out, std::size_t capacity);
 std::size_t encode_into(const LeaseRevalidateMsg& m, std::uint8_t* out, std::size_t capacity);
+std::size_t encode_into(const InvocationCancelMsg& m, std::uint8_t* out, std::size_t capacity);
+std::size_t encode_into(const HealthReportMsg& m, std::uint8_t* out, std::size_t capacity);
+std::size_t encode_into(const HealthReportOkMsg& m, std::uint8_t* out, std::size_t capacity);
 
 /// Envelope: [u8 type][payload...]. Each payload codec is explicit; this
 /// is a real wire format, not in-memory object passing.
@@ -481,6 +564,9 @@ Bytes encode(const JournalRecordMsg& m);
 Bytes encode(const SnapshotOfferMsg& m);
 Bytes encode(const FailoverAnnounceMsg& m);
 Bytes encode(const LeaseRevalidateMsg& m);
+Bytes encode(const InvocationCancelMsg& m);
+Bytes encode(const HealthReportMsg& m);
+Bytes encode(const HealthReportOkMsg& m);
 
 Result<MsgType> peek_type(const Bytes& raw);
 Result<RegisterExecutorMsg> decode_register(const Bytes& raw);
@@ -511,10 +597,13 @@ Result<JournalRecordMsg> decode_journal_record(std::span<const std::uint8_t> raw
 Result<SnapshotOfferMsg> decode_snapshot_offer(std::span<const std::uint8_t> raw);
 Result<FailoverAnnounceMsg> decode_failover_announce(std::span<const std::uint8_t> raw);
 Result<LeaseRevalidateMsg> decode_lease_revalidate(std::span<const std::uint8_t> raw);
+Result<InvocationCancelMsg> decode_invocation_cancel(std::span<const std::uint8_t> raw);
+Result<HealthReportMsg> decode_health_report(std::span<const std::uint8_t> raw);
+Result<HealthReportOkMsg> decode_health_report_ok(std::span<const std::uint8_t> raw);
 
 /// True for message types that answer a request (and so echo its id):
 /// LeaseGrant, LeaseError, LeaseDenied, ExtendOk, BatchGranted,
-/// ReleaseOk, RegisterOk.
+/// ReleaseOk, RegisterOk, HealthReportOk.
 bool is_reply_type(MsgType t);
 
 /// Extracts the echoed request id from a reply message — the trailing 8

@@ -266,6 +266,9 @@ sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> s
         entry.stream = stream;
         const std::uint64_t executor_id = core_.add_executor(std::move(entry));
         executor_ids_[stream.get()] = executor_id;
+        // A fresh registration is a fresh process: its gray-failure
+        // history (breaker-trip count) does not carry over.
+        health_trip_counts_.erase(msg.value().device);
         if (msg.value().epoch != 0) {
           executor_epochs_[msg.value().device] =
               RegistrationEpoch{msg.value().epoch, executor_id};
@@ -474,6 +477,41 @@ sim::Task<void> ResourceManager::handle_stream(std::shared_ptr<net::TcpStream> s
           reply_cached(msg.value().request_id,
                        encode_lease_error("unknown lease", msg.value().request_id));
         }
+        break;
+      }
+      case MsgType::HealthReport: {
+        // A client's circuit breaker tripped against an executor: the
+        // data plane saw a gray failure (timeouts, corruption, EWMA
+        // failure rate over threshold) that the control plane's
+        // heartbeats cannot — the host still acks. First trips merely
+        // degrade the executor so every scheduling policy deprioritizes
+        // it; `quarantine_trips` distinct trips drain it outright
+        // (evicting its leases, whose owners self-heal elsewhere).
+        auto msg = decode_health_report(*raw);
+        if (!msg) break;
+        if (replay_duplicate(msg.value().request_id)) break;
+        ++health_reports_;
+        const std::uint32_t trips = ++health_trip_counts_[msg.value().device];
+        if (auto executor = core_.find_executor_by_device(msg.value().device)) {
+          if (trips >= config_.fault_tolerance.quarantine_trips) {
+            if (drain_executor_on_device(msg.value().device).has_value()) {
+              ++quarantined_executors_;
+              log::info("rm", "quarantined executor on device ", msg.value().device,
+                        " after ", trips, " breaker trips (client ", msg.value().client_id,
+                        ", ewma latency ", msg.value().latency_us, " us, ",
+                        msg.value().fail_count, "/",
+                        msg.value().ok_count + msg.value().fail_count, " failed)");
+            }
+          } else {
+            core_.set_degraded(*executor, true);
+            log::info("rm", "degraded executor on device ", msg.value().device,
+                      " (trip ", trips, "/", config_.fault_tolerance.quarantine_trips,
+                      " from client ", msg.value().client_id, ")");
+          }
+        }
+        HealthReportOkMsg ok;
+        ok.request_id = msg.value().request_id;
+        reply_cached(msg.value().request_id, encode(ok));
         break;
       }
       default:

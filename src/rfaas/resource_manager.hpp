@@ -162,6 +162,13 @@ class ResourceManager {
   /// device (stale-session fencing).
   [[nodiscard]] std::uint64_t fenced_registrations() const { return fenced_registrations_; }
 
+  /// Client HealthReport messages processed (each one = a circuit-breaker
+  /// trip some client observed against an executor).
+  [[nodiscard]] std::uint64_t health_reports() const { return health_reports_; }
+  /// Executors drained because their trip count reached
+  /// FaultToleranceConfig::quarantine_trips.
+  [[nodiscard]] std::uint64_t quarantined_executors() const { return quarantined_executors_; }
+
  private:
   sim::Task<void> run_server();
   sim::Task<void> handle_stream(std::shared_ptr<net::TcpStream> stream);
@@ -252,6 +259,12 @@ class ResourceManager {
   std::uint64_t notification_messages_ = 0;
   std::uint64_t dedup_hits_ = 0;
   std::uint64_t fenced_registrations_ = 0;
+
+  /// Gray-failure quarantine state: breaker-trip reports per device (the
+  /// trigger counts trips, not raw failures) and the report/drain tallies.
+  std::map<std::uint32_t, std::uint32_t> health_trip_counts_;
+  std::uint64_t health_reports_ = 0;
+  std::uint64_t quarantined_executors_ = 0;
 
   /// Failover state: the manager epoch every promotion bumps, the warm
   /// standbys fed by the journal sink, and every established server-side

@@ -60,6 +60,14 @@ void ExecutorRegistry::mark_dead(std::size_t i) {
   e.free_memory = 0;
 }
 
+void ExecutorRegistry::set_degraded(std::size_t i, bool degraded) {
+  if (i >= entries_.size()) return;
+  auto& e = entries_[i];
+  if (e.degraded == degraded) return;
+  e.degraded = degraded;
+  degraded ? ++degraded_count_ : --degraded_count_;
+}
+
 void ExecutorRegistry::set_draining(std::size_t i) {
   if (i >= entries_.size()) return;
   auto& e = entries_[i];
@@ -82,10 +90,12 @@ namespace {
 /// requested) workers; skip the executor if that many don't fit in its
 /// free memory (no shrinking to fit).
 std::optional<Placement> fit(const ExecutorRegistry& registry, std::size_t idx,
-                             const ScheduleRequest& request, const std::vector<bool>& excluded) {
+                             const ScheduleRequest& request, const std::vector<bool>& excluded,
+                             bool allow_degraded) {
   if (idx < excluded.size() && excluded[idx]) return std::nullopt;
   const auto& e = registry.at(idx);
   if (!e.schedulable() || e.free_workers == 0) return std::nullopt;
+  if (e.degraded && !allow_degraded) return std::nullopt;
   const std::uint32_t workers = std::min(e.free_workers, request.workers);
   const std::uint64_t memory = request.memory_per_worker * workers;
   if (memory > e.free_memory) return std::nullopt;
@@ -94,14 +104,15 @@ std::optional<Placement> fit(const ExecutorRegistry& registry, std::size_t idx,
 
 }  // namespace
 
-std::optional<Placement> RoundRobinScheduler::place(const ExecutorRegistry& registry,
-                                                    const ScheduleRequest& request,
-                                                    const std::vector<bool>& excluded) {
+std::optional<Placement> RoundRobinScheduler::place_pass(const ExecutorRegistry& registry,
+                                                         const ScheduleRequest& request,
+                                                         const std::vector<bool>& excluded,
+                                                         bool allow_degraded) {
   const std::size_t n = registry.size();
   if (n == 0) return std::nullopt;
   for (std::size_t probe = 0; probe < n; ++probe) {
     const std::size_t idx = (next_ + probe) % n;
-    if (auto p = fit(registry, idx, request, excluded)) {
+    if (auto p = fit(registry, idx, request, excluded, allow_degraded)) {
       next_ = (idx + 1) % n;
       return p;
     }
@@ -109,13 +120,14 @@ std::optional<Placement> RoundRobinScheduler::place(const ExecutorRegistry& regi
   return std::nullopt;
 }
 
-std::optional<Placement> LeastLoadedScheduler::place(const ExecutorRegistry& registry,
-                                                     const ScheduleRequest& request,
-                                                     const std::vector<bool>& excluded) {
+std::optional<Placement> LeastLoadedScheduler::place_pass(const ExecutorRegistry& registry,
+                                                          const ScheduleRequest& request,
+                                                          const std::vector<bool>& excluded,
+                                                          bool allow_degraded) {
   std::optional<Placement> best;
   std::uint32_t best_free = 0;
   for (std::size_t idx = 0; idx < registry.size(); ++idx) {
-    auto p = fit(registry, idx, request, excluded);
+    auto p = fit(registry, idx, request, excluded, allow_degraded);
     if (!p) continue;
     const std::uint32_t free = registry.at(idx).free_workers;
     if (!best || free > best_free) {
@@ -126,9 +138,10 @@ std::optional<Placement> LeastLoadedScheduler::place(const ExecutorRegistry& reg
   return best;
 }
 
-std::optional<Placement> PowerOfTwoScheduler::place(const ExecutorRegistry& registry,
-                                                    const ScheduleRequest& request,
-                                                    const std::vector<bool>& excluded) {
+std::optional<Placement> PowerOfTwoScheduler::place_pass(const ExecutorRegistry& registry,
+                                                         const ScheduleRequest& request,
+                                                         const std::vector<bool>& excluded,
+                                                         bool allow_degraded) {
   const std::size_t n = registry.size();
   if (n == 0) return std::nullopt;
 
@@ -136,8 +149,8 @@ std::optional<Placement> PowerOfTwoScheduler::place(const ExecutorRegistry& regi
   const std::size_t second =
       n > 1 ? (first + 1 + static_cast<std::size_t>(rng_.next() % (n - 1))) % n : first;
 
-  auto a = fit(registry, first, request, excluded);
-  auto b = second != first ? fit(registry, second, request, excluded) : std::nullopt;
+  auto a = fit(registry, first, request, excluded, allow_degraded);
+  auto b = second != first ? fit(registry, second, request, excluded, allow_degraded) : std::nullopt;
 
   if (a && b) {
     if (prefer_locality_) {
@@ -156,20 +169,21 @@ std::optional<Placement> PowerOfTwoScheduler::place(const ExecutorRegistry& regi
   // Both samples ineligible: deterministic fallback scan so small or
   // nearly-full fleets still get placed.
   for (std::size_t idx = 0; idx < n; ++idx) {
-    if (auto p = fit(registry, idx, request, excluded)) return p;
+    if (auto p = fit(registry, idx, request, excluded, allow_degraded)) return p;
   }
   return std::nullopt;
 }
 
-std::optional<Placement> LocalityFirstScheduler::place(const ExecutorRegistry& registry,
-                                                       const ScheduleRequest& request,
-                                                       const std::vector<bool>& excluded) {
+std::optional<Placement> LocalityFirstScheduler::place_pass(const ExecutorRegistry& registry,
+                                                            const ScheduleRequest& request,
+                                                            const std::vector<bool>& excluded,
+                                                            bool allow_degraded) {
   // Local pass: least-loaded among the executors in the client's rack.
   std::optional<Placement> best;
   std::uint32_t best_free = 0;
   for (std::size_t idx = 0; idx < registry.size(); ++idx) {
     if (registry.at(idx).locality != request.client_locality) continue;
-    auto p = fit(registry, idx, request, excluded);
+    auto p = fit(registry, idx, request, excluded, allow_degraded);
     if (!p) continue;
     const std::uint32_t free = registry.at(idx).free_workers;
     if (!best || free > best_free) {
@@ -180,7 +194,7 @@ std::optional<Placement> LocalityFirstScheduler::place(const ExecutorRegistry& r
   if (best) return best;
   // No local capacity: pay the cross-rack cost through the usual
   // power-of-two sampling (which itself still tie-breaks on locality).
-  return fallback_.place(registry, request, excluded);
+  return fallback_.place_pass(registry, request, excluded, allow_degraded);
 }
 
 std::unique_ptr<Scheduler> make_scheduler(const Config& config) {

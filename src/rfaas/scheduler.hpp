@@ -47,6 +47,11 @@ struct ExecutorEntry {
   /// capacity left the schedulable pool — no new placements, and
   /// released leases do not return workers to it.
   bool draining = false;
+  /// Degraded: a client HealthReport tripped this executor's circuit
+  /// breaker (gray failure — reachable but slow/failing). Capacity stays
+  /// in the pool, but every policy deprioritizes the executor: placements
+  /// land here only when no healthy executor fits.
+  bool degraded = false;
   Time last_ack = 0;
   std::uint32_t locality = 0;  // topology group of the executor NIC
   std::shared_ptr<net::TcpStream> stream;
@@ -96,9 +101,16 @@ class ExecutorRegistry {
   /// the schedulable pool (free workers zeroed, no future claims).
   void set_draining(std::size_t i);
 
+  /// Flags (or clears) gray-failure degradation. Unlike draining this
+  /// keeps the capacity schedulable — policies merely deprioritize it.
+  void set_degraded(std::size_t i, bool degraded);
+  /// Currently degraded executors (incremental counter, O(1)).
+  [[nodiscard]] std::size_t degraded_count() const { return degraded_count_; }
+
  private:
   std::vector<ExecutorEntry> entries_;
   std::size_t alive_count_ = 0;
+  std::size_t degraded_count_ = 0;
   std::uint32_t free_workers_total_ = 0;  // over schedulable entries
   std::uint32_t total_workers_ = 0;       // over schedulable entries
 };
@@ -133,18 +145,35 @@ class Scheduler {
   /// executors already tried and refused during this grant (e.g. found
   /// dead at commit); policies must skip them. Returns nullopt when no
   /// eligible executor has capacity.
-  [[nodiscard]] virtual std::optional<Placement> place(const ExecutorRegistry& registry,
-                                                       const ScheduleRequest& request,
-                                                       const std::vector<bool>& excluded) = 0;
+  ///
+  /// Degradation-aware: runs the policy once over healthy executors only,
+  /// and falls back to a second pass admitting degraded (gray) executors
+  /// when nothing healthy fits — capacity beats latency, but only as a
+  /// last resort.
+  [[nodiscard]] std::optional<Placement> place(const ExecutorRegistry& registry,
+                                               const ScheduleRequest& request,
+                                               const std::vector<bool>& excluded) {
+    if (auto p = place_pass(registry, request, excluded, /*allow_degraded=*/false)) return p;
+    if (registry.degraded_count() == 0) return std::nullopt;
+    return place_pass(registry, request, excluded, /*allow_degraded=*/true);
+  }
+
+  /// One policy pass. When `allow_degraded` is false, degraded executors
+  /// are invisible to the policy.
+  [[nodiscard]] virtual std::optional<Placement> place_pass(const ExecutorRegistry& registry,
+                                                            const ScheduleRequest& request,
+                                                            const std::vector<bool>& excluded,
+                                                            bool allow_degraded) = 0;
 };
 
 /// Seed-equivalent round-robin scan.
 class RoundRobinScheduler final : public Scheduler {
  public:
   [[nodiscard]] const char* name() const override { return "round-robin"; }
-  [[nodiscard]] std::optional<Placement> place(const ExecutorRegistry& registry,
-                                               const ScheduleRequest& request,
-                                               const std::vector<bool>& excluded) override;
+  [[nodiscard]] std::optional<Placement> place_pass(const ExecutorRegistry& registry,
+                                                    const ScheduleRequest& request,
+                                                    const std::vector<bool>& excluded,
+                                                    bool allow_degraded) override;
 
  private:
   std::size_t next_ = 0;  // scan start cursor
@@ -154,9 +183,10 @@ class RoundRobinScheduler final : public Scheduler {
 class LeastLoadedScheduler final : public Scheduler {
  public:
   [[nodiscard]] const char* name() const override { return "least-loaded"; }
-  [[nodiscard]] std::optional<Placement> place(const ExecutorRegistry& registry,
-                                               const ScheduleRequest& request,
-                                               const std::vector<bool>& excluded) override;
+  [[nodiscard]] std::optional<Placement> place_pass(const ExecutorRegistry& registry,
+                                                    const ScheduleRequest& request,
+                                                    const std::vector<bool>& excluded,
+                                                    bool allow_degraded) override;
 };
 
 /// Two random candidates; prefer the client's topology group, else the
@@ -168,9 +198,10 @@ class PowerOfTwoScheduler final : public Scheduler {
       : rng_(seed), prefer_locality_(prefer_locality) {}
 
   [[nodiscard]] const char* name() const override { return "power-of-two"; }
-  [[nodiscard]] std::optional<Placement> place(const ExecutorRegistry& registry,
-                                               const ScheduleRequest& request,
-                                               const std::vector<bool>& excluded) override;
+  [[nodiscard]] std::optional<Placement> place_pass(const ExecutorRegistry& registry,
+                                                    const ScheduleRequest& request,
+                                                    const std::vector<bool>& excluded,
+                                                    bool allow_degraded) override;
 
  private:
   Rng rng_;
@@ -188,9 +219,10 @@ class LocalityFirstScheduler final : public Scheduler {
   explicit LocalityFirstScheduler(std::uint64_t seed) : fallback_(seed, true) {}
 
   [[nodiscard]] const char* name() const override { return "locality-first"; }
-  [[nodiscard]] std::optional<Placement> place(const ExecutorRegistry& registry,
-                                               const ScheduleRequest& request,
-                                               const std::vector<bool>& excluded) override;
+  [[nodiscard]] std::optional<Placement> place_pass(const ExecutorRegistry& registry,
+                                                    const ScheduleRequest& request,
+                                                    const std::vector<bool>& excluded,
+                                                    bool allow_degraded) override;
 
  private:
   PowerOfTwoScheduler fallback_;

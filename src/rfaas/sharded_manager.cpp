@@ -711,6 +711,18 @@ ShardedResourceManager::RebalanceReport ShardedResourceManager::rebalance(
   return report;
 }
 
+bool ShardedResourceManager::set_degraded(std::uint64_t executor_id, bool degraded) {
+  const std::uint32_t s = id_shard(executor_id);
+  const std::size_t local = static_cast<std::size_t>(id_low(executor_id));
+  if (s >= shards_.size()) return false;
+  auto& shard = *shards_[s];
+  std::lock_guard<std::shared_mutex> lock(shard.mu);
+  if (local >= shard.registry.size()) return false;
+  if (!shard.registry.at(local).alive) return false;
+  shard.registry.set_degraded(local, degraded);
+  return true;
+}
+
 std::optional<RegisterExecutorMsg> ShardedResourceManager::mark_dead(
     std::uint64_t executor_id) {
   const std::uint32_t s = id_shard(executor_id);

@@ -265,6 +265,12 @@ class ShardedResourceManager {
   /// that killed it (for logging), nullopt when it was already dead.
   std::optional<RegisterExecutorMsg> mark_dead(std::uint64_t executor_id);
 
+  /// Flags (or clears) gray-failure degradation on an executor — its
+  /// capacity stays schedulable, but placement policies deprioritize it.
+  /// Soft state, deliberately unjournaled: after a failover the clients
+  /// whose breakers tripped will re-report. False when the id is unknown.
+  bool set_degraded(std::uint64_t executor_id, bool degraded);
+
   /// Records a heartbeat ack. False when the id is unknown.
   bool touch(std::uint64_t executor_id, Time now);
 

@@ -1,0 +1,161 @@
+// Deadline-bucketed timer wheel (the carried-over ROADMAP item).
+//
+// A pure data structure — no coroutines, no engine dependency — shared
+// by LeaseSet (renewal due-times) and Invoker (invocation deadlines and
+// hedge timers). Deadlines hash into a ring of coarse buckets
+// (`1 << shift` ns wide); timers beyond the ring's horizon park in an
+// overflow list and cascade into the ring as the cursor approaches.
+// arm/cancel/rearm are O(1) amortized; advance() touches only the
+// buckets the clock actually crossed, so a wheel with thousands of
+// armed-but-distant timers costs nothing per tick. Cancellation is
+// lazy: a cancelled id stays in its bucket and is dropped when the
+// bucket drains — the price of O(1) cancel without per-bucket lookup.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace rfs::sim {
+
+class TimerWheel {
+ public:
+  using Id = std::uint64_t;
+
+  /// `shift`: log2 of the bucket width in ns (default 1 << 20 ≈ 1 ms);
+  /// `buckets`: ring size — the wheel's horizon is buckets << shift.
+  explicit TimerWheel(unsigned shift = 20, std::size_t buckets = 256)
+      : shift_(shift), ring_(buckets) {}
+
+  /// Arms a timer at absolute `deadline` and returns its id (never 0).
+  Id arm(Time deadline) {
+    const Id id = next_id_++;
+    deadlines_[id] = deadline;
+    place(id, deadline);
+    return id;
+  }
+
+  /// Disarms `id`; false when the id is unknown or already expired.
+  bool cancel(Id id) { return deadlines_.erase(id) != 0; }
+
+  /// Moves a live timer to a new deadline (earlier or later); false when
+  /// the id is unknown or already expired. The stale bucket entry is
+  /// dropped lazily; the new deadline gets a fresh bucket slot.
+  bool rearm(Id id, Time deadline) {
+    auto it = deadlines_.find(id);
+    if (it == deadlines_.end()) return false;
+    it->second = deadline;
+    place(id, deadline);
+    return true;
+  }
+
+  /// True while `id` is armed and unexpired.
+  [[nodiscard]] bool armed(Id id) const { return deadlines_.contains(id); }
+
+  /// Deadline of a live timer (0 when unknown/expired).
+  [[nodiscard]] Time deadline_of(Id id) const {
+    auto it = deadlines_.find(id);
+    return it != deadlines_.end() ? it->second : 0;
+  }
+
+  /// Earliest live deadline, or 0 when nothing is armed. O(live timers);
+  /// callers that poll it hold few timers (a LeaseSet's leases).
+  [[nodiscard]] Time next_deadline() const {
+    Time best = 0;
+    for (const auto& [id, deadline] : deadlines_) {
+      if (best == 0 || deadline < best) best = deadline;
+    }
+    return best;
+  }
+
+  [[nodiscard]] std::size_t size() const { return deadlines_.size(); }
+  [[nodiscard]] bool empty() const { return deadlines_.empty(); }
+
+  /// Advances the wheel to `now`, appending every id whose deadline has
+  /// passed to `expired` (in bucket order, then insertion order — the
+  /// clock-edge contract: a timer armed exactly AT `now` fires, one
+  /// armed one tick later does not). Expired ids are forgotten; re-check
+  /// armed() rather than caching ids across an advance.
+  void advance(Time now, std::vector<Id>& expired) {
+    const std::uint64_t now_bucket = now >> shift_;
+    // Cascade overflow timers whose buckets entered the horizon. The
+    // overflow list is scanned at most once per horizon crossing, and
+    // entries either cascade or stay far — no thrash.
+    if (!far_.empty() && now_bucket + ring_.size() > far_horizon_) {
+      std::vector<Id> keep;
+      for (Id id : far_) {
+        auto it = deadlines_.find(id);
+        if (it == deadlines_.end()) continue;  // lazily dropped
+        if ((it->second >> shift_) < now_bucket + ring_.size()) {
+          ring_[(it->second >> shift_) % ring_.size()].push_back(id);
+        } else {
+          keep.push_back(id);
+        }
+      }
+      far_ = std::move(keep);
+      far_horizon_ = now_bucket + ring_.size();
+    }
+    // Drain every bucket the clock crossed, plus the current one. When
+    // the jump exceeds a full revolution the drain range is clamped, so
+    // ring slots alias: a surviving entry whose true bucket differs from
+    // `b` may be a cascade victim of the clamp, not just a rearm's stale
+    // slot — re-place it (duplicate slots are benign: the first drain
+    // hit expires the id, later hits see it gone) instead of dropping
+    // it, which would orphan the timer forever.
+    const std::uint64_t start = cursor_;
+    const std::uint64_t stop = now_bucket < start + ring_.size()
+                                   ? now_bucket
+                                   : start + ring_.size() - 1;
+    cursor_ = now_bucket;  // place() below must target post-advance time
+    for (std::uint64_t b = start; b <= stop; ++b) {
+      auto& bucket = ring_[b % ring_.size()];
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < bucket.size(); ++i) {
+        const Id id = bucket[i];
+        auto it = deadlines_.find(id);
+        if (it == deadlines_.end()) continue;  // cancelled
+        if (it->second <= now) {
+          expired.push_back(id);
+          deadlines_.erase(it);
+          continue;
+        }
+        // Unexpired ⇒ its true bucket is at/after the new cursor.
+        const std::uint64_t home = it->second >> shift_;
+        if (home == b ||
+            (home < cursor_ + ring_.size() && home % ring_.size() == b % ring_.size())) {
+          bucket[kept++] = id;  // right slot (possibly a later revolution)
+        } else {
+          place(id, it->second);  // rearmed away or aliased by a long jump
+        }
+      }
+      bucket.resize(kept);
+    }
+  }
+
+ private:
+  void place(Id id, Time deadline) {
+    // A deadline already behind the cursor (armed at or before "now")
+    // lands in the cursor's own bucket, which every advance() scans —
+    // it fires on the next tick instead of a full wheel turn late.
+    const std::uint64_t bucket = std::max(deadline >> shift_, cursor_);
+    if (bucket < cursor_ + ring_.size()) {
+      ring_[bucket % ring_.size()].push_back(id);
+    } else {
+      far_.push_back(id);
+      if (far_horizon_ == 0) far_horizon_ = cursor_ + ring_.size();
+    }
+  }
+
+  unsigned shift_;
+  std::vector<std::vector<Id>> ring_;
+  std::vector<Id> far_;
+  std::uint64_t far_horizon_ = 0;
+  std::uint64_t cursor_ = 0;
+  std::unordered_map<Id, Time> deadlines_;
+  Id next_id_ = 1;
+};
+
+}  // namespace rfs::sim

@@ -100,6 +100,16 @@ std::vector<Bytes> sample_messages() {
   msgs.push_back(encode(SnapshotOfferMsg{2, 4096, 0xFACEFEEDull, 12}));
   msgs.push_back(encode(FailoverAnnounceMsg{2, 4100, 7_s}));
   msgs.push_back(encode(LeaseRevalidateMsg{5, (3ull << 48) | 9, (4ull << 32) | 2}));
+  msgs.push_back(encode(InvocationCancelMsg{7, (2ull << 32) | 15, 0}));
+  HealthReportMsg health;
+  health.client_id = 7;
+  health.device = 3;
+  health.latency_us = 812;
+  health.ok_count = 40;
+  health.fail_count = 3;
+  health.request_id = (5ull << 32) | 21;
+  msgs.push_back(encode(health));
+  msgs.push_back(encode(HealthReportOkMsg{(5ull << 32) | 21}));
   return msgs;
 }
 
@@ -131,6 +141,9 @@ int accepted_by_any(const Bytes& raw) {
   n += decode_snapshot_offer(raw).ok();
   n += decode_failover_announce(raw).ok();
   n += decode_lease_revalidate(raw).ok();
+  n += decode_invocation_cancel(raw).ok();
+  n += decode_health_report(raw).ok();
+  n += decode_health_report_ok(raw).ok();
   return n;
 }
 
@@ -351,6 +364,91 @@ TEST(ProtocolFastPath, FailoverEncodeIntoMatchesTheBytesApiByteForByte) {
   EXPECT_FALSE(decode_journal_record(std::span<const std::uint8_t>(buf, n - 1)).ok());
   buf[0] = static_cast<std::uint8_t>(MsgType::SnapshotOffer);
   EXPECT_FALSE(decode_journal_record(std::span<const std::uint8_t>(buf, n)).ok());
+}
+
+TEST(ProtocolFastPath, FaultToleranceMessagesRoundTripAndRefuseTruncation) {
+  // The data-plane FT messages ride the hot path exactly when the fleet
+  // is sick: the zero-allocation encoders must match the Bytes API, and
+  // every field must survive the roundtrip.
+  InvocationCancelMsg cancel{9, (3ull << 32) | 77, (6ull << 32) | 5};
+  HealthReportMsg health;
+  health.client_id = 9;
+  health.device = 2;
+  health.latency_us = 1500;
+  health.ok_count = 12;
+  health.fail_count = 8;
+  health.request_id = (6ull << 32) | 6;
+  HealthReportOkMsg ack{(6ull << 32) | 6};
+
+  std::uint8_t buf[64];
+  EXPECT_EQ(encode_into(cancel, buf, sizeof buf), kInvocationCancelWireSize);
+  EXPECT_EQ(Bytes(buf, buf + kInvocationCancelWireSize), encode(cancel));
+  auto cdec = decode_invocation_cancel(std::span<const std::uint8_t>(buf, kInvocationCancelWireSize));
+  ASSERT_TRUE(cdec.ok());
+  EXPECT_EQ(cdec.value().client_id, cancel.client_id);
+  EXPECT_EQ(cdec.value().invocation_tag, cancel.invocation_tag);
+  EXPECT_EQ(cdec.value().request_id, cancel.request_id);
+
+  EXPECT_EQ(encode_into(health, buf, sizeof buf), kHealthReportWireSize);
+  EXPECT_EQ(Bytes(buf, buf + kHealthReportWireSize), encode(health));
+  auto hdec = decode_health_report(std::span<const std::uint8_t>(buf, kHealthReportWireSize));
+  ASSERT_TRUE(hdec.ok());
+  EXPECT_EQ(hdec.value().client_id, health.client_id);
+  EXPECT_EQ(hdec.value().device, health.device);
+  EXPECT_EQ(hdec.value().latency_us, health.latency_us);
+  EXPECT_EQ(hdec.value().ok_count, health.ok_count);
+  EXPECT_EQ(hdec.value().fail_count, health.fail_count);
+  EXPECT_EQ(hdec.value().request_id, health.request_id);
+
+  EXPECT_EQ(encode_into(ack, buf, sizeof buf), kHealthReportOkWireSize);
+  EXPECT_EQ(Bytes(buf, buf + kHealthReportOkWireSize), encode(ack));
+  auto adec = decode_health_report_ok(std::span<const std::uint8_t>(buf, kHealthReportOkWireSize));
+  ASSERT_TRUE(adec.ok());
+  EXPECT_EQ(adec.value().request_id, ack.request_id);
+
+  // Undersized buffers refuse without writing; truncations reject.
+  EXPECT_EQ(encode_into(cancel, buf, kInvocationCancelWireSize - 1), 0u);
+  EXPECT_EQ(encode_into(health, buf, kHealthReportWireSize - 1), 0u);
+  EXPECT_EQ(encode_into(ack, buf, 0), 0u);
+
+  // The HealthReport ack is a matchable reply (retransmission FSM);
+  // the fire-and-forget cancel is not.
+  EXPECT_TRUE(is_reply_type(MsgType::HealthReportOk));
+  EXPECT_FALSE(is_reply_type(MsgType::InvocationCancel));
+  EXPECT_FALSE(is_reply_type(MsgType::HealthReport));
+}
+
+TEST(ProtocolFastPath, InvocationHeaderRoundTripsAllFaultToleranceFields) {
+  // The 32-byte RDMA scratchpad header carries the deadline, idempotency
+  // tag and payload checksum the whole FT design hangs off — any packing
+  // drift silently disables retries/dedup, so every field is pinned.
+  InvocationHeader hdr;
+  hdr.result_addr = 0xDEADBEEF00ull;
+  hdr.result_rkey = 0xFACE;
+  hdr.invocation_tag = (9ull << 32) | 1234;
+  hdr.deadline = 5_ms;
+  hdr.checksum = payload_checksum(reinterpret_cast<const std::uint8_t*>("abc"), 3);
+
+  std::uint8_t wire[InvocationHeader::kSize];
+  hdr.pack(wire);
+  const auto back = InvocationHeader::unpack(wire);
+  EXPECT_EQ(back.result_addr, hdr.result_addr);
+  EXPECT_EQ(back.result_rkey, hdr.result_rkey);
+  EXPECT_EQ(back.invocation_tag, hdr.invocation_tag);
+  EXPECT_EQ(back.deadline, hdr.deadline);
+  EXPECT_EQ(back.checksum, hdr.checksum);
+
+  // fold12 never emits 0 (0 = "not checked" on the wire), and the result
+  // imm carries it losslessly next to the id + reject bit.
+  for (std::uint32_t c : {0u, 1u, 0xFFFu, 0xABCDEFu, 0xFFFFFFFFu}) {
+    const std::uint32_t f = fold12(c);
+    EXPECT_NE(f, 0u);
+    EXPECT_LE(f, 0xFFFu);
+    const std::uint32_t imm = Imm::result(0x7ABCD, false, f);
+    EXPECT_EQ(Imm::result_checksum(imm), f);
+    EXPECT_EQ(Imm::result_id(imm), 0x7ABCDu);
+    EXPECT_FALSE(Imm::rejected(imm));
+  }
 }
 
 TEST(ProtocolFuzz, RandomCorruptionNeverCrashes) {

@@ -1,0 +1,175 @@
+// Unit tests for the deadline-bucketed timer wheel: clock-edge contract,
+// re-arm across buckets, lazy cancellation, and overflow cascade.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/timer_wheel.hpp"
+
+namespace rfs::sim {
+namespace {
+
+std::vector<TimerWheel::Id> fire(TimerWheel& wheel, Time now) {
+  std::vector<TimerWheel::Id> expired;
+  wheel.advance(now, expired);
+  return expired;
+}
+
+TEST(TimerWheel, ArmAndExpire) {
+  TimerWheel wheel;
+  const auto id = wheel.arm(5_ms);
+  EXPECT_NE(id, 0u);
+  EXPECT_TRUE(wheel.armed(id));
+  EXPECT_EQ(wheel.deadline_of(id), 5_ms);
+
+  EXPECT_TRUE(fire(wheel, 4_ms).empty());
+  EXPECT_TRUE(wheel.armed(id));
+
+  const auto expired = fire(wheel, 5_ms);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], id);
+  EXPECT_FALSE(wheel.armed(id));
+  EXPECT_EQ(wheel.deadline_of(id), 0u);
+}
+
+// The clock-edge contract: a timer armed exactly AT `now` fires on that
+// advance; one armed a single tick later does not.
+TEST(TimerWheel, ClockEdge) {
+  TimerWheel wheel;
+  (void)fire(wheel, 10_ms);
+  const auto at_now = wheel.arm(10_ms);
+  const auto one_later = wheel.arm(10_ms + 1);
+
+  const auto expired = fire(wheel, 10_ms);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], at_now);
+  EXPECT_TRUE(wheel.armed(one_later));
+
+  const auto next = fire(wheel, 10_ms + 1);
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_EQ(next[0], one_later);
+}
+
+// Arming a deadline already in the past must fire on the next advance,
+// not a full wheel revolution later.
+TEST(TimerWheel, PastDeadlineFiresOnNextAdvance) {
+  TimerWheel wheel;
+  (void)fire(wheel, 100_ms);
+  const auto id = wheel.arm(1_ms);  // long behind the cursor
+  const auto expired = fire(wheel, 100_ms);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], id);
+}
+
+TEST(TimerWheel, CancelSuppressesExpiry) {
+  TimerWheel wheel;
+  const auto id = wheel.arm(2_ms);
+  EXPECT_TRUE(wheel.cancel(id));
+  EXPECT_FALSE(wheel.armed(id));
+  EXPECT_FALSE(wheel.cancel(id));  // second cancel: already gone
+  EXPECT_TRUE(fire(wheel, 10_ms).empty());
+}
+
+TEST(TimerWheel, CancelAfterExpiryFails) {
+  TimerWheel wheel;
+  const auto id = wheel.arm(1_ms);
+  (void)fire(wheel, 1_ms);
+  EXPECT_FALSE(wheel.cancel(id));
+}
+
+TEST(TimerWheel, RearmLaterMovesDeadline) {
+  TimerWheel wheel;
+  const auto id = wheel.arm(3_ms);
+  EXPECT_TRUE(wheel.rearm(id, 30_ms));
+  EXPECT_EQ(wheel.deadline_of(id), 30_ms);
+
+  EXPECT_TRUE(fire(wheel, 3_ms).empty());  // stale slot dropped lazily
+  EXPECT_TRUE(wheel.armed(id));
+
+  const auto expired = fire(wheel, 30_ms);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], id);
+}
+
+TEST(TimerWheel, RearmEarlierFiresEarlier) {
+  TimerWheel wheel;
+  const auto id = wheel.arm(50_ms);
+  EXPECT_TRUE(wheel.rearm(id, 5_ms));
+  const auto expired = fire(wheel, 5_ms);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], id);
+}
+
+TEST(TimerWheel, RearmUnknownIdFails) {
+  TimerWheel wheel;
+  EXPECT_FALSE(wheel.rearm(12345, 1_ms));
+  const auto id = wheel.arm(1_ms);
+  (void)fire(wheel, 1_ms);
+  EXPECT_FALSE(wheel.rearm(id, 2_ms));  // expired ids are forgotten
+}
+
+TEST(TimerWheel, NextDeadlineTracksEarliestLiveTimer) {
+  TimerWheel wheel;
+  EXPECT_EQ(wheel.next_deadline(), 0u);
+  const auto a = wheel.arm(7_ms);
+  (void)wheel.arm(3_ms);
+  const auto c = wheel.arm(9_ms);
+  EXPECT_EQ(wheel.next_deadline(), 3_ms);
+  (void)fire(wheel, 3_ms);
+  EXPECT_EQ(wheel.next_deadline(), 7_ms);
+  EXPECT_TRUE(wheel.cancel(a));
+  EXPECT_EQ(wheel.next_deadline(), 9_ms);
+  EXPECT_TRUE(wheel.cancel(c));
+  EXPECT_EQ(wheel.next_deadline(), 0u);
+  EXPECT_TRUE(wheel.empty());
+}
+
+// Timers beyond the ring's horizon park in the overflow list and cascade
+// in as the cursor approaches; they still fire at the right time.
+TEST(TimerWheel, OverflowCascade) {
+  TimerWheel wheel(/*shift=*/10, /*buckets=*/8);  // horizon = 8 << 10 ns
+  const Time horizon = 8u << 10;
+  const auto near = wheel.arm(512);
+  const auto far = wheel.arm(horizon * 3 + 100);
+  const auto very_far = wheel.arm(horizon * 40);
+  EXPECT_EQ(wheel.size(), 3u);
+
+  auto expired = fire(wheel, 1024);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], near);
+  EXPECT_TRUE(wheel.armed(far));
+
+  // Step across several horizons in coarse jumps; the far timer must
+  // fire exactly once, on the first advance at/after its deadline.
+  expired = fire(wheel, horizon * 3 + 99);
+  EXPECT_TRUE(expired.empty());
+  expired = fire(wheel, horizon * 3 + 100);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], far);
+
+  // Cancelled overflow timers are dropped during cascade, not fired.
+  EXPECT_TRUE(wheel.cancel(very_far));
+  expired = fire(wheel, horizon * 50);
+  EXPECT_TRUE(expired.empty());
+  EXPECT_TRUE(wheel.empty());
+}
+
+// A burst of timers in the same bucket with distinct ns offsets drains
+// incrementally: only those at/before `now` fire.
+TEST(TimerWheel, SameBucketPartialDrain) {
+  TimerWheel wheel(/*shift=*/10, /*buckets=*/8);
+  std::vector<TimerWheel::Id> ids;
+  for (Time t = 100; t <= 900; t += 100) ids.push_back(wheel.arm(t));
+  auto expired = fire(wheel, 500);
+  EXPECT_EQ(expired.size(), 5u);  // 100..500
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(std::find(expired.begin(), expired.end(), ids[i]) != expired.end());
+  }
+  expired = fire(wheel, 900);
+  EXPECT_EQ(expired.size(), 4u);
+  EXPECT_TRUE(wheel.empty());
+}
+
+}  // namespace
+}  // namespace rfs::sim
